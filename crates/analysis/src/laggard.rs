@@ -1,0 +1,241 @@
+//! Laggard census and arrival-distribution classification.
+//!
+//! The paper calls a process-iteration *laggard-containing* when the latest
+//! thread arrives more than 1 ms after the median thread ("approximately 5%
+//! slower than the mean median thread"). Figures 5 and 7 typify the classes;
+//! this module finds the class of every process-iteration and picks
+//! representative exemplars for the histogram figures.
+
+use ebird_core::{ThreadSample, TimingTrace};
+use ebird_stats::percentile::PercentileSummary;
+use serde::{Deserialize, Serialize};
+
+/// Class of one process-iteration's arrival distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArrivalClass {
+    /// `max − median ≤ threshold`: the tight, laggard-free pattern
+    /// (Figures 5a, 7b).
+    NoLaggard,
+    /// `max − median > threshold`: a clear laggard thread (Figures 5b, 7c).
+    Laggard,
+}
+
+/// One classified process-iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassifiedIteration {
+    /// Trial index.
+    pub trial: usize,
+    /// Rank index.
+    pub rank: usize,
+    /// Iteration index.
+    pub iteration: usize,
+    /// Assigned class.
+    pub class: ArrivalClass,
+    /// `max − median` (ms), the laggard magnitude.
+    pub magnitude_ms: f64,
+    /// Median arrival (ms).
+    pub median_ms: f64,
+    /// IQR (ms).
+    pub iqr_ms: f64,
+}
+
+/// Census of all process-iterations of a trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LaggardCensus {
+    /// Threshold used (paper: 1 ms).
+    pub threshold_ms: f64,
+    /// Every process-iteration, classified, in trace order.
+    pub iterations: Vec<ClassifiedIteration>,
+}
+
+impl LaggardCensus {
+    /// Fraction of process-iterations containing a laggard.
+    pub fn laggard_rate(&self) -> f64 {
+        if self.iterations.is_empty() {
+            return 0.0;
+        }
+        let n = self
+            .iterations
+            .iter()
+            .filter(|c| c.class == ArrivalClass::Laggard)
+            .count();
+        n as f64 / self.iterations.len() as f64
+    }
+
+    /// Laggard rate restricted to iterations `from..`, for phase-split apps
+    /// (the paper's MiniMD 4.8% covers the steady-state section).
+    pub fn laggard_rate_from(&self, from_iteration: usize) -> f64 {
+        let in_range: Vec<_> = self
+            .iterations
+            .iter()
+            .filter(|c| c.iteration >= from_iteration)
+            .collect();
+        if in_range.is_empty() {
+            return 0.0;
+        }
+        let n = in_range
+            .iter()
+            .filter(|c| c.class == ArrivalClass::Laggard)
+            .count();
+        n as f64 / in_range.len() as f64
+    }
+
+    /// Mean of per-iteration medians (the paper's "mean median thread
+    /// arrival time").
+    pub fn mean_median_ms(&self) -> f64 {
+        if self.iterations.is_empty() {
+            return f64::NAN;
+        }
+        self.iterations.iter().map(|c| c.median_ms).sum::<f64>()
+            / self.iterations.len() as f64
+    }
+
+    /// A representative exemplar of `class`: the iteration whose laggard
+    /// magnitude is the class median (avoids cherry-picking extremes),
+    /// optionally restricted to iterations ≥ `from_iteration`.
+    pub fn exemplar(
+        &self,
+        class: ArrivalClass,
+        from_iteration: usize,
+    ) -> Option<&ClassifiedIteration> {
+        let mut members: Vec<&ClassifiedIteration> = self
+            .iterations
+            .iter()
+            .filter(|c| c.class == class && c.iteration >= from_iteration)
+            .collect();
+        if members.is_empty() {
+            return None;
+        }
+        members.sort_by(|a, b| a.magnitude_ms.partial_cmp(&b.magnitude_ms).expect("finite"));
+        Some(members[members.len() / 2])
+    }
+}
+
+/// Classifies every process-iteration of `trace` at `threshold_ms`.
+pub fn laggard_census(trace: &TimingTrace, threshold_ms: f64) -> LaggardCensus {
+    assert!(threshold_ms > 0.0, "threshold must be positive");
+    let iterations = trace
+        .iter_process_iterations()
+        .map(|(trial, rank, iteration, samples)| {
+            let ms: Vec<f64> = samples.iter().map(ThreadSample::compute_time_ms).collect();
+            let s = PercentileSummary::from_sample(&ms).expect("threads ≥ 1, finite");
+            let magnitude = s.max - s.p50;
+            ClassifiedIteration {
+                trial,
+                rank,
+                iteration,
+                class: if magnitude > threshold_ms {
+                    ArrivalClass::Laggard
+                } else {
+                    ArrivalClass::NoLaggard
+                },
+                magnitude_ms: magnitude,
+                median_ms: s.p50,
+                iqr_ms: s.iqr(),
+            }
+        })
+        .collect();
+    LaggardCensus {
+        threshold_ms,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebird_core::{SampleIndex, ThreadSample, TraceShape};
+
+    /// Trace where iterations with odd index have a +3 ms laggard on thread 0.
+    fn half_laggard_trace() -> TimingTrace {
+        TimingTrace::from_fn(
+            "t",
+            TraceShape::new(1, 1, 10, 8).unwrap(),
+            |SampleIndex {
+                 iteration, thread, ..
+             }| {
+                let base_ms = 10.0 + thread as f64 * 0.01;
+                let ms = if iteration % 2 == 1 && thread == 0 {
+                    base_ms + 3.0
+                } else {
+                    base_ms
+                };
+                ThreadSample::new(0, (ms * 1e6) as u64)
+            },
+        )
+    }
+
+    #[test]
+    fn census_counts_laggards_exactly() {
+        let tr = half_laggard_trace();
+        let census = laggard_census(&tr, 1.0);
+        assert_eq!(census.iterations.len(), 10);
+        assert!((census.laggard_rate() - 0.5).abs() < 1e-12);
+        for c in &census.iterations {
+            let expect = if c.iteration % 2 == 1 {
+                ArrivalClass::Laggard
+            } else {
+                ArrivalClass::NoLaggard
+            };
+            assert_eq!(c.class, expect, "iteration {}", c.iteration);
+        }
+    }
+
+    #[test]
+    fn magnitudes_and_medians_are_computed() {
+        let tr = half_laggard_trace();
+        let census = laggard_census(&tr, 1.0);
+        let laggard = census
+            .iterations
+            .iter()
+            .find(|c| c.class == ArrivalClass::Laggard)
+            .unwrap();
+        assert!((laggard.magnitude_ms - 2.965).abs() < 0.01, "{}", laggard.magnitude_ms);
+        assert!((laggard.median_ms - 10.035).abs() < 0.01);
+        let calm = census
+            .iterations
+            .iter()
+            .find(|c| c.class == ArrivalClass::NoLaggard)
+            .unwrap();
+        assert!(calm.magnitude_ms < 0.1);
+        assert!((census.mean_median_ms() - 10.035).abs() < 0.01);
+    }
+
+    #[test]
+    fn rate_from_restricts_range() {
+        let tr = half_laggard_trace();
+        let census = laggard_census(&tr, 1.0);
+        // Iterations 5.. = {5,6,7,8,9}: three odd (5,7,9).
+        assert!((census.laggard_rate_from(5) - 0.6).abs() < 1e-12);
+        assert_eq!(census.laggard_rate_from(10), 0.0, "empty range");
+    }
+
+    #[test]
+    fn exemplar_prefers_median_magnitude() {
+        let tr = half_laggard_trace();
+        let census = laggard_census(&tr, 1.0);
+        let e = census.exemplar(ArrivalClass::Laggard, 0).unwrap();
+        assert_eq!(e.class, ArrivalClass::Laggard);
+        assert!(census.exemplar(ArrivalClass::Laggard, 10).is_none());
+        let calm = census.exemplar(ArrivalClass::NoLaggard, 0).unwrap();
+        assert_eq!(calm.class, ArrivalClass::NoLaggard);
+    }
+
+    #[test]
+    fn threshold_sensitivity() {
+        let tr = half_laggard_trace();
+        // Thread spread is 0.07 ms (max − median = 0.035); a 0.03 threshold
+        // flags everything.
+        let tight = laggard_census(&tr, 0.03);
+        assert_eq!(tight.laggard_rate(), 1.0);
+        // A 5 ms threshold flags nothing.
+        let loose = laggard_census(&tr, 5.0);
+        assert_eq!(loose.laggard_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn rejects_nonpositive_threshold() {
+        laggard_census(&half_laggard_trace(), 0.0);
+    }
+}

@@ -1,0 +1,284 @@
+//! Normality sweeps across the paper's three aggregation levels.
+
+use ebird_core::view::{grouped_ms, AggregationLevel};
+use ebird_core::TimingTrace;
+use ebird_stats::normality::{
+    anderson_darling::AndersonDarling, dagostino::DagostinoK2, shapiro_wilk::ShapiroWilk,
+    NormalityOutcome, NormalityTest, TestStatistic,
+};
+use serde::{Deserialize, Serialize};
+
+/// Results of running the three-test battery over every group of one
+/// aggregation level.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NormalitySweep {
+    /// Which aggregation level was swept.
+    pub level_label: String,
+    /// Significance level used for pass/fail decisions.
+    pub alpha: f64,
+    /// Number of groups tested.
+    pub groups: usize,
+    /// Per-test outcomes, one entry per group, in group order. A `None`
+    /// records a group the test could not process (degenerate sample).
+    pub outcomes: Vec<[Option<NormalityOutcome>; 3]>,
+}
+
+/// Battery order, matching the paper's Table 1 rows.
+pub const BATTERY_ORDER: [TestStatistic; 3] = [
+    TestStatistic::DagostinoK2,
+    TestStatistic::ShapiroWilkW,
+    TestStatistic::AndersonDarlingA2,
+];
+
+impl NormalitySweep {
+    /// Fraction of groups that *passed* (failed to reject normality) for
+    /// battery test `idx` (0 = D'Agostino, 1 = Shapiro–Wilk,
+    /// 2 = Anderson–Darling). Degenerate groups count as failures.
+    pub fn pass_rate(&self, idx: usize) -> f64 {
+        assert!(idx < 3);
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        let passed = self
+            .outcomes
+            .iter()
+            .filter(|o| o[idx].as_ref().is_some_and(|r| r.passes(self.alpha)))
+            .count();
+        passed as f64 / self.outcomes.len() as f64
+    }
+
+    /// Pass rates for all three tests in battery order.
+    pub fn pass_rates(&self) -> [f64; 3] {
+        [self.pass_rate(0), self.pass_rate(1), self.pass_rate(2)]
+    }
+
+    /// Indices of groups where D'Agostino passed but both Shapiro–Wilk and
+    /// Anderson–Darling rejected — the paper's eight-MiniQMC-iterations
+    /// observation at the application-iteration level.
+    pub fn dagostino_only_passes(&self) -> Vec<usize> {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| {
+                o[0].as_ref().is_some_and(|r| r.passes(self.alpha))
+                    && o[1].as_ref().is_some_and(|r| !r.passes(self.alpha))
+                    && o[2].as_ref().is_some_and(|r| !r.passes(self.alpha))
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Runs the three-test battery over every group of `level`.
+pub fn sweep(trace: &TimingTrace, level: AggregationLevel, alpha: f64) -> NormalitySweep {
+    let dag = DagostinoK2;
+    let sw = ShapiroWilk;
+    let ad = AndersonDarling;
+    let groups = grouped_ms(trace, level);
+    let outcomes = groups
+        .iter()
+        .map(|g| {
+            [
+                dag.test(&g.values_ms).ok(),
+                sw.test(&g.values_ms).ok(),
+                ad.test(&g.values_ms).ok(),
+            ]
+        })
+        .collect::<Vec<_>>();
+    NormalitySweep {
+        level_label: level.label().to_string(),
+        alpha,
+        groups: groups.len(),
+        outcomes,
+    }
+}
+
+/// Pass rates of an arbitrary test battery over one aggregation level —
+/// the battery-sensitivity extension (is Table 1 an artifact of the paper's
+/// choice of three tests?). Returns `(test name, pass rate)` pairs.
+pub fn battery_pass_rates(
+    trace: &TimingTrace,
+    level: AggregationLevel,
+    battery: &[Box<dyn ebird_stats::normality::NormalityTest + Send + Sync>],
+    alpha: f64,
+) -> Vec<(&'static str, f64)> {
+    let groups = grouped_ms(trace, level);
+    battery
+        .iter()
+        .map(|test| {
+            let passed = groups
+                .iter()
+                .filter(|g| {
+                    test.test(&g.values_ms)
+                        .map(|o| o.passes(alpha))
+                        .unwrap_or(false)
+                })
+                .count();
+            (test.kind().name(), passed as f64 / groups.len() as f64)
+        })
+        .collect()
+}
+
+/// The paper's Table 1: process-iteration pass percentages per application.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1 {
+    /// Significance level (paper: 5%).
+    pub alpha: f64,
+    /// One row per application: `(name, [D'Agostino %, Shapiro-Wilk %,
+    /// Anderson-Darling %])`.
+    pub rows: Vec<(String, [f64; 3])>,
+}
+
+/// Builds Table 1 from one trace per application.
+pub fn table1<'a>(traces: impl IntoIterator<Item = &'a TimingTrace>, alpha: f64) -> Table1 {
+    let rows = traces
+        .into_iter()
+        .map(|tr| {
+            let sw = sweep(tr, AggregationLevel::ProcessIteration, alpha);
+            let pct = sw.pass_rates().map(|r| r * 100.0);
+            (tr.app().to_string(), pct)
+        })
+        .collect();
+    Table1 { alpha, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebird_core::{ThreadSample, TraceShape};
+    use ebird_stats::special::norm_quantile;
+
+    /// A trace whose every process-iteration is a perfect normal sample.
+    fn normal_trace(threads: usize) -> TimingTrace {
+        TimingTrace::from_fn(
+            "normal",
+            TraceShape::new(2, 2, 10, threads).unwrap(),
+            |idx| {
+                let u = (idx.thread as f64 + 0.5) / threads as f64;
+                // 10 ms ± 1 ms — well-conditioned for all three tests.
+                let ms = 10.0 + norm_quantile(u);
+                ThreadSample::new(0, (ms * 1e6) as u64)
+            },
+        )
+    }
+
+    /// A trace whose process-iterations are strongly exponential.
+    fn skewed_trace(threads: usize) -> TimingTrace {
+        TimingTrace::from_fn(
+            "skewed",
+            TraceShape::new(2, 2, 10, threads).unwrap(),
+            |idx| {
+                let u = (idx.thread as f64 + 0.5) / threads as f64;
+                let ms = 10.0 - 2.0 * (1.0 - u).ln(); // exponential tail
+                ThreadSample::new(0, (ms * 1e6) as u64)
+            },
+        )
+    }
+
+    #[test]
+    fn normal_groups_pass_everywhere() {
+        let tr = normal_trace(48);
+        let sw = sweep(&tr, AggregationLevel::ProcessIteration, 0.05);
+        assert_eq!(sw.groups, 40);
+        for rate in sw.pass_rates() {
+            assert!(rate > 0.95, "pass rate {rate}");
+        }
+    }
+
+    #[test]
+    fn exponential_groups_fail_everywhere() {
+        let tr = skewed_trace(48);
+        let sw = sweep(&tr, AggregationLevel::ProcessIteration, 0.05);
+        for rate in sw.pass_rates() {
+            assert!(rate < 0.05, "pass rate {rate}");
+        }
+    }
+
+    #[test]
+    fn degenerate_groups_count_as_failures() {
+        // All-identical samples: every test errors (zero variance).
+        let tr = TimingTrace::from_fn(
+            "flat",
+            TraceShape::new(1, 1, 3, 16).unwrap(),
+            |_| ThreadSample::new(0, 5_000_000),
+        );
+        let sw = sweep(&tr, AggregationLevel::ProcessIteration, 0.05);
+        assert_eq!(sw.pass_rates(), [0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn table1_has_one_row_per_app() {
+        let a = normal_trace(16);
+        let b = skewed_trace(16);
+        let t = table1([&a, &b], 0.05);
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.rows[0].0, "normal");
+        assert!(t.rows[0].1[0] > 90.0);
+        assert!(t.rows[1].1[1] < 20.0);
+    }
+
+    #[test]
+    fn dagostino_only_detector() {
+        // Synthesize outcomes directly to pin the filter logic.
+        let mk = |p: f64, kind: TestStatistic| {
+            Some(NormalityOutcome {
+                statistic_kind: kind,
+                statistic: 1.0,
+                p_value: p,
+                n: 48,
+                extrapolated: false,
+            })
+        };
+        let sweep = NormalitySweep {
+            level_label: "x".into(),
+            alpha: 0.05,
+            groups: 3,
+            outcomes: vec![
+                [
+                    mk(0.50, TestStatistic::DagostinoK2),
+                    mk(0.01, TestStatistic::ShapiroWilkW),
+                    mk(0.01, TestStatistic::AndersonDarlingA2),
+                ],
+                [
+                    mk(0.50, TestStatistic::DagostinoK2),
+                    mk(0.50, TestStatistic::ShapiroWilkW),
+                    mk(0.01, TestStatistic::AndersonDarlingA2),
+                ],
+                [
+                    mk(0.01, TestStatistic::DagostinoK2),
+                    mk(0.01, TestStatistic::ShapiroWilkW),
+                    mk(0.01, TestStatistic::AndersonDarlingA2),
+                ],
+            ],
+        };
+        assert_eq!(sweep.dagostino_only_passes(), vec![0]);
+    }
+
+    #[test]
+    fn extended_battery_agrees_with_standard_on_clear_cases() {
+        let battery = ebird_stats::normality::extended_battery();
+        let normal = normal_trace(48);
+        let skewed = skewed_trace(48);
+        let normal_rates =
+            battery_pass_rates(&normal, AggregationLevel::ProcessIteration, &battery, 0.05);
+        let skewed_rates =
+            battery_pass_rates(&skewed, AggregationLevel::ProcessIteration, &battery, 0.05);
+        assert_eq!(normal_rates.len(), 5);
+        for (name, rate) in &normal_rates {
+            assert!(*rate > 0.9, "{name} on normal: {rate}");
+        }
+        for (name, rate) in &skewed_rates {
+            assert!(*rate < 0.1, "{name} on exponential: {rate}");
+        }
+        assert_eq!(normal_rates[3].0, "Lilliefors");
+        assert_eq!(normal_rates[4].0, "Jarque-Bera");
+    }
+
+    #[test]
+    fn application_level_sweep_has_one_group() {
+        let tr = normal_trace(16);
+        let sw = sweep(&tr, AggregationLevel::Application, 0.05);
+        assert_eq!(sw.groups, 1);
+        assert_eq!(sw.outcomes.len(), 1);
+    }
+}

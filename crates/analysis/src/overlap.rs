@@ -1,0 +1,165 @@
+//! Potential computation/communication overlap (the paper's Figure 2).
+//!
+//! Figure 2's green boxes are the per-thread windows between a thread's own
+//! arrival and the last thread's arrival — time in which that thread's
+//! partition could already be on the wire. This module turns the picture
+//! into numbers: per-thread overlap windows, the bytes a given link could
+//! drain inside them, and the fraction of a buffer that is *hideable* before
+//! the fork/join point.
+
+use ebird_core::{ThreadSample, TimingTrace};
+use serde::{Deserialize, Serialize};
+
+/// Overlap analysis of one process-iteration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverlapWindows {
+    /// Last arrival (the fork/join point), ms.
+    pub join_ms: f64,
+    /// Per-thread overlap windows (`join − arrivalᵢ`), ms, in thread order.
+    pub windows_ms: Vec<f64>,
+}
+
+impl OverlapWindows {
+    /// Computes the windows for one process-iteration's samples.
+    pub fn from_samples(samples: &[ThreadSample]) -> Self {
+        let ms: Vec<f64> = samples.iter().map(ThreadSample::compute_time_ms).collect();
+        let join = ms.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        OverlapWindows {
+            join_ms: join,
+            windows_ms: ms.iter().map(|&t| join - t).collect(),
+        }
+    }
+
+    /// Total overlap time (≡ the paper's reclaimable time), ms.
+    pub fn total_ms(&self) -> f64 {
+        self.windows_ms.iter().sum()
+    }
+
+    /// Fraction of a buffer of `bytes_total` (split equally across threads)
+    /// that a link with the given per-byte cost could transmit *inside* the
+    /// overlap windows — i.e. hidden before the join. Per-message startup is
+    /// ignored here (it is the delivery simulator's job); this is the pure
+    /// bandwidth-bound ceiling.
+    pub fn hideable_fraction(&self, bytes_total: usize, beta_ms_per_byte: f64) -> f64 {
+        if bytes_total == 0 {
+            return 1.0;
+        }
+        let n = self.windows_ms.len();
+        let mut hidden_bytes = 0.0f64;
+        for (i, &w) in self.windows_ms.iter().enumerate() {
+            let q = bytes_total / n;
+            let r = bytes_total % n;
+            let part = if i < r { q + 1 } else { q } as f64;
+            let capacity = if beta_ms_per_byte > 0.0 {
+                w / beta_ms_per_byte
+            } else {
+                f64::INFINITY
+            };
+            hidden_bytes += part.min(capacity);
+        }
+        (hidden_bytes / bytes_total as f64).clamp(0.0, 1.0)
+    }
+}
+
+/// Campaign-level overlap summary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverlapSummary {
+    /// Mean per-iteration total overlap (ms) — equals the §4.2 reclaimable
+    /// average by construction.
+    pub mean_total_ms: f64,
+    /// Mean hideable fraction of an 8 MB buffer on the Omni-Path-like link.
+    pub mean_hideable_fraction: f64,
+    /// Process-iterations analyzed.
+    pub iterations: usize,
+}
+
+/// Default byte cost used by [`overlap_summary`] (12.5 GB/s, in ms/byte).
+pub const DEFAULT_BETA_MS_PER_BYTE: f64 = 1.0e3 / 12.5e9;
+
+/// Default buffer size used by [`overlap_summary`] (8 MB).
+pub const DEFAULT_BUFFER_BYTES: usize = 8_000_000;
+
+/// Sweeps every process-iteration of `trace`.
+pub fn overlap_summary(trace: &TimingTrace) -> OverlapSummary {
+    let mut total = 0.0;
+    let mut hideable = 0.0;
+    let mut count = 0usize;
+    for (_, _, _, samples) in trace.iter_process_iterations() {
+        let w = OverlapWindows::from_samples(samples);
+        total += w.total_ms();
+        hideable += w.hideable_fraction(DEFAULT_BUFFER_BYTES, DEFAULT_BETA_MS_PER_BYTE);
+        count += 1;
+    }
+    OverlapSummary {
+        mean_total_ms: total / count as f64,
+        mean_hideable_fraction: hideable / count as f64,
+        iterations: count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebird_core::{SampleIndex, TimingTrace, TraceShape};
+
+    fn sample_ms(ms: f64) -> ThreadSample {
+        ThreadSample::new(0, (ms * 1e6) as u64)
+    }
+
+    #[test]
+    fn windows_of_hand_sample() {
+        let s: Vec<ThreadSample> = [2.0, 5.0, 10.0].map(sample_ms).to_vec();
+        let w = OverlapWindows::from_samples(&s);
+        assert_eq!(w.join_ms, 10.0);
+        assert_eq!(w.windows_ms, vec![8.0, 5.0, 0.0]);
+        assert_eq!(w.total_ms(), 13.0);
+    }
+
+    #[test]
+    fn hideable_fraction_limits() {
+        let s: Vec<ThreadSample> = [0.0, 10.0].map(sample_ms).to_vec();
+        let w = OverlapWindows::from_samples(&s);
+        // Thread 0 has a 10 ms window; thread 1 (the last) has none.
+        // With infinite bandwidth (β = 0) transfers are instantaneous, so
+        // even the join-time partition hides.
+        assert_eq!(w.hideable_fraction(1000, 0.0), 1.0);
+        // Any finite bandwidth exposes the last thread's half exactly.
+        assert!((w.hideable_fraction(1000, 1e-6) - 0.5).abs() < 1e-12);
+        // Zero window ⇒ thread 1's half can never hide.
+        // Very slow link hides almost nothing.
+        let slow = w.hideable_fraction(1_000_000, 1.0); // 1 ms per byte
+        assert!(slow < 0.001, "slow-link fraction {slow}");
+        // Fast-enough link: 10 ms window at 500 bytes capacity ⇒ full half.
+        let adequate = w.hideable_fraction(1000, 10.0 / 500.0);
+        assert!((adequate - 0.5).abs() < 1e-9, "{adequate}");
+    }
+
+    #[test]
+    fn equal_arrivals_hide_nothing() {
+        let s: Vec<ThreadSample> = [5.0; 8].map(sample_ms).to_vec();
+        let w = OverlapWindows::from_samples(&s);
+        assert_eq!(w.total_ms(), 0.0);
+        assert_eq!(w.hideable_fraction(8000, 1e-6), 0.0);
+    }
+
+    #[test]
+    fn summary_matches_reclaim_average() {
+        let tr = TimingTrace::from_fn(
+            "t",
+            TraceShape::new(1, 2, 3, 4).unwrap(),
+            |SampleIndex { thread, .. }| sample_ms(5.0 * (thread + 1) as f64),
+        );
+        let s = overlap_summary(&tr);
+        // Arrivals 5,10,15,20 ⇒ overlap 15+10+5+0 = 30 per iteration.
+        assert!((s.mean_total_ms - 30.0).abs() < 1e-9);
+        assert_eq!(s.iterations, 6);
+        assert!(s.mean_hideable_fraction > 0.7, "wide spread hides most bytes");
+    }
+
+    #[test]
+    fn zero_buffer_is_trivially_hidden() {
+        let s: Vec<ThreadSample> = [1.0, 2.0].map(sample_ms).to_vec();
+        let w = OverlapWindows::from_samples(&s);
+        assert_eq!(w.hideable_fraction(0, 1e-6), 1.0);
+    }
+}

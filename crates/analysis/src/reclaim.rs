@@ -1,0 +1,173 @@
+//! Reclaimable time and idle-ratio metrics (§4.2).
+//!
+//! Definitions, from the paper:
+//!
+//! * **Reclaimable time** of a process-iteration: "the summing of the
+//!   difference between the latest thread in that process iteration and each
+//!   preceding thread" — `Σᵢ (t_max − tᵢ)`.
+//! * **Ratio of time spent idle**: "the ratio between the cumulative time
+//!   spent idle by all threads that iteration and the latest arrival time
+//!   that iteration multiplied by number of threads" —
+//!   `Σᵢ (t_max − tᵢ) / (t_max · n)`.
+//! * **Average reclaimable time**: the per-iteration reclaimable time
+//!   "averaged over the entire data set".
+//!
+//! These are computed exactly as defined. EXPERIMENTS.md discusses where the
+//! paper's printed values cannot be reconciled with its own medians/IQRs.
+
+use ebird_core::{ThreadSample, TimingTrace};
+use serde::{Deserialize, Serialize};
+
+/// §4.2 metrics for one trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReclaimMetrics {
+    /// Average reclaimable time per process-iteration (ms).
+    pub avg_reclaimable_ms: f64,
+    /// Average per-iteration idle ratio (dimensionless, in `[0, 1)`).
+    pub idle_ratio: f64,
+    /// Mean of per-iteration median arrivals (ms).
+    pub mean_median_ms: f64,
+    /// Mean of per-iteration maximum arrivals (ms) — the fork/join critical
+    /// path length.
+    pub mean_max_ms: f64,
+    /// Number of process-iterations aggregated.
+    pub iterations: usize,
+}
+
+/// Per-process-iteration reclaimable time (ms).
+pub fn reclaimable_ms(samples: &[ThreadSample]) -> f64 {
+    let ms: Vec<f64> = samples.iter().map(ThreadSample::compute_time_ms).collect();
+    let max = ms.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    ms.iter().map(|&t| max - t).sum()
+}
+
+/// Per-process-iteration idle ratio.
+pub fn idle_ratio(samples: &[ThreadSample]) -> f64 {
+    let ms: Vec<f64> = samples.iter().map(ThreadSample::compute_time_ms).collect();
+    let max = ms.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if max <= 0.0 {
+        return 0.0;
+    }
+    let idle: f64 = ms.iter().map(|&t| max - t).sum();
+    idle / (max * ms.len() as f64)
+}
+
+/// Computes the §4.2 metrics over every process-iteration of `trace`.
+pub fn reclaim_metrics(trace: &TimingTrace) -> ReclaimMetrics {
+    let mut sum_reclaim = 0.0;
+    let mut sum_ratio = 0.0;
+    let mut sum_median = 0.0;
+    let mut sum_max = 0.0;
+    let mut count = 0usize;
+    let mut scratch: Vec<f64> = Vec::with_capacity(trace.shape().threads);
+    for (_, _, _, samples) in trace.iter_process_iterations() {
+        scratch.clear();
+        scratch.extend(samples.iter().map(ThreadSample::compute_time_ms));
+        scratch.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let max = scratch[scratch.len() - 1];
+        let median = ebird_stats::percentile::percentile_of_sorted(&scratch, 50.0);
+        let idle: f64 = scratch.iter().map(|&t| max - t).sum();
+        sum_reclaim += idle;
+        if max > 0.0 {
+            sum_ratio += idle / (max * scratch.len() as f64);
+        }
+        sum_median += median;
+        sum_max += max;
+        count += 1;
+    }
+    let n = count as f64;
+    ReclaimMetrics {
+        avg_reclaimable_ms: sum_reclaim / n,
+        idle_ratio: sum_ratio / n,
+        mean_median_ms: sum_median / n,
+        mean_max_ms: sum_max / n,
+        iterations: count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebird_core::{SampleIndex, TraceShape};
+
+    fn sample_ms(ms: f64) -> ThreadSample {
+        ThreadSample::new(0, (ms * 1e6) as u64)
+    }
+
+    #[test]
+    fn reclaimable_of_hand_sample() {
+        // Arrivals 1, 2, 3, 4 ms: Σ(4 − t) = 3 + 2 + 1 + 0 = 6.
+        let s: Vec<ThreadSample> = [1.0, 2.0, 3.0, 4.0].map(sample_ms).to_vec();
+        assert!((reclaimable_ms(&s) - 6.0).abs() < 1e-9);
+        // Idle ratio = 6 / (4 × 4) = 0.375.
+        assert!((idle_ratio(&s) - 0.375).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identical_arrivals_have_zero_reclaim() {
+        let s: Vec<ThreadSample> = [5.0; 8].map(sample_ms).to_vec();
+        assert_eq!(reclaimable_ms(&s), 0.0);
+        assert_eq!(idle_ratio(&s), 0.0);
+    }
+
+    #[test]
+    fn single_laggard_dominates_reclaim() {
+        // 7 threads at 10 ms, one at 20 ms: reclaim = 7 × 10 = 70.
+        let mut v = vec![10.0; 7];
+        v.push(20.0);
+        let s: Vec<ThreadSample> = v.into_iter().map(sample_ms).collect();
+        assert!((reclaimable_ms(&s) - 70.0).abs() < 1e-9);
+        // ratio = 70 / (20 × 8) = 0.4375.
+        assert!((idle_ratio(&s) - 0.4375).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_spread_gives_half_ratio_asymptotically() {
+        // Arrivals uniform on (0, M]: mean idle → M/2, ratio → 1/2 — the
+        // paper's "50% of cores consistently idle" shape.
+        let n = 1000;
+        let s: Vec<ThreadSample> = (1..=n)
+            .map(|i| sample_ms(10.0 * i as f64 / n as f64))
+            .collect();
+        let r = idle_ratio(&s);
+        assert!((r - 0.5).abs() < 0.01, "ratio {r}");
+    }
+
+    #[test]
+    fn metrics_aggregate_over_trace() {
+        // Two process-iterations: one flat at 10 ms, one uniform 5..=20 ms.
+        let tr = ebird_core::TimingTrace::from_fn(
+            "t",
+            TraceShape::new(1, 1, 2, 4).unwrap(),
+            |SampleIndex {
+                 iteration, thread, ..
+             }| {
+                if iteration == 0 {
+                    sample_ms(10.0)
+                } else {
+                    sample_ms(5.0 * (thread + 1) as f64)
+                }
+            },
+        );
+        let m = reclaim_metrics(&tr);
+        assert_eq!(m.iterations, 2);
+        // Iteration 1: arrivals 5,10,15,20 → reclaim 15+10+5+0 = 30,
+        // ratio 30/80 = 0.375. Iteration 0: 0, 0.
+        assert!((m.avg_reclaimable_ms - 15.0).abs() < 1e-9);
+        assert!((m.idle_ratio - 0.1875).abs() < 1e-9);
+        // Medians: 10 and 12.5 → mean 11.25. Maxes: 10 and 20 → 15.
+        assert!((m.mean_median_ms - 11.25).abs() < 1e-9);
+        assert!((m.mean_max_ms - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reclaim_identity_sum_equals_n_max_minus_sum() {
+        // Σ(max − tᵢ) = n·max − Σtᵢ — algebraic identity, pinned numerically.
+        let vals = [3.2, 1.1, 9.7, 4.4, 2.0];
+        let s: Vec<ThreadSample> = vals.map(sample_ms).to_vec();
+        let max = 9.7;
+        let direct = reclaimable_ms(&s);
+        let identity = vals.len() as f64 * max - vals.iter().sum::<f64>();
+        assert!((direct - identity).abs() < 1e-6);
+    }
+}

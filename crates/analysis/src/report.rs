@@ -1,0 +1,212 @@
+//! Plain-text and CSV rendering of the paper's artifacts.
+//!
+//! The `repro` binary prints these tables; integration tests parse them back
+//! to pin the format. Rendering is deliberately dependency-free (no plotting
+//! stack): each figure exports `(x, y)` rows that any plotting tool can
+//! consume, plus an ASCII sketch for terminal inspection.
+
+use std::fmt::Write as _;
+
+use ebird_stats::percentile::PercentileSummary;
+
+use crate::figures::FigureHistogram;
+use crate::normality::Table1;
+use crate::reclaim::ReclaimMetrics;
+
+/// Renders Table 1 in the paper's layout (tests × applications, pass
+/// percentages).
+pub fn render_table1(t: &Table1) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 1: process-iteration normality pass rates (alpha = {:.0}%)",
+        t.alpha * 100.0
+    );
+    let _ = write!(out, "{:<18}", "Test");
+    for (app, _) in &t.rows {
+        let _ = write!(out, "{app:>12}");
+    }
+    let _ = writeln!(out);
+    for (i, test_name) in ["D'Agostino", "Shapiro-Wilk", "Anderson-Darling"]
+        .iter()
+        .enumerate()
+    {
+        let _ = write!(out, "{test_name:<18}");
+        for (_, pct) in &t.rows {
+            let _ = write!(out, "{:>11.1}%", pct[i]);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders the §4.2 metric block for one application, paper value alongside.
+pub fn render_metrics(
+    app: &str,
+    measured: &ReclaimMetrics,
+    paper_reclaim_ms: f64,
+    paper_idle_ratio: f64,
+    paper_median_ms: f64,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{app} §4.2 metrics (measured vs paper):");
+    let _ = writeln!(
+        out,
+        "  mean median arrival   {:>10.2} ms   (paper {paper_median_ms:.2} ms)",
+        measured.mean_median_ms
+    );
+    let _ = writeln!(
+        out,
+        "  avg reclaimable time  {:>10.2} ms   (paper {paper_reclaim_ms:.2} ms)",
+        measured.avg_reclaimable_ms
+    );
+    let _ = writeln!(
+        out,
+        "  ratio of idle time    {:>10.4}      (paper {paper_idle_ratio:.4})",
+        measured.idle_ratio
+    );
+    let _ = writeln!(
+        out,
+        "  mean max arrival      {:>10.2} ms   over {} process-iterations",
+        measured.mean_max_ms, measured.iterations
+    );
+    out
+}
+
+/// CSV rows of a percentile series (Figures 4/6/8):
+/// `iteration,p5,p25,p50,p75,p95`.
+pub fn percentile_series_csv(series: &[PercentileSummary]) -> String {
+    let mut out = String::from("iteration,p5,p25,p50,p75,p95\n");
+    for (i, s) in series.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{i},{:.6},{:.6},{:.6},{:.6},{:.6}",
+            s.p5, s.p25, s.p50, s.p75, s.p95
+        );
+    }
+    out
+}
+
+/// CSV rows of a figure histogram: `bin_center_ms,count`.
+pub fn histogram_csv(fig: &FigureHistogram) -> String {
+    let mut out = String::from("bin_center_ms,count\n");
+    for (center, count) in fig.histogram.rows() {
+        if count > 0 {
+            let _ = writeln!(out, "{center:.6},{count}");
+        }
+    }
+    out
+}
+
+/// Terminal rendering of a figure histogram: header plus ASCII bars.
+pub fn render_histogram(fig: &FigureHistogram, bar_width: usize) -> String {
+    let mut out = String::new();
+    let prov = match fig.provenance {
+        Some((t, r, i)) => format!(" (trial {t}, rank {r}, iteration {i})"),
+        None => String::new(),
+    };
+    let _ = writeln!(
+        out,
+        "{} — {}{} [bin {} µs, n = {}]",
+        fig.label,
+        fig.app,
+        prov,
+        fig.histogram.spec().width * 1000.0,
+        fig.histogram.total()
+    );
+    out.push_str(&fig.histogram.render_ascii(bar_width));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::fig3;
+    use ebird_core::{SampleIndex, ThreadSample, TimingTrace, TraceShape};
+
+    fn trace() -> TimingTrace {
+        TimingTrace::from_fn(
+            "MiniFE",
+            TraceShape::new(1, 1, 4, 8).unwrap(),
+            |SampleIndex { thread, .. }| {
+                ThreadSample::new(0, ((10.0 + thread as f64 * 0.01) * 1e6) as u64)
+            },
+        )
+    }
+
+    #[test]
+    fn table1_renders_all_rows_and_columns() {
+        let t = Table1 {
+            alpha: 0.05,
+            rows: vec![
+                ("MiniFE".into(), [3.0, 0.5, 0.8]),
+                ("MiniMD".into(), [77.0, 74.0, 76.0]),
+            ],
+        };
+        let s = render_table1(&t);
+        assert!(s.contains("D'Agostino"));
+        assert!(s.contains("Shapiro-Wilk"));
+        assert!(s.contains("Anderson-Darling"));
+        assert!(s.contains("MiniFE"));
+        assert!(s.contains("77.0%"));
+        assert_eq!(s.lines().count(), 5);
+    }
+
+    #[test]
+    fn metrics_block_contains_both_measured_and_paper() {
+        let m = ReclaimMetrics {
+            avg_reclaimable_ms: 12.3,
+            idle_ratio: 0.041,
+            mean_median_ms: 26.1,
+            mean_max_ms: 27.0,
+            iterations: 100,
+        };
+        let s = render_metrics("MiniFE", &m, 42.82, 0.1928, 26.30);
+        assert!(s.contains("12.30 ms"));
+        assert!(s.contains("paper 42.82 ms"));
+        assert!(s.contains("0.0410"));
+        assert!(s.contains("paper 0.1928"));
+        assert!(s.contains("100 process-iterations"));
+    }
+
+    #[test]
+    fn percentile_csv_shape() {
+        let series = vec![
+            PercentileSummary::from_sample(&[1.0, 2.0, 3.0, 4.0]).unwrap(),
+            PercentileSummary::from_sample(&[2.0, 3.0, 4.0, 5.0]).unwrap(),
+        ];
+        let csv = percentile_series_csv(&series);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "iteration,p5,p25,p50,p75,p95");
+        assert!(lines[1].starts_with("0,"));
+        assert!(lines[2].starts_with("1,"));
+        assert_eq!(lines[1].split(',').count(), 6);
+    }
+
+    #[test]
+    fn histogram_csv_skips_empty_bins() {
+        let tr = trace();
+        let f = fig3(&tr, "fig3a");
+        let csv = histogram_csv(&f);
+        let data_lines = csv.lines().count() - 1;
+        assert!(data_lines >= 1);
+        // Total mass in CSV equals sample count.
+        let total: u64 = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(1).unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(total, 32);
+    }
+
+    #[test]
+    fn histogram_render_includes_header() {
+        let tr = trace();
+        let f = fig3(&tr, "fig3a");
+        let s = render_histogram(&f, 20);
+        assert!(s.contains("fig3a — MiniFE"));
+        assert!(s.contains("bin 10 µs"));
+        assert!(s.contains("n = 32"));
+    }
+}

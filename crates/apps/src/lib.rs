@@ -1,0 +1,69 @@
+//! # ebird-apps
+//!
+//! Rust ports of the three proxy applications the paper instruments, reduced
+//! to the structures that matter for thread-timing measurement: the exact
+//! compute kernels whose parallel-for loops the paper wraps with timestamps.
+//!
+//! * [`minife`] — unstructured-mesh finite-element solver proxy (Mantevo
+//!   MiniFE). The timed section is the **matrix–vector product** inside the
+//!   CG solve, partitioned over the mesh's outer *planes* exactly as the
+//!   paper describes ("an outer loop iterates over 200 planes of the problem
+//!   space and are distributed to 48 threads").
+//! * [`minimd`] — molecular-dynamics proxy (Mantevo MiniMD, based on LAMMPS).
+//!   The timed section is the **Lennard-Jones forcing function**, the most
+//!   computationally intensive section.
+//! * [`miniqmc`] — quantum Monte Carlo proxy (based on QMCPACK). The timed
+//!   section is the **entirety of the computation for the threaded "movers"**
+//!   (tricubic B-spline wavefunction evaluation + two-body Jastrow +
+//!   Metropolis drift-diffusion).
+//!
+//! Every app implements [`ProxyApp`]: one instrumented iteration per call,
+//! with Listing-1 stamp placement handled by `ebird-runtime`'s `timed_*`
+//! primitives. All randomness is seeded (`ebird-stats::dist`-compatible
+//! xoshiro generators), so runs are bit-reproducible.
+
+#![warn(missing_docs)]
+
+pub mod minife;
+pub mod minimd;
+pub mod miniqmc;
+pub mod rng;
+
+pub use minife::{MiniFe, MiniFeParams};
+pub use minimd::{MiniMd, MiniMdParams};
+pub use miniqmc::{MiniQmc, MiniQmcParams};
+
+use ebird_core::{Clock, TimedRegion};
+use ebird_runtime::Pool;
+
+/// A proxy application whose main compute section can be run as instrumented
+/// iterations.
+pub trait ProxyApp {
+    /// Application name as used in the paper ("MiniFE", "MiniMD", "MiniQMC").
+    fn name(&self) -> &'static str;
+
+    /// Runs one application iteration on `pool`, recording per-thread
+    /// enter/exit stamps for the timed compute section into `region` under
+    /// `iteration`. Untimed work surrounding the section (integration,
+    /// vector updates, …) runs as part of the same call, exactly as in the
+    /// instrumented originals.
+    fn timed_step(&mut self, pool: &Pool, region: &TimedRegion<'_, dyn Clock>, iteration: usize);
+
+    /// Checks an application-specific physical/numerical invariant, returning
+    /// a description of the violation if any. Used by integration tests to
+    /// make sure instrumentation never perturbs correctness.
+    fn verify(&self) -> Result<(), String>;
+}
+
+/// The three applications, in the paper's presentation order.
+pub const APP_NAMES: [&str; 3] = ["MiniFE", "MiniMD", "MiniQMC"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn app_names_match_paper_order() {
+        assert_eq!(APP_NAMES, ["MiniFE", "MiniMD", "MiniQMC"]);
+    }
+}

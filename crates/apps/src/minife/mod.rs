@@ -1,0 +1,18 @@
+//! MiniFE proxy: finite-element CG solver with an instrumented SpMV.
+//!
+//! The Mantevo MiniFE mini-app assembles a sparse linear system from a 3-D
+//! hexahedral mesh and solves it with unpreconditioned conjugate gradients.
+//! The paper times "the matrix vector product: the linear algebra function of
+//! highest order", with the outer loop over the mesh's `nz` planes statically
+//! distributed to threads — the source of its early-arrival skew (200 planes
+//! over 48 threads ⇒ 8 threads carry one extra plane).
+//!
+//! Modules: [`csr`] (sparse matrix), [`mesh`] (27-point stencil assembly),
+//! [`cg`] (the solver driver implementing [`crate::ProxyApp`]).
+
+pub mod cg;
+pub mod csr;
+pub mod mesh;
+
+pub use cg::{MiniFe, MiniFeParams};
+pub use csr::CsrMatrix;

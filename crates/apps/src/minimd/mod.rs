@@ -1,0 +1,67 @@
+//! MiniMD proxy: Lennard-Jones molecular dynamics with an instrumented force
+//! kernel.
+//!
+//! The Mantevo MiniMD mini-app (a LAMMPS kernel proxy) integrates an FCC
+//! lattice of LJ particles with velocity Verlet; the paper times the
+//! **Lennard-Jones forcing function**, "the most computationally intensive
+//! section of the application". Our port keeps the pieces that shape the
+//! timed loop's per-thread work: reduced LJ units, periodic boundaries,
+//! cell-binned full neighbor lists with a skin distance, and a force loop
+//! statically partitioned over atoms.
+//!
+//! Modules: [`lattice`] (FCC setup + seeded velocities), [`neighbor`]
+//! (cell-list neighbor search), [`sim`] (the Verlet driver implementing
+//! [`crate::ProxyApp`]).
+
+pub mod lattice;
+pub mod neighbor;
+pub mod sim;
+
+pub use sim::{MiniMd, MiniMdParams};
+
+/// A 3-vector of `f64` (position / velocity / force).
+pub type V3 = [f64; 3];
+
+/// Minimum-image displacement `a − b` in a periodic box of side lengths
+/// `box_len` (each component folded into `[-L/2, L/2)`).
+#[inline]
+pub fn min_image(a: V3, b: V3, box_len: V3) -> V3 {
+    let mut d = [a[0] - b[0], a[1] - b[1], a[2] - b[2]];
+    for (x, &l) in d.iter_mut().zip(box_len.iter()) {
+        if *x >= 0.5 * l {
+            *x -= l;
+        } else if *x < -0.5 * l {
+            *x += l;
+        }
+    }
+    d
+}
+
+/// Squared length of a 3-vector.
+#[inline]
+pub fn norm2(v: V3) -> f64 {
+    v[0] * v[0] + v[1] * v[1] + v[2] * v[2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_image_folds_components() {
+        let l = [10.0, 10.0, 10.0];
+        let d = min_image([9.5, 0.0, 0.0], [0.5, 0.0, 0.0], l);
+        assert_eq!(d[0], -1.0, "wraps across the boundary");
+        let d = min_image([3.0, 0.0, 0.0], [1.0, 0.0, 0.0], l);
+        assert_eq!(d[0], 2.0, "short displacement untouched");
+        // Exactly +L/2 folds to -L/2 (half-open convention).
+        let d = min_image([5.0, 0.0, 0.0], [0.0, 0.0, 0.0], l);
+        assert_eq!(d[0], -5.0);
+    }
+
+    #[test]
+    fn norm2_matches_hand_value() {
+        assert_eq!(norm2([1.0, 2.0, 2.0]), 9.0);
+        assert_eq!(norm2([0.0; 3]), 0.0);
+    }
+}

@@ -1,0 +1,18 @@
+//! MiniQMC proxy: quantum Monte Carlo "movers" with tricubic B-spline
+//! wavefunction evaluation.
+//!
+//! MiniQMC (the QMCPACK mini-app) advances a population of *walkers*, each an
+//! electron configuration, by drift–diffusion Metropolis moves. The dominant
+//! kernel is the 3-D cubic B-spline evaluation of the single-particle
+//! orbitals, plus a two-body Jastrow correlation factor. The paper times "the
+//! entirety of the computation for the individual threaded movers" — here,
+//! each thread moves its static block of walkers.
+//!
+//! Modules: [`spline`] (periodic tricubic B-spline), [`jastrow`] (two-body
+//! correlation), [`mover`] (walkers + the [`crate::ProxyApp`] driver).
+
+pub mod jastrow;
+pub mod mover;
+pub mod spline;
+
+pub use mover::{MiniQmc, MiniQmcParams};

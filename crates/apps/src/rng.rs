@@ -1,0 +1,87 @@
+//! Minimal deterministic RNG shared by the app kernels.
+//!
+//! The apps only need reproducible initial conditions and Metropolis draws;
+//! SplitMix64 is tiny, seedable, and has no external dependency, keeping
+//! trajectories bit-identical across platforms and `rand`-crate versions.
+
+/// SplitMix64 generator (public-domain algorithm by Sebastiano Vigna).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeds the generator (any value is valid).
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// One standard-normal draw (Marsaglia polar method).
+    pub fn next_gaussian(&mut self) -> f64 {
+        loop {
+            let u = 2.0 * self.next_f64() - 1.0;
+            let v = 2.0 * self.next_f64() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                return u * (-2.0 * s.ln() / s).sqrt();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SplitMix64::new(9);
+        let mut b = SplitMix64::new(9);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn uniform_range_and_mean() {
+        let mut rng = SplitMix64::new(3);
+        let mut sum = 0.0;
+        for _ in 0..20_000 {
+            let u = rng.next_f64();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / 20_000.0;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = SplitMix64::new(11);
+        let (mut sum, mut sum2) = (0.0, 0.0);
+        const N: usize = 50_000;
+        for _ in 0..N {
+            let g = rng.next_gaussian();
+            sum += g;
+            sum2 += g * g;
+        }
+        let mean = sum / N as f64;
+        let var = sum2 / N as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+}

@@ -1,0 +1,97 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out.
+//!
+//! * **Scheduling policy** — the paper's apps use the default static
+//!   schedule; how much does the policy change fork/join makespan under the
+//!   MiniFE-style imbalanced loop (200 planes, uneven cost)?
+//! * **Laggard threshold** — §4.2 picks 1 ms ("≈ 5% slower than the median");
+//!   the census cost and classification are swept across thresholds.
+//! * **σ jitter** — the MiniQMC mechanism: how the per-iteration scale jitter
+//!   changes the normality-battery cost/behaviour.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ebird_analysis::laggard::laggard_census;
+use ebird_bench::{synthetic_trace, Scale, DEFAULT_SEED};
+use ebird_cluster::SyntheticApp;
+use ebird_runtime::Pool;
+use std::hint::black_box;
+
+/// MiniFE-like imbalanced work: plane `i` costs `(1 + i mod 7)` units.
+fn plane_work(i: usize) -> u64 {
+    let mut acc = 0u64;
+    for k in 0..(1 + (i % 7) as u64) * 400 {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+    }
+    acc
+}
+
+fn bench_schedules(c: &mut Criterion) {
+    let pool = Pool::new(2);
+    const PLANES: usize = 200;
+    let mut g = c.benchmark_group("ablation_schedule");
+    g.bench_function("static_block", |b| {
+        b.iter(|| {
+            pool.parallel_for_static(PLANES, |i, _| {
+                black_box(plane_work(i));
+            })
+        })
+    });
+    g.bench_function("dynamic_chunk4", |b| {
+        b.iter(|| {
+            pool.parallel_for_dynamic(PLANES, 4, |i, _| {
+                black_box(plane_work(i));
+            })
+        })
+    });
+    g.bench_function("guided_min4", |b| {
+        b.iter(|| {
+            pool.parallel_for_guided(PLANES, 4, |i, _| {
+                black_box(plane_work(i));
+            })
+        })
+    });
+    g.finish();
+}
+
+fn bench_laggard_threshold(c: &mut Criterion) {
+    let trace = synthetic_trace(&SyntheticApp::minife(), Scale::Ci, DEFAULT_SEED);
+    let mut g = c.benchmark_group("ablation_laggard_threshold");
+    for threshold in [0.25f64, 1.0, 4.0] {
+        g.bench_function(format!("census_at_{threshold}ms"), |b| {
+            b.iter(|| black_box(laggard_census(&trace, threshold)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sigma_jitter(c: &mut Criterion) {
+    use ebird_stats::normality::{shapiro_wilk::ShapiroWilk, NormalityTest};
+    let mut g = c.benchmark_group("ablation_sigma_jitter");
+    for jitter in [0.0f64, 0.2] {
+        let mut model = SyntheticApp::miniqmc().model().clone();
+        model.phases[0].sigma_jitter_lognorm = jitter;
+        let app = ebird_cluster::synthetic::SyntheticApp::from_model(model);
+        g.bench_function(format!("qmc_sw_jitter_{jitter}"), |b| {
+            b.iter(|| {
+                let ms = app.process_iteration_ms(3, 0, 0, 10, 48);
+                black_box(ShapiroWilk.test(&ms).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_schedules, bench_laggard_threshold, bench_sigma_jitter
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Early-bird delivery benchmarks (Figures 1–2 model): simulation throughput
+//! per strategy on each application's arrival shape, over both link models.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ebird_cluster::SyntheticApp;
+use ebird_partcomm::{compare_strategies, simulate, LinkModel, Strategy};
+use std::hint::black_box;
+
+const BUF: usize = 8_000_000;
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("earlybird");
+    for app in SyntheticApp::all() {
+        let arrivals = app.process_iteration_ms(7, 0, 0, 30, 48);
+        let link = LinkModel::omni_path();
+        g.bench_function(format!("{}_bulk", app.name()), |b| {
+            b.iter(|| black_box(simulate(&arrivals, BUF, &link, Strategy::Bulk)))
+        });
+        g.bench_function(format!("{}_early_bird", app.name()), |b| {
+            b.iter(|| black_box(simulate(&arrivals, BUF, &link, Strategy::EarlyBird)))
+        });
+        g.bench_function(format!("{}_timeout_flush", app.name()), |b| {
+            b.iter(|| {
+                black_box(simulate(
+                    &arrivals,
+                    BUF,
+                    &link,
+                    Strategy::TimeoutFlush { timeout_ms: 0.5 },
+                ))
+            })
+        });
+        g.bench_function(format!("{}_all_strategies", app.name()), |b| {
+            b.iter(|| black_box(compare_strategies(&arrivals, BUF, &link)))
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_strategies
+}
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Figure-pipeline benchmarks: one benchmark per paper figure family,
+//! measuring the full build of that figure's data from a campaign trace.
+//!
+//! Regenerating the actual figures: `cargo run -p ebird-bench --bin repro
+//! --release -- all --csv-dir out/`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ebird_analysis::figures::{self, bins};
+use ebird_analysis::laggard::laggard_census;
+use ebird_analysis::percentile_series::percentile_series;
+use ebird_analysis::reclaim::reclaim_metrics;
+use ebird_bench::{synthetic_trace, Scale, DEFAULT_SEED};
+use ebird_cluster::SyntheticApp;
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let fe = synthetic_trace(&SyntheticApp::minife(), Scale::Ci, DEFAULT_SEED);
+    let md = synthetic_trace(&SyntheticApp::minimd(), Scale::Ci, DEFAULT_SEED);
+    let qmc = synthetic_trace(&SyntheticApp::miniqmc(), Scale::Ci, DEFAULT_SEED);
+
+    let mut g = c.benchmark_group("figures");
+    // Figure 3: application-level histograms at 10 µs bins.
+    g.bench_function("fig3_histograms", |b| {
+        b.iter(|| {
+            for tr in [&fe, &md, &qmc] {
+                black_box(figures::fig3(tr, "fig3"));
+            }
+        })
+    });
+    // Figures 4/6/8: per-iteration percentile series.
+    g.bench_function("fig4_percentile_series_minife", |b| {
+        b.iter(|| black_box(percentile_series(&fe)))
+    });
+    g.bench_function("fig6_percentile_series_minimd", |b| {
+        b.iter(|| black_box(percentile_series(&md)))
+    });
+    g.bench_function("fig8_percentile_series_miniqmc", |b| {
+        b.iter(|| black_box(percentile_series(&qmc)))
+    });
+    // Figures 5/7/9: laggard census + exemplar histogram selection.
+    g.bench_function("fig5_census_and_exemplars", |b| {
+        b.iter(|| {
+            let census = laggard_census(&fe, 1.0);
+            black_box(figures::class_exemplar_pair(
+                &fe,
+                &census,
+                0,
+                bins::FIG5_MS,
+                "fig5",
+            ))
+        })
+    });
+    g.bench_function("fig9_exemplar_miniqmc", |b| {
+        b.iter(|| {
+            let census = laggard_census(&qmc, 1.0);
+            let c = census.iterations[census.iterations.len() / 2];
+            black_box(figures::process_iteration_histogram(
+                &qmc,
+                c.trial,
+                c.rank,
+                c.iteration,
+                bins::FIG9_MS,
+                "fig9",
+            ))
+        })
+    });
+    // §4.2 metrics.
+    g.bench_function("metrics_reclaim", |b| {
+        b.iter(|| {
+            for tr in [&fe, &md, &qmc] {
+                black_box(reclaim_metrics(tr));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_figures
+}
+criterion_main!(benches);

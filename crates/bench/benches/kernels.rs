@@ -1,0 +1,66 @@
+//! Proxy-application kernel benchmarks: the three timed compute sections the
+//! paper instruments, measured per iteration at test scale.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ebird_apps::{MiniFe, MiniFeParams, MiniMd, MiniMdParams, MiniQmc, MiniQmcParams};
+use ebird_runtime::Pool;
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let pool = Pool::new(2);
+    let mut g = c.benchmark_group("kernels");
+
+    g.bench_function("minife_cg_step", |b| {
+        b.iter_batched_ref(
+            || MiniFe::new(MiniFeParams::test_scale()),
+            |fe| fe.step(&pool),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("minimd_verlet_step", |b| {
+        b.iter_batched_ref(
+            || MiniMd::new(MiniMdParams::test_scale()),
+            |md| md.step(&pool),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("miniqmc_mover_step", |b| {
+        b.iter_batched_ref(
+            || MiniQmc::new(MiniQmcParams::test_scale()),
+            |qmc| qmc.step(&pool),
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Serial SpMV row throughput (the innermost timed loop of MiniFE).
+    let fe = MiniFe::new(MiniFeParams::test_scale());
+    let n = fe.dims().nodes();
+    let matrix = ebird_apps::minife::mesh::assemble_stencil(fe.dims());
+    let x = vec![1.0f64; n];
+    g.bench_function("spmv_full_serial", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for r in 0..n {
+                acc += matrix.spmv_row(r, &x);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_kernels
+}
+criterion_main!(benches);

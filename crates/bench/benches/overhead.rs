@@ -1,0 +1,91 @@
+//! Instrumentation-overhead benchmarks — the measurement-validity story.
+//!
+//! The paper's methodology is only sound if stamping is cheap relative to the
+//! ~25 ms compute sections it brackets. These benches pin the cost of one
+//! stamp pair, one timed-region wrap, and the fork/join dispatch of both pool
+//! flavours.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ebird_core::{Clock, IterationCollector, MonotonicClock, TimedRegion, VirtualClock};
+use ebird_runtime::persistent::PersistentPool;
+use ebird_runtime::Pool;
+use std::hint::black_box;
+
+fn bench_stamping(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stamping");
+    let collector = IterationCollector::new(1024, 4);
+
+    // The raw clock read (clock_gettime analogue).
+    let clock = MonotonicClock::new();
+    g.bench_function("monotonic_clock_read", |b| {
+        b.iter(|| black_box(clock.now_ns()))
+    });
+
+    // One enter+exit stamp pair into the lock-free collector.
+    g.bench_function("collector_stamp_pair", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            collector.record_enter(i % 1024, 0, 123);
+            collector.record_exit(i % 1024, 0, 456);
+            i += 1;
+        })
+    });
+
+    // Full TimedRegion::run wrap around an empty body (real clock).
+    let clock_dyn: &dyn Clock = &clock;
+    let region = TimedRegion::new(clock_dyn, &collector);
+    g.bench_function("timed_region_empty_body", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            region.run(i % 1024, 1, || black_box(0u64));
+            i += 1;
+        })
+    });
+
+    // Same with the virtual clock (isolates collector cost from clock cost).
+    let vclock = VirtualClock::new(0);
+    let vclock_dyn: &dyn Clock = &vclock;
+    let vregion = TimedRegion::new(vclock_dyn, &collector);
+    g.bench_function("timed_region_virtual_clock", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            vregion.run(i % 1024, 2, || black_box(0u64));
+            i += 1;
+        })
+    });
+    g.finish();
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("region_dispatch");
+    g.sample_size(10);
+
+    // Scoped pool: spawns threads per region (our OpenMP substitution).
+    let pool = Pool::new(2);
+    g.bench_function("scoped_pool_noop_region", |b| {
+        b.iter(|| pool.region(|_| black_box(())))
+    });
+
+    // Persistent pool: wakes a standing team (the OpenMP-faithful lifetime).
+    let persistent = PersistentPool::new(2);
+    g.bench_function("persistent_pool_noop_region", |b| {
+        b.iter(|| persistent.region(|_, _| black_box(())))
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_stamping, bench_dispatch
+}
+criterion_main!(benches);

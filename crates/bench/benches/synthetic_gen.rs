@@ -1,0 +1,43 @@
+//! Synthetic-generator throughput: how fast the calibrated models produce
+//! campaign data (the paper-scale regeneration budget depends on this).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ebird_cluster::{JobConfig, SyntheticApp};
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("synthetic_generation");
+    let cfg = JobConfig::ci_scale();
+    g.throughput(Throughput::Elements(cfg.total_samples() as u64));
+    for app in SyntheticApp::all() {
+        g.bench_function(format!("{}_ci_campaign", app.name()), |b| {
+            b.iter(|| black_box(app.generate(&cfg, 99)))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("synthetic_process_iteration");
+    g.throughput(Throughput::Elements(48));
+    for app in SyntheticApp::all() {
+        g.bench_function(format!("{}_48_threads", app.name()), |b| {
+            b.iter(|| black_box(app.process_iteration_ms(99, 0, 0, 25, 48)))
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_generation
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Table 1 benchmarks: the three normality tests at the paper's two sample
+//! sizes (48 = process-iteration, 3,840 = application-iteration) and the full
+//! Table 1 construction at CI scale.
+//!
+//! Regenerating the actual table: `cargo run -p ebird-bench --bin repro
+//! --release -- table1`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ebird_analysis::normality::table1;
+use ebird_bench::{all_synthetic_traces, Scale, DEFAULT_SEED};
+use ebird_cluster::SyntheticApp;
+use ebird_stats::normality::{
+    anderson_darling::AndersonDarling, dagostino::DagostinoK2, shapiro_wilk::ShapiroWilk,
+    NormalityTest,
+};
+use std::hint::black_box;
+
+fn sample(n: usize) -> Vec<f64> {
+    // One representative MiniQMC process-iteration, tiled to size n.
+    let base = SyntheticApp::miniqmc().process_iteration_ms(1, 0, 0, 0, 48.min(n));
+    (0..n).map(|i| base[i % base.len()] + (i / base.len()) as f64 * 1e-4).collect()
+}
+
+fn bench_tests(c: &mut Criterion) {
+    let mut g = c.benchmark_group("normality_tests");
+    for n in [48usize, 3840] {
+        let xs = sample(n);
+        g.bench_function(format!("dagostino_n{n}"), |b| {
+            b.iter(|| DagostinoK2.test(black_box(&xs)).unwrap())
+        });
+        g.bench_function(format!("shapiro_wilk_n{n}"), |b| {
+            b.iter(|| ShapiroWilk.test(black_box(&xs)).unwrap())
+        });
+        g.bench_function(format!("anderson_darling_n{n}"), |b| {
+            b.iter(|| AndersonDarling.test(black_box(&xs)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_ci_scale", |b| {
+        b.iter_batched(
+            || all_synthetic_traces(Scale::Ci, DEFAULT_SEED),
+            |traces| table1(traces.iter(), 0.05),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_tests, bench_table1
+}
+criterion_main!(benches);

@@ -1,0 +1,197 @@
+//! `calibrate` — internal tuning harness for the synthetic models.
+//!
+//! Prints, for a parameter grid, the process-iteration normality pass rates
+//! and the shape statistics the models must hit. Used when recalibrating the
+//! models in `ebird-cluster::synthetic`; not part of the reproduction
+//! pipeline itself.
+
+use ebird_cluster::noise::{Contamination, LaggardProcess, Turbulence};
+use ebird_cluster::synthetic::{AppModel, Phase, SyntheticApp};
+use ebird_stats::normality::{
+    anderson_darling::AndersonDarling, dagostino::DagostinoK2, shapiro_wilk::ShapiroWilk,
+    NormalityTest,
+};
+use ebird_stats::percentile::PercentileSummary;
+
+fn pass_rates(app: &SyntheticApp, iters: usize, threads: usize) -> ([f64; 3], f64, f64) {
+    let dag = DagostinoK2;
+    let sw = ShapiroWilk;
+    let ad = AndersonDarling;
+    let mut pass = [0usize; 3];
+    let mut iqr_sum = 0.0;
+    let mut lag = 0usize;
+    for i in 0..iters {
+        let ms = app.process_iteration_ms(99, i / 200, (i / 100) % 2, 19 + i % 180, threads);
+        if let Ok(o) = dag.test(&ms) {
+            pass[0] += o.passes(0.05) as usize;
+        }
+        if let Ok(o) = sw.test(&ms) {
+            pass[1] += o.passes(0.05) as usize;
+        }
+        if let Ok(o) = ad.test(&ms) {
+            pass[2] += o.passes(0.05) as usize;
+        }
+        let s = PercentileSummary::from_sample(&ms).unwrap();
+        iqr_sum += s.iqr();
+        lag += (s.max - s.p50 > 1.0) as usize;
+    }
+    (
+        [
+            pass[0] as f64 / iters as f64 * 100.0,
+            pass[1] as f64 / iters as f64 * 100.0,
+            pass[2] as f64 / iters as f64 * 100.0,
+        ],
+        iqr_sum / iters as f64,
+        lag as f64 / iters as f64 * 100.0,
+    )
+}
+
+fn fe_like(sigma: f64, expo: f64, laggard_rate: f64) -> SyntheticApp {
+    SyntheticApp::from_model(AppModel {
+        name: "MiniFE",
+        rank_speed_sigma: 0.002,
+        iter_wander_ms: 0.05,
+        phases: vec![Phase {
+            from_iteration: 0,
+            median_ms: 26.30,
+            sigma_ms: sigma,
+            sigma_jitter_lognorm: 0.0,
+            uniform_halfwidth_ms: 0.0,
+            early_expo_ms: expo,
+            tail_rate: 0.0,
+            tail_expo_ms: 0.0,
+            laggards: LaggardProcess {
+                rate: laggard_rate,
+                shift_ms: 1.0,
+                mu: 0.2,
+                sigma: 0.8,
+            },
+            turbulence: Turbulence {
+                rate: 0.02,
+                scale_lo: 4.0,
+                scale_hi: 25.0,
+            },
+            contamination: Contamination::off(),
+        }],
+    })
+}
+
+fn md_like(sigma: f64, contam_rate: f64, contam_scale: f64) -> SyntheticApp {
+    SyntheticApp::from_model(AppModel {
+        name: "MiniMD",
+        rank_speed_sigma: 0.002,
+        iter_wander_ms: 0.03,
+        phases: vec![Phase {
+            from_iteration: 0,
+            median_ms: 24.74,
+            sigma_ms: sigma,
+            sigma_jitter_lognorm: 0.0,
+            uniform_halfwidth_ms: 0.0,
+            early_expo_ms: 0.0,
+            tail_rate: 0.0,
+            tail_expo_ms: 0.0,
+            laggards: LaggardProcess {
+                rate: 0.048,
+                shift_ms: 1.0,
+                mu: 0.3,
+                sigma: 0.9,
+            },
+            turbulence: Turbulence {
+                rate: 0.008,
+                scale_lo: 20.0,
+                scale_hi: 50.0,
+            },
+            contamination: Contamination {
+                rate: contam_rate,
+                scale: contam_scale,
+            },
+        }],
+    })
+}
+
+fn qmc_like(sigma: f64, sigma_jitter: f64) -> SyntheticApp {
+    SyntheticApp::from_model(AppModel {
+        name: "MiniQMC",
+        rank_speed_sigma: 0.001,
+        iter_wander_ms: 0.3,
+        phases: vec![Phase {
+            from_iteration: 0,
+            median_ms: 60.91,
+            sigma_ms: sigma,
+            sigma_jitter_lognorm: sigma_jitter,
+            uniform_halfwidth_ms: 0.0,
+            early_expo_ms: 0.0,
+            tail_rate: 0.0,
+            tail_expo_ms: 0.0,
+            laggards: LaggardProcess::off(),
+            turbulence: Turbulence::off(),
+            contamination: Contamination::off(),
+        }],
+    })
+}
+
+/// App-iteration-level pass rates: pools `ranks_trials` process-iterations
+/// of 48 threads per "iteration" (paper: 80 × 48 = 3,840 samples).
+fn app_iter_pass_rates(app: &SyntheticApp, iterations: usize) -> [f64; 3] {
+    let dag = DagostinoK2;
+    let sw = ShapiroWilk;
+    let ad = AndersonDarling;
+    let mut pass = [0usize; 3];
+    for iter in 0..iterations {
+        let mut pooled = Vec::with_capacity(3840);
+        for trial in 0..10 {
+            for rank in 0..8 {
+                pooled.extend(app.process_iteration_ms(99, trial, rank, 19 + iter, 48));
+            }
+        }
+        pass[0] += dag.test(&pooled).map(|o| o.passes(0.05)).unwrap_or(false) as usize;
+        pass[1] += sw.test(&pooled).map(|o| o.passes(0.05)).unwrap_or(false) as usize;
+        pass[2] += ad.test(&pooled).map(|o| o.passes(0.05)).unwrap_or(false) as usize;
+    }
+    [
+        pass[0] as f64 / iterations as f64 * 100.0,
+        pass[1] as f64 / iterations as f64 * 100.0,
+        pass[2] as f64 / iterations as f64 * 100.0,
+    ]
+}
+
+fn main() {
+    const N: usize = 3000;
+    println!("MiniFE grid (target pass 3/<1/<1, IQR 0.18, laggard 22.4%):");
+    for (sigma, expo) in [
+        (0.03, 0.14),
+        (0.03, 0.16),
+        (0.03, 0.17),
+        (0.02, 0.17),
+        (0.03, 0.18),
+        (0.04, 0.18),
+    ] {
+        let ([d, s, a], iqr, lag) = pass_rates(&fe_like(sigma, expo, 0.205), N, 48);
+        println!(
+            "  sigma={sigma:.2} expo={expo:.2}: pass {d:5.1}/{s:5.1}/{a:5.1}%  IQR {iqr:.3}  laggard {lag:4.1}%"
+        );
+    }
+    println!("MiniMD grid (target pass 77/74/76, IQR 0.15, laggard 4.8%):");
+    for (contam_rate, contam_scale) in [
+        (0.045, 2.3),
+        (0.05, 2.2),
+        (0.04, 2.4),
+        (0.06, 2.2),
+        (0.05, 2.3),
+        (0.055, 2.25),
+    ] {
+        let ([d, s, a], iqr, lag) = pass_rates(&md_like(0.111, contam_rate, contam_scale), N, 48);
+        println!(
+            "  rate={contam_rate:.3} scale={contam_scale:.2}: pass {d:5.1}/{s:5.1}/{a:5.1}%  IQR {iqr:.3}  laggard {lag:4.1}%"
+        );
+    }
+    println!("MiniQMC grid (target process pass 95/96/96, IQR 9.05, app-iter pass ≈ 4/0/0%):");
+    for sigma_jitter in [0.0, 0.10, 0.15, 0.20, 0.25] {
+        let app = qmc_like(6.71, sigma_jitter);
+        let ([d, s, a], iqr, _) = pass_rates(&app, N, 48);
+        let [di, si, ai] = app_iter_pass_rates(&app, 150);
+        println!(
+            "  jitter={sigma_jitter:.2}: process {d:5.1}/{s:5.1}/{a:5.1}%  IQR {iqr:.3}  app-iter {di:5.1}/{si:5.1}/{ai:5.1}%"
+        );
+    }
+}

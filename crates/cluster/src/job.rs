@@ -1,0 +1,94 @@
+//! Campaign configuration: how many trials, ranks, iterations and threads.
+
+use ebird_core::TraceShape;
+use serde::{Deserialize, Serialize};
+
+/// A measurement campaign configuration (the paper: 10 trials × 8 ranks ×
+/// 200 iterations × 48 threads per application).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobConfig {
+    /// Job repetitions.
+    pub trials: usize,
+    /// Ranks (MPI-process analogues) per job.
+    pub ranks: usize,
+    /// Application iterations per run.
+    pub iterations: usize,
+    /// Threads per rank.
+    pub threads: usize,
+}
+
+impl JobConfig {
+    /// Creates a config; all dimensions must be ≥ 1.
+    pub fn new(trials: usize, ranks: usize, iterations: usize, threads: usize) -> Self {
+        assert!(
+            trials >= 1 && ranks >= 1 && iterations >= 1 && threads >= 1,
+            "all campaign dimensions must be ≥ 1"
+        );
+        JobConfig {
+            trials,
+            ranks,
+            iterations,
+            threads,
+        }
+    }
+
+    /// The paper's full-scale campaign: 10 × 8 × 200 × 48.
+    pub fn paper_scale() -> Self {
+        JobConfig::new(10, 8, 200, 48)
+    }
+
+    /// A laptop-friendly scale that keeps every structural feature (enough
+    /// iterations for both MiniMD phases, multiple ranks/trials for the
+    /// aggregation levels): 2 × 2 × 50 × 8.
+    pub fn ci_scale() -> Self {
+        JobConfig::new(2, 2, 50, 8)
+    }
+
+    /// The corresponding trace shape.
+    pub fn shape(&self) -> TraceShape {
+        TraceShape::new(self.trials, self.ranks, self.iterations, self.threads)
+            .expect("validated nonzero in constructor")
+    }
+
+    /// Total samples the campaign yields.
+    pub fn total_samples(&self) -> usize {
+        self.shape().total_samples()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_matches_the_paper() {
+        let cfg = JobConfig::paper_scale();
+        assert_eq!(cfg.total_samples(), 768_000);
+        assert_eq!(cfg.shape().process_iterations(), 16_000);
+        assert_eq!(cfg.shape().samples_per_app_iteration(), 3_840);
+    }
+
+    #[test]
+    fn shape_roundtrip() {
+        let cfg = JobConfig::new(3, 4, 5, 6);
+        let s = cfg.shape();
+        assert_eq!(
+            (s.trials, s.ranks, s.iterations, s.threads),
+            (3, 4, 5, 6)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "≥ 1")]
+    fn zero_dimension_rejected() {
+        JobConfig::new(1, 0, 1, 1);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let cfg = JobConfig::ci_scale();
+        let s = serde_json::to_string(&cfg).unwrap();
+        let back: JobConfig = serde_json::from_str(&s).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

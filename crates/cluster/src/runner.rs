@@ -1,0 +1,156 @@
+//! Campaign runner for the *real* proxy applications.
+//!
+//! Reproduces the paper's experimental procedure on live code: for each trial
+//! and each rank, build a fresh application instance, run `iterations`
+//! instrumented iterations on a thread pool, and drain the per-thread stamps
+//! into the campaign's [`TimingTrace`].
+//!
+//! Ranks run sequentially inside one process. The measured compute sections
+//! never communicate (the paper's apps only message *between* sections), so
+//! rank-level concurrency would only add host-scheduler interference to the
+//! measurements without changing what is measured.
+
+use ebird_core::{Clock, IterationCollector, MonotonicClock, TimedRegion, TimingTrace};
+use ebird_runtime::Pool;
+
+use crate::job::JobConfig;
+
+/// Errors from a real-application campaign.
+#[derive(Debug)]
+pub enum RunnerError {
+    /// An application instance failed its post-run invariant check.
+    AppInvariant {
+        /// Trial index of the failing instance.
+        trial: usize,
+        /// Rank index of the failing instance.
+        rank: usize,
+        /// The application's description of the violation.
+        message: String,
+    },
+    /// Trace plumbing failed (shape mismatch etc.).
+    Core(ebird_core::CoreError),
+}
+
+impl std::fmt::Display for RunnerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunnerError::AppInvariant {
+                trial,
+                rank,
+                message,
+            } => write!(f, "app invariant violated at trial {trial} rank {rank}: {message}"),
+            RunnerError::Core(e) => write!(f, "trace error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunnerError {}
+
+impl From<ebird_core::CoreError> for RunnerError {
+    fn from(e: ebird_core::CoreError) -> Self {
+        RunnerError::Core(e)
+    }
+}
+
+/// Runs a full campaign of a real application.
+///
+/// `factory(trial, rank)` builds one application instance per (trial, rank)
+/// pair — instances must be independent, like separate MPI processes. The
+/// returned trace has shape `cfg.shape()` and the application name of the
+/// first instance.
+///
+/// # Errors
+/// [`RunnerError::AppInvariant`] if any instance fails [`ProxyApp::verify`]
+/// after its run; [`RunnerError::Core`] on trace plumbing failures.
+///
+/// [`ProxyApp::verify`]: ebird_apps::ProxyApp::verify
+pub fn run_real_campaign<F>(cfg: &JobConfig, mut factory: F) -> Result<TimingTrace, RunnerError>
+where
+    F: FnMut(usize, usize) -> Box<dyn ebird_apps::ProxyApp>,
+{
+    let mut trace: Option<TimingTrace> = None;
+    let pool = Pool::new(cfg.threads);
+    for trial in 0..cfg.trials {
+        for rank in 0..cfg.ranks {
+            let mut app = factory(trial, rank);
+            if trace.is_none() {
+                trace = Some(TimingTrace::new(app.name(), cfg.shape()));
+            }
+            let clock = MonotonicClock::new();
+            let clock_dyn: &dyn Clock = &clock;
+            let collector = IterationCollector::new(cfg.iterations, cfg.threads);
+            let region = TimedRegion::new(clock_dyn, &collector);
+            for iteration in 0..cfg.iterations {
+                app.timed_step(&pool, &region, iteration);
+            }
+            app.verify().map_err(|message| RunnerError::AppInvariant {
+                trial,
+                rank,
+                message,
+            })?;
+            collector.drain_into(trace.as_mut().expect("initialized above"), trial, rank)?;
+        }
+    }
+    Ok(trace.expect("cfg dimensions are ≥ 1"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebird_apps::{MiniFe, MiniFeParams, MiniMd, MiniMdParams, MiniQmc, MiniQmcParams};
+
+    #[test]
+    fn minife_campaign_produces_complete_trace() {
+        let cfg = JobConfig::new(1, 2, 3, 2);
+        let trace = run_real_campaign(&cfg, |_, _| {
+            Box::new(MiniFe::new(MiniFeParams::test_scale()))
+        })
+        .unwrap();
+        assert_eq!(trace.app(), "MiniFE");
+        assert_eq!(trace.shape(), cfg.shape());
+        trace.validate().unwrap();
+        // Every sample must be a real measurement (> 0 compute time).
+        assert!(trace.samples().iter().all(|s| s.compute_time_ns() > 0));
+    }
+
+    #[test]
+    fn minimd_campaign_runs() {
+        let cfg = JobConfig::new(1, 1, 4, 2);
+        let trace = run_real_campaign(&cfg, |_, _| {
+            let mut p = MiniMdParams::test_scale();
+            p.seed = 99;
+            Box::new(MiniMd::new(p))
+        })
+        .unwrap();
+        assert_eq!(trace.app(), "MiniMD");
+        assert!(trace.samples().iter().all(|s| s.compute_time_ns() > 0));
+    }
+
+    #[test]
+    fn miniqmc_campaign_runs() {
+        let cfg = JobConfig::new(1, 1, 3, 2);
+        let trace = run_real_campaign(&cfg, |trial, rank| {
+            let mut p = MiniQmcParams::test_scale();
+            p.seed = 1000 + (trial * 10 + rank) as u64;
+            Box::new(MiniQmc::new(p))
+        })
+        .unwrap();
+        assert_eq!(trace.app(), "MiniQMC");
+        assert!(trace.samples().iter().all(|s| s.compute_time_ns() > 0));
+    }
+
+    #[test]
+    fn factory_sees_every_trial_rank_pair() {
+        let cfg = JobConfig::new(2, 3, 1, 1);
+        let mut seen = Vec::new();
+        let _ = run_real_campaign(&cfg, |t, r| {
+            seen.push((t, r));
+            Box::new(MiniFe::new(MiniFeParams::test_scale()))
+        })
+        .unwrap();
+        assert_eq!(
+            seen,
+            vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
+        );
+    }
+}

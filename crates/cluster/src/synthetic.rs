@@ -1,0 +1,544 @@
+//! Calibrated synthetic per-application thread-timing generators.
+//!
+//! **This module is the documented substitution for the paper's cluster.**
+//! The paper's data comes from 48-thread runs on 2 × 24-core Cascade Lake
+//! nodes; this workspace runs anywhere (CI included), so paper-scale arrival
+//! *shapes* are regenerated from seeded generative models instead of
+//! wall-clock measurement. Each model is mechanistic — its components map to
+//! causes the paper names — and calibrated against every distribution-shape
+//! statistic reported in Section 4:
+//!
+//! | App | Mechanisms | Calibration targets |
+//! |---|---|---|
+//! | MiniFE | tight gaussian core **minus** an exponential early-arrival component (static-schedule work imbalance: early finishers are common, per §4.2.1); Bernoulli laggards; rare turbulence | median 26.30 ms, IQR ≈ 0.18 ms (max ≈ 4.24), laggards in ≈ 22.4% of process-iterations, Table 1 pass ≈ 3%/<1%/<1% |
+//! | MiniMD | two phases at iteration 19: wide uniform spread (un-equilibrated lattice) then a tight gaussian with heavy-tail contamination, sporadic high-magnitude laggards | phase-1 IQR ≈ 0.93 ms (median 25–26 ms), steady median 24.74 ms, IQR ≈ 0.15 ms, laggards ≈ 4.8%, Table 1 pass ≈ 74–77% |
+//! | MiniQMC | wide gaussian per-thread work variance (per-walker Metropolis histories) with per-process-iteration scale jitter | median 60.91 ms, IQR ≈ 9.05 ms, Table 1 pass ≈ 95–96%, app-iteration level still rejecting |
+//!
+//! The reclaimable-time and idle-ratio columns of §4.2 are **not** calibration
+//! targets: the paper's reported values cannot be reconciled with its own
+//! medians and IQRs under its stated definitions (e.g. a 0.50 idle ratio
+//! requires the mean arrival to be half the maximum, impossible with a
+//! 0.15 ms IQR around a 24.74 ms median). We compute those metrics from their
+//! *definitions* and report the divergence in EXPERIMENTS.md.
+//!
+//! Determinism: every sample is derived from `(seed, app, trial, rank,
+//! iteration)` through hash-seeded [`Rng64`] streams, so any sub-range of a
+//! campaign can be regenerated independently and bit-identically.
+
+use ebird_core::{ThreadSample, TimingTrace};
+use ebird_stats::dist::{Exponential, Normal, Rng64, Sample, Uniform};
+use serde::{Deserialize, Serialize};
+
+use crate::job::JobConfig;
+use crate::noise::{Contamination, LaggardProcess, Turbulence};
+
+/// One regime of an application's arrival behaviour (MiniMD has two).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// First iteration (0-based) this phase governs.
+    pub from_iteration: usize,
+    /// Median thread compute time (ms).
+    pub median_ms: f64,
+    /// Gaussian jitter σ (ms).
+    pub sigma_ms: f64,
+    /// Log-σ of a per-process-iteration multiplicative jitter on `sigma_ms`
+    /// (0 disables). Within one process-iteration the scale is constant, so
+    /// group-level normality is untouched; pooled aggregation levels become
+    /// scale mixtures with elevated kurtosis — the mechanism that makes
+    /// MiniQMC reject at the application-iteration level while ~95% of its
+    /// process-iterations stay normal (§4.1).
+    pub sigma_jitter_lognorm: f64,
+    /// Half-width of an additional uniform spread (ms); 0 disables.
+    pub uniform_halfwidth_ms: f64,
+    /// Mean of an exponential *early-arrival* component subtracted from each
+    /// thread (ms); 0 disables. Models static-schedule work imbalance.
+    pub early_expo_ms: f64,
+    /// Probability a thread draws an additive exponential tail.
+    pub tail_rate: f64,
+    /// Mean of that additive tail (ms).
+    pub tail_expo_ms: f64,
+    /// Laggard injection for this phase.
+    pub laggards: LaggardProcess,
+    /// Whole-iteration variance inflation for this phase.
+    pub turbulence: Turbulence,
+    /// Per-thread heavy-tail contamination for this phase.
+    pub contamination: Contamination,
+}
+
+/// A complete per-application generative model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppModel {
+    /// Application name ("MiniFE", "MiniMD", "MiniQMC").
+    pub name: &'static str,
+    /// σ of the persistent per-(trial, rank) multiplicative speed factor
+    /// (hardware heterogeneity across nodes/sockets).
+    pub rank_speed_sigma: f64,
+    /// σ of the per-process-iteration base wander (ms).
+    pub iter_wander_ms: f64,
+    /// Phases ordered by `from_iteration`; the first must start at 0.
+    pub phases: Vec<Phase>,
+}
+
+impl AppModel {
+    /// The phase governing `iteration`.
+    pub fn phase_for(&self, iteration: usize) -> &Phase {
+        self.phases
+            .iter()
+            .rev()
+            .find(|p| p.from_iteration <= iteration)
+            .expect("first phase starts at 0")
+    }
+}
+
+/// A synthetic application: a named, calibrated [`AppModel`] that can
+/// generate full campaign traces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticApp {
+    model: AppModel,
+}
+
+/// Domain-separation constants for the hash-seeded RNG streams.
+const STREAM_SAMPLES: u64 = 0x01;
+const STREAM_RANK_FACTOR: u64 = 0x02;
+
+/// Mixes words into a single 64-bit seed (SplitMix64 finalizer chain).
+fn mix(words: &[u64]) -> u64 {
+    let mut h = 0x9E37_79B9_7F4A_7C15u64;
+    for &w in words {
+        h ^= w.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+    }
+    h
+}
+
+impl SyntheticApp {
+    /// Wraps a custom model.
+    pub fn from_model(model: AppModel) -> Self {
+        assert!(
+            model.phases.first().map(|p| p.from_iteration) == Some(0),
+            "first phase must start at iteration 0"
+        );
+        assert!(
+            model.phases.windows(2).all(|w| w[0].from_iteration < w[1].from_iteration),
+            "phases must be strictly ordered"
+        );
+        SyntheticApp { model }
+    }
+
+    /// The calibrated MiniFE model (see module docs for targets).
+    pub fn minife() -> Self {
+        Self::from_model(AppModel {
+            name: "MiniFE",
+            rank_speed_sigma: 0.002,
+            iter_wander_ms: 0.05,
+            phases: vec![Phase {
+                // 26.42 − ln2·0.17 (the early-arrival component's median
+                // shift) lands the observed median at the paper's 26.30.
+                from_iteration: 0,
+                median_ms: 26.42,
+                sigma_ms: 0.02,
+                sigma_jitter_lognorm: 0.0,
+                uniform_halfwidth_ms: 0.0,
+                early_expo_ms: 0.17,
+                tail_rate: 0.0,
+                tail_expo_ms: 0.0,
+                laggards: LaggardProcess {
+                    rate: 0.205,
+                    shift_ms: 1.0,
+                    mu: 0.2,
+                    sigma: 0.8,
+                },
+                turbulence: Turbulence {
+                    rate: 0.02,
+                    scale_lo: 4.0,
+                    scale_hi: 18.0,
+                },
+                contamination: Contamination::off(),
+            }],
+        })
+    }
+
+    /// The calibrated MiniMD model: wide uniform first phase (iterations
+    /// 0–18), tight contaminated-gaussian steady state with sporadic
+    /// high-magnitude laggards afterwards.
+    pub fn minimd() -> Self {
+        Self::from_model(AppModel {
+            name: "MiniMD",
+            rank_speed_sigma: 0.002,
+            iter_wander_ms: 0.03,
+            phases: vec![
+                Phase {
+                    from_iteration: 0,
+                    median_ms: 25.5,
+                    sigma_ms: 0.05,
+                    sigma_jitter_lognorm: 0.0,
+                    uniform_halfwidth_ms: 0.93,
+                    early_expo_ms: 0.0,
+                    tail_rate: 0.0,
+                    tail_expo_ms: 0.0,
+                    laggards: LaggardProcess::off(),
+                    turbulence: Turbulence::off(),
+                    contamination: Contamination::off(),
+                },
+                Phase {
+                    from_iteration: 19,
+                    median_ms: 24.74,
+                    sigma_ms: 0.111,
+                    sigma_jitter_lognorm: 0.0,
+                    uniform_halfwidth_ms: 0.0,
+                    early_expo_ms: 0.0,
+                    tail_rate: 0.0,
+                    tail_expo_ms: 0.0,
+                    laggards: LaggardProcess {
+                        rate: 0.035,
+                        shift_ms: 1.0,
+                        mu: 0.3,
+                        sigma: 0.9,
+                    },
+                    turbulence: Turbulence {
+                        rate: 0.008,
+                        scale_lo: 15.0,
+                        scale_hi: 35.0,
+                    },
+                    contamination: Contamination {
+                        rate: 0.045,
+                        scale: 2.3,
+                    },
+                },
+            ],
+        })
+    }
+
+    /// The calibrated MiniQMC model: wide per-thread gaussian with a thin
+    /// exponential tail.
+    pub fn miniqmc() -> Self {
+        Self::from_model(AppModel {
+            name: "MiniQMC",
+            rank_speed_sigma: 0.001,
+            iter_wander_ms: 0.3,
+            phases: vec![Phase {
+                from_iteration: 0,
+                median_ms: 60.91,
+                sigma_ms: 6.71,
+                sigma_jitter_lognorm: 0.20,
+                uniform_halfwidth_ms: 0.0,
+                early_expo_ms: 0.0,
+                tail_rate: 0.0,
+                tail_expo_ms: 0.0,
+                laggards: LaggardProcess::off(),
+                turbulence: Turbulence::off(),
+                contamination: Contamination::off(),
+            }],
+        })
+    }
+
+    /// Looks a model up by its paper name (case-insensitive).
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "minife" => Some(Self::minife()),
+            "minimd" => Some(Self::minimd()),
+            "miniqmc" => Some(Self::miniqmc()),
+            _ => None,
+        }
+    }
+
+    /// All three calibrated apps in paper order.
+    pub fn all() -> [Self; 3] {
+        [Self::minife(), Self::minimd(), Self::miniqmc()]
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &AppModel {
+        &self.model
+    }
+
+    /// Application name.
+    pub fn name(&self) -> &'static str {
+        self.model.name
+    }
+
+    fn app_tag(&self) -> u64 {
+        mix(&[self.model.name.len() as u64, self.model.name.as_bytes()[4] as u64])
+    }
+
+    /// Persistent speed factor of `(trial, rank)`.
+    fn rank_factor(&self, seed: u64, trial: usize, rank: usize) -> f64 {
+        let mut rng = Rng64::new(mix(&[
+            seed,
+            self.app_tag(),
+            STREAM_RANK_FACTOR,
+            trial as u64,
+            rank as u64,
+        ]));
+        1.0 + self.model.rank_speed_sigma * Normal::standard_draw(&mut rng)
+    }
+
+    /// Generates the per-thread compute times (ms) of one process-iteration.
+    pub fn process_iteration_ms(
+        &self,
+        seed: u64,
+        trial: usize,
+        rank: usize,
+        iteration: usize,
+        threads: usize,
+    ) -> Vec<f64> {
+        let phase = self.model.phase_for(iteration);
+        let mut rng = Rng64::new(mix(&[
+            seed,
+            self.app_tag(),
+            STREAM_SAMPLES,
+            trial as u64,
+            rank as u64,
+            iteration as u64,
+        ]));
+        let rank_factor = self.rank_factor(seed, trial, rank);
+        let base =
+            phase.median_ms * rank_factor + self.model.iter_wander_ms * Normal::standard_draw(&mut rng);
+        let turb = phase.turbulence.draw(&mut rng);
+        let sigma_scale = if phase.sigma_jitter_lognorm > 0.0 {
+            // Truncated at ±2.5σ: keeps the pooled-kurtosis effect while
+            // bounding the extreme per-iteration IQRs near the paper's max.
+            let z = Normal::standard_draw(&mut rng).clamp(-2.5, 2.5);
+            (phase.sigma_jitter_lognorm * z).exp()
+        } else {
+            1.0
+        };
+        let sigma_eff = phase.sigma_ms * turb * sigma_scale;
+        let mut out = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let mut x = base;
+            x += phase.contamination.jitter(sigma_eff, &mut rng);
+            if phase.uniform_halfwidth_ms > 0.0 {
+                let hw = phase.uniform_halfwidth_ms * turb;
+                x += Uniform::new(-hw, hw).sample(&mut rng);
+            }
+            if phase.early_expo_ms > 0.0 {
+                x -= Exponential::new(1.0 / (phase.early_expo_ms * turb)).sample(&mut rng);
+            }
+            if phase.tail_rate > 0.0 && rng.bernoulli(phase.tail_rate) {
+                x += Exponential::new(1.0 / phase.tail_expo_ms).sample(&mut rng);
+            }
+            // Compute times are physically positive; clamp far below any
+            // calibrated median so the clamp never engages in practice.
+            out.push(x.max(0.01 * phase.median_ms));
+        }
+        if let Some((victim, delay_ms)) = phase.laggards.draw(threads, &mut rng) {
+            out[victim] += delay_ms;
+        }
+        out
+    }
+
+    /// Generates a full campaign trace for `cfg` under `seed`.
+    pub fn generate(&self, cfg: &JobConfig, seed: u64) -> TimingTrace {
+        let shape = cfg.shape();
+        let mut trace = TimingTrace::new(self.model.name, shape);
+        for trial in 0..cfg.trials {
+            for rank in 0..cfg.ranks {
+                for iteration in 0..cfg.iterations {
+                    let ms =
+                        self.process_iteration_ms(seed, trial, rank, iteration, cfg.threads);
+                    let dst = trace
+                        .process_iteration_mut(trial, rank, iteration)
+                        .expect("in range by construction");
+                    for (slot, &v) in dst.iter_mut().zip(&ms) {
+                        *slot = ThreadSample {
+                            enter_ns: 0,
+                            exit_ns: (v * 1.0e6).round() as u64,
+                        };
+                    }
+                }
+            }
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebird_stats::percentile::PercentileSummary;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = JobConfig::new(1, 2, 5, 8);
+        let a = SyntheticApp::minife().generate(&cfg, 42);
+        let b = SyntheticApp::minife().generate(&cfg, 42);
+        assert_eq!(a, b);
+        let c = SyntheticApp::minife().generate(&cfg, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn apps_have_distinct_streams() {
+        let cfg = JobConfig::new(1, 1, 3, 4);
+        let fe = SyntheticApp::minife().generate(&cfg, 1);
+        let md = SyntheticApp::minimd().generate(&cfg, 1);
+        assert_ne!(fe.samples(), md.samples());
+    }
+
+    #[test]
+    fn sub_range_regeneration_matches_campaign() {
+        // Hierarchical seeding: one process-iteration regenerated in
+        // isolation must equal its slice of the full campaign.
+        let cfg = JobConfig::new(2, 2, 6, 8);
+        let app = SyntheticApp::miniqmc();
+        let trace = app.generate(&cfg, 7);
+        let standalone = app.process_iteration_ms(7, 1, 0, 3, 8);
+        let from_trace = trace.process_iteration_ms(1, 0, 3).unwrap();
+        for (a, b) in standalone.iter().zip(&from_trace) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b} (ns rounding only)");
+        }
+    }
+
+    #[test]
+    fn minife_median_and_iqr_bands() {
+        let cfg = JobConfig::new(2, 2, 40, 48);
+        let trace = SyntheticApp::minife().generate(&cfg, 11);
+        let all = trace.all_ms();
+        let s = PercentileSummary::from_sample(&all).unwrap();
+        assert!((s.p50 - 26.30).abs() < 0.3, "median {}", s.p50);
+        // Left skew: early arrivals more common than late (excluding
+        // laggards, p50 − p5 > p95 − p50).
+        assert!(s.p50 - s.p5 > s.p95 - s.p50, "skew direction: {s:?}");
+    }
+
+    #[test]
+    fn minife_per_iteration_iqr_is_tight() {
+        let app = SyntheticApp::minife();
+        // Collect calm-iteration IQRs (turbulence is rare; median over many
+        // iterations is robust to it).
+        let mut iqrs: Vec<f64> = (0..200)
+            .map(|i| {
+                let ms = app.process_iteration_ms(3, 0, 0, i, 48);
+                PercentileSummary::from_sample(&ms).unwrap().iqr()
+            })
+            .collect();
+        iqrs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median_iqr = iqrs[100];
+        assert!(
+            (0.08..0.35).contains(&median_iqr),
+            "typical IQR {median_iqr} (target ≈ 0.18)"
+        );
+    }
+
+    #[test]
+    fn minife_laggard_rate_matches_paper_band() {
+        let app = SyntheticApp::minife();
+        let mut laggards = 0usize;
+        const N: usize = 4000;
+        for i in 0..N {
+            let ms = app.process_iteration_ms(5, i / 200, (i / 100) % 2, i % 200, 48);
+            let s = PercentileSummary::from_sample(&ms).unwrap();
+            if s.max - s.p50 > 1.0 {
+                laggards += 1;
+            }
+        }
+        let rate = laggards as f64 / N as f64;
+        assert!(
+            (0.17..0.29).contains(&rate),
+            "laggard rate {rate} (paper: 0.224)"
+        );
+    }
+
+    #[test]
+    fn minimd_has_two_phases() {
+        let app = SyntheticApp::minimd();
+        let early: Vec<f64> = (0..19)
+            .map(|i| {
+                let ms = app.process_iteration_ms(9, 0, 0, i, 48);
+                PercentileSummary::from_sample(&ms).unwrap().iqr()
+            })
+            .collect();
+        let late: Vec<f64> = (19..100)
+            .map(|i| {
+                let ms = app.process_iteration_ms(9, 0, 0, i, 48);
+                PercentileSummary::from_sample(&ms).unwrap().iqr()
+            })
+            .collect();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let early_mean = mean(&early);
+        // Median of the late IQRs (robust to rare turbulence).
+        let mut l = late.clone();
+        l.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let late_typ = l[l.len() / 2];
+        assert!(
+            (0.6..1.3).contains(&early_mean),
+            "phase-1 IQR {early_mean} (paper ≈ 0.93)"
+        );
+        assert!(
+            (0.08..0.25).contains(&late_typ),
+            "steady IQR {late_typ} (paper ≈ 0.15)"
+        );
+        assert!(early_mean > 3.0 * late_typ, "phase contrast");
+    }
+
+    #[test]
+    fn minimd_laggard_rate_matches_paper_band() {
+        let app = SyntheticApp::minimd();
+        let mut laggards = 0usize;
+        const N: usize = 4000;
+        for i in 0..N {
+            // Steady-state iterations only (the paper's 4.8% covers those).
+            let iter = 19 + (i % 181);
+            let ms = app.process_iteration_ms(13, i / 181, 0, iter, 48);
+            let s = PercentileSummary::from_sample(&ms).unwrap();
+            if s.max - s.p50 > 1.0 {
+                laggards += 1;
+            }
+        }
+        let rate = laggards as f64 / N as f64;
+        assert!(
+            (0.03..0.09).contains(&rate),
+            "laggard rate {rate} (paper: 0.048)"
+        );
+    }
+
+    #[test]
+    fn miniqmc_median_and_iqr_bands() {
+        let cfg = JobConfig::new(1, 2, 30, 48);
+        let trace = SyntheticApp::miniqmc().generate(&cfg, 17);
+        let all = trace.all_ms();
+        let s = PercentileSummary::from_sample(&all).unwrap();
+        assert!((s.p50 - 60.91).abs() < 1.0, "median {}", s.p50);
+        assert!((7.5..11.0).contains(&s.iqr()), "IQR {} (paper 9.05)", s.iqr());
+        // Breadth of arrivals exceeds 30 ms (paper: over 40 ms at full scale).
+        assert!(s.max - s.min > 30.0, "breadth {}", s.max - s.min);
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        assert_eq!(SyntheticApp::by_name("minife").unwrap().name(), "MiniFE");
+        assert_eq!(SyntheticApp::by_name("MiniMD").unwrap().name(), "MiniMD");
+        assert_eq!(SyntheticApp::by_name("MINIQMC").unwrap().name(), "MiniQMC");
+        assert!(SyntheticApp::by_name("hpcg").is_none());
+    }
+
+    #[test]
+    fn phase_lookup() {
+        let md = SyntheticApp::minimd();
+        assert_eq!(md.model().phase_for(0).median_ms, 25.5);
+        assert_eq!(md.model().phase_for(18).median_ms, 25.5);
+        assert_eq!(md.model().phase_for(19).median_ms, 24.74);
+        assert_eq!(md.model().phase_for(199).median_ms, 24.74);
+    }
+
+    #[test]
+    #[should_panic(expected = "first phase must start at iteration 0")]
+    fn model_rejects_late_first_phase() {
+        let mut model = SyntheticApp::minife().model().clone();
+        model.phases[0].from_iteration = 5;
+        SyntheticApp::from_model(model);
+    }
+
+    #[test]
+    fn samples_are_positive_and_monotone() {
+        let cfg = JobConfig::new(1, 1, 20, 16);
+        for app in SyntheticApp::all() {
+            let trace = app.generate(&cfg, 23);
+            trace.validate().unwrap();
+            assert!(trace.samples().iter().all(|s| s.compute_time_ns() > 0));
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Trace persistence: JSON (full fidelity) and CSV (interchange).
+//!
+//! JSON captures the whole [`TimingTrace`] via serde and is the round-trip
+//! format the job runner uses for checkpointing. CSV is the flat
+//! `trial,rank,iteration,thread,enter_ns,exit_ns` table that external plotting
+//! tools (the paper's figures were produced with NumPy/Matplotlib) consume.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::sample::{SampleIndex, ThreadSample};
+use crate::trace::{TimingTrace, TraceShape};
+use crate::CoreError;
+
+/// Writes a trace as JSON to any writer.
+pub fn write_json<W: Write>(trace: &TimingTrace, writer: W) -> Result<(), CoreError> {
+    serde_json::to_writer(writer, trace)?;
+    Ok(())
+}
+
+/// Reads a trace from JSON.
+pub fn read_json<R: Read>(reader: R) -> Result<TimingTrace, CoreError> {
+    Ok(serde_json::from_reader(reader)?)
+}
+
+/// Saves a trace to a JSON file (buffered).
+pub fn save_json(trace: &TimingTrace, path: impl AsRef<Path>) -> Result<(), CoreError> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    write_json(trace, &mut w)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Loads a trace from a JSON file (buffered).
+pub fn load_json(path: impl AsRef<Path>) -> Result<TimingTrace, CoreError> {
+    let file = File::open(path)?;
+    read_json(BufReader::new(file))
+}
+
+/// CSV header used by [`write_csv`].
+pub const CSV_HEADER: &str = "app,trial,rank,iteration,thread,enter_ns,exit_ns,compute_ns";
+
+/// Writes a trace as CSV (one row per sample, header first).
+pub fn write_csv<W: Write>(trace: &TimingTrace, writer: W) -> Result<(), CoreError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "{CSV_HEADER}")?;
+    let shape = trace.shape();
+    for (flat, s) in trace.samples().iter().enumerate() {
+        let idx = shape.unflat(flat);
+        writeln!(
+            w,
+            "{},{},{},{},{},{},{},{}",
+            trace.app(),
+            idx.trial,
+            idx.rank,
+            idx.iteration,
+            idx.thread,
+            s.enter_ns,
+            s.exit_ns,
+            s.compute_time_ns()
+        )?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a CSV produced by [`write_csv`] back into a trace.
+///
+/// The shape is inferred from the maximum index in each dimension, so the file
+/// must contain a complete dense grid (which [`write_csv`] always emits).
+pub fn read_csv<R: Read>(reader: R) -> Result<TimingTrace, CoreError> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| CoreError::Parse("empty CSV".into()))??;
+    if header.trim() != CSV_HEADER {
+        return Err(CoreError::Parse(format!("unexpected header: {header}")));
+    }
+    let mut app: Option<String> = None;
+    let mut rows: Vec<(SampleIndex, ThreadSample)> = Vec::new();
+    let (mut max_t, mut max_r, mut max_i, mut max_th) = (0usize, 0usize, 0usize, 0usize);
+    for (lineno, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 8 {
+            return Err(CoreError::Parse(format!(
+                "line {}: expected 8 fields, got {}",
+                lineno + 2,
+                fields.len()
+            )));
+        }
+        let parse_usize = |s: &str, what: &str| {
+            s.trim().parse::<usize>().map_err(|e| {
+                CoreError::Parse(format!("line {}: bad {what} `{s}`: {e}", lineno + 2))
+            })
+        };
+        let parse_u64 = |s: &str, what: &str| {
+            s.trim().parse::<u64>().map_err(|e| {
+                CoreError::Parse(format!("line {}: bad {what} `{s}`: {e}", lineno + 2))
+            })
+        };
+        match &app {
+            None => app = Some(fields[0].to_string()),
+            Some(a) if a != fields[0] => {
+                return Err(CoreError::Parse(format!(
+                    "line {}: mixed apps `{a}` and `{}`",
+                    lineno + 2,
+                    fields[0]
+                )))
+            }
+            _ => {}
+        }
+        let idx = SampleIndex::new(
+            parse_usize(fields[1], "trial")?,
+            parse_usize(fields[2], "rank")?,
+            parse_usize(fields[3], "iteration")?,
+            parse_usize(fields[4], "thread")?,
+        );
+        let s = ThreadSample {
+            enter_ns: parse_u64(fields[5], "enter_ns")?,
+            exit_ns: parse_u64(fields[6], "exit_ns")?,
+        };
+        max_t = max_t.max(idx.trial);
+        max_r = max_r.max(idx.rank);
+        max_i = max_i.max(idx.iteration);
+        max_th = max_th.max(idx.thread);
+        rows.push((idx, s));
+    }
+    let app = app.ok_or_else(|| CoreError::Parse("CSV has no data rows".into()))?;
+    let shape = TraceShape::new(max_t + 1, max_r + 1, max_i + 1, max_th + 1)?;
+    if rows.len() != shape.total_samples() {
+        return Err(CoreError::Parse(format!(
+            "CSV has {} rows but inferred shape needs {}",
+            rows.len(),
+            shape.total_samples()
+        )));
+    }
+    let mut trace = TimingTrace::new(app, shape);
+    for (idx, s) in rows {
+        trace.set(idx, s)?;
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> TimingTrace {
+        TimingTrace::from_fn(
+            "MiniFE",
+            TraceShape::new(2, 2, 3, 4).unwrap(),
+            |idx| ThreadSample::new(100, 100 + (idx.thread as u64 + 1) * 1000),
+        )
+    }
+
+    #[test]
+    fn json_roundtrip_in_memory() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_json(&trace, &mut buf).unwrap();
+        let back = read_json(&buf[..]).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn json_file_roundtrip() {
+        let dir = std::env::temp_dir().join("ebird_core_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let trace = sample_trace();
+        save_json(&trace, &path).unwrap();
+        let back = load_json(&path).unwrap();
+        assert_eq!(trace, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_csv(&trace, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with(CSV_HEADER));
+        assert_eq!(text.lines().count(), 1 + trace.samples().len());
+        let back = read_csv(&buf[..]).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn csv_rejects_bad_header() {
+        let e = read_csv("nope\n1,2,3\n".as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("unexpected header"));
+    }
+
+    #[test]
+    fn csv_rejects_wrong_field_count() {
+        let data = format!("{CSV_HEADER}\nMiniFE,0,0,0\n");
+        let e = read_csv(data.as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("expected 8 fields"));
+    }
+
+    #[test]
+    fn csv_rejects_unparseable_numbers() {
+        let data = format!("{CSV_HEADER}\nMiniFE,0,0,0,zero,1,2,1\n");
+        let e = read_csv(data.as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("bad thread"));
+    }
+
+    #[test]
+    fn csv_rejects_incomplete_grid() {
+        let data = format!("{CSV_HEADER}\nMiniFE,0,0,0,1,1,2,1\n");
+        // Single row claims thread index 1 exists, so shape needs 2 samples.
+        let e = read_csv(data.as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("rows"));
+    }
+
+    #[test]
+    fn csv_rejects_mixed_apps() {
+        let data = format!("{CSV_HEADER}\nA,0,0,0,0,1,2,1\nB,0,0,0,1,1,2,1\n");
+        let e = read_csv(data.as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("mixed apps"));
+    }
+
+    #[test]
+    fn csv_rejects_empty_input() {
+        assert!(read_csv("".as_bytes()).is_err());
+        let only_header = format!("{CSV_HEADER}\n");
+        assert!(read_csv(only_header.as_bytes()).is_err());
+    }
+}

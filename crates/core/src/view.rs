@@ -1,0 +1,221 @@
+//! Aggregation-level views over a trace.
+//!
+//! The paper analyses thread compute times at three scales (Section 4.1):
+//!
+//! 1. **Application level** — every sample of every trial/rank/iteration
+//!    pooled into one distribution (768,000 values at paper scale);
+//! 2. **Application-iteration level** — one distribution per iteration index,
+//!    pooled across trials and ranks (200 × 3,840 values);
+//! 3. **Process-iteration level** — one distribution per
+//!    `(trial, rank, iteration)` triple (16,000 × 48 values).
+//!
+//! [`AggregationLevel`] names the scale; [`grouped_ms`] materializes the
+//! groups as `f64` milliseconds for the stats layer.
+
+use serde::{Deserialize, Serialize};
+
+use crate::sample::ThreadSample;
+use crate::trace::TimingTrace;
+
+/// The paper's three aggregation scales.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggregationLevel {
+    /// All samples pooled (one group).
+    Application,
+    /// One group per application iteration, pooled across trials and ranks.
+    ApplicationIteration,
+    /// One group per `(trial, rank, iteration)` (one rank's thread pool).
+    ProcessIteration,
+}
+
+impl AggregationLevel {
+    /// Human-readable label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AggregationLevel::Application => "application",
+            AggregationLevel::ApplicationIteration => "application iteration",
+            AggregationLevel::ProcessIteration => "process iteration",
+        }
+    }
+
+    /// How many groups this level yields for a given trace.
+    pub fn group_count(&self, trace: &TimingTrace) -> usize {
+        let s = trace.shape();
+        match self {
+            AggregationLevel::Application => 1,
+            AggregationLevel::ApplicationIteration => s.iterations,
+            AggregationLevel::ProcessIteration => s.process_iterations(),
+        }
+    }
+
+    /// How many samples each group contains.
+    pub fn group_size(&self, trace: &TimingTrace) -> usize {
+        let s = trace.shape();
+        match self {
+            AggregationLevel::Application => s.total_samples(),
+            AggregationLevel::ApplicationIteration => s.samples_per_app_iteration(),
+            AggregationLevel::ProcessIteration => s.threads,
+        }
+    }
+}
+
+/// A group of compute-time samples with its provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleGroup {
+    /// Which aggregation level produced the group.
+    pub level: AggregationLevel,
+    /// Trial index, when the level pins one (process-iteration only).
+    pub trial: Option<usize>,
+    /// Rank index, when pinned (process-iteration only).
+    pub rank: Option<usize>,
+    /// Iteration index, when pinned (app-iteration and process-iteration).
+    pub iteration: Option<usize>,
+    /// Compute times in milliseconds.
+    pub values_ms: Vec<f64>,
+}
+
+/// Materializes all groups of `level` as millisecond samples.
+///
+/// Group ordering is deterministic: application < iteration-major <
+/// (trial, rank, iteration) lexicographic — matching
+/// [`TimingTrace::iter_process_iterations`].
+pub fn grouped_ms(trace: &TimingTrace, level: AggregationLevel) -> Vec<SampleGroup> {
+    match level {
+        AggregationLevel::Application => vec![SampleGroup {
+            level,
+            trial: None,
+            rank: None,
+            iteration: None,
+            values_ms: trace.all_ms(),
+        }],
+        AggregationLevel::ApplicationIteration => (0..trace.shape().iterations)
+            .map(|i| SampleGroup {
+                level,
+                trial: None,
+                rank: None,
+                iteration: Some(i),
+                values_ms: trace.app_iteration_ms(i).expect("iteration in range"),
+            })
+            .collect(),
+        AggregationLevel::ProcessIteration => trace
+            .iter_process_iterations()
+            .map(|(t, r, i, slice)| SampleGroup {
+                level,
+                trial: Some(t),
+                rank: Some(r),
+                iteration: Some(i),
+                values_ms: slice.iter().map(ThreadSample::compute_time_ms).collect(),
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::SampleIndex;
+    use crate::trace::TraceShape;
+
+    fn trace() -> TimingTrace {
+        // compute time encodes its own index for provenance checks:
+        // ns = trial*1e9 + rank*1e6 + iteration*1e3 + thread.
+        TimingTrace::from_fn(
+            "t",
+            TraceShape::new(2, 2, 3, 4).unwrap(),
+            |SampleIndex {
+                 trial,
+                 rank,
+                 iteration,
+                 thread,
+             }| {
+                let ns = trial as u64 * 1_000_000_000
+                    + rank as u64 * 1_000_000
+                    + iteration as u64 * 1_000
+                    + thread as u64;
+                ThreadSample::new(0, ns)
+            },
+        )
+    }
+
+    #[test]
+    fn group_counts_and_sizes() {
+        let tr = trace();
+        assert_eq!(AggregationLevel::Application.group_count(&tr), 1);
+        assert_eq!(AggregationLevel::Application.group_size(&tr), 48);
+        assert_eq!(AggregationLevel::ApplicationIteration.group_count(&tr), 3);
+        assert_eq!(AggregationLevel::ApplicationIteration.group_size(&tr), 16);
+        assert_eq!(AggregationLevel::ProcessIteration.group_count(&tr), 12);
+        assert_eq!(AggregationLevel::ProcessIteration.group_size(&tr), 4);
+    }
+
+    #[test]
+    fn application_level_pools_everything() {
+        let tr = trace();
+        let groups = grouped_ms(&tr, AggregationLevel::Application);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].values_ms.len(), 48);
+        assert_eq!(groups[0].iteration, None);
+    }
+
+    #[test]
+    fn app_iteration_groups_pin_iteration_only() {
+        let tr = trace();
+        let groups = grouped_ms(&tr, AggregationLevel::ApplicationIteration);
+        assert_eq!(groups.len(), 3);
+        for (i, g) in groups.iter().enumerate() {
+            assert_eq!(g.iteration, Some(i));
+            assert_eq!(g.trial, None);
+            assert_eq!(g.values_ms.len(), 16);
+            // Every value in group i encodes iteration i in its µs digit.
+            for &v in &g.values_ms {
+                let ns = (v * 1e6).round() as u64;
+                assert_eq!((ns / 1_000) % 1_000, i as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn process_iteration_groups_pin_all_three() {
+        let tr = trace();
+        let groups = grouped_ms(&tr, AggregationLevel::ProcessIteration);
+        assert_eq!(groups.len(), 12);
+        for g in &groups {
+            let (t, r, i) = (g.trial.unwrap(), g.rank.unwrap(), g.iteration.unwrap());
+            assert_eq!(g.values_ms.len(), 4);
+            for (th, &v) in g.values_ms.iter().enumerate() {
+                let ns = (v * 1e6).round() as u64;
+                assert_eq!(ns % 1_000, th as u64);
+                assert_eq!((ns / 1_000) % 1_000, i as u64);
+                assert_eq!((ns / 1_000_000) % 1_000, r as u64);
+                assert_eq!(ns / 1_000_000_000, t as u64);
+            }
+        }
+        let _ = (groups[0].trial, groups[0].rank);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(AggregationLevel::Application.label(), "application");
+        assert_eq!(
+            AggregationLevel::ApplicationIteration.label(),
+            "application iteration"
+        );
+        assert_eq!(
+            AggregationLevel::ProcessIteration.label(),
+            "process iteration"
+        );
+    }
+
+    #[test]
+    fn total_mass_is_conserved_across_levels() {
+        let tr = trace();
+        for level in [
+            AggregationLevel::Application,
+            AggregationLevel::ApplicationIteration,
+            AggregationLevel::ProcessIteration,
+        ] {
+            let total: usize = grouped_ms(&tr, level).iter().map(|g| g.values_ms.len()).sum();
+            assert_eq!(total, tr.shape().total_samples());
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! The early-bird delivery simulator.
+//!
+//! Takes per-thread arrival times (measured traces or synthetic models),
+//! assigns each thread one buffer partition, and simulates when the complete
+//! buffer is delivered under four strategies:
+//!
+//! * [`Strategy::Bulk`] — the BSP baseline: one message of all bytes,
+//!   injected when the *last* thread arrives (the fork/join path).
+//! * [`Strategy::EarlyBird`] — each partition injected the moment its thread
+//!   arrives (fine-grained partitioned communication, Figure 1).
+//! * [`Strategy::TimeoutFlush`] — the Discussion's proposal for MiniFE-like
+//!   apps: at every `timeout` tick, all ready-but-unsent partitions are
+//!   aggregated into one message (α paid once per flush).
+//! * [`Strategy::Binned`] — the Discussion's aggregation model for
+//!   MiniQMC-like apps: contiguous partition groups; a bin is injected when
+//!   its slowest member arrives.
+//!
+//! The trade-off the paper hypothesizes falls out of the α/β model: with
+//! tight arrivals, early-bird pays `P·α` against bulk's single `α` and
+//! *loses*; with spread arrivals or laggards, early-bird overlaps transfers
+//! with the laggard's compute and wins. The `earlybird_strategies` bench
+//! quantifies this for all three applications' arrival shapes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::netmodel::{LinkModel, SerialLink};
+
+/// A delivery strategy for one partitioned buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// One message after the last arrival.
+    Bulk,
+    /// One message per partition, injected at its thread's arrival.
+    EarlyBird,
+    /// Aggregate ready partitions at every `timeout_ms` tick.
+    TimeoutFlush {
+        /// Flush period (ms). Must be positive.
+        timeout_ms: f64,
+    },
+    /// `bins` contiguous partition groups, each sent when complete.
+    Binned {
+        /// Number of bins (1 = bulk-like, = partitions ⇒ early-bird-like).
+        bins: usize,
+    },
+}
+
+impl Strategy {
+    /// Label for reports and benches.
+    pub fn label(&self) -> String {
+        match self {
+            Strategy::Bulk => "bulk".into(),
+            Strategy::EarlyBird => "early-bird".into(),
+            Strategy::TimeoutFlush { timeout_ms } => format!("timeout({timeout_ms:.3}ms)"),
+            Strategy::Binned { bins } => format!("binned({bins})"),
+        }
+    }
+}
+
+/// Result of simulating one strategy on one arrival set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeliveryOutcome {
+    /// The strategy simulated.
+    pub strategy: Strategy,
+    /// When the complete buffer has been delivered (ms).
+    pub completion_ms: f64,
+    /// When the last thread arrived (the earliest any strategy could finish
+    /// sending the final partition).
+    pub last_arrival_ms: f64,
+    /// Number of messages injected (α count).
+    pub messages: usize,
+    /// Total wire-busy time (ms).
+    pub wire_ms: f64,
+}
+
+impl DeliveryOutcome {
+    /// Time past the last arrival spent finishing delivery — the exposed
+    /// (non-overlapped) communication cost. Bulk exposes the entire
+    /// transfer; a perfect early-bird run exposes only the final partition.
+    pub fn exposed_ms(&self) -> f64 {
+        self.completion_ms - self.last_arrival_ms
+    }
+}
+
+/// Simulates delivering `bytes_total` (split equally over
+/// `arrivals_ms.len()` partitions) through `link` under `strategy`.
+///
+/// `arrivals_ms[i]` is the compute-completion time of thread `i`, which owns
+/// partition `i` — precisely the paper's early-bird model (§2).
+///
+/// # Panics
+/// On empty arrivals, non-finite times, zero bytes, non-positive timeout, or
+/// zero bins.
+pub fn simulate(
+    arrivals_ms: &[f64],
+    bytes_total: usize,
+    link: &LinkModel,
+    strategy: Strategy,
+) -> DeliveryOutcome {
+    assert!(!arrivals_ms.is_empty(), "need at least one arrival");
+    assert!(
+        arrivals_ms.iter().all(|a| a.is_finite() && *a >= 0.0),
+        "arrivals must be finite and non-negative"
+    );
+    assert!(bytes_total >= arrivals_ms.len(), "need ≥ 1 byte per partition");
+    let n = arrivals_ms.len();
+    let last_arrival = arrivals_ms.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let part_bytes = |i: usize| -> usize {
+        // Equal split, remainder on the leading partitions.
+        let q = bytes_total / n;
+        let r = bytes_total % n;
+        if i < r {
+            q + 1
+        } else {
+            q
+        }
+    };
+
+    let mut link_state = SerialLink::new();
+    let (completion, messages) = match strategy {
+        Strategy::Bulk => {
+            let done = link_state.inject(last_arrival, link.transfer_ms(bytes_total));
+            (done, 1)
+        }
+        Strategy::EarlyBird => {
+            // Inject per-partition at arrival, in arrival order.
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&a, &b| {
+                arrivals_ms[a]
+                    .partial_cmp(&arrivals_ms[b])
+                    .expect("finite")
+                    .then(a.cmp(&b))
+            });
+            let mut done = 0.0f64;
+            for &i in &order {
+                done = link_state.inject(arrivals_ms[i], link.transfer_ms(part_bytes(i)));
+            }
+            (done, n)
+        }
+        Strategy::TimeoutFlush { timeout_ms } => {
+            assert!(timeout_ms > 0.0, "timeout must be positive");
+            let mut sent = vec![false; n];
+            let mut done = 0.0f64;
+            let mut messages = 0usize;
+            let mut tick = timeout_ms;
+            loop {
+                let flush_time = tick.min(last_arrival);
+                let group: Vec<usize> = (0..n)
+                    .filter(|&i| !sent[i] && arrivals_ms[i] <= flush_time)
+                    .collect();
+                if !group.is_empty() {
+                    let bytes: usize = group.iter().map(|&i| part_bytes(i)).sum();
+                    done = link_state.inject(flush_time, link.transfer_ms(bytes));
+                    messages += 1;
+                    for i in group {
+                        sent[i] = true;
+                    }
+                }
+                if sent.iter().all(|&s| s) {
+                    break;
+                }
+                tick += timeout_ms;
+            }
+            (done, messages)
+        }
+        Strategy::Binned { bins } => {
+            assert!(bins >= 1 && bins <= n, "bins must be in 1..=partitions");
+            // Contiguous partition groups; bin ready when slowest member is.
+            let mut events: Vec<(f64, usize)> = (0..bins)
+                .map(|b| {
+                    let q = n / bins;
+                    let r = n % bins;
+                    let (start, len) = if b < r {
+                        (b * (q + 1), q + 1)
+                    } else {
+                        (r * (q + 1) + (b - r) * q, q)
+                    };
+                    let ready = arrivals_ms[start..start + len]
+                        .iter()
+                        .copied()
+                        .fold(f64::NEG_INFINITY, f64::max);
+                    let bytes: usize = (start..start + len).map(part_bytes).sum();
+                    (ready, bytes)
+                })
+                .collect();
+            events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+            let mut done = 0.0f64;
+            for (ready, bytes) in &events {
+                done = link_state.inject(*ready, link.transfer_ms(*bytes));
+            }
+            (done, bins)
+        }
+    };
+
+    DeliveryOutcome {
+        strategy,
+        completion_ms: completion,
+        last_arrival_ms: last_arrival,
+        messages,
+        wire_ms: link_state.busy_ms(),
+    }
+}
+
+/// Convenience: simulate all four canonical strategies (timeout = 10% of the
+/// arrival span, bins = √partitions) and return them bulk-first.
+pub fn compare_strategies(
+    arrivals_ms: &[f64],
+    bytes_total: usize,
+    link: &LinkModel,
+) -> Vec<DeliveryOutcome> {
+    let span = {
+        let max = arrivals_ms.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let min = arrivals_ms.iter().copied().fold(f64::INFINITY, f64::min);
+        (max - min).max(1e-6)
+    };
+    let bins = (arrivals_ms.len() as f64).sqrt().round().max(1.0) as usize;
+    [
+        Strategy::Bulk,
+        Strategy::EarlyBird,
+        Strategy::TimeoutFlush {
+            timeout_ms: span / 10.0,
+        },
+        Strategy::Binned { bins },
+    ]
+    .into_iter()
+    .map(|s| simulate(arrivals_ms, bytes_total, link, s))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: usize = 1_000_000;
+
+    fn spread_arrivals() -> Vec<f64> {
+        // MiniQMC-like: wide spread 30..70 ms.
+        (0..48).map(|i| 30.0 + 40.0 * i as f64 / 47.0).collect()
+    }
+
+    fn tight_arrivals() -> Vec<f64> {
+        // MiniMD-steady-like: all within 0.2 ms of 25 ms.
+        (0..48).map(|i| 25.0 + 0.2 * i as f64 / 47.0).collect()
+    }
+
+    fn laggard_arrivals() -> Vec<f64> {
+        let mut v = tight_arrivals();
+        v[13] = 32.0; // one laggard 7 ms late
+        v
+    }
+
+    #[test]
+    fn bulk_injects_once_after_last_arrival() {
+        let link = LinkModel::omni_path();
+        let o = simulate(&spread_arrivals(), 8 * MB, &link, Strategy::Bulk);
+        assert_eq!(o.messages, 1);
+        assert_eq!(o.last_arrival_ms, 70.0);
+        assert!(o.completion_ms > 70.0);
+        // Exposed cost = the whole transfer.
+        assert!((o.exposed_ms() - link.transfer_ms(8 * MB)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn early_bird_wins_with_spread_arrivals() {
+        let link = LinkModel::omni_path();
+        let bulk = simulate(&spread_arrivals(), 8 * MB, &link, Strategy::Bulk);
+        let eb = simulate(&spread_arrivals(), 8 * MB, &link, Strategy::EarlyBird);
+        assert!(
+            eb.completion_ms < bulk.completion_ms,
+            "early-bird {} vs bulk {}",
+            eb.completion_ms,
+            bulk.completion_ms
+        );
+        // With a wide spread, only the final partition is exposed.
+        assert!(eb.exposed_ms() < 0.05, "exposed {}", eb.exposed_ms());
+        assert_eq!(eb.messages, 48);
+    }
+
+    #[test]
+    fn early_bird_loses_with_tight_arrivals_and_high_alpha() {
+        // The paper's §2 caveat: "if the thread arrival times are too
+        // similar, we expect a negative performance impact".
+        let link = LinkModel::high_latency();
+        let bulk = simulate(&tight_arrivals(), MB, &link, Strategy::Bulk);
+        let eb = simulate(&tight_arrivals(), MB, &link, Strategy::EarlyBird);
+        assert!(
+            eb.completion_ms > bulk.completion_ms,
+            "48·α must hurt: eb {} vs bulk {}",
+            eb.completion_ms,
+            bulk.completion_ms
+        );
+    }
+
+    #[test]
+    fn laggard_lets_early_bird_hide_almost_everything() {
+        let link = LinkModel::omni_path();
+        let arrivals = laggard_arrivals();
+        let bulk = simulate(&arrivals, 8 * MB, &link, Strategy::Bulk);
+        let eb = simulate(&arrivals, 8 * MB, &link, Strategy::EarlyBird);
+        // 47/48 partitions transfer while the laggard computes; exposed cost
+        // is ~1 partition vs the full buffer for bulk.
+        assert!(eb.exposed_ms() < bulk.exposed_ms() / 10.0);
+    }
+
+    #[test]
+    fn timeout_flush_batches_messages() {
+        let link = LinkModel::omni_path();
+        let o = simulate(
+            &spread_arrivals(),
+            8 * MB,
+            &link,
+            Strategy::TimeoutFlush { timeout_ms: 10.0 },
+        );
+        // Arrivals span 30..70 ⇒ flushes at 30, 40, 50, 60, 70.
+        assert!(o.messages >= 3 && o.messages <= 6, "messages {}", o.messages);
+        let bulk = simulate(&spread_arrivals(), 8 * MB, &link, Strategy::Bulk);
+        assert!(o.completion_ms < bulk.completion_ms);
+    }
+
+    #[test]
+    fn binned_interpolates_between_bulk_and_early_bird() {
+        let link = LinkModel::high_latency();
+        let arrivals = spread_arrivals();
+        let bulk = simulate(&arrivals, 8 * MB, &link, Strategy::Bulk);
+        let eb = simulate(&arrivals, 8 * MB, &link, Strategy::EarlyBird);
+        let b1 = simulate(&arrivals, 8 * MB, &link, Strategy::Binned { bins: 1 });
+        let b48 = simulate(&arrivals, 8 * MB, &link, Strategy::Binned { bins: 48 });
+        assert!((b1.completion_ms - bulk.completion_ms).abs() < 1e-9);
+        assert!((b48.completion_ms - eb.completion_ms).abs() < 1e-9);
+        let b6 = simulate(&arrivals, 8 * MB, &link, Strategy::Binned { bins: 6 });
+        assert_eq!(b6.messages, 6);
+        assert!(b6.completion_ms <= bulk.completion_ms);
+    }
+
+    #[test]
+    fn all_strategies_deliver_all_bytes() {
+        let link = LinkModel::omni_path();
+        for o in compare_strategies(&laggard_arrivals(), 8 * MB, &link) {
+            // Wire time accounts for every byte plus per-message α.
+            let payload_ms = 8.0 * MB as f64 * link.beta_ms_per_byte;
+            let expected = payload_ms + o.messages as f64 * link.alpha_ms;
+            assert!(
+                (o.wire_ms - expected).abs() < 1e-6,
+                "{}: wire {} vs expected {expected}",
+                o.strategy.label(),
+                o.wire_ms
+            );
+            // No strategy can complete before the last arrival.
+            assert!(o.completion_ms >= o.last_arrival_ms);
+        }
+    }
+
+    #[test]
+    fn completion_never_precedes_last_arrival() {
+        let link = LinkModel::omni_path();
+        for s in [
+            Strategy::Bulk,
+            Strategy::EarlyBird,
+            Strategy::TimeoutFlush { timeout_ms: 1.0 },
+            Strategy::Binned { bins: 4 },
+        ] {
+            let o = simulate(&tight_arrivals(), MB, &link, s);
+            assert!(o.completion_ms >= o.last_arrival_ms, "{}", s.label());
+        }
+    }
+
+    #[test]
+    fn strategy_labels() {
+        assert_eq!(Strategy::Bulk.label(), "bulk");
+        assert_eq!(Strategy::EarlyBird.label(), "early-bird");
+        assert_eq!(
+            Strategy::TimeoutFlush { timeout_ms: 2.0 }.label(),
+            "timeout(2.000ms)"
+        );
+        assert_eq!(Strategy::Binned { bins: 7 }.label(), "binned(7)");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one arrival")]
+    fn empty_arrivals_rejected() {
+        simulate(&[], 10, &LinkModel::omni_path(), Strategy::Bulk);
+    }
+
+    #[test]
+    fn single_thread_degenerates_to_bulk() {
+        let link = LinkModel::omni_path();
+        let bulk = simulate(&[5.0], MB, &link, Strategy::Bulk);
+        let eb = simulate(&[5.0], MB, &link, Strategy::EarlyBird);
+        assert_eq!(bulk.completion_ms, eb.completion_ms);
+    }
+}

@@ -1,0 +1,39 @@
+//! # ebird-partcomm
+//!
+//! Partitioned point-to-point communication and the early-bird delivery
+//! model — the downstream system whose feasibility the paper's measurements
+//! assess.
+//!
+//! The paper's model (§2): a communication buffer is divided among compute
+//! threads; each thread may initiate transmission of its portion as soon as
+//! its computation finishes ("early-bird"), instead of waiting for the full
+//! fork/join. Whether that wins depends on the thread-arrival distribution —
+//! which is exactly what the measurement pipeline characterizes.
+//!
+//! * [`partition`] — an MPI-4.0-style partitioned buffer: `pready`-style
+//!   per-partition readiness flags with safe, lock-free publication.
+//! * [`transport`] — an in-memory rank-to-rank message transport (the MPI
+//!   substitute), with real threaded send/recv.
+//! * [`netmodel`] — the α + β·bytes link-cost model and a work-conserving
+//!   serializing link for delivery simulation.
+//! * [`earlybird`] — the delivery simulator: given per-thread arrival times
+//!   (measured or synthetic), compare **bulk-synchronous**, **early-bird
+//!   per-partition**, **timeout-flush** and **binned aggregation** strategies
+//!   (the Discussion section's proposals) on the same link model.
+//! * [`session`] — persistent partitioned sessions: the full
+//!   `Psend_init`/`Start`/`Pready`/`Parrived`/`Wait` lifecycle over the
+//!   transport, with eager per-partition (early-bird) transmission.
+
+#![warn(missing_docs)]
+
+pub mod earlybird;
+pub mod netmodel;
+pub mod partition;
+pub mod session;
+pub mod transport;
+
+pub use earlybird::{compare_strategies, simulate, DeliveryOutcome, Strategy};
+pub use netmodel::LinkModel;
+pub use partition::PartitionedBuffer;
+pub use session::{PrecvSession, PsendSession};
+pub use transport::{Endpoint, Message, Transport};

@@ -1,0 +1,149 @@
+//! The α + β·bytes link-cost model and a work-conserving serializing link.
+//!
+//! Delivery simulation needs a network cost model, not a real network. The
+//! classic postal/LogP-style model prices one message of `n` bytes at
+//! `α + β·n` (startup latency plus inverse bandwidth). The [`SerialLink`]
+//! schedules injected messages through a single channel in injection order —
+//! the same serialization an MPI implementation's send engine applies to one
+//! peer connection.
+//!
+//! Default parameters approximate the paper's Omni-Path fabric: ~1 µs
+//! startup, 100 Gbit/s ≈ 12.5 GB/s.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-message link cost `α + β·bytes`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkModel {
+    /// Startup cost per message, in milliseconds.
+    pub alpha_ms: f64,
+    /// Transfer cost per byte, in milliseconds.
+    pub beta_ms_per_byte: f64,
+}
+
+impl LinkModel {
+    /// Creates a model; both parameters must be non-negative and finite.
+    pub fn new(alpha_ms: f64, beta_ms_per_byte: f64) -> Self {
+        assert!(alpha_ms >= 0.0 && alpha_ms.is_finite());
+        assert!(beta_ms_per_byte >= 0.0 && beta_ms_per_byte.is_finite());
+        LinkModel {
+            alpha_ms,
+            beta_ms_per_byte,
+        }
+    }
+
+    /// Omni-Path-like defaults: α = 1 µs, 12.5 GB/s.
+    pub fn omni_path() -> Self {
+        LinkModel::new(1.0e-3, 1.0 / 12.5e9 * 1.0e3)
+    }
+
+    /// A high-startup link (α = 50 µs) where aggregation should win.
+    pub fn high_latency() -> Self {
+        LinkModel::new(50.0e-3, 1.0 / 1.0e9 * 1.0e3)
+    }
+
+    /// Wire time of one `bytes`-byte message (ms).
+    pub fn transfer_ms(&self, bytes: usize) -> f64 {
+        self.alpha_ms + self.beta_ms_per_byte * bytes as f64
+    }
+}
+
+/// A single serializing channel: messages injected at given times depart in
+/// injection-time order, each occupying the link for its transfer time.
+#[derive(Debug, Clone, Default)]
+pub struct SerialLink {
+    /// Time the link becomes free (ms).
+    free_at_ms: f64,
+    /// Cumulative busy time (ms) — utilization diagnostics.
+    busy_ms: f64,
+}
+
+impl SerialLink {
+    /// A fresh, idle link.
+    pub fn new() -> Self {
+        SerialLink::default()
+    }
+
+    /// Injects a message at `inject_ms` costing `transfer_ms` on the wire;
+    /// returns its completion (last-byte delivery) time.
+    ///
+    /// Messages must be injected in nondecreasing order of injection time
+    /// (callers sort first); debug builds assert it implicitly via the
+    /// monotone `free_at_ms`.
+    pub fn inject(&mut self, inject_ms: f64, transfer_ms: f64) -> f64 {
+        debug_assert!(inject_ms >= 0.0 && transfer_ms >= 0.0);
+        let start = inject_ms.max(self.free_at_ms);
+        self.free_at_ms = start + transfer_ms;
+        self.busy_ms += transfer_ms;
+        self.free_at_ms
+    }
+
+    /// Time the link becomes idle after all injected traffic.
+    pub fn free_at_ms(&self) -> f64 {
+        self.free_at_ms
+    }
+
+    /// Total wire-busy time so far.
+    pub fn busy_ms(&self) -> f64 {
+        self.busy_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_cost_is_affine() {
+        let l = LinkModel::new(1.0, 0.001);
+        assert_eq!(l.transfer_ms(0), 1.0);
+        assert_eq!(l.transfer_ms(1000), 2.0);
+        // Twice the bytes != twice the cost (α amortization).
+        assert!(l.transfer_ms(2000) < 2.0 * l.transfer_ms(1000));
+    }
+
+    #[test]
+    fn omni_path_magnitudes() {
+        let l = LinkModel::omni_path();
+        // 1 MB at 12.5 GB/s = 80 µs + 1 µs startup.
+        let t = l.transfer_ms(1_000_000);
+        assert!((t - 0.081).abs() < 0.002, "1 MB transfer {t} ms");
+    }
+
+    #[test]
+    fn idle_link_starts_immediately() {
+        let mut link = SerialLink::new();
+        let done = link.inject(5.0, 2.0);
+        assert_eq!(done, 7.0);
+        assert_eq!(link.busy_ms(), 2.0);
+    }
+
+    #[test]
+    fn busy_link_queues_messages() {
+        let mut link = SerialLink::new();
+        link.inject(0.0, 10.0); // busy until 10
+        let done = link.inject(1.0, 2.0); // must wait
+        assert_eq!(done, 12.0);
+        // A later message after the queue drains starts immediately.
+        let done = link.inject(20.0, 1.0);
+        assert_eq!(done, 21.0);
+        assert_eq!(link.busy_ms(), 13.0);
+    }
+
+    #[test]
+    fn back_to_back_messages_pipeline() {
+        let mut link = SerialLink::new();
+        let mut last = 0.0;
+        for i in 0..10 {
+            last = link.inject(i as f64 * 0.1, 1.0);
+        }
+        // All 10 messages serialized: completion = 10 × 1.0.
+        assert_eq!(last, 10.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_alpha_rejected() {
+        LinkModel::new(-1.0, 0.0);
+    }
+}

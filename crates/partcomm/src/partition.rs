@@ -1,0 +1,255 @@
+//! MPI-4.0-style partitioned buffers.
+//!
+//! Mirrors the `MPI_Psend_init` / `MPI_Pready` / `MPI_Parrived` contract: a
+//! buffer is divided into `n` equal contiguous partitions; producer threads
+//! mark their partition ready exactly once per transmission round; the
+//! operation completes when every partition is ready. Readiness publication
+//! uses release stores so a consumer that observes `ready` also observes the
+//! partition's bytes.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Errors from partitioned-buffer operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionError {
+    /// Partition index ≥ partition count.
+    OutOfRange {
+        /// Offending index.
+        index: usize,
+        /// Partition count.
+        partitions: usize,
+    },
+    /// `pready` called twice for the same partition in one round
+    /// (MPI: erroneous).
+    AlreadyReady {
+        /// Offending index.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionError::OutOfRange { index, partitions } => {
+                write!(f, "partition {index} out of range ({partitions} partitions)")
+            }
+            PartitionError::AlreadyReady { index } => {
+                write!(f, "partition {index} marked ready twice")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// A send-side partitioned buffer: equal contiguous partitions over a byte
+/// payload, with per-partition readiness flags.
+#[derive(Debug)]
+pub struct PartitionedBuffer {
+    len: usize,
+    partitions: usize,
+    ready: Vec<AtomicBool>,
+    ready_count: AtomicUsize,
+}
+
+impl PartitionedBuffer {
+    /// Creates a buffer descriptor for `len` bytes in `partitions` parts.
+    /// `partitions` must be in `1..=len` (every partition nonempty).
+    pub fn new(len: usize, partitions: usize) -> Self {
+        assert!(partitions >= 1, "need at least one partition");
+        assert!(len >= partitions, "need at least one byte per partition");
+        PartitionedBuffer {
+            len,
+            partitions,
+            ready: (0..partitions).map(|_| AtomicBool::new(false)).collect(),
+            ready_count: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.partitions
+    }
+
+    /// Total payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Always false (zero-length buffers are rejected at construction).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Byte range of partition `i` (equal split, remainder spread over the
+    /// leading partitions — the same rule as the runtime's static schedule).
+    pub fn partition_range(&self, i: usize) -> std::ops::Range<usize> {
+        assert!(i < self.partitions);
+        let q = self.len / self.partitions;
+        let r = self.len % self.partitions;
+        if i < r {
+            let start = i * (q + 1);
+            start..start + q + 1
+        } else {
+            let start = r * (q + 1) + (i - r) * q;
+            start..start + q
+        }
+    }
+
+    /// Marks partition `i` ready (`MPI_Pready`). Returns `true` when this
+    /// call completed the round (all partitions now ready).
+    ///
+    /// # Errors
+    /// [`PartitionError::OutOfRange`] / [`PartitionError::AlreadyReady`].
+    pub fn pready(&self, i: usize) -> Result<bool, PartitionError> {
+        if i >= self.partitions {
+            return Err(PartitionError::OutOfRange {
+                index: i,
+                partitions: self.partitions,
+            });
+        }
+        if self.ready[i].swap(true, Ordering::Release) {
+            return Err(PartitionError::AlreadyReady { index: i });
+        }
+        let now = self.ready_count.fetch_add(1, Ordering::AcqRel) + 1;
+        Ok(now == self.partitions)
+    }
+
+    /// Whether partition `i` has been marked ready (`MPI_Parrived` analogue
+    /// on the send side).
+    pub fn is_ready(&self, i: usize) -> bool {
+        assert!(i < self.partitions);
+        self.ready[i].load(Ordering::Acquire)
+    }
+
+    /// Number of partitions currently ready.
+    pub fn ready_count(&self) -> usize {
+        self.ready_count.load(Ordering::Acquire)
+    }
+
+    /// Whether the whole round is complete.
+    pub fn all_ready(&self) -> bool {
+        self.ready_count() == self.partitions
+    }
+
+    /// Indices currently ready but not yet in `sent` — the set a
+    /// timeout-flush strategy would transmit now. `sent` is updated.
+    pub fn drain_ready(&self, sent: &mut Vec<bool>) -> Vec<usize> {
+        assert_eq!(sent.len(), self.partitions);
+        let mut out = Vec::new();
+        for i in 0..self.partitions {
+            if !sent[i] && self.is_ready(i) {
+                sent[i] = true;
+                out.push(i);
+            }
+        }
+        out
+    }
+
+    /// Resets all flags for the next transmission round
+    /// (`MPI_Start` on a persistent partitioned request).
+    pub fn reset(&self) {
+        for f in &self.ready {
+            f.store(false, Ordering::Relaxed);
+        }
+        self.ready_count.store(0, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn partition_ranges_tile_the_buffer() {
+        let b = PartitionedBuffer::new(103, 8);
+        let mut covered = vec![false; 103];
+        for i in 0..8 {
+            for j in b.partition_range(i) {
+                assert!(!covered[j]);
+                covered[j] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+        // Leading partitions take the remainder.
+        assert_eq!(b.partition_range(0).len(), 13);
+        assert_eq!(b.partition_range(7).len(), 12);
+    }
+
+    #[test]
+    fn pready_counts_up_and_detects_completion() {
+        let b = PartitionedBuffer::new(64, 4);
+        assert!(!b.all_ready());
+        assert!(!b.pready(0).unwrap());
+        assert!(!b.pready(2).unwrap());
+        assert!(!b.pready(1).unwrap());
+        assert_eq!(b.ready_count(), 3);
+        assert!(b.pready(3).unwrap(), "last pready completes the round");
+        assert!(b.all_ready());
+    }
+
+    #[test]
+    fn double_pready_is_an_error() {
+        let b = PartitionedBuffer::new(16, 2);
+        b.pready(0).unwrap();
+        assert_eq!(
+            b.pready(0),
+            Err(PartitionError::AlreadyReady { index: 0 })
+        );
+        assert_eq!(
+            b.pready(5),
+            Err(PartitionError::OutOfRange {
+                index: 5,
+                partitions: 2
+            })
+        );
+    }
+
+    #[test]
+    fn drain_ready_returns_each_partition_once() {
+        let b = PartitionedBuffer::new(40, 4);
+        let mut sent = vec![false; 4];
+        b.pready(1).unwrap();
+        b.pready(3).unwrap();
+        assert_eq!(b.drain_ready(&mut sent), vec![1, 3]);
+        assert_eq!(b.drain_ready(&mut sent), Vec::<usize>::new());
+        b.pready(0).unwrap();
+        assert_eq!(b.drain_ready(&mut sent), vec![0]);
+    }
+
+    #[test]
+    fn reset_starts_a_new_round() {
+        let b = PartitionedBuffer::new(8, 2);
+        b.pready(0).unwrap();
+        b.pready(1).unwrap();
+        assert!(b.all_ready());
+        b.reset();
+        assert!(!b.all_ready());
+        assert_eq!(b.ready_count(), 0);
+        assert!(b.pready(0).is_ok(), "flags cleared for the new round");
+    }
+
+    #[test]
+    fn concurrent_pready_from_many_threads() {
+        let b = Arc::new(PartitionedBuffer::new(480, 48));
+        let completions: Vec<_> = (0..48)
+            .map(|i| {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || b.pready(i).unwrap())
+            })
+            .collect();
+        let completed: usize = completions
+            .into_iter()
+            .map(|h| h.join().unwrap() as usize)
+            .sum();
+        assert_eq!(completed, 1, "exactly one thread observes completion");
+        assert!(b.all_ready());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one byte per partition")]
+    fn rejects_more_partitions_than_bytes() {
+        PartitionedBuffer::new(3, 4);
+    }
+}

@@ -1,0 +1,360 @@
+//! Persistent partitioned point-to-point sessions — the MPI-4.0 lifecycle
+//! (`MPI_Psend_init` / `MPI_Start` / `MPI_Pready` / `MPI_Parrived` /
+//! `MPI_Wait`) realized over the in-memory [`Transport`].
+//!
+//! A [`PsendSession`] owns the send-side buffer and eagerly ships each
+//! partition the moment its producer calls [`PsendSession::pready`] — the
+//! early-bird behaviour. A [`PrecvSession`] tracks per-partition arrival
+//! (`parrived`) and completes when all partitions of the current round have
+//! landed. Both sides are round-counted so a persistent session can be
+//! restarted (`start`) across application iterations, exactly like MPI
+//! persistent requests.
+//!
+//! Wire format: `tag = (round << 16) | partition`, so stale messages from a
+//! previous round can never satisfy the current one (MPI's matching order
+//! guarantees the same).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::partition::{PartitionError, PartitionedBuffer};
+use crate::transport::{Endpoint, TransportError};
+
+/// Errors from partitioned sessions.
+#[derive(Debug)]
+pub enum SessionError {
+    /// Underlying partition bookkeeping failed.
+    Partition(PartitionError),
+    /// Underlying transport failed.
+    Transport(TransportError),
+    /// Operation requires an active round (`start` not called / already
+    /// complete).
+    NotActive,
+    /// `start` called while the previous round is still in flight.
+    RoundInFlight,
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::Partition(e) => write!(f, "partition error: {e}"),
+            SessionError::Transport(e) => write!(f, "transport error: {e}"),
+            SessionError::NotActive => write!(f, "no active round"),
+            SessionError::RoundInFlight => write!(f, "previous round still in flight"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<PartitionError> for SessionError {
+    fn from(e: PartitionError) -> Self {
+        SessionError::Partition(e)
+    }
+}
+
+impl From<TransportError> for SessionError {
+    fn from(e: TransportError) -> Self {
+        SessionError::Transport(e)
+    }
+}
+
+/// Packs `(round, partition)` into a wire tag.
+fn tag_of(round: u32, partition: usize) -> u64 {
+    ((round as u64) << 16) | partition as u64
+}
+
+/// Unpacks a wire tag into `(round, partition)`.
+fn untag(tag: u64) -> (u32, usize) {
+    ((tag >> 16) as u32, (tag & 0xFFFF) as usize)
+}
+
+/// Send side of a persistent partitioned operation.
+///
+/// Thread-safe: any producer thread may call [`pready`](Self::pready)
+/// concurrently (each partition exactly once per round).
+pub struct PsendSession {
+    endpoint: Arc<Endpoint>,
+    dst: usize,
+    buffer: PartitionedBuffer,
+    /// Current payload; partitions are sliced out per pready.
+    data: Mutex<Vec<u8>>,
+    round: std::sync::atomic::AtomicU32,
+    active: AtomicBool,
+}
+
+impl PsendSession {
+    /// Creates a persistent partitioned send of `partitions` parts to `dst`.
+    /// Inactive until [`start`](Self::start).
+    pub fn init(endpoint: Arc<Endpoint>, dst: usize, partitions: usize, len: usize) -> Self {
+        assert!(partitions <= 0xFFFF, "tag packing supports ≤ 65535 partitions");
+        PsendSession {
+            endpoint,
+            dst,
+            buffer: PartitionedBuffer::new(len, partitions),
+            data: Mutex::new(vec![0; len]),
+            round: std::sync::atomic::AtomicU32::new(0),
+            active: AtomicBool::new(false),
+        }
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.buffer.partitions()
+    }
+
+    /// Starts a new round with `payload` (must match the initialized length).
+    ///
+    /// # Errors
+    /// [`SessionError::RoundInFlight`] if the previous round hasn't
+    /// completed (all partitions readied).
+    pub fn start(&self, payload: &[u8]) -> Result<u32, SessionError> {
+        if self.active.swap(true, Ordering::AcqRel) {
+            return Err(SessionError::RoundInFlight);
+        }
+        assert_eq!(payload.len(), self.buffer.len(), "payload length fixed at init");
+        self.buffer.reset();
+        *self.data.lock() = payload.to_vec();
+        Ok(self.round.fetch_add(1, Ordering::AcqRel) + 1)
+    }
+
+    /// Marks partition `i` ready and eagerly transmits it (early-bird).
+    /// Returns `true` when this call completed the round.
+    ///
+    /// # Errors
+    /// [`SessionError::NotActive`] outside a round; partition/transport
+    /// errors are propagated.
+    pub fn pready(&self, i: usize) -> Result<bool, SessionError> {
+        if !self.active.load(Ordering::Acquire) {
+            return Err(SessionError::NotActive);
+        }
+        let completed = self.buffer.pready(i)?;
+        let round = self.round.load(Ordering::Acquire);
+        let bytes = {
+            let g = self.data.lock();
+            g[self.buffer.partition_range(i)].to_vec()
+        };
+        self.endpoint.send(self.dst, tag_of(round, i), bytes)?;
+        if completed {
+            self.active.store(false, Ordering::Release);
+        }
+        Ok(completed)
+    }
+
+    /// Whether the current round has completed (all partitions sent).
+    pub fn is_complete(&self) -> bool {
+        !self.active.load(Ordering::Acquire)
+    }
+}
+
+/// Receive side of a persistent partitioned operation.
+pub struct PrecvSession {
+    endpoint: Endpoint,
+    buffer: PartitionedBuffer,
+    assembled: Vec<u8>,
+    arrived: Vec<bool>,
+    arrived_count: usize,
+    round: u32,
+    /// Messages for future rounds that arrived early (buffered, FIFO).
+    stash: Vec<(u64, Vec<u8>)>,
+}
+
+impl PrecvSession {
+    /// Creates the receive side matching a [`PsendSession::init`].
+    pub fn init(endpoint: Endpoint, partitions: usize, len: usize) -> Self {
+        PrecvSession {
+            endpoint,
+            buffer: PartitionedBuffer::new(len, partitions),
+            assembled: vec![0; len],
+            arrived: vec![false; partitions],
+            arrived_count: 0,
+            round: 0,
+            stash: Vec::new(),
+        }
+    }
+
+    /// Starts expecting the next round.
+    pub fn start(&mut self) {
+        self.round += 1;
+        self.arrived.fill(false);
+        self.arrived_count = 0;
+    }
+
+    /// Whether partition `i` of the current round has arrived
+    /// (`MPI_Parrived`). Drains any pending messages first (non-blocking).
+    pub fn parrived(&mut self, i: usize) -> Result<bool, SessionError> {
+        self.drain_nonblocking()?;
+        Ok(self.arrived[i])
+    }
+
+    /// Blocks until every partition of the current round has arrived and
+    /// returns the assembled payload (`MPI_Wait`).
+    pub fn wait(&mut self) -> Result<&[u8], SessionError> {
+        // Replay stashed messages for this round first.
+        let stash = std::mem::take(&mut self.stash);
+        for (tag, payload) in stash {
+            self.accept(tag, payload);
+        }
+        while self.arrived_count < self.buffer.partitions() {
+            let msg = self.endpoint.recv()?;
+            self.accept(msg.tag, msg.payload);
+        }
+        Ok(&self.assembled)
+    }
+
+    fn drain_nonblocking(&mut self) -> Result<(), SessionError> {
+        let stash = std::mem::take(&mut self.stash);
+        for (tag, payload) in stash {
+            self.accept(tag, payload);
+        }
+        while let Some(msg) = self.endpoint.try_recv()? {
+            self.accept(msg.tag, msg.payload);
+        }
+        Ok(())
+    }
+
+    fn accept(&mut self, tag: u64, payload: Vec<u8>) {
+        let (round, partition) = untag(tag);
+        if round != self.round {
+            // Early message for a future round (or stale duplicate for a
+            // past one — impossible with FIFO transport, but harmless).
+            if round > self.round {
+                self.stash.push((tag, payload));
+            }
+            return;
+        }
+        if partition < self.arrived.len() && !self.arrived[partition] {
+            let range = self.buffer.partition_range(partition);
+            self.assembled[range].copy_from_slice(&payload);
+            self.arrived[partition] = true;
+            self.arrived_count += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::Transport;
+
+    fn pair(partitions: usize, len: usize) -> (Arc<PsendSession>, PrecvSession) {
+        let mut eps = Transport::connect(2);
+        let recv_ep = eps.pop().unwrap();
+        let send_ep = Arc::new(eps.pop().unwrap());
+        (
+            Arc::new(PsendSession::init(send_ep, 1, partitions, len)),
+            PrecvSession::init(recv_ep, partitions, len),
+        )
+    }
+
+    #[test]
+    fn tag_roundtrip() {
+        for round in [1u32, 7, 65_000] {
+            for part in [0usize, 3, 65_534] {
+                assert_eq!(untag(tag_of(round, part)), (round, part));
+            }
+        }
+    }
+
+    #[test]
+    fn single_round_delivers_payload() {
+        let (send, mut recv) = pair(4, 64);
+        let payload: Vec<u8> = (0..64).collect();
+        send.start(&payload).unwrap();
+        recv.start();
+        for i in 0..4 {
+            let done = send.pready(i).unwrap();
+            assert_eq!(done, i == 3);
+        }
+        assert!(send.is_complete());
+        assert_eq!(recv.wait().unwrap(), payload.as_slice());
+    }
+
+    #[test]
+    fn parrived_tracks_partial_progress() {
+        let (send, mut recv) = pair(4, 40);
+        send.start(&[7u8; 40]).unwrap();
+        recv.start();
+        send.pready(2).unwrap();
+        // Unbounded in-memory channel: the message is immediately pollable.
+        assert!(recv.parrived(2).unwrap());
+        assert!(!recv.parrived(0).unwrap());
+        for i in [0usize, 1, 3] {
+            send.pready(i).unwrap();
+        }
+        assert_eq!(recv.wait().unwrap(), &[7u8; 40][..]);
+    }
+
+    #[test]
+    fn multiple_rounds_reuse_the_session() {
+        let (send, mut recv) = pair(3, 30);
+        for round in 0..5u8 {
+            let payload = vec![round; 30];
+            send.start(&payload).unwrap();
+            recv.start();
+            for i in 0..3 {
+                send.pready(i).unwrap();
+            }
+            assert_eq!(recv.wait().unwrap(), payload.as_slice());
+        }
+    }
+
+    #[test]
+    fn lifecycle_errors() {
+        let (send, _recv) = pair(2, 8);
+        assert!(matches!(send.pready(0), Err(SessionError::NotActive)));
+        send.start(&[0u8; 8]).unwrap();
+        assert!(matches!(send.start(&[0u8; 8]), Err(SessionError::RoundInFlight)));
+        send.pready(0).unwrap();
+        assert!(matches!(
+            send.pready(0),
+            Err(SessionError::Partition(PartitionError::AlreadyReady { .. }))
+        ));
+        send.pready(1).unwrap();
+        // Round complete: restartable again.
+        assert!(send.start(&[1u8; 8]).is_ok());
+    }
+
+    #[test]
+    fn out_of_order_pready_from_threads() {
+        let (send, mut recv) = pair(8, 800);
+        let payload: Vec<u8> = (0..800u32).map(|i| (i % 256) as u8).collect();
+        send.start(&payload).unwrap();
+        recv.start();
+        let handles: Vec<_> = (0..8)
+            .map(|p| {
+                let send = Arc::clone(&send);
+                std::thread::spawn(move || {
+                    // Reverse-ish order with staggered timing.
+                    std::thread::sleep(std::time::Duration::from_millis((8 - p) as u64));
+                    send.pready(p).unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(recv.wait().unwrap(), payload.as_slice());
+    }
+
+    #[test]
+    fn early_messages_for_next_round_are_stashed() {
+        // Sender races ahead: finishes round 2 partition sends before the
+        // receiver started round 2.
+        let (send, mut recv) = pair(2, 8);
+        send.start(&[1u8; 8]).unwrap();
+        recv.start();
+        send.pready(0).unwrap();
+        send.pready(1).unwrap();
+        assert_eq!(recv.wait().unwrap(), &[1u8; 8][..]);
+        // Round 2 sent entirely before recv.start() for round 2 is called —
+        // drain happens inside parrived of round 1's leftovers… simulate:
+        send.start(&[2u8; 8]).unwrap();
+        send.pready(0).unwrap();
+        send.pready(1).unwrap();
+        recv.start();
+        assert_eq!(recv.wait().unwrap(), &[2u8; 8][..]);
+    }
+}

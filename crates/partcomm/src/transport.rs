@@ -1,0 +1,245 @@
+//! In-memory rank-to-rank message transport — the MPI substitute.
+//!
+//! A [`Transport`] wires `n` ranks with unbounded crossbeam channels; each
+//! rank holds an [`Endpoint`] with `send(dst, tag, bytes)` / `recv()` /
+//! `try_recv()`. Delivery is per-destination FIFO (like MPI's non-overtaking
+//! rule for matching sends). Tags let a receiver demultiplex partitioned
+//! traffic from different rounds.
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+
+/// A transported message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Sending rank.
+    pub src: usize,
+    /// Application tag (e.g. `(round << 16) | partition`).
+    pub tag: u64,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// One rank's connection to the transport.
+#[derive(Debug)]
+pub struct Endpoint {
+    rank: usize,
+    peers: Vec<Sender<Message>>,
+    inbox: Receiver<Message>,
+}
+
+/// Errors from transport operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// Destination rank does not exist.
+    NoSuchRank {
+        /// Offending destination.
+        dst: usize,
+        /// Number of ranks.
+        ranks: usize,
+    },
+    /// All senders to this endpoint were dropped.
+    Disconnected,
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::NoSuchRank { dst, ranks } => {
+                write!(f, "destination rank {dst} does not exist ({ranks} ranks)")
+            }
+            TransportError::Disconnected => write!(f, "transport disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl Endpoint {
+    /// This endpoint's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the transport.
+    pub fn ranks(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Sends `payload` to `dst` with `tag`. Never blocks (unbounded
+    /// channels); self-sends are allowed (loopback).
+    pub fn send(&self, dst: usize, tag: u64, payload: Vec<u8>) -> Result<(), TransportError> {
+        let tx = self
+            .peers
+            .get(dst)
+            .ok_or(TransportError::NoSuchRank {
+                dst,
+                ranks: self.peers.len(),
+            })?;
+        tx.send(Message {
+            src: self.rank,
+            tag,
+            payload,
+        })
+        .map_err(|_| TransportError::Disconnected)
+    }
+
+    /// Blocks until a message arrives.
+    pub fn recv(&self) -> Result<Message, TransportError> {
+        self.inbox.recv().map_err(|_| TransportError::Disconnected)
+    }
+
+    /// Non-blocking receive; `Ok(None)` when the inbox is empty.
+    pub fn try_recv(&self) -> Result<Option<Message>, TransportError> {
+        match self.inbox.try_recv() {
+            Ok(m) => Ok(Some(m)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(TransportError::Disconnected),
+        }
+    }
+
+    /// Receives until `n` messages with `tag` have arrived; other tags are
+    /// returned too (in arrival order). Convenience for partitioned waits.
+    pub fn recv_n_with_tag(
+        &self,
+        tag_filter: impl Fn(u64) -> bool,
+        n: usize,
+    ) -> Result<Vec<Message>, TransportError> {
+        let mut matched = 0usize;
+        let mut out = Vec::new();
+        while matched < n {
+            let m = self.recv()?;
+            if tag_filter(m.tag) {
+                matched += 1;
+            }
+            out.push(m);
+        }
+        Ok(out)
+    }
+}
+
+/// Builder for a set of connected endpoints.
+#[derive(Debug)]
+pub struct Transport;
+
+impl Transport {
+    /// Creates `n` fully connected endpoints (index = rank).
+    pub fn connect(n: usize) -> Vec<Endpoint> {
+        assert!(n >= 1, "need at least one rank");
+        let channels: Vec<(Sender<Message>, Receiver<Message>)> =
+            (0..n).map(|_| unbounded()).collect();
+        let senders: Vec<Sender<Message>> = channels.iter().map(|(tx, _)| tx.clone()).collect();
+        channels
+            .into_iter()
+            .enumerate()
+            .map(|(rank, (_, inbox))| Endpoint {
+                rank,
+                peers: senders.clone(),
+                inbox,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_to_point_delivery() {
+        let mut eps = Transport::connect(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        a.send(1, 7, vec![1, 2, 3]).unwrap();
+        let m = b.recv().unwrap();
+        assert_eq!(m.src, 0);
+        assert_eq!(m.tag, 7);
+        assert_eq!(m.payload, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fifo_per_destination() {
+        let eps = Transport::connect(2);
+        for i in 0..100u8 {
+            eps[0].send(1, i as u64, vec![i]).unwrap();
+        }
+        for i in 0..100u8 {
+            let m = eps[1].recv().unwrap();
+            assert_eq!(m.payload, vec![i], "non-overtaking order");
+        }
+    }
+
+    #[test]
+    fn try_recv_on_empty_inbox() {
+        let eps = Transport::connect(2);
+        assert_eq!(eps[1].try_recv().unwrap(), None);
+        eps[0].send(1, 0, vec![9]).unwrap();
+        // Unbounded channel: the message is immediately visible.
+        assert_eq!(eps[1].try_recv().unwrap().unwrap().payload, vec![9]);
+    }
+
+    #[test]
+    fn send_to_missing_rank_errors() {
+        let eps = Transport::connect(2);
+        assert_eq!(
+            eps[0].send(5, 0, vec![]),
+            Err(TransportError::NoSuchRank { dst: 5, ranks: 2 })
+        );
+    }
+
+    #[test]
+    fn loopback_send() {
+        let eps = Transport::connect(1);
+        eps[0].send(0, 1, vec![42]).unwrap();
+        assert_eq!(eps[0].recv().unwrap().payload, vec![42]);
+    }
+
+    #[test]
+    fn cross_thread_partitioned_round() {
+        // Real threads: 4 producer threads pready+send their partition; the
+        // receiver assembles the full buffer.
+        use crate::partition::PartitionedBuffer;
+        use std::sync::Arc;
+
+        let mut eps = Transport::connect(2);
+        let rx = eps.pop().unwrap();
+        let tx = Arc::new(eps.pop().unwrap());
+        let data: Vec<u8> = (0..64).collect();
+        let buf = Arc::new(PartitionedBuffer::new(64, 4));
+
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let tx = Arc::clone(&tx);
+                let buf = Arc::clone(&buf);
+                let slice = data[buf.partition_range(p)].to_vec();
+                std::thread::spawn(move || {
+                    buf.pready(p).unwrap();
+                    tx.send(1, p as u64, slice).unwrap();
+                })
+            })
+            .collect();
+        for h in producers {
+            h.join().unwrap();
+        }
+        assert!(buf.all_ready());
+
+        let mut assembled = vec![0u8; 64];
+        let msgs = rx.recv_n_with_tag(|_| true, 4).unwrap();
+        for m in msgs {
+            let range = buf.partition_range(m.tag as usize);
+            assembled[range].copy_from_slice(&m.payload);
+        }
+        assert_eq!(assembled, data);
+    }
+
+    #[test]
+    fn recv_n_with_tag_filters() {
+        let eps = Transport::connect(2);
+        eps[0].send(1, 1, vec![1]).unwrap();
+        eps[0].send(1, 99, vec![2]).unwrap();
+        eps[0].send(1, 1, vec![3]).unwrap();
+        let msgs = eps[1].recv_n_with_tag(|t| t == 1, 2).unwrap();
+        // All three arrive (in order) before the second tag-1 match.
+        assert_eq!(msgs.len(), 3);
+        assert_eq!(msgs[2].payload, vec![3]);
+    }
+}

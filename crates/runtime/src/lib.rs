@@ -1,0 +1,35 @@
+//! # ebird-runtime
+//!
+//! The OpenMP-like fork/join substrate the proxy applications run on — the
+//! workspace's substitute for the GCC OpenMP runtime the paper instrumented.
+//!
+//! What the paper relies on from OpenMP, and where it lives here:
+//!
+//! | OpenMP construct | This crate |
+//! |---|---|
+//! | `#pragma omp parallel` (team of N threads) | [`Pool::region`] |
+//! | `omp_get_thread_num()` | [`Ctx::thread`] |
+//! | `#pragma omp barrier` | [`barrier::SenseBarrier`], via [`Ctx::barrier`] |
+//! | `#pragma omp for` (static schedule) | [`schedule::static_block`], [`Pool::parallel_for_static`] |
+//! | `#pragma omp for schedule(dynamic, k)` | [`Pool::parallel_for_dynamic`] |
+//! | `#pragma omp for schedule(guided)` | [`Pool::parallel_for_guided`] |
+//! | `nowait` + per-thread exit stamps | [`Pool::timed_region`] |
+//!
+//! **Substitution note (documented in DESIGN.md):** OpenMP keeps one thread
+//! team alive for the whole program; [`Pool`] spawns scoped threads per
+//! region. The paper's Listing 1 inserts a barrier *before* the start stamps
+//! precisely so that start skew (from any source, including thread wake-up)
+//! cancels; our region entry does the same, so measured compute times are
+//! unaffected. A persistent team ([`persistent::PersistentPool`]) is provided
+//! as well, and the `instrumentation_overhead` bench compares both.
+
+#![warn(missing_docs)]
+
+pub mod barrier;
+pub mod persistent;
+pub mod pool;
+pub mod schedule;
+
+pub use barrier::SenseBarrier;
+pub use pool::{Ctx, Pool};
+pub use schedule::{static_block, Schedule};

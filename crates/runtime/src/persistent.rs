@@ -1,0 +1,205 @@
+//! A persistent worker team, kept alive across parallel regions.
+//!
+//! OpenMP runtimes keep their thread team alive between parallel regions;
+//! [`crate::Pool`] instead forks scoped threads per region (safe borrows, no
+//! `'static` bound). [`PersistentPool`] is the faithful-lifetime alternative:
+//! workers are spawned once and woken per region. Because jobs outlive the
+//! caller's stack frame they must be `'static` (captured data goes in `Arc`s),
+//! which is why the proxy apps default to the scoped pool. The
+//! `instrumentation_overhead` bench compares region-dispatch latency of both.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+type Job = Arc<dyn Fn(usize, usize) + Send + Sync>;
+
+struct Slot {
+    epoch: u64,
+    job: Option<Job>,
+    remaining: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    n: usize,
+    slot: Mutex<Slot>,
+    job_ready: Condvar,
+    job_done: Condvar,
+}
+
+/// A team of worker threads that persists across regions.
+pub struct PersistentPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for PersistentPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PersistentPool")
+            .field("threads", &self.shared.n)
+            .finish()
+    }
+}
+
+impl PersistentPool {
+    /// Spawns `n` workers (`n ≥ 1`). Unlike [`crate::Pool`], the calling
+    /// thread is *not* a team member; it only dispatches and waits.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "pool needs at least one worker");
+        let shared = Arc::new(Shared {
+            n,
+            slot: Mutex::new(Slot {
+                epoch: 0,
+                job: None,
+                remaining: 0,
+                shutdown: false,
+            }),
+            job_ready: Condvar::new(),
+            job_done: Condvar::new(),
+        });
+        let workers = (0..n)
+            .map(|t| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ebird-worker-{t}"))
+                    .spawn(move || Self::worker_loop(&shared, t))
+                    .expect("spawn worker")
+            })
+            .collect();
+        PersistentPool { shared, workers }
+    }
+
+    fn worker_loop(shared: &Shared, thread: usize) {
+        let mut seen_epoch = 0u64;
+        loop {
+            let job = {
+                let mut g = shared.slot.lock();
+                while !g.shutdown && (g.job.is_none() || g.epoch == seen_epoch) {
+                    shared.job_ready.wait(&mut g);
+                }
+                if g.shutdown {
+                    return;
+                }
+                seen_epoch = g.epoch;
+                g.job.clone().expect("job present")
+            };
+            job(thread, shared.n);
+            let mut g = shared.slot.lock();
+            g.remaining -= 1;
+            if g.remaining == 0 {
+                g.job = None;
+                shared.job_done.notify_all();
+            }
+        }
+    }
+
+    /// Team size.
+    pub fn threads(&self) -> usize {
+        self.shared.n
+    }
+
+    /// Runs `f(thread, nthreads)` on every worker and blocks until all
+    /// finish. Captured data must be `'static` (use `Arc`).
+    pub fn region<F>(&self, f: F)
+    where
+        F: Fn(usize, usize) + Send + Sync + 'static,
+    {
+        let mut g = self.shared.slot.lock();
+        debug_assert!(g.job.is_none(), "regions are serialized by the caller");
+        g.job = Some(Arc::new(f));
+        g.epoch += 1;
+        g.remaining = self.shared.n;
+        let epoch = g.epoch;
+        self.shared.job_ready.notify_all();
+        while g.remaining > 0 || g.epoch != epoch {
+            self.shared.job_done.wait(&mut g);
+        }
+    }
+}
+
+impl Drop for PersistentPool {
+    fn drop(&mut self) {
+        {
+            let mut g = self.shared.slot.lock();
+            g.shutdown = true;
+            self.shared.job_ready.notify_all();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn region_runs_on_all_workers() {
+        let pool = PersistentPool::new(4);
+        let hits = Arc::new(AtomicU64::new(0));
+        let ids = Arc::new(Mutex::new(Vec::new()));
+        {
+            let hits = Arc::clone(&hits);
+            let ids = Arc::clone(&ids);
+            pool.region(move |t, n| {
+                assert_eq!(n, 4);
+                hits.fetch_add(1, Ordering::SeqCst);
+                ids.lock().push(t);
+            });
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 4);
+        let mut seen = ids.lock().clone();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn many_sequential_regions_reuse_the_team() {
+        let pool = PersistentPool::new(3);
+        let total = Arc::new(AtomicU64::new(0));
+        for _ in 0..100 {
+            let total = Arc::clone(&total);
+            pool.region(move |_, _| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::SeqCst), 300);
+    }
+
+    #[test]
+    fn workers_shut_down_on_drop() {
+        let pool = PersistentPool::new(2);
+        let hits = Arc::new(AtomicU64::new(0));
+        {
+            let hits = Arc::clone(&hits);
+            pool.region(move |_, _| {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool); // must not hang
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn single_worker_pool() {
+        let pool = PersistentPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let x = Arc::new(AtomicU64::new(0));
+        let xc = Arc::clone(&x);
+        pool.region(move |t, n| {
+            assert_eq!((t, n), (0, 1));
+            xc.store(99, Ordering::SeqCst);
+        });
+        assert_eq!(x.load(Ordering::SeqCst), 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        PersistentPool::new(0);
+    }
+}

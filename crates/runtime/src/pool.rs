@@ -1,0 +1,737 @@
+//! The fork/join pool: scoped thread teams with OpenMP-like work sharing.
+//!
+//! [`Pool::region`] forks a team of `n` threads (the calling thread is member
+//! 0, as in OpenMP), runs the closure on every member, and joins. Work-sharing
+//! variants layer loop scheduling on top; `timed_*` variants add the paper's
+//! Listing-1 instrumentation: a team barrier, per-thread enter stamps, the
+//! thread's loop share, a per-thread exit stamp (`nowait` — no barrier before
+//! it), then the join.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use ebird_core::{Clock, TimedRegion};
+use parking_lot::Mutex;
+
+use crate::barrier::SenseBarrier;
+use crate::schedule::{guided_chunk, static_block};
+
+/// Per-member execution context inside a parallel region
+/// (the analogue of `omp_get_thread_num()` / `omp_get_num_threads()` plus a
+/// handle to the team barrier).
+#[derive(Debug, Clone, Copy)]
+pub struct Ctx<'a> {
+    thread: usize,
+    nthreads: usize,
+    barrier: &'a SenseBarrier,
+}
+
+impl<'a> Ctx<'a> {
+    /// This member's id in `0..nthreads` (member 0 is the forking thread).
+    pub fn thread(&self) -> usize {
+        self.thread
+    }
+
+    /// Team size.
+    pub fn nthreads(&self) -> usize {
+        self.nthreads
+    }
+
+    /// Blocks until every team member reaches the barrier
+    /// (`#pragma omp barrier`).
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+}
+
+/// A fork/join thread team factory of fixed size.
+///
+/// Teams are forked per region with `std::thread::scope`, so region closures
+/// may borrow freely from the caller's stack — the idiomatic-safe equivalent
+/// of OpenMP's shared-by-default variables.
+#[derive(Debug, Clone)]
+pub struct Pool {
+    n: usize,
+}
+
+impl Pool {
+    /// Creates a pool that forks teams of `n` threads (`n ≥ 1`).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "pool needs at least one thread");
+        Pool { n }
+    }
+
+    /// Team size.
+    pub fn threads(&self) -> usize {
+        self.n
+    }
+
+    /// Runs `f` on every team member concurrently and joins
+    /// (`#pragma omp parallel`).
+    pub fn region<F>(&self, f: F)
+    where
+        F: Fn(&Ctx<'_>) + Sync,
+    {
+        let barrier = SenseBarrier::new(self.n);
+        let n = self.n;
+        if n == 1 {
+            f(&Ctx {
+                thread: 0,
+                nthreads: 1,
+                barrier: &barrier,
+            });
+            return;
+        }
+        std::thread::scope(|s| {
+            for t in 1..n {
+                let barrier = &barrier;
+                let f = &f;
+                s.spawn(move || {
+                    f(&Ctx {
+                        thread: t,
+                        nthreads: n,
+                        barrier,
+                    })
+                });
+            }
+            f(&Ctx {
+                thread: 0,
+                nthreads: n,
+                barrier: &barrier,
+            });
+        });
+    }
+
+    /// Static-schedule loop: each member executes its contiguous
+    /// [`static_block`] of `0..count`, calling `body(i, ctx)` per iteration
+    /// (`#pragma omp parallel for`).
+    pub fn parallel_for_static<F>(&self, count: usize, body: F)
+    where
+        F: Fn(usize, &Ctx<'_>) + Sync,
+    {
+        self.region(|ctx| {
+            for i in static_block(count, ctx.nthreads(), ctx.thread()) {
+                body(i, ctx);
+            }
+        });
+    }
+
+    /// Dynamic-schedule loop: members grab `chunk`-sized blocks from a shared
+    /// counter until the range is exhausted (`schedule(dynamic, chunk)`).
+    pub fn parallel_for_dynamic<F>(&self, count: usize, chunk: usize, body: F)
+    where
+        F: Fn(usize, &Ctx<'_>) + Sync,
+    {
+        assert!(chunk > 0, "dynamic chunk must be nonzero");
+        let next = AtomicUsize::new(0);
+        self.region(|ctx| loop {
+            let start = next.fetch_add(chunk, Ordering::Relaxed);
+            if start >= count {
+                break;
+            }
+            for i in start..(start + chunk).min(count) {
+                body(i, ctx);
+            }
+        });
+    }
+
+    /// Guided-schedule loop: chunk sizes shrink as `⌈remaining/p⌉`, floored at
+    /// `min_chunk` (`schedule(guided, min_chunk)`).
+    pub fn parallel_for_guided<F>(&self, count: usize, min_chunk: usize, body: F)
+    where
+        F: Fn(usize, &Ctx<'_>) + Sync,
+    {
+        assert!(min_chunk > 0, "guided min_chunk must be nonzero");
+        let next = Mutex::new(0usize);
+        self.region(|ctx| loop {
+            let range = {
+                let mut g = next.lock();
+                let remaining = count - *g;
+                let c = guided_chunk(remaining, ctx.nthreads(), min_chunk);
+                if c == 0 {
+                    break;
+                }
+                let start = *g;
+                *g += c;
+                start..start + c
+            };
+            for i in range {
+                body(i, ctx);
+            }
+        });
+    }
+
+    /// Static-schedule loop over an output slice: `data` is split into the
+    /// same contiguous blocks as [`static_block`] and each member receives
+    /// exclusive `&mut` access to its block — the safe-Rust shape of
+    /// "`omp for` writing disjoint array rows".
+    ///
+    /// `body` receives `(block, global_range, ctx)`.
+    pub fn parallel_chunks_mut<T, F>(&self, data: &mut [T], body: F)
+    where
+        T: Send,
+        F: Fn(&mut [T], Range<usize>, &Ctx<'_>) + Sync,
+    {
+        let count = data.len();
+        let n = self.n;
+        // Pre-split into disjoint blocks so no unsafe aliasing is needed.
+        let mut parts: Vec<(&mut [T], Range<usize>)> = Vec::with_capacity(n);
+        let mut rest = data;
+        for t in 0..n {
+            let range = static_block(count, n, t);
+            let (head, tail) = rest.split_at_mut(range.len());
+            parts.push((head, range));
+            rest = tail;
+        }
+        let barrier = SenseBarrier::new(n);
+        if n == 1 {
+            let (block, range) = parts.pop().expect("one part");
+            body(
+                block,
+                range,
+                &Ctx {
+                    thread: 0,
+                    nthreads: 1,
+                    barrier: &barrier,
+                },
+            );
+            return;
+        }
+        std::thread::scope(|s| {
+            let mut iter = parts.into_iter().enumerate();
+            let (_, first) = iter.next().expect("at least one part");
+            for (t, (block, range)) in iter {
+                let barrier = &barrier;
+                let body = &body;
+                s.spawn(move || {
+                    body(
+                        block,
+                        range,
+                        &Ctx {
+                            thread: t,
+                            nthreads: n,
+                            barrier,
+                        },
+                    )
+                });
+            }
+            let (block, range) = first;
+            body(
+                block,
+                range,
+                &Ctx {
+                    thread: 0,
+                    nthreads: n,
+                    barrier: &barrier,
+                },
+            );
+        });
+    }
+
+    /// Like [`parallel_chunks_mut`](Self::parallel_chunks_mut) but with
+    /// caller-chosen part lengths — needed when blocks must align to logical
+    /// units larger than one element (MiniFE splits its result vector by
+    /// *mesh planes*, not rows). `part_lens` must have one entry per thread
+    /// and sum to `data.len()`.
+    ///
+    /// `body` receives `(block, global_range, ctx)`.
+    pub fn parallel_parts_mut<T, F>(&self, data: &mut [T], part_lens: &[usize], body: F)
+    where
+        T: Send,
+        F: Fn(&mut [T], Range<usize>, &Ctx<'_>) + Sync,
+    {
+        assert_eq!(part_lens.len(), self.n, "one part per thread");
+        assert_eq!(
+            part_lens.iter().sum::<usize>(),
+            data.len(),
+            "part lengths must cover data exactly"
+        );
+        let n = self.n;
+        let mut parts: Vec<(&mut [T], Range<usize>)> = Vec::with_capacity(n);
+        let mut rest = data;
+        let mut start = 0usize;
+        for &len in part_lens {
+            let (head, tail) = rest.split_at_mut(len);
+            parts.push((head, start..start + len));
+            rest = tail;
+            start += len;
+        }
+        let barrier = SenseBarrier::new(n);
+        if n == 1 {
+            let (block, range) = parts.pop().expect("one part");
+            body(
+                block,
+                range,
+                &Ctx {
+                    thread: 0,
+                    nthreads: 1,
+                    barrier: &barrier,
+                },
+            );
+            return;
+        }
+        std::thread::scope(|s| {
+            let mut iter = parts.into_iter().enumerate();
+            let (_, first) = iter.next().expect("at least one part");
+            for (t, (block, range)) in iter {
+                let barrier = &barrier;
+                let body = &body;
+                s.spawn(move || {
+                    body(
+                        block,
+                        range,
+                        &Ctx {
+                            thread: t,
+                            nthreads: n,
+                            barrier,
+                        },
+                    )
+                });
+            }
+            let (block, range) = first;
+            body(
+                block,
+                range,
+                &Ctx {
+                    thread: 0,
+                    nthreads: n,
+                    barrier: &barrier,
+                },
+            );
+        });
+    }
+
+    /// Parallel sum reduction: `Σ f(i)` for `i in 0..count` under the static
+    /// schedule (the shape of OpenMP's `reduction(+: …)` clause). Each member
+    /// accumulates locally; partials merge once at the end.
+    pub fn parallel_sum<F>(&self, count: usize, f: F) -> f64
+    where
+        F: Fn(usize) -> f64 + Sync,
+    {
+        let total = Mutex::new(0.0f64);
+        self.region(|ctx| {
+            let mut local = 0.0;
+            for i in static_block(count, ctx.nthreads(), ctx.thread()) {
+                local += f(i);
+            }
+            *total.lock() += local;
+        });
+        total.into_inner()
+    }
+
+    /// Instrumented region: the paper's Listing 1.
+    ///
+    /// Sequence per member: team barrier (synchronize start estimates) →
+    /// enter stamp → `body` → exit stamp (**no** barrier first — `nowait`) →
+    /// join at region end.
+    pub fn timed_region<C, F>(&self, region: &TimedRegion<'_, C>, iteration: usize, body: F)
+    where
+        C: Clock + ?Sized,
+        F: Fn(&Ctx<'_>) + Sync,
+    {
+        self.region(|ctx| {
+            ctx.barrier();
+            region.run(iteration, ctx.thread(), || body(ctx));
+        });
+    }
+
+    /// Instrumented static-schedule loop
+    /// (`barrier; stamp; omp for nowait; stamp; join`).
+    pub fn timed_for_static<C, F>(
+        &self,
+        region: &TimedRegion<'_, C>,
+        iteration: usize,
+        count: usize,
+        body: F,
+    ) where
+        C: Clock + ?Sized,
+        F: Fn(usize, &Ctx<'_>) + Sync,
+    {
+        self.region(|ctx| {
+            ctx.barrier();
+            region.run(iteration, ctx.thread(), || {
+                for i in static_block(count, ctx.nthreads(), ctx.thread()) {
+                    body(i, ctx);
+                }
+            });
+        });
+    }
+
+    /// Instrumented dynamic-schedule loop: barrier → enter stamp → grab
+    /// chunks until exhausted → exit stamp → join. Used by the scheduling
+    /// ablation to ask how work stealing reshapes arrival distributions.
+    pub fn timed_for_dynamic<C, F>(
+        &self,
+        region: &TimedRegion<'_, C>,
+        iteration: usize,
+        count: usize,
+        chunk: usize,
+        body: F,
+    ) where
+        C: Clock + ?Sized,
+        F: Fn(usize, &Ctx<'_>) + Sync,
+    {
+        assert!(chunk > 0, "dynamic chunk must be nonzero");
+        let next = AtomicUsize::new(0);
+        self.region(|ctx| {
+            ctx.barrier();
+            region.run(iteration, ctx.thread(), || loop {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= count {
+                    break;
+                }
+                for i in start..(start + chunk).min(count) {
+                    body(i, ctx);
+                }
+            });
+        });
+    }
+
+    /// Instrumented guided-schedule loop (see
+    /// [`parallel_for_guided`](Self::parallel_for_guided)).
+    pub fn timed_for_guided<C, F>(
+        &self,
+        region: &TimedRegion<'_, C>,
+        iteration: usize,
+        count: usize,
+        min_chunk: usize,
+        body: F,
+    ) where
+        C: Clock + ?Sized,
+        F: Fn(usize, &Ctx<'_>) + Sync,
+    {
+        assert!(min_chunk > 0, "guided min_chunk must be nonzero");
+        let next = Mutex::new(0usize);
+        self.region(|ctx| {
+            ctx.barrier();
+            region.run(iteration, ctx.thread(), || loop {
+                let range = {
+                    let mut g = next.lock();
+                    let remaining = count - *g;
+                    let c = guided_chunk(remaining, ctx.nthreads(), min_chunk);
+                    if c == 0 {
+                        break;
+                    }
+                    let start = *g;
+                    *g += c;
+                    start..start + c
+                };
+                for i in range {
+                    body(i, ctx);
+                }
+            });
+        });
+    }
+
+    /// Instrumented variant of [`parallel_parts_mut`](Self::parallel_parts_mut):
+    /// stamps wrap each member's exclusive, caller-sized block.
+    pub fn timed_parts_mut<C, T, F>(
+        &self,
+        region: &TimedRegion<'_, C>,
+        iteration: usize,
+        data: &mut [T],
+        part_lens: &[usize],
+        body: F,
+    ) where
+        C: Clock + ?Sized,
+        T: Send,
+        F: Fn(&mut [T], Range<usize>, &Ctx<'_>) + Sync,
+    {
+        self.parallel_parts_mut(data, part_lens, |block, range, ctx| {
+            ctx.barrier();
+            region.run(iteration, ctx.thread(), || body(block, range, ctx));
+        });
+    }
+
+    /// Instrumented variant of [`parallel_chunks_mut`](Self::parallel_chunks_mut):
+    /// stamps wrap each member's exclusive block.
+    pub fn timed_chunks_mut<C, T, F>(
+        &self,
+        region: &TimedRegion<'_, C>,
+        iteration: usize,
+        data: &mut [T],
+        body: F,
+    ) where
+        C: Clock + ?Sized,
+        T: Send,
+        F: Fn(&mut [T], Range<usize>, &Ctx<'_>) + Sync,
+    {
+        self.parallel_chunks_mut(data, |block, range, ctx| {
+            ctx.barrier();
+            region.run(iteration, ctx.thread(), || body(block, range, ctx));
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebird_core::{IterationCollector, MonotonicClock, VirtualClock};
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn region_runs_every_member_once() {
+        let pool = Pool::new(6);
+        let hits = AtomicU64::new(0);
+        let seen = Mutex::new(vec![false; 6]);
+        pool.region(|ctx| {
+            hits.fetch_add(1, Ordering::SeqCst);
+            assert_eq!(ctx.nthreads(), 6);
+            let mut g = seen.lock();
+            assert!(!g[ctx.thread()], "duplicate member id");
+            g[ctx.thread()] = true;
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 6);
+        assert!(seen.lock().iter().all(|&s| s));
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = Pool::new(1);
+        let mut touched = false;
+        // Borrowing mutably proves it runs on the calling thread w/o Sync needs.
+        let cell = Mutex::new(&mut touched);
+        pool.region(|ctx| {
+            assert_eq!(ctx.thread(), 0);
+            **cell.lock() = true;
+        });
+        assert!(touched);
+    }
+
+    #[test]
+    fn static_for_covers_range_exactly_once() {
+        let pool = Pool::new(4);
+        let counts: Vec<AtomicU64> = (0..103).map(|_| AtomicU64::new(0)).collect();
+        pool.parallel_for_static(103, |i, _| {
+            counts[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn dynamic_for_covers_range_exactly_once() {
+        let pool = Pool::new(4);
+        let counts: Vec<AtomicU64> = (0..101).map(|_| AtomicU64::new(0)).collect();
+        pool.parallel_for_dynamic(101, 7, |i, _| {
+            counts[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn guided_for_covers_range_exactly_once() {
+        let pool = Pool::new(3);
+        let counts: Vec<AtomicU64> = (0..250).map(|_| AtomicU64::new(0)).collect();
+        pool.parallel_for_guided(250, 4, |i, _| {
+            counts[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn chunks_mut_gives_disjoint_blocks() {
+        let pool = Pool::new(5);
+        let mut data = vec![0usize; 23];
+        pool.parallel_chunks_mut(&mut data, |block, range, ctx| {
+            assert_eq!(block.len(), range.len());
+            assert_eq!(range, static_block(23, 5, ctx.thread()));
+            for (off, v) in block.iter_mut().enumerate() {
+                *v = range.start + off + 1; // global index + 1
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i + 1);
+        }
+    }
+
+    #[test]
+    fn chunks_mut_single_thread() {
+        let pool = Pool::new(1);
+        let mut data = vec![0u8; 5];
+        pool.parallel_chunks_mut(&mut data, |block, range, _| {
+            assert_eq!(range, 0..5);
+            block.fill(7);
+        });
+        assert_eq!(data, vec![7; 5]);
+    }
+
+    #[test]
+    fn timed_region_records_all_threads() {
+        let pool = Pool::new(4);
+        let clock = MonotonicClock::new();
+        let coll = IterationCollector::new(3, 4);
+        let region = TimedRegion::new(&clock, &coll);
+        for iter in 0..3 {
+            pool.timed_region(&region, iter, |_| {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            });
+        }
+        assert_eq!(coll.completeness(), 1.0);
+        for i in 0..3 {
+            for t in 0..4 {
+                let s = coll.sample(i, t).unwrap();
+                assert!(s.compute_time_ns() >= 100_000, "i={i} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn timed_for_static_measures_work_share() {
+        let pool = Pool::new(2);
+        let clock = MonotonicClock::new();
+        let coll = IterationCollector::new(1, 2);
+        let region = TimedRegion::new(&clock, &coll);
+        let sum = AtomicU64::new(0);
+        pool.timed_for_static(&region, 0, 1000, |i, _| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::SeqCst), 499_500);
+        assert_eq!(coll.completeness(), 1.0);
+    }
+
+    #[test]
+    fn timed_chunks_mut_combines_stamps_and_blocks() {
+        let pool = Pool::new(3);
+        let clock = VirtualClock::new(0);
+        let coll = IterationCollector::new(1, 3);
+        let region = TimedRegion::new(&clock, &coll);
+        let mut data = vec![0u32; 9];
+        pool.timed_chunks_mut(&region, 0, &mut data, |block, _, _| block.fill(1));
+        assert_eq!(data, vec![1; 9]);
+        assert_eq!(coll.completeness(), 1.0);
+    }
+
+    #[test]
+    fn timed_dynamic_covers_range_and_records() {
+        let pool = Pool::new(3);
+        let clock = MonotonicClock::new();
+        let coll = IterationCollector::new(1, 3);
+        let region = TimedRegion::new(&clock, &coll);
+        let counts: Vec<AtomicU64> = (0..97).map(|_| AtomicU64::new(0)).collect();
+        pool.timed_for_dynamic(&region, 0, 97, 5, |i, _| {
+            counts[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+        assert_eq!(coll.completeness(), 1.0);
+    }
+
+    #[test]
+    fn timed_guided_covers_range_and_records() {
+        let pool = Pool::new(3);
+        let clock = MonotonicClock::new();
+        let coll = IterationCollector::new(1, 3);
+        let region = TimedRegion::new(&clock, &coll);
+        let counts: Vec<AtomicU64> = (0..150).map(|_| AtomicU64::new(0)).collect();
+        pool.timed_for_guided(&region, 0, 150, 2, |i, _| {
+            counts[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+        assert_eq!(coll.completeness(), 1.0);
+    }
+
+    #[test]
+    fn dynamic_schedule_shrinks_imbalanced_makespan() {
+        // The ablation claim in one test: for a loop whose tail iterations
+        // are expensive, the static schedule hands the whole expensive tail
+        // to the last thread, while dynamic chunks share it — so the slowest
+        // thread's compute time (the fork/join makespan) must shrink.
+        let pool = Pool::new(2);
+        let clock = MonotonicClock::new();
+        let coll = IterationCollector::new(2, 2);
+        let region = TimedRegion::new(&clock, &coll);
+        let work = |i: usize| {
+            // The second half costs ~8× more per iteration.
+            let reps = if i >= 64 { 80_000u64 } else { 10_000 };
+            let mut acc = 0u64;
+            for k in 0..reps {
+                acc = acc.wrapping_mul(0x5851_F42D_4C95_7F2D).wrapping_add(k);
+            }
+            std::hint::black_box(acc);
+        };
+        pool.timed_for_static(&region, 0, 128, |i, _| work(i));
+        pool.timed_for_dynamic(&region, 1, 128, 4, |i, _| work(i));
+        let makespan = |iter: usize| {
+            (0..2)
+                .map(|t| coll.sample(iter, t).unwrap().compute_time_ns())
+                .max()
+                .unwrap() as f64
+        };
+        let static_ms = makespan(0);
+        let dynamic_ms = makespan(1);
+        assert!(
+            dynamic_ms < 0.95 * static_ms,
+            "dynamic should shrink the makespan: static {static_ms} vs dynamic {dynamic_ms}"
+        );
+    }
+
+    #[test]
+    fn parts_mut_respects_caller_lengths() {
+        let pool = Pool::new(3);
+        let mut data = vec![0usize; 10];
+        let lens = [5, 2, 3];
+        pool.parallel_parts_mut(&mut data, &lens, |block, range, ctx| {
+            assert_eq!(block.len(), lens[ctx.thread()]);
+            for (off, v) in block.iter_mut().enumerate() {
+                *v = range.start + off;
+            }
+        });
+        assert_eq!(data, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "cover data exactly")]
+    fn parts_mut_rejects_bad_lengths() {
+        let pool = Pool::new(2);
+        let mut data = vec![0u8; 4];
+        pool.parallel_parts_mut(&mut data, &[1, 2], |_, _, _| {});
+    }
+
+    #[test]
+    fn parallel_sum_matches_sequential() {
+        let pool = Pool::new(4);
+        let got = pool.parallel_sum(1001, |i| i as f64);
+        assert_eq!(got, 500_500.0);
+        assert_eq!(pool.parallel_sum(0, |_| 1.0), 0.0);
+    }
+
+    #[test]
+    fn timed_parts_mut_records_and_writes() {
+        let pool = Pool::new(2);
+        let clock = VirtualClock::new(0);
+        let coll = IterationCollector::new(1, 2);
+        let region = TimedRegion::new(&clock, &coll);
+        let mut data = vec![0u8; 6];
+        pool.timed_parts_mut(&region, 0, &mut data, &[4, 2], |block, _, _| block.fill(3));
+        assert_eq!(data, vec![3; 6]);
+        assert_eq!(coll.completeness(), 1.0);
+    }
+
+    #[test]
+    fn nested_barrier_use_inside_region() {
+        let pool = Pool::new(4);
+        let phase1 = AtomicU64::new(0);
+        pool.region(|ctx| {
+            phase1.fetch_add(1, Ordering::SeqCst);
+            ctx.barrier();
+            // All four increments must be visible after the barrier.
+            assert_eq!(phase1.load(Ordering::SeqCst), 4);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_thread_pool_rejected() {
+        Pool::new(0);
+    }
+
+    #[test]
+    fn oversubscribed_pool_completes() {
+        // 16 threads on a 2-core box: exercises parking paths end-to-end.
+        let pool = Pool::new(16);
+        let hits = AtomicU64::new(0);
+        pool.parallel_for_static(160, |_, _| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 160);
+    }
+}

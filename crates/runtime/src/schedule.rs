@@ -1,0 +1,174 @@
+//! Loop scheduling policies mirroring OpenMP's `schedule(...)` clause.
+//!
+//! The paper's applications all use the *default static schedule*, whose
+//! integer-division imbalance is load-bearing for the analysis: MiniFE's
+//! outer loop distributes 200 planes over 48 threads, so 8 threads receive
+//! ⌈200/48⌉ = 5 planes and 40 receive 4 — the mechanism behind its
+//! "early arrival significantly more common than late arrival" observation
+//! (Section 4.2.1). [`static_block`] implements the libgomp rule exactly.
+
+use std::ops::Range;
+
+/// A loop scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// OpenMP default static: one contiguous block per thread, the first
+    /// `n mod p` threads get one extra iteration (libgomp's rule).
+    StaticBlock,
+    /// Static with an explicit chunk size, dealt round-robin
+    /// (`schedule(static, k)`).
+    StaticChunk(usize),
+    /// First-come-first-served chunks of fixed size (`schedule(dynamic, k)`).
+    Dynamic(usize),
+    /// Exponentially shrinking chunks down to a minimum
+    /// (`schedule(guided, k)`).
+    Guided(usize),
+}
+
+impl Schedule {
+    /// Human-readable label used by the ablation benches.
+    pub fn label(&self) -> String {
+        match self {
+            Schedule::StaticBlock => "static".into(),
+            Schedule::StaticChunk(k) => format!("static,{k}"),
+            Schedule::Dynamic(k) => format!("dynamic,{k}"),
+            Schedule::Guided(k) => format!("guided,{k}"),
+        }
+    }
+}
+
+/// The contiguous iteration block thread `t` of `p` executes for a loop of
+/// `n` iterations under the default static schedule (libgomp rule: the first
+/// `n mod p` threads get `⌈n/p⌉` iterations, the rest `⌊n/p⌋`).
+pub fn static_block(n: usize, p: usize, t: usize) -> Range<usize> {
+    assert!(p > 0, "need at least one thread");
+    assert!(t < p, "thread index {t} out of range for {p} threads");
+    let q = n / p;
+    let r = n % p;
+    if t < r {
+        let start = t * (q + 1);
+        start..start + q + 1
+    } else {
+        let start = r * (q + 1) + (t - r) * q;
+        start..start + q
+    }
+}
+
+/// All iteration indices thread `t` executes under `schedule(static, k)`:
+/// chunks of size `k` dealt round-robin. Returned as chunk ranges.
+pub fn static_chunks(n: usize, p: usize, t: usize, k: usize) -> Vec<Range<usize>> {
+    assert!(p > 0 && k > 0);
+    assert!(t < p);
+    let mut out = Vec::new();
+    let mut chunk_start = t * k;
+    while chunk_start < n {
+        out.push(chunk_start..(chunk_start + k).min(n));
+        chunk_start += p * k;
+    }
+    out
+}
+
+/// The chunk size a guided schedule hands out when `remaining` iterations are
+/// left for `p` threads with minimum chunk `k` (libgomp: `⌈remaining/p⌉`,
+/// floored at `k`).
+pub fn guided_chunk(remaining: usize, p: usize, k: usize) -> usize {
+    assert!(p > 0 && k > 0);
+    if remaining == 0 {
+        0
+    } else {
+        (remaining.div_ceil(p)).max(k).min(remaining)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_block_partitions_exactly() {
+        for (n, p) in [(200, 48), (7, 3), (48, 48), (3, 8), (0, 4), (1000, 7)] {
+            let mut covered = vec![false; n];
+            let mut total = 0;
+            for t in 0..p {
+                let r = static_block(n, p, t);
+                total += r.len();
+                for i in r {
+                    assert!(!covered[i], "iteration {i} assigned twice");
+                    covered[i] = true;
+                }
+            }
+            assert_eq!(total, n, "n={n}, p={p}");
+            assert!(covered.iter().all(|&c| c));
+        }
+    }
+
+    #[test]
+    fn minife_200_over_48_split() {
+        // The paper's MiniFE case: 8 threads get 5 planes, 40 get 4.
+        let sizes: Vec<usize> = (0..48).map(|t| static_block(200, 48, t).len()).collect();
+        assert_eq!(sizes.iter().filter(|&&s| s == 5).count(), 8);
+        assert_eq!(sizes.iter().filter(|&&s| s == 4).count(), 40);
+        // The long blocks are the *first* threads (libgomp rule).
+        assert_eq!(sizes[0], 5);
+        assert_eq!(sizes[7], 5);
+        assert_eq!(sizes[8], 4);
+    }
+
+    #[test]
+    fn static_block_is_contiguous_and_ordered() {
+        let mut prev_end = 0;
+        for t in 0..5 {
+            let r = static_block(17, 5, t);
+            assert_eq!(r.start, prev_end);
+            prev_end = r.end;
+        }
+        assert_eq!(prev_end, 17);
+    }
+
+    #[test]
+    fn static_chunks_cover_everything_once() {
+        for (n, p, k) in [(100, 4, 7), (13, 5, 1), (64, 8, 8), (10, 3, 20)] {
+            let mut covered = vec![false; n];
+            for t in 0..p {
+                for r in static_chunks(n, p, t, k) {
+                    for i in r {
+                        assert!(!covered[i]);
+                        covered[i] = true;
+                    }
+                }
+            }
+            assert!(covered.iter().all(|&c| c), "n={n} p={p} k={k}");
+        }
+    }
+
+    #[test]
+    fn guided_chunk_shrinks_monotonically() {
+        let mut remaining = 1000usize;
+        let mut prev = usize::MAX;
+        while remaining > 0 {
+            let c = guided_chunk(remaining, 8, 4);
+            assert!(c >= 1 && c <= remaining);
+            assert!(c <= prev);
+            prev = c;
+            remaining -= c;
+        }
+        assert_eq!(guided_chunk(0, 8, 4), 0);
+        // Minimum chunk is respected until the tail.
+        assert_eq!(guided_chunk(10, 8, 4), 4);
+        assert_eq!(guided_chunk(3, 8, 4), 3);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Schedule::StaticBlock.label(), "static");
+        assert_eq!(Schedule::StaticChunk(4).label(), "static,4");
+        assert_eq!(Schedule::Dynamic(2).label(), "dynamic,2");
+        assert_eq!(Schedule::Guided(1).label(), "guided,1");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn static_block_rejects_bad_thread() {
+        static_block(10, 4, 4);
+    }
+}

@@ -1,0 +1,174 @@
+//! Nonparametric bootstrap confidence intervals.
+//!
+//! The paper reports point estimates (laggard rates, idle ratios, pass
+//! percentages) without uncertainty. EXPERIMENTS.md attaches bootstrap CIs to
+//! our regenerated numbers so "matched the paper" has a defensible meaning.
+//! Percentile bootstrap over seeded resampling — deterministic per seed.
+
+use crate::dist::Rng64;
+use crate::{ensure_finite, ensure_len, StatsError};
+
+/// A two-sided confidence interval with its point estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Statistic evaluated on the original sample.
+    pub estimate: f64,
+    /// Lower percentile bound.
+    pub lo: f64,
+    /// Upper percentile bound.
+    pub hi: f64,
+    /// Confidence level (e.g. 0.95).
+    pub level: f64,
+    /// Bootstrap replicates used.
+    pub replicates: usize,
+}
+
+impl ConfidenceInterval {
+    /// `true` when `value` lies inside `[lo, hi]`.
+    pub fn contains(&self, value: f64) -> bool {
+        (self.lo..=self.hi).contains(&value)
+    }
+
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// Percentile-bootstrap CI for an arbitrary statistic of an i.i.d. sample.
+///
+/// `statistic` must be permutation-invariant (mean, median, quantile,
+/// laggard indicator rate, …). `replicates` ≥ 100 recommended.
+///
+/// # Errors
+/// Sample must be nonempty and finite; `level` in (0, 1).
+pub fn bootstrap_ci<F>(
+    sample: &[f64],
+    statistic: F,
+    replicates: usize,
+    level: f64,
+    seed: u64,
+) -> Result<ConfidenceInterval, StatsError>
+where
+    F: Fn(&[f64]) -> f64,
+{
+    ensure_len(sample, 1)?;
+    ensure_finite(sample)?;
+    if !(0.0 < level && level < 1.0) {
+        return Err(StatsError::InvalidParameter("confidence level must be in (0,1)"));
+    }
+    if replicates < 10 {
+        return Err(StatsError::InvalidParameter("need at least 10 replicates"));
+    }
+    let estimate = statistic(sample);
+    let mut rng = Rng64::new(seed);
+    let n = sample.len();
+    let mut resample = vec![0.0f64; n];
+    let mut stats = Vec::with_capacity(replicates);
+    for _ in 0..replicates {
+        for slot in resample.iter_mut() {
+            *slot = sample[rng.next_below(n as u64) as usize];
+        }
+        stats.push(statistic(&resample));
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("finite statistic"));
+    let alpha = 1.0 - level;
+    let lo = crate::percentile::percentile_of_sorted(&stats, 100.0 * alpha / 2.0);
+    let hi = crate::percentile::percentile_of_sorted(&stats, 100.0 * (1.0 - alpha / 2.0));
+    Ok(ConfidenceInterval {
+        estimate,
+        lo,
+        hi,
+        level,
+        replicates,
+    })
+}
+
+/// Bootstrap CI for a *rate over units* (e.g. laggard rate over process
+/// iterations): resamples the unit-level 0/1 indicators.
+pub fn bootstrap_rate_ci(
+    indicators: &[bool],
+    replicates: usize,
+    level: f64,
+    seed: u64,
+) -> Result<ConfidenceInterval, StatsError> {
+    let as_f: Vec<f64> = indicators.iter().map(|&b| b as u8 as f64).collect();
+    bootstrap_ci(
+        &as_f,
+        |xs| xs.iter().sum::<f64>() / xs.len() as f64,
+        replicates,
+        level,
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Normal, Sample};
+
+    fn mean(xs: &[f64]) -> f64 {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+
+    #[test]
+    fn ci_brackets_true_mean_usually() {
+        // 50 independent datasets from N(10, 2): the 95% CI must contain the
+        // true mean in the vast majority (binomial slack allowed).
+        let mut rng = Rng64::new(5);
+        let d = Normal::new(10.0, 2.0);
+        let mut covered = 0;
+        for rep in 0..50 {
+            let xs: Vec<f64> = (0..100).map(|_| d.sample(&mut rng)).collect();
+            let ci = bootstrap_ci(&xs, mean, 300, 0.95, 1000 + rep).unwrap();
+            if ci.contains(10.0) {
+                covered += 1;
+            }
+        }
+        assert!(covered >= 42, "coverage {covered}/50");
+    }
+
+    #[test]
+    fn ci_is_deterministic_per_seed() {
+        let xs: Vec<f64> = (0..60).map(|i| (i % 13) as f64).collect();
+        let a = bootstrap_ci(&xs, mean, 200, 0.9, 7).unwrap();
+        let b = bootstrap_ci(&xs, mean, 200, 0.9, 7).unwrap();
+        assert_eq!(a, b);
+        let c = bootstrap_ci(&xs, mean, 200, 0.9, 8).unwrap();
+        assert_ne!(a.lo, c.lo);
+    }
+
+    #[test]
+    fn interval_is_ordered_and_contains_estimate_for_smooth_stats() {
+        let xs: Vec<f64> = (0..200).map(|i| (i as f64).sin() * 3.0 + 5.0).collect();
+        let ci = bootstrap_ci(&xs, mean, 500, 0.95, 3).unwrap();
+        assert!(ci.lo <= ci.estimate && ci.estimate <= ci.hi);
+        assert!(ci.width() > 0.0);
+        assert_eq!(ci.replicates, 500);
+    }
+
+    #[test]
+    fn wider_level_gives_wider_interval() {
+        let xs: Vec<f64> = (0..150).map(|i| ((i * 31) % 17) as f64).collect();
+        let ci90 = bootstrap_ci(&xs, mean, 400, 0.90, 11).unwrap();
+        let ci99 = bootstrap_ci(&xs, mean, 400, 0.99, 11).unwrap();
+        assert!(ci99.width() > ci90.width());
+    }
+
+    #[test]
+    fn rate_ci_matches_manual_rate() {
+        let indicators: Vec<bool> = (0..500).map(|i| i % 5 == 0).collect();
+        let ci = bootstrap_rate_ci(&indicators, 300, 0.95, 13).unwrap();
+        assert!((ci.estimate - 0.2).abs() < 1e-12);
+        assert!(ci.contains(0.2));
+        assert!(ci.width() < 0.1, "width {}", ci.width());
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(bootstrap_ci(&[], mean, 100, 0.95, 1).is_err());
+        assert!(bootstrap_ci(&[1.0], mean, 5, 0.95, 1).is_err());
+        assert!(bootstrap_ci(&[1.0], mean, 100, 1.5, 1).is_err());
+        assert!(bootstrap_ci(&[f64::NAN], mean, 100, 0.5, 1).is_err());
+    }
+}

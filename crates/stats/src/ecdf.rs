@@ -1,0 +1,154 @@
+//! Empirical distribution functions and Kolmogorov–Smirnov distances.
+//!
+//! Used by the calibration diagnostics in `ebird-cluster`: when fitting the
+//! synthetic timing models to the paper's reported statistics we compare the
+//! generated arrival distribution against the target shape via the KS
+//! distance, and the analysis layer uses [`Ecdf`] to report tail fractions
+//! (e.g. "what fraction of threads arrive within 1 ms of the median?").
+
+use crate::{ensure_finite, ensure_len, StatsError};
+
+/// An empirical CDF built from a sample (stored sorted).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds the ECDF; the sample is copied and sorted.
+    ///
+    /// # Errors
+    /// [`StatsError::SampleTooSmall`] on empty input, [`StatsError::NonFinite`]
+    /// on NaN/∞.
+    pub fn new(sample: &[f64]) -> Result<Self, StatsError> {
+        ensure_len(sample, 1)?;
+        ensure_finite(sample)?;
+        let mut sorted = sample.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        Ok(Ecdf { sorted })
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always false: construction rejects empty samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `F̂(x)` — fraction of observations `≤ x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Fraction of observations in `(lo, hi]`.
+    pub fn mass_between(&self, lo: f64, hi: f64) -> f64 {
+        (self.eval(hi) - self.eval(lo)).max(0.0)
+    }
+
+    /// The underlying sorted sample.
+    pub fn sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Two-sample Kolmogorov–Smirnov distance `sup |F̂₁ − F̂₂|`.
+    pub fn ks_distance(&self, other: &Ecdf) -> f64 {
+        let mut d: f64 = 0.0;
+        for &x in &self.sorted {
+            d = d.max((self.eval(x) - other.eval(x)).abs());
+        }
+        for &x in &other.sorted {
+            d = d.max((self.eval(x) - other.eval(x)).abs());
+        }
+        d
+    }
+
+    /// One-sample KS distance against an arbitrary CDF.
+    pub fn ks_distance_to<F: Fn(f64) -> f64>(&self, cdf: F) -> f64 {
+        let n = self.sorted.len() as f64;
+        let mut d: f64 = 0.0;
+        for (i, &x) in self.sorted.iter().enumerate() {
+            let f = cdf(x);
+            let hi = (i as f64 + 1.0) / n - f;
+            let lo = f - i as f64 / n;
+            d = d.max(hi.max(lo));
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::special::norm_cdf;
+
+    #[test]
+    fn eval_steps_correctly() {
+        let e = Ecdf::new(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.5), 0.5);
+        assert_eq!(e.eval(4.0), 1.0);
+        assert_eq!(e.eval(99.0), 1.0);
+        assert_eq!(e.len(), 4);
+        assert!(!e.is_empty());
+    }
+
+    #[test]
+    fn handles_ties() {
+        let e = Ecdf::new(&[2.0, 2.0, 2.0, 5.0]).unwrap();
+        assert_eq!(e.eval(2.0), 0.75);
+        assert_eq!(e.eval(1.9), 0.0);
+    }
+
+    #[test]
+    fn mass_between_is_nonnegative_and_additive() {
+        let e = Ecdf::new(&(0..100).map(|i| i as f64).collect::<Vec<_>>()).unwrap();
+        let a = e.mass_between(9.0, 49.0);
+        let b = e.mass_between(49.0, 89.0);
+        assert!((a - 0.4).abs() < 1e-12);
+        assert!((a + b - e.mass_between(9.0, 89.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_distance_identical_is_zero() {
+        let xs: Vec<f64> = (0..50).map(|i| (i * i % 23) as f64).collect();
+        let a = Ecdf::new(&xs).unwrap();
+        let b = Ecdf::new(&xs).unwrap();
+        assert_eq!(a.ks_distance(&b), 0.0);
+    }
+
+    #[test]
+    fn ks_distance_disjoint_is_one() {
+        let a = Ecdf::new(&[1.0, 2.0, 3.0]).unwrap();
+        let b = Ecdf::new(&[10.0, 11.0]).unwrap();
+        assert!((a.ks_distance(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_sample_ks_against_normal_scores_is_small() {
+        let xs: Vec<f64> = (1..=1000)
+            .map(|i| crate::special::norm_quantile((i as f64 - 0.5) / 1000.0))
+            .collect();
+        let e = Ecdf::new(&xs).unwrap();
+        let d = e.ks_distance_to(norm_cdf);
+        assert!(d < 0.002, "KS distance {d}");
+    }
+
+    #[test]
+    fn one_sample_ks_detects_wrong_model() {
+        let xs: Vec<f64> = (0..1000).map(|i| i as f64 / 999.0).collect(); // uniform
+        let e = Ecdf::new(&xs).unwrap();
+        let d = e.ks_distance_to(norm_cdf); // tested against standard normal
+        assert!(d > 0.3, "KS distance {d}");
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Ecdf::new(&[]).is_err());
+        assert!(Ecdf::new(&[f64::NAN]).is_err());
+    }
+}

@@ -1,0 +1,237 @@
+//! Anderson–Darling test for normality with estimated parameters.
+//!
+//! Implements Stephens' "case 3" (both mean and variance estimated from the
+//! sample), the variant `scipy.stats.anderson(x, 'norm')` computes and the one
+//! the paper runs at a 5% significance level.
+//!
+//! The statistic is
+//! `A² = −n − (1/n) Σ (2i−1)[ln Φ(zᵢ) + ln(1 − Φ(z_{n+1−i}))]`
+//! over standardized, sorted observations, with the small-sample modification
+//! `A*² = A² (1 + 0.75/n + 2.25/n²)` (D'Agostino & Stephens 1986, Table 4.7).
+//!
+//! Decisions use the published critical values; p-values use the
+//! D'Agostino–Stephens piecewise-exponential approximation (the same one R's
+//! `nortest::ad.test` uses), which reproduces p = 0.05 at A*² = 0.752 and
+//! p = 0.01 at A*² = 1.035.
+
+use crate::descriptive::Moments;
+use crate::special::{norm_log_cdf, norm_log_sf};
+use crate::{ensure_finite, ensure_len, StatsError};
+
+use super::{NormalityOutcome, NormalityTest, TestStatistic};
+
+/// Published case-3 significance levels (percent) and A*² critical values
+/// (D'Agostino & Stephens 1986, Table 4.7).
+pub const CRITICAL_TABLE: [(f64, f64); 4] = [
+    (10.0, 0.631),
+    (5.0, 0.752),
+    (2.5, 0.873),
+    (1.0, 1.035),
+];
+
+/// The Anderson–Darling normality test (case 3). Stateless; construct freely.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AndersonDarling;
+
+impl AndersonDarling {
+    /// Computes the *modified* statistic A*² for an unsorted sample.
+    ///
+    /// # Errors
+    /// Same contract as [`NormalityTest::test`].
+    pub fn a2_statistic(&self, sample: &[f64]) -> Result<f64, StatsError> {
+        ensure_len(sample, self.min_sample_size())?;
+        ensure_finite(sample)?;
+        let n = sample.len();
+        let nf = n as f64;
+        let m = Moments::from_slice(sample);
+        let sd = m.std_dev(); // unbiased (n-1) denominator, as in scipy
+        if !(sd > 0.0) {
+            return Err(StatsError::ZeroVariance);
+        }
+        let mean = m.mean();
+        let mut z: Vec<f64> = sample.iter().map(|&x| (x - mean) / sd).collect();
+        z.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+
+        let mut s = 0.0;
+        for i in 0..n {
+            let w = (2 * i + 1) as f64;
+            s += w * (norm_log_cdf(z[i]) + norm_log_sf(z[n - 1 - i]));
+        }
+        let a2 = -nf - s / nf;
+        Ok(a2 * (1.0 + 0.75 / nf + 2.25 / (nf * nf)))
+    }
+
+    /// D'Agostino–Stephens p-value approximation for a modified statistic.
+    ///
+    /// The published fit covers moderate statistics; its quadratic term turns
+    /// around far outside that range (vertex at A*² ≈ 153), so statistics
+    /// beyond 13 — where the fitted p is already < 5e-31 — saturate to the
+    /// smallest positive double instead of exploding.
+    pub fn p_value_for(a2_star: f64) -> f64 {
+        if a2_star > 13.0 {
+            return f64::MIN_POSITIVE;
+        }
+        let p = if a2_star >= 0.6 {
+            (1.2937 - 5.709 * a2_star + 0.0186 * a2_star * a2_star).exp()
+        } else if a2_star > 0.34 {
+            (0.9177 - 4.279 * a2_star - 1.38 * a2_star * a2_star).exp()
+        } else if a2_star > 0.2 {
+            1.0 - (-8.318 + 42.796 * a2_star - 59.938 * a2_star * a2_star).exp()
+        } else {
+            1.0 - (-13.436 + 101.14 * a2_star - 223.73 * a2_star * a2_star).exp()
+        };
+        p.clamp(0.0, 1.0)
+    }
+
+    /// Critical value of A*² at a significance level given in percent
+    /// (one of 10, 5, 2.5, 1), or `None` for unsupported levels.
+    pub fn critical_value(significance_percent: f64) -> Option<f64> {
+        CRITICAL_TABLE
+            .iter()
+            .find(|(s, _)| (*s - significance_percent).abs() < 1e-9)
+            .map(|&(_, c)| c)
+    }
+}
+
+impl NormalityTest for AndersonDarling {
+    fn kind(&self) -> TestStatistic {
+        TestStatistic::AndersonDarlingA2
+    }
+
+    fn min_sample_size(&self) -> usize {
+        8
+    }
+
+    fn test(&self, sample: &[f64]) -> Result<NormalityOutcome, StatsError> {
+        let a2 = self.a2_statistic(sample)?;
+        Ok(NormalityOutcome {
+            statistic_kind: TestStatistic::AndersonDarlingA2,
+            statistic: a2,
+            p_value: Self::p_value_for(a2),
+            n: sample.len(),
+            extrapolated: false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::special::norm_quantile;
+
+    fn normal_scores(n: usize) -> Vec<f64> {
+        (1..=n)
+            .map(|i| norm_quantile((i as f64 - 0.5) / n as f64))
+            .collect()
+    }
+
+    #[test]
+    fn p_value_pins_published_critical_values() {
+        // The approximation must reproduce the published table within ~3%.
+        for (sig, crit) in CRITICAL_TABLE {
+            let p = AndersonDarling::p_value_for(crit);
+            let want = sig / 100.0;
+            assert!(
+                (p - want).abs() < 0.03 * want.max(0.05),
+                "A*²={crit}: p={p}, want≈{want}"
+            );
+        }
+    }
+
+    #[test]
+    fn critical_value_lookup() {
+        assert_eq!(AndersonDarling::critical_value(5.0), Some(0.752));
+        assert_eq!(AndersonDarling::critical_value(1.0), Some(1.035));
+        assert_eq!(AndersonDarling::critical_value(7.3), None);
+    }
+
+    #[test]
+    fn normal_scores_pass() {
+        for n in [20, 48, 500] {
+            let o = AndersonDarling.test(&normal_scores(n)).unwrap();
+            assert!(o.statistic < 0.3, "n={n}: A*²={}", o.statistic);
+            assert!(o.passes(0.05), "n={n}: p={}", o.p_value);
+        }
+    }
+
+    #[test]
+    fn uniform_rejected_at_scale() {
+        let xs: Vec<f64> = (0..1000).map(|i| i as f64 / 999.0).collect();
+        let o = AndersonDarling.test(&xs).unwrap();
+        assert!(o.rejects_normality(0.05), "uniform p={}", o.p_value);
+        assert!(o.statistic > 1.0, "A*² = {}", o.statistic);
+    }
+
+    #[test]
+    fn exponential_rejected_at_n48() {
+        let xs: Vec<f64> = (1..=48)
+            .map(|i| -(1.0 - (i as f64 - 0.5) / 48.0).ln())
+            .collect();
+        let o = AndersonDarling.test(&xs).unwrap();
+        assert!(o.rejects_normality(0.05), "exp p={}", o.p_value);
+    }
+
+    #[test]
+    fn statistic_is_location_scale_invariant() {
+        let xs = normal_scores(48);
+        let shifted: Vec<f64> = xs.iter().map(|v| 1e6 + 250.0 * v).collect();
+        let a = AndersonDarling.a2_statistic(&xs).unwrap();
+        let b = AndersonDarling.a2_statistic(&shifted).unwrap();
+        assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+    }
+
+    #[test]
+    fn outlier_inflates_statistic() {
+        let mut xs = normal_scores(48);
+        let base = AndersonDarling.a2_statistic(&xs).unwrap();
+        xs[47] = 15.0; // a laggard-like extreme value
+        let with_outlier = AndersonDarling.a2_statistic(&xs).unwrap();
+        assert!(
+            with_outlier > base * 2.0,
+            "outlier should inflate A*²: {base} -> {with_outlier}"
+        );
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(matches!(
+            AndersonDarling.test(&[1.0; 7]),
+            Err(StatsError::SampleTooSmall { .. })
+        ));
+        assert!(matches!(
+            AndersonDarling.test(&[3.0; 12]),
+            Err(StatsError::ZeroVariance)
+        ));
+        let mut xs = normal_scores(12);
+        xs[0] = f64::INFINITY;
+        assert!(matches!(
+            AndersonDarling.test(&xs),
+            Err(StatsError::NonFinite)
+        ));
+    }
+
+    #[test]
+    fn huge_statistics_yield_vanishing_p() {
+        // Regression: the quadratic fit must not blow up outside its domain
+        // (application-level sweeps produce A*² in the hundreds).
+        for a in [13.1, 50.0, 761.0, 1.0e6] {
+            let p = AndersonDarling::p_value_for(a);
+            assert!(p > 0.0 && p < 1e-30, "A*²={a}: p={p}");
+        }
+        // Continuity at the cap: just below 13 the fit is already tiny.
+        assert!(AndersonDarling::p_value_for(12.9) < 1e-29);
+    }
+
+    #[test]
+    fn p_value_monotone_decreasing_in_statistic() {
+        let mut prev = 1.0;
+        for i in 0..200 {
+            let a = i as f64 * 0.02;
+            let p = AndersonDarling::p_value_for(a);
+            assert!((0.0..=1.0).contains(&p));
+            // Allow tiny non-monotonicity at the piecewise boundaries.
+            assert!(p <= prev + 0.02, "p should decrease: A*²={a}, p={p}, prev={prev}");
+            prev = p;
+        }
+    }
+}

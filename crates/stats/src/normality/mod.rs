@@ -1,0 +1,199 @@
+//! Normality tests used in the paper's Section 4.1 evaluation.
+//!
+//! The paper runs three tests at every aggregation level, each with the null
+//! hypothesis "the sample is drawn from a normal distribution":
+//!
+//! * **D'Agostino's K²** omnibus test (skewness + kurtosis) — [`dagostino`].
+//! * **Shapiro–Wilk** (Royston's AS R94 algorithm) — [`shapiro_wilk`].
+//! * **Anderson–Darling** for the normal case with estimated parameters
+//!   (Stephens' case 3) — [`anderson_darling`].
+//!
+//! All three implement the [`NormalityTest`] trait so the analysis layer can
+//! sweep them uniformly (Table 1 runs all three over 16,000 process-iteration
+//! sets per application). The paper uses a 5% significance level; the trait's
+//! [`NormalityTest::test`] takes α explicitly.
+
+pub mod anderson_darling;
+pub mod dagostino;
+pub mod jarque_bera;
+pub mod lilliefors;
+pub mod shapiro_wilk;
+
+use serde::{Deserialize, Serialize};
+
+use crate::StatsError;
+
+/// Identifier for one of the three implemented tests; used in reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TestStatistic {
+    /// D'Agostino's K² omnibus statistic (χ², 2 d.o.f. under H₀).
+    DagostinoK2,
+    /// Shapiro–Wilk W statistic.
+    ShapiroWilkW,
+    /// Anderson–Darling A*² statistic (case 3, Stephens' small-sample factor).
+    AndersonDarlingA2,
+    /// Lilliefors D statistic (KS with estimated parameters) — extension.
+    LillieforsD,
+    /// Jarque–Bera statistic (asymptotic χ², 2 d.o.f.) — extension.
+    JarqueBera,
+}
+
+impl TestStatistic {
+    /// Human-readable name matching the paper's Table 1 row labels
+    /// (extensions get their conventional names).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TestStatistic::DagostinoK2 => "D'Agostino",
+            TestStatistic::ShapiroWilkW => "Shapiro-Wilk",
+            TestStatistic::AndersonDarlingA2 => "Anderson-Darling",
+            TestStatistic::LillieforsD => "Lilliefors",
+            TestStatistic::JarqueBera => "Jarque-Bera",
+        }
+    }
+}
+
+/// Outcome of one normality test on one sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NormalityOutcome {
+    /// Which test produced this outcome.
+    pub statistic_kind: TestStatistic,
+    /// Raw test statistic (K², W or A*² depending on the test).
+    pub statistic: f64,
+    /// Two-sided p-value under the normal null hypothesis. For
+    /// Anderson–Darling this is the D'Agostino–Stephens approximation.
+    pub p_value: f64,
+    /// Sample size the test saw.
+    pub n: usize,
+    /// `true` if the test's p-value approximation is extrapolated beyond its
+    /// published validity range (e.g. Shapiro–Wilk for n > 5000). The value is
+    /// still reported — the paper itself runs SW on 768,000 samples — but
+    /// downstream reports can flag it.
+    pub extrapolated: bool,
+}
+
+impl NormalityOutcome {
+    /// Decision at significance level `alpha`: `true` means *reject* the null
+    /// hypothesis of normality.
+    pub fn rejects_normality(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+
+    /// The paper's Table 1 convention: a process-iteration "passes" when the
+    /// test *fails to reject* the null hypothesis at `alpha`.
+    pub fn passes(&self, alpha: f64) -> bool {
+        !self.rejects_normality(alpha)
+    }
+}
+
+/// A normality test over an i.i.d. sample of `f64` observations.
+pub trait NormalityTest {
+    /// Which statistic this test computes.
+    fn kind(&self) -> TestStatistic;
+
+    /// Minimum sample size the test is defined for.
+    fn min_sample_size(&self) -> usize;
+
+    /// Runs the test. Implementations must accept unsorted input and must not
+    /// mutate it.
+    ///
+    /// # Errors
+    /// [`StatsError::SampleTooSmall`] below [`Self::min_sample_size`],
+    /// [`StatsError::NonFinite`] on NaN/∞, [`StatsError::ZeroVariance`] when
+    /// every observation is identical (all three statistics are undefined).
+    fn test(&self, sample: &[f64]) -> Result<NormalityOutcome, StatsError>;
+}
+
+/// Convenience: the standard battery in the order the paper tabulates them.
+pub fn standard_battery() -> Vec<Box<dyn NormalityTest + Send + Sync>> {
+    vec![
+        Box::new(dagostino::DagostinoK2),
+        Box::new(shapiro_wilk::ShapiroWilk),
+        Box::new(anderson_darling::AndersonDarling),
+    ]
+}
+
+/// The extended battery: the paper's three tests plus Lilliefors and
+/// Jarque–Bera, used by the battery-sensitivity ablation.
+pub fn extended_battery() -> Vec<Box<dyn NormalityTest + Send + Sync>> {
+    vec![
+        Box::new(dagostino::DagostinoK2),
+        Box::new(shapiro_wilk::ShapiroWilk),
+        Box::new(anderson_darling::AndersonDarling),
+        Box::new(lilliefors::Lilliefors),
+        Box::new(jarque_bera::JarqueBera),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn battery_has_three_tests_in_paper_order() {
+        let battery = standard_battery();
+        let kinds: Vec<_> = battery.iter().map(|t| t.kind()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TestStatistic::DagostinoK2,
+                TestStatistic::ShapiroWilkW,
+                TestStatistic::AndersonDarlingA2
+            ]
+        );
+    }
+
+    #[test]
+    fn extended_battery_appends_the_extensions() {
+        let battery = extended_battery();
+        assert_eq!(battery.len(), 5);
+        assert_eq!(battery[3].kind(), TestStatistic::LillieforsD);
+        assert_eq!(battery[4].kind(), TestStatistic::JarqueBera);
+        assert_eq!(battery[3].kind().name(), "Lilliefors");
+        assert_eq!(battery[4].kind().name(), "Jarque-Bera");
+    }
+
+    #[test]
+    fn all_battery_members_agree_on_obvious_cases() {
+        // Strongly exponential data must be rejected by every member; clean
+        // normal scores accepted by every member.
+        let normal: Vec<f64> = (1..=100)
+            .map(|i| crate::special::norm_quantile((i as f64 - 0.5) / 100.0))
+            .collect();
+        let expo: Vec<f64> = (1..=100)
+            .map(|i| -(1.0 - (i as f64 - 0.5) / 100.0).ln())
+            .collect();
+        for test in extended_battery() {
+            let o = test.test(&normal).unwrap();
+            assert!(o.passes(0.05), "{} on normal: p={}", o.statistic_kind.name(), o.p_value);
+            let o = test.test(&expo).unwrap();
+            assert!(
+                o.rejects_normality(0.05),
+                "{} on exponential: p={}",
+                o.statistic_kind.name(),
+                o.p_value
+            );
+        }
+    }
+
+    #[test]
+    fn names_match_paper_table() {
+        assert_eq!(TestStatistic::DagostinoK2.name(), "D'Agostino");
+        assert_eq!(TestStatistic::ShapiroWilkW.name(), "Shapiro-Wilk");
+        assert_eq!(TestStatistic::AndersonDarlingA2.name(), "Anderson-Darling");
+    }
+
+    #[test]
+    fn outcome_decision_logic() {
+        let o = NormalityOutcome {
+            statistic_kind: TestStatistic::DagostinoK2,
+            statistic: 1.0,
+            p_value: 0.04,
+            n: 48,
+            extrapolated: false,
+        };
+        assert!(o.rejects_normality(0.05));
+        assert!(!o.passes(0.05));
+        assert!(!o.rejects_normality(0.01));
+        assert!(o.passes(0.01));
+    }
+}

@@ -1,0 +1,168 @@
+//! Property-based tests for the statistical substrate.
+//!
+//! These complement the unit tests with randomized invariants: whatever the
+//! sample, the descriptive statistics must be internally consistent, the
+//! order statistics ordered, the special functions within their analytic
+//! envelopes, and the normality tests well-behaved (p ∈ [0, 1], scale/shift
+//! invariant).
+
+use ebird_stats::descriptive::{Moments, Summary};
+use ebird_stats::normality::{
+    anderson_darling::AndersonDarling, dagostino::DagostinoK2, jarque_bera::JarqueBera,
+    lilliefors::Lilliefors, shapiro_wilk::ShapiroWilk, NormalityTest,
+};
+use ebird_stats::percentile::{percentile, PercentileSummary};
+use ebird_stats::special::{chi2_cdf, erf, erfc, norm_cdf, norm_quantile};
+use ebird_stats::Histogram;
+use proptest::prelude::*;
+
+fn arb_sample() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1.0e6f64..1.0e6, 8..200)
+}
+
+/// A sample guaranteed to have spread (for scale-dependent tests).
+fn arb_spread_sample() -> impl Strategy<Value = Vec<f64>> {
+    arb_sample().prop_filter("needs spread", |xs| {
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        max - min > 1e-6
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn moments_bounds_and_consistency(xs in arb_sample()) {
+        let m = Moments::from_slice(&xs);
+        prop_assert_eq!(m.count(), xs.len() as u64);
+        prop_assert!(m.min() <= m.mean() + 1e-9 && m.mean() <= m.max() + 1e-9);
+        prop_assert!(m.variance_population() >= -1e-9);
+        // Sample variance ≥ population variance (n/(n−1) factor).
+        if xs.len() >= 2 {
+            prop_assert!(m.variance() + 1e-9 >= m.variance_population());
+        }
+        // Kurtosis ≥ 1 + skewness² is a universal moment inequality.
+        let (g1, b2) = (m.skewness(), m.kurtosis());
+        if g1.is_finite() && b2.is_finite() {
+            prop_assert!(b2 + 1e-6 >= 1.0 + g1 * g1, "b2={b2}, g1={g1}");
+        }
+    }
+
+    #[test]
+    fn moments_merge_matches_whole(xs in arb_sample(), split in 1usize..7) {
+        let k = (xs.len() * split) / 8;
+        prop_assume!(k > 0 && k < xs.len());
+        let whole = Moments::from_slice(&xs);
+        let mut left = Moments::from_slice(&xs[..k]);
+        left.merge(&Moments::from_slice(&xs[k..]));
+        prop_assert_eq!(left.count(), whole.count());
+        let scale = whole.mean().abs().max(1.0);
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-7 * scale);
+        let vscale = whole.variance_population().abs().max(1e-12);
+        prop_assert!(
+            (left.variance_population() - whole.variance_population()).abs() < 1e-5 * vscale
+        );
+    }
+
+    #[test]
+    fn percentiles_are_monotone_in_p(xs in arb_sample(), p1 in 0.0f64..100.0, p2 in 0.0f64..100.0) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let a = percentile(&xs, lo).unwrap();
+        let b = percentile(&xs, hi).unwrap();
+        prop_assert!(a <= b + 1e-12);
+    }
+
+    #[test]
+    fn percentile_summary_brackets_sample(xs in arb_sample()) {
+        let s = PercentileSummary::from_sample(&xs).unwrap();
+        for &x in &xs {
+            prop_assert!(x >= s.min && x <= s.max);
+        }
+        prop_assert!(s.p5 <= s.p25 && s.p25 <= s.p50 && s.p50 <= s.p75 && s.p75 <= s.p95);
+    }
+
+    #[test]
+    fn summary_agrees_with_moments(xs in arb_sample()) {
+        let s = Summary::from_sample(&xs).unwrap();
+        let m = Moments::from_slice(&xs);
+        prop_assert!((s.mean - m.mean()).abs() <= 1e-9 * m.mean().abs().max(1.0));
+        prop_assert_eq!(s.n, xs.len());
+        prop_assert!(s.iqr() >= 0.0);
+    }
+
+    #[test]
+    fn histogram_total_and_merge(xs in arb_sample(), width in 0.5f64..1.0e5) {
+        let h = Histogram::from_sample(&xs, width).unwrap();
+        prop_assert_eq!(h.total(), xs.len() as u64);
+        // Merging a histogram with an empty clone doubles nothing.
+        let mut a = h.clone();
+        let empty = Histogram::new(*h.spec());
+        a.merge(&empty).unwrap();
+        prop_assert_eq!(a, h);
+    }
+
+    #[test]
+    fn special_function_envelopes(x in -6.0f64..6.0) {
+        prop_assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-12);
+        prop_assert!((-1.0..=1.0).contains(&erf(x)));
+        let p = norm_cdf(x);
+        prop_assert!((0.0..=1.0).contains(&p));
+        // CDF is nondecreasing.
+        prop_assert!(norm_cdf(x + 0.001) >= p - 1e-12);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf(p in 1e-9f64..1.0) {
+        prop_assume!(p < 1.0 - 1e-12);
+        let x = norm_quantile(p);
+        prop_assert!((norm_cdf(x) - p).abs() < 1e-9 * p.max(1e-3));
+    }
+
+    #[test]
+    fn chi2_cdf_monotone(x1 in 0.0f64..50.0, x2 in 0.0f64..50.0, k in 1.0f64..30.0) {
+        let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        prop_assert!(chi2_cdf(lo, k) <= chi2_cdf(hi, k) + 1e-12);
+    }
+
+    #[test]
+    fn normality_tests_p_in_unit_interval(xs in arb_spread_sample()) {
+        let tests: [&dyn NormalityTest; 5] = [
+            &DagostinoK2,
+            &ShapiroWilk,
+            &AndersonDarling,
+            &Lilliefors,
+            &JarqueBera,
+        ];
+        for t in tests {
+            if let Ok(o) = t.test(&xs) {
+                prop_assert!((0.0..=1.0).contains(&o.p_value), "{}: p={}", o.statistic_kind.name(), o.p_value);
+                prop_assert!(o.statistic.is_finite());
+                prop_assert_eq!(o.n, xs.len());
+            }
+        }
+    }
+
+    #[test]
+    fn normality_tests_location_scale_invariant(
+        xs in arb_spread_sample(),
+        shift in -1.0e3f64..1.0e3,
+        scale in 0.01f64..100.0,
+    ) {
+        let transformed: Vec<f64> = xs.iter().map(|&x| shift + scale * x).collect();
+        // Shapiro–Wilk's W and Lilliefors' D are exactly invariant.
+        if let (Ok(a), Ok(b)) = (ShapiroWilk.w_statistic(&xs), ShapiroWilk.w_statistic(&transformed)) {
+            prop_assert!((a - b).abs() < 1e-6, "SW: {a} vs {b}");
+        }
+        if let (Ok(a), Ok(b)) = (Lilliefors.d_statistic(&xs), Lilliefors.d_statistic(&transformed)) {
+            prop_assert!((a - b).abs() < 1e-7, "Lilliefors: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn shapiro_wilk_w_in_unit_interval(xs in arb_spread_sample()) {
+        if let Ok(w) = ShapiroWilk.w_statistic(&xs) {
+            prop_assert!((0.0..=1.0).contains(&w), "W={w}");
+        }
+    }
+}

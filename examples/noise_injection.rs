@@ -1,0 +1,112 @@
+//! Build a custom synthetic application model and watch how each noise
+//! mechanism reshapes the arrival statistics — the methodology playground
+//! behind the calibrated MiniFE/MiniMD/MiniQMC models.
+//!
+//! ```sh
+//! cargo run --example noise_injection --release
+//! ```
+
+use early_bird::analysis::laggard::laggard_census;
+use early_bird::analysis::normality::sweep;
+use early_bird::analysis::reclaim::reclaim_metrics;
+use early_bird::cluster::noise::{Contamination, LaggardProcess, Turbulence};
+use early_bird::cluster::synthetic::{AppModel, Phase, SyntheticApp};
+use early_bird::cluster::JobConfig;
+use early_bird::core::view::AggregationLevel;
+
+/// A clean 20 ms / σ = 0.1 ms baseline phase with everything switched off.
+fn baseline_phase() -> Phase {
+    Phase {
+        from_iteration: 0,
+        median_ms: 20.0,
+        sigma_ms: 0.1,
+        sigma_jitter_lognorm: 0.0,
+        uniform_halfwidth_ms: 0.0,
+        early_expo_ms: 0.0,
+        tail_rate: 0.0,
+        tail_expo_ms: 0.0,
+        laggards: LaggardProcess::off(),
+        turbulence: Turbulence::off(),
+        contamination: Contamination::off(),
+    }
+}
+
+fn model_with(name: &'static str, phase: Phase) -> SyntheticApp {
+    SyntheticApp::from_model(AppModel {
+        name,
+        rank_speed_sigma: 0.0,
+        iter_wander_ms: 0.0,
+        phases: vec![phase],
+    })
+}
+
+fn main() {
+    let cfg = JobConfig::new(2, 2, 80, 48);
+    let variants: Vec<(&str, SyntheticApp)> = vec![
+        ("clean gaussian", model_with("clean", baseline_phase())),
+        ("+ laggards (20%, ≥1 ms)", {
+            let mut p = baseline_phase();
+            p.laggards = LaggardProcess {
+                rate: 0.20,
+                shift_ms: 1.0,
+                mu: 0.3,
+                sigma: 0.7,
+            };
+            model_with("laggards", p)
+        }),
+        ("+ early-arrival skew (exp 0.3 ms)", {
+            let mut p = baseline_phase();
+            p.early_expo_ms = 0.3;
+            model_with("skew", p)
+        }),
+        ("+ turbulence (3%, 10-30x)", {
+            let mut p = baseline_phase();
+            p.turbulence = Turbulence {
+                rate: 0.03,
+                scale_lo: 10.0,
+                scale_hi: 30.0,
+            };
+            model_with("turbulence", p)
+        }),
+        ("+ heavy-tail contamination (6% at 2.5x)", {
+            let mut p = baseline_phase();
+            p.contamination = Contamination {
+                rate: 0.06,
+                scale: 2.5,
+            };
+            model_with("contamination", p)
+        }),
+        ("+ wide spread (sigma 5 ms)", {
+            let mut p = baseline_phase();
+            p.sigma_ms = 5.0;
+            model_with("wide", p)
+        }),
+    ];
+
+    println!(
+        "{:<40} {:>7} {:>7} {:>7} {:>9} {:>9} {:>8}",
+        "mechanism", "D'Ag%", "SW%", "AD%", "laggard%", "reclaim", "idle"
+    );
+    for (label, app) in &variants {
+        let trace = app.generate(&cfg, 7);
+        let normality = sweep(&trace, AggregationLevel::ProcessIteration, 0.05);
+        let rates = normality.pass_rates();
+        let census = laggard_census(&trace, 1.0);
+        let metrics = reclaim_metrics(&trace);
+        println!(
+            "{:<40} {:>6.1} {:>6.1} {:>6.1} {:>8.1}% {:>7.2}ms {:>8.4}",
+            label,
+            rates[0] * 100.0,
+            rates[1] * 100.0,
+            rates[2] * 100.0,
+            census.laggard_rate() * 100.0,
+            metrics.avg_reclaimable_ms,
+            metrics.idle_ratio
+        );
+    }
+    println!();
+    println!("reading the table: laggards and skew destroy normality and add reclaimable");
+    println!("time; turbulence adds laggard-classified iterations without moving the");
+    println!("typical IQR; contamination nudges pass rates down (the MiniMD mechanism);");
+    println!("wide spread keeps normality but maximizes reclaimable idle time (MiniQMC).");
+}

@@ -1,0 +1,45 @@
+//! # early-bird
+//!
+//! Façade crate for the `early-bird` workspace — a reproduction of
+//! *"Measuring Thread Timing to Assess the Feasibility of Early-bird Message
+//! Delivery"* (Marts, Dosanjh, Schonbein, Levy, Bridges — ICPP 2023).
+//!
+//! The workspace instruments fork/join parallel regions, collects per-thread
+//! compute times across simulated multi-rank jobs, statistically characterises
+//! thread-arrival distributions (normality, laggards, reclaimable idle time),
+//! and simulates early-bird partitioned-communication delivery strategies on
+//! the measured arrival patterns.
+//!
+//! Each subsystem lives in its own crate and is re-exported here under a
+//! stable module name:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `ebird-core` | clocks, samples, traces, collectors |
+//! | [`runtime`] | `ebird-runtime` | OpenMP-like thread pool, `parallel_for`, barriers |
+//! | [`stats`] | `ebird-stats` | normality tests, percentiles, histograms |
+//! | [`apps`] | `ebird-apps` | MiniFE / MiniMD / MiniQMC kernels |
+//! | [`cluster`] | `ebird-cluster` | job runner, OS-noise, synthetic timing models |
+//! | [`partcomm`] | `ebird-partcomm` | partitioned comm + early-bird delivery sim |
+//! | [`analysis`] | `ebird-analysis` | aggregation, metrics, paper figures/tables |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use early_bird::cluster::{JobConfig, synthetic::SyntheticApp};
+//! use early_bird::analysis::reclaim::reclaim_metrics;
+//!
+//! // Paper-scale job, CI-scale sizes: 1 trial, 2 ranks, 10 iterations, 8 threads.
+//! let cfg = JobConfig::new(1, 2, 10, 8);
+//! let trace = SyntheticApp::minife().generate(&cfg, 42);
+//! let metrics = reclaim_metrics(&trace);
+//! assert!(metrics.idle_ratio > 0.0 && metrics.idle_ratio < 1.0);
+//! ```
+
+pub use ebird_analysis as analysis;
+pub use ebird_apps as apps;
+pub use ebird_cluster as cluster;
+pub use ebird_core as core;
+pub use ebird_partcomm as partcomm;
+pub use ebird_runtime as runtime;
+pub use ebird_stats as stats;

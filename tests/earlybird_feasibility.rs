@@ -1,0 +1,169 @@
+//! The paper's feasibility argument, executed: thread-arrival measurements
+//! feed the early-bird delivery simulator, and the simulated outcomes must
+//! reproduce the Discussion section's qualitative conclusions.
+
+use early_bird::cluster::{JobConfig, SyntheticApp};
+use early_bird::partcomm::{simulate, LinkModel, Strategy};
+
+const BUF: usize = 8_000_000;
+
+fn arrivals(app: &SyntheticApp, iteration: usize) -> Vec<f64> {
+    app.generate(&JobConfig::new(1, 1, iteration + 1, 48), 11)
+        .process_iteration_ms(0, 0, iteration)
+        .unwrap()
+}
+
+#[test]
+fn miniqmc_benefits_most_from_early_bird() {
+    // §5: "applications with workloads similar to MiniQMC would significantly
+    // benefit from … fine-grain early-bird communication".
+    let link = LinkModel::omni_path();
+    let mut savings = Vec::new();
+    for app in SyntheticApp::all() {
+        let a = arrivals(&app, 30);
+        let bulk = simulate(&a, BUF, &link, Strategy::Bulk);
+        let eb = simulate(&a, BUF, &link, Strategy::EarlyBird);
+        savings.push((
+            app.name(),
+            bulk.completion_ms - eb.completion_ms,
+            bulk.exposed_ms() - eb.exposed_ms(),
+        ));
+    }
+    // Every app saves something on a low-α link…
+    for (name, saved, exposed_saved) in &savings {
+        assert!(*saved >= 0.0, "{name} lost {saved} ms");
+        assert!(*exposed_saved >= 0.0, "{name} exposed more: {exposed_saved}");
+    }
+    // …and MiniQMC's wide arrivals hide at least as much as the others.
+    let fe = savings[0].1;
+    let qmc = savings[2].1;
+    assert!(
+        qmc >= fe * 0.9,
+        "QMC saving {qmc} should rival/beat FE {fe}"
+    );
+}
+
+#[test]
+fn tight_arrivals_with_high_alpha_penalize_early_bird() {
+    // §2: "If the thread arrival times are too similar, we expect applications
+    // to see a negative performance impact from moving to partitioned
+    // communication." MiniMD's steady phase is the tight case.
+    let link = LinkModel::high_latency();
+    // Build a steady, laggard-free MiniMD iteration by scanning a few.
+    let app = SyntheticApp::minimd();
+    let tr = app.generate(&JobConfig::new(1, 1, 60, 48), 3);
+    let mut tight: Option<Vec<f64>> = None;
+    for i in 19..60 {
+        let ms = tr.process_iteration_ms(0, 0, i).unwrap();
+        let max = ms.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let med = early_bird::stats::median(&ms).unwrap();
+        if max - med < 0.5 {
+            tight = Some(ms);
+            break;
+        }
+    }
+    let tight = tight.expect("steady MiniMD iterations are mostly laggard-free");
+    let bulk = simulate(&tight, BUF, &link, Strategy::Bulk);
+    let eb = simulate(&tight, BUF, &link, Strategy::EarlyBird);
+    assert!(
+        eb.completion_ms > bulk.completion_ms,
+        "48·α should overwhelm the tiny overlap: eb {} vs bulk {}",
+        eb.completion_ms,
+        bulk.completion_ms
+    );
+}
+
+#[test]
+fn timeout_flush_recovers_most_of_the_laggard_win_for_minife() {
+    // §5 proposes a timeout-based flush for MiniFE's pattern (laggards in
+    // ~22% of iterations): it must capture most of early-bird's win at a
+    // fraction of the messages.
+    let link = LinkModel::omni_path();
+    let app = SyntheticApp::minife();
+    let tr = app.generate(&JobConfig::new(1, 1, 200, 48), 17);
+    // Find a laggard iteration (max − median > 1 ms).
+    let mut laggard: Option<Vec<f64>> = None;
+    for i in 0..200 {
+        let ms = tr.process_iteration_ms(0, 0, i).unwrap();
+        let max = ms.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let med = early_bird::stats::median(&ms).unwrap();
+        if max - med > 1.0 {
+            laggard = Some(ms);
+            break;
+        }
+    }
+    let arrivals = laggard.expect("~22% of MiniFE iterations have laggards");
+    let bulk = simulate(&arrivals, BUF, &link, Strategy::Bulk);
+    let eb = simulate(&arrivals, BUF, &link, Strategy::EarlyBird);
+    let flush = simulate(
+        &arrivals,
+        BUF,
+        &link,
+        Strategy::TimeoutFlush { timeout_ms: 0.5 },
+    );
+    let eb_win = bulk.completion_ms - eb.completion_ms;
+    let flush_win = bulk.completion_ms - flush.completion_ms;
+    assert!(eb_win > 0.0);
+    assert!(
+        flush_win > 0.5 * eb_win,
+        "timeout flush win {flush_win} should be most of early-bird's {eb_win}"
+    );
+    assert!(
+        flush.messages < eb.messages / 2,
+        "aggregation must reduce message count: {} vs {}",
+        flush.messages,
+        eb.messages
+    );
+}
+
+#[test]
+fn binned_aggregation_scales_between_extremes() {
+    let link = LinkModel::high_latency();
+    let a = arrivals(&SyntheticApp::miniqmc(), 10);
+    let mut completions = Vec::new();
+    for bins in [1, 2, 4, 8, 16, 48] {
+        let o = simulate(&a, BUF, &link, Strategy::Binned { bins });
+        completions.push(o.completion_ms);
+    }
+    // 1 bin ≡ bulk; 48 bins ≡ early-bird; intermediate values must stay
+    // within the envelope of the two extremes.
+    let lo = completions
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    let hi = completions
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(completions[0] == hi || completions[5] == hi || completions[0] == lo);
+    for c in &completions {
+        assert!(*c >= lo && *c <= hi);
+    }
+}
+
+#[test]
+fn reclaimable_time_bounds_the_overlap_win() {
+    // The overlap any strategy can exploit is bounded by the idle time the
+    // measurement pipeline reports: completion can never drop below
+    // last_arrival, so the win over bulk is at most bulk's exposed transfer.
+    let link = LinkModel::omni_path();
+    for app in SyntheticApp::all() {
+        let a = arrivals(&app, 25);
+        let bulk = simulate(&a, BUF, &link, Strategy::Bulk);
+        for strat in [
+            Strategy::EarlyBird,
+            Strategy::TimeoutFlush { timeout_ms: 1.0 },
+            Strategy::Binned { bins: 8 },
+        ] {
+            let o = simulate(&a, BUF, &link, strat);
+            let win = bulk.completion_ms - o.completion_ms;
+            assert!(
+                win <= bulk.exposed_ms() + 1e-9,
+                "{}: win {win} exceeds exposed {}",
+                app.name(),
+                bulk.exposed_ms()
+            );
+            assert!(o.completion_ms >= o.last_arrival_ms);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! End-to-end pipeline over the *real* Rust proxy applications: instrument,
+//! collect, analyze — proving the measurement stack works on live kernels,
+//! not only on synthetic traces.
+
+use early_bird::analysis::laggard::laggard_census;
+use early_bird::analysis::reclaim::reclaim_metrics;
+use early_bird::apps::{MiniFe, MiniFeParams, MiniMd, MiniMdParams, MiniQmc, MiniQmcParams};
+use early_bird::cluster::{run_real_campaign, JobConfig};
+use early_bird::core::view::{grouped_ms, AggregationLevel};
+
+fn tiny() -> JobConfig {
+    JobConfig::new(1, 2, 5, 2)
+}
+
+#[test]
+fn minife_live_campaign_analyzes_cleanly() {
+    let trace = run_real_campaign(&tiny(), |_, _| {
+        Box::new(MiniFe::new(MiniFeParams::test_scale()))
+    })
+    .unwrap();
+    trace.validate().unwrap();
+    // Every sample is a genuine measurement.
+    assert!(trace.samples().iter().all(|s| s.compute_time_ns() > 0));
+    // The analysis layer accepts live traces end to end.
+    let metrics = reclaim_metrics(&trace);
+    assert!(metrics.mean_median_ms > 0.0);
+    assert!(metrics.idle_ratio >= 0.0 && metrics.idle_ratio < 1.0);
+    let census = laggard_census(&trace, 1.0);
+    assert_eq!(census.iterations.len(), 10);
+}
+
+#[test]
+fn minimd_live_campaign_preserves_physics() {
+    // The instrumented campaign must leave the app in a physically valid
+    // state (runner calls verify(), which checks momentum conservation).
+    let trace = run_real_campaign(&tiny(), |_, _| {
+        Box::new(MiniMd::new(MiniMdParams::test_scale()))
+    })
+    .unwrap();
+    assert_eq!(trace.app(), "MiniMD");
+    assert!(trace.samples().iter().all(|s| s.compute_time_ns() > 0));
+}
+
+#[test]
+fn miniqmc_live_campaign_runs_movers() {
+    let trace = run_real_campaign(&tiny(), |trial, rank| {
+        let mut p = MiniQmcParams::test_scale();
+        p.seed = 77 + (trial * 8 + rank) as u64;
+        Box::new(MiniQmc::new(p))
+    })
+    .unwrap();
+    assert_eq!(trace.app(), "MiniQMC");
+    let groups = grouped_ms(&trace, AggregationLevel::ProcessIteration);
+    assert_eq!(groups.len(), 10);
+    for g in &groups {
+        assert_eq!(g.values_ms.len(), 2);
+        assert!(g.values_ms.iter().all(|&v| v > 0.0));
+    }
+}
+
+#[test]
+fn live_aggregation_levels_conserve_mass() {
+    let trace = run_real_campaign(&tiny(), |_, _| {
+        Box::new(MiniFe::new(MiniFeParams::test_scale()))
+    })
+    .unwrap();
+    let total = trace.shape().total_samples();
+    for level in [
+        AggregationLevel::Application,
+        AggregationLevel::ApplicationIteration,
+        AggregationLevel::ProcessIteration,
+    ] {
+        let sum: usize = grouped_ms(&trace, level).iter().map(|g| g.values_ms.len()).sum();
+        assert_eq!(sum, total, "{level:?}");
+    }
+}
+
+#[test]
+fn real_compute_times_scale_with_problem_size() {
+    // A basic sanity check that the instrument measures *work*: doubling the
+    // MiniQMC sweep count should roughly double the measured compute times.
+    let cfg = JobConfig::new(1, 1, 4, 2);
+    let short = run_real_campaign(&cfg, |_, _| {
+        let mut p = MiniQmcParams::test_scale();
+        p.sweeps_per_step = 1;
+        Box::new(MiniQmc::new(p))
+    })
+    .unwrap();
+    let long = run_real_campaign(&cfg, |_, _| {
+        let mut p = MiniQmcParams::test_scale();
+        p.sweeps_per_step = 4;
+        Box::new(MiniQmc::new(p))
+    })
+    .unwrap();
+    let mean = |t: &early_bird::core::TimingTrace| {
+        let ms = t.all_ms();
+        ms.iter().sum::<f64>() / ms.len() as f64
+    };
+    let (m_short, m_long) = (mean(&short), mean(&long));
+    assert!(
+        m_long > 2.0 * m_short,
+        "4× sweeps should be ≫ 2× time: {m_short} vs {m_long}"
+    );
+}

@@ -1,0 +1,281 @@
+//! The parallel analysis engine: the paper's sweeps fanned out over the
+//! workspace's own fork/join runtime.
+//!
+//! The reproduction pipeline is embarrassingly parallel at the
+//! process-iteration (and, for normality, group) granularity — exactly the
+//! fork/join shape [`ebird_runtime::Pool`] implements — yet the seed ran
+//! every stage single-threaded. This module fans each sweep out with **bit
+//! identical** results to its serial counterpart:
+//!
+//! * every group/unit is computed by the same per-group kernel the serial
+//!   path uses (shared scratch-buffer code paths, not parallel-only
+//!   reimplementations), and
+//! * per-group outputs are written into pre-sized output slots (no
+//!   order-dependent accumulation), with any aggregate folded afterwards in
+//!   trace order.
+//!
+//! The only parallelism-sensitive construct — merging floating-point
+//! [`Moments`] partials — is confined to [`campaign_moments`], which
+//! documents its fixed-pool determinism.
+
+use ebird_core::view::{fill_group_ms, AggregationLevel};
+use ebird_core::{ThreadSample, TimingTrace};
+use ebird_runtime::Pool;
+use ebird_stats::normality::{battery_with_scratch, BatteryScratch, NormalityOutcome};
+use ebird_stats::reduce::Mergeable;
+use ebird_stats::Moments;
+
+use crate::laggard::{classify_unit, ClassifiedIteration, LaggardCensus};
+use crate::normality::NormalitySweep;
+use crate::reclaim::{fold_units, unit_reclaim, ReclaimMetrics, UnitReclaim};
+
+/// Runs the three-test normality battery over every group of `level`, with
+/// groups distributed over `pool` — the parallel counterpart of
+/// [`crate::normality::sweep`], bit-identical to it for any pool size.
+///
+/// Each worker owns a contiguous block of the outcome vector and reuses one
+/// values buffer plus one [`BatteryScratch`] (one sort per group, zero
+/// allocations after warm-up).
+pub fn sweep_parallel(
+    trace: &TimingTrace,
+    level: AggregationLevel,
+    alpha: f64,
+    pool: &Pool,
+) -> NormalitySweep {
+    let groups = level.group_count(trace);
+    let mut outcomes: Vec<[Option<NormalityOutcome>; 3]> = vec![Default::default(); groups];
+    pool.parallel_chunks_mut(&mut outcomes, |block, range, _ctx| {
+        let mut values = Vec::new();
+        let mut scratch = BatteryScratch::new();
+        for (offset, slot) in block.iter_mut().enumerate() {
+            fill_group_ms(trace, level, range.start + offset, &mut values);
+            *slot = battery_with_scratch(&values, &mut scratch);
+        }
+    });
+    NormalitySweep {
+        level_label: level.label().to_string(),
+        alpha,
+        groups,
+        outcomes,
+    }
+}
+
+/// Classifies every process-iteration at `threshold_ms` with units
+/// distributed over `pool` — bit-identical to
+/// [`crate::laggard::laggard_census`] for any pool size.
+pub fn laggard_census_parallel(
+    trace: &TimingTrace,
+    threshold_ms: f64,
+    pool: &Pool,
+) -> LaggardCensus {
+    assert!(threshold_ms > 0.0, "threshold must be positive");
+    let shape = trace.shape();
+    let units = shape.process_iterations();
+    let mut iterations: Vec<ClassifiedIteration> = vec![
+        ClassifiedIteration {
+            trial: 0,
+            rank: 0,
+            iteration: 0,
+            class: crate::laggard::ArrivalClass::NoLaggard,
+            magnitude_ms: 0.0,
+            median_ms: 0.0,
+            iqr_ms: 0.0,
+        };
+        units
+    ];
+    pool.parallel_chunks_mut(&mut iterations, |block, range, _ctx| {
+        let mut scratch = Vec::with_capacity(shape.threads);
+        for (offset, slot) in block.iter_mut().enumerate() {
+            let unit = range.start + offset;
+            let (trial, rank, iteration) = unit_coords(shape, unit);
+            let samples = trace
+                .process_iteration(trial, rank, iteration)
+                .expect("unit in range by construction");
+            *slot = classify_unit(trial, rank, iteration, samples, threshold_ms, &mut scratch);
+        }
+    });
+    LaggardCensus {
+        threshold_ms,
+        iterations,
+    }
+}
+
+/// Computes the §4.2 reclaim metrics with per-unit work distributed over
+/// `pool` — bit-identical to [`crate::reclaim::reclaim_metrics`] for any
+/// pool size: units are computed in parallel into trace-ordered slots, then
+/// folded serially in that order (the identical float-addition sequence the
+/// serial path performs).
+pub fn reclaim_metrics_parallel(trace: &TimingTrace, pool: &Pool) -> ReclaimMetrics {
+    let shape = trace.shape();
+    let units = shape.process_iterations();
+    let mut per_unit: Vec<UnitReclaim> = vec![UnitReclaim::default(); units];
+    pool.parallel_chunks_mut(&mut per_unit, |block, range, _ctx| {
+        let mut scratch = Vec::with_capacity(shape.threads);
+        for (offset, slot) in block.iter_mut().enumerate() {
+            let (trial, rank, iteration) = unit_coords(shape, range.start + offset);
+            let samples = trace
+                .process_iteration(trial, rank, iteration)
+                .expect("unit in range by construction");
+            *slot = unit_reclaim(samples, &mut scratch);
+        }
+    });
+    fold_units(per_unit)
+}
+
+/// Builds the paper's Table 1 with each application's process-iteration
+/// sweep running on `pool` — bit-identical to [`crate::normality::table1`].
+pub fn table1_parallel<'a>(
+    traces: impl IntoIterator<Item = &'a TimingTrace>,
+    alpha: f64,
+    pool: &Pool,
+) -> crate::normality::Table1 {
+    let rows = traces
+        .into_iter()
+        .map(|tr| {
+            let sw = sweep_parallel(tr, AggregationLevel::ProcessIteration, alpha, pool);
+            let pct = sw.pass_rates().map(|r| r * 100.0);
+            (tr.app().to_string(), pct)
+        })
+        .collect();
+    crate::normality::Table1 { alpha, rows }
+}
+
+/// Campaign-level moments (mean/variance/skewness/kurtosis/extrema over all
+/// compute times) via a [`Moments::merge`]-based parallel reduction: each
+/// worker streams its block of process-iterations into a local accumulator;
+/// partials merge in thread order at the join.
+///
+/// Deterministic for a fixed pool size; across different pool sizes the
+/// result may differ in the last ulp (floating-point merge order), never in
+/// `count`/`min`/`max`.
+pub fn campaign_moments(trace: &TimingTrace, pool: &Pool) -> Moments {
+    let shape = trace.shape();
+    let units = shape.process_iterations();
+    pool.parallel_reduce(
+        units,
+        Moments::new,
+        |mut acc, unit| {
+            let (trial, rank, iteration) = unit_coords(shape, unit);
+            let samples = trace
+                .process_iteration(trial, rank, iteration)
+                .expect("unit in range by construction");
+            for s in samples {
+                acc.push(ThreadSample::compute_time_ms(s));
+            }
+            acc
+        },
+        |mut a, b| {
+            a.merge_with(&b);
+            a
+        },
+    )
+}
+
+/// Decodes a flat process-iteration index (trace order: trial-major,
+/// iteration innermost).
+fn unit_coords(shape: ebird_core::TraceShape, unit: usize) -> (usize, usize, usize) {
+    let iteration = unit % shape.iterations;
+    let rest = unit / shape.iterations;
+    (rest / shape.ranks, rest % shape.ranks, iteration)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laggard::laggard_census;
+    use crate::normality::sweep;
+    use crate::reclaim::reclaim_metrics;
+    use ebird_core::{SampleIndex, TraceShape};
+
+    /// A mixed-shape trace: tight normal-ish groups with occasional laggards
+    /// and one degenerate (flat) process-iteration.
+    fn mixed_trace() -> TimingTrace {
+        TimingTrace::from_fn(
+            "mixed",
+            TraceShape::new(2, 2, 9, 16).unwrap(),
+            |SampleIndex {
+                 trial,
+                 rank,
+                 iteration,
+                 thread,
+             }| {
+                if trial == 1 && rank == 0 && iteration == 4 {
+                    return ThreadSample::new(0, 10_000_000);
+                }
+                let u = (thread as f64 + 0.5) / 16.0;
+                let spread = ebird_stats::special::norm_quantile(u) * 0.05;
+                let laggard = if iteration % 3 == 0 && thread == 7 {
+                    2.5
+                } else {
+                    0.0
+                };
+                let ms = 10.0 + (trial + rank) as f64 * 0.25 + spread + laggard;
+                ThreadSample::new(0, (ms * 1e6).round() as u64)
+            },
+        )
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_across_levels_and_pool_sizes() {
+        let tr = mixed_trace();
+        for level in [
+            AggregationLevel::Application,
+            AggregationLevel::ApplicationIteration,
+            AggregationLevel::ProcessIteration,
+        ] {
+            let serial = sweep(&tr, level, 0.05);
+            for workers in [1, 2, 5] {
+                let pool = Pool::new(workers);
+                let parallel = sweep_parallel(&tr, level, 0.05, &pool);
+                assert_eq!(serial.outcomes, parallel.outcomes, "{level:?} × {workers}");
+                assert_eq!(serial.groups, parallel.groups);
+                assert_eq!(serial.level_label, parallel.level_label);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_table1_matches_serial() {
+        let tr = mixed_trace();
+        let serial = crate::normality::table1([&tr], 0.05);
+        let parallel = table1_parallel([&tr], 0.05, &Pool::new(3));
+        assert_eq!(serial.rows, parallel.rows);
+        assert_eq!(serial.alpha, parallel.alpha);
+    }
+
+    #[test]
+    fn parallel_census_and_reclaim_are_bit_identical() {
+        let tr = mixed_trace();
+        let census = laggard_census(&tr, 1.0);
+        let metrics = reclaim_metrics(&tr);
+        for workers in [1, 3, 4] {
+            let pool = Pool::new(workers);
+            let pc = laggard_census_parallel(&tr, 1.0, &pool);
+            assert_eq!(census.iterations, pc.iterations, "{workers} workers");
+            let pm = reclaim_metrics_parallel(&tr, &pool);
+            assert_eq!(metrics, pm, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn campaign_moments_match_whole_trace_statistics() {
+        let tr = mixed_trace();
+        let pool = Pool::new(3);
+        let merged = campaign_moments(&tr, &pool);
+        let whole = Moments::from_slice(&tr.all_ms());
+        assert_eq!(merged.count(), whole.count());
+        assert_eq!(merged.min(), whole.min());
+        assert_eq!(merged.max(), whole.max());
+        assert!((merged.mean() - whole.mean()).abs() < 1e-9);
+        assert!((merged.variance() - whole.variance()).abs() < 1e-9);
+        // Fixed pool ⇒ reproducible bits.
+        let again = campaign_moments(&tr, &pool);
+        assert_eq!(merged, again);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn parallel_census_rejects_nonpositive_threshold() {
+        laggard_census_parallel(&mixed_trace(), 0.0, &Pool::new(2));
+    }
+}

@@ -47,8 +47,7 @@ pub fn fig3(trace: &TimingTrace, label: &str) -> FigureHistogram {
         label: label.to_string(),
         app: trace.app().to_string(),
         provenance: None,
-        histogram: Histogram::from_sample(&all, bins::FIG3_MS)
-            .expect("nonempty finite sample"),
+        histogram: Histogram::from_sample(&all, bins::FIG3_MS).expect("nonempty finite sample"),
     }
 }
 

@@ -86,8 +86,7 @@ impl LaggardCensus {
         if self.iterations.is_empty() {
             return f64::NAN;
         }
-        self.iterations.iter().map(|c| c.median_ms).sum::<f64>()
-            / self.iterations.len() as f64
+        self.iterations.iter().map(|c| c.median_ms).sum::<f64>() / self.iterations.len() as f64
     }
 
     /// A representative exemplar of `class`: the iteration whose laggard
@@ -111,28 +110,44 @@ impl LaggardCensus {
     }
 }
 
+/// Classifies one process-iteration, reusing `scratch` for the millisecond
+/// values — the per-unit kernel shared by the serial census and the parallel
+/// engine (outcomes are bit-identical by construction).
+pub(crate) fn classify_unit(
+    trial: usize,
+    rank: usize,
+    iteration: usize,
+    samples: &[ThreadSample],
+    threshold_ms: f64,
+    scratch: &mut Vec<f64>,
+) -> ClassifiedIteration {
+    scratch.clear();
+    scratch.extend(samples.iter().map(ThreadSample::compute_time_ms));
+    let s = PercentileSummary::from_sample(scratch).expect("threads ≥ 1, finite");
+    let magnitude = s.max - s.p50;
+    ClassifiedIteration {
+        trial,
+        rank,
+        iteration,
+        class: if magnitude > threshold_ms {
+            ArrivalClass::Laggard
+        } else {
+            ArrivalClass::NoLaggard
+        },
+        magnitude_ms: magnitude,
+        median_ms: s.p50,
+        iqr_ms: s.iqr(),
+    }
+}
+
 /// Classifies every process-iteration of `trace` at `threshold_ms`.
 pub fn laggard_census(trace: &TimingTrace, threshold_ms: f64) -> LaggardCensus {
     assert!(threshold_ms > 0.0, "threshold must be positive");
+    let mut scratch = Vec::with_capacity(trace.shape().threads);
     let iterations = trace
         .iter_process_iterations()
         .map(|(trial, rank, iteration, samples)| {
-            let ms: Vec<f64> = samples.iter().map(ThreadSample::compute_time_ms).collect();
-            let s = PercentileSummary::from_sample(&ms).expect("threads ≥ 1, finite");
-            let magnitude = s.max - s.p50;
-            ClassifiedIteration {
-                trial,
-                rank,
-                iteration,
-                class: if magnitude > threshold_ms {
-                    ArrivalClass::Laggard
-                } else {
-                    ArrivalClass::NoLaggard
-                },
-                magnitude_ms: magnitude,
-                median_ms: s.p50,
-                iqr_ms: s.iqr(),
-            }
+            classify_unit(trial, rank, iteration, samples, threshold_ms, &mut scratch)
         })
         .collect();
     LaggardCensus {
@@ -190,7 +205,11 @@ mod tests {
             .iter()
             .find(|c| c.class == ArrivalClass::Laggard)
             .unwrap();
-        assert!((laggard.magnitude_ms - 2.965).abs() < 0.01, "{}", laggard.magnitude_ms);
+        assert!(
+            (laggard.magnitude_ms - 2.965).abs() < 0.01,
+            "{}",
+            laggard.magnitude_ms
+        );
         assert!((laggard.median_ms - 10.035).abs() < 0.01);
         let calm = census
             .iterations

@@ -21,9 +21,13 @@
 //!   transmission could hide before the join.
 //! * [`report`] — plain-text table rendering and CSV export so the `repro`
 //!   binary can print paper-shaped artifacts.
+//! * [`engine`] — the parallel analysis engine: the normality/laggard/reclaim
+//!   sweeps fanned out over `ebird-runtime`'s own thread pool with
+//!   bit-identical outputs, plus a `Moments::merge`-based campaign reduction.
 
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod figures;
 pub mod laggard;
 pub mod normality;
@@ -32,6 +36,10 @@ pub mod percentile_series;
 pub mod reclaim;
 pub mod report;
 
+pub use engine::{
+    campaign_moments, laggard_census_parallel, reclaim_metrics_parallel, sweep_parallel,
+    table1_parallel,
+};
 pub use laggard::{laggard_census, LaggardCensus};
 pub use normality::{table1, NormalitySweep, Table1};
 pub use percentile_series::{percentile_series, IqrStats};

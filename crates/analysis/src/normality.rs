@@ -1,10 +1,9 @@
 //! Normality sweeps across the paper's three aggregation levels.
 
-use ebird_core::view::{grouped_ms, AggregationLevel};
+use ebird_core::view::{fill_group_ms, grouped_ms, AggregationLevel};
 use ebird_core::TimingTrace;
 use ebird_stats::normality::{
-    anderson_darling::AndersonDarling, dagostino::DagostinoK2, shapiro_wilk::ShapiroWilk,
-    NormalityOutcome, NormalityTest, TestStatistic,
+    battery_with_scratch, BatteryScratch, NormalityOutcome, TestStatistic,
 };
 use serde::{Deserialize, Serialize};
 
@@ -70,25 +69,25 @@ impl NormalitySweep {
 }
 
 /// Runs the three-test battery over every group of `level`.
+///
+/// Group values and sort buffers are reused across groups
+/// ([`fill_group_ms`] + [`battery_with_scratch`]), so the sweep performs no
+/// per-group allocation; [`crate::engine::sweep_parallel`] fans the same
+/// per-group computation out over a thread pool with bit-identical outcomes.
 pub fn sweep(trace: &TimingTrace, level: AggregationLevel, alpha: f64) -> NormalitySweep {
-    let dag = DagostinoK2;
-    let sw = ShapiroWilk;
-    let ad = AndersonDarling;
-    let groups = grouped_ms(trace, level);
-    let outcomes = groups
-        .iter()
+    let groups = level.group_count(trace);
+    let mut scratch = BatteryScratch::new();
+    let mut values = Vec::new();
+    let outcomes = (0..groups)
         .map(|g| {
-            [
-                dag.test(&g.values_ms).ok(),
-                sw.test(&g.values_ms).ok(),
-                ad.test(&g.values_ms).ok(),
-            ]
+            fill_group_ms(trace, level, g, &mut values);
+            battery_with_scratch(&values, &mut scratch)
         })
         .collect::<Vec<_>>();
     NormalitySweep {
         level_label: level.label().to_string(),
         alpha,
-        groups: groups.len(),
+        groups,
         outcomes,
     }
 }
@@ -197,11 +196,9 @@ mod tests {
     #[test]
     fn degenerate_groups_count_as_failures() {
         // All-identical samples: every test errors (zero variance).
-        let tr = TimingTrace::from_fn(
-            "flat",
-            TraceShape::new(1, 1, 3, 16).unwrap(),
-            |_| ThreadSample::new(0, 5_000_000),
-        );
+        let tr = TimingTrace::from_fn("flat", TraceShape::new(1, 1, 3, 16).unwrap(), |_| {
+            ThreadSample::new(0, 5_000_000)
+        });
         let sw = sweep(&tr, AggregationLevel::ProcessIteration, 0.05);
         assert_eq!(sw.pass_rates(), [0.0, 0.0, 0.0]);
     }

@@ -153,7 +153,10 @@ mod tests {
         // Arrivals 5,10,15,20 ⇒ overlap 15+10+5+0 = 30 per iteration.
         assert!((s.mean_total_ms - 30.0).abs() < 1e-9);
         assert_eq!(s.iterations, 6);
-        assert!(s.mean_hideable_fraction > 0.7, "wide spread hides most bytes");
+        assert!(
+            s.mean_hideable_fraction > 0.7,
+            "wide spread hides most bytes"
+        );
     }
 
     #[test]

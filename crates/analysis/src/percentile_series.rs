@@ -70,9 +70,9 @@ pub fn detect_phase_boundary(series: &[PercentileSummary]) -> Option<usize> {
         .collect();
     let total = prefix[iqrs.len()];
     let mut best = (0usize, 0.0f64);
-    for k in 4..series.len() - 4 {
-        let before = prefix[k] / k as f64;
-        let after = (total - prefix[k]) / (iqrs.len() - k) as f64;
+    for (k, &pk) in prefix.iter().enumerate().take(series.len() - 4).skip(4) {
+        let before = pk / k as f64;
+        let after = (total - pk) / (iqrs.len() - k) as f64;
         let diff = (before - after).abs();
         if diff > best.1 {
             best = (k, diff);

@@ -52,27 +52,49 @@ pub fn idle_ratio(samples: &[ThreadSample]) -> f64 {
     idle / (max * ms.len() as f64)
 }
 
-/// Computes the §4.2 metrics over every process-iteration of `trace`.
-pub fn reclaim_metrics(trace: &TimingTrace) -> ReclaimMetrics {
+/// Per-process-iteration ingredients of [`ReclaimMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub(crate) struct UnitReclaim {
+    pub(crate) idle_ms: f64,
+    pub(crate) ratio: f64,
+    pub(crate) median_ms: f64,
+    pub(crate) max_ms: f64,
+}
+
+/// Computes one process-iteration's reclaim quantities, reusing `scratch` —
+/// the per-unit kernel shared by the serial aggregate and the parallel
+/// engine (values are bit-identical by construction).
+pub(crate) fn unit_reclaim(samples: &[ThreadSample], scratch: &mut Vec<f64>) -> UnitReclaim {
+    scratch.clear();
+    scratch.extend(samples.iter().map(ThreadSample::compute_time_ms));
+    scratch.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let max = scratch[scratch.len() - 1];
+    let median = ebird_stats::percentile::percentile_of_sorted(scratch, 50.0);
+    let idle: f64 = scratch.iter().map(|&t| max - t).sum();
+    UnitReclaim {
+        idle_ms: idle,
+        ratio: if max > 0.0 {
+            idle / (max * scratch.len() as f64)
+        } else {
+            0.0
+        },
+        median_ms: median,
+        max_ms: max,
+    }
+}
+
+/// Folds per-unit quantities (in trace order) into the aggregate metrics.
+pub(crate) fn fold_units(units: impl IntoIterator<Item = UnitReclaim>) -> ReclaimMetrics {
     let mut sum_reclaim = 0.0;
     let mut sum_ratio = 0.0;
     let mut sum_median = 0.0;
     let mut sum_max = 0.0;
     let mut count = 0usize;
-    let mut scratch: Vec<f64> = Vec::with_capacity(trace.shape().threads);
-    for (_, _, _, samples) in trace.iter_process_iterations() {
-        scratch.clear();
-        scratch.extend(samples.iter().map(ThreadSample::compute_time_ms));
-        scratch.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        let max = scratch[scratch.len() - 1];
-        let median = ebird_stats::percentile::percentile_of_sorted(&scratch, 50.0);
-        let idle: f64 = scratch.iter().map(|&t| max - t).sum();
-        sum_reclaim += idle;
-        if max > 0.0 {
-            sum_ratio += idle / (max * scratch.len() as f64);
-        }
-        sum_median += median;
-        sum_max += max;
+    for u in units {
+        sum_reclaim += u.idle_ms;
+        sum_ratio += u.ratio;
+        sum_median += u.median_ms;
+        sum_max += u.max_ms;
         count += 1;
     }
     let n = count as f64;
@@ -83,6 +105,16 @@ pub fn reclaim_metrics(trace: &TimingTrace) -> ReclaimMetrics {
         mean_max_ms: sum_max / n,
         iterations: count,
     }
+}
+
+/// Computes the §4.2 metrics over every process-iteration of `trace`.
+pub fn reclaim_metrics(trace: &TimingTrace) -> ReclaimMetrics {
+    let mut scratch: Vec<f64> = Vec::with_capacity(trace.shape().threads);
+    fold_units(
+        trace
+            .iter_process_iterations()
+            .map(|(_, _, _, samples)| unit_reclaim(samples, &mut scratch)),
+    )
 }
 
 #[cfg(test)]

@@ -102,10 +102,7 @@ impl MiniFe {
 
     /// Infinity-norm error against the known all-ones solution.
     pub fn solution_error(&self) -> f64 {
-        self.x
-            .iter()
-            .map(|&v| (v - 1.0).abs())
-            .fold(0.0, f64::max)
+        self.x.iter().map(|&v| (v - 1.0).abs()).fold(0.0, f64::max)
     }
 
     /// Per-thread part lengths (in rows) for the plane-partitioned SpMV:
@@ -118,23 +115,18 @@ impl MiniFe {
     }
 
     /// One CG step with the SpMV as the timed section.
-    fn cg_step(
-        &mut self,
-        pool: &Pool,
-        region: Option<(&TimedRegion<'_, dyn Clock>, usize)>,
-    ) {
+    fn cg_step(&mut self, pool: &Pool, region: Option<(&TimedRegion<'_, dyn Clock>, usize)>) {
         let part_lens = self.plane_part_lens(pool.threads());
         let (a, p, ap) = (&self.a, &self.p, &mut self.ap);
         // Timed section: Ap = A·p, plane-partitioned (Listing 1 placement).
-        let body = |block: &mut [f64], range: std::ops::Range<usize>, _ctx: &ebird_runtime::Ctx<'_>| {
-            for (off, out) in block.iter_mut().enumerate() {
-                *out = a.spmv_row(range.start + off, p);
-            }
-        };
+        let body =
+            |block: &mut [f64], range: std::ops::Range<usize>, _ctx: &ebird_runtime::Ctx<'_>| {
+                for (off, out) in block.iter_mut().enumerate() {
+                    *out = a.spmv_row(range.start + off, p);
+                }
+            };
         match region {
-            Some((reg, iteration)) => {
-                pool.timed_parts_mut(reg, iteration, ap, &part_lens, body)
-            }
+            Some((reg, iteration)) => pool.timed_parts_mut(reg, iteration, ap, &part_lens, body),
             None => pool.parallel_parts_mut(ap, &part_lens, body),
         }
 
@@ -211,7 +203,11 @@ mod tests {
         for _ in 0..60 {
             fe.step(&pool);
         }
-        assert!(fe.residual_norm() < 1e-8 * initial, "res {}", fe.residual_norm());
+        assert!(
+            fe.residual_norm() < 1e-8 * initial,
+            "res {}",
+            fe.residual_norm()
+        );
         assert!(fe.solution_error() < 1e-6, "err {}", fe.solution_error());
         assert!(fe.verify().is_ok());
         assert_eq!(fe.steps(), 60);

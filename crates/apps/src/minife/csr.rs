@@ -26,7 +26,11 @@ impl CsrMatrix {
         values: Vec<f64>,
     ) -> Self {
         assert_eq!(row_ptr.len(), rows + 1, "row_ptr must have rows+1 entries");
-        assert_eq!(col_idx.len(), values.len(), "col_idx/values length mismatch");
+        assert_eq!(
+            col_idx.len(),
+            values.len(),
+            "col_idx/values length mismatch"
+        );
         assert!(
             row_ptr.windows(2).all(|w| w[0] <= w[1]),
             "row_ptr must be nondecreasing"
@@ -144,13 +148,7 @@ mod tests {
     #[test]
     fn symmetry_detection() {
         assert!(tri3().is_symmetric(1e-12));
-        let asym = CsrMatrix::new(
-            2,
-            2,
-            vec![0, 2, 3],
-            vec![0, 1, 1],
-            vec![1.0, 5.0, 1.0],
-        );
+        let asym = CsrMatrix::new(2, 2, vec![0, 2, 3], vec![0, 1, 1], vec![1.0, 5.0, 1.0]);
         assert!(!asym.is_symmetric(1e-12));
     }
 

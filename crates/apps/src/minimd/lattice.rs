@@ -20,7 +20,10 @@ pub const FCC_BASIS: [V3; 4] = [
 /// density `rho`. Returns `(positions, box_lengths)`; atom count is
 /// `4 · ncx · ncy · ncz`.
 pub fn fcc_positions(ncx: usize, ncy: usize, ncz: usize, rho: f64) -> (Vec<V3>, V3) {
-    assert!(ncx >= 1 && ncy >= 1 && ncz >= 1, "need ≥ 1 unit cell per axis");
+    assert!(
+        ncx >= 1 && ncy >= 1 && ncz >= 1,
+        "need ≥ 1 unit cell per axis"
+    );
     assert!(rho > 0.0, "density must be positive");
     // 4 atoms per cubic cell of volume a³ ⇒ a = (4/ρ)^(1/3).
     let a = (4.0 / rho).cbrt();
@@ -78,14 +81,12 @@ pub fn initial_velocities(n: usize, temperature: f64, seed: u64) -> Vec<V3> {
     if v2 > 0.0 && temperature > 0.0 {
         let scale = (3.0 * n as f64 * temperature / v2).sqrt();
         for v in &mut vel {
-            for d in 0..3 {
-                v[d] *= scale;
+            for c in v.iter_mut() {
+                *c *= scale;
             }
         }
     } else if temperature == 0.0 {
-        for v in &mut vel {
-            *v = [0.0; 3];
-        }
+        vel.fill([0.0; 3]);
     }
     vel
 }
@@ -144,8 +145,8 @@ mod tests {
                 p[d] += v[d];
             }
         }
-        for d in 0..3 {
-            assert!(p[d].abs() < 1e-9, "net momentum {d}: {}", p[d]);
+        for (d, c) in p.iter().enumerate() {
+            assert!(c.abs() < 1e-9, "net momentum {d}: {c}");
         }
         let v2: f64 = vel.iter().map(|v| norm2(*v)).sum();
         let t = v2 / (3.0 * n as f64);
@@ -154,8 +155,14 @@ mod tests {
 
     #[test]
     fn velocities_are_deterministic_per_seed() {
-        assert_eq!(initial_velocities(10, 1.0, 7), initial_velocities(10, 1.0, 7));
-        assert_ne!(initial_velocities(10, 1.0, 7), initial_velocities(10, 1.0, 8));
+        assert_eq!(
+            initial_velocities(10, 1.0, 7),
+            initial_velocities(10, 1.0, 7)
+        );
+        assert_ne!(
+            initial_velocities(10, 1.0, 7),
+            initial_velocities(10, 1.0, 8)
+        );
     }
 
     #[test]

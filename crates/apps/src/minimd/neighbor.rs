@@ -84,8 +84,7 @@ impl NeighborList {
                 }
                 (((x / l) * c as f64) as usize).min(c - 1)
             };
-            (f(p[2], box_len[2], cz) * cy + f(p[1], box_len[1], cy)) * cx
-                + f(p[0], box_len[0], cx)
+            (f(p[2], box_len[2], cz) * cy + f(p[1], box_len[1], cy)) * cx + f(p[0], box_len[0], cx)
         };
 
         // Bucket atoms by cell (counting sort).
@@ -142,9 +141,7 @@ mod tests {
         (0..pos.len())
             .map(|i| {
                 (0..pos.len())
-                    .filter(|&j| {
-                        j != i && norm2(min_image(pos[i], pos[j], box_len)) < reach2
-                    })
+                    .filter(|&j| j != i && norm2(min_image(pos[i], pos[j], box_len)) < reach2)
                     .map(|j| j as u32)
                     .collect()
             })
@@ -161,10 +158,10 @@ mod tests {
         nl.rebuild(&pos, box_len, reach);
         let want = reference(&pos, box_len, reach);
         assert_eq!(nl.atoms(), pos.len());
-        for i in 0..pos.len() {
+        for (i, w) in want.iter().enumerate() {
             let mut got: Vec<u32> = nl.of(i).to_vec();
             got.sort_unstable();
-            let mut exp = want[i].clone();
+            let mut exp = w.clone();
             exp.sort_unstable();
             assert_eq!(got, exp, "atom {i}");
         }
@@ -179,10 +176,10 @@ mod tests {
         let mut nl = NeighborList::new();
         nl.rebuild(&pos, box_len, reach);
         let want = reference(&pos, box_len, reach);
-        for i in 0..pos.len() {
+        for (i, w) in want.iter().enumerate() {
             let mut got: Vec<u32> = nl.of(i).to_vec();
             got.sort_unstable();
-            let mut exp = want[i].clone();
+            let mut exp = w.clone();
             exp.sort_unstable();
             assert_eq!(got, exp, "atom {i}");
         }

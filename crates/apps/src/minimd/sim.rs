@@ -112,9 +112,8 @@ impl MiniMd {
         // Fold positions back into the box first (drift accumulates between
         // rebuilds; forces use minimum image so folding is safe).
         for p in &mut self.pos {
-            for d in 0..3 {
-                let l = self.box_len[d];
-                p[d] = p[d].rem_euclid(l);
+            for (c, &l) in p.iter_mut().zip(&self.box_len) {
+                *c = c.rem_euclid(l);
             }
         }
         let reach = self.reach();
@@ -133,13 +132,7 @@ impl MiniMd {
     /// Force on one atom from its neighbor list (cutoff applied here, the
     /// list over-approximates by the skin).
     #[inline]
-    fn force_on(
-        i: usize,
-        pos: &[V3],
-        neighbors: &NeighborList,
-        box_len: V3,
-        cutoff2: f64,
-    ) -> V3 {
+    fn force_on(i: usize, pos: &[V3], neighbors: &NeighborList, box_len: V3, cutoff2: f64) -> V3 {
         let mut f = [0.0f64; 3];
         let pi = pos[i];
         for &j in neighbors.of(i) {
@@ -158,17 +151,12 @@ impl MiniMd {
     fn compute_forces_serial(&mut self) {
         let cutoff2 = self.params.cutoff * self.params.cutoff;
         for i in 0..self.pos.len() {
-            self.force[i] =
-                Self::force_on(i, &self.pos, &self.neighbors, self.box_len, cutoff2);
+            self.force[i] = Self::force_on(i, &self.pos, &self.neighbors, self.box_len, cutoff2);
         }
     }
 
     /// One velocity-Verlet step; `region` wraps only the force kernel.
-    fn verlet_step(
-        &mut self,
-        pool: &Pool,
-        region: Option<(&TimedRegion<'_, dyn Clock>, usize)>,
-    ) {
+    fn verlet_step(&mut self, pool: &Pool, region: Option<(&TimedRegion<'_, dyn Clock>, usize)>) {
         let dt = self.params.dt;
         let half = 0.5 * dt;
         // First half-kick + drift (untimed, as in the instrumented MiniMD).
@@ -178,7 +166,7 @@ impl MiniMd {
                 self.pos[i][d] += dt * self.vel[i][d];
             }
         }
-        if self.steps % self.params.rebuild_every == 0 {
+        if self.steps.is_multiple_of(self.params.rebuild_every) {
             self.rebuild_neighbors();
         }
         // Timed section: the LJ forcing function, atoms statically split.
@@ -189,13 +177,12 @@ impl MiniMd {
                 .collect();
             let cutoff2 = self.params.cutoff * self.params.cutoff;
             let (pos, neighbors, box_len) = (&self.pos, &self.neighbors, self.box_len);
-            let body = |block: &mut [V3],
-                        range: std::ops::Range<usize>,
-                        _ctx: &ebird_runtime::Ctx<'_>| {
-                for (off, out) in block.iter_mut().enumerate() {
-                    *out = Self::force_on(range.start + off, pos, neighbors, box_len, cutoff2);
-                }
-            };
+            let body =
+                |block: &mut [V3], range: std::ops::Range<usize>, _ctx: &ebird_runtime::Ctx<'_>| {
+                    for (off, out) in block.iter_mut().enumerate() {
+                        *out = Self::force_on(range.start + off, pos, neighbors, box_len, cutoff2);
+                    }
+                };
             match region {
                 Some((reg, iteration)) => {
                     pool.timed_parts_mut(reg, iteration, &mut self.force, &part_lens, body)

@@ -146,9 +146,7 @@ mod tests {
         let total_before = j.log_total(&els, l);
         els[e] = new_pos;
         let total_after = j.log_total(&els, l);
-        assert!(
-            ((after_one - before_one) - (total_after - total_before)).abs() < 1e-12
-        );
+        assert!(((after_one - before_one) - (total_after - total_before)).abs() < 1e-12);
     }
 
     #[test]
@@ -169,8 +167,7 @@ mod tests {
             let mut rm = els[e];
             rp[d] += h;
             rm[d] -= h;
-            let num = (j.log_one_body_sum(e, rp, &els, l)
-                - j.log_one_body_sum(e, rm, &els, l))
+            let num = (j.log_one_body_sum(e, rp, &els, l) - j.log_one_body_sum(e, rm, &els, l))
                 / (2.0 * h);
             assert!((g[d] - num).abs() < 1e-5, "axis {d}: {} vs {num}", g[d]);
         }

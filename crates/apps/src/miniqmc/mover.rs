@@ -224,11 +224,7 @@ impl MiniQmc {
 
     /// One iteration: every walker does `sweeps_per_step` sweeps; threads own
     /// static walker blocks; the whole mover loop is the timed section.
-    fn mover_step(
-        &mut self,
-        pool: &Pool,
-        region: Option<(&TimedRegion<'_, dyn Clock>, usize)>,
-    ) {
+    fn mover_step(&mut self, pool: &Pool, region: Option<(&TimedRegion<'_, dyn Clock>, usize)>) {
         let part_lens: Vec<usize> = (0..pool.threads())
             .map(|t| static_block(self.walkers.len(), pool.threads(), t).len())
             .collect();
@@ -278,9 +274,7 @@ impl ProxyApp for MiniQmc {
                     return Err(format!("walker {i} electron {e} non-finite"));
                 }
                 if r.iter().any(|&x| x < 0.0 || x >= self.params.box_len) {
-                    return Err(format!(
-                        "walker {i} electron {e} escaped the box: {r:?}"
-                    ));
+                    return Err(format!("walker {i} electron {e} escaped the box: {r:?}"));
                 }
             }
         }

@@ -65,9 +65,7 @@ impl Spline3D {
     /// files we do not have (substitution documented in DESIGN.md).
     pub fn random(n: usize, box_len: f64, seed: u64) -> Self {
         let mut rng = SplitMix64::new(seed);
-        let coeffs = (0..n * n * n)
-            .map(|_| 2.0 * rng.next_f64() - 1.0)
-            .collect();
+        let coeffs = (0..n * n * n).map(|_| 2.0 * rng.next_f64() - 1.0).collect();
         Spline3D::new(n, box_len, coeffs)
     }
 
@@ -100,12 +98,7 @@ impl Spline3D {
         let u = (x / self.box_len).rem_euclid(1.0) * n as f64;
         let i0 = u.floor() as usize % n;
         let t = u - u.floor();
-        let idx = [
-            (i0 + n - 1) % n,
-            i0,
-            (i0 + 1) % n,
-            (i0 + 2) % n,
-        ];
+        let idx = [(i0 + n - 1) % n, i0, (i0 + 1) % n, (i0 + 2) % n];
         (idx, t)
     }
 

@@ -20,7 +20,9 @@ use std::hint::black_box;
 fn sample(n: usize) -> Vec<f64> {
     // One representative MiniQMC process-iteration, tiled to size n.
     let base = SyntheticApp::miniqmc().process_iteration_ms(1, 0, 0, 0, 48.min(n));
-    (0..n).map(|i| base[i % base.len()] + (i / base.len()) as f64 * 1e-4).collect()
+    (0..n)
+        .map(|i| base[i % base.len()] + (i / base.len()) as f64 * 1e-4)
+        .collect()
 }
 
 fn bench_tests(c: &mut Criterion) {

@@ -1,0 +1,93 @@
+//! `bench_pipeline` — times the full repro pipeline (generate → sweep →
+//! census → reclaim → simulate) serial vs parallel and writes
+//! `BENCH_PIPELINE.json`.
+//!
+//! ```text
+//! bench_pipeline [--scale paper|ci] [--seed N] [--threads N]
+//!                [--repeats N] [--out PATH]
+//! ```
+//!
+//! Defaults: paper scale, seed 20230421, `available_parallelism()` worker
+//! threads, best-of-3 timings, `BENCH_PIPELINE.json` in the working
+//! directory. The run fails loudly if any parallel stage's output is not
+//! bit-identical to its serial counterpart.
+
+use std::io::Write as _;
+
+use ebird_bench::pipeline::{render_report, run_pipeline};
+use ebird_bench::{Scale, DEFAULT_SEED};
+use ebird_runtime::Pool;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(msg) = run(&args) {
+        eprintln!("error: {msg}");
+        eprintln!();
+        eprintln!(
+            "usage: bench_pipeline [--scale paper|ci] [--seed N] [--threads N] \
+             [--repeats N] [--out PATH]"
+        );
+        std::process::exit(2);
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut scale = Scale::Paper;
+    let mut seed = DEFAULT_SEED;
+    let mut threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut repeats = 3usize;
+    let mut out = std::path::PathBuf::from("BENCH_PIPELINE.json");
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = it.next().ok_or("--scale needs a value")?;
+                scale = Scale::parse(v).ok_or_else(|| format!("unknown scale `{v}`"))?;
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                seed = v.parse().map_err(|e| format!("bad seed `{v}`: {e}"))?;
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                threads = v
+                    .parse()
+                    .map_err(|e| format!("bad thread count `{v}`: {e}"))?;
+                if threads == 0 {
+                    return Err("--threads must be ≥ 1".into());
+                }
+            }
+            "--repeats" => {
+                let v = it.next().ok_or("--repeats needs a value")?;
+                repeats = v
+                    .parse()
+                    .map_err(|e| format!("bad repeat count `{v}`: {e}"))?;
+                if repeats == 0 {
+                    return Err("--repeats must be ≥ 1".into());
+                }
+            }
+            "--out" => {
+                let v = it.next().ok_or("--out needs a value")?;
+                out = std::path::PathBuf::from(v);
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+
+    let pool = Pool::new(threads);
+    eprintln!(
+        "# pipeline benchmark: {:?} scale, seed {seed}, {threads} threads, best of {repeats}",
+        scale
+    );
+    let report = run_pipeline(scale, seed, &pool, repeats);
+    print!("{}", render_report(&report));
+
+    let json = serde_json::to_string(&report).map_err(|e| format!("serializing report: {e}"))?;
+    let mut f =
+        std::fs::File::create(&out).map_err(|e| format!("creating {}: {e}", out.display()))?;
+    f.write_all(json.as_bytes())
+        .map_err(|e| format!("writing {}: {e}", out.display()))?;
+    eprintln!("# wrote {}", out.display());
+    Ok(())
+}

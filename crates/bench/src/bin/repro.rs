@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--scale paper|ci] [--seed N] [--source synthetic|real]
-//!       [--csv-dir DIR] <experiment>
+//!       [--threads N] [--csv-dir DIR] <experiment>
 //!
 //! experiments:
 //!   table1          process-iteration normality pass rates (Table 1)
@@ -18,23 +18,28 @@
 //!   all             everything above
 //! ```
 //!
-//! Defaults: paper scale, synthetic source, seed 20230421. The real source
-//! runs the live Rust kernels at reduced problem sizes (wall-clock shapes are
-//! host-dependent; the synthetic source is the calibrated one).
+//! Defaults: paper scale, synthetic source, seed 20230421, and one worker
+//! thread per host core (`--threads 1` forces the serial path). Synthetic
+//! generation and the normality sweeps run on the workspace's own thread
+//! pool; parallel results are bit-identical to serial, so `--threads` only
+//! changes wall-clock time. The real source runs the live Rust kernels at
+//! reduced problem sizes (wall-clock shapes are host-dependent; the
+//! synthetic source is the calibrated one).
 
 use std::io::Write as _;
 
+use ebird_analysis::engine::{sweep_parallel, table1_parallel};
 use ebird_analysis::figures::{self, bins};
 use ebird_analysis::laggard::{laggard_census, ArrivalClass};
-use ebird_analysis::normality::{sweep, table1};
 use ebird_analysis::percentile_series::{detect_phase_boundary, iqr_stats, percentile_series};
 use ebird_analysis::reclaim::reclaim_metrics;
 use ebird_analysis::report;
-use ebird_bench::{all_real_traces, all_synthetic_traces, Scale, DEFAULT_SEED};
+use ebird_bench::{all_real_traces, Scale, DEFAULT_SEED};
 use ebird_cluster::calibration::{self, LAGGARD_THRESHOLD_MS, MINIMD_PHASE_BOUNDARY};
 use ebird_core::view::AggregationLevel;
 use ebird_core::TimingTrace;
 use ebird_partcomm::{compare_strategies, LinkModel};
+use ebird_runtime::Pool;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -43,7 +48,7 @@ fn main() {
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!();
-            eprintln!("usage: repro [--scale paper|ci] [--seed N] [--source synthetic|real] [--csv-dir DIR] <experiment>");
+            eprintln!("usage: repro [--scale paper|ci] [--seed N] [--source synthetic|real] [--threads N] [--csv-dir DIR] <experiment>");
             eprintln!("experiments: table1 app-normality iter-normality fig3 fig4 fig5 fig6 fig7 fig8 fig9 metrics earlybird battery fit all");
             std::process::exit(2);
         }
@@ -55,6 +60,9 @@ struct Options {
     seed: u64,
     real: bool,
     csv_dir: Option<std::path::PathBuf>,
+    /// Worker pool for generation and sweeps; parallel output is
+    /// bit-identical to serial, so this only affects wall-clock time.
+    pool: Pool,
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -62,6 +70,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut seed = DEFAULT_SEED;
     let mut real = false;
     let mut csv_dir = None;
+    let mut threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut experiment: Option<String> = None;
 
     let mut it = args.iter();
@@ -83,6 +92,15 @@ fn run(args: &[String]) -> Result<(), String> {
                     _ => return Err(format!("unknown source `{v}`")),
                 };
             }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                threads = v
+                    .parse()
+                    .map_err(|e| format!("bad thread count `{v}`: {e}"))?;
+                if threads == 0 {
+                    return Err("--threads must be ≥ 1".into());
+                }
+            }
             "--csv-dir" => {
                 let v = it.next().ok_or("--csv-dir needs a value")?;
                 csv_dir = Some(std::path::PathBuf::from(v));
@@ -99,13 +117,14 @@ fn run(args: &[String]) -> Result<(), String> {
         seed,
         real,
         csv_dir,
+        pool: Pool::new(threads),
     };
 
     let traces = load_traces(&opts);
     match experiment.as_str() {
-        "table1" => cmd_table1(&traces),
-        "app-normality" => cmd_app_normality(&traces),
-        "iter-normality" => cmd_iter_normality(&traces),
+        "table1" => cmd_table1(&traces, &opts),
+        "app-normality" => cmd_app_normality(&traces, &opts),
+        "iter-normality" => cmd_iter_normality(&traces, &opts),
         "fig3" => cmd_fig3(&traces, &opts)?,
         "fig4" => cmd_percentiles(&traces[0], "fig4", &opts)?,
         "fig6" => cmd_percentiles(&traces[1], "fig6", &opts)?,
@@ -118,9 +137,9 @@ fn run(args: &[String]) -> Result<(), String> {
         "battery" => cmd_battery(&traces),
         "fit" => cmd_fit(&traces),
         "all" => {
-            cmd_table1(&traces);
-            cmd_app_normality(&traces);
-            cmd_iter_normality(&traces);
+            cmd_table1(&traces, &opts);
+            cmd_app_normality(&traces, &opts);
+            cmd_iter_normality(&traces, &opts);
             cmd_fig3(&traces, &opts)?;
             cmd_percentiles(&traces[0], "fig4", &opts)?;
             cmd_exemplars(&traces[0], 0, bins::FIG5_MS, "fig5", &opts)?;
@@ -140,19 +159,22 @@ fn run(args: &[String]) -> Result<(), String> {
 
 fn load_traces(opts: &Options) -> Vec<TimingTrace> {
     if opts.real {
-        let cfg = match opts.scale {
-            // Real kernels at paper thread counts would oversubscribe this
-            // host meaninglessly; real mode always runs the CI shape.
-            _ => ebird_cluster::JobConfig::ci_scale(),
-        };
+        // Real kernels at paper thread counts would oversubscribe this host
+        // meaninglessly; real mode always runs the CI shape.
+        let cfg = ebird_cluster::JobConfig::ci_scale();
         eprintln!("# source: real kernels at CI scale {cfg:?}");
         all_real_traces(&cfg, opts.seed)
     } else {
         eprintln!(
-            "# source: synthetic, scale {:?}, seed {}",
-            opts.scale, opts.seed
+            "# source: synthetic, scale {:?}, seed {}, {} worker thread(s)",
+            opts.scale,
+            opts.seed,
+            opts.pool.threads()
         );
-        all_synthetic_traces(opts.scale, opts.seed)
+        ebird_cluster::SyntheticApp::all()
+            .iter()
+            .map(|a| a.generate_parallel(&opts.scale.config(), opts.seed, &opts.pool))
+            .collect()
     }
 }
 
@@ -168,17 +190,22 @@ fn write_csv(opts: &Options, name: &str, content: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_table1(traces: &[TimingTrace]) {
-    let t = table1(traces.iter(), calibration::ALPHA);
+fn cmd_table1(traces: &[TimingTrace], opts: &Options) {
+    let t = table1_parallel(traces.iter(), calibration::ALPHA, &opts.pool);
     println!("{}", report::render_table1(&t));
     println!("paper Table 1:        MiniFE 3%/<1%/<1%   MiniMD 77%/74%/76%   MiniQMC 95%/96%/96%");
     println!();
 }
 
-fn cmd_app_normality(traces: &[TimingTrace]) {
+fn cmd_app_normality(traces: &[TimingTrace], opts: &Options) {
     println!("Application-level normality (one test per app over all samples):");
     for tr in traces {
-        let sw = sweep(tr, AggregationLevel::Application, calibration::ALPHA);
+        let sw = sweep_parallel(
+            tr,
+            AggregationLevel::Application,
+            calibration::ALPHA,
+            &opts.pool,
+        );
         let o = &sw.outcomes[0];
         let verdicts: Vec<String> = o
             .iter()
@@ -203,10 +230,15 @@ fn cmd_app_normality(traces: &[TimingTrace]) {
     println!();
 }
 
-fn cmd_iter_normality(traces: &[TimingTrace]) {
+fn cmd_iter_normality(traces: &[TimingTrace], opts: &Options) {
     println!("Application-iteration-level normality (pass counts over iterations):");
     for tr in traces {
-        let sw = sweep(tr, AggregationLevel::ApplicationIteration, calibration::ALPHA);
+        let sw = sweep_parallel(
+            tr,
+            AggregationLevel::ApplicationIteration,
+            calibration::ALPHA,
+            &opts.pool,
+        );
         let rates = sw.pass_rates();
         let dag_only = sw.dagostino_only_passes();
         println!(
@@ -311,11 +343,14 @@ fn cmd_exemplars(
         rate * 100.0,
         (1.0 - rate) * 100.0
     );
-    let (calm, laggard) =
-        figures::class_exemplar_pair(tr, &census, from_iteration, bin_ms, label);
+    let (calm, laggard) = figures::class_exemplar_pair(tr, &census, from_iteration, bin_ms, label);
     for fig in [calm, laggard].into_iter().flatten() {
         println!("{}", report::render_histogram(&fig, 40));
-        write_csv(opts, &format!("{}.csv", fig.label), &report::histogram_csv(&fig))?;
+        write_csv(
+            opts,
+            &format!("{}.csv", fig.label),
+            &report::histogram_csv(&fig),
+        )?;
     }
     println!();
     Ok(())
@@ -342,7 +377,13 @@ fn cmd_fig7(tr: &TimingTrace, opts: &Options) -> Result<(), String> {
         write_csv(opts, "fig7a.csv", &report::histogram_csv(&f))?;
     }
     // 7b/7c: steady-state exemplar pair at 10 µs bins.
-    cmd_exemplars(tr, MINIMD_PHASE_BOUNDARY, bins::FIG7_STEADY_MS, "fig7", opts)
+    cmd_exemplars(
+        tr,
+        MINIMD_PHASE_BOUNDARY,
+        bins::FIG7_STEADY_MS,
+        "fig7",
+        opts,
+    )
 }
 
 fn cmd_fig9(tr: &TimingTrace, opts: &Options) -> Result<(), String> {

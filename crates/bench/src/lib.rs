@@ -14,6 +14,8 @@
 
 #![warn(missing_docs)]
 
+pub mod pipeline;
+
 use ebird_cluster::{JobConfig, SyntheticApp};
 use ebird_core::TimingTrace;
 

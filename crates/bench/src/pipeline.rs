@@ -1,0 +1,434 @@
+//! End-to-end pipeline throughput: generate → sweep → simulate, serial
+//! against parallel, with a machine-readable report.
+//!
+//! This is the workspace's standing perf harness: every stage of the
+//! reproduction runs twice — once single-threaded, once fanned out over the
+//! workspace's own [`Pool`] — and the report records wall-clock times,
+//! speedups, and whether the parallel sweep outputs were **bit-identical**
+//! to serial (they must be; the run panics otherwise). The `bench_pipeline`
+//! binary serializes the report to `BENCH_PIPELINE.json`, establishing the
+//! BENCH trajectory future PRs measure against.
+
+use std::time::Instant;
+
+use ebird_analysis::engine::{
+    campaign_moments, laggard_census_parallel, reclaim_metrics_parallel, sweep_parallel,
+};
+use ebird_analysis::laggard::laggard_census;
+use ebird_analysis::normality::sweep;
+use ebird_analysis::reclaim::reclaim_metrics;
+use ebird_cluster::SyntheticApp;
+use ebird_core::view::AggregationLevel;
+use ebird_core::TimingTrace;
+use ebird_partcomm::{simulate_with_scratch, DeliveryOutcome, LinkModel, SimScratch, Strategy};
+use ebird_runtime::Pool;
+use ebird_stats::Moments;
+use serde::{Deserialize, Serialize};
+
+use crate::Scale;
+
+/// Paper-default buffer for the delivery stage (8 MB).
+const SIM_BYTES: usize = 8_000_000;
+
+/// One pipeline stage's serial/parallel wall-clock comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StageTiming {
+    /// Stage name (`generate`, `normality-sweep`, …).
+    pub stage: String,
+    /// Best-of-`repeats` serial wall-clock (ms).
+    pub serial_ms: f64,
+    /// Best-of-`repeats` parallel wall-clock (ms).
+    pub parallel_ms: f64,
+    /// `serial_ms / parallel_ms`.
+    pub speedup: f64,
+}
+
+/// The full pipeline report written to `BENCH_PIPELINE.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineReport {
+    /// Report format version (bump on breaking field changes).
+    pub schema_version: u32,
+    /// Scale label (`paper` or `ci`).
+    pub scale: String,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Applications processed, in order.
+    pub apps: Vec<String>,
+    /// Worker threads in the parallel pool.
+    pub pool_threads: usize,
+    /// `std::thread::available_parallelism()` on the measuring host.
+    pub host_parallelism: usize,
+    /// Timing repeats per stage (best-of is reported).
+    pub repeats: usize,
+    /// Per-stage timings.
+    pub stages: Vec<StageTiming>,
+    /// Serial generate+sweep total (ms) — the acceptance metric's numerator.
+    pub generate_sweep_serial_ms: f64,
+    /// Parallel generate+sweep total (ms).
+    pub generate_sweep_parallel_ms: f64,
+    /// Generate+sweep speedup.
+    pub generate_sweep_speedup: f64,
+    /// Whole-pipeline serial total (ms).
+    pub total_serial_ms: f64,
+    /// Whole-pipeline parallel total (ms).
+    pub total_parallel_ms: f64,
+    /// Whole-pipeline speedup.
+    pub total_speedup: f64,
+    /// `true` — the run verifies sweep/census/reclaim/simulation outputs are
+    /// bit-identical between serial and parallel and panics otherwise, so a
+    /// written report always records `true`; the field keeps the check
+    /// visible in the artifact.
+    pub outputs_bit_identical: bool,
+}
+
+fn time_best<R>(repeats: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..repeats.max(1) {
+        let t = Instant::now();
+        let r = f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+        last = Some(r);
+    }
+    (best, last.expect("at least one repeat"))
+}
+
+/// The three sweep levels the pipeline times, paper order.
+const SWEEP_LEVELS: [AggregationLevel; 3] = [
+    AggregationLevel::ProcessIteration,
+    AggregationLevel::ApplicationIteration,
+    AggregationLevel::Application,
+];
+
+/// Full per-group outcomes of every (trace, level) sweep; compared with
+/// derived `PartialEq`, so *every* field of every outcome (statistic,
+/// p-value, n, extrapolated flag) participates in the bit-identity check —
+/// a lossy projection here would let a divergence hide behind a clamped
+/// p-value.
+type SweepOutcomes = Vec<Vec<[Option<ebird_stats::normality::NormalityOutcome>; 3]>>;
+
+fn sweep_all(traces: &[TimingTrace], alpha: f64) -> SweepOutcomes {
+    traces
+        .iter()
+        .flat_map(|tr| {
+            SWEEP_LEVELS
+                .iter()
+                .map(|&level| sweep(tr, level, alpha).outcomes)
+        })
+        .collect()
+}
+
+fn sweep_all_parallel(traces: &[TimingTrace], alpha: f64, pool: &Pool) -> SweepOutcomes {
+    traces
+        .iter()
+        .flat_map(|tr| {
+            SWEEP_LEVELS
+                .iter()
+                .map(|&level| sweep_parallel(tr, level, alpha, pool).outcomes)
+        })
+        .collect()
+}
+
+/// Simulates the four canonical strategies on every process-iteration's
+/// arrivals, serially.
+fn simulate_trace_serial(trace: &TimingTrace, link: &LinkModel) -> Vec<[DeliveryOutcome; 4]> {
+    let mut scratch = SimScratch::new();
+    let mut values = Vec::with_capacity(trace.shape().threads);
+    trace
+        .iter_process_iterations()
+        .map(|(_, _, _, samples)| {
+            values.clear();
+            values.extend(
+                samples
+                    .iter()
+                    .map(ebird_core::ThreadSample::compute_time_ms),
+            );
+            simulate_unit(&values, link, &mut scratch)
+        })
+        .collect()
+}
+
+/// Parallel counterpart of [`simulate_trace_serial`]; bit-identical because
+/// each unit runs the same scratch-based kernel independently.
+fn simulate_trace_parallel(
+    trace: &TimingTrace,
+    link: &LinkModel,
+    pool: &Pool,
+) -> Vec<[DeliveryOutcome; 4]> {
+    let shape = trace.shape();
+    let units = shape.process_iterations();
+    let mut out: Vec<Option<[DeliveryOutcome; 4]>> = vec![None; units];
+    pool.parallel_chunks_mut(&mut out, |block, range, _ctx| {
+        let mut scratch = SimScratch::new();
+        let mut values = Vec::with_capacity(shape.threads);
+        for (offset, slot) in block.iter_mut().enumerate() {
+            let unit = range.start + offset;
+            let iteration = unit % shape.iterations;
+            let rest = unit / shape.iterations;
+            let samples = trace
+                .process_iteration(rest / shape.ranks, rest % shape.ranks, iteration)
+                .expect("unit in range by construction");
+            values.clear();
+            values.extend(
+                samples
+                    .iter()
+                    .map(ebird_core::ThreadSample::compute_time_ms),
+            );
+            *slot = Some(simulate_unit(&values, link, &mut scratch));
+        }
+    });
+    out.into_iter()
+        .map(|o| o.expect("every unit simulated"))
+        .collect()
+}
+
+fn simulate_unit(
+    arrivals_ms: &[f64],
+    link: &LinkModel,
+    scratch: &mut SimScratch,
+) -> [DeliveryOutcome; 4] {
+    let bins = (arrivals_ms.len() as f64).sqrt().round().max(1.0) as usize;
+    [
+        Strategy::Bulk,
+        Strategy::EarlyBird,
+        Strategy::TimeoutFlush { timeout_ms: 1.0 },
+        Strategy::Binned { bins },
+    ]
+    .map(|s| simulate_with_scratch(arrivals_ms, SIM_BYTES, link, s, scratch))
+}
+
+/// Runs the full generate → sweep → census → reclaim → simulate pipeline at
+/// `scale`, serial and parallel, and verifies the parallel outputs are
+/// bit-identical to serial.
+///
+/// # Panics
+/// If any parallel stage output differs from its serial counterpart — that
+/// is a correctness bug, not a measurement artifact.
+pub fn run_pipeline(scale: Scale, seed: u64, pool: &Pool, repeats: usize) -> PipelineReport {
+    let cfg = scale.config();
+    let apps = SyntheticApp::all();
+    let alpha = ebird_cluster::calibration::ALPHA;
+    let link = LinkModel::omni_path();
+    let mut stages = Vec::new();
+
+    // Stage 1: synthetic trace generation.
+    let (gen_serial_ms, traces) = time_best(repeats, || {
+        apps.iter()
+            .map(|a| a.generate(&cfg, seed))
+            .collect::<Vec<_>>()
+    });
+    let (gen_parallel_ms, traces_par) = time_best(repeats, || {
+        apps.iter()
+            .map(|a| a.generate_parallel(&cfg, seed, pool))
+            .collect::<Vec<_>>()
+    });
+    assert_eq!(
+        traces, traces_par,
+        "parallel generation diverged from serial"
+    );
+    drop(traces_par);
+    stages.push(stage("generate", gen_serial_ms, gen_parallel_ms));
+
+    // Stage 2: the three-level normality sweeps.
+    let (sweep_serial_ms, sweeps) = time_best(repeats, || sweep_all(&traces, alpha));
+    let (sweep_parallel_ms, sweeps_par) =
+        time_best(repeats, || sweep_all_parallel(&traces, alpha, pool));
+    assert_eq!(sweeps, sweeps_par, "parallel sweep diverged from serial");
+    stages.push(stage("normality-sweep", sweep_serial_ms, sweep_parallel_ms));
+
+    // Stage 3: laggard census.
+    let threshold = ebird_cluster::calibration::LAGGARD_THRESHOLD_MS;
+    let (census_serial_ms, censuses) = time_best(repeats, || {
+        traces
+            .iter()
+            .map(|tr| laggard_census(tr, threshold))
+            .collect::<Vec<_>>()
+    });
+    let (census_parallel_ms, censuses_par) = time_best(repeats, || {
+        traces
+            .iter()
+            .map(|tr| laggard_census_parallel(tr, threshold, pool))
+            .collect::<Vec<_>>()
+    });
+    for (a, b) in censuses.iter().zip(&censuses_par) {
+        assert_eq!(a.iterations, b.iterations, "parallel census diverged");
+    }
+    stages.push(stage(
+        "laggard-census",
+        census_serial_ms,
+        census_parallel_ms,
+    ));
+
+    // Stage 4: reclaim metrics.
+    let (reclaim_serial_ms, metrics) = time_best(repeats, || {
+        traces.iter().map(reclaim_metrics).collect::<Vec<_>>()
+    });
+    let (reclaim_parallel_ms, metrics_par) = time_best(repeats, || {
+        traces
+            .iter()
+            .map(|tr| reclaim_metrics_parallel(tr, pool))
+            .collect::<Vec<_>>()
+    });
+    assert_eq!(
+        metrics, metrics_par,
+        "parallel reclaim diverged from serial"
+    );
+    stages.push(stage(
+        "reclaim-metrics",
+        reclaim_serial_ms,
+        reclaim_parallel_ms,
+    ));
+
+    // Stage 5: early-bird delivery simulation over every process-iteration.
+    let (sim_serial_ms, sims) = time_best(repeats, || {
+        traces
+            .iter()
+            .map(|tr| simulate_trace_serial(tr, &link))
+            .collect::<Vec<_>>()
+    });
+    let (sim_parallel_ms, sims_par) = time_best(repeats, || {
+        traces
+            .iter()
+            .map(|tr| simulate_trace_parallel(tr, &link, pool))
+            .collect::<Vec<_>>()
+    });
+    assert_eq!(sims, sims_par, "parallel simulation diverged from serial");
+    stages.push(stage("earlybird-sim", sim_serial_ms, sim_parallel_ms));
+
+    // Stage 6: campaign-level moments (Moments::merge reduction). Not
+    // bit-compared across pool sizes by design; count/extrema must agree.
+    let (mom_serial_ms, serial_moments) = time_best(repeats, || {
+        traces
+            .iter()
+            .map(|tr| Moments::from_slice(&tr.all_ms()))
+            .collect::<Vec<_>>()
+    });
+    let (mom_parallel_ms, parallel_moments) = time_best(repeats, || {
+        traces
+            .iter()
+            .map(|tr| campaign_moments(tr, pool))
+            .collect::<Vec<_>>()
+    });
+    for (a, b) in serial_moments.iter().zip(&parallel_moments) {
+        assert_eq!(a.count(), b.count(), "campaign moments lost samples");
+        assert_eq!(a.min(), b.min());
+        assert_eq!(a.max(), b.max());
+    }
+    // Cross-application fold through the Mergeable reduction: the combined
+    // accumulator must account for every sample of every app.
+    let overall = ebird_stats::reduce::merge_all(parallel_moments.iter().copied())
+        .expect("three applications");
+    assert_eq!(
+        overall.count(),
+        traces.iter().map(|t| t.samples().len() as u64).sum::<u64>(),
+        "cross-app moments lost samples"
+    );
+    stages.push(stage("campaign-moments", mom_serial_ms, mom_parallel_ms));
+
+    let generate_sweep_serial_ms = gen_serial_ms + sweep_serial_ms;
+    let generate_sweep_parallel_ms = gen_parallel_ms + sweep_parallel_ms;
+    let total_serial_ms: f64 = stages.iter().map(|s| s.serial_ms).sum();
+    let total_parallel_ms: f64 = stages.iter().map(|s| s.parallel_ms).sum();
+
+    PipelineReport {
+        schema_version: 1,
+        scale: match scale {
+            Scale::Paper => "paper".to_string(),
+            Scale::Ci => "ci".to_string(),
+        },
+        seed,
+        apps: traces.iter().map(|t| t.app().to_string()).collect(),
+        pool_threads: pool.threads(),
+        host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        repeats: repeats.max(1),
+        stages,
+        generate_sweep_serial_ms,
+        generate_sweep_parallel_ms,
+        generate_sweep_speedup: generate_sweep_serial_ms / generate_sweep_parallel_ms,
+        total_serial_ms,
+        total_parallel_ms,
+        total_speedup: total_serial_ms / total_parallel_ms,
+        outputs_bit_identical: true,
+    }
+}
+
+fn stage(name: &str, serial_ms: f64, parallel_ms: f64) -> StageTiming {
+    StageTiming {
+        stage: name.to_string(),
+        serial_ms,
+        parallel_ms,
+        speedup: serial_ms / parallel_ms,
+    }
+}
+
+/// Renders a human-readable summary of a report.
+pub fn render_report(r: &PipelineReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "pipeline @ {} scale, seed {}, {} pool threads ({} host), best of {}",
+        r.scale, r.seed, r.pool_threads, r.host_parallelism, r.repeats
+    );
+    let _ = writeln!(
+        out,
+        "{:<18} {:>12} {:>12} {:>9}",
+        "stage", "serial ms", "parallel ms", "speedup"
+    );
+    for s in &r.stages {
+        let _ = writeln!(
+            out,
+            "{:<18} {:>12.2} {:>12.2} {:>8.2}x",
+            s.stage, s.serial_ms, s.parallel_ms, s.speedup
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<18} {:>12.2} {:>12.2} {:>8.2}x",
+        "generate+sweep",
+        r.generate_sweep_serial_ms,
+        r.generate_sweep_parallel_ms,
+        r.generate_sweep_speedup
+    );
+    let _ = writeln!(
+        out,
+        "{:<18} {:>12.2} {:>12.2} {:>8.2}x",
+        "total", r.total_serial_ms, r.total_parallel_ms, r.total_speedup
+    );
+    let _ = writeln!(out, "outputs bit-identical: {}", r.outputs_bit_identical);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ci_scale_pipeline_runs_and_verifies() {
+        // The run itself asserts serial/parallel equality on every stage.
+        let pool = Pool::new(2);
+        let r = run_pipeline(Scale::Ci, 7, &pool, 1);
+        assert_eq!(r.stages.len(), 6);
+        assert!(r.outputs_bit_identical);
+        assert!(r.total_serial_ms > 0.0 && r.total_parallel_ms > 0.0);
+        assert_eq!(r.apps, vec!["MiniFE", "MiniMD", "MiniQMC"]);
+        assert!(r
+            .stages
+            .iter()
+            .all(|s| s.speedup.is_finite() && s.speedup > 0.0));
+    }
+
+    #[test]
+    fn report_serializes_and_renders() {
+        let pool = Pool::new(1);
+        let r = run_pipeline(Scale::Ci, 3, &pool, 1);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: PipelineReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.schema_version, 1);
+        assert_eq!(back.stages.len(), r.stages.len());
+        assert_eq!(back.scale, "ci");
+        let text = render_report(&r);
+        assert!(text.contains("generate+sweep"));
+        assert!(text.contains("bit-identical: true"));
+    }
+}

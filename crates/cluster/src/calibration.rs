@@ -88,8 +88,7 @@ pub const ALL: [AppTargets; 3] = [MINIFE, MINIMD, MINIQMC];
 
 /// Looks up targets by application name (case-insensitive).
 pub fn targets_for(name: &str) -> Option<&'static AppTargets> {
-    ALL.iter()
-        .find(|t| t.name.eq_ignore_ascii_case(name))
+    ALL.iter().find(|t| t.name.eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]

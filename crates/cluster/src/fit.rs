@@ -60,7 +60,10 @@ fn iteration_stats(trace: &TimingTrace) -> Vec<(usize, PercentileSummary)> {
         .iter_process_iterations()
         .map(|(_, _, iteration, samples)| {
             let ms: Vec<f64> = samples.iter().map(ThreadSample::compute_time_ms).collect();
-            (iteration, PercentileSummary::from_sample(&ms).expect("threads ≥ 1"))
+            (
+                iteration,
+                PercentileSummary::from_sample(&ms).expect("threads ≥ 1"),
+            )
         })
         .collect()
 }
@@ -120,8 +123,12 @@ pub fn fit_with_threshold(trace: &TimingTrace, threshold_ms: f64) -> FittedModel
         } else {
             laggards.iter().sum::<f64>() / laggards.len() as f64
         };
-        let tail_asymmetry_ms =
-            median_of(in_phase.iter().map(|s| (s.p50 - s.p5) - (s.p95 - s.p50)).collect());
+        let tail_asymmetry_ms = median_of(
+            in_phase
+                .iter()
+                .map(|s| (s.p50 - s.p5) - (s.p95 - s.p50))
+                .collect(),
+        );
         let turbulent = in_phase.iter().filter(|s| s.iqr() > 3.0 * iqr_ms).count();
         phases.push(FittedPhase {
             from_iteration: start,
@@ -224,8 +231,16 @@ mod tests {
         let p = &m.phases[0];
         assert!((p.median_ms - 26.30).abs() < 0.3, "median {}", p.median_ms);
         assert!((0.10..0.40).contains(&p.iqr_ms), "IQR {}", p.iqr_ms);
-        assert!((0.15..0.30).contains(&p.laggard_rate), "laggards {}", p.laggard_rate);
-        assert!(p.tail_asymmetry_ms > 0.05, "early-heavy: {}", p.tail_asymmetry_ms);
+        assert!(
+            (0.15..0.30).contains(&p.laggard_rate),
+            "laggards {}",
+            p.laggard_rate
+        );
+        assert!(
+            p.tail_asymmetry_ms > 0.05,
+            "early-heavy: {}",
+            p.tail_asymmetry_ms
+        );
     }
 
     #[test]

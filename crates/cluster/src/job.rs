@@ -72,10 +72,7 @@ mod tests {
     fn shape_roundtrip() {
         let cfg = JobConfig::new(3, 4, 5, 6);
         let s = cfg.shape();
-        assert_eq!(
-            (s.trials, s.ranks, s.iterations, s.threads),
-            (3, 4, 5, 6)
-        );
+        assert_eq!((s.trials, s.ranks, s.iterations, s.threads), (3, 4, 5, 6));
     }
 
     #[test]

@@ -38,7 +38,10 @@ impl std::fmt::Display for RunnerError {
                 trial,
                 rank,
                 message,
-            } => write!(f, "app invariant violated at trial {trial} rank {rank}: {message}"),
+            } => write!(
+                f,
+                "app invariant violated at trial {trial} rank {rank}: {message}"
+            ),
             RunnerError::Core(e) => write!(f, "trace error: {e}"),
         }
     }
@@ -148,9 +151,6 @@ mod tests {
             Box::new(MiniFe::new(MiniFeParams::test_scale()))
         })
         .unwrap();
-        assert_eq!(
-            seen,
-            vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
-        );
+        assert_eq!(seen, vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]);
     }
 }

@@ -26,6 +26,7 @@
 //! campaign can be regenerated independently and bit-identically.
 
 use ebird_core::{ThreadSample, TimingTrace};
+use ebird_runtime::{static_block, Pool};
 use ebird_stats::dist::{Exponential, Normal, Rng64, Sample, Uniform};
 use serde::{Deserialize, Serialize};
 
@@ -121,7 +122,10 @@ impl SyntheticApp {
             "first phase must start at iteration 0"
         );
         assert!(
-            model.phases.windows(2).all(|w| w[0].from_iteration < w[1].from_iteration),
+            model
+                .phases
+                .windows(2)
+                .all(|w| w[0].from_iteration < w[1].from_iteration),
             "phases must be strictly ordered"
         );
         SyntheticApp { model }
@@ -260,7 +264,10 @@ impl SyntheticApp {
     }
 
     fn app_tag(&self) -> u64 {
-        mix(&[self.model.name.len() as u64, self.model.name.as_bytes()[4] as u64])
+        mix(&[
+            self.model.name.len() as u64,
+            self.model.name.as_bytes()[4] as u64,
+        ])
     }
 
     /// Persistent speed factor of `(trial, rank)`.
@@ -284,6 +291,23 @@ impl SyntheticApp {
         iteration: usize,
         threads: usize,
     ) -> Vec<f64> {
+        let mut out = vec![0.0; threads];
+        self.process_iteration_into(seed, trial, rank, iteration, &mut out);
+        out
+    }
+
+    /// Fills `out` (one slot per thread) with one process-iteration's compute
+    /// times — the allocation-free core of [`process_iteration_ms`] that the
+    /// campaign generators call with a reused per-worker scratch buffer.
+    pub fn process_iteration_into(
+        &self,
+        seed: u64,
+        trial: usize,
+        rank: usize,
+        iteration: usize,
+        out: &mut [f64],
+    ) {
+        let threads = out.len();
         let phase = self.model.phase_for(iteration);
         let mut rng = Rng64::new(mix(&[
             seed,
@@ -294,8 +318,8 @@ impl SyntheticApp {
             iteration as u64,
         ]));
         let rank_factor = self.rank_factor(seed, trial, rank);
-        let base =
-            phase.median_ms * rank_factor + self.model.iter_wander_ms * Normal::standard_draw(&mut rng);
+        let base = phase.median_ms * rank_factor
+            + self.model.iter_wander_ms * Normal::standard_draw(&mut rng);
         let turb = phase.turbulence.draw(&mut rng);
         let sigma_scale = if phase.sigma_jitter_lognorm > 0.0 {
             // Truncated at ±2.5σ: keeps the pooled-kurtosis effect while
@@ -306,8 +330,7 @@ impl SyntheticApp {
             1.0
         };
         let sigma_eff = phase.sigma_ms * turb * sigma_scale;
-        let mut out = Vec::with_capacity(threads);
-        for _ in 0..threads {
+        for slot in out.iter_mut() {
             let mut x = base;
             x += phase.contamination.jitter(sigma_eff, &mut rng);
             if phase.uniform_halfwidth_ms > 0.0 {
@@ -322,35 +345,74 @@ impl SyntheticApp {
             }
             // Compute times are physically positive; clamp far below any
             // calibrated median so the clamp never engages in practice.
-            out.push(x.max(0.01 * phase.median_ms));
+            *slot = x.max(0.01 * phase.median_ms);
         }
         if let Some((victim, delay_ms)) = phase.laggards.draw(threads, &mut rng) {
             out[victim] += delay_ms;
         }
-        out
+    }
+
+    /// Writes one generated process-iteration into a trace's sample slots.
+    fn fill_unit(scratch: &[f64], dst: &mut [ThreadSample]) {
+        for (slot, &v) in dst.iter_mut().zip(scratch) {
+            *slot = ThreadSample {
+                enter_ns: 0,
+                exit_ns: (v * 1.0e6).round() as u64,
+            };
+        }
     }
 
     /// Generates a full campaign trace for `cfg` under `seed`.
     pub fn generate(&self, cfg: &JobConfig, seed: u64) -> TimingTrace {
         let shape = cfg.shape();
         let mut trace = TimingTrace::new(self.model.name, shape);
+        let mut scratch = vec![0.0; cfg.threads];
         for trial in 0..cfg.trials {
             for rank in 0..cfg.ranks {
                 for iteration in 0..cfg.iterations {
-                    let ms =
-                        self.process_iteration_ms(seed, trial, rank, iteration, cfg.threads);
+                    self.process_iteration_into(seed, trial, rank, iteration, &mut scratch);
                     let dst = trace
                         .process_iteration_mut(trial, rank, iteration)
                         .expect("in range by construction");
-                    for (slot, &v) in dst.iter_mut().zip(&ms) {
-                        *slot = ThreadSample {
-                            enter_ns: 0,
-                            exit_ns: (v * 1.0e6).round() as u64,
-                        };
-                    }
+                    Self::fill_unit(&scratch, dst);
                 }
             }
         }
+        trace
+    }
+
+    /// Generates a full campaign trace with the process-iteration units
+    /// fanned out over `pool` — bit-identical to [`generate`](Self::generate)
+    /// for any pool size, because every unit's samples derive from its own
+    /// `(seed, app, trial, rank, iteration)` hash stream and units never
+    /// share state.
+    ///
+    /// Each worker receives a contiguous, unit-aligned block of the trace's
+    /// flat sample array and reuses one scratch buffer for all its units.
+    pub fn generate_parallel(&self, cfg: &JobConfig, seed: u64, pool: &Pool) -> TimingTrace {
+        let shape = cfg.shape();
+        let units = shape.process_iterations();
+        let threads = shape.threads;
+        let workers = pool.threads();
+        // Unit-aligned split: worker w owns the units of its static block,
+        // i.e. `static_block(units) × threads` consecutive samples.
+        let part_lens: Vec<usize> = (0..workers)
+            .map(|w| static_block(units, workers, w).len() * threads)
+            .collect();
+        let mut trace = TimingTrace::new(self.model.name, shape);
+        pool.parallel_parts_mut(trace.samples_mut(), &part_lens, |block, range, _ctx| {
+            let mut scratch = vec![0.0; threads];
+            let first_unit = range.start / threads;
+            for (k, dst) in block.chunks_mut(threads).enumerate() {
+                let unit = first_unit + k;
+                let iteration = unit % shape.iterations;
+                let rest = unit / shape.iterations;
+                let rank = rest % shape.ranks;
+                let trial = rest / shape.ranks;
+                self.process_iteration_into(seed, trial, rank, iteration, &mut scratch);
+                Self::fill_unit(&scratch, dst);
+            }
+        });
         trace
     }
 }
@@ -368,6 +430,34 @@ mod tests {
         assert_eq!(a, b);
         let c = SyntheticApp::minife().generate(&cfg, 43);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn parallel_generation_is_bit_identical_to_serial() {
+        // The acceptance bar for the parallel engine: same bytes out for any
+        // pool size, across apps and odd shapes (including unit counts that
+        // do not divide evenly among workers).
+        let shapes = [
+            JobConfig::new(1, 1, 1, 3),
+            JobConfig::new(2, 2, 7, 5),
+            JobConfig::new(1, 3, 11, 8),
+        ];
+        for app in SyntheticApp::all() {
+            for cfg in &shapes {
+                let serial = app.generate(cfg, 314);
+                for workers in [1, 2, 3, 8] {
+                    let pool = Pool::new(workers);
+                    let parallel = app.generate_parallel(cfg, 314, &pool);
+                    assert_eq!(
+                        serial,
+                        parallel,
+                        "{} {:?} with {workers} workers",
+                        app.name(),
+                        cfg
+                    );
+                }
+            }
+        }
     }
 
     #[test]
@@ -502,7 +592,11 @@ mod tests {
         let all = trace.all_ms();
         let s = PercentileSummary::from_sample(&all).unwrap();
         assert!((s.p50 - 60.91).abs() < 1.0, "median {}", s.p50);
-        assert!((7.5..11.0).contains(&s.iqr()), "IQR {} (paper 9.05)", s.iqr());
+        assert!(
+            (7.5..11.0).contains(&s.iqr()),
+            "IQR {} (paper 9.05)",
+            s.iqr()
+        );
         // Breadth of arrivals exceeds 30 ms (paper: over 40 ms at full scale).
         assert!(s.max - s.min > 30.0, "breadth {}", s.max - s.min);
     }

@@ -88,22 +88,26 @@ impl IterationCollector {
     pub fn sample(&self, iteration: usize, thread: usize) -> Option<ThreadSample> {
         let e = self.enter[self.slot(iteration, thread)].load(Ordering::Relaxed);
         let x = self.exit[self.slot(iteration, thread)].load(Ordering::Relaxed);
-        (e != UNSET && x != UNSET).then(|| ThreadSample {
+        (e != UNSET && x != UNSET).then_some(ThreadSample {
             enter_ns: e,
             exit_ns: x,
         })
     }
 
     /// Fraction of slots with both stamps recorded (diagnostic).
+    ///
+    /// Walks the enter/exit arrays directly in storage order — one contiguous
+    /// pass — instead of re-deriving the `slot()` offset (and paying two
+    /// bounds checks) per `(iteration, thread)` pair.
     pub fn completeness(&self) -> f64 {
-        let mut done = 0usize;
-        for i in 0..self.iterations {
-            for t in 0..self.threads {
-                if self.sample(i, t).is_some() {
-                    done += 1;
-                }
-            }
-        }
+        let done = self
+            .enter
+            .iter()
+            .zip(&self.exit)
+            .filter(|(e, x)| {
+                e.load(Ordering::Relaxed) != UNSET && x.load(Ordering::Relaxed) != UNSET
+            })
+            .count();
         done as f64 / (self.iterations * self.threads) as f64
     }
 
@@ -123,10 +127,22 @@ impl IterationCollector {
         if trace.shape().iterations != self.iterations || trace.shape().threads != self.threads {
             return Err(CoreError::ShapeMismatch);
         }
-        for iteration in 0..self.iterations {
-            let dst = trace.process_iteration_mut(trial, rank, iteration)?;
-            for (thread, slot) in dst.iter_mut().enumerate() {
-                *slot = self.sample(iteration, thread).unwrap_or_default();
+        // One contiguous destination block per (trial, rank); per-thread rows
+        // of the thread-major slot grid are read sequentially instead of
+        // re-deriving a bounds-checked `slot()` offset for every sample.
+        let block = trace.rank_block_mut(trial, rank)?;
+        block.fill(ThreadSample::default());
+        let rows = self
+            .enter
+            .chunks_exact(self.iterations)
+            .zip(self.exit.chunks_exact(self.iterations));
+        for (thread, (enter_row, exit_row)) in rows.enumerate() {
+            for (iteration, (e, x)) in enter_row.iter().zip(exit_row).enumerate() {
+                let enter_ns = e.load(Ordering::Relaxed);
+                let exit_ns = x.load(Ordering::Relaxed);
+                if enter_ns != UNSET && exit_ns != UNSET {
+                    block[iteration * self.threads + thread] = ThreadSample { enter_ns, exit_ns };
+                }
             }
         }
         Ok(())

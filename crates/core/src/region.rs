@@ -137,7 +137,9 @@ mod tests {
                 let coll = Arc::clone(&coll);
                 std::thread::spawn(move || {
                     let region = TimedRegion::new(clock.as_ref(), coll.as_ref());
-                    region.run(0, t, || std::thread::sleep(std::time::Duration::from_millis(1)));
+                    region.run(0, t, || {
+                        std::thread::sleep(std::time::Duration::from_millis(1))
+                    });
                 })
             })
             .collect();
@@ -146,7 +148,11 @@ mod tests {
         }
         for t in 0..4 {
             let s = coll.sample(0, t).unwrap();
-            assert!(s.compute_time_ms() >= 0.5, "thread {t}: {}", s.compute_time_ms());
+            assert!(
+                s.compute_time_ms() >= 0.5,
+                "thread {t}: {}",
+                s.compute_time_ms()
+            );
         }
     }
 }

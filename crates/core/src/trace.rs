@@ -88,9 +88,10 @@ impl TraceShape {
         check("rank", idx.rank, self.ranks)?;
         check("iteration", idx.iteration, self.iterations)?;
         check("thread", idx.thread, self.threads)?;
-        Ok(((idx.trial * self.ranks + idx.rank) * self.iterations + idx.iteration)
-            * self.threads
-            + idx.thread)
+        Ok(
+            ((idx.trial * self.ranks + idx.rank) * self.iterations + idx.iteration) * self.threads
+                + idx.thread,
+        )
     }
 
     /// Inverse of [`flat`](TraceShape::flat).
@@ -173,6 +174,30 @@ impl TimingTrace {
         &self.samples
     }
 
+    /// Mutable access to the flat sample array (thread innermost, same layout
+    /// as [`samples`](Self::samples)). Intended for bulk writers — binary
+    /// loading and parallel generation — that fill disjoint regions; shape
+    /// invariants are the trace's, monotonicity is the writer's
+    /// ([`validate`](Self::validate) checks it).
+    pub fn samples_mut(&mut self) -> &mut [ThreadSample] {
+        &mut self.samples
+    }
+
+    /// The contiguous block of all samples of one `(trial, rank)` pair —
+    /// `iterations × threads` entries, iteration-major. This is the region a
+    /// per-rank collector drains into; exposing it as one slice lets the
+    /// collector iterate its thread-major rows without re-deriving flat
+    /// offsets per sample.
+    pub fn rank_block_mut(
+        &mut self,
+        trial: usize,
+        rank: usize,
+    ) -> Result<&mut [ThreadSample], CoreError> {
+        let start = self.shape.flat(SampleIndex::new(trial, rank, 0, 0))?;
+        let len = self.shape.iterations * self.shape.threads;
+        Ok(&mut self.samples[start..start + len])
+    }
+
     /// The contiguous slice of one process-iteration's per-thread samples.
     pub fn process_iteration(
         &self,
@@ -180,7 +205,9 @@ impl TimingTrace {
         rank: usize,
         iteration: usize,
     ) -> Result<&[ThreadSample], CoreError> {
-        let start = self.shape.flat(SampleIndex::new(trial, rank, iteration, 0))?;
+        let start = self
+            .shape
+            .flat(SampleIndex::new(trial, rank, iteration, 0))?;
         Ok(&self.samples[start..start + self.shape.threads])
     }
 
@@ -192,7 +219,9 @@ impl TimingTrace {
         rank: usize,
         iteration: usize,
     ) -> Result<&mut [ThreadSample], CoreError> {
-        let start = self.shape.flat(SampleIndex::new(trial, rank, iteration, 0))?;
+        let start = self
+            .shape
+            .flat(SampleIndex::new(trial, rank, iteration, 0))?;
         let threads = self.shape.threads;
         Ok(&mut self.samples[start..start + threads])
     }

@@ -74,40 +74,103 @@ pub struct SampleGroup {
     pub values_ms: Vec<f64>,
 }
 
+/// The `(trial, rank, iteration)` provenance of group `group` at `level`,
+/// matching the deterministic group ordering of [`grouped_ms`]: dimensions
+/// the level pools over are `None`.
+pub fn group_coords(
+    shape: crate::trace::TraceShape,
+    level: AggregationLevel,
+    group: usize,
+) -> (Option<usize>, Option<usize>, Option<usize>) {
+    match level {
+        AggregationLevel::Application => (None, None, None),
+        AggregationLevel::ApplicationIteration => (None, None, Some(group)),
+        AggregationLevel::ProcessIteration => {
+            let iteration = group % shape.iterations;
+            let rest = group / shape.iterations;
+            let rank = rest % shape.ranks;
+            let trial = rest / shape.ranks;
+            (Some(trial), Some(rank), Some(iteration))
+        }
+    }
+}
+
+/// Fills `out` with the compute times (ms) of group `group` at `level`,
+/// reusing `out`'s capacity — the allocation-free building block the sweep
+/// engine iterates with (serially or with one buffer per worker).
+///
+/// Group indices run `0..level.group_count(trace)` in [`grouped_ms`] order;
+/// value order inside a group matches [`grouped_ms`] exactly.
+///
+/// # Panics
+/// If `group` is out of range for the level.
+pub fn fill_group_ms(
+    trace: &TimingTrace,
+    level: AggregationLevel,
+    group: usize,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
+    let shape = trace.shape();
+    match level {
+        AggregationLevel::Application => {
+            assert_eq!(group, 0, "application level has exactly one group");
+            out.extend(trace.samples().iter().map(ThreadSample::compute_time_ms));
+        }
+        AggregationLevel::ApplicationIteration => {
+            assert!(group < shape.iterations, "iteration group out of range");
+            for trial in 0..shape.trials {
+                for rank in 0..shape.ranks {
+                    out.extend(
+                        trace
+                            .process_iteration(trial, rank, group)
+                            .expect("in range by construction")
+                            .iter()
+                            .map(ThreadSample::compute_time_ms),
+                    );
+                }
+            }
+        }
+        AggregationLevel::ProcessIteration => {
+            let (trial, rank, iteration) = group_coords(shape, level, group);
+            let (trial, rank, iteration) = (
+                trial.expect("pinned"),
+                rank.expect("pinned"),
+                iteration.expect("pinned"),
+            );
+            assert!(trial < shape.trials, "process-iteration group out of range");
+            out.extend(
+                trace
+                    .process_iteration(trial, rank, iteration)
+                    .expect("in range by construction")
+                    .iter()
+                    .map(ThreadSample::compute_time_ms),
+            );
+        }
+    }
+}
+
 /// Materializes all groups of `level` as millisecond samples.
 ///
 /// Group ordering is deterministic: application < iteration-major <
 /// (trial, rank, iteration) lexicographic — matching
 /// [`TimingTrace::iter_process_iterations`].
 pub fn grouped_ms(trace: &TimingTrace, level: AggregationLevel) -> Vec<SampleGroup> {
-    match level {
-        AggregationLevel::Application => vec![SampleGroup {
-            level,
-            trial: None,
-            rank: None,
-            iteration: None,
-            values_ms: trace.all_ms(),
-        }],
-        AggregationLevel::ApplicationIteration => (0..trace.shape().iterations)
-            .map(|i| SampleGroup {
+    let shape = trace.shape();
+    (0..level.group_count(trace))
+        .map(|g| {
+            let (trial, rank, iteration) = group_coords(shape, level, g);
+            let mut values_ms = Vec::new();
+            fill_group_ms(trace, level, g, &mut values_ms);
+            SampleGroup {
                 level,
-                trial: None,
-                rank: None,
-                iteration: Some(i),
-                values_ms: trace.app_iteration_ms(i).expect("iteration in range"),
-            })
-            .collect(),
-        AggregationLevel::ProcessIteration => trace
-            .iter_process_iterations()
-            .map(|(t, r, i, slice)| SampleGroup {
-                level,
-                trial: Some(t),
-                rank: Some(r),
-                iteration: Some(i),
-                values_ms: slice.iter().map(ThreadSample::compute_time_ms).collect(),
-            })
-            .collect(),
-    }
+                trial,
+                rank,
+                iteration,
+                values_ms,
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -207,6 +270,38 @@ mod tests {
     }
 
     #[test]
+    fn fill_group_ms_matches_grouped_ms_exactly() {
+        let tr = trace();
+        for level in [
+            AggregationLevel::Application,
+            AggregationLevel::ApplicationIteration,
+            AggregationLevel::ProcessIteration,
+        ] {
+            let groups = grouped_ms(&tr, level);
+            let mut buf = Vec::new();
+            for (g, group) in groups.iter().enumerate() {
+                fill_group_ms(&tr, level, g, &mut buf);
+                assert_eq!(buf, group.values_ms, "{level:?} group {g}");
+                let (t, r, i) = group_coords(tr.shape(), level, g);
+                assert_eq!((t, r, i), (group.trial, group.rank, group.iteration));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fill_group_ms_rejects_out_of_range_group() {
+        let tr = trace();
+        let mut buf = Vec::new();
+        fill_group_ms(
+            &tr,
+            AggregationLevel::ProcessIteration,
+            AggregationLevel::ProcessIteration.group_count(&tr),
+            &mut buf,
+        );
+    }
+
+    #[test]
     fn total_mass_is_conserved_across_levels() {
         let tr = trace();
         for level in [
@@ -214,7 +309,10 @@ mod tests {
             AggregationLevel::ApplicationIteration,
             AggregationLevel::ProcessIteration,
         ] {
-            let total: usize = grouped_ms(&tr, level).iter().map(|g| g.values_ms.len()).sum();
+            let total: usize = grouped_ms(&tr, level)
+                .iter()
+                .map(|g| g.values_ms.len())
+                .sum();
             assert_eq!(total, tr.shape().total_samples());
         }
     }

@@ -81,6 +81,26 @@ impl DeliveryOutcome {
     }
 }
 
+/// Reusable buffers for [`simulate_with_scratch`]: the per-strategy working
+/// sets (arrival order, sent flags, bin events) that [`simulate`] would
+/// otherwise allocate fresh on every call. One scratch per worker lets a
+/// trace-wide strategy sweep (thousands of process-iterations × strategies)
+/// run allocation-free after warm-up.
+#[derive(Debug, Clone, Default)]
+pub struct SimScratch {
+    order: Vec<usize>,
+    sent: Vec<bool>,
+    group: Vec<usize>,
+    events: Vec<(f64, usize)>,
+}
+
+impl SimScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Simulates delivering `bytes_total` (split equally over
 /// `arrivals_ms.len()` partitions) through `link` under `strategy`.
 ///
@@ -96,14 +116,41 @@ pub fn simulate(
     link: &LinkModel,
     strategy: Strategy,
 ) -> DeliveryOutcome {
+    simulate_with_scratch(
+        arrivals_ms,
+        bytes_total,
+        link,
+        strategy,
+        &mut SimScratch::new(),
+    )
+}
+
+/// [`simulate`] with caller-provided scratch buffers (identical outcomes;
+/// zero allocations after the buffers have grown to the partition count).
+///
+/// # Panics
+/// Same contract as [`simulate`].
+pub fn simulate_with_scratch(
+    arrivals_ms: &[f64],
+    bytes_total: usize,
+    link: &LinkModel,
+    strategy: Strategy,
+    scratch: &mut SimScratch,
+) -> DeliveryOutcome {
     assert!(!arrivals_ms.is_empty(), "need at least one arrival");
     assert!(
         arrivals_ms.iter().all(|a| a.is_finite() && *a >= 0.0),
         "arrivals must be finite and non-negative"
     );
-    assert!(bytes_total >= arrivals_ms.len(), "need ≥ 1 byte per partition");
+    assert!(
+        bytes_total >= arrivals_ms.len(),
+        "need ≥ 1 byte per partition"
+    );
     let n = arrivals_ms.len();
-    let last_arrival = arrivals_ms.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let last_arrival = arrivals_ms
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
     let part_bytes = |i: usize| -> usize {
         // Equal split, remainder on the leading partitions.
         let q = bytes_total / n;
@@ -123,7 +170,9 @@ pub fn simulate(
         }
         Strategy::EarlyBird => {
             // Inject per-partition at arrival, in arrival order.
-            let mut order: Vec<usize> = (0..n).collect();
+            let order = &mut scratch.order;
+            order.clear();
+            order.extend(0..n);
             order.sort_by(|&a, &b| {
                 arrivals_ms[a]
                     .partial_cmp(&arrivals_ms[b])
@@ -131,27 +180,29 @@ pub fn simulate(
                     .then(a.cmp(&b))
             });
             let mut done = 0.0f64;
-            for &i in &order {
+            for &i in order.iter() {
                 done = link_state.inject(arrivals_ms[i], link.transfer_ms(part_bytes(i)));
             }
             (done, n)
         }
         Strategy::TimeoutFlush { timeout_ms } => {
             assert!(timeout_ms > 0.0, "timeout must be positive");
-            let mut sent = vec![false; n];
+            let sent = &mut scratch.sent;
+            sent.clear();
+            sent.resize(n, false);
             let mut done = 0.0f64;
             let mut messages = 0usize;
             let mut tick = timeout_ms;
             loop {
                 let flush_time = tick.min(last_arrival);
-                let group: Vec<usize> = (0..n)
-                    .filter(|&i| !sent[i] && arrivals_ms[i] <= flush_time)
-                    .collect();
+                let group = &mut scratch.group;
+                group.clear();
+                group.extend((0..n).filter(|&i| !sent[i] && arrivals_ms[i] <= flush_time));
                 if !group.is_empty() {
                     let bytes: usize = group.iter().map(|&i| part_bytes(i)).sum();
                     done = link_state.inject(flush_time, link.transfer_ms(bytes));
                     messages += 1;
-                    for i in group {
+                    for &i in group.iter() {
                         sent[i] = true;
                     }
                 }
@@ -165,26 +216,26 @@ pub fn simulate(
         Strategy::Binned { bins } => {
             assert!(bins >= 1 && bins <= n, "bins must be in 1..=partitions");
             // Contiguous partition groups; bin ready when slowest member is.
-            let mut events: Vec<(f64, usize)> = (0..bins)
-                .map(|b| {
-                    let q = n / bins;
-                    let r = n % bins;
-                    let (start, len) = if b < r {
-                        (b * (q + 1), q + 1)
-                    } else {
-                        (r * (q + 1) + (b - r) * q, q)
-                    };
-                    let ready = arrivals_ms[start..start + len]
-                        .iter()
-                        .copied()
-                        .fold(f64::NEG_INFINITY, f64::max);
-                    let bytes: usize = (start..start + len).map(part_bytes).sum();
-                    (ready, bytes)
-                })
-                .collect();
+            let events = &mut scratch.events;
+            events.clear();
+            events.extend((0..bins).map(|b| {
+                let q = n / bins;
+                let r = n % bins;
+                let (start, len) = if b < r {
+                    (b * (q + 1), q + 1)
+                } else {
+                    (r * (q + 1) + (b - r) * q, q)
+                };
+                let ready = arrivals_ms[start..start + len]
+                    .iter()
+                    .copied()
+                    .fold(f64::NEG_INFINITY, f64::max);
+                let bytes: usize = (start..start + len).map(part_bytes).sum();
+                (ready, bytes)
+            }));
             events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
             let mut done = 0.0f64;
-            for (ready, bytes) in &events {
+            for (ready, bytes) in events.iter() {
                 done = link_state.inject(*ready, link.transfer_ms(*bytes));
             }
             (done, bins)
@@ -208,7 +259,10 @@ pub fn compare_strategies(
     link: &LinkModel,
 ) -> Vec<DeliveryOutcome> {
     let span = {
-        let max = arrivals_ms.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let max = arrivals_ms
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
         let min = arrivals_ms.iter().copied().fold(f64::INFINITY, f64::min);
         (max - min).max(1e-6)
     };
@@ -311,7 +365,11 @@ mod tests {
             Strategy::TimeoutFlush { timeout_ms: 10.0 },
         );
         // Arrivals span 30..70 ⇒ flushes at 30, 40, 50, 60, 70.
-        assert!(o.messages >= 3 && o.messages <= 6, "messages {}", o.messages);
+        assert!(
+            o.messages >= 3 && o.messages <= 6,
+            "messages {}",
+            o.messages
+        );
         let bulk = simulate(&spread_arrivals(), 8 * MB, &link, Strategy::Bulk);
         assert!(o.completion_ms < bulk.completion_ms);
     }
@@ -360,6 +418,33 @@ mod tests {
         ] {
             let o = simulate(&tight_arrivals(), MB, &link, s);
             assert!(o.completion_ms >= o.last_arrival_ms, "{}", s.label());
+        }
+    }
+
+    #[test]
+    fn scratch_simulation_matches_fresh_allocation_exactly() {
+        let link = LinkModel::omni_path();
+        let mut scratch = SimScratch::new();
+        // Reuse one scratch across arrival sets of different sizes and all
+        // strategies; outcomes must match the allocating path bit-for-bit.
+        for arrivals in [
+            spread_arrivals(),
+            tight_arrivals(),
+            laggard_arrivals(),
+            vec![5.0; 4],
+        ] {
+            for s in [
+                Strategy::Bulk,
+                Strategy::EarlyBird,
+                Strategy::TimeoutFlush { timeout_ms: 2.0 },
+                Strategy::Binned {
+                    bins: arrivals.len().min(5),
+                },
+            ] {
+                let fresh = simulate(&arrivals, 8 * MB, &link, s);
+                let reused = simulate_with_scratch(&arrivals, 8 * MB, &link, s, &mut scratch);
+                assert_eq!(fresh, reused, "{} × {} arrivals", s.label(), arrivals.len());
+            }
         }
     }
 

@@ -32,7 +32,9 @@ pub mod partition;
 pub mod session;
 pub mod transport;
 
-pub use earlybird::{compare_strategies, simulate, DeliveryOutcome, Strategy};
+pub use earlybird::{
+    compare_strategies, simulate, simulate_with_scratch, DeliveryOutcome, SimScratch, Strategy,
+};
 pub use netmodel::LinkModel;
 pub use partition::PartitionedBuffer;
 pub use session::{PrecvSession, PsendSession};

@@ -31,7 +31,10 @@ impl std::fmt::Display for PartitionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PartitionError::OutOfRange { index, partitions } => {
-                write!(f, "partition {index} out of range ({partitions} partitions)")
+                write!(
+                    f,
+                    "partition {index} out of range ({partitions} partitions)"
+                )
             }
             PartitionError::AlreadyReady { index } => {
                 write!(f, "partition {index} marked ready twice")
@@ -134,12 +137,12 @@ impl PartitionedBuffer {
 
     /// Indices currently ready but not yet in `sent` — the set a
     /// timeout-flush strategy would transmit now. `sent` is updated.
-    pub fn drain_ready(&self, sent: &mut Vec<bool>) -> Vec<usize> {
+    pub fn drain_ready(&self, sent: &mut [bool]) -> Vec<usize> {
         assert_eq!(sent.len(), self.partitions);
         let mut out = Vec::new();
-        for i in 0..self.partitions {
-            if !sent[i] && self.is_ready(i) {
-                sent[i] = true;
+        for (i, s) in sent.iter_mut().enumerate() {
+            if !*s && self.is_ready(i) {
+                *s = true;
                 out.push(i);
             }
         }
@@ -164,7 +167,7 @@ mod tests {
     #[test]
     fn partition_ranges_tile_the_buffer() {
         let b = PartitionedBuffer::new(103, 8);
-        let mut covered = vec![false; 103];
+        let mut covered = [false; 103];
         for i in 0..8 {
             for j in b.partition_range(i) {
                 assert!(!covered[j]);
@@ -193,10 +196,7 @@ mod tests {
     fn double_pready_is_an_error() {
         let b = PartitionedBuffer::new(16, 2);
         b.pready(0).unwrap();
-        assert_eq!(
-            b.pready(0),
-            Err(PartitionError::AlreadyReady { index: 0 })
-        );
+        assert_eq!(b.pready(0), Err(PartitionError::AlreadyReady { index: 0 }));
         assert_eq!(
             b.pready(5),
             Err(PartitionError::OutOfRange {

@@ -89,7 +89,10 @@ impl PsendSession {
     /// Creates a persistent partitioned send of `partitions` parts to `dst`.
     /// Inactive until [`start`](Self::start).
     pub fn init(endpoint: Arc<Endpoint>, dst: usize, partitions: usize, len: usize) -> Self {
-        assert!(partitions <= 0xFFFF, "tag packing supports ≤ 65535 partitions");
+        assert!(
+            partitions <= 0xFFFF,
+            "tag packing supports ≤ 65535 partitions"
+        );
         PsendSession {
             endpoint,
             dst,
@@ -114,7 +117,11 @@ impl PsendSession {
         if self.active.swap(true, Ordering::AcqRel) {
             return Err(SessionError::RoundInFlight);
         }
-        assert_eq!(payload.len(), self.buffer.len(), "payload length fixed at init");
+        assert_eq!(
+            payload.len(),
+            self.buffer.len(),
+            "payload length fixed at init"
+        );
         self.buffer.reset();
         *self.data.lock() = payload.to_vec();
         Ok(self.round.fetch_add(1, Ordering::AcqRel) + 1)
@@ -306,7 +313,10 @@ mod tests {
         let (send, _recv) = pair(2, 8);
         assert!(matches!(send.pready(0), Err(SessionError::NotActive)));
         send.start(&[0u8; 8]).unwrap();
-        assert!(matches!(send.start(&[0u8; 8]), Err(SessionError::RoundInFlight)));
+        assert!(matches!(
+            send.start(&[0u8; 8]),
+            Err(SessionError::RoundInFlight)
+        ));
         send.pready(0).unwrap();
         assert!(matches!(
             send.pready(0),

@@ -68,13 +68,10 @@ impl Endpoint {
     /// Sends `payload` to `dst` with `tag`. Never blocks (unbounded
     /// channels); self-sends are allowed (loopback).
     pub fn send(&self, dst: usize, tag: u64, payload: Vec<u8>) -> Result<(), TransportError> {
-        let tx = self
-            .peers
-            .get(dst)
-            .ok_or(TransportError::NoSuchRank {
-                dst,
-                ranks: self.peers.len(),
-            })?;
+        let tx = self.peers.get(dst).ok_or(TransportError::NoSuchRank {
+            dst,
+            ranks: self.peers.len(),
+        })?;
         tx.send(Message {
             src: self.rank,
             tag,

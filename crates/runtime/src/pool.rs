@@ -319,6 +319,37 @@ impl Pool {
         total.into_inner()
     }
 
+    /// Parallel fold-and-merge over `0..count` — the generic reduction the
+    /// analysis engine runs its `Moments::merge`-style combines on.
+    ///
+    /// Each team member folds its contiguous [`static_block`] of indices into
+    /// a local accumulator (`init` → repeated `fold`); the per-member
+    /// partials then merge **in thread order** at the join. The block
+    /// decomposition and merge order are functions of `(count, threads)`
+    /// only, so the result is deterministic for a fixed pool size even when
+    /// `merge` is only associative up to floating-point rounding.
+    pub fn parallel_reduce<T, I, F, M>(&self, count: usize, init: I, fold: F, merge: M) -> T
+    where
+        T: Send,
+        I: Fn() -> T + Sync,
+        F: Fn(T, usize) -> T + Sync,
+        M: Fn(T, T) -> T + Sync,
+    {
+        let slots: Vec<Mutex<Option<T>>> = (0..self.n).map(|_| Mutex::new(None)).collect();
+        self.region(|ctx| {
+            let mut acc = init();
+            for i in static_block(count, ctx.nthreads(), ctx.thread()) {
+                acc = fold(acc, i);
+            }
+            *slots[ctx.thread()].lock() = Some(acc);
+        });
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("every member stores its partial"))
+            .reduce(merge)
+            .expect("pool has at least one thread")
+    }
+
     /// Instrumented region: the paper's Listing 1.
     ///
     /// Sequence per member: team barrier (synchronize start estimates) →
@@ -635,6 +666,11 @@ mod tests {
         // are expensive, the static schedule hands the whole expensive tail
         // to the last thread, while dynamic chunks share it — so the slowest
         // thread's compute time (the fork/join makespan) must shrink.
+        if std::thread::available_parallelism().map_or(1, |n| n.get()) < 2 {
+            // On a single hardware thread both schedules serialize and the
+            // makespan comparison is pure scheduler noise.
+            return;
+        }
         let pool = Pool::new(2);
         let clock = MonotonicClock::new();
         let coll = IterationCollector::new(2, 2);
@@ -704,6 +740,33 @@ mod tests {
         pool.timed_parts_mut(&region, 0, &mut data, &[4, 2], |block, _, _| block.fill(3));
         assert_eq!(data, vec![3; 6]);
         assert_eq!(coll.completeness(), 1.0);
+    }
+
+    #[test]
+    fn parallel_reduce_matches_sequential_fold() {
+        let pool = Pool::new(4);
+        // Sum of squares with an exactly-associative merge (integers in f64).
+        let got = pool.parallel_reduce(100, || 0.0f64, |acc, i| acc + (i * i) as f64, |a, b| a + b);
+        assert_eq!(got, 328_350.0);
+        // Empty range returns the merged identities.
+        let empty = pool.parallel_reduce(0, || 7u64, |acc, _| acc + 1, |a, b| a.min(b));
+        assert_eq!(empty, 7);
+    }
+
+    #[test]
+    fn parallel_reduce_is_deterministic_for_fixed_pool() {
+        let pool = Pool::new(3);
+        let run = || {
+            pool.parallel_reduce(
+                1000,
+                || 0.0f64,
+                |acc, i| acc + 1.0 / (i as f64 + 1.0),
+                |a, b| a + b,
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.to_bits(), b.to_bits(), "same decomposition, same bits");
     }
 
     #[test]

@@ -55,7 +55,9 @@ where
     ensure_len(sample, 1)?;
     ensure_finite(sample)?;
     if !(0.0 < level && level < 1.0) {
-        return Err(StatsError::InvalidParameter("confidence level must be in (0,1)"));
+        return Err(StatsError::InvalidParameter(
+            "confidence level must be in (0,1)",
+        ));
     }
     if replicates < 10 {
         return Err(StatsError::InvalidParameter("need at least 10 replicates"));

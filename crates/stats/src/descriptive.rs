@@ -290,7 +290,9 @@ mod tests {
 
     #[test]
     fn merge_equals_single_pass() {
-        let xs: Vec<f64> = (0..1000).map(|i| ((i * 2654435761_u64 as usize) % 997) as f64).collect();
+        let xs: Vec<f64> = (0..1000)
+            .map(|i| ((i * 2654435761_u64 as usize) % 997) as f64)
+            .collect();
         let whole = Moments::from_slice(&xs);
         let mut a = Moments::from_slice(&xs[..137]);
         let b = Moments::from_slice(&xs[137..]);

@@ -152,7 +152,11 @@ impl LogNormal {
     /// Creates the distribution; `sigma ≥ 0`.
     pub fn new(mu: f64, sigma: f64) -> Self {
         assert!(sigma >= 0.0 && sigma.is_finite());
-        LogNormal { mu, sigma, shift: 0.0 }
+        LogNormal {
+            mu,
+            sigma,
+            shift: 0.0,
+        }
     }
 
     /// Adds a location shift.

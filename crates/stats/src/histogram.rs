@@ -27,7 +27,9 @@ impl HistogramSpec {
     /// Creates a spec, validating `width > 0` and `bins > 0`.
     pub fn new(origin: f64, width: f64, bins: usize) -> Result<Self, StatsError> {
         if !(width > 0.0 && width.is_finite()) {
-            return Err(StatsError::InvalidParameter("bin width must be positive and finite"));
+            return Err(StatsError::InvalidParameter(
+                "bin width must be positive and finite",
+            ));
         }
         if bins == 0 {
             return Err(StatsError::InvalidParameter("bin count must be nonzero"));
@@ -35,7 +37,11 @@ impl HistogramSpec {
         if !origin.is_finite() {
             return Err(StatsError::InvalidParameter("origin must be finite"));
         }
-        Ok(HistogramSpec { origin, width, bins })
+        Ok(HistogramSpec {
+            origin,
+            width,
+            bins,
+        })
     }
 
     /// Builds a spec that covers `[min, max]` of a sample with the given
@@ -43,7 +49,9 @@ impl HistogramSpec {
     /// independently-built histograms line up and can be merged.
     pub fn covering(min: f64, max: f64, width: f64) -> Result<Self, StatsError> {
         if !(width > 0.0 && width.is_finite()) {
-            return Err(StatsError::InvalidParameter("bin width must be positive and finite"));
+            return Err(StatsError::InvalidParameter(
+                "bin width must be positive and finite",
+            ));
         }
         if !(min.is_finite() && max.is_finite() && min <= max) {
             return Err(StatsError::InvalidParameter("need finite min <= max"));

@@ -25,6 +25,8 @@
 //!   distances, used for model-calibration diagnostics.
 //! * [`bootstrap`] — percentile-bootstrap confidence intervals, attached to
 //!   every regenerated point estimate in EXPERIMENTS.md.
+//! * [`reduce`] — mergeable partial statistics ([`Moments::merge`]-based) for
+//!   the parallel analysis engine's reductions.
 //! * [`timeseries`] — autocorrelation, rolling statistics and change-point
 //!   detection for iteration-indexed series (the "how do arrivals change
 //!   over a run" question).
@@ -43,6 +45,7 @@ pub mod ecdf;
 pub mod histogram;
 pub mod normality;
 pub mod percentile;
+pub mod reduce;
 pub mod special;
 pub mod timeseries;
 
@@ -124,7 +127,9 @@ mod tests {
         assert!(e.to_string().contains("need at least 8"));
         assert!(StatsError::NonFinite.to_string().contains("non-finite"));
         assert!(StatsError::ZeroVariance.to_string().contains("variance"));
-        assert!(StatsError::InvalidParameter("alpha").to_string().contains("alpha"));
+        assert!(StatsError::InvalidParameter("alpha")
+            .to_string()
+            .contains("alpha"));
     }
 
     #[test]

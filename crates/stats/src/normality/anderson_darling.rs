@@ -22,12 +22,8 @@ use super::{NormalityOutcome, NormalityTest, TestStatistic};
 
 /// Published case-3 significance levels (percent) and A*² critical values
 /// (D'Agostino & Stephens 1986, Table 4.7).
-pub const CRITICAL_TABLE: [(f64, f64); 4] = [
-    (10.0, 0.631),
-    (5.0, 0.752),
-    (2.5, 0.873),
-    (1.0, 1.035),
-];
+pub const CRITICAL_TABLE: [(f64, f64); 4] =
+    [(10.0, 0.631), (5.0, 0.752), (2.5, 0.873), (1.0, 1.035)];
 
 /// The Anderson–Darling normality test (case 3). Stateless; construct freely.
 #[derive(Debug, Clone, Copy, Default)]
@@ -41,24 +37,72 @@ impl AndersonDarling {
     pub fn a2_statistic(&self, sample: &[f64]) -> Result<f64, StatsError> {
         ensure_len(sample, self.min_sample_size())?;
         ensure_finite(sample)?;
-        let n = sample.len();
+        let mut sorted = sample.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        self.a2_from_parts(sample, &sorted)
+    }
+
+    /// A*² from the original sample (for its moments, whose floating-point
+    /// sums are order-sensitive) plus an **already sorted** copy — the
+    /// allocation-free core the sweep engine calls with a shared per-worker
+    /// sorted buffer.
+    ///
+    /// Standardization happens on the fly: `(x − x̄)/s` is strictly
+    /// increasing, so the sorted raw values yield the sorted z-scores with
+    /// bit-identical element values — no `z` buffer is needed at all.
+    ///
+    /// # Errors
+    /// Same contract as [`NormalityTest::test`].
+    pub fn a2_from_parts(&self, sample: &[f64], sorted: &[f64]) -> Result<f64, StatsError> {
+        ensure_len(sorted, self.min_sample_size())?;
+        // Validate both slices: `sorted` feeds the order statistics, `sample`
+        // feeds the moments — a non-finite value in either must surface as
+        // an error, never as a NaN statistic.
+        ensure_finite(sorted)?;
+        ensure_finite(sample)?;
+        debug_assert_eq!(sample.len(), sorted.len(), "sample/sorted must match");
+        debug_assert!(
+            sorted.windows(2).all(|w| w[0] <= w[1]),
+            "`sorted` must be sorted ascending"
+        );
+        let n = sorted.len();
         let nf = n as f64;
         let m = Moments::from_slice(sample);
         let sd = m.std_dev(); // unbiased (n-1) denominator, as in scipy
-        if !(sd > 0.0) {
+        if sd.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err(StatsError::ZeroVariance);
         }
         let mean = m.mean();
-        let mut z: Vec<f64> = sample.iter().map(|&x| (x - mean) / sd).collect();
-        z.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        let z = |x: f64| (x - mean) / sd;
 
         let mut s = 0.0;
         for i in 0..n {
             let w = (2 * i + 1) as f64;
-            s += w * (norm_log_cdf(z[i]) + norm_log_sf(z[n - 1 - i]));
+            s += w * (norm_log_cdf(z(sorted[i])) + norm_log_sf(z(sorted[n - 1 - i])));
         }
         let a2 = -nf - s / nf;
         Ok(a2 * (1.0 + 0.75 / nf + 2.25 / (nf * nf)))
+    }
+
+    /// Full test outcome from the original sample plus an **already sorted**
+    /// copy (the sweep engine's entry point; equals [`NormalityTest::test`]
+    /// bit-for-bit).
+    ///
+    /// # Errors
+    /// Same contract as [`NormalityTest::test`].
+    pub fn test_from_parts(
+        &self,
+        sample: &[f64],
+        sorted: &[f64],
+    ) -> Result<NormalityOutcome, StatsError> {
+        let a2 = self.a2_from_parts(sample, sorted)?;
+        Ok(NormalityOutcome {
+            statistic_kind: TestStatistic::AndersonDarlingA2,
+            statistic: a2,
+            p_value: Self::p_value_for(a2),
+            n: sorted.len(),
+            extrapolated: false,
+        })
     }
 
     /// D'Agostino–Stephens p-value approximation for a modified statistic.
@@ -230,7 +274,10 @@ mod tests {
             let p = AndersonDarling::p_value_for(a);
             assert!((0.0..=1.0).contains(&p));
             // Allow tiny non-monotonicity at the piecewise boundaries.
-            assert!(p <= prev + 0.02, "p should decrease: A*²={a}, p={p}, prev={prev}");
+            assert!(
+                p <= prev + 0.02,
+                "p should decrease: A*²={a}, p={p}, prev={prev}"
+            );
             prev = p;
         }
     }

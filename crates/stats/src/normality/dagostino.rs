@@ -42,16 +42,18 @@ impl DagostinoK2 {
     pub fn kurtosis_z(b2: f64, n: usize) -> f64 {
         let n = n as f64;
         let e = 3.0 * (n - 1.0) / (n + 1.0);
-        let var = 24.0 * n * (n - 2.0) * (n - 3.0) / ((n + 1.0) * (n + 1.0) * (n + 3.0) * (n + 5.0));
+        let var =
+            24.0 * n * (n - 2.0) * (n - 3.0) / ((n + 1.0) * (n + 1.0) * (n + 3.0) * (n + 5.0));
         let x = (b2 - e) / var.sqrt();
         let sqrt_beta1 = 6.0 * (n * n - 5.0 * n + 2.0) / ((n + 7.0) * (n + 9.0))
             * (6.0 * (n + 3.0) * (n + 5.0) / (n * (n - 2.0) * (n - 3.0))).sqrt();
-        let a = 6.0 + 8.0 / sqrt_beta1 * (2.0 / sqrt_beta1 + (1.0 + 4.0 / (sqrt_beta1 * sqrt_beta1)).sqrt());
+        let a = 6.0
+            + 8.0 / sqrt_beta1
+                * (2.0 / sqrt_beta1 + (1.0 + 4.0 / (sqrt_beta1 * sqrt_beta1)).sqrt());
         let term = (1.0 - 2.0 / a) / (1.0 + x * (2.0 / (a - 4.0)).sqrt());
         // `term` can go non-positive for extreme kurtosis; cbrt handles the
         // sign continuously, matching scipy's behaviour.
-        let z = ((1.0 - 2.0 / (9.0 * a)) - term.cbrt()) / (2.0 / (9.0 * a)).sqrt();
-        z
+        ((1.0 - 2.0 / (9.0 * a)) - term.cbrt()) / (2.0 / (9.0 * a)).sqrt()
     }
 
     /// Runs the test and also returns the component z-scores `(z_skew, z_kurt)`.

@@ -89,11 +89,12 @@ mod tests {
     #[test]
     fn statistic_matches_hand_computation() {
         // Sample with known moments: [1,2,3,4,5] has g1 = 0, b2 = 1.7.
-        let jb = JarqueBera.jb_statistic(&[1.0, 2.0, 3.0, 4.0, 5.0, 1.0, 2.0, 3.0]).unwrap();
+        let jb = JarqueBera
+            .jb_statistic(&[1.0, 2.0, 3.0, 4.0, 5.0, 1.0, 2.0, 3.0])
+            .unwrap();
         // Recompute from the module's own moment definitions to pin wiring.
         let m = Moments::from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0, 1.0, 2.0, 3.0]);
-        let expect = 8.0 / 6.0
-            * (m.skewness().powi(2) + (m.kurtosis() - 3.0).powi(2) / 4.0);
+        let expect = 8.0 / 6.0 * (m.skewness().powi(2) + (m.kurtosis() - 3.0).powi(2) / 4.0);
         assert!((jb - expect).abs() < 1e-12);
     }
 

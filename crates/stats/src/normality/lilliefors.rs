@@ -33,7 +33,7 @@ impl Lilliefors {
         ensure_finite(sample)?;
         let m = Moments::from_slice(sample);
         let sd = m.std_dev();
-        if !(sd > 0.0) {
+        if sd.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err(StatsError::ZeroVariance);
         }
         let mean = m.mean();
@@ -58,18 +58,12 @@ impl Lilliefors {
         // n = 100 and rescales through an empirical transform.
         let kd = d * (n / 100.0).powf(0.49);
         let dw = |d: f64, n: f64| -> f64 {
-            (-7.01256 * d * d * (n + 2.78019)
-                + 2.99587 * d * (n + 2.78019).sqrt()
-                - 0.122119
+            (-7.01256 * d * d * (n + 2.78019) + 2.99587 * d * (n + 2.78019).sqrt() - 0.122119
                 + 0.974598 / n.sqrt()
                 + 1.67997 / n)
                 .exp()
         };
-        let p = if n > 100.0 {
-            dw(kd, 100.0)
-        } else {
-            dw(d, n)
-        };
+        let p = if n > 100.0 { dw(kd, 100.0) } else { dw(d, n) };
         if p > 0.1 {
             // Empirical large-p correction (Dallal & Wilkinson / nortest).
             let kk = (n.sqrt() - 0.01 + 0.85 / n.sqrt()) * d;

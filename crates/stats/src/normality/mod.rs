@@ -103,6 +103,59 @@ pub trait NormalityTest {
     fn test(&self, sample: &[f64]) -> Result<NormalityOutcome, StatsError>;
 }
 
+/// Reusable buffers for allocation-free runs of the paper's three-test
+/// battery: one sorted copy of the sample (shared by Shapiro–Wilk and
+/// Anderson–Darling, which previously each sorted their own fresh `Vec`)
+/// plus the Shapiro–Wilk weight vector.
+///
+/// One scratch per worker thread lets the sweep engine test tens of
+/// thousands of groups with zero allocations after warm-up.
+#[derive(Debug, Clone, Default)]
+pub struct BatteryScratch {
+    sorted: Vec<f64>,
+    weights: Vec<f64>,
+}
+
+impl BatteryScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Runs the paper's three-test battery (D'Agostino K², Shapiro–Wilk,
+/// Anderson–Darling — [`BATTERY_ORDER`] in the analysis layer) on one sample
+/// through `scratch`, sorting the sample **once** and sharing the sorted copy
+/// between the two order-statistic tests.
+///
+/// Outcomes are bit-identical to calling each test's
+/// [`NormalityTest::test`] on the unsorted sample; a test that cannot process
+/// the sample (too small, non-finite, zero variance) yields `None`.
+pub fn battery_with_scratch(
+    sample: &[f64],
+    scratch: &mut BatteryScratch,
+) -> [Option<NormalityOutcome>; 3] {
+    let dag = dagostino::DagostinoK2.test(sample).ok();
+    // A non-finite value fails every test's validation; skip the sort (whose
+    // comparator requires finite values) and report the same `None`s the
+    // per-test calls would.
+    if !sample.iter().all(|x| x.is_finite()) {
+        return [dag, None, None];
+    }
+    scratch.sorted.clear();
+    scratch.sorted.extend_from_slice(sample);
+    scratch
+        .sorted
+        .sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    let sw = shapiro_wilk::ShapiroWilk
+        .test_from_sorted(&scratch.sorted, &mut scratch.weights)
+        .ok();
+    let ad = anderson_darling::AndersonDarling
+        .test_from_parts(sample, &scratch.sorted)
+        .ok();
+    [dag, sw, ad]
+}
+
 /// Convenience: the standard battery in the order the paper tabulates them.
 pub fn standard_battery() -> Vec<Box<dyn NormalityTest + Send + Sync>> {
     vec![
@@ -164,7 +217,12 @@ mod tests {
             .collect();
         for test in extended_battery() {
             let o = test.test(&normal).unwrap();
-            assert!(o.passes(0.05), "{} on normal: p={}", o.statistic_kind.name(), o.p_value);
+            assert!(
+                o.passes(0.05),
+                "{} on normal: p={}",
+                o.statistic_kind.name(),
+                o.p_value
+            );
             let o = test.test(&expo).unwrap();
             assert!(
                 o.rejects_normality(0.05),
@@ -173,6 +231,47 @@ mod tests {
                 o.p_value
             );
         }
+    }
+
+    #[test]
+    fn scratch_battery_is_bit_identical_to_individual_tests() {
+        // A deterministic pseudo-random mix of shapes, including degenerate
+        // (flat) and skewed groups; outcomes must match exactly, not just
+        // approximately — the parallel sweep's correctness rests on this.
+        let mut scratch = BatteryScratch::new();
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for case in 0..20 {
+            let n = 8 + (case * 7) % 60;
+            let sample: Vec<f64> = match case % 4 {
+                0 => (0..n).map(|_| 10.0 + next()).collect(),
+                1 => (0..n).map(|_| -(1.0 - next()).ln()).collect(),
+                2 => vec![5.0; n],
+                _ => (0..n).map(|i| i as f64 + next() * 1e-3).collect(),
+            };
+            let via_scratch = battery_with_scratch(&sample, &mut scratch);
+            let direct = [
+                dagostino::DagostinoK2.test(&sample).ok(),
+                shapiro_wilk::ShapiroWilk.test(&sample).ok(),
+                anderson_darling::AndersonDarling.test(&sample).ok(),
+            ];
+            assert_eq!(via_scratch, direct, "case {case}");
+        }
+    }
+
+    #[test]
+    fn scratch_battery_handles_non_finite_input() {
+        let mut scratch = BatteryScratch::new();
+        let sample = vec![1.0, f64::NAN, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        assert_eq!(
+            battery_with_scratch(&sample, &mut scratch),
+            [None, None, None]
+        );
     }
 
     #[test]

@@ -58,45 +58,63 @@ impl ShapiroWilk {
     pub fn w_and_weights(&self, sample: &[f64]) -> Result<(f64, Vec<f64>), StatsError> {
         ensure_len(sample, self.min_sample_size())?;
         ensure_finite(sample)?;
-        let n = sample.len();
         let mut x = sample.to_vec();
         x.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        let mut a = Vec::new();
+        let w = self.w_from_sorted(&x, &mut a)?;
+        Ok((w, a))
+    }
+
+    /// Computes W from an **already sorted** sample, reusing `a` for the
+    /// weight vector — the allocation-free core shared by
+    /// [`w_and_weights`](Self::w_and_weights) and the sweep engine (which
+    /// sorts once per group and shares the sorted buffer across tests).
+    ///
+    /// # Errors
+    /// Same contract as [`NormalityTest::test`].
+    pub fn w_from_sorted(&self, x: &[f64], a: &mut Vec<f64>) -> Result<f64, StatsError> {
+        ensure_len(x, self.min_sample_size())?;
+        ensure_finite(x)?;
+        debug_assert!(x.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+        let n = x.len();
         if x[n - 1] - x[0] <= 0.0 {
             return Err(StatsError::ZeroVariance);
         }
 
         let nn2 = n / 2;
-        let mut a = vec![0.0_f64; nn2];
+        a.clear();
+        a.resize(nn2, 0.0);
         if n == 3 {
             a[0] = std::f64::consts::FRAC_1_SQRT_2;
         } else {
-            // Blom scores for the lower half (negative values).
+            // Blom scores for the lower half (negative values), computed in
+            // place in `a` and corrected afterwards.
             let an25 = n as f64 + 0.25;
             let mut summ2 = 0.0;
-            let mut m = vec![0.0_f64; nn2];
-            for (i, mi) in m.iter_mut().enumerate() {
+            for (i, mi) in a.iter_mut().enumerate() {
                 *mi = norm_quantile((i as f64 + 1.0 - 0.375) / an25);
                 summ2 += 2.0 * *mi * *mi;
             }
             let ssumm2 = summ2.sqrt();
             let rsn = 1.0 / (n as f64).sqrt();
+            let m0 = a[0];
             // Corrected extreme weights (positive by construction).
-            let a1 = poly(&C1, rsn) - m[0] / ssumm2;
+            let a1 = poly(&C1, rsn) - m0 / ssumm2;
             let (i1, fac) = if n > 5 {
-                let a2 = poly(&C2, rsn) - m[1] / ssumm2;
-                let fac = ((summ2 - 2.0 * m[0] * m[0] - 2.0 * m[1] * m[1])
+                let m1 = a[1];
+                let a2 = poly(&C2, rsn) - m1 / ssumm2;
+                let fac = ((summ2 - 2.0 * m0 * m0 - 2.0 * m1 * m1)
                     / (1.0 - 2.0 * a1 * a1 - 2.0 * a2 * a2))
                     .sqrt();
                 a[1] = a2;
                 (2, fac)
             } else {
-                let fac =
-                    ((summ2 - 2.0 * m[0] * m[0]) / (1.0 - 2.0 * a1 * a1)).sqrt();
+                let fac = ((summ2 - 2.0 * m0 * m0) / (1.0 - 2.0 * a1 * a1)).sqrt();
                 (1, fac)
             };
             a[0] = a1;
-            for i in i1..nn2 {
-                a[i] = -m[i] / fac;
+            for ai in a.iter_mut().skip(i1) {
+                *ai = -*ai / fac;
             }
         }
 
@@ -108,8 +126,28 @@ impl ShapiroWilk {
             .enumerate()
             .map(|(i, &ai)| ai * (x[n - 1 - i] - x[i]))
             .sum();
-        let w = ((sax * sax) / ssq).min(1.0);
-        Ok((w, a))
+        Ok(((sax * sax) / ssq).min(1.0))
+    }
+
+    /// Full test outcome from an **already sorted** sample, reusing `weights`
+    /// (the sweep engine's entry point; equals [`NormalityTest::test`] on the
+    /// unsorted sample bit-for-bit).
+    ///
+    /// # Errors
+    /// Same contract as [`NormalityTest::test`].
+    pub fn test_from_sorted(
+        &self,
+        sorted: &[f64],
+        weights: &mut Vec<f64>,
+    ) -> Result<NormalityOutcome, StatsError> {
+        let w = self.w_from_sorted(sorted, weights)?;
+        Ok(NormalityOutcome {
+            statistic_kind: TestStatistic::ShapiroWilkW,
+            statistic: w,
+            p_value: Self::p_value(w, sorted.len()),
+            n: sorted.len(),
+            extrapolated: sorted.len() > 5000,
+        })
     }
 
     /// Royston's p-value for a given `(w, n)` pair.

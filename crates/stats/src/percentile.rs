@@ -21,7 +21,9 @@ pub fn percentile(sample: &[f64], p: f64) -> Result<f64, StatsError> {
     ensure_len(sample, 1)?;
     ensure_finite(sample)?;
     if !(0.0..=100.0).contains(&p) {
-        return Err(StatsError::InvalidParameter("percentile must be in [0, 100]"));
+        return Err(StatsError::InvalidParameter(
+            "percentile must be in [0, 100]",
+        ));
     }
     let mut sorted = sample.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));

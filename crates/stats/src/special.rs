@@ -190,7 +190,10 @@ pub fn norm_log_sf(x: f64) -> f64 {
 /// # Panics
 /// Panics if `p` is outside `(0, 1)`.
 pub fn norm_quantile(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "norm_quantile requires p in (0,1), got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "norm_quantile requires p in (0,1), got {p}"
+    );
     if p == 0.5 {
         return 0.0;
     }
@@ -295,12 +298,29 @@ mod tests {
 
     #[test]
     fn norm_quantile_inverts_cdf() {
-        for &p in &[1e-10, 1e-6, 0.001, 0.025, 0.05, 0.1, 0.5, 0.9, 0.975, 0.999, 1.0 - 1e-9] {
+        for &p in &[
+            1e-10,
+            1e-6,
+            0.001,
+            0.025,
+            0.05,
+            0.1,
+            0.5,
+            0.9,
+            0.975,
+            0.999,
+            1.0 - 1e-9,
+        ] {
             let x = norm_quantile(p);
             assert_close(norm_cdf(x), p, 1e-11, "Φ(Φ⁻¹(p))");
         }
         // Published quantiles.
-        assert_close(norm_quantile(0.975), 1.959_963_984_540_054, 1e-12, "z(0.975)");
+        assert_close(
+            norm_quantile(0.975),
+            1.959_963_984_540_054,
+            1e-12,
+            "z(0.975)",
+        );
         assert_close(norm_quantile(0.5), 0.0, 1e-15, "z(0.5)");
         assert_close(
             norm_quantile(0.05),

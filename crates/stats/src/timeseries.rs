@@ -60,7 +60,7 @@ pub fn change_points(
 ) -> Result<Vec<usize>, StatsError> {
     ensure_len(series, 2 * min_segment.max(1))?;
     ensure_finite(series)?;
-    if !(penalty > 0.0) {
+    if penalty.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
         return Err(StatsError::InvalidParameter("penalty must be positive"));
     }
     let mut splits = Vec::new();
@@ -126,14 +126,18 @@ mod tests {
 
     #[test]
     fn autocorrelation_of_alternation_is_negative() {
-        let xs: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let xs: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let r1 = autocorrelation(&xs, 1).unwrap();
         assert!(r1 < -0.9, "alternating series lag-1 {r1}");
     }
 
     #[test]
     fn rolling_mean_smooths_and_preserves_length() {
-        let xs: Vec<f64> = (0..60).map(|i| if i % 2 == 0 { 0.0 } else { 2.0 }).collect();
+        let xs: Vec<f64> = (0..60)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 2.0 })
+            .collect();
         let smooth = rolling_mean(&xs, 5).unwrap();
         assert_eq!(smooth.len(), 60);
         // Interior values hover near the overall mean of 1.0.

@@ -61,6 +61,10 @@ fn main() {
     println!(
         "median drift measure→replay: {:.1}% {}",
         drift * 100.0,
-        if drift < 0.10 { "(faithful)" } else { "(noisy host run; rerun or enlarge the workload)" }
+        if drift < 0.10 {
+            "(faithful)"
+        } else {
+            "(noisy host run; rerun or enlarge the workload)"
+        }
     );
 }

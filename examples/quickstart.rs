@@ -19,7 +19,11 @@ fn main() {
     let cfg = JobConfig::new(2, 2, 50, 16);
     let app = SyntheticApp::minife();
     let trace = app.generate(&cfg, 42);
-    println!("campaign: {} samples of {}", trace.shape().total_samples(), trace.app());
+    println!(
+        "campaign: {} samples of {}",
+        trace.shape().total_samples(),
+        trace.app()
+    );
 
     // 1. How do thread arrivals distribute? (paper §4.1)
     let normality = sweep(&trace, AggregationLevel::ProcessIteration, 0.05);

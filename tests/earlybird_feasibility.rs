@@ -32,7 +32,10 @@ fn miniqmc_benefits_most_from_early_bird() {
     // Every app saves something on a low-α link…
     for (name, saved, exposed_saved) in &savings {
         assert!(*saved >= 0.0, "{name} lost {saved} ms");
-        assert!(*exposed_saved >= 0.0, "{name} exposed more: {exposed_saved}");
+        assert!(
+            *exposed_saved >= 0.0,
+            "{name} exposed more: {exposed_saved}"
+        );
     }
     // …and MiniQMC's wide arrivals hide at least as much as the others.
     let fe = savings[0].1;
@@ -127,10 +130,7 @@ fn binned_aggregation_scales_between_extremes() {
     }
     // 1 bin ≡ bulk; 48 bins ≡ early-bird; intermediate values must stay
     // within the envelope of the two extremes.
-    let lo = completions
-        .iter()
-        .cloned()
-        .fold(f64::INFINITY, f64::min);
+    let lo = completions.iter().cloned().fold(f64::INFINITY, f64::min);
     let hi = completions
         .iter()
         .cloned()

@@ -1,0 +1,62 @@
+//! Cross-crate properties of the parallel analysis engine: for *any* campaign
+//! shape, seed, application, and worker count, the parallel paths must be
+//! bit-identical to their serial counterparts — generation, the three-level
+//! normality sweep, the laggard census, and the reclaim metrics.
+
+use early_bird::analysis::engine::{
+    laggard_census_parallel, reclaim_metrics_parallel, sweep_parallel,
+};
+use early_bird::analysis::laggard::laggard_census;
+use early_bird::analysis::normality::sweep;
+use early_bird::analysis::reclaim::reclaim_metrics;
+use early_bird::cluster::{JobConfig, SyntheticApp};
+use early_bird::core::view::AggregationLevel;
+use early_bird::runtime::Pool;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn parallel_engine_is_bit_identical_for_random_shapes_and_seeds(
+        trials in 1usize..3,
+        ranks in 1usize..4,
+        iterations in 1usize..7,
+        threads in 8usize..24,
+        seed in 0u64..1_000_000_000,
+        app_index in 0usize..3,
+        workers in 1usize..6,
+    ) {
+        let app = &SyntheticApp::all()[app_index];
+        let cfg = JobConfig::new(trials, ranks, iterations, threads);
+        let pool = Pool::new(workers);
+
+        // Generation: same bytes from any pool size.
+        let trace = app.generate(&cfg, seed);
+        let trace_par = app.generate_parallel(&cfg, seed, &pool);
+        prop_assert_eq!(&trace, &trace_par);
+
+        // Normality sweeps: identical outcomes at every aggregation level.
+        for level in [
+            AggregationLevel::Application,
+            AggregationLevel::ApplicationIteration,
+            AggregationLevel::ProcessIteration,
+        ] {
+            let serial = sweep(&trace, level, 0.05);
+            let parallel = sweep_parallel(&trace, level, 0.05, &pool);
+            prop_assert_eq!(
+                serial.outcomes,
+                parallel.outcomes,
+                "sweep at {:?}, {} workers",
+                level,
+                workers
+            );
+        }
+
+        // Laggard census and reclaim metrics: identical structs.
+        let census = laggard_census(&trace, 1.0);
+        let census_par = laggard_census_parallel(&trace, 1.0, &pool);
+        prop_assert_eq!(census.iterations, census_par.iterations);
+        prop_assert_eq!(reclaim_metrics(&trace), reclaim_metrics_parallel(&trace, &pool));
+    }
+}

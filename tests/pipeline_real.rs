@@ -70,7 +70,10 @@ fn live_aggregation_levels_conserve_mass() {
         AggregationLevel::ApplicationIteration,
         AggregationLevel::ProcessIteration,
     ] {
-        let sum: usize = grouped_ms(&trace, level).iter().map(|g| g.values_ms.len()).sum();
+        let sum: usize = grouped_ms(&trace, level)
+            .iter()
+            .map(|g| g.values_ms.len())
+            .sum();
         assert_eq!(sum, total, "{level:?}");
     }
 }

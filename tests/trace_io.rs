@@ -45,6 +45,65 @@ fn live_trace_file_roundtrip() {
 }
 
 #[test]
+fn binary_and_json_roundtrips_agree_on_synthetic_traces() {
+    // Same trace through both persistence formats: identical results, and
+    // identical analysis downstream.
+    let trace = SyntheticApp::miniqmc().generate(&JobConfig::ci_scale(), 21);
+    let mut json = Vec::new();
+    io::write_json(&trace, &mut json).unwrap();
+    let mut bin = Vec::new();
+    io::write_binary(&trace, &mut bin).unwrap();
+    let from_json = io::read_json(&json[..]).unwrap();
+    let from_bin = io::read_binary(&bin[..]).unwrap();
+    assert_eq!(from_json, from_bin);
+    assert_eq!(reclaim_metrics(&from_json), reclaim_metrics(&from_bin));
+}
+
+#[test]
+fn binary_json_roundtrip_preserves_unset_sentinel() {
+    // A trace holding raw collector sentinels (u64::MAX = "unset") must
+    // survive binary → JSON → binary unchanged: the JSON layer stores u64
+    // timestamps as integers, never as lossy f64.
+    use early_bird::core::{ThreadSample, TimingTrace, TraceShape};
+    let trace = TimingTrace::from_fn("sentinel", TraceShape::new(1, 2, 3, 4).unwrap(), |idx| {
+        if idx.thread % 2 == 0 {
+            ThreadSample {
+                enter_ns: u64::MAX,
+                exit_ns: u64::MAX,
+            }
+        } else {
+            ThreadSample::new(idx.iteration as u64, idx.iteration as u64 + 1_000_000)
+        }
+    });
+    let mut bin = Vec::new();
+    io::write_binary(&trace, &mut bin).unwrap();
+    let from_bin = io::read_binary(&bin[..]).unwrap();
+    let mut json = Vec::new();
+    io::write_json(&from_bin, &mut json).unwrap();
+    let from_json = io::read_json(&json[..]).unwrap();
+    let mut bin2 = Vec::new();
+    io::write_binary(&from_json, &mut bin2).unwrap();
+    assert_eq!(trace, from_json);
+    assert_eq!(bin, bin2, "byte-exact after a JSON detour");
+}
+
+#[test]
+fn binary_file_roundtrip_of_live_trace() {
+    let cfg = JobConfig::new(1, 1, 3, 2);
+    let trace = run_real_campaign(&cfg, |_, _| {
+        Box::new(MiniFe::new(MiniFeParams::test_scale()))
+    })
+    .unwrap();
+    let dir = std::env::temp_dir().join("early_bird_io_bin_it");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("live.bin");
+    io::save_binary(&trace, &path).unwrap();
+    let back = io::load_binary(&path).unwrap();
+    assert_eq!(trace, back);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn csv_and_json_agree() {
     let trace = SyntheticApp::minife().generate(&JobConfig::new(1, 1, 3, 4), 11);
     let mut json = Vec::new();

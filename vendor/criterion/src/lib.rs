@@ -1,0 +1,310 @@
+//! Offline stand-in for `criterion`: the same macro/builder surface the
+//! workspace's benches use (`criterion_group!`/`criterion_main!`,
+//! `Criterion::default().sample_size(..).warm_up_time(..).measurement_time(..)`,
+//! benchmark groups, `Bencher::iter`/`iter_batched`, `Throughput`), backed by
+//! a simple wall-clock loop instead of criterion's statistical machinery.
+//!
+//! Each benchmark reports `median ns/iter` (and throughput when declared) to
+//! stdout; there is no HTML report, outlier analysis, or comparison storage.
+
+use std::time::{Duration, Instant};
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (accepted, not acted on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per sample.
+    PerIteration,
+}
+
+/// Throughput declaration for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Bench configuration and dispatcher (the `c` in `fn bench(c: &mut Criterion)`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up budget.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            cfg: self.clone(),
+            samples_ns: Vec::new(),
+        };
+        f(&mut b);
+        b.report(&id, None);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            throughput: None,
+            overrides: CriterionOverrides::default(),
+        }
+    }
+}
+
+#[derive(Debug, Default, Clone)]
+struct CriterionOverrides {
+    sample_size: Option<usize>,
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    overrides: CriterionOverrides,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration throughput for subsequent benches in the group.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.overrides.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Sets the group's measurement budget (accepted for API compatibility).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.parent.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let mut cfg = self.parent.clone();
+        if let Some(n) = self.overrides.sample_size {
+            cfg.sample_size = n;
+        }
+        let mut b = Bencher {
+            cfg,
+            samples_ns: Vec::new(),
+        };
+        f(&mut b);
+        b.report(&id, self.throughput);
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    cfg: Criterion,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly; the iteration count per sample adapts so a
+    /// sample costs roughly `measurement_time / sample_size`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up + calibration: find an iteration count that fills the
+        // per-sample budget.
+        let warm_deadline = Instant::now() + self.cfg.warm_up_time;
+        let mut one = Duration::ZERO;
+        let mut runs = 0u32;
+        while Instant::now() < warm_deadline || runs == 0 {
+            let t = Instant::now();
+            std::hint::black_box(routine());
+            one += t.elapsed();
+            runs += 1;
+            if runs >= 1000 {
+                break;
+            }
+        }
+        let per_iter = (one / runs).max(Duration::from_nanos(1));
+        let budget = self.cfg.measurement_time / self.cfg.sample_size as u32;
+        let iters_per_sample = (budget.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        for _ in 0..self.cfg.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples_ns
+                .push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup` (setup time excluded).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.cfg.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples_ns.push(t.elapsed().as_nanos() as f64);
+        }
+    }
+
+    /// Like [`iter_batched`](Self::iter_batched) but passes the input by
+    /// reference.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        for _ in 0..self.cfg.sample_size {
+            let mut input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(&mut input));
+            self.samples_ns.push(t.elapsed().as_nanos() as f64);
+        }
+    }
+
+    fn report(&mut self, id: &str, throughput: Option<Throughput>) {
+        if self.samples_ns.is_empty() {
+            println!("bench {id:<50} (no samples)");
+            return;
+        }
+        self.samples_ns
+            .sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = self.samples_ns[self.samples_ns.len() / 2];
+        let mut line = format!("bench {id:<50} {median:>14.1} ns/iter");
+        match throughput {
+            Some(Throughput::Elements(n)) => {
+                let rate = n as f64 / (median * 1e-9);
+                line.push_str(&format!("  ({rate:.3e} elem/s)"));
+            }
+            Some(Throughput::Bytes(n)) => {
+                let rate = n as f64 / (median * 1e-9);
+                line.push_str(&format!("  ({rate:.3e} B/s)"));
+            }
+            None => {}
+        }
+        println!("{line}");
+    }
+}
+
+/// Declares a group of benchmark functions (both criterion forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+/// Re-export matching `criterion::black_box` (benches here mostly use
+/// `std::hint::black_box` directly).
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn groups_and_batched() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(10));
+        g.sample_size(2);
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::LargeInput)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,142 @@
+//! Offline stand-in for the `crossbeam` crate — only the `channel` module,
+//! which is all this workspace uses.
+
+pub mod channel {
+    //! MPMC-ish channels over `std::sync::mpsc`.
+    //!
+    //! The difference that matters here: crossbeam's `Receiver` is `Sync`
+    //! (endpoints are shared across threads behind `Arc`), while std's is
+    //! not — so the receiver is wrapped in a mutex. Concurrent `recv` calls
+    //! therefore serialize, which is acceptable for the transport's
+    //! one-receiver-per-rank usage.
+
+    use std::sync::mpsc;
+    use std::sync::Mutex;
+
+    /// Creates an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender(tx),
+            Receiver {
+                inner: Mutex::new(rx),
+            },
+        )
+    }
+
+    /// The sending half; cheaply cloneable.
+    #[derive(Debug)]
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a message; fails only when the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// The receiving half; `Sync` like crossbeam's.
+    #[derive(Debug)]
+    pub struct Receiver<T> {
+        inner: Mutex<mpsc::Receiver<T>>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders are dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .recv()
+                .map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            match self
+                .inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .try_recv()
+            {
+                Ok(v) => Ok(v),
+                Err(mpsc::TryRecvError::Empty) => Err(TryRecvError::Empty),
+                Err(mpsc::TryRecvError::Disconnected) => Err(TryRecvError::Disconnected),
+            }
+        }
+    }
+
+    /// The channel is disconnected (all receivers dropped); returns the value.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// The channel is empty and all senders were dropped.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Outcome of a failed [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message currently queued.
+        Empty,
+        /// No message queued and every sender is gone.
+        Disconnected,
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::sync::Arc;
+
+        #[test]
+        fn fifo_send_recv() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert_eq!(rx.recv().unwrap(), 2);
+        }
+
+        #[test]
+        fn try_recv_states() {
+            let (tx, rx) = unbounded::<u8>();
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            tx.send(7).unwrap();
+            assert_eq!(rx.try_recv(), Ok(7));
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn receiver_is_shareable_across_threads() {
+            let (tx, rx) = unbounded::<usize>();
+            let rx = Arc::new(rx);
+            for i in 0..8 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let rx = Arc::clone(&rx);
+                    std::thread::spawn(move || {
+                        let mut got = 0usize;
+                        while rx.recv().is_ok() {
+                            got += 1;
+                        }
+                        got
+                    })
+                })
+                .collect();
+            let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+            assert_eq!(total, 8);
+        }
+    }
+}

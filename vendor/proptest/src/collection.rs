@@ -1,0 +1,45 @@
+//! Collection strategies for the proptest stand-in.
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Generates `Vec`s whose length is uniform in `sizes` and whose elements come
+/// from `element`.
+pub fn vec<S: Strategy>(element: S, sizes: Range<usize>) -> VecStrategy<S> {
+    assert!(sizes.start < sizes.end, "empty size range");
+    VecStrategy { element, sizes }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    sizes: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.sizes.end - self.sizes.start) as u64;
+        let len = self.sizes.start + rng.below(span) as usize;
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_lengths_and_elements_in_range() {
+        let mut rng = TestRng::for_test("vec");
+        let s = vec(0.0f64..1.0, 2..10);
+        for _ in 0..200 {
+            let xs = s.sample(&mut rng);
+            assert!((2..10).contains(&xs.len()));
+            assert!(xs.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+    }
+}

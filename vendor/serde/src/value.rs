@@ -1,0 +1,114 @@
+//! The concrete data model shared by `serde` (this stub) and `serde_json`.
+
+/// A JSON-shaped value tree.
+///
+/// Integers keep their own variants (instead of collapsing into `f64`) so
+/// that `u64` timestamps — including the `u64::MAX` "unset" sentinel used by
+/// the instrumentation layer — round-trip exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer (values ≥ 0 normalize to [`Value::U64`] on parse).
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Short description of the variant for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// The object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Looks up a field in object entries (helper used by derived code).
+///
+/// # Errors
+/// [`DeError`] naming the missing field.
+pub fn get_field<'a>(entries: &'a [(String, Value)], name: &str) -> Result<&'a Value, DeError> {
+    entries
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError::custom(format!("missing field `{name}`")))
+}
+
+/// Deserialization error: a human-readable description of the first
+/// structural mismatch encountered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_lookup() {
+        let obj = vec![
+            ("a".to_string(), Value::U64(1)),
+            ("b".to_string(), Value::Null),
+        ];
+        assert_eq!(get_field(&obj, "a").unwrap(), &Value::U64(1));
+        assert!(get_field(&obj, "missing")
+            .unwrap_err()
+            .to_string()
+            .contains("missing field `missing`"));
+    }
+
+    #[test]
+    fn kinds() {
+        assert_eq!(Value::Null.kind(), "null");
+        assert_eq!(Value::U64(1).kind(), "integer");
+        assert_eq!(Value::F64(1.0).kind(), "number");
+    }
+}

@@ -20,6 +20,7 @@
 
 use ebird_core::view::{fill_group_ms, AggregationLevel};
 use ebird_core::{ThreadSample, TimingTrace};
+use ebird_partcomm::{simulate_with_scratch, DeliveryOutcome, LinkModel, SimScratch, Strategy};
 use ebird_runtime::Pool;
 use ebird_stats::normality::{battery_with_scratch, BatteryScratch, NormalityOutcome};
 use ebird_stats::reduce::Mergeable;
@@ -171,6 +172,79 @@ pub fn campaign_moments(trace: &TimingTrace, pool: &Pool) -> Moments {
     )
 }
 
+/// The four canonical delivery strategies the sweeps price for a
+/// `threads`-partition buffer: bulk, early-bird, a 1 ms timeout flush, and
+/// √threads bins.
+pub fn canonical_strategies(threads: usize) -> [Strategy; 4] {
+    let bins = (threads as f64).sqrt().round().max(1.0) as usize;
+    [
+        Strategy::Bulk,
+        Strategy::EarlyBird,
+        Strategy::TimeoutFlush { timeout_ms: 1.0 },
+        Strategy::Binned { bins },
+    ]
+}
+
+fn delivery_unit(
+    arrivals_ms: &[f64],
+    bytes_total: usize,
+    link: &LinkModel,
+    scratch: &mut SimScratch,
+) -> [DeliveryOutcome; 4] {
+    canonical_strategies(arrivals_ms.len())
+        .map(|s| simulate_with_scratch(arrivals_ms, bytes_total, link, s, scratch))
+}
+
+/// Prices the [`canonical_strategies`] on every process-iteration's arrivals,
+/// serially — one `[bulk, early-bird, timeout, binned]` outcome row per
+/// process-iteration, trace order.
+pub fn delivery_sweep(
+    trace: &TimingTrace,
+    bytes_total: usize,
+    link: &LinkModel,
+) -> Vec<[DeliveryOutcome; 4]> {
+    let mut scratch = SimScratch::new();
+    let mut values = Vec::with_capacity(trace.shape().threads);
+    trace
+        .iter_process_iterations()
+        .map(|(_, _, _, samples)| {
+            values.clear();
+            values.extend(samples.iter().map(ThreadSample::compute_time_ms));
+            delivery_unit(&values, bytes_total, link, &mut scratch)
+        })
+        .collect()
+}
+
+/// Parallel counterpart of [`delivery_sweep`] — bit-identical for any pool
+/// size, because each unit runs the same scratch-based kernel independently
+/// into its own output slot.
+pub fn delivery_sweep_parallel(
+    trace: &TimingTrace,
+    bytes_total: usize,
+    link: &LinkModel,
+    pool: &Pool,
+) -> Vec<[DeliveryOutcome; 4]> {
+    let shape = trace.shape();
+    let units = shape.process_iterations();
+    let mut out: Vec<Option<[DeliveryOutcome; 4]>> = vec![None; units];
+    pool.parallel_chunks_mut(&mut out, |block, range, _ctx| {
+        let mut scratch = SimScratch::new();
+        let mut values = Vec::with_capacity(shape.threads);
+        for (offset, slot) in block.iter_mut().enumerate() {
+            let (trial, rank, iteration) = unit_coords(shape, range.start + offset);
+            let samples = trace
+                .process_iteration(trial, rank, iteration)
+                .expect("unit in range by construction");
+            values.clear();
+            values.extend(samples.iter().map(ThreadSample::compute_time_ms));
+            *slot = Some(delivery_unit(&values, bytes_total, link, &mut scratch));
+        }
+    });
+    out.into_iter()
+        .map(|o| o.expect("every unit simulated"))
+        .collect()
+}
+
 /// Decodes a flat process-iteration index (trace order: trial-major,
 /// iteration innermost).
 fn unit_coords(shape: ebird_core::TraceShape, unit: usize) -> (usize, usize, usize) {
@@ -277,5 +351,25 @@ mod tests {
     #[should_panic(expected = "threshold must be positive")]
     fn parallel_census_rejects_nonpositive_threshold() {
         laggard_census_parallel(&mixed_trace(), 0.0, &Pool::new(2));
+    }
+
+    #[test]
+    fn parallel_delivery_sweep_is_bit_identical() {
+        let tr = mixed_trace();
+        let link = LinkModel::omni_path();
+        let serial = delivery_sweep(&tr, 1_000_000, &link);
+        assert_eq!(serial.len(), tr.shape().process_iterations());
+        for workers in [1, 2, 5] {
+            let pool = Pool::new(workers);
+            let parallel = delivery_sweep_parallel(&tr, 1_000_000, &link, &pool);
+            assert_eq!(serial, parallel, "{workers} workers");
+        }
+        // Every unit priced all four canonical strategies.
+        for row in &serial {
+            assert_eq!(row[0].strategy, Strategy::Bulk);
+            assert_eq!(row[1].strategy, Strategy::EarlyBird);
+            assert_eq!(row[0].messages, 1);
+            assert_eq!(row[1].messages, tr.shape().threads);
+        }
     }
 }

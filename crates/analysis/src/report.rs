@@ -8,6 +8,7 @@
 use std::fmt::Write as _;
 
 use ebird_stats::percentile::PercentileSummary;
+use serde::Serialize;
 
 use crate::figures::FigureHistogram;
 use crate::normality::Table1;
@@ -71,6 +72,18 @@ pub fn render_metrics(
         measured.mean_max_ms, measured.iterations
     );
     out
+}
+
+/// Serializes `rows` as JSON Lines — one JSON object per line, the scenario
+/// campaign's machine-readable table format (each line is independently
+/// parseable, so tables stream and concatenate).
+pub fn json_lines<T: Serialize>(rows: &[T]) -> Result<String, serde_json::Error> {
+    let mut out = String::new();
+    for row in rows {
+        out.push_str(&serde_json::to_string(row)?);
+        out.push('\n');
+    }
+    Ok(out)
 }
 
 /// CSV rows of a percentile series (Figures 4/6/8):
@@ -167,6 +180,33 @@ mod tests {
         assert!(s.contains("0.0410"));
         assert!(s.contains("paper 0.1928"));
         assert!(s.contains("100 process-iterations"));
+    }
+
+    #[test]
+    fn json_lines_one_object_per_row() {
+        #[derive(Serialize)]
+        struct Row {
+            app: String,
+            ranks: usize,
+            completion_ms: f64,
+        }
+        let rows = vec![
+            Row {
+                app: "MiniFE".into(),
+                ranks: 1,
+                completion_ms: 1.5,
+            },
+            Row {
+                app: "MiniMD".into(),
+                ranks: 8,
+                completion_ms: 2.25,
+            },
+        ];
+        let s = json_lines(&rows).unwrap();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"MiniFE\"") && lines[0].starts_with('{'));
+        assert!(lines[1].contains("\"ranks\":8"), "{}", lines[1]);
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro [--scale paper|ci] [--seed N] [--source synthetic|real]
-//!       [--threads N] [--csv-dir DIR] <experiment>
+//!       [--threads N] [--csv-dir DIR]
+//!       [--smoke] [--matrix FILE] [--out FILE] <experiment>
 //!
 //! experiments:
 //!   table1          process-iteration normality pass rates (Table 1)
@@ -15,7 +16,13 @@
 //!   earlybird       delivery-strategy comparison on each app's arrivals
 //!   battery         extended 5-test normality battery (sensitivity check)
 //!   fit             fitted generative models extracted from the traces
-//!   all             everything above
+//!   scenarios       multi-rank contention campaign (apps × strategies ×
+//!                   links × noise × ranks); one JSON row per scenario on
+//!                   stdout. --smoke runs the 48-cell CI matrix, --matrix
+//!                   loads a custom ScenarioMatrix JSON (whose own seed
+//!                   governs; --seed applies to the built-in matrices),
+//!                   --out also writes the rows to a file
+//!   all             everything above except scenarios
 //! ```
 //!
 //! Defaults: paper scale, synthetic source, seed 20230421, and one worker
@@ -34,6 +41,7 @@ use ebird_analysis::laggard::{laggard_census, ArrivalClass};
 use ebird_analysis::percentile_series::{detect_phase_boundary, iqr_stats, percentile_series};
 use ebird_analysis::reclaim::reclaim_metrics;
 use ebird_analysis::report;
+use ebird_bench::scenario::{self, ScenarioMatrix};
 use ebird_bench::{all_real_traces, Scale, DEFAULT_SEED};
 use ebird_cluster::calibration::{self, LAGGARD_THRESHOLD_MS, MINIMD_PHASE_BOUNDARY};
 use ebird_core::view::AggregationLevel;
@@ -48,8 +56,8 @@ fn main() {
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!();
-            eprintln!("usage: repro [--scale paper|ci] [--seed N] [--source synthetic|real] [--threads N] [--csv-dir DIR] <experiment>");
-            eprintln!("experiments: table1 app-normality iter-normality fig3 fig4 fig5 fig6 fig7 fig8 fig9 metrics earlybird battery fit all");
+            eprintln!("usage: repro [--scale paper|ci] [--seed N] [--source synthetic|real] [--threads N] [--csv-dir DIR] [--smoke] [--matrix FILE] [--out FILE] <experiment>");
+            eprintln!("experiments: table1 app-normality iter-normality fig3 fig4 fig5 fig6 fig7 fig8 fig9 metrics earlybird battery fit scenarios all");
             std::process::exit(2);
         }
     }
@@ -60,6 +68,12 @@ struct Options {
     seed: u64,
     real: bool,
     csv_dir: Option<std::path::PathBuf>,
+    /// `scenarios`: run the 48-cell CI matrix instead of the full 288.
+    smoke: bool,
+    /// `scenarios`: load a custom [`ScenarioMatrix`] JSON.
+    matrix: Option<std::path::PathBuf>,
+    /// `scenarios`: also write the JSON rows to this file.
+    out: Option<std::path::PathBuf>,
     /// Worker pool for generation and sweeps; parallel output is
     /// bit-identical to serial, so this only affects wall-clock time.
     pool: Pool,
@@ -70,6 +84,9 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut seed = DEFAULT_SEED;
     let mut real = false;
     let mut csv_dir = None;
+    let mut smoke = false;
+    let mut matrix = None;
+    let mut out = None;
     let mut threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut experiment: Option<String> = None;
 
@@ -105,6 +122,15 @@ fn run(args: &[String]) -> Result<(), String> {
                 let v = it.next().ok_or("--csv-dir needs a value")?;
                 csv_dir = Some(std::path::PathBuf::from(v));
             }
+            "--smoke" => smoke = true,
+            "--matrix" => {
+                let v = it.next().ok_or("--matrix needs a value")?;
+                matrix = Some(std::path::PathBuf::from(v));
+            }
+            "--out" => {
+                let v = it.next().ok_or("--out needs a value")?;
+                out = Some(std::path::PathBuf::from(v));
+            }
             other if !other.starts_with('-') && experiment.is_none() => {
                 experiment = Some(other.to_string());
             }
@@ -117,8 +143,17 @@ fn run(args: &[String]) -> Result<(), String> {
         seed,
         real,
         csv_dir,
+        smoke,
+        matrix,
+        out,
         pool: Pool::new(threads),
     };
+
+    // The scenario campaign builds its own arrivals per (app, noise, rank);
+    // it does not consume the figure/table traces.
+    if experiment == "scenarios" {
+        return cmd_scenarios(&opts);
+    }
 
     let traces = load_traces(&opts);
     match experiment.as_str() {
@@ -493,6 +528,49 @@ fn cmd_fit(traces: &[TimingTrace]) {
         }
     }
     println!();
+}
+
+fn cmd_scenarios(opts: &Options) -> Result<(), String> {
+    let matrix = match &opts.matrix {
+        // A matrix file is a self-contained config: its own seed governs.
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("reading {path:?}: {e}"))?;
+            serde_json::from_str::<ScenarioMatrix>(&text)
+                .map_err(|e| format!("parsing {path:?}: {e}"))?
+        }
+        None => {
+            let mut m = if opts.smoke {
+                ScenarioMatrix::smoke()
+            } else {
+                ScenarioMatrix::full()
+            };
+            m.seed = opts.seed;
+            m
+        }
+    };
+    eprintln!(
+        "# scenario campaign: {} cells ({} apps × {} strategies × {} links × {} noise × {} rank counts), {} worker thread(s)",
+        matrix.len(),
+        matrix.apps.len(),
+        matrix.strategies.len(),
+        matrix.links.len(),
+        matrix.noise.len(),
+        matrix.ranks.len(),
+        opts.pool.threads()
+    );
+    let rows = scenario::run_matrix(&matrix, &opts.pool)?;
+    let json = report::json_lines(&rows).map_err(|e| format!("serializing rows: {e}"))?;
+    print!("{json}");
+    eprint!("{}", scenario::summarize(&rows));
+    if let Some(path) = &opts.out {
+        std::fs::write(path, &json).map_err(|e| format!("writing {path:?}: {e}"))?;
+        eprintln!("# wrote {path:?}");
+    }
+    if rows.iter().any(|r| !r.transport_verified) {
+        return Err("transport verification failed for at least one scenario".into());
+    }
+    Ok(())
 }
 
 fn cmd_earlybird(traces: &[TimingTrace]) {

@@ -8,6 +8,9 @@
 //!   proxy apps at reduced scale). See `repro --help`.
 //! * The **Criterion benches** (`cargo bench`) time each pipeline stage and
 //!   run the ablations DESIGN.md calls out.
+//! * The **scenario campaign** ([`scenario`]) sweeps a config-driven
+//!   apps × strategies × links × noise × ranks matrix through the multi-rank
+//!   fabric simulator (`repro scenarios`).
 //!
 //! This library crate holds the pieces both share: canonical trace
 //! construction per experiment, seeds, and scale presets.
@@ -15,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod pipeline;
+pub mod scenario;
 
 use ebird_cluster::{JobConfig, SyntheticApp};
 use ebird_core::TimingTrace;

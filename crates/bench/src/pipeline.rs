@@ -12,7 +12,8 @@
 use std::time::Instant;
 
 use ebird_analysis::engine::{
-    campaign_moments, laggard_census_parallel, reclaim_metrics_parallel, sweep_parallel,
+    campaign_moments, delivery_sweep, delivery_sweep_parallel, laggard_census_parallel,
+    reclaim_metrics_parallel, sweep_parallel,
 };
 use ebird_analysis::laggard::laggard_census;
 use ebird_analysis::normality::sweep;
@@ -20,7 +21,7 @@ use ebird_analysis::reclaim::reclaim_metrics;
 use ebird_cluster::SyntheticApp;
 use ebird_core::view::AggregationLevel;
 use ebird_core::TimingTrace;
-use ebird_partcomm::{simulate_with_scratch, DeliveryOutcome, LinkModel, SimScratch, Strategy};
+use ebird_partcomm::LinkModel;
 use ebird_runtime::Pool;
 use ebird_stats::Moments;
 use serde::{Deserialize, Serialize};
@@ -129,74 +130,6 @@ fn sweep_all_parallel(traces: &[TimingTrace], alpha: f64, pool: &Pool) -> SweepO
         .collect()
 }
 
-/// Simulates the four canonical strategies on every process-iteration's
-/// arrivals, serially.
-fn simulate_trace_serial(trace: &TimingTrace, link: &LinkModel) -> Vec<[DeliveryOutcome; 4]> {
-    let mut scratch = SimScratch::new();
-    let mut values = Vec::with_capacity(trace.shape().threads);
-    trace
-        .iter_process_iterations()
-        .map(|(_, _, _, samples)| {
-            values.clear();
-            values.extend(
-                samples
-                    .iter()
-                    .map(ebird_core::ThreadSample::compute_time_ms),
-            );
-            simulate_unit(&values, link, &mut scratch)
-        })
-        .collect()
-}
-
-/// Parallel counterpart of [`simulate_trace_serial`]; bit-identical because
-/// each unit runs the same scratch-based kernel independently.
-fn simulate_trace_parallel(
-    trace: &TimingTrace,
-    link: &LinkModel,
-    pool: &Pool,
-) -> Vec<[DeliveryOutcome; 4]> {
-    let shape = trace.shape();
-    let units = shape.process_iterations();
-    let mut out: Vec<Option<[DeliveryOutcome; 4]>> = vec![None; units];
-    pool.parallel_chunks_mut(&mut out, |block, range, _ctx| {
-        let mut scratch = SimScratch::new();
-        let mut values = Vec::with_capacity(shape.threads);
-        for (offset, slot) in block.iter_mut().enumerate() {
-            let unit = range.start + offset;
-            let iteration = unit % shape.iterations;
-            let rest = unit / shape.iterations;
-            let samples = trace
-                .process_iteration(rest / shape.ranks, rest % shape.ranks, iteration)
-                .expect("unit in range by construction");
-            values.clear();
-            values.extend(
-                samples
-                    .iter()
-                    .map(ebird_core::ThreadSample::compute_time_ms),
-            );
-            *slot = Some(simulate_unit(&values, link, &mut scratch));
-        }
-    });
-    out.into_iter()
-        .map(|o| o.expect("every unit simulated"))
-        .collect()
-}
-
-fn simulate_unit(
-    arrivals_ms: &[f64],
-    link: &LinkModel,
-    scratch: &mut SimScratch,
-) -> [DeliveryOutcome; 4] {
-    let bins = (arrivals_ms.len() as f64).sqrt().round().max(1.0) as usize;
-    [
-        Strategy::Bulk,
-        Strategy::EarlyBird,
-        Strategy::TimeoutFlush { timeout_ms: 1.0 },
-        Strategy::Binned { bins },
-    ]
-    .map(|s| simulate_with_scratch(arrivals_ms, SIM_BYTES, link, s, scratch))
-}
-
 /// Runs the full generate → sweep → census → reclaim → simulate pipeline at
 /// `scale`, serial and parallel, and verifies the parallel outputs are
 /// bit-identical to serial.
@@ -279,17 +212,18 @@ pub fn run_pipeline(scale: Scale, seed: u64, pool: &Pool, repeats: usize) -> Pip
         reclaim_parallel_ms,
     ));
 
-    // Stage 5: early-bird delivery simulation over every process-iteration.
+    // Stage 5: early-bird delivery simulation over every process-iteration
+    // (the engine's canonical-strategy sweep).
     let (sim_serial_ms, sims) = time_best(repeats, || {
         traces
             .iter()
-            .map(|tr| simulate_trace_serial(tr, &link))
+            .map(|tr| delivery_sweep(tr, SIM_BYTES, &link))
             .collect::<Vec<_>>()
     });
     let (sim_parallel_ms, sims_par) = time_best(repeats, || {
         traces
             .iter()
-            .map(|tr| simulate_trace_parallel(tr, &link, pool))
+            .map(|tr| delivery_sweep_parallel(tr, SIM_BYTES, &link, pool))
             .collect::<Vec<_>>()
     });
     assert_eq!(sims, sims_par, "parallel simulation diverged from serial");

@@ -1,0 +1,396 @@
+//! The config-driven multi-rank scenario campaign.
+//!
+//! The paper's feasibility argument (§2, Figure 1) is about *whole-job*
+//! behaviour — many nodes × many threads racing per-partition sends through
+//! a shared fabric — not one sender on one link. This module sweeps a
+//! scenario matrix:
+//!
+//! ```text
+//! apps (arrival shapes) × strategies × link models × noise regimes × ranks
+//! ```
+//!
+//! pricing every cell with [`ebird_partcomm::simulate_fabric`] (per-rank
+//! NICs behind a contended spine) and validating delivery mechanics by
+//! driving the same rank count of real `PsendSession`/`PrecvSession` pairs
+//! over the in-memory transport ([`ebird_cluster::run_delivery_campaign`]).
+//! Each cell emits one JSON table row (see
+//! [`ebird_analysis::report::json_lines`]), so adding a workload to the
+//! campaign means adding a config entry, not code.
+//!
+//! The matrix itself is plain serde data: load one from JSON with
+//! `--matrix`, or use the built-in [`ScenarioMatrix::full`] /
+//! [`ScenarioMatrix::smoke`] presets.
+
+use std::time::Duration;
+
+use ebird_cluster::{run_delivery_campaign, NoiseRegime, SyntheticApp};
+use ebird_partcomm::{simulate_fabric_with_scratch, LinkModel, SimScratch, Strategy};
+use ebird_runtime::Pool;
+use serde::{Deserialize, Serialize};
+
+use crate::DEFAULT_SEED;
+
+/// A scenario sweep definition — every axis of the campaign as data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioMatrix {
+    /// Application arrival shapes by name (`MiniFE`, `MiniMD`, `MiniQMC`).
+    pub apps: Vec<String>,
+    /// Delivery strategies to price.
+    pub strategies: Vec<Strategy>,
+    /// Link models by name (`omni-path`, `high-latency`).
+    pub links: Vec<String>,
+    /// Noise regimes by label (`baseline`, `laggard`, `turbulent`,
+    /// `contaminated`).
+    pub noise: Vec<String>,
+    /// Concurrent sending-rank counts to sweep.
+    pub ranks: Vec<usize>,
+    /// Threads (= partitions) per rank.
+    pub threads: usize,
+    /// Buffer bytes each rank delivers.
+    pub bytes_per_rank: usize,
+    /// Fabric injection-rate contention coefficient ∈ [0, 1].
+    pub contention: f64,
+    /// Which synthetic iteration supplies the arrivals (mid-campaign keeps
+    /// MiniMD in its steady phase).
+    pub iteration: usize,
+    /// Campaign seed.
+    pub seed: u64,
+}
+
+impl ScenarioMatrix {
+    /// The full campaign: 3 apps × 4 strategies × 2 links × 4 noise regimes
+    /// × 3 rank counts = 288 scenarios at paper-like 32-thread ranks.
+    pub fn full() -> Self {
+        ScenarioMatrix {
+            apps: vec!["MiniFE".into(), "MiniMD".into(), "MiniQMC".into()],
+            strategies: vec![
+                Strategy::Bulk,
+                Strategy::EarlyBird,
+                Strategy::TimeoutFlush { timeout_ms: 1.0 },
+                Strategy::Binned { bins: 6 },
+            ],
+            links: vec!["omni-path".into(), "high-latency".into()],
+            noise: vec![
+                "baseline".into(),
+                "laggard".into(),
+                "turbulent".into(),
+                "contaminated".into(),
+            ],
+            ranks: vec![1, 4, 8],
+            threads: 32,
+            bytes_per_rank: 8_000_000,
+            contention: 0.5,
+            iteration: 25,
+            seed: DEFAULT_SEED,
+        }
+    }
+
+    /// The CI smoke campaign: 3 apps × 4 strategies × 1 link × 2 noise
+    /// regimes × 2 rank counts = 48 scenarios at 8-thread ranks.
+    pub fn smoke() -> Self {
+        ScenarioMatrix {
+            links: vec!["omni-path".into()],
+            noise: vec!["baseline".into(), "laggard".into()],
+            ranks: vec![1, 4],
+            threads: 8,
+            bytes_per_rank: 1_000_000,
+            ..Self::full()
+        }
+    }
+
+    /// Number of scenarios this matrix spans.
+    pub fn len(&self) -> usize {
+        self.apps.len()
+            * self.strategies.len()
+            * self.links.len()
+            * self.noise.len()
+            * self.ranks.len()
+    }
+
+    /// Whether any axis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if self.is_empty() {
+            return Err("scenario matrix has an empty axis".into());
+        }
+        if self.threads == 0 || self.threads > 0xFFFF {
+            return Err(format!("threads {} outside 1..=65535", self.threads));
+        }
+        if self.bytes_per_rank < self.threads {
+            return Err(format!(
+                "bytes_per_rank {} below one byte per partition ({})",
+                self.bytes_per_rank, self.threads
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.contention) {
+            return Err(format!("contention {} outside [0, 1]", self.contention));
+        }
+        for app in &self.apps {
+            if SyntheticApp::by_name(app).is_none() {
+                return Err(format!("unknown app `{app}`"));
+            }
+        }
+        for link in &self.links {
+            if link_by_name(link).is_none() {
+                return Err(format!("unknown link model `{link}`"));
+            }
+        }
+        for regime in &self.noise {
+            if NoiseRegime::parse(regime).is_none() {
+                return Err(format!("unknown noise regime `{regime}`"));
+            }
+        }
+        for &r in &self.ranks {
+            if r == 0 {
+                return Err("rank counts must be ≥ 1".into());
+            }
+        }
+        for s in &self.strategies {
+            match *s {
+                Strategy::TimeoutFlush { timeout_ms } if timeout_ms <= 0.0 => {
+                    return Err(format!("non-positive timeout {timeout_ms}"));
+                }
+                Strategy::Binned { bins } if bins == 0 || bins > self.threads => {
+                    return Err(format!("bins {bins} outside 1..={}", self.threads));
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Looks up a link model by its scenario-config name.
+pub fn link_by_name(name: &str) -> Option<LinkModel> {
+    match name.to_ascii_lowercase().as_str() {
+        "omni-path" => Some(LinkModel::omni_path()),
+        "high-latency" => Some(LinkModel::high_latency()),
+        _ => None,
+    }
+}
+
+/// One scenario's JSON table row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioRow {
+    /// Application arrival shape.
+    pub app: String,
+    /// Strategy label (see [`Strategy::label`]).
+    pub strategy: String,
+    /// Link model name.
+    pub link: String,
+    /// Noise regime label.
+    pub noise: String,
+    /// Concurrent sending ranks.
+    pub ranks: usize,
+    /// Threads (= partitions) per rank.
+    pub threads: usize,
+    /// Buffer bytes per rank.
+    pub bytes_per_rank: usize,
+    /// Fabric contention coefficient.
+    pub contention: f64,
+    /// Whole-job completion (ms).
+    pub completion_ms: f64,
+    /// Latest thread arrival across all ranks (ms).
+    pub last_arrival_ms: f64,
+    /// Job-level exposed (non-overlapped) communication cost (ms).
+    pub exposed_ms: f64,
+    /// Total messages injected across ranks.
+    pub messages: usize,
+    /// Total wire-busy time across NICs (ms).
+    pub wire_ms: f64,
+    /// Exposed cost of the Bulk strategy on the same arrivals/link/fabric.
+    pub bulk_exposed_ms: f64,
+    /// `bulk_exposed_ms / exposed_ms` (> 1 ⇒ this strategy beats bulk).
+    pub speedup_vs_bulk: f64,
+    /// Whether the same rank count of real partitioned sessions delivered
+    /// and verified byte-exactly over the in-memory transport.
+    pub transport_verified: bool,
+}
+
+/// Runs every scenario of `matrix`, one row per cell in axis order
+/// (apps ▸ noise ▸ ranks ▸ links ▸ strategies).
+///
+/// Timing comes from the deterministic fabric simulation; delivery
+/// mechanics are validated once per (app, noise, ranks) combination by
+/// driving that many real session pairs over the transport on `pool`, with
+/// each rank's `pready` order replaying its synthetic arrival order.
+pub fn run_matrix(matrix: &ScenarioMatrix, pool: &Pool) -> Result<Vec<ScenarioRow>, String> {
+    matrix.validate()?;
+    let mut rows = Vec::with_capacity(matrix.len());
+    let mut scratch = SimScratch::new();
+    for app_name in &matrix.apps {
+        let base = SyntheticApp::by_name(app_name).expect("validated");
+        for regime_name in &matrix.noise {
+            let regime = NoiseRegime::parse(regime_name).expect("validated");
+            let app = base.with_noise_regime(regime);
+            for &ranks in &matrix.ranks {
+                let rank_arrivals: Vec<Vec<f64>> = (0..ranks)
+                    .map(|rank| {
+                        app.process_iteration_ms(
+                            matrix.seed,
+                            0,
+                            rank,
+                            matrix.iteration,
+                            matrix.threads,
+                        )
+                    })
+                    .collect();
+                // Mechanics check: the same rank count of real sessions,
+                // partitions readied in each rank's arrival order. A small
+                // payload keeps the smoke fast; the fabric sim prices the
+                // real byte count.
+                let campaign = run_delivery_campaign(
+                    ranks,
+                    matrix.threads,
+                    matrix.threads * 8,
+                    |rank| argsort(&rank_arrivals[rank]),
+                    pool,
+                    Duration::from_secs(10),
+                );
+                let transport_verified = campaign.all_verified();
+                for link_name in &matrix.links {
+                    let link = link_by_name(link_name).expect("validated");
+                    let bulk = simulate_fabric_with_scratch(
+                        &rank_arrivals,
+                        matrix.bytes_per_rank,
+                        &link,
+                        matrix.contention,
+                        Strategy::Bulk,
+                        &mut scratch,
+                    );
+                    for &strategy in &matrix.strategies {
+                        let outcome = if strategy == Strategy::Bulk {
+                            bulk.clone()
+                        } else {
+                            simulate_fabric_with_scratch(
+                                &rank_arrivals,
+                                matrix.bytes_per_rank,
+                                &link,
+                                matrix.contention,
+                                strategy,
+                                &mut scratch,
+                            )
+                        };
+                        rows.push(ScenarioRow {
+                            app: app_name.clone(),
+                            strategy: strategy.label(),
+                            link: link_name.clone(),
+                            noise: regime.label().to_string(),
+                            ranks,
+                            threads: matrix.threads,
+                            bytes_per_rank: matrix.bytes_per_rank,
+                            contention: matrix.contention,
+                            completion_ms: outcome.completion_ms,
+                            last_arrival_ms: outcome.last_arrival_ms,
+                            exposed_ms: outcome.exposed_ms(),
+                            messages: outcome.messages,
+                            wire_ms: outcome.wire_ms,
+                            bulk_exposed_ms: bulk.exposed_ms(),
+                            speedup_vs_bulk: bulk.exposed_ms() / outcome.exposed_ms(),
+                            transport_verified,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(rows)
+}
+
+/// Indices of `values` sorted ascending (ties by index) — a rank's partition
+/// readiness order under early-bird delivery.
+fn argsort(values: &[f64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&a, &b| {
+        values[a]
+            .partial_cmp(&values[b])
+            .expect("finite")
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+/// Renders a short human summary of a finished campaign (stderr companion
+/// to the JSON rows).
+pub fn summarize(rows: &[ScenarioRow]) -> String {
+    use std::fmt::Write as _;
+    let verified = rows.iter().filter(|r| r.transport_verified).count();
+    let beats_bulk = rows
+        .iter()
+        .filter(|r| r.strategy != "bulk" && r.speedup_vs_bulk > 1.0)
+        .count();
+    let non_bulk = rows.iter().filter(|r| r.strategy != "bulk").count();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} scenarios; transport verified {verified}/{}; {beats_bulk}/{non_bulk} non-bulk cells beat bulk",
+        rows.len(),
+        rows.len(),
+    );
+    if let Some(best) = rows
+        .iter()
+        .filter(|r| r.speedup_vs_bulk.is_finite())
+        .max_by(|a, b| a.speedup_vs_bulk.total_cmp(&b.speedup_vs_bulk))
+    {
+        let _ = writeln!(
+            out,
+            "best cell: {} × {} × {} × {} × {} ranks — exposed {:.4} ms vs bulk {:.4} ms ({:.1}×)",
+            best.app,
+            best.strategy,
+            best.link,
+            best.noise,
+            best.ranks,
+            best.exposed_ms,
+            best.bulk_exposed_ms,
+            best.speedup_vs_bulk
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_cover_the_advertised_cells() {
+        assert_eq!(ScenarioMatrix::full().len(), 288);
+        assert_eq!(ScenarioMatrix::smoke().len(), 48);
+        assert!(!ScenarioMatrix::smoke().is_empty());
+    }
+
+    #[test]
+    fn matrix_serde_roundtrip() {
+        let m = ScenarioMatrix::smoke();
+        let s = serde_json::to_string(&m).unwrap();
+        let back: ScenarioMatrix = serde_json::from_str(&s).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn validation_rejects_bad_axes() {
+        let mut m = ScenarioMatrix::smoke();
+        m.apps = vec!["hpcg".into()];
+        assert!(run_matrix(&m, &Pool::new(1)).unwrap_err().contains("hpcg"));
+        let mut m = ScenarioMatrix::smoke();
+        m.links = vec!["carrier-pigeon".into()];
+        assert!(run_matrix(&m, &Pool::new(1)).is_err());
+        let mut m = ScenarioMatrix::smoke();
+        m.contention = 2.0;
+        assert!(run_matrix(&m, &Pool::new(1)).is_err());
+        let mut m = ScenarioMatrix::smoke();
+        m.ranks = vec![];
+        assert!(run_matrix(&m, &Pool::new(1)).is_err());
+        let mut m = ScenarioMatrix::smoke();
+        m.strategies = vec![Strategy::Binned { bins: 999 }];
+        assert!(run_matrix(&m, &Pool::new(1)).is_err());
+    }
+
+    #[test]
+    fn argsort_orders_by_value_then_index() {
+        assert_eq!(argsort(&[3.0, 1.0, 2.0, 1.0]), vec![1, 3, 2, 0]);
+    }
+}

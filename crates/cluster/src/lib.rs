@@ -35,5 +35,6 @@ pub mod synthetic;
 
 pub use fit::{fit, FittedModel};
 pub use job::JobConfig;
-pub use runner::run_real_campaign;
+pub use noise::NoiseRegime;
+pub use runner::{run_delivery_campaign, run_real_campaign, DeliveryCampaign, PairOutcome};
 pub use synthetic::SyntheticApp;

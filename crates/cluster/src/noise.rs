@@ -19,6 +19,98 @@
 use ebird_stats::dist::{LogNormal, Normal, Rng64, Sample};
 use serde::{Deserialize, Serialize};
 
+/// A named noise environment for scenario campaigns: which disturbance
+/// process dominates a run. Applied on top of a calibrated app model via
+/// [`SyntheticApp::with_noise_regime`], so one config string selects the
+/// whole disturbance shape (the paper's §4.2 attributes each shape to a
+/// distinct OS-noise cause).
+///
+/// [`SyntheticApp::with_noise_regime`]: crate::SyntheticApp::with_noise_regime
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NoiseRegime {
+    /// The calibrated model untouched.
+    Baseline,
+    /// Laggard-dominated: most process-iterations contain one late victim
+    /// thread (the Figure 5b/7c shape, amplified).
+    Laggard,
+    /// Turbulence-dominated: frequent whole-iteration variance inflation
+    /// (daemon activity perturbing every core).
+    Turbulent,
+    /// Contamination-dominated: a heavy per-thread scale mixture fattening
+    /// every iteration's tails.
+    Contaminated,
+}
+
+impl NoiseRegime {
+    /// All regimes, scenario-matrix order.
+    pub fn all() -> [NoiseRegime; 4] {
+        [
+            NoiseRegime::Baseline,
+            NoiseRegime::Laggard,
+            NoiseRegime::Turbulent,
+            NoiseRegime::Contaminated,
+        ]
+    }
+
+    /// Stable label for configs and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            NoiseRegime::Baseline => "baseline",
+            NoiseRegime::Laggard => "laggard",
+            NoiseRegime::Turbulent => "turbulent",
+            NoiseRegime::Contaminated => "contaminated",
+        }
+    }
+
+    /// Parses a label (case-insensitive).
+    pub fn parse(s: &str) -> Option<NoiseRegime> {
+        match s.to_ascii_lowercase().as_str() {
+            "baseline" => Some(NoiseRegime::Baseline),
+            "laggard" => Some(NoiseRegime::Laggard),
+            "turbulent" => Some(NoiseRegime::Turbulent),
+            "contaminated" => Some(NoiseRegime::Contaminated),
+            _ => None,
+        }
+    }
+
+    /// The laggard process this regime forces (`None` keeps the model's).
+    pub fn laggards(&self) -> Option<LaggardProcess> {
+        match self {
+            NoiseRegime::Laggard => Some(LaggardProcess {
+                rate: 0.85,
+                shift_ms: 2.0,
+                mu: 0.5,
+                sigma: 0.8,
+            }),
+            _ => None,
+        }
+    }
+
+    /// The turbulence process this regime forces (`None` keeps the model's).
+    pub fn turbulence(&self) -> Option<Turbulence> {
+        match self {
+            NoiseRegime::Turbulent => Some(Turbulence {
+                rate: 0.5,
+                scale_lo: 4.0,
+                scale_hi: 18.0,
+            }),
+            _ => None,
+        }
+    }
+
+    /// The contamination process this regime forces (`None` keeps the
+    /// model's).
+    pub fn contamination(&self) -> Option<Contamination> {
+        match self {
+            NoiseRegime::Contaminated => Some(Contamination {
+                rate: 0.25,
+                scale: 4.0,
+            }),
+            _ => None,
+        }
+    }
+}
+
 /// Bernoulli laggard injection (one victim thread per affected iteration).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LaggardProcess {
@@ -119,6 +211,25 @@ impl Contamination {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn noise_regime_labels_roundtrip() {
+        for r in NoiseRegime::all() {
+            assert_eq!(NoiseRegime::parse(r.label()), Some(r));
+        }
+        assert_eq!(NoiseRegime::parse("BASELINE"), Some(NoiseRegime::Baseline));
+        assert!(NoiseRegime::parse("quiet").is_none());
+    }
+
+    #[test]
+    fn noise_regime_overrides_are_exclusive() {
+        assert!(NoiseRegime::Baseline.laggards().is_none());
+        assert!(NoiseRegime::Baseline.turbulence().is_none());
+        assert!(NoiseRegime::Baseline.contamination().is_none());
+        assert!(NoiseRegime::Laggard.laggards().unwrap().rate > 0.5);
+        assert!(NoiseRegime::Turbulent.turbulence().unwrap().rate > 0.1);
+        assert!(NoiseRegime::Contaminated.contamination().unwrap().rate > 0.1);
+    }
 
     #[test]
     fn laggard_rate_is_respected() {

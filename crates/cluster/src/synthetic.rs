@@ -31,7 +31,7 @@ use ebird_stats::dist::{Exponential, Normal, Rng64, Sample, Uniform};
 use serde::{Deserialize, Serialize};
 
 use crate::job::JobConfig;
-use crate::noise::{Contamination, LaggardProcess, Turbulence};
+use crate::noise::{Contamination, LaggardProcess, NoiseRegime, Turbulence};
 
 /// One regime of an application's arrival behaviour (MiniMD has two).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -251,6 +251,27 @@ impl SyntheticApp {
     /// All three calibrated apps in paper order.
     pub fn all() -> [Self; 3] {
         [Self::minife(), Self::minimd(), Self::miniqmc()]
+    }
+
+    /// Re-skins this app under a [`NoiseRegime`]: every phase's disturbance
+    /// processes are replaced by the regime's (baseline keeps the calibrated
+    /// ones). The deterministic arrival core — medians, jitter, phase
+    /// structure, RNG streams — is untouched, so scenario campaigns vary one
+    /// disturbance axis at a time.
+    pub fn with_noise_regime(&self, regime: NoiseRegime) -> Self {
+        let mut model = self.model.clone();
+        for phase in &mut model.phases {
+            if let Some(l) = regime.laggards() {
+                phase.laggards = l;
+            }
+            if let Some(t) = regime.turbulence() {
+                phase.turbulence = t;
+            }
+            if let Some(c) = regime.contamination() {
+                phase.contamination = c;
+            }
+        }
+        Self::from_model(model)
     }
 
     /// The underlying model.
@@ -599,6 +620,36 @@ mod tests {
         );
         // Breadth of arrivals exceeds 30 ms (paper: over 40 ms at full scale).
         assert!(s.max - s.min > 30.0, "breadth {}", s.max - s.min);
+    }
+
+    #[test]
+    fn noise_regimes_reshape_disturbances_only() {
+        let base = SyntheticApp::minife();
+        // Baseline is the identity.
+        assert_eq!(base.with_noise_regime(NoiseRegime::Baseline), base);
+        let noisy = base.with_noise_regime(NoiseRegime::Laggard);
+        assert_eq!(noisy.name(), base.name());
+        // The laggard-heavy regime fires far more often than the calibrated
+        // 20.5% rate (its floor delay is 2 ms, well past the 1 ms threshold).
+        let lag_count = |app: &SyntheticApp| -> usize {
+            (0..300)
+                .filter(|&i| {
+                    let ms = app.process_iteration_ms(3, 0, 0, i, 32);
+                    let s = PercentileSummary::from_sample(&ms).unwrap();
+                    s.max - s.p50 > 1.0
+                })
+                .count()
+        };
+        let base_lagged = lag_count(&base);
+        let noisy_lagged = lag_count(&noisy);
+        assert!(
+            noisy_lagged > 200 && noisy_lagged > 2 * base_lagged,
+            "laggard regime fired {noisy_lagged}/300 vs baseline {base_lagged}/300"
+        );
+        // The arrival core is untouched: medians stay in the calibrated band.
+        let ms = noisy.process_iteration_ms(3, 0, 0, 7, 48);
+        let s = PercentileSummary::from_sample(&ms).unwrap();
+        assert!((s.p50 - 26.30).abs() < 1.0, "median {}", s.p50);
     }
 
     #[test]

@@ -20,10 +20,16 @@
 //! *loses*; with spread arrivals or laggards, early-bird overlaps transfers
 //! with the laggard's compute and wins. The `earlybird_strategies` bench
 //! quantifies this for all three applications' arrival shapes.
+//!
+//! Every strategy reduces to a *message plan* — `(inject_ms, bytes)` pairs in
+//! nondecreasing injection order — priced either against one sender's
+//! [`SerialLink`] ([`simulate`]) or, for the whole-job view the paper's §2
+//! argues about, against a shared [`Fabric`] with N concurrent sending ranks
+//! ([`simulate_fabric`]).
 
 use serde::{Deserialize, Serialize};
 
-use crate::netmodel::{LinkModel, SerialLink};
+use crate::netmodel::{Fabric, LinkModel, SerialLink};
 
 /// A delivery strategy for one partitioned buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -82,16 +88,15 @@ impl DeliveryOutcome {
 }
 
 /// Reusable buffers for [`simulate_with_scratch`]: the per-strategy working
-/// sets (arrival order, sent flags, bin events) that [`simulate`] would
+/// sets (arrival order, bin events, message plan) that [`simulate`] would
 /// otherwise allocate fresh on every call. One scratch per worker lets a
 /// trace-wide strategy sweep (thousands of process-iterations × strategies)
 /// run allocation-free after warm-up.
 #[derive(Debug, Clone, Default)]
 pub struct SimScratch {
     order: Vec<usize>,
-    sent: Vec<bool>,
-    group: Vec<usize>,
     events: Vec<(f64, usize)>,
+    plan: Vec<(f64, usize)>,
 }
 
 impl SimScratch {
@@ -125,18 +130,8 @@ pub fn simulate(
     )
 }
 
-/// [`simulate`] with caller-provided scratch buffers (identical outcomes;
-/// zero allocations after the buffers have grown to the partition count).
-///
-/// # Panics
-/// Same contract as [`simulate`].
-pub fn simulate_with_scratch(
-    arrivals_ms: &[f64],
-    bytes_total: usize,
-    link: &LinkModel,
-    strategy: Strategy,
-    scratch: &mut SimScratch,
-) -> DeliveryOutcome {
+/// Validates one arrival set and returns its last arrival.
+fn check_arrivals(arrivals_ms: &[f64], bytes_total: usize) -> f64 {
     assert!(!arrivals_ms.is_empty(), "need at least one arrival");
     assert!(
         arrivals_ms.iter().all(|a| a.is_finite() && *a >= 0.0),
@@ -146,11 +141,25 @@ pub fn simulate_with_scratch(
         bytes_total >= arrivals_ms.len(),
         "need ≥ 1 byte per partition"
     );
-    let n = arrivals_ms.len();
-    let last_arrival = arrivals_ms
+    arrivals_ms
         .iter()
         .copied()
-        .fold(f64::NEG_INFINITY, f64::max);
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Builds the message plan of one sender under `strategy` into
+/// `scratch.plan`: `(inject_ms, bytes)` pairs in nondecreasing injection
+/// order. Every strategy reduces to such a plan, which is what lets one
+/// kernel price a plan against a [`SerialLink`] or a rank's [`Fabric`] NIC
+/// interchangeably.
+fn plan_messages(
+    arrivals_ms: &[f64],
+    bytes_total: usize,
+    last_arrival: f64,
+    strategy: Strategy,
+    scratch: &mut SimScratch,
+) {
+    let n = arrivals_ms.len();
     let part_bytes = |i: usize| -> usize {
         // Equal split, remainder on the leading partitions.
         let q = bytes_total / n;
@@ -161,15 +170,15 @@ pub fn simulate_with_scratch(
             q
         }
     };
-
-    let mut link_state = SerialLink::new();
-    let (completion, messages) = match strategy {
+    let plan = &mut scratch.plan;
+    plan.clear();
+    match strategy {
         Strategy::Bulk => {
-            let done = link_state.inject(last_arrival, link.transfer_ms(bytes_total));
-            (done, 1)
+            plan.push((last_arrival, bytes_total));
         }
         Strategy::EarlyBird => {
-            // Inject per-partition at arrival, in arrival order.
+            // One message per partition at its thread's arrival, in arrival
+            // order (ties broken by partition index).
             let order = &mut scratch.order;
             order.clear();
             order.extend(0..n);
@@ -179,39 +188,62 @@ pub fn simulate_with_scratch(
                     .expect("finite")
                     .then(a.cmp(&b))
             });
-            let mut done = 0.0f64;
-            for &i in order.iter() {
-                done = link_state.inject(arrivals_ms[i], link.transfer_ms(part_bytes(i)));
-            }
-            (done, n)
+            plan.extend(order.iter().map(|&i| (arrivals_ms[i], part_bytes(i))));
         }
         Strategy::TimeoutFlush { timeout_ms } => {
             assert!(timeout_ms > 0.0, "timeout must be positive");
-            let sent = &mut scratch.sent;
-            sent.clear();
-            sent.resize(n, false);
-            let mut done = 0.0f64;
-            let mut messages = 0usize;
-            let mut tick = timeout_ms;
-            loop {
-                let flush_time = tick.min(last_arrival);
-                let group = &mut scratch.group;
-                group.clear();
-                group.extend((0..n).filter(|&i| !sent[i] && arrivals_ms[i] <= flush_time));
-                if !group.is_empty() {
-                    let bytes: usize = group.iter().map(|&i| part_bytes(i)).sum();
-                    done = link_state.inject(flush_time, link.transfer_ms(bytes));
-                    messages += 1;
-                    for &i in group.iter() {
-                        sent[i] = true;
+            // Walk partitions in arrival order and jump the tick straight to
+            // the next unsent arrival's flush boundary. The naive scan
+            // visited *every* `timeout_ms` tick and rescanned all `n`
+            // partitions at each — O((last_arrival/timeout)·n), a busy loop
+            // for tiny timeouts against a late last arrival. This pass is
+            // O(n log n) regardless of the timeout/arrival-span ratio and
+            // produces the same flush groups: a flush at boundary `k`
+            // consumes exactly the not-yet-sent partitions with
+            // `arrival ≤ min(k·timeout, last_arrival)`.
+            let order = &mut scratch.order;
+            order.clear();
+            order.extend(0..n);
+            order.sort_by(|&a, &b| {
+                arrivals_ms[a]
+                    .partial_cmp(&arrivals_ms[b])
+                    .expect("finite")
+                    .then(a.cmp(&b))
+            });
+            // Largest f64 whose neighbours are still 1 apart: tick counts
+            // past 2⁵³ cannot step by ±1, so boundary correction would spin.
+            const MAX_EXACT_TICK: f64 = 9_007_199_254_740_992.0;
+            let mut idx = 0usize;
+            while idx < n {
+                let next = arrivals_ms[order[idx]];
+                // Smallest tick count k ≥ 1 with k·timeout ≥ next. For
+                // representable tick counts the ±1 correction loops pin down
+                // quotient rounding at the boundary; the quotient is off by
+                // at most a few ulps, so they run at most a couple of steps.
+                let mut k = (next / timeout_ms).ceil().max(1.0);
+                let boundary = if k <= MAX_EXACT_TICK {
+                    while k > 1.0 && (k - 1.0) * timeout_ms >= next {
+                        k -= 1.0;
                     }
+                    while k * timeout_ms < next {
+                        k += 1.0;
+                    }
+                    k * timeout_ms
+                } else {
+                    // Degenerate ratio (next/timeout > 2⁵³, or infinite for
+                    // subnormal timeouts): the tick grid is finer than one
+                    // ulp of the arrival, so the flush boundary *is* the
+                    // arrival.
+                    next
+                };
+                let flush_ms = boundary.min(last_arrival);
+                let mut bytes = 0usize;
+                while idx < n && arrivals_ms[order[idx]] <= flush_ms {
+                    bytes += part_bytes(order[idx]);
+                    idx += 1;
                 }
-                if sent.iter().all(|&s| s) {
-                    break;
-                }
-                tick += timeout_ms;
+                plan.push((flush_ms, bytes));
             }
-            (done, messages)
         }
         Strategy::Binned { bins } => {
             assert!(bins >= 1 && bins <= n, "bins must be in 1..=partitions");
@@ -234,20 +266,137 @@ pub fn simulate_with_scratch(
                 (ready, bytes)
             }));
             events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
-            let mut done = 0.0f64;
-            for (ready, bytes) in events.iter() {
-                done = link_state.inject(*ready, link.transfer_ms(*bytes));
-            }
-            (done, bins)
+            plan.extend(events.iter().copied());
         }
-    };
+    }
+}
 
+/// [`simulate`] with caller-provided scratch buffers (identical outcomes;
+/// zero allocations after the buffers have grown to the partition count).
+///
+/// # Panics
+/// Same contract as [`simulate`].
+pub fn simulate_with_scratch(
+    arrivals_ms: &[f64],
+    bytes_total: usize,
+    link: &LinkModel,
+    strategy: Strategy,
+    scratch: &mut SimScratch,
+) -> DeliveryOutcome {
+    let last_arrival = check_arrivals(arrivals_ms, bytes_total);
+    plan_messages(arrivals_ms, bytes_total, last_arrival, strategy, scratch);
+    let mut link_state = SerialLink::new();
+    let mut completion = 0.0f64;
+    for &(inject_ms, bytes) in scratch.plan.iter() {
+        completion = link_state.inject(inject_ms, link.transfer_ms(bytes));
+    }
     DeliveryOutcome {
         strategy,
         completion_ms: completion,
         last_arrival_ms: last_arrival,
-        messages,
+        messages: scratch.plan.len(),
         wire_ms: link_state.busy_ms(),
+    }
+}
+
+/// Result of simulating one strategy across every rank of a [`Fabric`]:
+/// the whole-job view (§2's 49 nodes racing per-partition sends through a
+/// shared fabric) plus each rank's own [`DeliveryOutcome`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FabricOutcome {
+    /// The strategy every rank ran.
+    pub strategy: Strategy,
+    /// The fabric's contention coefficient.
+    pub contention: f64,
+    /// When the last rank's buffer completed delivery (ms).
+    pub completion_ms: f64,
+    /// The latest thread arrival across all ranks (ms).
+    pub last_arrival_ms: f64,
+    /// Total messages injected across all ranks.
+    pub messages: usize,
+    /// Total wire-busy time across all NICs (ms).
+    pub wire_ms: f64,
+    /// Per-rank outcomes, rank order.
+    pub per_rank: Vec<DeliveryOutcome>,
+}
+
+impl FabricOutcome {
+    /// Job-level exposed (non-overlapped) communication cost past the last
+    /// arrival anywhere in the job.
+    pub fn exposed_ms(&self) -> f64 {
+        self.completion_ms - self.last_arrival_ms
+    }
+}
+
+/// Simulates `rank_arrivals_ms.len()` concurrent senders, each delivering
+/// `bytes_per_rank` (split over its own partitions) through a shared
+/// [`Fabric`] under `strategy`.
+///
+/// With one rank and any contention, the per-rank outcome is bit-identical
+/// to [`simulate`] on the same arrivals — the fabric's contention taper is
+/// exactly `1.0` there.
+///
+/// # Panics
+/// Same per-rank contract as [`simulate`]; additionally on an empty rank
+/// list or a contention outside `[0, 1]`.
+pub fn simulate_fabric(
+    rank_arrivals_ms: &[Vec<f64>],
+    bytes_per_rank: usize,
+    link: &LinkModel,
+    contention: f64,
+    strategy: Strategy,
+) -> FabricOutcome {
+    simulate_fabric_with_scratch(
+        rank_arrivals_ms,
+        bytes_per_rank,
+        link,
+        contention,
+        strategy,
+        &mut SimScratch::new(),
+    )
+}
+
+/// [`simulate_fabric`] with caller-provided scratch buffers.
+///
+/// # Panics
+/// Same contract as [`simulate_fabric`].
+pub fn simulate_fabric_with_scratch(
+    rank_arrivals_ms: &[Vec<f64>],
+    bytes_per_rank: usize,
+    link: &LinkModel,
+    contention: f64,
+    strategy: Strategy,
+    scratch: &mut SimScratch,
+) -> FabricOutcome {
+    assert!(!rank_arrivals_ms.is_empty(), "need at least one rank");
+    let ranks = rank_arrivals_ms.len();
+    let mut fabric = Fabric::new(ranks, *link, contention);
+    let mut per_rank = Vec::with_capacity(ranks);
+    let mut job_last_arrival = f64::NEG_INFINITY;
+    for (rank, arrivals_ms) in rank_arrivals_ms.iter().enumerate() {
+        let last_arrival = check_arrivals(arrivals_ms, bytes_per_rank);
+        job_last_arrival = job_last_arrival.max(last_arrival);
+        plan_messages(arrivals_ms, bytes_per_rank, last_arrival, strategy, scratch);
+        let mut completion = 0.0f64;
+        for &(inject_ms, bytes) in scratch.plan.iter() {
+            completion = fabric.inject(rank, inject_ms, bytes);
+        }
+        per_rank.push(DeliveryOutcome {
+            strategy,
+            completion_ms: completion,
+            last_arrival_ms: last_arrival,
+            messages: scratch.plan.len(),
+            wire_ms: fabric.nic(rank).busy_ms(),
+        });
+    }
+    FabricOutcome {
+        strategy,
+        contention,
+        completion_ms: fabric.completion_ms(),
+        last_arrival_ms: job_last_arrival,
+        messages: per_rank.iter().map(|o| o.messages).sum(),
+        wire_ms: fabric.busy_ms(),
+        per_rank,
     }
 }
 
@@ -471,5 +620,277 @@ mod tests {
         let bulk = simulate(&[5.0], MB, &link, Strategy::Bulk);
         let eb = simulate(&[5.0], MB, &link, Strategy::EarlyBird);
         assert_eq!(bulk.completion_ms, eb.completion_ms);
+    }
+
+    /// The pre-fix `TimeoutFlush` simulation, verbatim: advance `tick` one
+    /// `timeout_ms` at a time and rescan every partition at each tick —
+    /// O((last_arrival/timeout)·n). Kept here as the regression oracle for
+    /// the boundary-jumping implementation.
+    fn timeout_flush_prefix_scan(
+        arrivals_ms: &[f64],
+        bytes_total: usize,
+        link: &LinkModel,
+        timeout_ms: f64,
+    ) -> DeliveryOutcome {
+        let n = arrivals_ms.len();
+        let last_arrival = arrivals_ms
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let part_bytes = |i: usize| -> usize {
+            let q = bytes_total / n;
+            let r = bytes_total % n;
+            if i < r {
+                q + 1
+            } else {
+                q
+            }
+        };
+        let mut link_state = SerialLink::new();
+        let mut sent = vec![false; n];
+        let mut done = 0.0f64;
+        let mut messages = 0usize;
+        let mut tick = timeout_ms;
+        loop {
+            let flush_time = tick.min(last_arrival);
+            let group: Vec<usize> = (0..n)
+                .filter(|&i| !sent[i] && arrivals_ms[i] <= flush_time)
+                .collect();
+            if !group.is_empty() {
+                let bytes: usize = group.iter().map(|&i| part_bytes(i)).sum();
+                done = link_state.inject(flush_time, link.transfer_ms(bytes));
+                messages += 1;
+                for &i in group.iter() {
+                    sent[i] = true;
+                }
+            }
+            if sent.iter().all(|&s| s) {
+                break;
+            }
+            tick += timeout_ms;
+        }
+        DeliveryOutcome {
+            strategy: Strategy::TimeoutFlush { timeout_ms },
+            completion_ms: done,
+            last_arrival_ms: last_arrival,
+            messages,
+            wire_ms: link_state.busy_ms(),
+        }
+    }
+
+    #[test]
+    fn timeout_flush_matches_prefix_scan_bit_for_bit() {
+        // Dyadic timeouts make the oracle's accumulated tick (t, t+t, …) and
+        // the fixed implementation's k·t boundaries exactly representable, so
+        // the comparison is bit-identical — any grouping or boundary
+        // difference between the old scan and the boundary-jumping rewrite
+        // would show up as a hard mismatch.
+        let link = LinkModel::omni_path();
+        let arrival_sets: Vec<Vec<f64>> = vec![
+            spread_arrivals(),
+            tight_arrivals(),
+            laggard_arrivals(),
+            vec![0.0, 0.25, 0.5, 1.0, 31.25, 31.5],
+            vec![7.0; 5],
+            vec![0.0],
+            // Arrivals exactly on flush boundaries.
+            (0..16).map(|i| i as f64 * 0.5).collect(),
+        ];
+        for arrivals in &arrival_sets {
+            for timeout in [0.25, 0.5, 1.0, 1.5, 2.0, 8.0, 64.0, 1024.0] {
+                let expect = timeout_flush_prefix_scan(arrivals, 8 * MB, &link, timeout);
+                let got = simulate(
+                    arrivals,
+                    8 * MB,
+                    &link,
+                    Strategy::TimeoutFlush {
+                        timeout_ms: timeout,
+                    },
+                );
+                assert_eq!(
+                    expect,
+                    got,
+                    "timeout {timeout}, {} arrivals",
+                    arrivals.len()
+                );
+            }
+        }
+    }
+
+    /// The pre-fix scan with drift-free ticks: identical structure to
+    /// [`timeout_flush_prefix_scan`] but the tick is `k·timeout` instead of
+    /// repeated addition. Isolates the *algorithmic* change (jumping over
+    /// empty ticks) from the arithmetic one for timeouts whose accumulated
+    /// ticks are not exactly representable.
+    fn timeout_flush_multiplied_scan(
+        arrivals_ms: &[f64],
+        bytes_total: usize,
+        link: &LinkModel,
+        timeout_ms: f64,
+    ) -> DeliveryOutcome {
+        let n = arrivals_ms.len();
+        let last_arrival = arrivals_ms
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let part_bytes = |i: usize| -> usize {
+            let q = bytes_total / n;
+            let r = bytes_total % n;
+            if i < r {
+                q + 1
+            } else {
+                q
+            }
+        };
+        let mut link_state = SerialLink::new();
+        let mut sent = vec![false; n];
+        let mut done = 0.0f64;
+        let mut messages = 0usize;
+        let mut k = 1.0f64;
+        loop {
+            let flush_time = (k * timeout_ms).min(last_arrival);
+            let group: Vec<usize> = (0..n)
+                .filter(|&i| !sent[i] && arrivals_ms[i] <= flush_time)
+                .collect();
+            if !group.is_empty() {
+                let bytes: usize = group.iter().map(|&i| part_bytes(i)).sum();
+                done = link_state.inject(flush_time, link.transfer_ms(bytes));
+                messages += 1;
+                for &i in group.iter() {
+                    sent[i] = true;
+                }
+            }
+            if sent.iter().all(|&s| s) {
+                break;
+            }
+            k += 1.0;
+        }
+        DeliveryOutcome {
+            strategy: Strategy::TimeoutFlush { timeout_ms },
+            completion_ms: done,
+            last_arrival_ms: last_arrival,
+            messages,
+            wire_ms: link_state.busy_ms(),
+        }
+    }
+
+    #[test]
+    fn timeout_flush_matches_full_scan_for_arbitrary_timeouts() {
+        // For non-dyadic timeouts the old accumulated tick drifts by ulps
+        // from `k·timeout`, which can flip a partition sitting exactly on a
+        // flush boundary between groups — so the fixed implementation defines
+        // boundaries drift-free and is compared bit-for-bit against the same
+        // exhaustive scan with the same drift-free ticks. (Dyadic timeouts,
+        // where the pre-fix arithmetic is exact, are covered verbatim by
+        // `timeout_flush_matches_prefix_scan_bit_for_bit`.)
+        let link = LinkModel::omni_path();
+        for arrivals in [spread_arrivals(), tight_arrivals(), laggard_arrivals()] {
+            for timeout in [0.1, 0.3, 0.7, 1.1, 3.3, 9.9, 70.1] {
+                let expect = timeout_flush_multiplied_scan(&arrivals, 8 * MB, &link, timeout);
+                let got = simulate(
+                    &arrivals,
+                    8 * MB,
+                    &link,
+                    Strategy::TimeoutFlush {
+                        timeout_ms: timeout,
+                    },
+                );
+                assert_eq!(expect, got, "timeout {timeout}");
+            }
+        }
+    }
+
+    #[test]
+    fn timeout_flush_extreme_ratios_terminate() {
+        // next/timeout past 2⁵³ (or infinite): tick counts stop being exact
+        // integers and ±1 correction cannot make progress — the fallback
+        // flushes at the arrival itself instead of spinning forever.
+        let link = LinkModel::omni_path();
+        for timeout in [1e-300, 1e-18, f64::MIN_POSITIVE] {
+            let o = simulate(
+                &[1.0, 2.0, 2.0, 70.0],
+                100,
+                &link,
+                Strategy::TimeoutFlush {
+                    timeout_ms: timeout,
+                },
+            );
+            assert_eq!(o.messages, 3, "timeout {timeout:e}");
+            assert!(o.completion_ms >= o.last_arrival_ms);
+        }
+    }
+
+    #[test]
+    fn timeout_flush_tiny_timeout_is_not_degenerate() {
+        // The motivating bug: a 1 ns flush period against a 70 ms last
+        // arrival made the old scan walk ~7·10⁷ ticks × 48 partitions. The
+        // boundary-jumping pass is O(n log n) and finishes instantly.
+        let link = LinkModel::omni_path();
+        let o = simulate(
+            &spread_arrivals(),
+            8 * MB,
+            &link,
+            Strategy::TimeoutFlush { timeout_ms: 1e-6 },
+        );
+        // Sub-µs flushing degenerates to early-bird message counts.
+        assert_eq!(o.messages, 48);
+        assert!(o.completion_ms >= o.last_arrival_ms);
+    }
+
+    #[test]
+    fn fabric_single_rank_is_bit_identical_to_serial_link() {
+        let link = LinkModel::high_latency();
+        for arrivals in [spread_arrivals(), tight_arrivals(), laggard_arrivals()] {
+            for s in [
+                Strategy::Bulk,
+                Strategy::EarlyBird,
+                Strategy::TimeoutFlush { timeout_ms: 2.0 },
+                Strategy::Binned { bins: 6 },
+            ] {
+                let solo = simulate(&arrivals, 8 * MB, &link, s);
+                let fabric =
+                    simulate_fabric(std::slice::from_ref(&arrivals), 8 * MB, &link, 0.7, s);
+                assert_eq!(fabric.per_rank.len(), 1);
+                assert_eq!(fabric.per_rank[0], solo, "{}", s.label());
+                assert_eq!(fabric.completion_ms, solo.completion_ms);
+                assert_eq!(fabric.wire_ms, solo.wire_ms);
+                assert_eq!(fabric.messages, solo.messages);
+                assert_eq!(fabric.last_arrival_ms, solo.last_arrival_ms);
+            }
+        }
+    }
+
+    #[test]
+    fn fabric_zero_contention_ranks_match_independent_links() {
+        let link = LinkModel::omni_path();
+        let per_rank: Vec<Vec<f64>> = vec![spread_arrivals(), tight_arrivals(), laggard_arrivals()];
+        let fabric = simulate_fabric(&per_rank, 8 * MB, &link, 0.0, Strategy::EarlyBird);
+        for (arrivals, rank_outcome) in per_rank.iter().zip(&fabric.per_rank) {
+            let solo = simulate(arrivals, 8 * MB, &link, Strategy::EarlyBird);
+            assert_eq!(*rank_outcome, solo);
+        }
+        assert_eq!(
+            fabric.completion_ms,
+            fabric
+                .per_rank
+                .iter()
+                .map(|o| o.completion_ms)
+                .fold(0.0, f64::max)
+        );
+    }
+
+    #[test]
+    fn fabric_contention_slows_the_job() {
+        let link = LinkModel::omni_path();
+        let per_rank: Vec<Vec<f64>> = (0..8).map(|_| tight_arrivals()).collect();
+        let free = simulate_fabric(&per_rank, 8 * MB, &link, 0.0, Strategy::Bulk);
+        let shared = simulate_fabric(&per_rank, 8 * MB, &link, 1.0, Strategy::Bulk);
+        assert!(
+            shared.completion_ms > free.completion_ms,
+            "shared {} vs free {}",
+            shared.completion_ms,
+            free.completion_ms
+        );
+        assert!(shared.exposed_ms() > free.exposed_ms());
     }
 }

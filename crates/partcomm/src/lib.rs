@@ -14,12 +14,16 @@
 //!   per-partition readiness flags with safe, lock-free publication.
 //! * [`transport`] — an in-memory rank-to-rank message transport (the MPI
 //!   substitute), with real threaded send/recv.
-//! * [`netmodel`] — the α + β·bytes link-cost model and a work-conserving
-//!   serializing link for delivery simulation.
+//! * [`netmodel`] — the α + β·bytes link-cost model, a work-conserving
+//!   serializing link, and the multi-rank [`Fabric`](netmodel::Fabric)
+//!   (per-rank NICs behind a shared spine with configurable injection-rate
+//!   contention) for delivery simulation.
 //! * [`earlybird`] — the delivery simulator: given per-thread arrival times
 //!   (measured or synthetic), compare **bulk-synchronous**, **early-bird
 //!   per-partition**, **timeout-flush** and **binned aggregation** strategies
-//!   (the Discussion section's proposals) on the same link model.
+//!   (the Discussion section's proposals) on the same link model — one sender
+//!   on a [`SerialLink`](netmodel::SerialLink) or N concurrent ranks on a
+//!   shared fabric.
 //! * [`session`] — persistent partitioned sessions: the full
 //!   `Psend_init`/`Start`/`Pready`/`Parrived`/`Wait` lifecycle over the
 //!   transport, with eager per-partition (early-bird) transmission.
@@ -33,9 +37,10 @@ pub mod session;
 pub mod transport;
 
 pub use earlybird::{
-    compare_strategies, simulate, simulate_with_scratch, DeliveryOutcome, SimScratch, Strategy,
+    compare_strategies, simulate, simulate_fabric, simulate_fabric_with_scratch,
+    simulate_with_scratch, DeliveryOutcome, FabricOutcome, SimScratch, Strategy,
 };
-pub use netmodel::LinkModel;
+pub use netmodel::{Fabric, LinkModel};
 pub use partition::PartitionedBuffer;
-pub use session::{PrecvSession, PsendSession};
-pub use transport::{Endpoint, Message, Transport};
+pub use session::{PrecvSession, PsendSession, SessionError};
+pub use transport::{Endpoint, Message, Transport, TransportError};

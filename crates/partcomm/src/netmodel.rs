@@ -1,11 +1,14 @@
-//! The α + β·bytes link-cost model and a work-conserving serializing link.
+//! The α + β·bytes link-cost model, a work-conserving serializing link, and
+//! a multi-rank fabric.
 //!
 //! Delivery simulation needs a network cost model, not a real network. The
 //! classic postal/LogP-style model prices one message of `n` bytes at
 //! `α + β·n` (startup latency plus inverse bandwidth). The [`SerialLink`]
 //! schedules injected messages through a single channel in injection order —
 //! the same serialization an MPI implementation's send engine applies to one
-//! peer connection.
+//! peer connection. The [`Fabric`] scales that to a whole job: one
+//! serializing NIC per sending rank behind a shared spine whose effective
+//! bandwidth tapers with configurable injection-rate contention.
 //!
 //! Default parameters approximate the paper's Omni-Path fabric: ~1 µs
 //! startup, 100 Gbit/s ≈ 12.5 GB/s.
@@ -56,6 +59,9 @@ pub struct SerialLink {
     free_at_ms: f64,
     /// Cumulative busy time (ms) — utilization diagnostics.
     busy_ms: f64,
+    /// Most recent injection time (ms) — enforces the nondecreasing-injection
+    /// contract in debug builds.
+    last_inject_ms: f64,
 }
 
 impl SerialLink {
@@ -68,10 +74,19 @@ impl SerialLink {
     /// returns its completion (last-byte delivery) time.
     ///
     /// Messages must be injected in nondecreasing order of injection time
-    /// (callers sort first); debug builds assert it implicitly via the
-    /// monotone `free_at_ms`.
+    /// (callers sort first); debug builds assert it against the tracked last
+    /// injection time. Out-of-order injection would silently produce wrong
+    /// queueing (`free_at_ms` only ratchets forward, so an earlier message
+    /// would be priced as if it arrived after a later one).
     pub fn inject(&mut self, inject_ms: f64, transfer_ms: f64) -> f64 {
         debug_assert!(inject_ms >= 0.0 && transfer_ms >= 0.0);
+        debug_assert!(
+            inject_ms >= self.last_inject_ms,
+            "messages must be injected in nondecreasing time order \
+             ({inject_ms} ms after {} ms)",
+            self.last_inject_ms
+        );
+        self.last_inject_ms = inject_ms;
         let start = inject_ms.max(self.free_at_ms);
         self.free_at_ms = start + transfer_ms;
         self.busy_ms += transfer_ms;
@@ -86,6 +101,90 @@ impl SerialLink {
     /// Total wire-busy time so far.
     pub fn busy_ms(&self) -> f64 {
         self.busy_ms
+    }
+}
+
+/// A whole-job fabric: one serializing NIC per sending rank behind a shared
+/// spine with configurable injection-rate contention.
+///
+/// Each rank owns a [`SerialLink`] — its NIC serializes that rank's
+/// injections exactly like the single-sender model — while contention for
+/// the shared spine is priced by tapering effective per-byte bandwidth:
+///
+/// ```text
+/// β_eff = β · (1 + contention · (ranks − 1))
+/// ```
+///
+/// `contention = 0` models full bisection bandwidth (ranks never slow each
+/// other down); `contention = 1` models one fully shared bottleneck
+/// (aggregate bandwidth fixed at a single link's worth however many ranks
+/// inject). α is untouched: message startup is a per-NIC property. With one
+/// rank the taper factor is exactly `1.0`, so a 1-rank fabric is
+/// bit-identical to a bare [`SerialLink`] at any contention setting.
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    effective: LinkModel,
+    contention: f64,
+    nics: Vec<SerialLink>,
+}
+
+impl Fabric {
+    /// A fabric of `ranks` idle NICs sharing `link` under `contention`
+    /// ∈ `[0, 1]`.
+    pub fn new(ranks: usize, link: LinkModel, contention: f64) -> Self {
+        assert!(ranks >= 1, "need at least one rank");
+        assert!(
+            (0.0..=1.0).contains(&contention),
+            "contention must be in [0, 1]"
+        );
+        let taper = 1.0 + contention * (ranks - 1) as f64;
+        Fabric {
+            effective: LinkModel::new(link.alpha_ms, link.beta_ms_per_byte * taper),
+            contention,
+            nics: vec![SerialLink::new(); ranks],
+        }
+    }
+
+    /// Number of sending ranks.
+    pub fn ranks(&self) -> usize {
+        self.nics.len()
+    }
+
+    /// The contention coefficient this fabric was built with.
+    pub fn contention(&self) -> f64 {
+        self.contention
+    }
+
+    /// The contention-tapered link model every injection is priced with.
+    pub fn effective_link(&self) -> &LinkModel {
+        &self.effective
+    }
+
+    /// Injects a `bytes`-byte message from `rank` at `inject_ms`; returns its
+    /// completion time. Per-rank injections must be nondecreasing in time
+    /// (same contract as [`SerialLink::inject`]); different ranks are
+    /// independent channels and may interleave freely.
+    pub fn inject(&mut self, rank: usize, inject_ms: f64, bytes: usize) -> f64 {
+        let transfer = self.effective.transfer_ms(bytes);
+        self.nics[rank].inject(inject_ms, transfer)
+    }
+
+    /// Read-only view of one rank's NIC.
+    pub fn nic(&self, rank: usize) -> &SerialLink {
+        &self.nics[rank]
+    }
+
+    /// Time the whole job's traffic has drained (max NIC free time).
+    pub fn completion_ms(&self) -> f64 {
+        self.nics
+            .iter()
+            .map(SerialLink::free_at_ms)
+            .fold(0.0, f64::max)
+    }
+
+    /// Total wire-busy time across all NICs.
+    pub fn busy_ms(&self) -> f64 {
+        self.nics.iter().map(SerialLink::busy_ms).sum()
     }
 }
 
@@ -145,5 +244,79 @@ mod tests {
     #[should_panic]
     fn negative_alpha_rejected() {
         LinkModel::new(-1.0, 0.0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "nondecreasing")]
+    fn out_of_order_injection_asserts_in_debug() {
+        let mut link = SerialLink::new();
+        link.inject(5.0, 1.0);
+        link.inject(4.0, 1.0); // earlier than the previous injection
+    }
+
+    #[test]
+    fn single_rank_fabric_matches_serial_link() {
+        // The acceptance identity: any contention setting, one rank, same
+        // bits as the bare link.
+        let model = LinkModel::omni_path();
+        for contention in [0.0, 0.3, 1.0] {
+            let mut fabric = Fabric::new(1, model, contention);
+            let mut link = SerialLink::new();
+            for (t, bytes) in [(0.5, 1_000_000), (0.6, 2_000), (9.0, 512)] {
+                let a = fabric.inject(0, t, bytes);
+                let b = link.inject(t, model.transfer_ms(bytes));
+                assert_eq!(a, b, "contention {contention}");
+            }
+            assert_eq!(fabric.completion_ms(), link.free_at_ms());
+            assert_eq!(fabric.busy_ms(), link.busy_ms());
+            assert_eq!(
+                fabric.effective_link().beta_ms_per_byte,
+                model.beta_ms_per_byte
+            );
+        }
+    }
+
+    #[test]
+    fn zero_contention_ranks_are_independent() {
+        let model = LinkModel::high_latency();
+        let mut fabric = Fabric::new(4, model, 0.0);
+        // All four ranks inject at the same instant; none queues behind
+        // another (full bisection bandwidth).
+        let solo = SerialLink::new().inject(1.0, model.transfer_ms(1_000_000));
+        for rank in 0..4 {
+            assert_eq!(fabric.inject(rank, 1.0, 1_000_000), solo);
+        }
+        assert_eq!(fabric.completion_ms(), solo);
+    }
+
+    #[test]
+    fn full_contention_divides_bandwidth() {
+        // γ = 1 with R ranks: each byte costs R× the solo per-byte time.
+        let model = LinkModel::new(0.0, 1.0e-6);
+        let mut fabric = Fabric::new(8, model, 1.0);
+        let done = fabric.inject(3, 0.0, 1_000);
+        assert!((done - 8.0e-3).abs() < 1e-12, "done {done}");
+    }
+
+    #[test]
+    fn contention_is_monotone_in_completion() {
+        let model = LinkModel::omni_path();
+        let mut prev = 0.0;
+        for contention in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let mut fabric = Fabric::new(6, model, contention);
+            let mut done = 0.0f64;
+            for rank in 0..6 {
+                done = done.max(fabric.inject(rank, 0.0, 4_000_000));
+            }
+            assert!(done >= prev, "completion must not improve with contention");
+            prev = done;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "contention")]
+    fn out_of_range_contention_rejected() {
+        Fabric::new(2, LinkModel::omni_path(), 1.5);
     }
 }

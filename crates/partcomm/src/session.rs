@@ -198,6 +198,10 @@ impl PrecvSession {
 
     /// Blocks until every partition of the current round has arrived and
     /// returns the assembled payload (`MPI_Wait`).
+    ///
+    /// Blocks forever if a partition is never sent — use
+    /// [`wait_deadline`](Self::wait_deadline) when the sender might fail
+    /// mid-round.
     pub fn wait(&mut self) -> Result<&[u8], SessionError> {
         // Replay stashed messages for this round first.
         let stash = std::mem::take(&mut self.stash);
@@ -206,6 +210,22 @@ impl PrecvSession {
         }
         while self.arrived_count < self.buffer.partitions() {
             let msg = self.endpoint.recv()?;
+            self.accept(msg.tag, msg.payload);
+        }
+        Ok(&self.assembled)
+    }
+
+    /// [`wait`](Self::wait) with a deadline: a dropped partition surfaces as
+    /// `SessionError::Transport(TransportError::Timeout)` after `timeout`
+    /// instead of hanging the receiver.
+    pub fn wait_deadline(&mut self, timeout: std::time::Duration) -> Result<&[u8], SessionError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let stash = std::mem::take(&mut self.stash);
+        for (tag, payload) in stash {
+            self.accept(tag, payload);
+        }
+        while self.arrived_count < self.buffer.partitions() {
+            let msg = self.endpoint.recv_deadline(deadline)?;
             self.accept(msg.tag, msg.payload);
         }
         Ok(&self.assembled)
@@ -347,6 +367,30 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(recv.wait().unwrap(), payload.as_slice());
+    }
+
+    #[test]
+    fn wait_deadline_completes_and_times_out() {
+        use std::time::Duration;
+        let (send, mut recv) = pair(3, 30);
+        send.start(&[9u8; 30]).unwrap();
+        recv.start();
+        for i in 0..3 {
+            send.pready(i).unwrap();
+        }
+        assert_eq!(
+            recv.wait_deadline(Duration::from_secs(1)).unwrap(),
+            &[9u8; 30][..]
+        );
+        // Next round drops partition 1: the wait must error, not hang.
+        send.start(&[4u8; 30]).unwrap();
+        recv.start();
+        send.pready(0).unwrap();
+        send.pready(2).unwrap();
+        match recv.wait_deadline(Duration::from_millis(20)) {
+            Err(SessionError::Transport(crate::transport::TransportError::Timeout)) => {}
+            other => panic!("expected timeout, got {other:?}"),
+        }
     }
 
     #[test]

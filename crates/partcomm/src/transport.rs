@@ -6,6 +6,8 @@
 //! rule for matching sends). Tags let a receiver demultiplex partitioned
 //! traffic from different rounds.
 
+use std::time::{Duration, Instant};
+
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 
 /// A transported message.
@@ -39,6 +41,9 @@ pub enum TransportError {
     },
     /// All senders to this endpoint were dropped.
     Disconnected,
+    /// A deadline receive expired before the expected messages arrived —
+    /// e.g. a sender dropped a partition and will never complete the round.
+    Timeout,
 }
 
 impl std::fmt::Display for TransportError {
@@ -48,6 +53,7 @@ impl std::fmt::Display for TransportError {
                 write!(f, "destination rank {dst} does not exist ({ranks} ranks)")
             }
             TransportError::Disconnected => write!(f, "transport disconnected"),
+            TransportError::Timeout => write!(f, "receive deadline expired"),
         }
     }
 }
@@ -94,8 +100,34 @@ impl Endpoint {
         }
     }
 
+    /// Blocks until a message arrives or `deadline` passes
+    /// ([`TransportError::Timeout`]). Polls the inbox, yielding between
+    /// polls — in-memory delivery latency is far below the sleep quantum, so
+    /// the poll loop is cold except while genuinely waiting.
+    pub fn recv_deadline(&self, deadline: Instant) -> Result<Message, TransportError> {
+        loop {
+            if let Some(m) = self.try_recv()? {
+                return Ok(m);
+            }
+            if Instant::now() >= deadline {
+                return Err(TransportError::Timeout);
+            }
+            std::thread::yield_now();
+            std::thread::sleep(Duration::from_micros(20));
+        }
+    }
+
+    /// [`recv_deadline`](Self::recv_deadline) with a relative timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Message, TransportError> {
+        self.recv_deadline(Instant::now() + timeout)
+    }
+
     /// Receives until `n` messages with `tag` have arrived; other tags are
     /// returned too (in arrival order). Convenience for partitioned waits.
+    ///
+    /// Blocks forever if fewer than `n` matching messages ever arrive — use
+    /// [`recv_n_with_tag_deadline`](Self::recv_n_with_tag_deadline) when the
+    /// sender might fail mid-round.
     pub fn recv_n_with_tag(
         &self,
         tag_filter: impl Fn(u64) -> bool,
@@ -105,6 +137,29 @@ impl Endpoint {
         let mut out = Vec::new();
         while matched < n {
             let m = self.recv()?;
+            if tag_filter(m.tag) {
+                matched += 1;
+            }
+            out.push(m);
+        }
+        Ok(out)
+    }
+
+    /// [`recv_n_with_tag`](Self::recv_n_with_tag) with a deadline: if fewer
+    /// than `n` matching messages arrive before `timeout` elapses, returns
+    /// [`TransportError::Timeout`] instead of hanging — a dropped partition
+    /// surfaces as an error.
+    pub fn recv_n_with_tag_deadline(
+        &self,
+        tag_filter: impl Fn(u64) -> bool,
+        n: usize,
+        timeout: Duration,
+    ) -> Result<Vec<Message>, TransportError> {
+        let deadline = Instant::now() + timeout;
+        let mut matched = 0usize;
+        let mut out = Vec::new();
+        while matched < n {
+            let m = self.recv_deadline(deadline)?;
             if tag_filter(m.tag) {
                 matched += 1;
             }
@@ -226,6 +281,38 @@ mod tests {
             assembled[range].copy_from_slice(&m.payload);
         }
         assert_eq!(assembled, data);
+    }
+
+    #[test]
+    fn recv_deadline_returns_messages_and_times_out() {
+        let eps = Transport::connect(2);
+        eps[0].send(1, 3, vec![5]).unwrap();
+        let m = eps[1].recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(m.payload, vec![5]);
+        // Nothing further is coming: the deadline must surface, not hang.
+        assert_eq!(
+            eps[1].recv_timeout(Duration::from_millis(10)),
+            Err(TransportError::Timeout)
+        );
+    }
+
+    #[test]
+    fn recv_n_with_tag_deadline_surfaces_dropped_partition() {
+        let eps = Transport::connect(2);
+        // Only 2 of the 3 expected partition messages are ever sent.
+        eps[0].send(1, 0, vec![0]).unwrap();
+        eps[0].send(1, 1, vec![1]).unwrap();
+        let r = eps[1].recv_n_with_tag_deadline(|_| true, 3, Duration::from_millis(20));
+        assert_eq!(r, Err(TransportError::Timeout));
+        // All three present: completes well before the deadline.
+        let eps = Transport::connect(2);
+        for p in 0..3u64 {
+            eps[0].send(1, p, vec![p as u8]).unwrap();
+        }
+        let msgs = eps[1]
+            .recv_n_with_tag_deadline(|_| true, 3, Duration::from_secs(1))
+            .unwrap();
+        assert_eq!(msgs.len(), 3);
     }
 
     #[test]

@@ -74,13 +74,21 @@ pub fn render_metrics(
     out
 }
 
+/// Serializes one row as a single JSON line (no trailing newline) — the
+/// streaming unit of the scenario table format. The campaign service emits
+/// exactly this per completed cell, so a streamed table is byte-identical to
+/// a batch [`json_lines`] render of the same rows.
+pub fn json_line<T: Serialize>(row: &T) -> Result<String, serde_json::Error> {
+    serde_json::to_string(row)
+}
+
 /// Serializes `rows` as JSON Lines — one JSON object per line, the scenario
 /// campaign's machine-readable table format (each line is independently
 /// parseable, so tables stream and concatenate).
 pub fn json_lines<T: Serialize>(rows: &[T]) -> Result<String, serde_json::Error> {
     let mut out = String::new();
     for row in rows {
-        out.push_str(&serde_json::to_string(row)?);
+        out.push_str(&json_line(row)?);
         out.push('\n');
     }
     Ok(out)

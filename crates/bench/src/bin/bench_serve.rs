@@ -1,0 +1,182 @@
+//! `bench_serve` — throughput of the campaign service, cached vs uncached,
+//! writing `BENCH_SERVE.json`.
+//!
+//! ```text
+//! bench_serve [--threads N] [--repeats N] [--smoke|--full] [--out PATH]
+//! ```
+//!
+//! Starts an in-process server on an ephemeral port (memory-only cache),
+//! submits the matrix once cold (every cell computed), then `--repeats`
+//! times warm (every cell a cache hit), and reports wall-clock, rows/sec and
+//! requests/sec for both regimes plus the cache-hit speedup factor. The run
+//! fails loudly if any warm stream is not byte-identical to the cold one or
+//! if the warm submissions recompute anything.
+//!
+//! Defaults: `available_parallelism()` workers, best-of-5 warm repeats, the
+//! 48-cell smoke matrix (`--full` switches to the 288-cell campaign),
+//! `BENCH_SERVE.json` in the working directory.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use ebird_bench::scenario::ScenarioMatrix;
+use ebird_serve::{client, MatrixSource, Server, ServerConfig};
+use serde::Serialize;
+
+/// The benchmark's JSON report (one object, `BENCH_SERVE.json`).
+#[derive(Debug, Serialize)]
+struct ServeReport {
+    matrix_cells: usize,
+    threads: usize,
+    warm_repeats: usize,
+    /// Cold submission (all cells computed) wall-clock.
+    uncached_ms: f64,
+    /// Cold rows per second.
+    uncached_rows_per_s: f64,
+    /// Cold requests per second (1 / uncached seconds).
+    uncached_requests_per_s: f64,
+    /// Best warm submission (all cells cached) wall-clock.
+    cached_ms: f64,
+    /// Warm rows per second (best run).
+    cached_rows_per_s: f64,
+    /// Warm requests per second (best run).
+    cached_requests_per_s: f64,
+    /// `uncached_ms / cached_ms` — what the content-addressed cache buys.
+    cache_speedup: f64,
+    /// Whether every warm stream matched the cold stream byte-for-byte.
+    bit_identical: bool,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(msg) = run(&args) {
+        eprintln!("error: {msg}");
+        eprintln!();
+        eprintln!("usage: bench_serve [--threads N] [--repeats N] [--smoke|--full] [--out PATH]");
+        std::process::exit(2);
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut repeats = 5usize;
+    let mut smoke = true;
+    let mut out = std::path::PathBuf::from("BENCH_SERVE.json");
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                threads = v
+                    .parse()
+                    .map_err(|e| format!("bad thread count `{v}`: {e}"))?;
+                if threads == 0 {
+                    return Err("--threads must be ≥ 1".into());
+                }
+            }
+            "--repeats" => {
+                let v = it.next().ok_or("--repeats needs a value")?;
+                repeats = v
+                    .parse()
+                    .map_err(|e| format!("bad repeat count `{v}`: {e}"))?;
+                if repeats == 0 {
+                    return Err("--repeats must be ≥ 1".into());
+                }
+            }
+            "--smoke" => smoke = true,
+            "--full" => smoke = false,
+            "--out" => {
+                let v = it.next().ok_or("--out needs a value")?;
+                out = std::path::PathBuf::from(v);
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+
+    let matrix = if smoke {
+        ScenarioMatrix::smoke()
+    } else {
+        ScenarioMatrix::full()
+    };
+    let cells = matrix.len();
+    let source = MatrixSource::Inline(matrix);
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            threads,
+            cache_dir: None,
+        },
+    )?;
+    let addr = server.local_addr().to_string();
+    let server_thread = std::thread::spawn(move || server.run());
+    eprintln!("# serve benchmark: {cells} cells, {threads} worker thread(s), {repeats} warm repeat(s) on {addr}");
+
+    let cold_start = Instant::now();
+    let cold = client::submit(&addr, &source, 0)?;
+    let uncached_ms = cold_start.elapsed().as_secs_f64() * 1e3;
+    if cold.footer.computed != cells {
+        return Err(format!(
+            "cold submission computed {} of {cells} cells (cache not cold?)",
+            cold.footer.computed
+        ));
+    }
+
+    let mut cached_ms = f64::INFINITY;
+    let mut bit_identical = true;
+    for _ in 0..repeats {
+        let warm_start = Instant::now();
+        let warm = client::submit(&addr, &source, 0)?;
+        cached_ms = cached_ms.min(warm_start.elapsed().as_secs_f64() * 1e3);
+        if warm.footer.computed != 0 {
+            return Err(format!(
+                "warm submission recomputed {} cells",
+                warm.footer.computed
+            ));
+        }
+        bit_identical &= warm.rows == cold.rows;
+    }
+    if !bit_identical {
+        return Err("a warm stream diverged from the cold stream".into());
+    }
+
+    client::shutdown(&addr)?;
+    server_thread
+        .join()
+        .map_err(|_| "server thread panicked".to_string())??;
+
+    let report = ServeReport {
+        matrix_cells: cells,
+        threads,
+        warm_repeats: repeats,
+        uncached_ms,
+        uncached_rows_per_s: cells as f64 / (uncached_ms / 1e3),
+        uncached_requests_per_s: 1e3 / uncached_ms,
+        cached_ms,
+        cached_rows_per_s: cells as f64 / (cached_ms / 1e3),
+        cached_requests_per_s: 1e3 / cached_ms,
+        cache_speedup: uncached_ms / cached_ms,
+        bit_identical,
+    };
+    println!(
+        "uncached submit: {:>9.3} ms ({:>8.0} rows/s, {:>6.2} req/s)",
+        report.uncached_ms, report.uncached_rows_per_s, report.uncached_requests_per_s
+    );
+    println!(
+        "cached submit:   {:>9.3} ms ({:>8.0} rows/s, {:>6.2} req/s)",
+        report.cached_ms, report.cached_rows_per_s, report.cached_requests_per_s
+    );
+    println!(
+        "cache-hit speedup: {:.1}×, streams bit-identical",
+        report.cache_speedup
+    );
+
+    let json = serde_json::to_string(&report).map_err(|e| format!("serializing report: {e}"))?;
+    let mut f =
+        std::fs::File::create(&out).map_err(|e| format!("creating {}: {e}", out.display()))?;
+    f.write_all(json.as_bytes())
+        .map_err(|e| format!("writing {}: {e}", out.display()))?;
+    eprintln!("# wrote {}", out.display());
+    Ok(())
+}

@@ -3,7 +3,8 @@
 //! ```text
 //! repro [--scale paper|ci] [--seed N] [--source synthetic|real]
 //!       [--threads N] [--csv-dir DIR]
-//!       [--smoke] [--matrix FILE] [--out FILE] <experiment>
+//!       [--smoke] [--matrix FILE] [--out FILE]
+//!       [--addr HOST:PORT] [--cache-dir DIR] [--priority N] <experiment>
 //!
 //! experiments:
 //!   table1          process-iteration normality pass rates (Table 1)
@@ -22,7 +23,20 @@
 //!                   loads a custom ScenarioMatrix JSON (whose own seed
 //!                   governs; --seed applies to the built-in matrices),
 //!                   --out also writes the rows to a file
-//!   all             everything above except scenarios
+//!   serve           run the campaign service on --addr (default
+//!                   127.0.0.1:4750): accepts line-JSON submit/fetch/
+//!                   status/shutdown requests, schedules cells on the
+//!                   worker pool, memoizes rows in a content-addressed
+//!                   cache (--cache-dir persists it; see PROTOCOL.md)
+//!   submit          submit a matrix (--smoke / --matrix / full default)
+//!                   to a running server; streamed rows go to stdout and
+//!                   are byte-identical to the offline `scenarios` table,
+//!                   --priority orders the queue, --out also writes a file
+//!   fetch           like submit but cache-only: errors unless every cell
+//!                   of the matrix is already cached
+//!   status          print the server's queue/cache/service counters
+//!   shutdown        ask the server on --addr to drain and stop
+//!   all             everything above except scenarios and the service verbs
 //! ```
 //!
 //! Defaults: paper scale, synthetic source, seed 20230421, and one worker
@@ -49,6 +63,9 @@ use ebird_core::TimingTrace;
 use ebird_partcomm::{compare_strategies, LinkModel};
 use ebird_runtime::Pool;
 
+/// Default campaign-service address for `serve`/`submit`/`fetch`/`shutdown`.
+const DEFAULT_ADDR: &str = "127.0.0.1:4750";
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
@@ -56,8 +73,8 @@ fn main() {
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!();
-            eprintln!("usage: repro [--scale paper|ci] [--seed N] [--source synthetic|real] [--threads N] [--csv-dir DIR] [--smoke] [--matrix FILE] [--out FILE] <experiment>");
-            eprintln!("experiments: table1 app-normality iter-normality fig3 fig4 fig5 fig6 fig7 fig8 fig9 metrics earlybird battery fit scenarios all");
+            eprintln!("usage: repro [--scale paper|ci] [--seed N] [--source synthetic|real] [--threads N] [--csv-dir DIR] [--smoke] [--matrix FILE] [--out FILE] [--addr HOST:PORT] [--cache-dir DIR] [--priority N] <experiment>");
+            eprintln!("experiments: table1 app-normality iter-normality fig3 fig4 fig5 fig6 fig7 fig8 fig9 metrics earlybird battery fit scenarios serve submit fetch status shutdown all");
             std::process::exit(2);
         }
     }
@@ -74,6 +91,12 @@ struct Options {
     matrix: Option<std::path::PathBuf>,
     /// `scenarios`: also write the JSON rows to this file.
     out: Option<std::path::PathBuf>,
+    /// Service verbs: the campaign server's address.
+    addr: String,
+    /// `serve`: persist the result cache's cold tier in this directory.
+    cache_dir: Option<std::path::PathBuf>,
+    /// `submit`: queue priority (higher runs sooner).
+    priority: i64,
     /// Worker pool for generation and sweeps; parallel output is
     /// bit-identical to serial, so this only affects wall-clock time.
     pool: Pool,
@@ -87,6 +110,9 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut smoke = false;
     let mut matrix = None;
     let mut out = None;
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut cache_dir = None;
+    let mut priority = 0i64;
     let mut threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut experiment: Option<String> = None;
 
@@ -131,6 +157,17 @@ fn run(args: &[String]) -> Result<(), String> {
                 let v = it.next().ok_or("--out needs a value")?;
                 out = Some(std::path::PathBuf::from(v));
             }
+            "--addr" => {
+                addr = it.next().ok_or("--addr needs a value")?.clone();
+            }
+            "--cache-dir" => {
+                let v = it.next().ok_or("--cache-dir needs a value")?;
+                cache_dir = Some(std::path::PathBuf::from(v));
+            }
+            "--priority" => {
+                let v = it.next().ok_or("--priority needs a value")?;
+                priority = v.parse().map_err(|e| format!("bad priority `{v}`: {e}"))?;
+            }
             other if !other.starts_with('-') && experiment.is_none() => {
                 experiment = Some(other.to_string());
             }
@@ -146,13 +183,23 @@ fn run(args: &[String]) -> Result<(), String> {
         smoke,
         matrix,
         out,
+        addr,
+        cache_dir,
+        priority,
         pool: Pool::new(threads),
     };
 
     // The scenario campaign builds its own arrivals per (app, noise, rank);
-    // it does not consume the figure/table traces.
-    if experiment == "scenarios" {
-        return cmd_scenarios(&opts);
+    // it does not consume the figure/table traces. The service verbs talk
+    // to (or run) the campaign server instead.
+    match experiment.as_str() {
+        "scenarios" => return cmd_scenarios(&opts),
+        "serve" => return cmd_serve(&opts),
+        "submit" => return cmd_submit(&opts, false),
+        "fetch" => return cmd_submit(&opts, true),
+        "status" => return cmd_status(&opts),
+        "shutdown" => return cmd_shutdown(&opts),
+        _ => {}
     }
 
     let traces = load_traces(&opts);
@@ -530,14 +577,16 @@ fn cmd_fit(traces: &[TimingTrace]) {
     println!();
 }
 
-fn cmd_scenarios(opts: &Options) -> Result<(), String> {
-    let matrix = match &opts.matrix {
-        // A matrix file is a self-contained config: its own seed governs.
+/// Materializes the campaign matrix the scenario/service verbs operate on:
+/// `--matrix FILE` is a self-contained config (its own seed governs), the
+/// built-in presets take `--seed`.
+fn build_matrix(opts: &Options) -> Result<ScenarioMatrix, String> {
+    match &opts.matrix {
         Some(path) => {
             let text =
                 std::fs::read_to_string(path).map_err(|e| format!("reading {path:?}: {e}"))?;
             serde_json::from_str::<ScenarioMatrix>(&text)
-                .map_err(|e| format!("parsing {path:?}: {e}"))?
+                .map_err(|e| format!("parsing {path:?}: {e}"))
         }
         None => {
             let mut m = if opts.smoke {
@@ -546,9 +595,13 @@ fn cmd_scenarios(opts: &Options) -> Result<(), String> {
                 ScenarioMatrix::full()
             };
             m.seed = opts.seed;
-            m
+            Ok(m)
         }
-    };
+    }
+}
+
+fn cmd_scenarios(opts: &Options) -> Result<(), String> {
+    let matrix = build_matrix(opts)?;
     eprintln!(
         "# scenario campaign: {} cells ({} apps × {} strategies × {} links × {} noise × {} rank counts), {} worker thread(s)",
         matrix.len(),
@@ -570,6 +623,87 @@ fn cmd_scenarios(opts: &Options) -> Result<(), String> {
     if rows.iter().any(|r| !r.transport_verified) {
         return Err("transport verification failed for at least one scenario".into());
     }
+    Ok(())
+}
+
+fn cmd_serve(opts: &Options) -> Result<(), String> {
+    ebird_serve::serve(
+        &opts.addr,
+        ebird_serve::ServerConfig {
+            threads: opts.pool.threads(),
+            cache_dir: opts.cache_dir.clone(),
+        },
+    )
+}
+
+/// `submit` (stream, computing misses) or, with `fetch_only`, `fetch`
+/// (cache-only; errors if any cell is missing). Rows go to stdout verbatim —
+/// byte-identical to the offline `scenarios` table — and bookkeeping to
+/// stderr.
+fn cmd_submit(opts: &Options, fetch_only: bool) -> Result<(), String> {
+    use ebird_serve::{client, MatrixSource};
+    // Always send the matrix inline so `--seed` behaves exactly like the
+    // offline `scenarios` verb (a preset name would pin the server's seed).
+    let source = MatrixSource::Inline(build_matrix(opts)?);
+    // Print each row the moment it streams in, so a slow matrix shows
+    // progress (and pipes see data) instead of one burst at the end.
+    let stdout = std::io::stdout();
+    let print_row = |row: &str| {
+        let mut out = stdout.lock();
+        let _ = out.write_all(row.as_bytes());
+        let _ = out.write_all(b"\n");
+        let _ = out.flush();
+    };
+    let outcome = if fetch_only {
+        client::fetch_streaming(&opts.addr, &source, print_row)?
+    } else {
+        client::submit_streaming(&opts.addr, &source, opts.priority, print_row)?
+    };
+    eprintln!(
+        "# {} {} rows from {}: {} cached, {} computed",
+        if fetch_only { "fetched" } else { "served" },
+        outcome.footer.cells,
+        opts.addr,
+        outcome.footer.cached,
+        outcome.footer.computed,
+    );
+    if let Some(path) = &opts.out {
+        let mut table = String::with_capacity(outcome.rows.iter().map(|r| r.len() + 1).sum());
+        for row in &outcome.rows {
+            table.push_str(row);
+            table.push('\n');
+        }
+        std::fs::write(path, &table).map_err(|e| format!("writing {path:?}: {e}"))?;
+        eprintln!("# wrote {path:?}");
+    }
+    // Same contract as the offline `scenarios` verb: a failed delivery
+    // mechanics check is a nonzero exit, not a footnote in a JSON field.
+    let unverified = outcome
+        .rows
+        .iter()
+        .filter_map(|row| serde_json::from_str::<scenario::ScenarioRow>(row).ok())
+        .filter(|r| !r.transport_verified)
+        .count();
+    if unverified > 0 {
+        return Err(format!(
+            "transport verification failed for {unverified} scenario(s)"
+        ));
+    }
+    Ok(())
+}
+
+fn cmd_status(opts: &Options) -> Result<(), String> {
+    let s = ebird_serve::client::status(&opts.addr)?;
+    println!(
+        "server {}: {} queued, {} in flight, {} cached cell(s), {} hit(s) / {} miss(es), {} submit(s), {} worker thread(s)",
+        opts.addr, s.queued, s.inflight, s.hot_entries, s.hits, s.misses, s.submits, s.threads
+    );
+    Ok(())
+}
+
+fn cmd_shutdown(opts: &Options) -> Result<(), String> {
+    ebird_serve::client::shutdown(&opts.addr)?;
+    eprintln!("# server at {} acknowledged shutdown", opts.addr);
     Ok(())
 }
 

@@ -8,9 +8,11 @@
 //!   proxy apps at reduced scale). See `repro --help`.
 //! * The **Criterion benches** (`cargo bench`) time each pipeline stage and
 //!   run the ablations DESIGN.md calls out.
-//! * The **scenario campaign** ([`scenario`]) sweeps a config-driven
-//!   apps × strategies × links × noise × ranks matrix through the multi-rank
-//!   fabric simulator (`repro scenarios`).
+//! * The **scenario campaign** ([`scenario`], re-exported from
+//!   `ebird-serve` where it now lives so the campaign service can price the
+//!   same cells) sweeps a config-driven apps × strategies × links × noise ×
+//!   ranks matrix through the multi-rank fabric simulator
+//!   (`repro scenarios`, or served live via `repro serve` / `repro submit`).
 //!
 //! This library crate holds the pieces both share: canonical trace
 //! construction per experiment, seeds, and scale presets.
@@ -18,15 +20,15 @@
 #![warn(missing_docs)]
 
 pub mod pipeline;
-pub mod scenario;
+
+pub use ebird_serve::scenario;
 
 use ebird_cluster::{JobConfig, SyntheticApp};
 use ebird_core::TimingTrace;
 
-/// The workspace-wide default seed for regenerated experiments. Changing it
-/// changes every regenerated number, so it is fixed here and referenced
-/// everywhere (EXPERIMENTS.md quotes results for this seed).
-pub const DEFAULT_SEED: u64 = 20230421;
+/// The workspace-wide default seed for regenerated experiments
+/// (re-exported from `ebird-core`, its home at the base of the crate graph).
+pub use ebird_core::DEFAULT_SEED;
 
 /// Experiment scale presets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -28,8 +28,10 @@
 pub mod barrier;
 pub mod persistent;
 pub mod pool;
+pub mod queue;
 pub mod schedule;
 
 pub use barrier::SenseBarrier;
 pub use pool::{Ctx, Pool};
+pub use queue::JobQueue;
 pub use schedule::{static_block, Schedule};

@@ -1,0 +1,288 @@
+//! A closable priority job queue, and [`Pool::service`] to drain it with a
+//! thread team.
+//!
+//! The campaign service schedules scenario cells as jobs: higher-priority
+//! submissions overtake lower-priority ones, equal priorities run FIFO
+//! (submission order), and shutdown is a two-phase drain — [`JobQueue::close`]
+//! refuses new work while every already-queued job still runs. The queue is
+//! deliberately job-agnostic: it stores any `Send` payload, so the runtime
+//! layer stays free of protocol or scenario types.
+
+use std::collections::BinaryHeap;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::pool::{Ctx, Pool};
+
+/// One heap entry: ordering uses `(priority, seq)` only, never the payload.
+struct Entry<T> {
+    priority: i64,
+    /// Push sequence number; lower = earlier, so ties break FIFO.
+    seq: u64,
+    job: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: higher priority wins; within a priority, earlier seq wins
+        // (so seq compares reversed).
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct State<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+    closed: bool,
+}
+
+/// A blocking multi-producer/multi-consumer priority queue with close/drain
+/// shutdown semantics.
+///
+/// * [`push`](JobQueue::push) enqueues at a priority (higher runs first;
+///   equal priorities run in push order). Pushing to a closed queue is
+///   refused.
+/// * [`pop`](JobQueue::pop) blocks until a job is available, returning `None`
+///   only once the queue is closed **and** drained — the worker-loop exit
+///   signal.
+/// * [`close`](JobQueue::close) starts the drain: no new jobs, queued jobs
+///   still pop.
+pub struct JobQueue<T> {
+    state: Mutex<State<T>>,
+    available: Condvar,
+}
+
+impl<T> Default for JobQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> std::fmt::Debug for JobQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let g = self.state.lock();
+        f.debug_struct("JobQueue")
+            .field("len", &g.heap.len())
+            .field("closed", &g.closed)
+            .finish()
+    }
+}
+
+impl<T> JobQueue<T> {
+    /// Creates an empty, open queue.
+    pub fn new() -> Self {
+        JobQueue {
+            state: Mutex::new(State {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+                closed: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Enqueues `job` at `priority` (higher = sooner; ties run FIFO).
+    /// Returns `false` — and drops the job — if the queue is closed.
+    pub fn push(&self, priority: i64, job: T) -> bool {
+        let mut g = self.state.lock();
+        if g.closed {
+            return false;
+        }
+        let seq = g.next_seq;
+        g.next_seq += 1;
+        g.heap.push(Entry { priority, seq, job });
+        drop(g);
+        self.available.notify_one();
+        true
+    }
+
+    /// Blocks until a job is available and returns it; `None` once the queue
+    /// is closed and fully drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut g = self.state.lock();
+        loop {
+            if let Some(entry) = g.heap.pop() {
+                return Some(entry.job);
+            }
+            if g.closed {
+                return None;
+            }
+            self.available.wait(&mut g);
+        }
+    }
+
+    /// Pops without blocking: `Some(job)` if one is queued, `None` otherwise
+    /// (whether open-and-empty or closed).
+    pub fn try_pop(&self) -> Option<T> {
+        self.state.lock().heap.pop().map(|e| e.job)
+    }
+
+    /// Closes the queue: subsequent pushes are refused, queued jobs still
+    /// drain, and blocked `pop`s return `None` once the heap empties.
+    pub fn close(&self) {
+        self.state.lock().closed = true;
+        self.available.notify_all();
+    }
+
+    /// Whether [`close`](JobQueue::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().closed
+    }
+
+    /// Jobs currently queued (not yet popped).
+    pub fn len(&self) -> usize {
+        self.state.lock().heap.len()
+    }
+
+    /// Whether no jobs are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Pool {
+    /// Services `queue` with a full team: every member loops popping jobs and
+    /// calling `handler` until the queue is closed and drained, then the team
+    /// joins. The calling thread is member 0, as in [`Pool::region`].
+    ///
+    /// Jobs are independent by contract — `handler` must not block on another
+    /// job's completion, or a team smaller than the dependency chain
+    /// deadlocks.
+    pub fn service<T, F>(&self, queue: &JobQueue<T>, handler: F)
+    where
+        T: Send,
+        F: Fn(T, &Ctx<'_>) + Sync,
+    {
+        self.region(|ctx| {
+            while let Some(job) = queue.pop() {
+                handler(job, ctx);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn pops_by_priority_then_fifo() {
+        let q = JobQueue::new();
+        assert!(q.push(1, "low-a"));
+        assert!(q.push(5, "high-a"));
+        assert!(q.push(1, "low-b"));
+        assert!(q.push(5, "high-b"));
+        q.close();
+        let drained: Vec<&str> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(drained, vec!["high-a", "high-b", "low-a", "low-b"]);
+    }
+
+    #[test]
+    fn negative_priorities_run_last() {
+        let q = JobQueue::new();
+        q.push(0, 0);
+        q.push(-3, -3);
+        q.push(7, 7);
+        q.close();
+        let drained: Vec<i64> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(drained, vec![7, 0, -3]);
+    }
+
+    #[test]
+    fn close_refuses_new_work_but_drains_old() {
+        let q = JobQueue::new();
+        assert!(q.push(0, 1));
+        q.close();
+        assert!(!q.push(0, 2), "push after close must be refused");
+        assert!(q.is_closed());
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None, "pop stays None after drain");
+    }
+
+    #[test]
+    fn try_pop_never_blocks() {
+        let q: JobQueue<u32> = JobQueue::new();
+        assert_eq!(q.try_pop(), None);
+        q.push(0, 9);
+        assert_eq!(q.try_pop(), Some(9));
+        assert_eq!(q.try_pop(), None);
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_push_and_on_close() {
+        let q = Arc::new(JobQueue::new());
+        let q2 = Arc::clone(&q);
+        let popper = std::thread::spawn(move || {
+            let first = q2.pop();
+            let second = q2.pop();
+            (first, second)
+        });
+        // Give the popper time to block, then feed it one job and close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.push(0, 42u64);
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        let (first, second) = popper.join().unwrap();
+        assert_eq!(first, Some(42));
+        assert_eq!(second, None);
+    }
+
+    #[test]
+    fn service_drains_every_job_exactly_once() {
+        let pool = Pool::new(4);
+        let q = JobQueue::new();
+        let counts: Vec<AtomicUsize> = (0..200).map(|_| AtomicUsize::new(0)).collect();
+        for i in 0..200usize {
+            q.push((i % 3) as i64, i);
+        }
+        q.close();
+        pool.service(&q, |i, _ctx| {
+            counts[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn service_supports_producers_running_alongside() {
+        // One producer thread feeds the queue while a pool team services it:
+        // the shape the campaign server uses (connection threads produce,
+        // the scheduler team consumes).
+        let q = Arc::new(JobQueue::new());
+        let done = Arc::new(AtomicUsize::new(0));
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                for i in 0..100u64 {
+                    assert!(q.push((i % 5) as i64, i));
+                }
+                q.close();
+            })
+        };
+        let pool = Pool::new(3);
+        pool.service(&q, |_job, _ctx| {
+            done.fetch_add(1, Ordering::SeqCst);
+        });
+        producer.join().unwrap();
+        assert_eq!(done.load(Ordering::SeqCst), 100);
+    }
+}

@@ -1,0 +1,431 @@
+//! The content-addressed result cache behind the campaign service.
+//!
+//! A cell's row is a pure function of its [`CellSpec`](crate::scenario::CellSpec),
+//! so results are addressed by content: the key is an FNV-1a 128-bit hash of
+//! the spec's canonical JSON. Identical resubmissions — and shared cells of
+//! merely *overlapping* matrices — hit instead of recomputing, and a hit
+//! replays the exact bytes of the originally streamed row.
+//!
+//! Two tiers:
+//!
+//! * **hot** — an in-memory map behind a `parking_lot` mutex; every lookup
+//!   and insert goes through it.
+//! * **cold** — an append-only JSON Lines file (`ebird-core::io`'s JSONL
+//!   helpers) replayed into the hot tier at startup, so a restarted server
+//!   resumes with its history intact. Appends are buffered; [`flush`] (and
+//!   graceful shutdown) force them to disk.
+//!
+//! Hash collisions are guarded, not assumed away: entries store the full
+//! canonical spec, and a lookup whose stored spec differs from the probe's
+//! is treated as a miss.
+//!
+//! [`flush`]: ResultCache::flush
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ebird_core::io::write_jsonl_line;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// FNV-1a 128-bit offset basis.
+const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+/// FNV-1a 128-bit prime.
+const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013B;
+
+/// Loads the cold tier's records, tolerating a torn trailing line: appends
+/// go through a buffered writer, so a crash mid-flush can leave the last
+/// line truncated — that line is dropped (the cell simply recomputes),
+/// while a parse failure on any earlier line is treated as corruption.
+fn load_cold_records(path: &Path) -> Result<Vec<ColdRecord>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("reading {path:?}: {e}")),
+    };
+    let lines: Vec<(usize, &str)> = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .collect();
+    let mut records = Vec::with_capacity(lines.len());
+    for (pos, &(lineno, line)) in lines.iter().enumerate() {
+        match serde_json::from_str::<ColdRecord>(line) {
+            Ok(r) => records.push(r),
+            Err(e) if pos + 1 == lines.len() => {
+                eprintln!(
+                    "ebird-serve: dropping torn final line {} of {path:?} ({e})",
+                    lineno + 1
+                );
+            }
+            Err(e) => {
+                return Err(format!("corrupt cache {path:?} line {}: {e}", lineno + 1));
+            }
+        }
+    }
+    Ok(records)
+}
+
+/// FNV-1a 128-bit hash of `bytes`.
+fn fnv1a_128(bytes: &[u8]) -> u128 {
+    let mut h = FNV128_OFFSET;
+    for &b in bytes {
+        h ^= b as u128;
+        h = h.wrapping_mul(FNV128_PRIME);
+    }
+    h
+}
+
+/// A content-address: the canonical content string plus its hash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContentKey {
+    hash: u128,
+    content: String,
+}
+
+impl ContentKey {
+    /// Addresses `content` (typically a canonical spec JSON).
+    pub fn of(content: impl Into<String>) -> Self {
+        let content = content.into();
+        ContentKey {
+            hash: fnv1a_128(content.as_bytes()),
+            content,
+        }
+    }
+
+    /// The hash as 32 lowercase hex digits (the cold tier's `key` field).
+    pub fn hex(&self) -> String {
+        format!("{:032x}", self.hash)
+    }
+
+    /// The canonical content this key addresses.
+    pub fn content(&self) -> &str {
+        &self.content
+    }
+}
+
+/// One cached result, shared by reference with every concurrent reader.
+#[derive(Debug, PartialEq, Eq)]
+pub struct CachedRow {
+    /// Canonical spec JSON (collision guard + cold-tier provenance).
+    pub spec: String,
+    /// The row's exact serialized JSON line (no trailing newline).
+    pub row: String,
+}
+
+/// The cold tier's on-disk record: one JSON line per cached cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ColdRecord {
+    /// 32-hex-digit content hash (redundant with `spec`, kept for grepping).
+    key: String,
+    /// Canonical spec JSON, embedded as a string.
+    spec: String,
+    /// Exact row JSON line, embedded as a string.
+    row: String,
+}
+
+/// Cumulative cache counters (monotonic since server start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that required a compute.
+    pub misses: u64,
+    /// Entries inserted (including recomputed duplicates).
+    pub insertions: u64,
+}
+
+/// The two-tier content-addressed result cache.
+pub struct ResultCache {
+    hot: Mutex<HashMap<u128, Arc<CachedRow>>>,
+    /// Buffered append handle + its path; `None` for a memory-only cache.
+    cold: Option<(Mutex<BufWriter<File>>, PathBuf)>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+}
+
+impl std::fmt::Debug for ResultCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultCache")
+            .field("entries", &self.len())
+            .field("cold", &self.cold.as_ref().map(|(_, p)| p.clone()))
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl ResultCache {
+    /// A hot-tier-only cache (used by tests and cache-less servers).
+    pub fn in_memory() -> Self {
+        ResultCache {
+            hot: Mutex::new(HashMap::new()),
+            cold: None,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+        }
+    }
+
+    /// Opens (or creates) a cache whose cold tier lives in `dir/results.jsonl`,
+    /// replaying any existing records into the hot tier. Later records win on
+    /// duplicate keys, so a file holding a recomputed duplicate loads cleanly.
+    /// A malformed **final** line — the signature of a crash mid-append — is
+    /// dropped with a warning (standard append-only-log recovery); a
+    /// malformed line anywhere else is real corruption and refuses to load.
+    ///
+    /// # Errors
+    /// A human-readable description of the I/O or parse failure.
+    pub fn with_cold_tier(dir: impl AsRef<Path>) -> Result<Self, String> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir:?}: {e}"))?;
+        let path = dir.join("results.jsonl");
+        let records = load_cold_records(&path)?;
+        let mut hot = HashMap::with_capacity(records.len());
+        for r in records {
+            let key = ContentKey::of(r.spec.clone());
+            if key.hex() != r.key {
+                return Err(format!(
+                    "corrupt cache {path:?}: stored key {} does not address its spec (expected {})",
+                    r.key,
+                    key.hex()
+                ));
+            }
+            hot.insert(
+                key.hash,
+                Arc::new(CachedRow {
+                    spec: r.spec,
+                    row: r.row,
+                }),
+            );
+        }
+        let file = File::options()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| format!("opening {path:?}: {e}"))?;
+        Ok(ResultCache {
+            hot: Mutex::new(hot),
+            cold: Some((Mutex::new(BufWriter::new(file)), path)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+        })
+    }
+
+    /// Looks `key` up, counting a hit or miss. A hash collision (stored spec
+    /// ≠ probed spec) counts as a miss.
+    pub fn lookup(&self, key: &ContentKey) -> Option<Arc<CachedRow>> {
+        let found = {
+            let g = self.hot.lock();
+            g.get(&key.hash).cloned()
+        };
+        match found {
+            Some(entry) if entry.spec == key.content => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry)
+            }
+            _ => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts `row` under `key`, appending to the cold tier when present.
+    /// Concurrent duplicate inserts are benign: the content address
+    /// guarantees both writers carry identical bytes.
+    pub fn insert(&self, key: &ContentKey, row: String) -> Arc<CachedRow> {
+        let entry = Arc::new(CachedRow {
+            spec: key.content.clone(),
+            row,
+        });
+        self.hot.lock().insert(key.hash, Arc::clone(&entry));
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        if let Some((writer, path)) = &self.cold {
+            let record = ColdRecord {
+                key: key.hex(),
+                spec: entry.spec.clone(),
+                row: entry.row.clone(),
+            };
+            let mut w = writer.lock();
+            if let Err(e) = write_jsonl_line(&mut *w, &record) {
+                eprintln!("ebird-serve: cache append to {path:?} failed: {e}");
+            }
+        }
+        entry
+    }
+
+    /// Flushes buffered cold-tier appends to disk (no-op in memory-only mode).
+    ///
+    /// # Errors
+    /// The underlying I/O failure, rendered.
+    pub fn flush(&self) -> Result<(), String> {
+        if let Some((writer, path)) = &self.cold {
+            writer
+                .lock()
+                .flush()
+                .map_err(|e| format!("flushing {path:?}: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// Entries currently resident in the hot tier.
+    pub fn len(&self) -> usize {
+        self.hot.lock().len()
+    }
+
+    /// Whether the hot tier is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the cumulative counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_vectors() {
+        // Classic FNV-1a 128 test vectors (empty string = offset basis).
+        assert_eq!(fnv1a_128(b""), FNV128_OFFSET);
+        // Differing inputs diverge immediately.
+        assert_ne!(fnv1a_128(b"a"), fnv1a_128(b"b"));
+        assert_ne!(fnv1a_128(b"ab"), fnv1a_128(b"ba"));
+    }
+
+    #[test]
+    fn key_hex_is_stable_and_32_digits() {
+        let k = ContentKey::of("{\"app\":\"MiniFE\"}");
+        assert_eq!(k.hex().len(), 32);
+        assert_eq!(k.hex(), ContentKey::of("{\"app\":\"MiniFE\"}").hex());
+        assert_ne!(k.hex(), ContentKey::of("{\"app\":\"MiniMD\"}").hex());
+    }
+
+    #[test]
+    fn lookup_miss_then_hit_counts() {
+        let cache = ResultCache::in_memory();
+        let key = ContentKey::of("spec-a");
+        assert!(cache.lookup(&key).is_none());
+        cache.insert(&key, "row-a".into());
+        let hit = cache.lookup(&key).expect("inserted");
+        assert_eq!(hit.row, "row-a");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 1, 1));
+    }
+
+    #[test]
+    fn collision_guard_treats_mismatched_spec_as_miss() {
+        let cache = ResultCache::in_memory();
+        let key = ContentKey::of("spec-a");
+        cache.insert(&key, "row-a".into());
+        // Forge a probe with the same hash but different content.
+        let forged = ContentKey {
+            hash: key.hash,
+            content: "spec-b".into(),
+        };
+        assert!(cache.lookup(&forged).is_none());
+    }
+
+    #[test]
+    fn cold_tier_roundtrip_survives_restart() {
+        let dir =
+            std::env::temp_dir().join(format!("ebird_serve_cache_test_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        {
+            let cache = ResultCache::with_cold_tier(&dir).unwrap();
+            cache.insert(&ContentKey::of("spec-1"), "row-1".into());
+            cache.insert(&ContentKey::of("spec-2"), "row-2".into());
+            // Duplicate insert: later record must win on reload.
+            cache.insert(&ContentKey::of("spec-1"), "row-1".into());
+            cache.flush().unwrap();
+        }
+        let reloaded = ResultCache::with_cold_tier(&dir).unwrap();
+        assert_eq!(reloaded.len(), 2);
+        let hit = reloaded.lookup(&ContentKey::of("spec-1")).unwrap();
+        assert_eq!(hit.row, "row-1");
+        assert_eq!(
+            reloaded.lookup(&ContentKey::of("spec-2")).unwrap().row,
+            "row-2"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped_not_fatal() {
+        let dir =
+            std::env::temp_dir().join(format!("ebird_serve_cache_torn_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        {
+            let cache = ResultCache::with_cold_tier(&dir).unwrap();
+            cache.insert(&ContentKey::of("spec-1"), "row-1".into());
+            cache.flush().unwrap();
+        }
+        // Simulate a crash mid-append: a truncated JSON line at the tail.
+        use std::io::Write as _;
+        let mut f = File::options()
+            .append(true)
+            .open(dir.join("results.jsonl"))
+            .unwrap();
+        f.write_all(b"{\"key\":\"deadbeef\",\"spec\":\"sp").unwrap();
+        drop(f);
+        let reloaded = ResultCache::with_cold_tier(&dir).unwrap();
+        assert_eq!(reloaded.len(), 1);
+        assert!(reloaded.lookup(&ContentKey::of("spec-1")).is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corruption_before_the_final_line_is_fatal() {
+        let dir = std::env::temp_dir().join(format!(
+            "ebird_serve_cache_midcorrupt_{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = {
+            let key = ContentKey::of("spec-ok");
+            format!(
+                "{{\"key\":\"{}\",\"spec\":\"spec-ok\",\"row\":\"row-ok\"}}",
+                key.hex()
+            )
+        };
+        std::fs::write(
+            dir.join("results.jsonl"),
+            format!("not json at all\n{good}\n"),
+        )
+        .unwrap();
+        let err = ResultCache::with_cold_tier(&dir).unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_cold_tier_is_rejected() {
+        let dir =
+            std::env::temp_dir().join(format!("ebird_serve_cache_corrupt_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("results.jsonl"),
+            "{\"key\":\"00000000000000000000000000000000\",\"spec\":\"s\",\"row\":\"r\"}\n",
+        )
+        .unwrap();
+        let err = ResultCache::with_cold_tier(&dir).unwrap_err();
+        assert!(err.contains("does not address"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,217 @@
+//! Client side of the campaign-service protocol — what `repro submit`,
+//! `repro fetch`, `repro status` and `repro shutdown` call.
+//!
+//! Every helper opens one connection, writes one request line, and reads the
+//! framed reply. Row lines are returned as raw strings, untouched, so a
+//! client printing them reproduces the server's bytes exactly (the property
+//! the CI serve-smoke diff checks).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use serde::value::get_field;
+use serde::{Deserialize, Value};
+
+use crate::protocol::{
+    reply_line, MatrixSource, Request, ShutdownReply, StatusReply, SubmitFooter, SubmitHeader,
+};
+
+/// A complete `submit`/`fetch` exchange.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubmitOutcome {
+    /// The framing header (row count, cache split).
+    pub header: SubmitHeader,
+    /// One raw JSON line per cell, matrix order, server bytes verbatim.
+    pub rows: Vec<String>,
+    /// The framing footer (computed/cached totals).
+    pub footer: SubmitFooter,
+}
+
+/// Parses a reply line as `T` after checking it is not an [`ErrorReply`]
+/// (`{"ok":false,...}`), whose message becomes the `Err`.
+///
+/// [`ErrorReply`]: crate::protocol::ErrorReply
+fn checked<T: Deserialize>(line: &str) -> Result<T, String> {
+    let value: Value =
+        serde_json::from_str(line).map_err(|e| format!("malformed reply `{line}`: {e}"))?;
+    if let Some(entries) = value.as_object() {
+        if let Ok(Value::Bool(false)) = get_field(entries, "ok") {
+            let msg = get_field(entries, "error")
+                .ok()
+                .and_then(|v| v.as_str())
+                .unwrap_or("unspecified server error");
+            return Err(format!("server error: {msg}"));
+        }
+    }
+    T::from_value(&value).map_err(|e| format!("unexpected reply `{line}`: {e}"))
+}
+
+struct Connection {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Connection {
+    fn open(addr: &str) -> Result<Self, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| format!("cloning stream: {e}"))?,
+        );
+        Ok(Connection {
+            reader,
+            writer: stream,
+        })
+    }
+
+    fn send(&mut self, request: &Request) -> Result<(), String> {
+        let line = reply_line(request);
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .map_err(|e| format!("sending request: {e}"))
+    }
+
+    fn read_line(&mut self) -> Result<String, String> {
+        let mut line = String::new();
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .map_err(|e| format!("reading reply: {e}"))?;
+        if n == 0 {
+            return Err("server closed the connection mid-reply".into());
+        }
+        Ok(line.trim_end_matches('\n').to_string())
+    }
+}
+
+/// Runs one header → rows → footer exchange, handing each row line to
+/// `on_row` the moment it arrives (rows are also collected in the outcome).
+fn streamed(
+    addr: &str,
+    request: &Request,
+    mut on_row: impl FnMut(&str),
+) -> Result<SubmitOutcome, String> {
+    let mut conn = Connection::open(addr)?;
+    conn.send(request)?;
+    let header: SubmitHeader = checked(&conn.read_line()?)?;
+    let mut rows = Vec::with_capacity(header.cells);
+    for _ in 0..header.cells {
+        let line = conn.read_line()?;
+        // The server may abort a stream mid-flight (e.g. shutdown raced the
+        // submission) with a single error line where a row was due; surface
+        // it instead of recording it as data and waiting for rows that will
+        // never come. Row objects always start with their `app` field, so
+        // the fixed error prefix cannot collide.
+        if line.starts_with("{\"ok\":false") {
+            return Err(checked::<Value>(&line)
+                .err()
+                .unwrap_or_else(|| "server aborted the row stream".into()));
+        }
+        on_row(&line);
+        rows.push(line);
+    }
+    let footer: SubmitFooter = checked(&conn.read_line()?)?;
+    if footer.cells != header.cells {
+        return Err(format!(
+            "framing mismatch: header advertised {} cells, footer reports {}",
+            header.cells, footer.cells
+        ));
+    }
+    Ok(SubmitOutcome {
+        header,
+        rows,
+        footer,
+    })
+}
+
+/// Submits a matrix and collects the streamed rows.
+///
+/// # Errors
+/// Connection failures, server error replies, and framing violations.
+pub fn submit(addr: &str, matrix: &MatrixSource, priority: i64) -> Result<SubmitOutcome, String> {
+    submit_streaming(addr, matrix, priority, |_| {})
+}
+
+/// Like [`submit`], but hands each row to `on_row` as it arrives — the hook
+/// `repro submit` uses to print rows live while a slow matrix computes.
+///
+/// # Errors
+/// See [`submit`].
+pub fn submit_streaming(
+    addr: &str,
+    matrix: &MatrixSource,
+    priority: i64,
+    on_row: impl FnMut(&str),
+) -> Result<SubmitOutcome, String> {
+    streamed(
+        addr,
+        &Request::Submit {
+            matrix: matrix.clone(),
+            priority,
+        },
+        on_row,
+    )
+}
+
+/// Fetches a matrix's rows from the cache only (errors if incomplete).
+///
+/// # Errors
+/// See [`submit`]; additionally the server's `incomplete` error.
+pub fn fetch(addr: &str, matrix: &MatrixSource) -> Result<SubmitOutcome, String> {
+    fetch_streaming(addr, matrix, |_| {})
+}
+
+/// Like [`fetch`], but hands each row to `on_row` as it arrives.
+///
+/// # Errors
+/// See [`fetch`].
+pub fn fetch_streaming(
+    addr: &str,
+    matrix: &MatrixSource,
+    on_row: impl FnMut(&str),
+) -> Result<SubmitOutcome, String> {
+    streamed(
+        addr,
+        &Request::Fetch {
+            matrix: matrix.clone(),
+        },
+        on_row,
+    )
+}
+
+/// Asks for the service counters.
+///
+/// # Errors
+/// Connection failures and server error replies.
+pub fn status(addr: &str) -> Result<StatusReply, String> {
+    let mut conn = Connection::open(addr)?;
+    conn.send(&Request::Status)?;
+    checked(&conn.read_line()?)
+}
+
+/// Requests a graceful shutdown and waits for the acknowledgement.
+///
+/// # Errors
+/// Connection failures and server error replies.
+pub fn shutdown(addr: &str) -> Result<ShutdownReply, String> {
+    let mut conn = Connection::open(addr)?;
+    conn.send(&Request::Shutdown)?;
+    checked(&conn.read_line()?)
+}
+
+/// Sends one raw line (not necessarily valid JSON) and returns the server's
+/// single-line reply — the hook protocol tests use to probe error handling.
+///
+/// # Errors
+/// Connection failures.
+pub fn raw_exchange(addr: &str, line: &str) -> Result<String, String> {
+    let mut conn = Connection::open(addr)?;
+    conn.writer
+        .write_all(line.as_bytes())
+        .and_then(|()| conn.writer.write_all(b"\n"))
+        .map_err(|e| format!("sending raw line: {e}"))?;
+    conn.read_line()
+}

@@ -1,0 +1,42 @@
+//! # ebird-serve
+//!
+//! The campaign service: a long-lived, multi-threaded server that prices
+//! scenario matrices on demand instead of one-shot `repro` invocations —
+//! the workspace's step from "rerun the experiment" to "serve repeated and
+//! overlapping demand" (the ROADMAP's north star).
+//!
+//! Layers, bottom up:
+//!
+//! * [`scenario`] — the config-driven campaign model (moved here from
+//!   `ebird-bench` so both the offline CLI and the service share it):
+//!   [`scenario::ScenarioMatrix`] resolves into typed
+//!   [`scenario::ResolvedCell`]s, each priced deterministically by
+//!   [`scenario::compute_cell`].
+//! * [`cache`] — the content-addressed result cache: key = FNV-1a 128 hash
+//!   of the cell spec's canonical JSON; hot tier in memory, cold tier as an
+//!   append-only JSON Lines file. Equal specs ⇒ bit-identical row bytes,
+//!   with zero recomputation.
+//! * [`protocol`] — the line-delimited JSON wire protocol (`submit`,
+//!   `fetch`, `status`, `shutdown`); see `PROTOCOL.md` for transcripts.
+//! * [`server`] — the TCP server: per-connection handler threads, cells
+//!   scheduled on a priority [`ebird_runtime::JobQueue`] serviced by a
+//!   workspace [`ebird_runtime::Pool`] team, rows streamed back in matrix
+//!   order, graceful drain on shutdown.
+//! * [`client`] — the matching client calls (`repro submit` et al.).
+//!
+//! The load-bearing invariant, asserted by tests and the CI smoke: a row
+//! streamed by the service is **byte-identical** to the same cell's row in
+//! the offline `repro scenarios` table, whether computed or cache-hit.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod scenario;
+pub mod server;
+
+pub use cache::{CacheStats, ContentKey, ResultCache};
+pub use client::{fetch, shutdown, status, submit, SubmitOutcome};
+pub use protocol::{MatrixSource, Request};
+pub use server::{serve, Server, ServerConfig};

@@ -1,0 +1,342 @@
+//! The line-delimited JSON wire protocol of the campaign service.
+//!
+//! Every request is one JSON object on one line; every reply is one or more
+//! JSON lines. See `PROTOCOL.md` at the repository root for the normative
+//! reference with transcripts. The shapes:
+//!
+//! ```text
+//! {"verb":"submit","preset":"smoke","priority":2}
+//! {"verb":"submit","matrix":{...ScenarioMatrix...}}
+//! {"verb":"fetch","preset":"smoke"}
+//! {"verb":"status"}
+//! {"verb":"shutdown"}
+//! ```
+//!
+//! `submit`/`fetch` replies are framed as **header → rows → footer**: a
+//! [`SubmitHeader`] line, then exactly `cells` scenario-row lines (each one
+//! byte-identical to the offline `repro scenarios` table row), then a
+//! [`SubmitFooter`] line. Errors are a single [`ErrorReply`] line. The
+//! request's `verb` dispatches; unknown verbs and malformed JSON produce
+//! error replies rather than dropped connections.
+//!
+//! [`Request`]'s serde impls are written by hand (not derived) so the wire
+//! shape — lowercase verbs, `matrix`-or-`preset` alternation, defaulted
+//! `priority` — is explicit and pinned by tests.
+
+use serde::value::get_field;
+use serde::{DeError, Deserialize, Serialize, Value};
+
+use crate::scenario::ScenarioMatrix;
+
+/// Where a submitted matrix comes from: a named built-in preset or an inline
+/// [`ScenarioMatrix`] object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MatrixSource {
+    /// A built-in preset name (`smoke` / `full`).
+    Preset(String),
+    /// A full matrix supplied inline.
+    Inline(ScenarioMatrix),
+}
+
+impl MatrixSource {
+    /// Materializes the matrix this source names.
+    ///
+    /// # Errors
+    /// An unknown preset name.
+    pub fn matrix(&self) -> Result<ScenarioMatrix, String> {
+        match self {
+            MatrixSource::Preset(name) => ScenarioMatrix::preset(name)
+                .ok_or_else(|| format!("unknown preset `{name}` (expected `smoke` or `full`)")),
+            MatrixSource::Inline(m) => Ok(m.clone()),
+        }
+    }
+}
+
+/// One client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Price a matrix: stream one row per cell, cache-hitting where possible.
+    Submit {
+        /// The matrix to price.
+        matrix: MatrixSource,
+        /// Queue priority (higher runs sooner; default 0).
+        priority: i64,
+    },
+    /// Return a matrix's rows only if every cell is already cached.
+    Fetch {
+        /// The matrix to look up.
+        matrix: MatrixSource,
+    },
+    /// Report queue/cache/service counters.
+    Status,
+    /// Drain in-flight work, flush the cache, and stop the server.
+    Shutdown,
+}
+
+impl Serialize for Request {
+    fn to_value(&self) -> Value {
+        fn source_entry(source: &MatrixSource) -> (String, Value) {
+            match source {
+                MatrixSource::Preset(name) => ("preset".to_string(), name.to_value()),
+                MatrixSource::Inline(m) => ("matrix".to_string(), m.to_value()),
+            }
+        }
+        let mut entries: Vec<(String, Value)> = Vec::new();
+        match self {
+            Request::Submit { matrix, priority } => {
+                entries.push(("verb".to_string(), "submit".to_value()));
+                entries.push(source_entry(matrix));
+                entries.push(("priority".to_string(), priority.to_value()));
+            }
+            Request::Fetch { matrix } => {
+                entries.push(("verb".to_string(), "fetch".to_value()));
+                entries.push(source_entry(matrix));
+            }
+            Request::Status => entries.push(("verb".to_string(), "status".to_value())),
+            Request::Shutdown => entries.push(("verb".to_string(), "shutdown".to_value())),
+        }
+        Value::Object(entries)
+    }
+}
+
+impl Deserialize for Request {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let entries = v.as_object().ok_or_else(|| {
+            DeError::custom(format!("expected request object, found {}", v.kind()))
+        })?;
+        let verb = get_field(entries, "verb")
+            .map_err(|_| DeError::custom("request has no `verb` field"))?
+            .as_str()
+            .ok_or_else(|| DeError::custom("`verb` must be a string"))?;
+        let source = || -> Result<MatrixSource, DeError> {
+            if let Ok(m) = get_field(entries, "matrix") {
+                return Ok(MatrixSource::Inline(ScenarioMatrix::from_value(m)?));
+            }
+            if let Ok(p) = get_field(entries, "preset") {
+                let name = p
+                    .as_str()
+                    .ok_or_else(|| DeError::custom("`preset` must be a string"))?;
+                return Ok(MatrixSource::Preset(name.to_string()));
+            }
+            Err(DeError::custom(
+                "request needs a `matrix` object or a `preset` name",
+            ))
+        };
+        match verb {
+            "submit" => Ok(Request::Submit {
+                matrix: source()?,
+                priority: match get_field(entries, "priority") {
+                    Ok(p) => i64::from_value(p)?,
+                    Err(_) => 0,
+                },
+            }),
+            "fetch" => Ok(Request::Fetch { matrix: source()? }),
+            "status" => Ok(Request::Status),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(DeError::custom(format!(
+                "unknown verb `{other}` (expected submit, fetch, status or shutdown)"
+            ))),
+        }
+    }
+}
+
+/// First reply line of a `submit`/`fetch`: how many rows follow and how the
+/// work splits between cache and compute.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubmitHeader {
+    /// Always `true` (errors use [`ErrorReply`] instead).
+    pub ok: bool,
+    /// Row lines that will follow, in matrix order.
+    pub cells: usize,
+    /// Cells answered from the cache.
+    pub cached: usize,
+    /// Cells scheduled on the job queue (0 for `fetch`).
+    pub scheduled: usize,
+}
+
+/// Final reply line of a `submit`/`fetch`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubmitFooter {
+    /// Always `true`; marks the end of the row stream.
+    pub done: bool,
+    /// Total rows streamed.
+    pub cells: usize,
+    /// Cells computed fresh by this request.
+    pub computed: usize,
+    /// Cells served from the cache.
+    pub cached: usize,
+}
+
+/// Reply to `status`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatusReply {
+    /// Always `true`.
+    pub ok: bool,
+    /// Jobs waiting in the priority queue.
+    pub queued: usize,
+    /// Jobs popped by a worker and not yet finished.
+    pub inflight: usize,
+    /// Entries resident in the hot cache tier.
+    pub hot_entries: usize,
+    /// Cumulative cache hits.
+    pub hits: u64,
+    /// Cumulative cache misses.
+    pub misses: u64,
+    /// Submit requests served since start.
+    pub submits: u64,
+    /// Worker-pool size.
+    pub threads: usize,
+}
+
+/// Reply to `shutdown`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShutdownReply {
+    /// Always `true`.
+    pub ok: bool,
+    /// Always `true`: the server stops accepting work and drains.
+    pub stopping: bool,
+}
+
+/// Any request-level failure, as a single reply line.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorReply {
+    /// Always `false`.
+    pub ok: bool,
+    /// What went wrong.
+    pub error: String,
+}
+
+impl ErrorReply {
+    /// Wraps a message.
+    pub fn new(error: impl Into<String>) -> Self {
+        ErrorReply {
+            ok: false,
+            error: error.into(),
+        }
+    }
+}
+
+/// Parses one request line.
+///
+/// # Errors
+/// A human-readable description of the JSON or shape failure — the text the
+/// server echoes back in an [`ErrorReply`].
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    serde_json::from_str(line).map_err(|e| format!("bad request: {e}"))
+}
+
+/// Serializes any reply to its wire line (no trailing newline).
+pub fn reply_line<T: Serialize>(reply: &T) -> String {
+    serde_json::to_string(reply).expect("reply serialization is infallible")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip() {
+        let reqs = [
+            Request::Submit {
+                matrix: MatrixSource::Preset("smoke".into()),
+                priority: 3,
+            },
+            Request::Submit {
+                matrix: MatrixSource::Inline(ScenarioMatrix::smoke()),
+                priority: 0,
+            },
+            Request::Fetch {
+                matrix: MatrixSource::Preset("full".into()),
+            },
+            Request::Status,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let line = reply_line(&req);
+            assert!(!line.contains('\n'));
+            let back = parse_request(&line).unwrap();
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn wire_shape_is_pinned() {
+        let line = reply_line(&Request::Submit {
+            matrix: MatrixSource::Preset("smoke".into()),
+            priority: 2,
+        });
+        assert_eq!(
+            line,
+            "{\"verb\":\"submit\",\"preset\":\"smoke\",\"priority\":2}"
+        );
+        assert_eq!(reply_line(&Request::Status), "{\"verb\":\"status\"}");
+    }
+
+    #[test]
+    fn priority_defaults_to_zero() {
+        let req = parse_request("{\"verb\":\"submit\",\"preset\":\"smoke\"}").unwrap();
+        assert_eq!(
+            req,
+            Request::Submit {
+                matrix: MatrixSource::Preset("smoke".into()),
+                priority: 0
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_and_unknown_requests_error() {
+        assert!(parse_request("not json")
+            .unwrap_err()
+            .contains("bad request"));
+        assert!(parse_request("[1,2]").unwrap_err().contains("object"));
+        assert!(parse_request("{\"priority\":1}")
+            .unwrap_err()
+            .contains("verb"));
+        let e = parse_request("{\"verb\":\"warmup\"}").unwrap_err();
+        assert!(e.contains("unknown verb `warmup`"), "{e}");
+        let e = parse_request("{\"verb\":\"submit\"}").unwrap_err();
+        assert!(e.contains("`matrix` object or a `preset`"), "{e}");
+        let e = parse_request("{\"verb\":\"fetch\",\"preset\":\"nope\"}");
+        // Unknown preset is a semantic error surfaced at dispatch, not parse.
+        assert!(e.is_ok());
+    }
+
+    #[test]
+    fn unknown_preset_surfaces_at_materialization() {
+        let src = MatrixSource::Preset("nope".into());
+        assert!(src.matrix().unwrap_err().contains("unknown preset"));
+        assert_eq!(
+            MatrixSource::Preset("smoke".into()).matrix().unwrap(),
+            ScenarioMatrix::smoke()
+        );
+    }
+
+    #[test]
+    fn replies_serialize_with_fixed_field_order() {
+        let h = SubmitHeader {
+            ok: true,
+            cells: 48,
+            cached: 12,
+            scheduled: 36,
+        };
+        assert_eq!(
+            reply_line(&h),
+            "{\"ok\":true,\"cells\":48,\"cached\":12,\"scheduled\":36}"
+        );
+        let f = SubmitFooter {
+            done: true,
+            cells: 48,
+            computed: 36,
+            cached: 12,
+        };
+        assert_eq!(
+            reply_line(&f),
+            "{\"done\":true,\"cells\":48,\"computed\":36,\"cached\":12}"
+        );
+        assert_eq!(
+            reply_line(&ErrorReply::new("boom")),
+            "{\"ok\":false,\"error\":\"boom\"}"
+        );
+    }
+}

@@ -1,0 +1,738 @@
+//! The config-driven multi-rank scenario campaign.
+//!
+//! The paper's feasibility argument (§2, Figure 1) is about *whole-job*
+//! behaviour — many nodes × many threads racing per-partition sends through
+//! a shared fabric — not one sender on one link. This module sweeps a
+//! scenario matrix:
+//!
+//! ```text
+//! apps (arrival shapes) × strategies × link models × noise regimes × ranks
+//! ```
+//!
+//! pricing every cell with [`ebird_partcomm::simulate_fabric`] (per-rank
+//! NICs behind a contended spine) and validating delivery mechanics by
+//! driving the same rank count of real `PsendSession`/`PrecvSession` pairs
+//! over the in-memory transport ([`ebird_cluster::run_delivery_campaign`]).
+//! Each cell emits one JSON table row (see
+//! [`ebird_analysis::report::json_lines`]), so adding a workload to the
+//! campaign means adding a config entry, not code.
+//!
+//! The matrix itself is plain serde data: load one from JSON with
+//! `--matrix`, or use the built-in [`ScenarioMatrix::full`] /
+//! [`ScenarioMatrix::smoke`] presets.
+//!
+//! Two consumers drive the sweep:
+//!
+//! * the offline `repro scenarios` path calls [`run_matrix`], which walks
+//!   the whole matrix in axis order sharing per-group work (arrivals, the
+//!   transport campaign, the bulk baseline);
+//! * the campaign service ([`crate::server`]) calls
+//!   [`ScenarioMatrix::resolve`] then prices *individual* cells with
+//!   [`compute_cell`], scheduling them as queue jobs and memoizing each
+//!   row under its [`CellSpec`]'s content hash.
+//!
+//! Both paths run the same deterministic pricing functions on the same
+//! inputs, so their rows are bit-identical — the property the service's
+//! cache and the CI serve-smoke diff rely on.
+
+use std::time::Duration;
+
+use ebird_cluster::{run_delivery_campaign, NoiseRegime, SyntheticApp};
+use ebird_core::DEFAULT_SEED;
+use ebird_partcomm::{simulate_fabric_with_scratch, LinkModel, SimScratch, Strategy};
+use ebird_runtime::Pool;
+use serde::{Deserialize, Serialize};
+
+/// Default delivery-campaign deadline (ms): generous enough that only a
+/// genuinely dropped partition, not scheduler jitter, can expire it.
+pub const DEFAULT_DEADLINE_MS: f64 = 10_000.0;
+
+/// Serde default hook for [`ScenarioMatrix::deadline_ms`] — matrices saved
+/// before the field existed load with the historical 10 s deadline.
+fn default_deadline_ms() -> f64 {
+    DEFAULT_DEADLINE_MS
+}
+
+/// A scenario sweep definition — every axis of the campaign as data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioMatrix {
+    /// Application arrival shapes by name (`MiniFE`, `MiniMD`, `MiniQMC`).
+    pub apps: Vec<String>,
+    /// Delivery strategies to price.
+    pub strategies: Vec<Strategy>,
+    /// Link models by name (`omni-path`, `high-latency`).
+    pub links: Vec<String>,
+    /// Noise regimes by label (`baseline`, `laggard`, `turbulent`,
+    /// `contaminated`).
+    pub noise: Vec<String>,
+    /// Concurrent sending-rank counts to sweep.
+    pub ranks: Vec<usize>,
+    /// Threads (= partitions) per rank.
+    pub threads: usize,
+    /// Buffer bytes each rank delivers.
+    pub bytes_per_rank: usize,
+    /// Fabric injection-rate contention coefficient ∈ [0, 1].
+    pub contention: f64,
+    /// Which synthetic iteration supplies the arrivals (mid-campaign keeps
+    /// MiniMD in its steady phase).
+    pub iteration: usize,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Delivery-campaign deadline in milliseconds: how long each receiver
+    /// waits for its partitions before reporting the pair failed. Defaults
+    /// to [`DEFAULT_DEADLINE_MS`] when absent from matrix JSON.
+    #[serde(default = "default_deadline_ms")]
+    pub deadline_ms: f64,
+}
+
+impl ScenarioMatrix {
+    /// The full campaign: 3 apps × 4 strategies × 2 links × 4 noise regimes
+    /// × 3 rank counts = 288 scenarios at paper-like 32-thread ranks.
+    pub fn full() -> Self {
+        ScenarioMatrix {
+            apps: vec!["MiniFE".into(), "MiniMD".into(), "MiniQMC".into()],
+            strategies: vec![
+                Strategy::Bulk,
+                Strategy::EarlyBird,
+                Strategy::TimeoutFlush { timeout_ms: 1.0 },
+                Strategy::Binned { bins: 6 },
+            ],
+            links: vec!["omni-path".into(), "high-latency".into()],
+            noise: vec![
+                "baseline".into(),
+                "laggard".into(),
+                "turbulent".into(),
+                "contaminated".into(),
+            ],
+            ranks: vec![1, 4, 8],
+            threads: 32,
+            bytes_per_rank: 8_000_000,
+            contention: 0.5,
+            iteration: 25,
+            seed: DEFAULT_SEED,
+            deadline_ms: DEFAULT_DEADLINE_MS,
+        }
+    }
+
+    /// The CI smoke campaign: 3 apps × 4 strategies × 1 link × 2 noise
+    /// regimes × 2 rank counts = 48 scenarios at 8-thread ranks.
+    pub fn smoke() -> Self {
+        ScenarioMatrix {
+            links: vec!["omni-path".into()],
+            noise: vec!["baseline".into(), "laggard".into()],
+            ranks: vec![1, 4],
+            threads: 8,
+            bytes_per_rank: 1_000_000,
+            ..Self::full()
+        }
+    }
+
+    /// Looks up a built-in matrix by preset name (`full` / `smoke`).
+    pub fn preset(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "full" => Some(Self::full()),
+            "smoke" => Some(Self::smoke()),
+            _ => None,
+        }
+    }
+
+    /// Number of scenarios this matrix spans.
+    pub fn len(&self) -> usize {
+        self.apps.len()
+            * self.strategies.len()
+            * self.links.len()
+            * self.noise.len()
+            * self.ranks.len()
+    }
+
+    /// Whether any axis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Validates every axis and resolves names into typed handles, so no
+    /// lookup — and therefore no panic path — survives past this point.
+    ///
+    /// # Errors
+    /// A human-readable description of the first invalid axis entry.
+    pub fn resolve(&self) -> Result<ResolvedMatrix, String> {
+        if self.is_empty() {
+            return Err("scenario matrix has an empty axis".into());
+        }
+        if self.threads == 0 || self.threads > 0xFFFF {
+            return Err(format!("threads {} outside 1..=65535", self.threads));
+        }
+        if self.bytes_per_rank < self.threads {
+            return Err(format!(
+                "bytes_per_rank {} below one byte per partition ({})",
+                self.bytes_per_rank, self.threads
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.contention) {
+            return Err(format!("contention {} outside [0, 1]", self.contention));
+        }
+        if !(self.deadline_ms.is_finite() && self.deadline_ms > 0.0) {
+            return Err(format!(
+                "deadline_ms {} must be positive and finite",
+                self.deadline_ms
+            ));
+        }
+        let mut apps = Vec::with_capacity(self.apps.len());
+        for name in &self.apps {
+            let app = SyntheticApp::by_name(name).ok_or_else(|| format!("unknown app `{name}`"))?;
+            apps.push((name.clone(), app));
+        }
+        let mut links = Vec::with_capacity(self.links.len());
+        for name in &self.links {
+            let link = link_by_name(name).ok_or_else(|| format!("unknown link model `{name}`"))?;
+            links.push((name.clone(), link));
+        }
+        let mut noise = Vec::with_capacity(self.noise.len());
+        for name in &self.noise {
+            let regime =
+                NoiseRegime::parse(name).ok_or_else(|| format!("unknown noise regime `{name}`"))?;
+            noise.push(regime);
+        }
+        for &r in &self.ranks {
+            if r == 0 {
+                return Err("rank counts must be ≥ 1".into());
+            }
+        }
+        for s in &self.strategies {
+            match *s {
+                Strategy::TimeoutFlush { timeout_ms } if timeout_ms <= 0.0 => {
+                    return Err(format!("non-positive timeout {timeout_ms}"));
+                }
+                Strategy::Binned { bins } if bins == 0 || bins > self.threads => {
+                    return Err(format!("bins {bins} outside 1..={}", self.threads));
+                }
+                _ => {}
+            }
+        }
+        Ok(ResolvedMatrix {
+            apps,
+            strategies: self.strategies.clone(),
+            links,
+            noise,
+            ranks: self.ranks.clone(),
+            threads: self.threads,
+            bytes_per_rank: self.bytes_per_rank,
+            contention: self.contention,
+            iteration: self.iteration,
+            seed: self.seed,
+            deadline_ms: self.deadline_ms,
+        })
+    }
+}
+
+/// A validated matrix with every name resolved into its typed handle.
+/// Constructed only by [`ScenarioMatrix::resolve`]; downstream code consumes
+/// handles instead of re-looking names up mid-campaign.
+#[derive(Debug, Clone)]
+pub struct ResolvedMatrix {
+    /// `(config name, base model)` per application, matrix order.
+    apps: Vec<(String, SyntheticApp)>,
+    strategies: Vec<Strategy>,
+    /// `(config name, model)` per link, matrix order.
+    links: Vec<(String, LinkModel)>,
+    noise: Vec<NoiseRegime>,
+    ranks: Vec<usize>,
+    threads: usize,
+    bytes_per_rank: usize,
+    contention: f64,
+    iteration: usize,
+    seed: u64,
+    deadline_ms: f64,
+}
+
+impl ResolvedMatrix {
+    /// Number of cells (same as the source matrix's [`ScenarioMatrix::len`]).
+    pub fn len(&self) -> usize {
+        self.apps.len()
+            * self.strategies.len()
+            * self.links.len()
+            * self.noise.len()
+            * self.ranks.len()
+    }
+
+    /// Resolved matrices are never empty ([`ScenarioMatrix::resolve`]
+    /// rejects empty axes), so this is always `false`; provided for the
+    /// conventional pairing with [`len`](Self::len).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The campaign deadline as a [`Duration`].
+    pub fn deadline(&self) -> Duration {
+        Duration::from_secs_f64(self.deadline_ms / 1000.0)
+    }
+
+    /// Every cell in canonical row order (apps ▸ noise ▸ ranks ▸ links ▸
+    /// strategies), each carrying its content-addressable [`CellSpec`] and
+    /// the typed handles needed to price it independently.
+    pub fn cells(&self) -> Vec<ResolvedCell> {
+        let mut cells = Vec::with_capacity(self.len());
+        for (app_name, base) in &self.apps {
+            for &regime in &self.noise {
+                let app = base.with_noise_regime(regime);
+                for &ranks in &self.ranks {
+                    for (link_name, link) in &self.links {
+                        for &strategy in &self.strategies {
+                            cells.push(ResolvedCell {
+                                spec: CellSpec {
+                                    app: app_name.clone(),
+                                    strategy,
+                                    link: link_name.clone(),
+                                    noise: regime.label().to_string(),
+                                    ranks,
+                                    threads: self.threads,
+                                    bytes_per_rank: self.bytes_per_rank,
+                                    contention: self.contention,
+                                    iteration: self.iteration,
+                                    seed: self.seed,
+                                    deadline_ms: self.deadline_ms,
+                                },
+                                app: app.clone(),
+                                link: *link,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+}
+
+/// The complete, canonical description of one scenario cell — every input
+/// that determines its [`ScenarioRow`]. Its serialized JSON is the content
+/// the service's result cache addresses by hash: equal specs ⇒ bit-identical
+/// rows, across submissions and across overlapping matrices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellSpec {
+    /// Application name as configured (also the row's `app` label).
+    pub app: String,
+    /// Delivery strategy.
+    pub strategy: Strategy,
+    /// Link model name as configured (also the row's `link` label).
+    pub link: String,
+    /// Canonical noise-regime label.
+    pub noise: String,
+    /// Concurrent sending ranks.
+    pub ranks: usize,
+    /// Threads (= partitions) per rank.
+    pub threads: usize,
+    /// Buffer bytes per rank.
+    pub bytes_per_rank: usize,
+    /// Fabric contention coefficient.
+    pub contention: f64,
+    /// Synthetic iteration supplying the arrivals.
+    pub iteration: usize,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Delivery-campaign deadline (ms).
+    pub deadline_ms: f64,
+}
+
+/// One cell plus the typed handles to price it without further name lookups.
+#[derive(Debug, Clone)]
+pub struct ResolvedCell {
+    /// The cell's canonical content description.
+    pub spec: CellSpec,
+    /// Application model with the cell's noise regime applied.
+    app: SyntheticApp,
+    /// Link model handle.
+    link: LinkModel,
+}
+
+impl ResolvedCell {
+    /// The cell's cache address — THE canonical spec-to-key rule: equal
+    /// specs must yield equal keys across every verb, so this is the only
+    /// place the spec is serialized for addressing.
+    pub fn content_key(&self) -> crate::cache::ContentKey {
+        crate::cache::ContentKey::of(
+            serde_json::to_string(&self.spec).expect("cell specs always serialize"),
+        )
+    }
+}
+
+/// Prices one cell from scratch: builds the rank arrivals, drives the
+/// delivery campaign for mechanics verification, prices the bulk baseline
+/// and the cell's strategy. Deterministic in everything but
+/// `transport_verified` (which only varies if the host fails to deliver
+/// within the deadline), and bit-identical to the same cell's row from
+/// [`run_matrix`].
+///
+/// Unlike [`run_matrix`], cells priced here do not share per-group work
+/// (arrivals, the campaign, the bulk baseline are redone per cell) — the
+/// deliberate cost of making every cell an independent, individually
+/// cacheable job: a cold 48-cell submission measures ~2 ms end to end, so
+/// the duplicated group work is noise next to the scheduling flexibility
+/// it buys. Revisit if matrices grow orders of magnitude hotter.
+pub fn compute_cell(cell: &ResolvedCell, pool: &Pool) -> ScenarioRow {
+    let spec = &cell.spec;
+    let rank_arrivals: Vec<Vec<f64>> = (0..spec.ranks)
+        .map(|rank| {
+            cell.app
+                .process_iteration_ms(spec.seed, 0, rank, spec.iteration, spec.threads)
+        })
+        .collect();
+    let campaign = run_delivery_campaign(
+        spec.ranks,
+        spec.threads,
+        spec.threads * 8,
+        |rank| argsort(&rank_arrivals[rank]),
+        pool,
+        Duration::from_secs_f64(spec.deadline_ms / 1000.0),
+    );
+    let mut scratch = SimScratch::new();
+    let bulk = simulate_fabric_with_scratch(
+        &rank_arrivals,
+        spec.bytes_per_rank,
+        &cell.link,
+        spec.contention,
+        Strategy::Bulk,
+        &mut scratch,
+    );
+    let outcome = if spec.strategy == Strategy::Bulk {
+        bulk.clone()
+    } else {
+        simulate_fabric_with_scratch(
+            &rank_arrivals,
+            spec.bytes_per_rank,
+            &cell.link,
+            spec.contention,
+            spec.strategy,
+            &mut scratch,
+        )
+    };
+    ScenarioRow {
+        app: spec.app.clone(),
+        strategy: spec.strategy.label(),
+        link: spec.link.clone(),
+        noise: spec.noise.clone(),
+        ranks: spec.ranks,
+        threads: spec.threads,
+        bytes_per_rank: spec.bytes_per_rank,
+        contention: spec.contention,
+        completion_ms: outcome.completion_ms,
+        last_arrival_ms: outcome.last_arrival_ms,
+        exposed_ms: outcome.exposed_ms(),
+        messages: outcome.messages,
+        wire_ms: outcome.wire_ms,
+        bulk_exposed_ms: bulk.exposed_ms(),
+        speedup_vs_bulk: bulk.exposed_ms() / outcome.exposed_ms(),
+        transport_verified: campaign.all_verified(),
+    }
+}
+
+/// Looks up a link model by its scenario-config name.
+pub fn link_by_name(name: &str) -> Option<LinkModel> {
+    match name.to_ascii_lowercase().as_str() {
+        "omni-path" => Some(LinkModel::omni_path()),
+        "high-latency" => Some(LinkModel::high_latency()),
+        _ => None,
+    }
+}
+
+/// One scenario's JSON table row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioRow {
+    /// Application arrival shape.
+    pub app: String,
+    /// Strategy label (see [`Strategy::label`]).
+    pub strategy: String,
+    /// Link model name.
+    pub link: String,
+    /// Noise regime label.
+    pub noise: String,
+    /// Concurrent sending ranks.
+    pub ranks: usize,
+    /// Threads (= partitions) per rank.
+    pub threads: usize,
+    /// Buffer bytes per rank.
+    pub bytes_per_rank: usize,
+    /// Fabric contention coefficient.
+    pub contention: f64,
+    /// Whole-job completion (ms).
+    pub completion_ms: f64,
+    /// Latest thread arrival across all ranks (ms).
+    pub last_arrival_ms: f64,
+    /// Job-level exposed (non-overlapped) communication cost (ms).
+    pub exposed_ms: f64,
+    /// Total messages injected across ranks.
+    pub messages: usize,
+    /// Total wire-busy time across NICs (ms).
+    pub wire_ms: f64,
+    /// Exposed cost of the Bulk strategy on the same arrivals/link/fabric.
+    pub bulk_exposed_ms: f64,
+    /// `bulk_exposed_ms / exposed_ms` (> 1 ⇒ this strategy beats bulk).
+    pub speedup_vs_bulk: f64,
+    /// Whether the same rank count of real partitioned sessions delivered
+    /// and verified byte-exactly over the in-memory transport.
+    pub transport_verified: bool,
+}
+
+/// Runs every scenario of `matrix`, one row per cell in axis order
+/// (apps ▸ noise ▸ ranks ▸ links ▸ strategies).
+///
+/// Timing comes from the deterministic fabric simulation; delivery
+/// mechanics are validated once per (app, noise, ranks) combination by
+/// driving that many real session pairs over the transport on `pool`, with
+/// each rank's `pready` order replaying its synthetic arrival order.
+///
+/// # Errors
+/// The first axis-validation failure, verbatim from
+/// [`ScenarioMatrix::resolve`].
+pub fn run_matrix(matrix: &ScenarioMatrix, pool: &Pool) -> Result<Vec<ScenarioRow>, String> {
+    let resolved = matrix.resolve()?;
+    let mut rows = Vec::with_capacity(resolved.len());
+    let mut scratch = SimScratch::new();
+    for (app_name, base) in &resolved.apps {
+        for &regime in &resolved.noise {
+            let app = base.with_noise_regime(regime);
+            for &ranks in &resolved.ranks {
+                let rank_arrivals: Vec<Vec<f64>> = (0..ranks)
+                    .map(|rank| {
+                        app.process_iteration_ms(
+                            resolved.seed,
+                            0,
+                            rank,
+                            resolved.iteration,
+                            resolved.threads,
+                        )
+                    })
+                    .collect();
+                // Mechanics check: the same rank count of real sessions,
+                // partitions readied in each rank's arrival order. A small
+                // payload keeps the smoke fast; the fabric sim prices the
+                // real byte count.
+                let campaign = run_delivery_campaign(
+                    ranks,
+                    resolved.threads,
+                    resolved.threads * 8,
+                    |rank| argsort(&rank_arrivals[rank]),
+                    pool,
+                    resolved.deadline(),
+                );
+                let transport_verified = campaign.all_verified();
+                for (link_name, link) in &resolved.links {
+                    let bulk = simulate_fabric_with_scratch(
+                        &rank_arrivals,
+                        resolved.bytes_per_rank,
+                        link,
+                        resolved.contention,
+                        Strategy::Bulk,
+                        &mut scratch,
+                    );
+                    for &strategy in &resolved.strategies {
+                        let outcome = if strategy == Strategy::Bulk {
+                            bulk.clone()
+                        } else {
+                            simulate_fabric_with_scratch(
+                                &rank_arrivals,
+                                resolved.bytes_per_rank,
+                                link,
+                                resolved.contention,
+                                strategy,
+                                &mut scratch,
+                            )
+                        };
+                        rows.push(ScenarioRow {
+                            app: app_name.clone(),
+                            strategy: strategy.label(),
+                            link: link_name.clone(),
+                            noise: regime.label().to_string(),
+                            ranks,
+                            threads: resolved.threads,
+                            bytes_per_rank: resolved.bytes_per_rank,
+                            contention: resolved.contention,
+                            completion_ms: outcome.completion_ms,
+                            last_arrival_ms: outcome.last_arrival_ms,
+                            exposed_ms: outcome.exposed_ms(),
+                            messages: outcome.messages,
+                            wire_ms: outcome.wire_ms,
+                            bulk_exposed_ms: bulk.exposed_ms(),
+                            speedup_vs_bulk: bulk.exposed_ms() / outcome.exposed_ms(),
+                            transport_verified,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(rows)
+}
+
+/// Indices of `values` sorted ascending (ties by index) — a rank's partition
+/// readiness order under early-bird delivery.
+fn argsort(values: &[f64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&a, &b| {
+        values[a]
+            .partial_cmp(&values[b])
+            .expect("finite")
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+/// Renders a short human summary of a finished campaign (stderr companion
+/// to the JSON rows).
+pub fn summarize(rows: &[ScenarioRow]) -> String {
+    use std::fmt::Write as _;
+    let verified = rows.iter().filter(|r| r.transport_verified).count();
+    let beats_bulk = rows
+        .iter()
+        .filter(|r| r.strategy != "bulk" && r.speedup_vs_bulk > 1.0)
+        .count();
+    let non_bulk = rows.iter().filter(|r| r.strategy != "bulk").count();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} scenarios; transport verified {verified}/{}; {beats_bulk}/{non_bulk} non-bulk cells beat bulk",
+        rows.len(),
+        rows.len(),
+    );
+    if let Some(best) = rows
+        .iter()
+        .filter(|r| r.speedup_vs_bulk.is_finite())
+        .max_by(|a, b| a.speedup_vs_bulk.total_cmp(&b.speedup_vs_bulk))
+    {
+        let _ = writeln!(
+            out,
+            "best cell: {} × {} × {} × {} × {} ranks — exposed {:.4} ms vs bulk {:.4} ms ({:.1}×)",
+            best.app,
+            best.strategy,
+            best.link,
+            best.noise,
+            best.ranks,
+            best.exposed_ms,
+            best.bulk_exposed_ms,
+            best.speedup_vs_bulk
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_cover_the_advertised_cells() {
+        assert_eq!(ScenarioMatrix::full().len(), 288);
+        assert_eq!(ScenarioMatrix::smoke().len(), 48);
+        assert!(!ScenarioMatrix::smoke().is_empty());
+        assert_eq!(
+            ScenarioMatrix::preset("SMOKE"),
+            Some(ScenarioMatrix::smoke())
+        );
+        assert_eq!(ScenarioMatrix::preset("full"), Some(ScenarioMatrix::full()));
+        assert_eq!(ScenarioMatrix::preset("nope"), None);
+    }
+
+    #[test]
+    fn matrix_serde_roundtrip() {
+        let m = ScenarioMatrix::smoke();
+        let s = serde_json::to_string(&m).unwrap();
+        let back: ScenarioMatrix = serde_json::from_str(&s).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn matrix_json_without_deadline_loads_with_default() {
+        // Matrices saved before `deadline_ms` existed must still load.
+        let mut with_field = serde_json::to_string(&ScenarioMatrix::smoke()).unwrap();
+        let needle = ",\"deadline_ms\":10000.0";
+        assert!(with_field.contains(needle), "{with_field}");
+        with_field = with_field.replace(needle, "");
+        let back: ScenarioMatrix = serde_json::from_str(&with_field).unwrap();
+        assert_eq!(back.deadline_ms, DEFAULT_DEADLINE_MS);
+        assert_eq!(back, ScenarioMatrix::smoke());
+    }
+
+    #[test]
+    fn validation_rejects_bad_axes() {
+        let mut m = ScenarioMatrix::smoke();
+        m.apps = vec!["hpcg".into()];
+        assert!(run_matrix(&m, &Pool::new(1)).unwrap_err().contains("hpcg"));
+        let mut m = ScenarioMatrix::smoke();
+        m.links = vec!["carrier-pigeon".into()];
+        assert!(run_matrix(&m, &Pool::new(1)).is_err());
+        let mut m = ScenarioMatrix::smoke();
+        m.contention = 2.0;
+        assert!(run_matrix(&m, &Pool::new(1)).is_err());
+        let mut m = ScenarioMatrix::smoke();
+        m.ranks = vec![];
+        assert!(run_matrix(&m, &Pool::new(1)).is_err());
+        let mut m = ScenarioMatrix::smoke();
+        m.strategies = vec![Strategy::Binned { bins: 999 }];
+        assert!(run_matrix(&m, &Pool::new(1)).is_err());
+        let mut m = ScenarioMatrix::smoke();
+        m.deadline_ms = 0.0;
+        assert!(run_matrix(&m, &Pool::new(1))
+            .unwrap_err()
+            .contains("deadline_ms"));
+        let mut m = ScenarioMatrix::smoke();
+        m.deadline_ms = f64::INFINITY;
+        assert!(run_matrix(&m, &Pool::new(1)).is_err());
+    }
+
+    #[test]
+    fn custom_deadline_threads_through_to_failure_detection() {
+        // A matrix whose campaign cannot miss its deadline succeeds with a
+        // tight-but-sane one; the field must actually reach the campaign
+        // (not silently fall back to 10 s), which we verify via resolve().
+        let mut m = ScenarioMatrix::smoke();
+        m.deadline_ms = 2_500.0;
+        let resolved = m.resolve().unwrap();
+        assert_eq!(resolved.deadline(), Duration::from_millis(2_500));
+    }
+
+    #[test]
+    fn cells_enumerate_in_row_order() {
+        let m = ScenarioMatrix::smoke();
+        let resolved = m.resolve().unwrap();
+        let cells = resolved.cells();
+        assert_eq!(cells.len(), m.len());
+        // First axis block: first app, first regime, first rank count.
+        assert_eq!(cells[0].spec.app, "MiniFE");
+        assert_eq!(cells[0].spec.noise, "baseline");
+        assert_eq!(cells[0].spec.ranks, 1);
+        assert_eq!(cells[0].spec.strategy, Strategy::Bulk);
+        // Strategy is the innermost axis.
+        assert_eq!(cells[1].spec.strategy, Strategy::EarlyBird);
+        // Every spec is distinct.
+        let mut keys: Vec<String> = cells
+            .iter()
+            .map(|c| serde_json::to_string(&c.spec).unwrap())
+            .collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), cells.len());
+    }
+
+    #[test]
+    fn compute_cell_matches_run_matrix_bit_for_bit() {
+        // The service prices cells independently; the offline path shares
+        // group work. Same inputs, same functions ⇒ identical rows.
+        let mut m = ScenarioMatrix::smoke();
+        m.apps = vec!["MiniMD".into()];
+        m.noise = vec!["laggard".into()];
+        m.ranks = vec![1, 2];
+        let pool = Pool::new(2);
+        let rows = run_matrix(&m, &pool).unwrap();
+        let cells = m.resolve().unwrap().cells();
+        assert_eq!(rows.len(), cells.len());
+        for (row, cell) in rows.iter().zip(&cells) {
+            let solo = compute_cell(cell, &pool);
+            assert_eq!(&solo, row, "cell {:?}", cell.spec);
+        }
+    }
+
+    #[test]
+    fn argsort_orders_by_value_then_index() {
+        assert_eq!(argsort(&[3.0, 1.0, 2.0, 1.0]), vec![1, 3, 2, 0]);
+    }
+}

@@ -1,0 +1,499 @@
+//! The multi-threaded campaign server.
+//!
+//! One `std::net::TcpListener`, one connection-handler thread per client,
+//! and one scheduler thread servicing the shared priority
+//! [`JobQueue`](ebird_runtime::JobQueue) with a full workspace
+//! [`Pool`] team. A `submit` splits its matrix into cells, answers cached
+//! cells from the [`ResultCache`] immediately, schedules the rest as jobs,
+//! and streams one row line per cell **in matrix order** as results become
+//! available (a reorder buffer holds out-of-order completions), so a served
+//! table is byte-identical to the offline `repro scenarios` table.
+//!
+//! Shutdown is graceful by construction: the `shutdown` verb stops the
+//! acceptor, every open connection finishes its current request, the queue
+//! closes and drains (in-flight jobs complete; their submissions stream to
+//! the end), the worker team joins, and the cache's cold tier is flushed.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, LineWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use ebird_analysis::report;
+use ebird_runtime::{JobQueue, Pool};
+
+use crate::cache::{CachedRow, ContentKey, ResultCache};
+use crate::protocol::{
+    parse_request, reply_line, ErrorReply, Request, ShutdownReply, StatusReply, SubmitFooter,
+    SubmitHeader,
+};
+use crate::scenario::{compute_cell, ResolvedCell};
+
+/// How long a connection read blocks before re-checking the stop flag, so
+/// idle keep-alive clients cannot stall a graceful shutdown.
+const READ_POLL: Duration = Duration::from_millis(200);
+
+/// How long a reply write may block before the client is considered stalled
+/// and its connection dropped — a reader that stops draining its row stream
+/// must not pin a connection thread (and with it, graceful shutdown)
+/// forever.
+const WRITE_STALL_LIMIT: Duration = Duration::from_secs(30);
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker-pool size for cell pricing.
+    pub threads: usize,
+    /// Directory for the cache's cold tier; `None` keeps results in memory
+    /// only.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            cache_dir: None,
+        }
+    }
+}
+
+/// One scheduled cell: where it sits in its submission and where to report.
+struct Job {
+    /// Cell index within the submitting matrix (reorder-buffer slot).
+    index: usize,
+    /// Content address the finished row is cached under.
+    key: ContentKey,
+    cell: ResolvedCell,
+    /// The submitting connection's result channel.
+    reply: mpsc::Sender<(usize, Arc<CachedRow>)>,
+}
+
+/// State shared by the acceptor, every connection thread, and the scheduler.
+struct Shared {
+    queue: JobQueue<Job>,
+    cache: ResultCache,
+    threads: usize,
+    addr: SocketAddr,
+    stop: AtomicBool,
+    inflight: AtomicUsize,
+    submits: AtomicU64,
+}
+
+/// A bound, not-yet-running campaign server.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:4750`, or `127.0.0.1:0` for an
+    /// ephemeral port) and prepares the shared state, loading the cache's
+    /// cold tier if configured.
+    ///
+    /// # Errors
+    /// Rendered bind/cache failures.
+    pub fn bind(addr: &str, config: ServerConfig) -> Result<Server, String> {
+        if config.threads == 0 {
+            return Err("server needs at least one worker thread".into());
+        }
+        let listener = TcpListener::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| format!("resolving local addr: {e}"))?;
+        let cache = match &config.cache_dir {
+            Some(dir) => ResultCache::with_cold_tier(dir)?,
+            None => ResultCache::in_memory(),
+        };
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                queue: JobQueue::new(),
+                cache,
+                threads: config.threads,
+                addr: local,
+                stop: AtomicBool::new(false),
+                inflight: AtomicUsize::new(0),
+                submits: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// The bound address (port resolved if `:0` was requested).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Runs the accept loop until a `shutdown` request arrives, then drains:
+    /// joins every connection thread, closes and drains the job queue, joins
+    /// the worker team, and flushes the cache.
+    ///
+    /// # Errors
+    /// Rendered accept-loop or cache-flush failures.
+    pub fn run(self) -> Result<(), String> {
+        let Server { listener, shared } = self;
+        let scheduler = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("ebird-serve-workers".into())
+                .spawn(move || {
+                    let pool = Pool::new(shared.threads);
+                    pool.service(&shared.queue, |job: Job, _ctx| {
+                        shared.inflight.fetch_add(1, Ordering::SeqCst);
+                        // Each worker is already one team member; the
+                        // delivery campaign inside the cell runs inline on
+                        // a unit pool rather than forking a nested team.
+                        let row = compute_cell(&job.cell, &Pool::new(1));
+                        let line = report::json_line(&row).expect("scenario rows always serialize");
+                        // Only verified rows are pure functions of their
+                        // spec; a deadline miss is host scheduling, not
+                        // content, and must stay transient rather than
+                        // poison the cache (and its cold tier) forever.
+                        let entry = if row.transport_verified {
+                            shared.cache.insert(&job.key, line)
+                        } else {
+                            Arc::new(CachedRow {
+                                spec: job.key.content().to_string(),
+                                row: line,
+                            })
+                        };
+                        // Decrement before reporting: once a submission has
+                        // streamed its last row, no job of its can still be
+                        // counted in flight.
+                        shared.inflight.fetch_sub(1, Ordering::SeqCst);
+                        // A dropped receiver (client vanished mid-submit) is
+                        // not an error: the row is cached for the next ask.
+                        let _ = job.reply.send((job.index, entry));
+                    });
+                })
+                .map_err(|e| format!("spawning worker team: {e}"))?
+        };
+
+        let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        for stream in listener.incoming() {
+            if shared.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            match stream {
+                Ok(stream) => {
+                    let shared = Arc::clone(&shared);
+                    // A spawn failure (thread exhaustion under load) refuses
+                    // this one client; aborting the accept loop would skip
+                    // the drain below and leak the scheduler.
+                    match std::thread::Builder::new()
+                        .name("ebird-serve-conn".into())
+                        .spawn(move || handle_connection(stream, &shared))
+                    {
+                        Ok(handle) => connections.push(handle),
+                        Err(e) => eprintln!("ebird-serve: refusing connection: {e}"),
+                    }
+                    connections.retain(|h| !h.is_finished());
+                }
+                Err(e) => {
+                    if shared.stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    eprintln!("ebird-serve: accept failed: {e}");
+                }
+            }
+        }
+        for handle in connections {
+            let _ = handle.join();
+        }
+        shared.queue.close();
+        let _ = scheduler.join();
+        shared.cache.flush()?;
+        Ok(())
+    }
+}
+
+/// Binds and runs in one call — the `repro serve` entry point.
+///
+/// # Errors
+/// See [`Server::bind`] and [`Server::run`].
+pub fn serve(addr: &str, config: ServerConfig) -> Result<(), String> {
+    let server = Server::bind(addr, config)?;
+    eprintln!(
+        "# ebird-serve listening on {} ({} worker thread(s), cache {})",
+        server.local_addr(),
+        server.shared.threads,
+        if server.shared.cache.is_empty() {
+            "empty".to_string()
+        } else {
+            format!("{} entries", server.shared.cache.len())
+        },
+    );
+    server.run()
+}
+
+/// Reads one line, polling the stop flag between read timeouts. Returns
+/// `None` on EOF / connection error / server stop with nothing buffered.
+fn read_request_line(reader: &mut BufReader<TcpStream>, shared: &Shared) -> Option<String> {
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => {
+                // EOF; serve a final unterminated line if one accumulated.
+                return (!line.trim().is_empty()).then(|| line.trim().to_string());
+            }
+            Ok(_) => {
+                if line.ends_with('\n') {
+                    let trimmed = line.trim();
+                    if trimmed.is_empty() {
+                        line.clear();
+                        continue;
+                    }
+                    return Some(trimmed.to_string());
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Abandon even a partially received request once the server
+                // is stopping — a client holding an unterminated line open
+                // must not stall the drain.
+                if shared.stop.load(Ordering::SeqCst) {
+                    return None;
+                }
+            }
+            Err(_) => return None,
+        }
+    }
+}
+
+fn write_line(writer: &mut impl Write, line: &str) -> Result<(), String> {
+    writer
+        .write_all(line.as_bytes())
+        .and_then(|()| writer.write_all(b"\n"))
+        .map_err(|e| format!("client write failed: {e}"))
+}
+
+/// One connection: serve requests until EOF, connection error, or shutdown.
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(READ_POLL)).ok();
+    stream.set_write_timeout(Some(WRITE_STALL_LIMIT)).ok();
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    // LineWriter flushes at every newline: each row line streams as soon as
+    // its cell completes.
+    let mut writer = LineWriter::new(stream);
+    while let Some(line) = read_request_line(&mut reader, shared) {
+        let outcome = match parse_request(&line) {
+            Err(msg) => write_line(&mut writer, &reply_line(&ErrorReply::new(msg))),
+            Ok(Request::Status) => write_line(&mut writer, &reply_line(&status_reply(shared))),
+            Ok(Request::Shutdown) => {
+                let r = write_line(
+                    &mut writer,
+                    &reply_line(&ShutdownReply {
+                        ok: true,
+                        stopping: true,
+                    }),
+                );
+                begin_shutdown(shared);
+                r.and(Err("connection closed by shutdown".into()))
+            }
+            Ok(Request::Submit { matrix, priority }) => {
+                handle_submit(&matrix, priority, shared, &mut writer)
+            }
+            Ok(Request::Fetch { matrix }) => handle_fetch(&matrix, shared, &mut writer),
+        };
+        // Bound the drain: after a stop, finish the request just served but
+        // accept no further ones on this connection.
+        if outcome.is_err() || shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+fn status_reply(shared: &Shared) -> StatusReply {
+    let stats = shared.cache.stats();
+    StatusReply {
+        ok: true,
+        queued: shared.queue.len(),
+        inflight: shared.inflight.load(Ordering::SeqCst),
+        hot_entries: shared.cache.len(),
+        hits: stats.hits,
+        misses: stats.misses,
+        submits: shared.submits.load(Ordering::SeqCst),
+        threads: shared.threads,
+    }
+}
+
+/// Flags the stop and wakes the blocked acceptor with a throwaway
+/// connection so `run` can proceed to the drain phase.
+fn begin_shutdown(shared: &Shared) {
+    shared.stop.store(true, Ordering::SeqCst);
+    // A wildcard bind (0.0.0.0 / ::) is not a connectable destination on
+    // every platform; wake through the matching loopback instead.
+    let mut wake = shared.addr;
+    if wake.ip().is_unspecified() {
+        wake.set_ip(match wake.ip() {
+            std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+            std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+        });
+    }
+    let _ = TcpStream::connect_timeout(&wake, Duration::from_secs(1));
+}
+
+/// Resolves a submitted matrix into cells, or writes the error reply.
+fn resolve_cells(
+    matrix: &crate::protocol::MatrixSource,
+    writer: &mut impl Write,
+) -> Result<Option<Vec<ResolvedCell>>, String> {
+    let materialized = match matrix.matrix() {
+        Ok(m) => m,
+        Err(e) => {
+            write_line(writer, &reply_line(&ErrorReply::new(e)))?;
+            return Ok(None);
+        }
+    };
+    match materialized.resolve() {
+        Ok(resolved) => Ok(Some(resolved.cells())),
+        Err(e) => {
+            write_line(
+                writer,
+                &reply_line(&ErrorReply::new(format!("invalid matrix: {e}"))),
+            )?;
+            Ok(None)
+        }
+    }
+}
+
+fn handle_submit(
+    matrix: &crate::protocol::MatrixSource,
+    priority: i64,
+    shared: &Shared,
+    writer: &mut impl Write,
+) -> Result<(), String> {
+    let Some(cells) = resolve_cells(matrix, writer)? else {
+        return Ok(());
+    };
+    shared.submits.fetch_add(1, Ordering::SeqCst);
+    let total = cells.len();
+    let (tx, rx) = mpsc::channel::<(usize, Arc<CachedRow>)>();
+    let mut ready: Vec<Option<Arc<CachedRow>>> = vec![None; total];
+    let mut scheduled = 0usize;
+    for (index, cell) in cells.into_iter().enumerate() {
+        let key = cell.content_key();
+        if let Some(entry) = shared.cache.lookup(&key) {
+            ready[index] = Some(entry);
+        } else {
+            scheduled += 1;
+            let job = Job {
+                index,
+                key,
+                cell,
+                reply: tx.clone(),
+            };
+            if !shared.queue.push(priority, job) {
+                return write_line(
+                    writer,
+                    &reply_line(&ErrorReply::new("server is shutting down")),
+                );
+            }
+        }
+    }
+    drop(tx);
+    let cached = total - scheduled;
+    write_line(
+        writer,
+        &reply_line(&SubmitHeader {
+            ok: true,
+            cells: total,
+            cached,
+            scheduled,
+        }),
+    )?;
+    // Stream rows in matrix order; out-of-order completions wait in `extra`.
+    let mut extra: HashMap<usize, Arc<CachedRow>> = HashMap::new();
+    for (index, slot) in ready.iter_mut().enumerate() {
+        let entry = loop {
+            if let Some(e) = slot.take().or_else(|| extra.remove(&index)) {
+                break e;
+            }
+            match rx.recv() {
+                Ok((done, e)) => {
+                    if done == index {
+                        break e;
+                    }
+                    extra.insert(done, e);
+                }
+                Err(_) => {
+                    // Every sender dropped with rows outstanding: only
+                    // possible if the queue refused or lost jobs mid-drain.
+                    return write_line(
+                        writer,
+                        &reply_line(&ErrorReply::new(
+                            "server shut down before completing the submission",
+                        )),
+                    );
+                }
+            }
+        };
+        write_line(writer, &entry.row)?;
+    }
+    write_line(
+        writer,
+        &reply_line(&SubmitFooter {
+            done: true,
+            cells: total,
+            computed: scheduled,
+            cached,
+        }),
+    )
+}
+
+fn handle_fetch(
+    matrix: &crate::protocol::MatrixSource,
+    shared: &Shared,
+    writer: &mut impl Write,
+) -> Result<(), String> {
+    let Some(cells) = resolve_cells(matrix, writer)? else {
+        return Ok(());
+    };
+    let total = cells.len();
+    let mut rows = Vec::with_capacity(total);
+    let mut missing = 0usize;
+    for cell in &cells {
+        match shared.cache.lookup(&cell.content_key()) {
+            Some(entry) => rows.push(entry),
+            None => missing += 1,
+        }
+    }
+    if missing > 0 {
+        return write_line(
+            writer,
+            &reply_line(&ErrorReply::new(format!(
+                "incomplete: {missing} of {total} cells not cached (submit the matrix first)"
+            ))),
+        );
+    }
+    write_line(
+        writer,
+        &reply_line(&SubmitHeader {
+            ok: true,
+            cells: total,
+            cached: total,
+            scheduled: 0,
+        }),
+    )?;
+    for entry in &rows {
+        write_line(writer, &entry.row)?;
+    }
+    write_line(
+        writer,
+        &reply_line(&SubmitFooter {
+            done: true,
+            cells: total,
+            computed: 0,
+            cached: total,
+        }),
+    )
+}

@@ -1,0 +1,271 @@
+//! End-to-end tests of the campaign service over real TCP on an ephemeral
+//! port: protocol error replies, concurrent clients, the cache-hit
+//! bit-identity property, fetch semantics, offline-equality of streamed
+//! rows, and graceful shutdown (including cold-tier persistence across a
+//! server restart).
+
+use std::net::TcpStream;
+use std::thread::JoinHandle;
+
+use ebird_runtime::Pool;
+use ebird_serve::scenario::{run_matrix, ScenarioMatrix};
+use ebird_serve::{client, MatrixSource, Server, ServerConfig};
+
+/// A 16-cell matrix small enough for test wall-clocks:
+/// 2 apps × 4 strategies × 1 link × 1 noise × 2 rank counts.
+fn tiny_matrix() -> ScenarioMatrix {
+    let mut m = ScenarioMatrix::smoke();
+    m.apps = vec!["MiniFE".into(), "MiniMD".into()];
+    m.noise = vec!["baseline".into()];
+    m.ranks = vec![1, 2];
+    m.threads = 4;
+    // Re-bin to fit the 4-thread ranks (smoke's 6 bins would be invalid).
+    for s in &mut m.strategies {
+        if let ebird_partcomm::Strategy::Binned { bins } = s {
+            *bins = 3;
+        }
+    }
+    m.bytes_per_rank = 100_000;
+    m
+}
+
+/// Binds an ephemeral port, runs the server on a background thread, and
+/// returns its address plus the join handle for shutdown verification.
+fn start_server(config: ServerConfig) -> (String, JoinHandle<Result<(), String>>) {
+    let server = Server::bind("127.0.0.1:0", config).expect("bind ephemeral port");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+fn shutdown_and_join(addr: &str, handle: JoinHandle<Result<(), String>>) {
+    let ack = client::shutdown(addr).expect("shutdown acknowledged");
+    assert!(ack.ok && ack.stopping);
+    handle
+        .join()
+        .expect("server thread joins")
+        .expect("server run() returns Ok");
+}
+
+#[test]
+fn malformed_and_unknown_requests_get_error_replies() {
+    let (addr, handle) = start_server(ServerConfig {
+        threads: 1,
+        cache_dir: None,
+    });
+
+    let reply = client::raw_exchange(&addr, "this is not json").unwrap();
+    assert!(reply.starts_with("{\"ok\":false,"), "{reply}");
+    assert!(reply.contains("bad request"), "{reply}");
+
+    let reply = client::raw_exchange(&addr, "{\"verb\":\"warmup\"}").unwrap();
+    assert!(reply.contains("unknown verb `warmup`"), "{reply}");
+
+    let reply = client::raw_exchange(&addr, "{\"verb\":\"submit\"}").unwrap();
+    assert!(reply.contains("`matrix` object or a `preset`"), "{reply}");
+
+    let reply = client::raw_exchange(&addr, "{\"verb\":\"submit\",\"preset\":\"nope\"}").unwrap();
+    assert!(reply.contains("unknown preset `nope`"), "{reply}");
+
+    // An invalid inline matrix fails resolution, not the connection.
+    let mut bad = tiny_matrix();
+    bad.apps = vec!["hpcg".into()];
+    let err = client::submit(&addr, &MatrixSource::Inline(bad), 0).unwrap_err();
+    assert!(err.contains("invalid matrix"), "{err}");
+    assert!(err.contains("hpcg"), "{err}");
+
+    // The connection-level errors above must not have wedged the server.
+    let status = client::status(&addr).unwrap();
+    assert!(status.ok);
+    shutdown_and_join(&addr, handle);
+}
+
+#[test]
+fn streamed_rows_match_offline_run_matrix_bytes() {
+    let matrix = tiny_matrix();
+    let offline = run_matrix(&matrix, &Pool::new(2)).unwrap();
+    let offline_lines: Vec<String> = offline
+        .iter()
+        .map(|r| serde_json::to_string(r).unwrap())
+        .collect();
+
+    let (addr, handle) = start_server(ServerConfig {
+        threads: 2,
+        cache_dir: None,
+    });
+    let outcome = client::submit(&addr, &MatrixSource::Inline(matrix), 0).unwrap();
+    assert_eq!(outcome.header.cells, offline_lines.len());
+    assert_eq!(outcome.header.cached, 0);
+    assert_eq!(outcome.footer.computed, offline_lines.len());
+    assert_eq!(
+        outcome.rows, offline_lines,
+        "served rows must be offline bytes"
+    );
+    shutdown_and_join(&addr, handle);
+}
+
+#[test]
+fn resubmission_is_bit_identical_with_zero_recomputation() {
+    let (addr, handle) = start_server(ServerConfig {
+        threads: 2,
+        cache_dir: None,
+    });
+    let source = MatrixSource::Inline(tiny_matrix());
+
+    let first = client::submit(&addr, &source, 0).unwrap();
+    assert_eq!(first.footer.computed, first.header.cells);
+    assert_eq!(first.footer.cached, 0);
+
+    let second = client::submit(&addr, &source, 0).unwrap();
+    assert_eq!(
+        second.footer.computed, 0,
+        "second submit must recompute nothing"
+    );
+    assert_eq!(second.footer.cached, second.header.cells);
+    assert_eq!(
+        second.rows, first.rows,
+        "cache hits must replay identical bytes"
+    );
+
+    // An *overlapping* matrix reuses the shared cells: drop one rank count,
+    // so every remaining cell is already cached.
+    let mut overlap = tiny_matrix();
+    overlap.ranks = vec![2];
+    let third = client::submit(&addr, &MatrixSource::Inline(overlap), 0).unwrap();
+    assert_eq!(third.footer.computed, 0, "shared cells must hit the cache");
+    assert_eq!(third.header.cells, first.header.cells / 2);
+
+    shutdown_and_join(&addr, handle);
+}
+
+#[test]
+fn fetch_is_cache_only() {
+    let (addr, handle) = start_server(ServerConfig {
+        threads: 2,
+        cache_dir: None,
+    });
+    let source = MatrixSource::Inline(tiny_matrix());
+
+    let err = client::fetch(&addr, &source).unwrap_err();
+    assert!(err.contains("incomplete"), "{err}");
+    assert!(err.contains("16 of 16"), "{err}");
+
+    let submitted = client::submit(&addr, &source, 0).unwrap();
+    let fetched = client::fetch(&addr, &source).unwrap();
+    assert_eq!(fetched.footer.computed, 0);
+    assert_eq!(fetched.rows, submitted.rows);
+
+    shutdown_and_join(&addr, handle);
+}
+
+#[test]
+fn four_concurrent_clients_all_get_correct_streams() {
+    let (addr, handle) = start_server(ServerConfig {
+        threads: 3,
+        cache_dir: None,
+    });
+    let expected: Vec<String> = run_matrix(&tiny_matrix(), &Pool::new(2))
+        .unwrap()
+        .iter()
+        .map(|r| serde_json::to_string(r).unwrap())
+        .collect();
+
+    // 5 clients race the same matrix at different priorities; every stream
+    // must come back complete, ordered, and byte-identical to offline.
+    let clients: Vec<_> = (0..5)
+        .map(|i| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                client::submit(&addr, &MatrixSource::Inline(tiny_matrix()), i as i64 % 3)
+            })
+        })
+        .collect();
+    let mut computed_total = 0usize;
+    for c in clients {
+        let outcome = c.join().unwrap().expect("concurrent submit succeeds");
+        assert_eq!(outcome.rows, expected);
+        computed_total += outcome.footer.computed;
+    }
+    // Concurrent racers may duplicate a cell's compute, but the cache keeps
+    // the amplification far below 5× (and identical bytes regardless).
+    assert!(computed_total >= 16, "at least one full compute happened");
+    assert!(
+        computed_total <= 5 * 16,
+        "computed {computed_total} exceeds worst case"
+    );
+
+    let status = client::status(&addr).unwrap();
+    assert_eq!(status.submits, 5);
+    assert_eq!(status.hot_entries, 16);
+    assert_eq!(status.queued, 0);
+    assert_eq!(status.inflight, 0);
+    assert_eq!(status.threads, 3);
+    assert!(status.hits + status.misses >= 5 * 16);
+
+    shutdown_and_join(&addr, handle);
+}
+
+#[test]
+fn cold_tier_survives_server_restart() {
+    let dir = std::env::temp_dir().join(format!("ebird_serve_restart_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let source = MatrixSource::Inline(tiny_matrix());
+
+    let (addr, handle) = start_server(ServerConfig {
+        threads: 2,
+        cache_dir: Some(dir.clone()),
+    });
+    let first = client::submit(&addr, &source, 0).unwrap();
+    assert_eq!(first.footer.computed, 16);
+    shutdown_and_join(&addr, handle);
+
+    // A fresh server over the same cache dir serves the matrix without
+    // computing anything — fetch works immediately.
+    let (addr, handle) = start_server(ServerConfig {
+        threads: 2,
+        cache_dir: Some(dir.clone()),
+    });
+    let fetched = client::fetch(&addr, &source).unwrap();
+    assert_eq!(fetched.footer.computed, 0);
+    assert_eq!(fetched.rows, first.rows);
+    shutdown_and_join(&addr, handle);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn shutdown_is_not_stalled_by_a_partial_request_line() {
+    use std::io::Write as _;
+    let (addr, handle) = start_server(ServerConfig {
+        threads: 1,
+        cache_dir: None,
+    });
+    // Hold a connection open with an unterminated request line: the drain
+    // must abandon it rather than wait for the newline forever.
+    let mut holder = TcpStream::connect(&addr).unwrap();
+    holder.write_all(b"{\"verb\":\"status\"").unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    let ack = client::shutdown(&addr).expect("shutdown acknowledged");
+    assert!(ack.stopping);
+    // Watchdog join, so a regression fails the test instead of hanging it.
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        tx.send(handle.join()).ok();
+    });
+    rx.recv_timeout(std::time::Duration::from_secs(10))
+        .expect("server exited despite the held-open partial line")
+        .expect("server thread joins")
+        .expect("server run() returns Ok");
+    drop(holder);
+}
+
+#[test]
+fn shutdown_closes_the_listener() {
+    let (addr, handle) = start_server(ServerConfig {
+        threads: 1,
+        cache_dir: None,
+    });
+    assert!(TcpStream::connect(&addr).is_ok());
+    shutdown_and_join(&addr, handle);
+    // After a graceful shutdown nothing listens on the port any more.
+    assert!(client::status(&addr).is_err());
+}

@@ -22,6 +22,7 @@
 //! | [`cluster`] | `ebird-cluster` | job runner, OS-noise, synthetic timing models |
 //! | [`partcomm`] | `ebird-partcomm` | partitioned comm + early-bird delivery sim |
 //! | [`analysis`] | `ebird-analysis` | aggregation, metrics, paper figures/tables |
+//! | [`serve`] | `ebird-serve` | campaign service: TCP protocol, job queue, result cache |
 //!
 //! ## Quickstart
 //!
@@ -42,4 +43,5 @@ pub use ebird_cluster as cluster;
 pub use ebird_core as core;
 pub use ebird_partcomm as partcomm;
 pub use ebird_runtime as runtime;
+pub use ebird_serve as serve;
 pub use ebird_stats as stats;

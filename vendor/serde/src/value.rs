@@ -56,6 +56,21 @@ impl Value {
     }
 }
 
+/// `Value` is its own data model: serializing is the identity, so protocol
+/// code can parse arbitrary JSON into a `Value` first and inspect its shape
+/// (e.g. dispatch on a `"verb"` field) before committing to a typed decode.
+impl crate::Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl crate::Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 /// Looks up a field in object entries (helper used by derived code).
 ///
 /// # Errors

@@ -9,6 +9,11 @@
 //!
 //! Anything else (tuple structs, tuple variants, generic types) produces a
 //! compile error naming the unsupported construct.
+//!
+//! The only field attribute supported is real serde's defaulting pair:
+//! `#[serde(default)]` fills a missing field with `Default::default()`, and
+//! `#[serde(default = "path")]` calls `path()` instead — which is how config
+//! structs grow new fields without invalidating previously saved JSON.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -16,7 +21,7 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 enum Item {
     Struct {
         name: String,
-        fields: Vec<String>,
+        fields: Vec<Field>,
     },
     Enum {
         name: String,
@@ -24,14 +29,30 @@ enum Item {
     },
 }
 
+/// A named field and how to fill it when its key is absent.
+struct Field {
+    name: String,
+    default: FieldDefault,
+}
+
+/// Missing-field policy, from the field's `#[serde(...)]` attribute.
+enum FieldDefault {
+    /// No attribute: a missing field is a deserialization error.
+    Required,
+    /// `#[serde(default)]`: fill with `Default::default()`.
+    DefaultTrait,
+    /// `#[serde(default = "path")]`: fill with `path()`.
+    DefaultFn(String),
+}
+
 struct Variant {
     name: String,
     /// `None` for unit variants, `Some(fields)` for struct variants.
-    fields: Option<Vec<String>>,
+    fields: Option<Vec<Field>>,
 }
 
 /// Derives `serde::Serialize` (the stand-in's value-model flavor).
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     let code = match &item {
@@ -39,6 +60,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             let pushes: String = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "entries.push(({f:?}.to_string(), \
                          ::serde::Serialize::to_value(&self.{f})));\n"
@@ -66,10 +88,15 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                              ::serde::Value::String({vname:?}.to_string()),\n"
                         ),
                         Some(fields) => {
-                            let binds = fields.join(", ");
+                            let binds = fields
+                                .iter()
+                                .map(|f| f.name.as_str())
+                                .collect::<Vec<_>>()
+                                .join(", ");
                             let pushes: String = fields
                                 .iter()
                                 .map(|f| {
+                                    let f = &f.name;
                                     format!(
                                         "inner.push(({f:?}.to_string(), \
                                          ::serde::Serialize::to_value({f})));\n"
@@ -100,21 +127,37 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     code.parse().expect("derived Serialize impl parses")
 }
 
+/// Generates one `field: <expr>,` initializer honoring the missing-field
+/// policy (`entries_var` names the in-scope `&[(String, Value)]` binding).
+fn field_init(f: &Field, entries_var: &str) -> String {
+    let name = &f.name;
+    match &f.default {
+        FieldDefault::Required => format!(
+            "{name}: ::serde::Deserialize::from_value(\
+             ::serde::value::get_field({entries_var}, {name:?})?)?,\n"
+        ),
+        FieldDefault::DefaultTrait => format!(
+            "{name}: match ::serde::value::get_field({entries_var}, {name:?}) {{\n\
+                 ::std::result::Result::Ok(v) => ::serde::Deserialize::from_value(v)?,\n\
+                 ::std::result::Result::Err(_) => ::std::default::Default::default(),\n\
+             }},\n"
+        ),
+        FieldDefault::DefaultFn(path) => format!(
+            "{name}: match ::serde::value::get_field({entries_var}, {name:?}) {{\n\
+                 ::std::result::Result::Ok(v) => ::serde::Deserialize::from_value(v)?,\n\
+                 ::std::result::Result::Err(_) => {path}(),\n\
+             }},\n"
+        ),
+    }
+}
+
 /// Derives `serde::Deserialize` (the stand-in's value-model flavor).
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     let code = match &item {
         Item::Struct { name, fields } => {
-            let inits: String = fields
-                .iter()
-                .map(|f| {
-                    format!(
-                        "{f}: ::serde::Deserialize::from_value(\
-                         ::serde::value::get_field(entries, {f:?})?)?,\n"
-                    )
-                })
-                .collect();
+            let inits: String = fields.iter().map(|f| field_init(f, "entries")).collect();
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\
                      fn from_value(v: &::serde::Value) -> \
@@ -140,15 +183,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                 .iter()
                 .filter_map(|v| v.fields.as_ref().map(|fields| (&v.name, fields)))
                 .map(|(vname, fields)| {
-                    let inits: String = fields
-                        .iter()
-                        .map(|f| {
-                            format!(
-                                "{f}: ::serde::Deserialize::from_value(\
-                                 ::serde::value::get_field(inner, {f:?})?)?,\n"
-                            )
-                        })
-                        .collect();
+                    let inits: String = fields.iter().map(|f| field_init(f, "inner")).collect();
                     format!(
                         "{vname:?} => {{\n\
                              let inner = payload.as_object().ok_or_else(|| \
@@ -219,15 +254,16 @@ fn parse_item(input: TokenStream) -> Item {
     }
 }
 
-/// Parses `field: Type, ...` (named fields), returning the field names.
+/// Parses `field: Type, ...` (named fields), returning the field names and
+/// their `#[serde(...)]` missing-field policies.
 /// Commas inside angle brackets (e.g. `HashMap<K, V>`) do not split fields;
 /// commas inside `(...)`/`[...]` are already hidden inside token groups.
-fn parse_named_fields(body: TokenStream) -> Vec<String> {
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
     let tokens: Vec<TokenTree> = body.into_iter().collect();
     let mut fields = Vec::new();
     let mut pos = 0;
     while pos < tokens.len() {
-        skip_attrs_and_vis(&tokens, &mut pos);
+        let default = collect_field_default(&tokens, &mut pos);
         if pos >= tokens.len() {
             break;
         }
@@ -239,10 +275,87 @@ fn parse_named_fields(body: TokenStream) -> Vec<String> {
                  (tuple fields are not supported), found {other:?}"
             ),
         }
-        fields.push(field);
+        fields.push(Field {
+            name: field,
+            default,
+        });
         skip_type_until_comma(&tokens, &mut pos);
     }
     fields
+}
+
+/// Like [`skip_attrs_and_vis`] but records the missing-field policy from any
+/// `#[serde(default)]` / `#[serde(default = "path")]` attribute it skips.
+fn collect_field_default(tokens: &[TokenTree], pos: &mut usize) -> FieldDefault {
+    let mut default = FieldDefault::Required;
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 1; // `#`
+                if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                    if g.delimiter() == Delimiter::Bracket {
+                        if let Some(d) = parse_serde_default_attr(g.stream()) {
+                            default = d;
+                        }
+                        *pos += 1; // `[...]`
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *pos += 1; // `(crate)` etc.
+                }
+            }
+            _ => return default,
+        }
+    }
+}
+
+/// Recognizes `serde(default)` / `serde(default = "path")` inside one
+/// attribute's bracket group; other attributes (doc comments etc.) yield
+/// `None`. Unknown `serde(...)` arguments are a hard error — silently
+/// ignoring them would change wire behavior without warning.
+fn parse_serde_default_attr(attr: TokenStream) -> Option<FieldDefault> {
+    let tokens: Vec<TokenTree> = attr.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let args = match tokens.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            g.stream().into_iter().collect::<Vec<TokenTree>>()
+        }
+        other => panic!("serde stand-in derive: malformed serde attribute, found {other:?}"),
+    };
+    match args.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "default" => {}
+        other => panic!(
+            "serde stand-in derive: unsupported serde attribute argument {other:?} \
+             (only `default` and `default = \"path\"` are supported)"
+        ),
+    }
+    match args.get(1) {
+        None => Some(FieldDefault::DefaultTrait),
+        Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+            let lit = match args.get(2) {
+                Some(TokenTree::Literal(l)) => l.to_string(),
+                other => panic!(
+                    "serde stand-in derive: `default =` expects a string literal, found {other:?}"
+                ),
+            };
+            let path = lit
+                .strip_prefix('"')
+                .and_then(|s| s.strip_suffix('"'))
+                .unwrap_or_else(|| {
+                    panic!("serde stand-in derive: `default =` expects a string literal, got {lit}")
+                });
+            Some(FieldDefault::DefaultFn(path.to_string()))
+        }
+        other => panic!("serde stand-in derive: malformed `default` argument, found {other:?}"),
+    }
 }
 
 fn parse_variants(body: TokenStream) -> Vec<Variant> {

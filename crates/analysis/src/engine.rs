@@ -20,7 +20,7 @@
 
 use ebird_core::view::{fill_group_ms, AggregationLevel};
 use ebird_core::{ThreadSample, TimingTrace};
-use ebird_partcomm::{simulate_with_scratch, DeliveryOutcome, LinkModel, SimScratch, Strategy};
+use ebird_partcomm::{run_delivery, DeliveryOutcome, NetModel, SimScratch, Strategy};
 use ebird_runtime::Pool;
 use ebird_stats::normality::{battery_with_scratch, BatteryScratch, NormalityOutcome};
 use ebird_stats::reduce::Mergeable;
@@ -185,23 +185,31 @@ pub fn canonical_strategies(threads: usize) -> [Strategy; 4] {
     ]
 }
 
-fn delivery_unit(
+fn delivery_unit<M: NetModel + ?Sized>(
     arrivals_ms: &[f64],
     bytes_total: usize,
-    link: &LinkModel,
+    model: &mut M,
     scratch: &mut SimScratch,
 ) -> [DeliveryOutcome; 4] {
     canonical_strategies(arrivals_ms.len())
-        .map(|s| simulate_with_scratch(arrivals_ms, bytes_total, link, s, scratch))
+        .map(|s| run_delivery(model, &[arrivals_ms], bytes_total, s, scratch))
 }
 
 /// Prices the [`canonical_strategies`] on every process-iteration's arrivals,
 /// serially — one `[bulk, early-bird, timeout, binned]` outcome row per
-/// process-iteration, trace order.
-pub fn delivery_sweep(
+/// process-iteration, trace order, every cell priced on `model` (reset by
+/// the kernel between runs; any single-rank [`NetModel`] works —
+/// [`SerialLink`](ebird_partcomm::SerialLink),
+/// [`LogGPLink`](ebird_partcomm::LogGPLink), a 1-rank fabric, or a boxed
+/// `dyn NetModel`).
+///
+/// # Panics
+/// If `model` services more than one rank (each process-iteration is one
+/// sender's arrival set).
+pub fn delivery_sweep<M: NetModel + ?Sized>(
     trace: &TimingTrace,
     bytes_total: usize,
-    link: &LinkModel,
+    model: &mut M,
 ) -> Vec<[DeliveryOutcome; 4]> {
     let mut scratch = SimScratch::new();
     let mut values = Vec::with_capacity(trace.shape().threads);
@@ -210,24 +218,30 @@ pub fn delivery_sweep(
         .map(|(_, _, _, samples)| {
             values.clear();
             values.extend(samples.iter().map(ThreadSample::compute_time_ms));
-            delivery_unit(&values, bytes_total, link, &mut scratch)
+            delivery_unit(&values, bytes_total, model, &mut scratch)
         })
         .collect()
 }
 
 /// Parallel counterpart of [`delivery_sweep`] — bit-identical for any pool
 /// size, because each unit runs the same scratch-based kernel independently
-/// into its own output slot.
-pub fn delivery_sweep_parallel(
+/// into its own output slot. `make_model` builds one model per worker (the
+/// kernel resets it between cells).
+pub fn delivery_sweep_parallel<M, F>(
     trace: &TimingTrace,
     bytes_total: usize,
-    link: &LinkModel,
+    make_model: F,
     pool: &Pool,
-) -> Vec<[DeliveryOutcome; 4]> {
+) -> Vec<[DeliveryOutcome; 4]>
+where
+    M: NetModel,
+    F: Fn() -> M + Sync,
+{
     let shape = trace.shape();
     let units = shape.process_iterations();
     let mut out: Vec<Option<[DeliveryOutcome; 4]>> = vec![None; units];
     pool.parallel_chunks_mut(&mut out, |block, range, _ctx| {
+        let mut model = make_model();
         let mut scratch = SimScratch::new();
         let mut values = Vec::with_capacity(shape.threads);
         for (offset, slot) in block.iter_mut().enumerate() {
@@ -237,7 +251,12 @@ pub fn delivery_sweep_parallel(
                 .expect("unit in range by construction");
             values.clear();
             values.extend(samples.iter().map(ThreadSample::compute_time_ms));
-            *slot = Some(delivery_unit(&values, bytes_total, link, &mut scratch));
+            *slot = Some(delivery_unit(
+                &values,
+                bytes_total,
+                &mut model,
+                &mut scratch,
+            ));
         }
     });
     out.into_iter()
@@ -260,6 +279,7 @@ mod tests {
     use crate::normality::sweep;
     use crate::reclaim::reclaim_metrics;
     use ebird_core::{SampleIndex, TraceShape};
+    use ebird_partcomm::SerialLink;
 
     /// A mixed-shape trace: tight normal-ish groups with occasional laggards
     /// and one degenerate (flat) process-iteration.
@@ -356,12 +376,12 @@ mod tests {
     #[test]
     fn parallel_delivery_sweep_is_bit_identical() {
         let tr = mixed_trace();
-        let link = LinkModel::omni_path();
-        let serial = delivery_sweep(&tr, 1_000_000, &link);
+        let link = ebird_partcomm::LinkModel::omni_path();
+        let serial = delivery_sweep(&tr, 1_000_000, &mut SerialLink::new(link));
         assert_eq!(serial.len(), tr.shape().process_iterations());
         for workers in [1, 2, 5] {
             let pool = Pool::new(workers);
-            let parallel = delivery_sweep_parallel(&tr, 1_000_000, &link, &pool);
+            let parallel = delivery_sweep_parallel(&tr, 1_000_000, || SerialLink::new(link), &pool);
             assert_eq!(serial, parallel, "{workers} workers");
         }
         // Every unit priced all four canonical strategies.
@@ -371,5 +391,22 @@ mod tests {
             assert_eq!(row[0].messages, 1);
             assert_eq!(row[1].messages, tr.shape().threads);
         }
+    }
+
+    #[test]
+    fn delivery_sweep_accepts_any_single_rank_model() {
+        // The sweep is model-agnostic: a boxed dyn NetModel prices the same
+        // trace, and a zero-gap LogGP link is bit-identical to the α/β
+        // SerialLink it degenerates to.
+        let tr = mixed_trace();
+        let link = ebird_partcomm::LinkModel::omni_path();
+        let over_serial = delivery_sweep(&tr, 1_000_000, &mut SerialLink::new(link));
+        let mut boxed: Box<dyn NetModel> = Box::new(ebird_partcomm::LogGPLink::new(
+            link.alpha_ms,
+            0.0,
+            link.beta_ms_per_byte,
+        ));
+        let over_loggp = delivery_sweep(&tr, 1_000_000, &mut *boxed);
+        assert_eq!(over_serial, over_loggp);
     }
 }

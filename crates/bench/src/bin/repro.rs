@@ -3,7 +3,7 @@
 //! ```text
 //! repro [--scale paper|ci] [--seed N] [--source synthetic|real]
 //!       [--threads N] [--csv-dir DIR]
-//!       [--smoke] [--matrix FILE] [--out FILE]
+//!       [--smoke] [--preset NAME] [--matrix FILE] [--out FILE]
 //!       [--addr HOST:PORT] [--cache-dir DIR] [--priority N] <experiment>
 //!
 //! experiments:
@@ -18,11 +18,13 @@
 //!   battery         extended 5-test normality battery (sensitivity check)
 //!   fit             fitted generative models extracted from the traces
 //!   scenarios       multi-rank contention campaign (apps × strategies ×
-//!                   links × noise × ranks); one JSON row per scenario on
-//!                   stdout. --smoke runs the 48-cell CI matrix, --matrix
-//!                   loads a custom ScenarioMatrix JSON (whose own seed
-//!                   governs; --seed applies to the built-in matrices),
-//!                   --out also writes the rows to a file
+//!                   network models × noise × ranks); one JSON row per
+//!                   scenario on stdout. --smoke runs the 48-cell CI matrix,
+//!                   --preset picks any built-in matrix (full, smoke,
+//!                   topology, topology-smoke), --matrix loads a custom
+//!                   ScenarioMatrix JSON (whose own seed governs; --seed
+//!                   applies to the built-in matrices), --out also writes
+//!                   the rows to a file
 //!   serve           run the campaign service on --addr (default
 //!                   127.0.0.1:4750): accepts line-JSON submit/fetch/
 //!                   status/shutdown requests, schedules cells on the
@@ -73,7 +75,7 @@ fn main() {
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!();
-            eprintln!("usage: repro [--scale paper|ci] [--seed N] [--source synthetic|real] [--threads N] [--csv-dir DIR] [--smoke] [--matrix FILE] [--out FILE] [--addr HOST:PORT] [--cache-dir DIR] [--priority N] <experiment>");
+            eprintln!("usage: repro [--scale paper|ci] [--seed N] [--source synthetic|real] [--threads N] [--csv-dir DIR] [--smoke] [--preset NAME] [--matrix FILE] [--out FILE] [--addr HOST:PORT] [--cache-dir DIR] [--priority N] <experiment>");
             eprintln!("experiments: table1 app-normality iter-normality fig3 fig4 fig5 fig6 fig7 fig8 fig9 metrics earlybird battery fit scenarios serve submit fetch status shutdown all");
             std::process::exit(2);
         }
@@ -87,6 +89,8 @@ struct Options {
     csv_dir: Option<std::path::PathBuf>,
     /// `scenarios`: run the 48-cell CI matrix instead of the full 288.
     smoke: bool,
+    /// `scenarios`/service verbs: named built-in matrix preset.
+    preset: Option<String>,
     /// `scenarios`: load a custom [`ScenarioMatrix`] JSON.
     matrix: Option<std::path::PathBuf>,
     /// `scenarios`: also write the JSON rows to this file.
@@ -108,6 +112,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut real = false;
     let mut csv_dir = None;
     let mut smoke = false;
+    let mut preset = None;
     let mut matrix = None;
     let mut out = None;
     let mut addr = DEFAULT_ADDR.to_string();
@@ -149,6 +154,10 @@ fn run(args: &[String]) -> Result<(), String> {
                 csv_dir = Some(std::path::PathBuf::from(v));
             }
             "--smoke" => smoke = true,
+            "--preset" => {
+                let v = it.next().ok_or("--preset needs a value")?;
+                preset = Some(v.clone());
+            }
             "--matrix" => {
                 let v = it.next().ok_or("--matrix needs a value")?;
                 matrix = Some(std::path::PathBuf::from(v));
@@ -181,6 +190,7 @@ fn run(args: &[String]) -> Result<(), String> {
         real,
         csv_dir,
         smoke,
+        preset,
         matrix,
         out,
         addr,
@@ -578,17 +588,25 @@ fn cmd_fit(traces: &[TimingTrace]) {
 }
 
 /// Materializes the campaign matrix the scenario/service verbs operate on:
-/// `--matrix FILE` is a self-contained config (its own seed governs), the
-/// built-in presets take `--seed`.
+/// `--matrix FILE` is a self-contained config (its own seed governs); the
+/// built-in presets (`--preset NAME`, or `--smoke`/full default) take
+/// `--seed`. `--matrix` wins over `--preset` wins over `--smoke`.
 fn build_matrix(opts: &Options) -> Result<ScenarioMatrix, String> {
-    match &opts.matrix {
-        Some(path) => {
+    match (&opts.matrix, &opts.preset) {
+        (Some(path), _) => {
             let text =
                 std::fs::read_to_string(path).map_err(|e| format!("reading {path:?}: {e}"))?;
             serde_json::from_str::<ScenarioMatrix>(&text)
                 .map_err(|e| format!("parsing {path:?}: {e}"))
         }
-        None => {
+        (None, Some(name)) => {
+            // Unknown presets flow through the same Result<_, String> path
+            // as matrix resolution: `error: unknown preset ...` on stderr.
+            let mut m = ScenarioMatrix::preset(name)?;
+            m.seed = opts.seed;
+            Ok(m)
+        }
+        (None, None) => {
             let mut m = if opts.smoke {
                 ScenarioMatrix::smoke()
             } else {
@@ -603,11 +621,11 @@ fn build_matrix(opts: &Options) -> Result<ScenarioMatrix, String> {
 fn cmd_scenarios(opts: &Options) -> Result<(), String> {
     let matrix = build_matrix(opts)?;
     eprintln!(
-        "# scenario campaign: {} cells ({} apps × {} strategies × {} links × {} noise × {} rank counts), {} worker thread(s)",
+        "# scenario campaign: {} cells ({} apps × {} strategies × {} network models × {} noise × {} rank counts), {} worker thread(s)",
         matrix.len(),
         matrix.apps.len(),
         matrix.strategies.len(),
-        matrix.links.len(),
+        matrix.links.len() + matrix.models.len(),
         matrix.noise.len(),
         matrix.ranks.len(),
         opts.pool.threads()

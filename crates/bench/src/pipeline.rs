@@ -21,7 +21,7 @@ use ebird_analysis::reclaim::reclaim_metrics;
 use ebird_cluster::SyntheticApp;
 use ebird_core::view::AggregationLevel;
 use ebird_core::TimingTrace;
-use ebird_partcomm::LinkModel;
+use ebird_partcomm::{LinkModel, SerialLink};
 use ebird_runtime::Pool;
 use ebird_stats::Moments;
 use serde::{Deserialize, Serialize};
@@ -213,17 +213,19 @@ pub fn run_pipeline(scale: Scale, seed: u64, pool: &Pool, repeats: usize) -> Pip
     ));
 
     // Stage 5: early-bird delivery simulation over every process-iteration
-    // (the engine's canonical-strategy sweep).
+    // (the engine's canonical-strategy sweep, priced through the unified
+    // NetModel kernel on a SerialLink).
     let (sim_serial_ms, sims) = time_best(repeats, || {
+        let mut model = SerialLink::new(link);
         traces
             .iter()
-            .map(|tr| delivery_sweep(tr, SIM_BYTES, &link))
+            .map(|tr| delivery_sweep(tr, SIM_BYTES, &mut model))
             .collect::<Vec<_>>()
     });
     let (sim_parallel_ms, sims_par) = time_best(repeats, || {
         traces
             .iter()
-            .map(|tr| delivery_sweep_parallel(tr, SIM_BYTES, &link, pool))
+            .map(|tr| delivery_sweep_parallel(tr, SIM_BYTES, || SerialLink::new(link), pool))
             .collect::<Vec<_>>()
     });
     assert_eq!(sims, sims_par, "parallel simulation diverged from serial");

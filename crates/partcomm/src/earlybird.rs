@@ -1,4 +1,4 @@
-//! The early-bird delivery simulator.
+//! The early-bird delivery simulator: one kernel, any network model.
 //!
 //! Takes per-thread arrival times (measured traces or synthetic models),
 //! assigns each thread one buffer partition, and simulates when the complete
@@ -22,14 +22,20 @@
 //! quantifies this for all three applications' arrival shapes.
 //!
 //! Every strategy reduces to a *message plan* — `(inject_ms, bytes)` pairs in
-//! nondecreasing injection order — priced either against one sender's
-//! [`SerialLink`] ([`simulate`]) or, for the whole-job view the paper's §2
-//! argues about, against a shared [`Fabric`] with N concurrent sending ranks
-//! ([`simulate_fabric`]).
+//! nondecreasing injection order per rank — and **one** kernel,
+//! [`run_delivery`], prices those plans against any
+//! [`NetModel`](crate::netmodel::NetModel): a single sender's
+//! [`SerialLink`](crate::netmodel::SerialLink), the whole-job
+//! [`Fabric`](crate::netmodel::Fabric) the paper's §2 argues about, a
+//! [`HierarchicalFabric`](crate::netmodel::HierarchicalFabric), or a
+//! [`LogGPLink`](crate::netmodel::LogGPLink). [`simulate`] is the
+//! single-sender convenience wrapper over the same kernel.
+
+use std::borrow::Cow;
 
 use serde::{Deserialize, Serialize};
 
-use crate::netmodel::{Fabric, LinkModel, SerialLink};
+use crate::netmodel::{LinkModel, NetModel, SerialLink};
 
 /// A delivery strategy for one partitioned buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -51,47 +57,80 @@ pub enum Strategy {
 }
 
 impl Strategy {
-    /// Label for reports and benches.
-    pub fn label(&self) -> String {
+    /// Label for reports and benches. Non-parameterized variants return a
+    /// borrowed `&'static str` — no allocation in hot sweep loops; only the
+    /// parameterized variants format an owned string.
+    pub fn label(&self) -> Cow<'static, str> {
         match self {
-            Strategy::Bulk => "bulk".into(),
-            Strategy::EarlyBird => "early-bird".into(),
-            Strategy::TimeoutFlush { timeout_ms } => format!("timeout({timeout_ms:.3}ms)"),
-            Strategy::Binned { bins } => format!("binned({bins})"),
+            Strategy::Bulk => Cow::Borrowed("bulk"),
+            Strategy::EarlyBird => Cow::Borrowed("early-bird"),
+            Strategy::TimeoutFlush { timeout_ms } => {
+                Cow::Owned(format!("timeout({timeout_ms:.3}ms)"))
+            }
+            Strategy::Binned { bins } => Cow::Owned(format!("binned({bins})")),
         }
     }
 }
 
-/// Result of simulating one strategy on one arrival set.
+/// One rank's share of a delivery: its partitions' plan priced on its
+/// channel of the shared model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankDelivery {
+    /// When this rank's buffer finished delivering (ms).
+    pub completion_ms: f64,
+    /// When this rank's last thread arrived (ms).
+    pub last_arrival_ms: f64,
+    /// Messages this rank injected (α count).
+    pub messages: usize,
+    /// Wire time attributable to this rank's messages (ms).
+    pub wire_ms: f64,
+}
+
+/// Result of simulating one strategy on one arrival set — rank-aware: the
+/// job-level view (completion of the slowest rank, totals across ranks)
+/// plus each rank's own [`RankDelivery`]. A single-sender simulation is the
+/// 1-rank case (`per_rank.len() == 1`, job fields equal to the rank's).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DeliveryOutcome {
     /// The strategy simulated.
     pub strategy: Strategy,
-    /// When the complete buffer has been delivered (ms).
+    /// When the complete buffer (every rank's) has been delivered (ms).
     pub completion_ms: f64,
-    /// When the last thread arrived (the earliest any strategy could finish
-    /// sending the final partition).
+    /// The latest thread arrival across all ranks (the earliest any strategy
+    /// could finish sending the final partition).
     pub last_arrival_ms: f64,
-    /// Number of messages injected (α count).
+    /// Total messages injected across all ranks (α count).
     pub messages: usize,
-    /// Total wire-busy time (ms).
+    /// Total wire-busy time across the whole model (ms).
     pub wire_ms: f64,
+    /// Per-rank outcomes, rank order.
+    pub per_rank: Vec<RankDelivery>,
 }
 
 impl DeliveryOutcome {
     /// Time past the last arrival spent finishing delivery — the exposed
     /// (non-overlapped) communication cost. Bulk exposes the entire
     /// transfer; a perfect early-bird run exposes only the final partition.
+    ///
+    /// This is THE one definition: job-level for multi-rank runs (the
+    /// paper's whole-job view), and identical to the single sender's own
+    /// exposure in the 1-rank case.
     pub fn exposed_ms(&self) -> f64 {
         self.completion_ms - self.last_arrival_ms
     }
+
+    /// Number of sending ranks this outcome covers.
+    pub fn ranks(&self) -> usize {
+        self.per_rank.len()
+    }
 }
 
-/// Reusable buffers for [`simulate_with_scratch`]: the per-strategy working
-/// sets (arrival order, bin events, message plan) that [`simulate`] would
+/// Reusable buffers for the delivery kernel: the per-strategy working sets
+/// (arrival order, bin events, message plan) that [`run_delivery`] would
 /// otherwise allocate fresh on every call. One scratch per worker lets a
 /// trace-wide strategy sweep (thousands of process-iterations × strategies)
-/// run allocation-free after warm-up.
+/// run allocation-free after warm-up (modulo the outcome's own per-rank
+/// vector).
 #[derive(Debug, Clone, Default)]
 pub struct SimScratch {
     order: Vec<usize>,
@@ -104,30 +143,6 @@ impl SimScratch {
     pub fn new() -> Self {
         Self::default()
     }
-}
-
-/// Simulates delivering `bytes_total` (split equally over
-/// `arrivals_ms.len()` partitions) through `link` under `strategy`.
-///
-/// `arrivals_ms[i]` is the compute-completion time of thread `i`, which owns
-/// partition `i` — precisely the paper's early-bird model (§2).
-///
-/// # Panics
-/// On empty arrivals, non-finite times, zero bytes, non-positive timeout, or
-/// zero bins.
-pub fn simulate(
-    arrivals_ms: &[f64],
-    bytes_total: usize,
-    link: &LinkModel,
-    strategy: Strategy,
-) -> DeliveryOutcome {
-    simulate_with_scratch(
-        arrivals_ms,
-        bytes_total,
-        link,
-        strategy,
-        &mut SimScratch::new(),
-    )
 }
 
 /// Validates one arrival set and returns its last arrival.
@@ -149,9 +164,8 @@ fn check_arrivals(arrivals_ms: &[f64], bytes_total: usize) -> f64 {
 
 /// Builds the message plan of one sender under `strategy` into
 /// `scratch.plan`: `(inject_ms, bytes)` pairs in nondecreasing injection
-/// order. Every strategy reduces to such a plan, which is what lets one
-/// kernel price a plan against a [`SerialLink`] or a rank's [`Fabric`] NIC
-/// interchangeably.
+/// order. Every strategy reduces to such a plan, which is what lets the one
+/// kernel price a plan against any [`NetModel`] channel interchangeably.
 fn plan_messages(
     arrivals_ms: &[f64],
     bytes_total: usize,
@@ -271,8 +285,103 @@ fn plan_messages(
     }
 }
 
+/// THE delivery kernel: prices every rank's message plan under `strategy`
+/// against `model` and returns the rank-aware outcome.
+///
+/// `rank_arrivals_ms[r][i]` is the compute-completion time of rank `r`'s
+/// thread `i`, which owns partition `i` of that rank's
+/// `bytes_per_rank`-byte buffer — precisely the paper's early-bird model
+/// (§2), scaled to a whole job. The model is [`reset`](NetModel::reset)
+/// before pricing, so one instance can be reused across strategies and
+/// arrival sets.
+///
+/// Every previous closed-form simulator is this kernel with a model plugged
+/// in: the old single-sender `simulate` is `run_delivery` over a
+/// [`SerialLink`](crate::netmodel::SerialLink) (see [`simulate`]), the old
+/// `simulate_fabric` is `run_delivery` over a
+/// [`Fabric`](crate::netmodel::Fabric) — bit-identical in both cases, which
+/// the `netmodel_equivalence` proptests pin against closed-form oracles.
+///
+/// # Panics
+/// On empty rank lists or arrivals, a model whose
+/// [`ranks`](NetModel::ranks) differs from `rank_arrivals_ms.len()`,
+/// non-finite times, fewer than one byte per partition, non-positive
+/// timeout, or zero bins.
+pub fn run_delivery<M, A>(
+    model: &mut M,
+    rank_arrivals_ms: &[A],
+    bytes_per_rank: usize,
+    strategy: Strategy,
+    scratch: &mut SimScratch,
+) -> DeliveryOutcome
+where
+    M: NetModel + ?Sized,
+    A: AsRef<[f64]>,
+{
+    assert!(!rank_arrivals_ms.is_empty(), "need at least one rank");
+    assert_eq!(
+        model.ranks(),
+        rank_arrivals_ms.len(),
+        "model rank count must match the arrival sets"
+    );
+    model.reset();
+    let mut per_rank = Vec::with_capacity(rank_arrivals_ms.len());
+    let mut job_last_arrival = f64::NEG_INFINITY;
+    for (rank, arrivals_ms) in rank_arrivals_ms.iter().enumerate() {
+        let arrivals_ms = arrivals_ms.as_ref();
+        let last_arrival = check_arrivals(arrivals_ms, bytes_per_rank);
+        job_last_arrival = job_last_arrival.max(last_arrival);
+        plan_messages(arrivals_ms, bytes_per_rank, last_arrival, strategy, scratch);
+        // Fold arrivals with max, not last-wins: serializing channels return
+        // nondecreasing arrivals (where max IS the last value, bit for bit),
+        // but a store-and-forward hop (HierarchicalFabric) can deliver a
+        // small late message before a large earlier one.
+        let mut completion = 0.0f64;
+        for &(inject_ms, bytes) in scratch.plan.iter() {
+            completion = completion.max(model.inject(rank, inject_ms, bytes));
+        }
+        per_rank.push(RankDelivery {
+            completion_ms: completion,
+            last_arrival_ms: last_arrival,
+            messages: scratch.plan.len(),
+            wire_ms: model.rank_busy_ms(rank),
+        });
+    }
+    DeliveryOutcome {
+        strategy,
+        completion_ms: model.completion_ms(),
+        last_arrival_ms: job_last_arrival,
+        messages: per_rank.iter().map(|o| o.messages).sum(),
+        wire_ms: model.busy_ms(),
+        per_rank,
+    }
+}
+
+/// Single-sender convenience: [`run_delivery`] over a fresh
+/// [`SerialLink`](crate::netmodel::SerialLink) priced with `link` —
+/// `arrivals_ms[i]` is the compute-completion time of thread `i`, which
+/// owns partition `i`.
+///
+/// # Panics
+/// Same contract as [`run_delivery`].
+pub fn simulate(
+    arrivals_ms: &[f64],
+    bytes_total: usize,
+    link: &LinkModel,
+    strategy: Strategy,
+) -> DeliveryOutcome {
+    simulate_with_scratch(
+        arrivals_ms,
+        bytes_total,
+        link,
+        strategy,
+        &mut SimScratch::new(),
+    )
+}
+
 /// [`simulate`] with caller-provided scratch buffers (identical outcomes;
-/// zero allocations after the buffers have grown to the partition count).
+/// zero plan allocations after the buffers have grown to the partition
+/// count).
 ///
 /// # Panics
 /// Same contract as [`simulate`].
@@ -283,125 +392,13 @@ pub fn simulate_with_scratch(
     strategy: Strategy,
     scratch: &mut SimScratch,
 ) -> DeliveryOutcome {
-    let last_arrival = check_arrivals(arrivals_ms, bytes_total);
-    plan_messages(arrivals_ms, bytes_total, last_arrival, strategy, scratch);
-    let mut link_state = SerialLink::new();
-    let mut completion = 0.0f64;
-    for &(inject_ms, bytes) in scratch.plan.iter() {
-        completion = link_state.inject(inject_ms, link.transfer_ms(bytes));
-    }
-    DeliveryOutcome {
-        strategy,
-        completion_ms: completion,
-        last_arrival_ms: last_arrival,
-        messages: scratch.plan.len(),
-        wire_ms: link_state.busy_ms(),
-    }
-}
-
-/// Result of simulating one strategy across every rank of a [`Fabric`]:
-/// the whole-job view (§2's 49 nodes racing per-partition sends through a
-/// shared fabric) plus each rank's own [`DeliveryOutcome`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct FabricOutcome {
-    /// The strategy every rank ran.
-    pub strategy: Strategy,
-    /// The fabric's contention coefficient.
-    pub contention: f64,
-    /// When the last rank's buffer completed delivery (ms).
-    pub completion_ms: f64,
-    /// The latest thread arrival across all ranks (ms).
-    pub last_arrival_ms: f64,
-    /// Total messages injected across all ranks.
-    pub messages: usize,
-    /// Total wire-busy time across all NICs (ms).
-    pub wire_ms: f64,
-    /// Per-rank outcomes, rank order.
-    pub per_rank: Vec<DeliveryOutcome>,
-}
-
-impl FabricOutcome {
-    /// Job-level exposed (non-overlapped) communication cost past the last
-    /// arrival anywhere in the job.
-    pub fn exposed_ms(&self) -> f64 {
-        self.completion_ms - self.last_arrival_ms
-    }
-}
-
-/// Simulates `rank_arrivals_ms.len()` concurrent senders, each delivering
-/// `bytes_per_rank` (split over its own partitions) through a shared
-/// [`Fabric`] under `strategy`.
-///
-/// With one rank and any contention, the per-rank outcome is bit-identical
-/// to [`simulate`] on the same arrivals — the fabric's contention taper is
-/// exactly `1.0` there.
-///
-/// # Panics
-/// Same per-rank contract as [`simulate`]; additionally on an empty rank
-/// list or a contention outside `[0, 1]`.
-pub fn simulate_fabric(
-    rank_arrivals_ms: &[Vec<f64>],
-    bytes_per_rank: usize,
-    link: &LinkModel,
-    contention: f64,
-    strategy: Strategy,
-) -> FabricOutcome {
-    simulate_fabric_with_scratch(
-        rank_arrivals_ms,
-        bytes_per_rank,
-        link,
-        contention,
-        strategy,
-        &mut SimScratch::new(),
-    )
-}
-
-/// [`simulate_fabric`] with caller-provided scratch buffers.
-///
-/// # Panics
-/// Same contract as [`simulate_fabric`].
-pub fn simulate_fabric_with_scratch(
-    rank_arrivals_ms: &[Vec<f64>],
-    bytes_per_rank: usize,
-    link: &LinkModel,
-    contention: f64,
-    strategy: Strategy,
-    scratch: &mut SimScratch,
-) -> FabricOutcome {
-    assert!(!rank_arrivals_ms.is_empty(), "need at least one rank");
-    let ranks = rank_arrivals_ms.len();
-    let mut fabric = Fabric::new(ranks, *link, contention);
-    let mut per_rank = Vec::with_capacity(ranks);
-    let mut job_last_arrival = f64::NEG_INFINITY;
-    for (rank, arrivals_ms) in rank_arrivals_ms.iter().enumerate() {
-        let last_arrival = check_arrivals(arrivals_ms, bytes_per_rank);
-        job_last_arrival = job_last_arrival.max(last_arrival);
-        plan_messages(arrivals_ms, bytes_per_rank, last_arrival, strategy, scratch);
-        let mut completion = 0.0f64;
-        for &(inject_ms, bytes) in scratch.plan.iter() {
-            completion = fabric.inject(rank, inject_ms, bytes);
-        }
-        per_rank.push(DeliveryOutcome {
-            strategy,
-            completion_ms: completion,
-            last_arrival_ms: last_arrival,
-            messages: scratch.plan.len(),
-            wire_ms: fabric.nic(rank).busy_ms(),
-        });
-    }
-    FabricOutcome {
-        strategy,
-        contention,
-        completion_ms: fabric.completion_ms(),
-        last_arrival_ms: job_last_arrival,
-        messages: per_rank.iter().map(|o| o.messages).sum(),
-        wire_ms: fabric.busy_ms(),
-        per_rank,
-    }
+    let mut model = SerialLink::new(*link);
+    run_delivery(&mut model, &[arrivals_ms], bytes_total, strategy, scratch)
 }
 
 /// Convenience: simulate all four canonical strategies (timeout = 10% of the
-/// arrival span, bins = √partitions) and return them bulk-first.
+/// arrival span, bins = √partitions) on one sender and return them
+/// bulk-first.
 pub fn compare_strategies(
     arrivals_ms: &[f64],
     bytes_total: usize,
@@ -432,6 +429,7 @@ pub fn compare_strategies(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::netmodel::Fabric;
 
     const MB: usize = 1_000_000;
 
@@ -606,12 +604,31 @@ mod tests {
             "timeout(2.000ms)"
         );
         assert_eq!(Strategy::Binned { bins: 7 }.label(), "binned(7)");
+        // Non-parameterized labels borrow — no allocation per call.
+        assert!(matches!(Strategy::Bulk.label(), Cow::Borrowed("bulk")));
+        assert!(matches!(
+            Strategy::EarlyBird.label(),
+            Cow::Borrowed("early-bird")
+        ));
     }
 
     #[test]
     #[should_panic(expected = "at least one arrival")]
     fn empty_arrivals_rejected() {
         simulate(&[], 10, &LinkModel::omni_path(), Strategy::Bulk);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank count")]
+    fn model_rank_mismatch_rejected() {
+        let mut fabric = Fabric::new(3, LinkModel::omni_path(), 0.5);
+        run_delivery(
+            &mut fabric,
+            &[vec![1.0], vec![2.0]],
+            10,
+            Strategy::Bulk,
+            &mut SimScratch::new(),
+        );
     }
 
     #[test]
@@ -622,7 +639,44 @@ mod tests {
         assert_eq!(bulk.completion_ms, eb.completion_ms);
     }
 
-    /// The pre-fix `TimeoutFlush` simulation, verbatim: advance `tick` one
+    #[test]
+    fn exposed_ms_is_pinned_on_a_known_plan() {
+        // Regression pin for the unified outcome's one exposed_ms()
+        // definition, on a plan whose arithmetic is exact in f64:
+        // α = 1 ms, β = 2⁻¹⁰ ms/byte, 2048 bytes over two partitions
+        // arriving at 0 and 10 ms.
+        let link = LinkModel::new(1.0, 0.0009765625);
+        let arrivals = [0.0, 10.0];
+        let bulk = simulate(&arrivals, 2048, &link, Strategy::Bulk);
+        // One 2048-byte message at t = 10: transfer 1 + 2 = 3 ms, all of it
+        // exposed past the last arrival.
+        assert_eq!(bulk.completion_ms, 13.0);
+        assert_eq!(bulk.exposed_ms(), 3.0);
+        let eb = simulate(&arrivals, 2048, &link, Strategy::EarlyBird);
+        // 1024 bytes at t = 0 (done at 2), 1024 at t = 10 (done at 12): only
+        // the final partition's 2 ms transfer is exposed.
+        assert_eq!(eb.completion_ms, 12.0);
+        assert_eq!(eb.exposed_ms(), 2.0);
+        // The same definition covers the multi-rank view: two such ranks on
+        // a fully contended fabric double β, so bulk exposes 1 + 4 = 5 ms.
+        let mut fabric = Fabric::new(2, link, 1.0);
+        let job = run_delivery(
+            &mut fabric,
+            &[arrivals.to_vec(), arrivals.to_vec()],
+            2048,
+            Strategy::Bulk,
+            &mut SimScratch::new(),
+        );
+        assert_eq!(job.completion_ms, 15.0);
+        assert_eq!(job.exposed_ms(), 5.0);
+        assert_eq!(job.ranks(), 2);
+        for rank in &job.per_rank {
+            assert_eq!(rank.completion_ms - rank.last_arrival_ms, 5.0);
+        }
+    }
+
+    /// The pre-fix `TimeoutFlush` simulation, verbatim modulo the
+    /// byte-pricing `SerialLink` now does itself: advance `tick` one
     /// `timeout_ms` at a time and rescan every partition at each tick —
     /// O((last_arrival/timeout)·n). Kept here as the regression oracle for
     /// the boundary-jumping implementation.
@@ -631,7 +685,7 @@ mod tests {
         bytes_total: usize,
         link: &LinkModel,
         timeout_ms: f64,
-    ) -> DeliveryOutcome {
+    ) -> (f64, usize, f64) {
         let n = arrivals_ms.len();
         let last_arrival = arrivals_ms
             .iter()
@@ -646,7 +700,7 @@ mod tests {
                 q
             }
         };
-        let mut link_state = SerialLink::new();
+        let mut link_state = SerialLink::new(*link);
         let mut sent = vec![false; n];
         let mut done = 0.0f64;
         let mut messages = 0usize;
@@ -658,7 +712,7 @@ mod tests {
                 .collect();
             if !group.is_empty() {
                 let bytes: usize = group.iter().map(|&i| part_bytes(i)).sum();
-                done = link_state.inject(flush_time, link.transfer_ms(bytes));
+                done = link_state.inject(flush_time, bytes);
                 messages += 1;
                 for &i in group.iter() {
                     sent[i] = true;
@@ -669,13 +723,7 @@ mod tests {
             }
             tick += timeout_ms;
         }
-        DeliveryOutcome {
-            strategy: Strategy::TimeoutFlush { timeout_ms },
-            completion_ms: done,
-            last_arrival_ms: last_arrival,
-            messages,
-            wire_ms: link_state.busy_ms(),
-        }
+        (done, messages, link_state.busy_ms())
     }
 
     #[test]
@@ -698,7 +746,8 @@ mod tests {
         ];
         for arrivals in &arrival_sets {
             for timeout in [0.25, 0.5, 1.0, 1.5, 2.0, 8.0, 64.0, 1024.0] {
-                let expect = timeout_flush_prefix_scan(arrivals, 8 * MB, &link, timeout);
+                let (done, messages, wire) =
+                    timeout_flush_prefix_scan(arrivals, 8 * MB, &link, timeout);
                 let got = simulate(
                     arrivals,
                     8 * MB,
@@ -707,12 +756,9 @@ mod tests {
                         timeout_ms: timeout,
                     },
                 );
-                assert_eq!(
-                    expect,
-                    got,
-                    "timeout {timeout}, {} arrivals",
-                    arrivals.len()
-                );
+                assert_eq!(got.completion_ms, done, "timeout {timeout}");
+                assert_eq!(got.messages, messages, "timeout {timeout}");
+                assert_eq!(got.wire_ms, wire, "timeout {timeout}");
             }
         }
     }
@@ -727,7 +773,7 @@ mod tests {
         bytes_total: usize,
         link: &LinkModel,
         timeout_ms: f64,
-    ) -> DeliveryOutcome {
+    ) -> (f64, usize, f64) {
         let n = arrivals_ms.len();
         let last_arrival = arrivals_ms
             .iter()
@@ -742,7 +788,7 @@ mod tests {
                 q
             }
         };
-        let mut link_state = SerialLink::new();
+        let mut link_state = SerialLink::new(*link);
         let mut sent = vec![false; n];
         let mut done = 0.0f64;
         let mut messages = 0usize;
@@ -754,7 +800,7 @@ mod tests {
                 .collect();
             if !group.is_empty() {
                 let bytes: usize = group.iter().map(|&i| part_bytes(i)).sum();
-                done = link_state.inject(flush_time, link.transfer_ms(bytes));
+                done = link_state.inject(flush_time, bytes);
                 messages += 1;
                 for &i in group.iter() {
                     sent[i] = true;
@@ -765,13 +811,7 @@ mod tests {
             }
             k += 1.0;
         }
-        DeliveryOutcome {
-            strategy: Strategy::TimeoutFlush { timeout_ms },
-            completion_ms: done,
-            last_arrival_ms: last_arrival,
-            messages,
-            wire_ms: link_state.busy_ms(),
-        }
+        (done, messages, link_state.busy_ms())
     }
 
     #[test]
@@ -786,7 +826,8 @@ mod tests {
         let link = LinkModel::omni_path();
         for arrivals in [spread_arrivals(), tight_arrivals(), laggard_arrivals()] {
             for timeout in [0.1, 0.3, 0.7, 1.1, 3.3, 9.9, 70.1] {
-                let expect = timeout_flush_multiplied_scan(&arrivals, 8 * MB, &link, timeout);
+                let (done, messages, wire) =
+                    timeout_flush_multiplied_scan(&arrivals, 8 * MB, &link, timeout);
                 let got = simulate(
                     &arrivals,
                     8 * MB,
@@ -795,7 +836,9 @@ mod tests {
                         timeout_ms: timeout,
                     },
                 );
-                assert_eq!(expect, got, "timeout {timeout}");
+                assert_eq!(got.completion_ms, done, "timeout {timeout}");
+                assert_eq!(got.messages, messages, "timeout {timeout}");
+                assert_eq!(got.wire_ms, wire, "timeout {timeout}");
             }
         }
     }
@@ -840,6 +883,7 @@ mod tests {
     #[test]
     fn fabric_single_rank_is_bit_identical_to_serial_link() {
         let link = LinkModel::high_latency();
+        let mut scratch = SimScratch::new();
         for arrivals in [spread_arrivals(), tight_arrivals(), laggard_arrivals()] {
             for s in [
                 Strategy::Bulk,
@@ -848,14 +892,16 @@ mod tests {
                 Strategy::Binned { bins: 6 },
             ] {
                 let solo = simulate(&arrivals, 8 * MB, &link, s);
-                let fabric =
-                    simulate_fabric(std::slice::from_ref(&arrivals), 8 * MB, &link, 0.7, s);
-                assert_eq!(fabric.per_rank.len(), 1);
-                assert_eq!(fabric.per_rank[0], solo, "{}", s.label());
-                assert_eq!(fabric.completion_ms, solo.completion_ms);
-                assert_eq!(fabric.wire_ms, solo.wire_ms);
-                assert_eq!(fabric.messages, solo.messages);
-                assert_eq!(fabric.last_arrival_ms, solo.last_arrival_ms);
+                let mut fabric = Fabric::new(1, link, 0.7);
+                let whole = run_delivery(
+                    &mut fabric,
+                    std::slice::from_ref(&arrivals),
+                    8 * MB,
+                    s,
+                    &mut scratch,
+                );
+                assert_eq!(whole, solo, "{}", s.label());
+                assert_eq!(whole.ranks(), 1);
             }
         }
     }
@@ -864,15 +910,24 @@ mod tests {
     fn fabric_zero_contention_ranks_match_independent_links() {
         let link = LinkModel::omni_path();
         let per_rank: Vec<Vec<f64>> = vec![spread_arrivals(), tight_arrivals(), laggard_arrivals()];
-        let fabric = simulate_fabric(&per_rank, 8 * MB, &link, 0.0, Strategy::EarlyBird);
-        for (arrivals, rank_outcome) in per_rank.iter().zip(&fabric.per_rank) {
+        let mut fabric = Fabric::new(3, link, 0.0);
+        let job = run_delivery(
+            &mut fabric,
+            &per_rank,
+            8 * MB,
+            Strategy::EarlyBird,
+            &mut SimScratch::new(),
+        );
+        for (arrivals, rank_outcome) in per_rank.iter().zip(&job.per_rank) {
             let solo = simulate(arrivals, 8 * MB, &link, Strategy::EarlyBird);
-            assert_eq!(*rank_outcome, solo);
+            assert_eq!(rank_outcome.completion_ms, solo.completion_ms);
+            assert_eq!(rank_outcome.last_arrival_ms, solo.last_arrival_ms);
+            assert_eq!(rank_outcome.messages, solo.messages);
+            assert_eq!(rank_outcome.wire_ms, solo.wire_ms);
         }
         assert_eq!(
-            fabric.completion_ms,
-            fabric
-                .per_rank
+            job.completion_ms,
+            job.per_rank
                 .iter()
                 .map(|o| o.completion_ms)
                 .fold(0.0, f64::max)
@@ -883,8 +938,21 @@ mod tests {
     fn fabric_contention_slows_the_job() {
         let link = LinkModel::omni_path();
         let per_rank: Vec<Vec<f64>> = (0..8).map(|_| tight_arrivals()).collect();
-        let free = simulate_fabric(&per_rank, 8 * MB, &link, 0.0, Strategy::Bulk);
-        let shared = simulate_fabric(&per_rank, 8 * MB, &link, 1.0, Strategy::Bulk);
+        let mut scratch = SimScratch::new();
+        let free = run_delivery(
+            &mut Fabric::new(8, link, 0.0),
+            &per_rank,
+            8 * MB,
+            Strategy::Bulk,
+            &mut scratch,
+        );
+        let shared = run_delivery(
+            &mut Fabric::new(8, link, 1.0),
+            &per_rank,
+            8 * MB,
+            Strategy::Bulk,
+            &mut scratch,
+        );
         assert!(
             shared.completion_ms > free.completion_ms,
             "shared {} vs free {}",
@@ -892,5 +960,65 @@ mod tests {
             free.completion_ms
         );
         assert!(shared.exposed_ms() > free.exposed_ms());
+    }
+
+    #[test]
+    fn rank_completion_survives_out_of_order_arrivals() {
+        // Store-and-forward uplinks can deliver a small late message before
+        // a large earlier one (hops differ per message), so per-rank
+        // completion must fold arrivals with max, not take the last one:
+        // a fat-uplink hierarchy, 9 early partitions flushed at t=1 (big
+        // message, long hop) and one laggard flushed at t=2 (tiny message,
+        // short hop).
+        use crate::netmodel::HierarchicalFabric;
+        let mut arrivals = vec![0.0; 9];
+        arrivals.push(1.2);
+        let mut hier = HierarchicalFabric::new(
+            1,
+            1,
+            LinkModel::omni_path(),
+            LinkModel::high_latency(),
+            0.0,
+            0.0,
+        );
+        let o = run_delivery(
+            &mut hier,
+            &[arrivals],
+            MB,
+            Strategy::TimeoutFlush { timeout_ms: 1.0 },
+            &mut SimScratch::new(),
+        );
+        assert_eq!(o.messages, 2);
+        // With one rank, the rank's completion IS the job completion — the
+        // documented invariant the last-wins fold violated.
+        assert_eq!(o.per_rank[0].completion_ms, o.completion_ms);
+        assert!(o.completion_ms >= o.last_arrival_ms);
+    }
+
+    #[test]
+    fn kernel_reuses_one_model_across_strategies() {
+        // run_delivery resets the model, so one instance priced repeatedly
+        // must match fresh instances bit-for-bit.
+        let link = LinkModel::omni_path();
+        let per_rank: Vec<Vec<f64>> = vec![spread_arrivals(), laggard_arrivals()];
+        let mut scratch = SimScratch::new();
+        let mut reused = Fabric::new(2, link, 0.5);
+        for s in [
+            Strategy::Bulk,
+            Strategy::EarlyBird,
+            Strategy::TimeoutFlush { timeout_ms: 2.0 },
+            Strategy::Binned { bins: 6 },
+            Strategy::Bulk,
+        ] {
+            let warm = run_delivery(&mut reused, &per_rank, 8 * MB, s, &mut scratch);
+            let cold = run_delivery(
+                &mut Fabric::new(2, link, 0.5),
+                &per_rank,
+                8 * MB,
+                s,
+                &mut scratch,
+            );
+            assert_eq!(warm, cold, "{}", s.label());
+        }
     }
 }

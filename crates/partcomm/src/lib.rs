@@ -14,16 +14,20 @@
 //!   per-partition readiness flags with safe, lock-free publication.
 //! * [`transport`] — an in-memory rank-to-rank message transport (the MPI
 //!   substitute), with real threaded send/recv.
-//! * [`netmodel`] — the α + β·bytes link-cost model, a work-conserving
-//!   serializing link, and the multi-rank [`Fabric`](netmodel::Fabric)
-//!   (per-rank NICs behind a shared spine with configurable injection-rate
-//!   contention) for delivery simulation.
+//! * [`netmodel`] — pluggable network cost models behind the
+//!   [`NetModel`](netmodel::NetModel) trait: the α + β·bytes
+//!   [`SerialLink`](netmodel::SerialLink), the multi-rank contended
+//!   [`Fabric`](netmodel::Fabric), the two-level
+//!   [`HierarchicalFabric`](netmodel::HierarchicalFabric), and the
+//!   gap-throttled [`LogGPLink`](netmodel::LogGPLink) — plus the serde-able
+//!   [`NetModelSpec`](netmodel::NetModelSpec) naming any of them in
+//!   scenario-matrix JSON.
 //! * [`earlybird`] — the delivery simulator: given per-thread arrival times
 //!   (measured or synthetic), compare **bulk-synchronous**, **early-bird
 //!   per-partition**, **timeout-flush** and **binned aggregation** strategies
-//!   (the Discussion section's proposals) on the same link model — one sender
-//!   on a [`SerialLink`](netmodel::SerialLink) or N concurrent ranks on a
-//!   shared fabric.
+//!   (the Discussion section's proposals) through **one** kernel,
+//!   [`run_delivery`](earlybird::run_delivery), priced against any
+//!   [`NetModel`](netmodel::NetModel).
 //! * [`session`] — persistent partitioned sessions: the full
 //!   `Psend_init`/`Start`/`Pready`/`Parrived`/`Wait` lifecycle over the
 //!   transport, with eager per-partition (early-bird) transmission.
@@ -37,10 +41,13 @@ pub mod session;
 pub mod transport;
 
 pub use earlybird::{
-    compare_strategies, simulate, simulate_fabric, simulate_fabric_with_scratch,
-    simulate_with_scratch, DeliveryOutcome, FabricOutcome, SimScratch, Strategy,
+    compare_strategies, run_delivery, simulate, simulate_with_scratch, DeliveryOutcome,
+    RankDelivery, SimScratch, Strategy,
 };
-pub use netmodel::{Fabric, LinkModel};
+pub use netmodel::{
+    link_by_name, Fabric, HierarchicalFabric, LinkModel, LogGPLink, NetModel, NetModelSpec,
+    ResolvedNetModel, SerialLink,
+};
 pub use partition::PartitionedBuffer;
 pub use session::{PrecvSession, PsendSession, SessionError};
 pub use transport::{Endpoint, Message, Transport, TransportError};

@@ -11,7 +11,9 @@
 //!   bit, at any contention;
 //! * the boundary-jumping `TimeoutFlush` equals the exhaustive per-tick scan.
 
-use ebird_partcomm::{simulate, simulate_fabric, DeliveryOutcome, LinkModel, SimScratch, Strategy};
+use ebird_partcomm::{
+    run_delivery, simulate, DeliveryOutcome, Fabric, LinkModel, SimScratch, Strategy,
+};
 // The partcomm `Strategy` enum shadows the prelude's generator trait of the
 // same name; pull the trait in anonymously for method syntax and name it
 // fully in return positions.
@@ -185,14 +187,17 @@ proptest! {
             Strategy::TimeoutFlush { timeout_ms: timeout },
             Strategy::Binned { bins: arrivals.len() },
         ];
+        let mut scratch = SimScratch::new();
         for s in strategies {
             let solo = simulate(&arrivals, bytes, &link, s);
-            let fabric =
-                simulate_fabric(std::slice::from_ref(&arrivals), bytes, &link, contention, s);
-            prop_assert_eq!(&fabric.per_rank[0], &solo, "{}", s.label());
-            prop_assert_eq!(fabric.completion_ms, solo.completion_ms);
-            prop_assert_eq!(fabric.wire_ms, solo.wire_ms);
-            prop_assert_eq!(fabric.messages, solo.messages);
+            let whole = run_delivery(
+                &mut Fabric::new(1, link, contention),
+                std::slice::from_ref(&arrivals),
+                bytes,
+                s,
+                &mut scratch,
+            );
+            prop_assert_eq!(&whole, &solo, "{}", s.label());
         }
     }
 
@@ -205,8 +210,15 @@ proptest! {
         let bytes = arrivals.len() + 32_768;
         let per_rank: Vec<Vec<f64>> = (0..ranks).map(|_| arrivals.clone()).collect();
         let mut prev = f64::NEG_INFINITY;
+        let mut scratch = SimScratch::new();
         for contention in [0.0, 0.5, 1.0] {
-            let o = simulate_fabric(&per_rank, bytes, &link, contention, Strategy::EarlyBird);
+            let o = run_delivery(
+                &mut Fabric::new(ranks, link, contention),
+                &per_rank,
+                bytes,
+                Strategy::EarlyBird,
+                &mut scratch,
+            );
             prop_assert!(o.completion_ms >= prev);
             prop_assert!(o.completion_ms >= o.last_arrival_ms);
             prev = o.completion_ms;

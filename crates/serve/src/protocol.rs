@@ -32,7 +32,8 @@ use crate::scenario::ScenarioMatrix;
 /// [`ScenarioMatrix`] object.
 #[derive(Debug, Clone, PartialEq)]
 pub enum MatrixSource {
-    /// A built-in preset name (`smoke` / `full`).
+    /// A built-in preset name (see
+    /// [`PRESET_NAMES`](crate::scenario::PRESET_NAMES)).
     Preset(String),
     /// A full matrix supplied inline.
     Inline(ScenarioMatrix),
@@ -42,11 +43,11 @@ impl MatrixSource {
     /// Materializes the matrix this source names.
     ///
     /// # Errors
-    /// An unknown preset name.
+    /// An unknown preset name, verbatim from [`ScenarioMatrix::preset`] —
+    /// the one canonical message every caller reports.
     pub fn matrix(&self) -> Result<ScenarioMatrix, String> {
         match self {
-            MatrixSource::Preset(name) => ScenarioMatrix::preset(name)
-                .ok_or_else(|| format!("unknown preset `{name}` (expected `smoke` or `full`)")),
+            MatrixSource::Preset(name) => ScenarioMatrix::preset(name),
             MatrixSource::Inline(m) => Ok(m.clone()),
         }
     }
@@ -305,10 +306,16 @@ mod tests {
     #[test]
     fn unknown_preset_surfaces_at_materialization() {
         let src = MatrixSource::Preset("nope".into());
-        assert!(src.matrix().unwrap_err().contains("unknown preset"));
+        let err = src.matrix().unwrap_err();
+        assert!(err.contains("unknown preset `nope`"), "{err}");
+        assert!(err.contains("topology-smoke"), "{err}");
         assert_eq!(
             MatrixSource::Preset("smoke".into()).matrix().unwrap(),
             ScenarioMatrix::smoke()
+        );
+        assert_eq!(
+            MatrixSource::Preset("topology".into()).matrix().unwrap(),
+            ScenarioMatrix::topology()
         );
     }
 

@@ -6,20 +6,32 @@
 //! scenario matrix:
 //!
 //! ```text
-//! apps (arrival shapes) × strategies × link models × noise regimes × ranks
+//! apps (arrival shapes) × strategies × network models × noise regimes × ranks
 //! ```
 //!
-//! pricing every cell with [`ebird_partcomm::simulate_fabric`] (per-rank
-//! NICs behind a contended spine) and validating delivery mechanics by
-//! driving the same rank count of real `PsendSession`/`PrecvSession` pairs
-//! over the in-memory transport ([`ebird_cluster::run_delivery_campaign`]).
-//! Each cell emits one JSON table row (see
-//! [`ebird_analysis::report::json_lines`]), so adding a workload to the
-//! campaign means adding a config entry, not code.
+//! pricing every cell through the unified delivery kernel
+//! ([`ebird_partcomm::run_delivery`]) over any
+//! [`NetModel`](ebird_partcomm::NetModel) — the flat contended fabric, a
+//! two-level [`HierarchicalFabric`](ebird_partcomm::HierarchicalFabric), a
+//! gap-throttled [`LogGPLink`](ebird_partcomm::LogGPLink) — and validating
+//! delivery mechanics by driving the same rank count of real
+//! `PsendSession`/`PrecvSession` pairs over the in-memory transport
+//! ([`ebird_cluster::run_delivery_campaign`]). Each cell emits one JSON
+//! table row (see [`ebird_analysis::report::json_lines`]), so adding a
+//! workload — or a whole topology — to the campaign means adding a config
+//! entry, not code.
 //!
 //! The matrix itself is plain serde data: load one from JSON with
-//! `--matrix`, or use the built-in [`ScenarioMatrix::full`] /
-//! [`ScenarioMatrix::smoke`] presets.
+//! `--matrix`, or use the built-in presets ([`ScenarioMatrix::preset`]:
+//! `full`, `smoke`, `topology`, `topology-smoke`). Network models are named
+//! two ways:
+//!
+//! * the legacy `links` axis — link-model names priced as a flat contended
+//!   fabric at the matrix's `contention` (old matrix JSON keeps loading and
+//!   produces the same rows);
+//! * the `models` axis — [`NetModelSpec`] entries carrying their own
+//!   parameters (`{"Hierarchical":{...}}`, `{"LogGP":{...}}`,
+//!   `{"Fabric":{...}}`).
 //!
 //! Two consumers drive the sweep:
 //!
@@ -29,19 +41,23 @@
 //! * the campaign service ([`crate::server`]) calls
 //!   [`ScenarioMatrix::resolve`] then prices *individual* cells with
 //!   [`compute_cell`], scheduling them as queue jobs and memoizing each
-//!   row under its [`CellSpec`]'s content hash.
+//!   row under its [`CellSpec`]'s content hash — and the spec embeds the
+//!   full [`NetModelSpec`], so cache keys distinguish models that share a
+//!   display label.
 //!
-//! Both paths run the same deterministic pricing functions on the same
-//! inputs, so their rows are bit-identical — the property the service's
-//! cache and the CI serve-smoke diff rely on.
+//! Both paths run the same deterministic pricing kernel on the same inputs,
+//! so their rows are bit-identical — the property the service's cache and
+//! the CI serve-smoke diff rely on.
 
 use std::time::Duration;
 
 use ebird_cluster::{run_delivery_campaign, NoiseRegime, SyntheticApp};
 use ebird_core::DEFAULT_SEED;
-use ebird_partcomm::{simulate_fabric_with_scratch, LinkModel, SimScratch, Strategy};
+use ebird_partcomm::{run_delivery, NetModelSpec, ResolvedNetModel, SimScratch, Strategy};
 use ebird_runtime::Pool;
 use serde::{Deserialize, Serialize};
+
+pub use ebird_partcomm::link_by_name;
 
 /// Default delivery-campaign deadline (ms): generous enough that only a
 /// genuinely dropped partition, not scheduler jitter, can expire it.
@@ -60,8 +76,18 @@ pub struct ScenarioMatrix {
     pub apps: Vec<String>,
     /// Delivery strategies to price.
     pub strategies: Vec<Strategy>,
-    /// Link models by name (`omni-path`, `high-latency`).
+    /// Legacy network-model axis: link models by name (`omni-path`,
+    /// `high-latency`), each priced as a flat contended fabric at
+    /// [`contention`](Self::contention). Kept serde-defaulted so matrices
+    /// may use `links`, [`models`](Self::models), or both (links enumerate
+    /// first, preserving historical row order).
+    #[serde(default)]
     pub links: Vec<String>,
+    /// Network models as data: each [`NetModelSpec`] carries its own
+    /// topology parameters. Serde-defaulted so matrix JSON saved before the
+    /// field existed still loads.
+    #[serde(default)]
+    pub models: Vec<NetModelSpec>,
     /// Noise regimes by label (`baseline`, `laggard`, `turbulent`,
     /// `contaminated`).
     pub noise: Vec<String>,
@@ -71,7 +97,9 @@ pub struct ScenarioMatrix {
     pub threads: usize,
     /// Buffer bytes each rank delivers.
     pub bytes_per_rank: usize,
-    /// Fabric injection-rate contention coefficient ∈ [0, 1].
+    /// Injection-rate contention coefficient ∈ [0, 1] applied to the legacy
+    /// [`links`](Self::links) axis ([`models`](Self::models) entries carry
+    /// their own contention parameters).
     pub contention: f64,
     /// Which synthetic iteration supplies the arrivals (mid-campaign keeps
     /// MiniMD in its steady phase).
@@ -84,6 +112,10 @@ pub struct ScenarioMatrix {
     #[serde(default = "default_deadline_ms")]
     pub deadline_ms: f64,
 }
+
+/// The built-in preset names, in the order [`ScenarioMatrix::preset`]
+/// advertises them.
+pub const PRESET_NAMES: [&str; 4] = ["full", "smoke", "topology", "topology-smoke"];
 
 impl ScenarioMatrix {
     /// The full campaign: 3 apps × 4 strategies × 2 links × 4 noise regimes
@@ -98,6 +130,7 @@ impl ScenarioMatrix {
                 Strategy::Binned { bins: 6 },
             ],
             links: vec!["omni-path".into(), "high-latency".into()],
+            models: vec![],
             noise: vec![
                 "baseline".into(),
                 "laggard".into(),
@@ -127,20 +160,75 @@ impl ScenarioMatrix {
         }
     }
 
-    /// Looks up a built-in matrix by preset name (`full` / `smoke`).
-    pub fn preset(name: &str) -> Option<Self> {
-        match name.to_ascii_lowercase().as_str() {
-            "full" => Some(Self::full()),
-            "smoke" => Some(Self::smoke()),
-            _ => None,
+    /// The topology campaign exercising the non-flat network models: 3 apps
+    /// × 4 strategies × 2 models (hierarchical + LogGP) × 2 noise regimes ×
+    /// 2 rank counts = 96 scenarios at 8-thread ranks.
+    pub fn topology() -> Self {
+        ScenarioMatrix {
+            links: vec![],
+            models: vec![
+                NetModelSpec::Hierarchical {
+                    link: "omni-path".into(),
+                    uplink: "omni-path".into(),
+                    ranks_per_node: 2,
+                    nic_contention: 0.5,
+                    uplink_contention: 0.5,
+                },
+                NetModelSpec::LogGP {
+                    latency_ms: 1.0e-3,
+                    gap_ms: 2.0e-3,
+                    gap_per_byte_ms: 1.0 / 12.5e9 * 1.0e3,
+                    contention: 0.5,
+                },
+            ],
+            noise: vec!["baseline".into(), "laggard".into()],
+            ranks: vec![2, 4],
+            threads: 8,
+            bytes_per_rank: 1_000_000,
+            ..Self::full()
         }
+    }
+
+    /// The CI topology smoke: [`topology`](Self::topology) reduced to 1
+    /// noise regime × 1 rank count = 24 scenarios.
+    pub fn topology_smoke() -> Self {
+        ScenarioMatrix {
+            noise: vec!["laggard".into()],
+            ranks: vec![4],
+            ..Self::topology()
+        }
+    }
+
+    /// Looks up a built-in matrix by preset name (case-insensitive; see
+    /// [`PRESET_NAMES`]).
+    ///
+    /// # Errors
+    /// A human-readable message naming the unknown preset and the known
+    /// ones — the same `Result<_, String>` shape as [`resolve`](Self::resolve),
+    /// so every caller (CLI, service protocol) reports it identically.
+    pub fn preset(name: &str) -> Result<Self, String> {
+        match name.to_ascii_lowercase().as_str() {
+            "full" => Ok(Self::full()),
+            "smoke" => Ok(Self::smoke()),
+            "topology" => Ok(Self::topology()),
+            "topology-smoke" => Ok(Self::topology_smoke()),
+            _ => Err(format!(
+                "unknown preset `{name}` (expected one of: {})",
+                PRESET_NAMES.join(", ")
+            )),
+        }
+    }
+
+    /// Number of network-model axis entries (legacy links + model specs).
+    fn model_axis_len(&self) -> usize {
+        self.links.len() + self.models.len()
     }
 
     /// Number of scenarios this matrix spans.
     pub fn len(&self) -> usize {
         self.apps.len()
             * self.strategies.len()
-            * self.links.len()
+            * self.model_axis_len()
             * self.noise.len()
             * self.ranks.len()
     }
@@ -182,10 +270,29 @@ impl ScenarioMatrix {
             let app = SyntheticApp::by_name(name).ok_or_else(|| format!("unknown app `{name}`"))?;
             apps.push((name.clone(), app));
         }
-        let mut links = Vec::with_capacity(self.links.len());
+        // The network-model axis: legacy links first (as flat contended
+        // fabrics at the matrix contention), then explicit specs — matrix
+        // order within each group, so old matrices keep their row order.
+        let mut models = Vec::with_capacity(self.model_axis_len());
         for name in &self.links {
-            let link = link_by_name(name).ok_or_else(|| format!("unknown link model `{name}`"))?;
-            links.push((name.clone(), link));
+            let spec = NetModelSpec::Fabric {
+                link: name.clone(),
+                contention: self.contention,
+            };
+            let resolved = spec.resolve()?;
+            models.push(ModelAxisEntry {
+                label: spec.label(),
+                spec,
+                resolved,
+            });
+        }
+        for spec in &self.models {
+            let resolved = spec.resolve()?;
+            models.push(ModelAxisEntry {
+                label: spec.label(),
+                spec: spec.clone(),
+                resolved,
+            });
         }
         let mut noise = Vec::with_capacity(self.noise.len());
         for name in &self.noise {
@@ -212,7 +319,7 @@ impl ScenarioMatrix {
         Ok(ResolvedMatrix {
             apps,
             strategies: self.strategies.clone(),
-            links,
+            models,
             noise,
             ranks: self.ranks.clone(),
             threads: self.threads,
@@ -225,6 +332,15 @@ impl ScenarioMatrix {
     }
 }
 
+/// One resolved entry of the network-model axis: its row label, the
+/// canonical spec (cache addressing), and the typed handle (pricing).
+#[derive(Debug, Clone)]
+struct ModelAxisEntry {
+    label: String,
+    spec: NetModelSpec,
+    resolved: ResolvedNetModel,
+}
+
 /// A validated matrix with every name resolved into its typed handle.
 /// Constructed only by [`ScenarioMatrix::resolve`]; downstream code consumes
 /// handles instead of re-looking names up mid-campaign.
@@ -233,8 +349,8 @@ pub struct ResolvedMatrix {
     /// `(config name, base model)` per application, matrix order.
     apps: Vec<(String, SyntheticApp)>,
     strategies: Vec<Strategy>,
-    /// `(config name, model)` per link, matrix order.
-    links: Vec<(String, LinkModel)>,
+    /// The network-model axis, matrix order (links first, then specs).
+    models: Vec<ModelAxisEntry>,
     noise: Vec<NoiseRegime>,
     ranks: Vec<usize>,
     threads: usize,
@@ -250,7 +366,7 @@ impl ResolvedMatrix {
     pub fn len(&self) -> usize {
         self.apps.len()
             * self.strategies.len()
-            * self.links.len()
+            * self.models.len()
             * self.noise.len()
             * self.ranks.len()
     }
@@ -267,7 +383,7 @@ impl ResolvedMatrix {
         Duration::from_secs_f64(self.deadline_ms / 1000.0)
     }
 
-    /// Every cell in canonical row order (apps ▸ noise ▸ ranks ▸ links ▸
+    /// Every cell in canonical row order (apps ▸ noise ▸ ranks ▸ models ▸
     /// strategies), each carrying its content-addressable [`CellSpec`] and
     /// the typed handles needed to price it independently.
     pub fn cells(&self) -> Vec<ResolvedCell> {
@@ -276,13 +392,14 @@ impl ResolvedMatrix {
             for &regime in &self.noise {
                 let app = base.with_noise_regime(regime);
                 for &ranks in &self.ranks {
-                    for (link_name, link) in &self.links {
+                    for entry in &self.models {
                         for &strategy in &self.strategies {
                             cells.push(ResolvedCell {
                                 spec: CellSpec {
                                     app: app_name.clone(),
                                     strategy,
-                                    link: link_name.clone(),
+                                    link: entry.label.clone(),
+                                    model: entry.spec.clone(),
                                     noise: regime.label().to_string(),
                                     ranks,
                                     threads: self.threads,
@@ -293,7 +410,7 @@ impl ResolvedMatrix {
                                     deadline_ms: self.deadline_ms,
                                 },
                                 app: app.clone(),
-                                link: *link,
+                                model: entry.resolved.clone(),
                             });
                         }
                     }
@@ -307,15 +424,20 @@ impl ResolvedMatrix {
 /// The complete, canonical description of one scenario cell — every input
 /// that determines its [`ScenarioRow`]. Its serialized JSON is the content
 /// the service's result cache addresses by hash: equal specs ⇒ bit-identical
-/// rows, across submissions and across overlapping matrices.
+/// rows, across submissions and across overlapping matrices. The full
+/// [`NetModelSpec`] is embedded, so two models sharing a display label can
+/// never collide on a cache key.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CellSpec {
     /// Application name as configured (also the row's `app` label).
     pub app: String,
     /// Delivery strategy.
     pub strategy: Strategy,
-    /// Link model name as configured (also the row's `link` label).
+    /// Network-model display label (also the row's `link` column; for
+    /// legacy `links` entries this is the link name).
     pub link: String,
+    /// The network model, in full.
+    pub model: NetModelSpec,
     /// Canonical noise-regime label.
     pub noise: String,
     /// Concurrent sending ranks.
@@ -324,7 +446,8 @@ pub struct CellSpec {
     pub threads: usize,
     /// Buffer bytes per rank.
     pub bytes_per_rank: usize,
-    /// Fabric contention coefficient.
+    /// Legacy fabric contention coefficient (feeds `links`-derived models;
+    /// `models` entries carry their own).
     pub contention: f64,
     /// Synthetic iteration supplying the arrivals.
     pub iteration: usize,
@@ -341,8 +464,8 @@ pub struct ResolvedCell {
     pub spec: CellSpec,
     /// Application model with the cell's noise regime applied.
     app: SyntheticApp,
-    /// Link model handle.
-    link: LinkModel,
+    /// Typed network-model handle ([`NetModelSpec::resolve`]d).
+    model: ResolvedNetModel,
 }
 
 impl ResolvedCell {
@@ -358,10 +481,10 @@ impl ResolvedCell {
 
 /// Prices one cell from scratch: builds the rank arrivals, drives the
 /// delivery campaign for mechanics verification, prices the bulk baseline
-/// and the cell's strategy. Deterministic in everything but
-/// `transport_verified` (which only varies if the host fails to deliver
-/// within the deadline), and bit-identical to the same cell's row from
-/// [`run_matrix`].
+/// and the cell's strategy through the unified kernel. Deterministic in
+/// everything but `transport_verified` (which only varies if the host fails
+/// to deliver within the deadline), and bit-identical to the same cell's
+/// row from [`run_matrix`].
 ///
 /// Unlike [`run_matrix`], cells priced here do not share per-group work
 /// (arrivals, the campaign, the bulk baseline are redone per cell) — the
@@ -386,29 +509,28 @@ pub fn compute_cell(cell: &ResolvedCell, pool: &Pool) -> ScenarioRow {
         Duration::from_secs_f64(spec.deadline_ms / 1000.0),
     );
     let mut scratch = SimScratch::new();
-    let bulk = simulate_fabric_with_scratch(
+    let mut model = cell.model.build(spec.ranks);
+    let bulk = run_delivery(
+        &mut *model,
         &rank_arrivals,
         spec.bytes_per_rank,
-        &cell.link,
-        spec.contention,
         Strategy::Bulk,
         &mut scratch,
     );
     let outcome = if spec.strategy == Strategy::Bulk {
         bulk.clone()
     } else {
-        simulate_fabric_with_scratch(
+        run_delivery(
+            &mut *model,
             &rank_arrivals,
             spec.bytes_per_rank,
-            &cell.link,
-            spec.contention,
             spec.strategy,
             &mut scratch,
         )
     };
     ScenarioRow {
         app: spec.app.clone(),
-        strategy: spec.strategy.label(),
+        strategy: spec.strategy.label().into_owned(),
         link: spec.link.clone(),
         noise: spec.noise.clone(),
         ranks: spec.ranks,
@@ -426,15 +548,6 @@ pub fn compute_cell(cell: &ResolvedCell, pool: &Pool) -> ScenarioRow {
     }
 }
 
-/// Looks up a link model by its scenario-config name.
-pub fn link_by_name(name: &str) -> Option<LinkModel> {
-    match name.to_ascii_lowercase().as_str() {
-        "omni-path" => Some(LinkModel::omni_path()),
-        "high-latency" => Some(LinkModel::high_latency()),
-        _ => None,
-    }
-}
-
 /// One scenario's JSON table row.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioRow {
@@ -442,7 +555,8 @@ pub struct ScenarioRow {
     pub app: String,
     /// Strategy label (see [`Strategy::label`]).
     pub strategy: String,
-    /// Link model name.
+    /// Network-model label (link name for legacy `links` entries,
+    /// [`NetModelSpec::label`] otherwise).
     pub link: String,
     /// Noise regime label.
     pub noise: String,
@@ -452,7 +566,7 @@ pub struct ScenarioRow {
     pub threads: usize,
     /// Buffer bytes per rank.
     pub bytes_per_rank: usize,
-    /// Fabric contention coefficient.
+    /// Legacy fabric contention coefficient (see [`CellSpec::contention`]).
     pub contention: f64,
     /// Whole-job completion (ms).
     pub completion_ms: f64,
@@ -462,9 +576,9 @@ pub struct ScenarioRow {
     pub exposed_ms: f64,
     /// Total messages injected across ranks.
     pub messages: usize,
-    /// Total wire-busy time across NICs (ms).
+    /// Total wire-busy time across the model (ms).
     pub wire_ms: f64,
-    /// Exposed cost of the Bulk strategy on the same arrivals/link/fabric.
+    /// Exposed cost of the Bulk strategy on the same arrivals/model.
     pub bulk_exposed_ms: f64,
     /// `bulk_exposed_ms / exposed_ms` (> 1 ⇒ this strategy beats bulk).
     pub speedup_vs_bulk: f64,
@@ -474,9 +588,9 @@ pub struct ScenarioRow {
 }
 
 /// Runs every scenario of `matrix`, one row per cell in axis order
-/// (apps ▸ noise ▸ ranks ▸ links ▸ strategies).
+/// (apps ▸ noise ▸ ranks ▸ models ▸ strategies).
 ///
-/// Timing comes from the deterministic fabric simulation; delivery
+/// Timing comes from the deterministic delivery-kernel simulation; delivery
 /// mechanics are validated once per (app, noise, ranks) combination by
 /// driving that many real session pairs over the transport on `pool`, with
 /// each rank's `pready` order replaying its synthetic arrival order.
@@ -505,8 +619,8 @@ pub fn run_matrix(matrix: &ScenarioMatrix, pool: &Pool) -> Result<Vec<ScenarioRo
                     .collect();
                 // Mechanics check: the same rank count of real sessions,
                 // partitions readied in each rank's arrival order. A small
-                // payload keeps the smoke fast; the fabric sim prices the
-                // real byte count.
+                // payload keeps the smoke fast; the delivery kernel prices
+                // the real byte count.
                 let campaign = run_delivery_campaign(
                     ranks,
                     resolved.threads,
@@ -516,12 +630,12 @@ pub fn run_matrix(matrix: &ScenarioMatrix, pool: &Pool) -> Result<Vec<ScenarioRo
                     resolved.deadline(),
                 );
                 let transport_verified = campaign.all_verified();
-                for (link_name, link) in &resolved.links {
-                    let bulk = simulate_fabric_with_scratch(
+                for entry in &resolved.models {
+                    let mut model = entry.resolved.build(ranks);
+                    let bulk = run_delivery(
+                        &mut *model,
                         &rank_arrivals,
                         resolved.bytes_per_rank,
-                        link,
-                        resolved.contention,
                         Strategy::Bulk,
                         &mut scratch,
                     );
@@ -529,19 +643,18 @@ pub fn run_matrix(matrix: &ScenarioMatrix, pool: &Pool) -> Result<Vec<ScenarioRo
                         let outcome = if strategy == Strategy::Bulk {
                             bulk.clone()
                         } else {
-                            simulate_fabric_with_scratch(
+                            run_delivery(
+                                &mut *model,
                                 &rank_arrivals,
                                 resolved.bytes_per_rank,
-                                link,
-                                resolved.contention,
                                 strategy,
                                 &mut scratch,
                             )
                         };
                         rows.push(ScenarioRow {
                             app: app_name.clone(),
-                            strategy: strategy.label(),
-                            link: link_name.clone(),
+                            strategy: strategy.label().into_owned(),
+                            link: entry.label.clone(),
                             noise: regime.label().to_string(),
                             ranks,
                             threads: resolved.threads,
@@ -623,21 +736,46 @@ mod tests {
     fn presets_cover_the_advertised_cells() {
         assert_eq!(ScenarioMatrix::full().len(), 288);
         assert_eq!(ScenarioMatrix::smoke().len(), 48);
+        assert_eq!(ScenarioMatrix::topology().len(), 96);
+        assert_eq!(ScenarioMatrix::topology_smoke().len(), 24);
         assert!(!ScenarioMatrix::smoke().is_empty());
         assert_eq!(
-            ScenarioMatrix::preset("SMOKE"),
-            Some(ScenarioMatrix::smoke())
+            ScenarioMatrix::preset("SMOKE").unwrap(),
+            ScenarioMatrix::smoke()
         );
-        assert_eq!(ScenarioMatrix::preset("full"), Some(ScenarioMatrix::full()));
-        assert_eq!(ScenarioMatrix::preset("nope"), None);
+        assert_eq!(
+            ScenarioMatrix::preset("full").unwrap(),
+            ScenarioMatrix::full()
+        );
+        assert_eq!(
+            ScenarioMatrix::preset("Topology-Smoke").unwrap(),
+            ScenarioMatrix::topology_smoke()
+        );
+        // Every preset resolves cleanly.
+        for name in PRESET_NAMES {
+            assert!(ScenarioMatrix::preset(name).unwrap().resolve().is_ok());
+        }
+    }
+
+    #[test]
+    fn unknown_preset_is_a_rendered_error() {
+        // The satellite contract: unknown presets flow through the same
+        // Result<_, String> path as resolve(), and the message — what the
+        // CLI prints after `error: ` — names the offender and the options.
+        let err = ScenarioMatrix::preset("carrier-pigeon").unwrap_err();
+        assert!(err.contains("unknown preset `carrier-pigeon`"), "{err}");
+        for name in PRESET_NAMES {
+            assert!(err.contains(name), "{err} missing {name}");
+        }
     }
 
     #[test]
     fn matrix_serde_roundtrip() {
-        let m = ScenarioMatrix::smoke();
-        let s = serde_json::to_string(&m).unwrap();
-        let back: ScenarioMatrix = serde_json::from_str(&s).unwrap();
-        assert_eq!(m, back);
+        for m in [ScenarioMatrix::smoke(), ScenarioMatrix::topology()] {
+            let s = serde_json::to_string(&m).unwrap();
+            let back: ScenarioMatrix = serde_json::from_str(&s).unwrap();
+            assert_eq!(m, back);
+        }
     }
 
     #[test]
@@ -653,6 +791,20 @@ mod tests {
     }
 
     #[test]
+    fn matrix_json_without_models_field_loads() {
+        // Old-style matrix JSON predates the `models` axis entirely: it must
+        // load with an empty models list and produce the same cells.
+        let mut old_style = serde_json::to_string(&ScenarioMatrix::smoke()).unwrap();
+        let needle = ",\"models\":[]";
+        assert!(old_style.contains(needle), "{old_style}");
+        old_style = old_style.replace(needle, "");
+        let back: ScenarioMatrix = serde_json::from_str(&old_style).unwrap();
+        assert_eq!(back, ScenarioMatrix::smoke());
+        assert!(back.models.is_empty());
+        assert_eq!(back.len(), 48);
+    }
+
+    #[test]
     fn validation_rejects_bad_axes() {
         let mut m = ScenarioMatrix::smoke();
         m.apps = vec!["hpcg".into()];
@@ -660,6 +812,11 @@ mod tests {
         let mut m = ScenarioMatrix::smoke();
         m.links = vec!["carrier-pigeon".into()];
         assert!(run_matrix(&m, &Pool::new(1)).is_err());
+        let mut m = ScenarioMatrix::smoke();
+        m.links = vec![];
+        assert!(run_matrix(&m, &Pool::new(1))
+            .unwrap_err()
+            .contains("empty axis"));
         let mut m = ScenarioMatrix::smoke();
         m.contention = 2.0;
         assert!(run_matrix(&m, &Pool::new(1)).is_err());
@@ -677,6 +834,18 @@ mod tests {
         let mut m = ScenarioMatrix::smoke();
         m.deadline_ms = f64::INFINITY;
         assert!(run_matrix(&m, &Pool::new(1)).is_err());
+        // Model-spec parameters are validated at resolve time too.
+        let mut m = ScenarioMatrix::topology();
+        m.models = vec![NetModelSpec::Hierarchical {
+            link: "omni-path".into(),
+            uplink: "warp-drive".into(),
+            ranks_per_node: 2,
+            nic_contention: 0.5,
+            uplink_contention: 0.5,
+        }];
+        assert!(run_matrix(&m, &Pool::new(1))
+            .unwrap_err()
+            .contains("warp-drive"));
     }
 
     #[test]
@@ -703,6 +872,15 @@ mod tests {
         assert_eq!(cells[0].spec.strategy, Strategy::Bulk);
         // Strategy is the innermost axis.
         assert_eq!(cells[1].spec.strategy, Strategy::EarlyBird);
+        // Legacy links resolve to flat fabrics at the matrix contention.
+        assert_eq!(
+            cells[0].spec.model,
+            NetModelSpec::Fabric {
+                link: "omni-path".into(),
+                contention: m.contention,
+            }
+        );
+        assert_eq!(cells[0].spec.link, "omni-path");
         // Every spec is distinct.
         let mut keys: Vec<String> = cells
             .iter()
@@ -711,6 +889,53 @@ mod tests {
         keys.sort();
         keys.dedup();
         assert_eq!(keys.len(), cells.len());
+    }
+
+    #[test]
+    fn mixed_links_and_models_enumerate_links_first() {
+        let mut m = ScenarioMatrix::smoke();
+        m.models = vec![NetModelSpec::LogGP {
+            latency_ms: 1.0e-3,
+            gap_ms: 0.0,
+            gap_per_byte_ms: 8.0e-8,
+            contention: 0.0,
+        }];
+        assert_eq!(m.len(), 96); // model axis doubled
+        let cells = m.resolve().unwrap().cells();
+        let strategies = m.strategies.len();
+        // Within one (app, noise, ranks) block: links block, then models.
+        assert_eq!(cells[0].spec.link, "omni-path");
+        assert!(cells[strategies].spec.link.starts_with("loggp("));
+    }
+
+    #[test]
+    fn cache_keys_distinguish_models_differing_in_one_parameter() {
+        // Cache addressing embeds the full NetModelSpec, so two models of
+        // the same family differing in a single coefficient must never
+        // collide on a content key (and their row labels differ too — keys
+        // do not rely on that).
+        let spec_a = NetModelSpec::Hierarchical {
+            link: "omni-path".into(),
+            uplink: "omni-path".into(),
+            ranks_per_node: 2,
+            nic_contention: 0.25,
+            uplink_contention: 0.25,
+        };
+        let spec_b = NetModelSpec::Hierarchical {
+            link: "omni-path".into(),
+            uplink: "omni-path".into(),
+            ranks_per_node: 2,
+            nic_contention: 0.75,
+            uplink_contention: 0.25,
+        };
+        assert_ne!(spec_a.label(), spec_b.label());
+        let mut m = ScenarioMatrix::topology_smoke();
+        m.models = vec![spec_a, spec_b];
+        let cells = m.resolve().unwrap().cells();
+        let mut keys: Vec<String> = cells.iter().map(|c| c.content_key().hex()).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), cells.len(), "cache keys must stay distinct");
     }
 
     #[test]
@@ -729,6 +954,25 @@ mod tests {
             let solo = compute_cell(cell, &pool);
             assert_eq!(&solo, row, "cell {:?}", cell.spec);
         }
+    }
+
+    #[test]
+    fn compute_cell_matches_run_matrix_for_topology_models() {
+        // The same bit-identity holds through the new models — the property
+        // the serve cache's topology round-trip relies on.
+        let mut m = ScenarioMatrix::topology_smoke();
+        m.apps = vec!["MiniQMC".into()];
+        let pool = Pool::new(2);
+        let rows = run_matrix(&m, &pool).unwrap();
+        let cells = m.resolve().unwrap().cells();
+        assert_eq!(rows.len(), cells.len());
+        for (row, cell) in rows.iter().zip(&cells) {
+            let solo = compute_cell(cell, &pool);
+            assert_eq!(&solo, row, "cell {:?}", cell.spec);
+        }
+        // The two model labels actually appear in the rows.
+        assert!(rows.iter().any(|r| r.link.starts_with("hier(")));
+        assert!(rows.iter().any(|r| r.link.starts_with("loggp(")));
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! [`Moments`] partials — is confined to [`campaign_moments`], which
 //! documents its fixed-pool determinism.
 
+use ebird_cluster::{JobConfig, Workload};
 use ebird_core::view::{fill_group_ms, AggregationLevel};
 use ebird_core::{ThreadSample, TimingTrace};
 use ebird_partcomm::{run_delivery, DeliveryOutcome, NetModel, SimScratch, Strategy};
@@ -29,6 +30,42 @@ use ebird_stats::Moments;
 use crate::laggard::{classify_unit, ClassifiedIteration, LaggardCensus};
 use crate::normality::NormalitySweep;
 use crate::reclaim::{fold_units, unit_reclaim, ReclaimMetrics, UnitReclaim};
+
+/// Generates every workload's campaign trace serially — the generation
+/// stage of the analysis pipeline, generic over any [`Workload`]
+/// (calibrated synthetic apps, inline models, metered real kernels,
+/// mixtures).
+///
+/// # Errors
+/// The first workload's failure message, verbatim.
+pub fn generate_campaign(
+    workloads: &[&dyn Workload],
+    cfg: &JobConfig,
+    seed: u64,
+) -> Result<Vec<TimingTrace>, String> {
+    workloads
+        .iter()
+        .map(|w| w.generate_trace(cfg, seed))
+        .collect()
+}
+
+/// Pool-parallel counterpart of [`generate_campaign`] — bit-identical to it
+/// for any pool size (each workload's parallel generator carries that
+/// guarantee; see [`Workload::generate_trace_parallel`]).
+///
+/// # Errors
+/// As [`generate_campaign`].
+pub fn generate_campaign_parallel(
+    workloads: &[&dyn Workload],
+    cfg: &JobConfig,
+    seed: u64,
+    pool: &Pool,
+) -> Result<Vec<TimingTrace>, String> {
+    workloads
+        .iter()
+        .map(|w| w.generate_trace_parallel(cfg, seed, pool))
+        .collect()
+}
 
 /// Runs the three-test normality battery over every group of `level`, with
 /// groups distributed over `pool` — the parallel counterpart of
@@ -390,6 +427,22 @@ mod tests {
             assert_eq!(row[1].strategy, Strategy::EarlyBird);
             assert_eq!(row[0].messages, 1);
             assert_eq!(row[1].messages, tr.shape().threads);
+        }
+    }
+
+    #[test]
+    fn campaign_generation_is_workload_generic_and_bit_identical() {
+        use ebird_cluster::SyntheticApp;
+        let apps = SyntheticApp::all();
+        let workloads: Vec<&dyn Workload> = apps.iter().map(|a| a as &dyn Workload).collect();
+        let cfg = JobConfig::new(1, 2, 6, 4);
+        let serial = generate_campaign(&workloads, &cfg, 13).unwrap();
+        assert_eq!(serial.len(), 3);
+        assert_eq!(serial[0].app(), "MiniFE");
+        for workers in [1, 3] {
+            let pool = Pool::new(workers);
+            let parallel = generate_campaign_parallel(&workloads, &cfg, 13, &pool).unwrap();
+            assert_eq!(serial, parallel, "{workers} workers");
         }
     }
 

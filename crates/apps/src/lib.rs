@@ -53,6 +53,23 @@ pub trait ProxyApp {
     /// a description of the violation if any. Used by integration tests to
     /// make sure instrumentation never perturbs correctness.
     fn verify(&self) -> Result<(), String>;
+
+    /// Runs one application iteration on `pool` without recording any
+    /// stamps — the same computation as [`timed_step`](Self::timed_step),
+    /// used by the work-metered campaign runner that derives timing from
+    /// deterministic operation counts instead of the wall clock.
+    fn untimed_step(&mut self, pool: &Pool);
+
+    /// Deterministic per-thread work measure of the timed compute section
+    /// executed by the **most recent** step, for a `threads`-way static
+    /// partition: element `t` counts the model-specific inner-loop
+    /// operations thread `t` performed (matrix nonzeros visited, neighbor
+    /// pairs evaluated, electron moves proposed). Because every kernel's
+    /// work partitioning and state trajectory are seeded and
+    /// thread-count-neutral, these counts are bit-reproducible across runs
+    /// and hosts — the property the deterministic `RealKernel` workload
+    /// timing relies on.
+    fn thread_ops(&self, threads: usize) -> Vec<u64>;
 }
 
 /// The three applications, in the paper's presentation order.

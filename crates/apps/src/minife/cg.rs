@@ -172,6 +172,28 @@ impl ProxyApp for MiniFe {
         self.cg_step(pool, Some((region, iteration)));
     }
 
+    fn untimed_step(&mut self, pool: &Pool) {
+        self.cg_step(pool, None);
+    }
+
+    fn thread_ops(&self, threads: usize) -> Vec<u64> {
+        // The timed section is the plane-partitioned SpMV: thread t's work
+        // is the nonzeros of its contiguous row block (constant across
+        // iterations — the sparsity pattern never changes).
+        let part_lens = self.plane_part_lens(threads);
+        let mut start = 0usize;
+        part_lens
+            .iter()
+            .map(|&len| {
+                let ops: u64 = (start..start + len)
+                    .map(|r| self.a.row(r).0.len() as u64)
+                    .sum();
+                start += len;
+                ops
+            })
+            .collect()
+    }
+
     fn verify(&self) -> Result<(), String> {
         // CG on an SPD system must not diverge: residual stays finite and,
         // after ≥ a handful of steps, decreases from ‖b‖.

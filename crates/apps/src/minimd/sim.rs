@@ -255,6 +255,25 @@ impl ProxyApp for MiniMd {
         self.verlet_step(pool, Some((region, iteration)));
     }
 
+    fn untimed_step(&mut self, pool: &Pool) {
+        self.verlet_step(pool, None);
+    }
+
+    fn thread_ops(&self, threads: usize) -> Vec<u64> {
+        // The timed section is the atom-partitioned LJ force kernel: thread
+        // t's work is the neighbor pairs its atom block evaluated (plus one
+        // op per atom for the loop body), against the list the most recent
+        // step's force computation actually used.
+        let n = self.pos.len();
+        (0..threads)
+            .map(|t| {
+                static_block(n, threads, t)
+                    .map(|i| self.neighbors.of(i).len() as u64 + 1)
+                    .sum()
+            })
+            .collect()
+    }
+
     fn verify(&self) -> Result<(), String> {
         if self.pos.iter().flatten().any(|x| !x.is_finite()) {
             return Err("non-finite position (integrator blew up)".into());

@@ -267,6 +267,22 @@ impl ProxyApp for MiniQmc {
         self.mover_step(pool, Some((region, iteration)));
     }
 
+    fn untimed_step(&mut self, pool: &Pool) {
+        self.mover_step(pool, None);
+    }
+
+    fn thread_ops(&self, threads: usize) -> Vec<u64> {
+        // The timed section is the walker-partitioned mover loop. Per
+        // electron move: one drift + two log-ψ evaluations, each an
+        // O(electrons) Jastrow sum, plus a constant spline-evaluation cost
+        // (64 ≈ the 4³ tricubic stencil).
+        let e = self.params.electrons as u64;
+        let per_walker = self.params.sweeps_per_step as u64 * e * (3 * e + 64);
+        (0..threads)
+            .map(|t| static_block(self.walkers.len(), threads, t).len() as u64 * per_walker)
+            .collect()
+    }
+
     fn verify(&self) -> Result<(), String> {
         for (i, w) in self.walkers.iter().enumerate() {
             for (e, r) in w.electrons.iter().enumerate() {

@@ -48,7 +48,7 @@ fn pass_rates(app: &SyntheticApp, iters: usize, threads: usize) -> ([f64; 3], f6
 
 fn fe_like(sigma: f64, expo: f64, laggard_rate: f64) -> SyntheticApp {
     SyntheticApp::from_model(AppModel {
-        name: "MiniFE",
+        name: "MiniFE".into(),
         rank_speed_sigma: 0.002,
         iter_wander_ms: 0.05,
         phases: vec![Phase {
@@ -78,7 +78,7 @@ fn fe_like(sigma: f64, expo: f64, laggard_rate: f64) -> SyntheticApp {
 
 fn md_like(sigma: f64, contam_rate: f64, contam_scale: f64) -> SyntheticApp {
     SyntheticApp::from_model(AppModel {
-        name: "MiniMD",
+        name: "MiniMD".into(),
         rank_speed_sigma: 0.002,
         iter_wander_ms: 0.03,
         phases: vec![Phase {
@@ -111,7 +111,7 @@ fn md_like(sigma: f64, contam_rate: f64, contam_scale: f64) -> SyntheticApp {
 
 fn qmc_like(sigma: f64, sigma_jitter: f64) -> SyntheticApp {
     SyntheticApp::from_model(AppModel {
-        name: "MiniQMC",
+        name: "MiniQMC".into(),
         rank_speed_sigma: 0.001,
         iter_wander_ms: 0.3,
         phases: vec![Phase {

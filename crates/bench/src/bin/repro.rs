@@ -17,14 +17,17 @@
 //!   earlybird       delivery-strategy comparison on each app's arrivals
 //!   battery         extended 5-test normality battery (sensitivity check)
 //!   fit             fitted generative models extracted from the traces
-//!   scenarios       multi-rank contention campaign (apps × strategies ×
-//!                   network models × noise × ranks); one JSON row per
+//!   scenarios       multi-rank contention campaign (workloads × strategies
+//!                   × network models × noise × ranks); one JSON row per
 //!                   scenario on stdout. --smoke runs the 48-cell CI matrix,
 //!                   --preset picks any built-in matrix (full, smoke,
-//!                   topology, topology-smoke), --matrix loads a custom
-//!                   ScenarioMatrix JSON (whose own seed governs; --seed
-//!                   applies to the built-in matrices), --out also writes
-//!                   the rows to a file
+//!                   topology, topology-smoke, workload, workload-smoke),
+//!                   --matrix loads a custom ScenarioMatrix JSON (whose own
+//!                   seed governs; --seed applies to the built-in
+//!                   matrices), --out also writes the rows to a file
+//!   workloads       list the built-in workload names (with calibration
+//!                   targets) and example WorkloadSpec JSON for every
+//!                   variant of the matrix `workloads` axis
 //!   serve           run the campaign service on --addr (default
 //!                   127.0.0.1:4750): accepts line-JSON submit/fetch/
 //!                   status/shutdown requests, schedules cells on the
@@ -76,7 +79,7 @@ fn main() {
             eprintln!("error: {msg}");
             eprintln!();
             eprintln!("usage: repro [--scale paper|ci] [--seed N] [--source synthetic|real] [--threads N] [--csv-dir DIR] [--smoke] [--preset NAME] [--matrix FILE] [--out FILE] [--addr HOST:PORT] [--cache-dir DIR] [--priority N] <experiment>");
-            eprintln!("experiments: table1 app-normality iter-normality fig3 fig4 fig5 fig6 fig7 fig8 fig9 metrics earlybird battery fit scenarios serve submit fetch status shutdown all");
+            eprintln!("experiments: table1 app-normality iter-normality fig3 fig4 fig5 fig6 fig7 fig8 fig9 metrics earlybird battery fit scenarios workloads serve submit fetch status shutdown all");
             std::process::exit(2);
         }
     }
@@ -204,6 +207,7 @@ fn run(args: &[String]) -> Result<(), String> {
     // to (or run) the campaign server instead.
     match experiment.as_str() {
         "scenarios" => return cmd_scenarios(&opts),
+        "workloads" => return cmd_workloads(),
         "serve" => return cmd_serve(&opts),
         "submit" => return cmd_submit(&opts, false),
         "fetch" => return cmd_submit(&opts, true),
@@ -621,9 +625,9 @@ fn build_matrix(opts: &Options) -> Result<ScenarioMatrix, String> {
 fn cmd_scenarios(opts: &Options) -> Result<(), String> {
     let matrix = build_matrix(opts)?;
     eprintln!(
-        "# scenario campaign: {} cells ({} apps × {} strategies × {} network models × {} noise × {} rank counts), {} worker thread(s)",
+        "# scenario campaign: {} cells ({} workloads × {} strategies × {} network models × {} noise × {} rank counts), {} worker thread(s)",
         matrix.len(),
-        matrix.apps.len(),
+        matrix.apps.len() + matrix.workloads.len(),
         matrix.strategies.len(),
         matrix.links.len() + matrix.models.len(),
         matrix.noise.len(),
@@ -641,6 +645,76 @@ fn cmd_scenarios(opts: &Options) -> Result<(), String> {
     if rows.iter().any(|r| !r.transport_verified) {
         return Err("transport verification failed for at least one scenario".into());
     }
+    Ok(())
+}
+
+/// `workloads` — the listing verb for the pluggable workload axis: every
+/// built-in name (canonical spelling, calibration targets) plus one example
+/// `WorkloadSpec` JSON per variant, ready to paste into a matrix's
+/// `workloads` array.
+fn cmd_workloads() -> Result<(), String> {
+    use ebird_cluster::{
+        calibration, MixtureComponent, RealKernelParams, SyntheticApp, WorkloadSpec,
+        BUILTIN_WORKLOAD_NAMES,
+    };
+    println!("Built-in calibrated workloads (usable in `apps` or as {{\"Named\":...}}):");
+    for name in BUILTIN_WORKLOAD_NAMES {
+        let t = calibration::targets_for(name)?;
+        println!(
+            "  {:<8} median {:>6.2} ms, IQR avg {:>5.2} ms, laggards {}",
+            name,
+            t.median_ms,
+            t.iqr_avg_ms,
+            match t.laggard_rate {
+                Some(r) => format!("{:.1}%", r * 100.0),
+                None => "n/a".to_string(),
+            }
+        );
+    }
+    println!();
+    println!("Example WorkloadSpec JSON, one per variant of the matrix `workloads` axis:");
+    let named = WorkloadSpec::Named {
+        name: "MiniFE".into(),
+    };
+    let synthetic = WorkloadSpec::Synthetic {
+        model: SyntheticApp::miniqmc().model().clone(),
+    };
+    let real = WorkloadSpec::RealKernel {
+        app: "MiniMD".into(),
+        params: RealKernelParams::default(),
+    };
+    let mixture = WorkloadSpec::Mixture {
+        name: "fe2md1".into(),
+        components: vec![
+            MixtureComponent {
+                weight: 2.0,
+                spec: WorkloadSpec::Named {
+                    name: "MiniFE".into(),
+                },
+            },
+            MixtureComponent {
+                weight: 1.0,
+                spec: WorkloadSpec::Named {
+                    name: "MiniMD".into(),
+                },
+            },
+        ],
+    };
+    for (label, spec) in [
+        ("Named", &named),
+        ("Synthetic (full inline model)", &synthetic),
+        ("RealKernel (deterministic metered run)", &real),
+        ("Mixture (weighted blend)", &mixture),
+    ] {
+        let json = serde_json::to_string(spec).map_err(|e| format!("serializing spec: {e}"))?;
+        println!("  {label}:");
+        println!("    {json}");
+    }
+    println!();
+    println!(
+        "Presets sweeping the workload axis: `repro scenarios --preset workload` (96 cells) \
+         or `--preset workload-smoke` (12 cells)."
+    );
     Ok(())
 }
 

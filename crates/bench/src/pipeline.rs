@@ -12,13 +12,13 @@
 use std::time::Instant;
 
 use ebird_analysis::engine::{
-    campaign_moments, delivery_sweep, delivery_sweep_parallel, laggard_census_parallel,
-    reclaim_metrics_parallel, sweep_parallel,
+    campaign_moments, delivery_sweep, delivery_sweep_parallel, generate_campaign,
+    generate_campaign_parallel, laggard_census_parallel, reclaim_metrics_parallel, sweep_parallel,
 };
 use ebird_analysis::laggard::laggard_census;
 use ebird_analysis::normality::sweep;
 use ebird_analysis::reclaim::reclaim_metrics;
-use ebird_cluster::SyntheticApp;
+use ebird_cluster::{JobConfig, SyntheticApp, Workload};
 use ebird_core::view::AggregationLevel;
 use ebird_core::TimingTrace;
 use ebird_partcomm::{LinkModel, SerialLink};
@@ -130,30 +130,51 @@ fn sweep_all_parallel(traces: &[TimingTrace], alpha: f64, pool: &Pool) -> SweepO
         .collect()
 }
 
-/// Runs the full generate → sweep → census → reclaim → simulate pipeline at
-/// `scale`, serial and parallel, and verifies the parallel outputs are
-/// bit-identical to serial.
+/// Runs the canonical pipeline — the three calibrated synthetic apps — at
+/// `scale`. See [`run_pipeline_workloads`] for the workload-generic
+/// engine this delegates to.
 ///
 /// # Panics
 /// If any parallel stage output differs from its serial counterpart — that
 /// is a correctness bug, not a measurement artifact.
 pub fn run_pipeline(scale: Scale, seed: u64, pool: &Pool, repeats: usize) -> PipelineReport {
-    let cfg = scale.config();
     let apps = SyntheticApp::all();
+    let workloads: Vec<&dyn Workload> = apps.iter().map(|a| a as &dyn Workload).collect();
+    let label = match scale {
+        Scale::Paper => "paper",
+        Scale::Ci => "ci",
+    };
+    run_pipeline_workloads(&workloads, label, &scale.config(), seed, pool, repeats)
+}
+
+/// Runs the full generate → sweep → census → reclaim → simulate pipeline
+/// over any workload set, serial and parallel, and verifies the parallel
+/// outputs are bit-identical to serial. Generic over [`Workload`], so the
+/// same harness prices calibrated apps, inline synthetic models, metered
+/// real-kernel runs and mixtures.
+///
+/// # Panics
+/// If any workload fails to generate, or any parallel stage output differs
+/// from its serial counterpart — the latter is a correctness bug, not a
+/// measurement artifact.
+pub fn run_pipeline_workloads(
+    workloads: &[&dyn Workload],
+    scale_label: &str,
+    cfg: &JobConfig,
+    seed: u64,
+    pool: &Pool,
+    repeats: usize,
+) -> PipelineReport {
     let alpha = ebird_cluster::calibration::ALPHA;
     let link = LinkModel::omni_path();
     let mut stages = Vec::new();
 
-    // Stage 1: synthetic trace generation.
+    // Stage 1: campaign trace generation (workload-generic).
     let (gen_serial_ms, traces) = time_best(repeats, || {
-        apps.iter()
-            .map(|a| a.generate(&cfg, seed))
-            .collect::<Vec<_>>()
+        generate_campaign(workloads, cfg, seed).expect("workloads must generate")
     });
     let (gen_parallel_ms, traces_par) = time_best(repeats, || {
-        apps.iter()
-            .map(|a| a.generate_parallel(&cfg, seed, pool))
-            .collect::<Vec<_>>()
+        generate_campaign_parallel(workloads, cfg, seed, pool).expect("workloads must generate")
     });
     assert_eq!(
         traces, traces_par,
@@ -268,10 +289,7 @@ pub fn run_pipeline(scale: Scale, seed: u64, pool: &Pool, repeats: usize) -> Pip
 
     PipelineReport {
         schema_version: 1,
-        scale: match scale {
-            Scale::Paper => "paper".to_string(),
-            Scale::Ci => "ci".to_string(),
-        },
+        scale: scale_label.to_string(),
         seed,
         apps: traces.iter().map(|t| t.app().to_string()).collect(),
         pool_threads: pool.threads(),
@@ -352,6 +370,52 @@ mod tests {
             .stages
             .iter()
             .all(|s| s.speedup.is_finite() && s.speedup > 0.0));
+    }
+
+    #[test]
+    fn generic_workload_pipeline_stays_bit_identical() {
+        // Satellite contract: the workload-generic pipeline (inline
+        // synthetic model + mixture + metered real kernel) passes the same
+        // serial-vs-parallel bit-identity assertions as the canonical one.
+        use ebird_cluster::{MixtureComponent, RealKernelParams, WorkloadSpec};
+        let specs = [
+            WorkloadSpec::Named {
+                name: "MiniFE".into(),
+            },
+            WorkloadSpec::Mixture {
+                name: "fe+qmc".into(),
+                components: vec![
+                    MixtureComponent {
+                        weight: 1.0,
+                        spec: WorkloadSpec::Named {
+                            name: "MiniFE".into(),
+                        },
+                    },
+                    MixtureComponent {
+                        weight: 1.0,
+                        spec: WorkloadSpec::Named {
+                            name: "MiniQMC".into(),
+                        },
+                    },
+                ],
+            },
+            WorkloadSpec::RealKernel {
+                app: "MiniMD".into(),
+                params: RealKernelParams::default(),
+            },
+        ];
+        let resolved: Vec<_> = specs.iter().map(|s| s.resolve().unwrap()).collect();
+        let workloads: Vec<&dyn Workload> = resolved.iter().map(|w| w as &dyn Workload).collect();
+        let cfg = JobConfig::new(1, 2, 8, 4);
+        let pool = Pool::new(2);
+        let r = run_pipeline_workloads(&workloads, "workload-ci", &cfg, 5, &pool, 1);
+        assert!(r.outputs_bit_identical);
+        assert_eq!(r.scale, "workload-ci");
+        assert_eq!(
+            r.apps,
+            vec!["MiniFE", "mix(fe+qmc)", "real(MiniMD)"],
+            "trace labels must be the workloads' canonical labels"
+        );
     }
 
     #[test]

@@ -97,6 +97,39 @@ fn one_rank_scenarios_are_bit_identical_to_serial_link_simulation() {
 }
 
 #[test]
+fn workload_smoke_real_kernel_row_matches_direct_simulation() {
+    // The workloads axis feeds the same delivery kernel as the legacy apps
+    // axis: a 1-rank RealKernel cell must price bit-identically to the
+    // single-sender SerialLink simulation over the workload's own metered
+    // arrivals — and those arrivals must be reproducible out-of-band.
+    use ebird_cluster::{RealKernelParams, Workload, WorkloadSpec};
+    let mut m = ScenarioMatrix::workload_smoke();
+    m.ranks = vec![1];
+    m.strategies = vec![Strategy::EarlyBird];
+    let rows = run_matrix(&m, &Pool::new(2)).unwrap();
+    let row = rows
+        .iter()
+        .find(|r| r.app == "real(MiniFE)")
+        .expect("real-kernel row present");
+    assert!(row.transport_verified);
+    let workload = WorkloadSpec::RealKernel {
+        app: "MiniFE".into(),
+        params: RealKernelParams::default(),
+    }
+    .resolve()
+    .unwrap();
+    let arrivals = workload
+        .rank_arrivals_ms(m.seed, 1, m.iteration, m.threads)
+        .unwrap();
+    let link = link_by_name("omni-path").unwrap();
+    let solo = simulate(&arrivals[0], m.bytes_per_rank, &link, Strategy::EarlyBird);
+    assert_eq!(row.completion_ms, solo.completion_ms);
+    assert_eq!(row.last_arrival_ms, solo.last_arrival_ms);
+    assert_eq!(row.exposed_ms, solo.exposed_ms());
+    assert_eq!(row.messages, solo.messages);
+}
+
+#[test]
 fn custom_matrix_round_trips_through_json() {
     let mut m = ScenarioMatrix::smoke();
     m.ranks = vec![1, 2];

@@ -86,9 +86,20 @@ pub const ALPHA: f64 = 0.05;
 /// All three target sets in paper order.
 pub const ALL: [AppTargets; 3] = [MINIFE, MINIMD, MINIQMC];
 
-/// Looks up targets by application name (case-insensitive).
-pub fn targets_for(name: &str) -> Option<&'static AppTargets> {
-    ALL.iter().find(|t| t.name.eq_ignore_ascii_case(name))
+/// Looks up targets by application name through the same canonical name
+/// table workload resolution uses
+/// ([`canonical_workload_name`](crate::workload::canonical_workload_name)),
+/// so calibration and workload lookups can never disagree on spelling.
+///
+/// # Errors
+/// The workload table's did-you-mean message for unknown names, or a
+/// message naming the workload if it has no calibration targets (cannot
+/// happen for the built-in table; the error keeps the invariant checkable).
+pub fn targets_for(name: &str) -> Result<&'static AppTargets, String> {
+    let canon = crate::workload::canonical_workload_name(name)?;
+    ALL.iter()
+        .find(|t| t.name == canon)
+        .ok_or_else(|| format!("workload `{canon}` has no calibration targets"))
 }
 
 #[cfg(test)]
@@ -99,7 +110,31 @@ mod tests {
     fn lookup_by_name() {
         assert_eq!(targets_for("minife").unwrap().median_ms, 26.30);
         assert_eq!(targets_for("MiniMD").unwrap().laggard_rate, Some(0.048));
-        assert!(targets_for("nope").is_none());
+        let err = targets_for("nope").unwrap_err();
+        assert!(err.contains("MiniFE, MiniMD, MiniQMC"), "{err}");
+    }
+
+    #[test]
+    fn calibration_and_workload_tables_agree() {
+        // Satellite contract: every built-in workload has calibration
+        // targets, and every target names a resolvable workload — through
+        // the one shared canonical table.
+        for name in crate::workload::BUILTIN_WORKLOAD_NAMES {
+            let t = targets_for(name).expect("every built-in workload has targets");
+            assert_eq!(t.name, name);
+            assert_eq!(
+                crate::SyntheticApp::by_name(name).unwrap().name(),
+                name,
+                "workload resolution must return the canonical spelling"
+            );
+        }
+        for t in ALL {
+            assert_eq!(
+                crate::workload::canonical_workload_name(t.name).unwrap(),
+                t.name,
+                "every target must name a resolvable workload"
+            );
+        }
     }
 
     #[test]

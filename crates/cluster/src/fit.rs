@@ -156,7 +156,7 @@ impl FittedModel {
     /// exponential (its mean recovered from the asymmetry); laggard
     /// magnitudes map to the shifted-lognormal process; turbulence keeps the
     /// fitted rate with a moderate 3–10× inflation band.
-    pub fn to_app_model(&self, name: &'static str) -> AppModel {
+    pub fn to_app_model(&self, name: impl Into<String>) -> AppModel {
         let phases = self
             .phases
             .iter()
@@ -204,7 +204,7 @@ impl FittedModel {
             })
             .collect();
         AppModel {
-            name,
+            name: name.into(),
             rank_speed_sigma: 0.0,
             iter_wander_ms: 0.0,
             phases,

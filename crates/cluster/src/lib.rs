@@ -18,6 +18,14 @@
 //!   substitution for the paper's hardware: it regenerates the *shapes* of
 //!   all figures and tables deterministically on any machine.
 //!
+//! Both sources are unified behind the [`workload`] module's pluggable
+//! engine: the [`workload::Workload`] trait (generate a campaign trace,
+//! serial or pool-parallel, plus per-rank arrival sets) and the serde-able
+//! [`workload::WorkloadSpec`] (named calibrated apps, inline synthetic
+//! models, deterministic work-metered real-kernel runs, weighted
+//! mixtures) — so scenario campaigns name arrival shapes as data, the way
+//! they already name network topologies.
+//!
 //! Supporting modules: [`job`] (campaign configuration), [`noise`]
 //! (OS-noise building blocks: laggard processes, turbulence, heavy-tail
 //! contamination), [`calibration`] (the paper's reported statistics as
@@ -32,9 +40,17 @@ pub mod job;
 pub mod noise;
 pub mod runner;
 pub mod synthetic;
+pub mod workload;
 
 pub use fit::{fit, FittedModel};
 pub use job::JobConfig;
 pub use noise::NoiseRegime;
-pub use runner::{run_delivery_campaign, run_real_campaign, DeliveryCampaign, PairOutcome};
+pub use runner::{
+    run_delivery_campaign, run_real_campaign, run_real_campaign_with, DeliveryCampaign,
+    PairOutcome, RealTiming,
+};
 pub use synthetic::SyntheticApp;
+pub use workload::{
+    canonical_workload_name, MixtureComponent, RealKernelParams, ResolvedWorkload, Workload,
+    WorkloadSpec, BUILTIN_WORKLOAD_NAMES,
+};

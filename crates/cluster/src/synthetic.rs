@@ -69,8 +69,9 @@ pub struct Phase {
 /// A complete per-application generative model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AppModel {
-    /// Application name ("MiniFE", "MiniMD", "MiniQMC").
-    pub name: &'static str,
+    /// Application name ("MiniFE", "MiniMD", "MiniQMC", or any label for
+    /// inline models).
+    pub name: String,
     /// σ of the persistent per-(trial, rank) multiplicative speed factor
     /// (hardware heterogeneity across nodes/sockets).
     pub rank_speed_sigma: f64,
@@ -103,7 +104,9 @@ const STREAM_SAMPLES: u64 = 0x01;
 const STREAM_RANK_FACTOR: u64 = 0x02;
 
 /// Mixes words into a single 64-bit seed (SplitMix64 finalizer chain).
-fn mix(words: &[u64]) -> u64 {
+/// Crate-visible so the workload mixture picker can derive its own
+/// domain-separated streams from the same primitive.
+pub(crate) fn mix(words: &[u64]) -> u64 {
     let mut h = 0x9E37_79B9_7F4A_7C15u64;
     for &w in words {
         h ^= w.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -116,25 +119,131 @@ fn mix(words: &[u64]) -> u64 {
 
 impl SyntheticApp {
     /// Wraps a custom model.
+    ///
+    /// # Panics
+    /// On an invalid phase structure; use
+    /// [`try_from_model`](Self::try_from_model) for config-driven models.
     pub fn from_model(model: AppModel) -> Self {
-        assert!(
-            model.phases.first().map(|p| p.from_iteration) == Some(0),
-            "first phase must start at iteration 0"
-        );
-        assert!(
-            model
-                .phases
-                .windows(2)
-                .all(|w| w[0].from_iteration < w[1].from_iteration),
-            "phases must be strictly ordered"
-        );
-        SyntheticApp { model }
+        match Self::try_from_model(model) {
+            Ok(app) => app,
+            Err(msg) => panic!("{msg}"),
+        }
+    }
+
+    /// Validating constructor for config-driven models: the fallible
+    /// counterpart of [`from_model`](Self::from_model), used by
+    /// `WorkloadSpec::Synthetic` resolution so bad matrix JSON surfaces as
+    /// an error instead of a panic — including parameters that would only
+    /// fail later as non-finite arrival times (overflow-scale sigmas and
+    /// lognormal exponents), which must never reach a cached row.
+    ///
+    /// # Errors
+    /// A human-readable description of the structural violation.
+    pub fn try_from_model(model: AppModel) -> Result<Self, String> {
+        /// Sanity ceiling for millisecond-scale and multiplier parameters:
+        /// generous beyond any physical workload, tight enough that no
+        /// product of in-range parameters can overflow to infinity.
+        const MAX_MS: f64 = 1.0e9;
+        /// Ceiling for lognormal/exponent-scale parameters (`exp` of a few
+        /// hundred stays finite; `exp(1e3)` does not).
+        const MAX_LOG: f64 = 100.0;
+        let bounded = |context: &str, label: &str, v: f64, max: f64| -> Result<(), String> {
+            if v.is_finite() && (0.0..=max).contains(&v) {
+                Ok(())
+            } else {
+                Err(format!(
+                    "{context}: {label} {v} must be finite in [0, {max:e}]"
+                ))
+            }
+        };
+        let rate = |context: &str, label: &str, v: f64| -> Result<(), String> {
+            if (0.0..=1.0).contains(&v) {
+                Ok(())
+            } else {
+                Err(format!("{context}: {label} {v} outside [0, 1]"))
+            }
+        };
+        if model.name.is_empty() {
+            return Err("synthetic model name must be nonempty".into());
+        }
+        bounded("model", "rank_speed_sigma", model.rank_speed_sigma, MAX_LOG)?;
+        bounded("model", "iter_wander_ms", model.iter_wander_ms, MAX_MS)?;
+        if model.phases.first().map(|p| p.from_iteration) != Some(0) {
+            return Err("first phase must start at iteration 0".into());
+        }
+        if !model
+            .phases
+            .windows(2)
+            .all(|w| w[0].from_iteration < w[1].from_iteration)
+        {
+            return Err("phases must be strictly ordered".into());
+        }
+        for phase in &model.phases {
+            let ctx = format!("phase at iteration {}", phase.from_iteration);
+            for (label, v) in [
+                ("median_ms", phase.median_ms),
+                ("sigma_ms", phase.sigma_ms),
+                ("uniform_halfwidth_ms", phase.uniform_halfwidth_ms),
+                ("early_expo_ms", phase.early_expo_ms),
+                ("tail_expo_ms", phase.tail_expo_ms),
+                ("laggards.shift_ms", phase.laggards.shift_ms),
+            ] {
+                bounded(&ctx, label, v, MAX_MS)?;
+            }
+            if phase.median_ms <= 0.0 {
+                return Err(format!("{ctx}: median_ms must be positive"));
+            }
+            bounded(
+                &ctx,
+                "sigma_jitter_lognorm",
+                phase.sigma_jitter_lognorm,
+                MAX_LOG,
+            )?;
+            rate(&ctx, "tail_rate", phase.tail_rate)?;
+            rate(&ctx, "laggards.rate", phase.laggards.rate)?;
+            rate(&ctx, "turbulence.rate", phase.turbulence.rate)?;
+            rate(&ctx, "contamination.rate", phase.contamination.rate)?;
+            // Lognormal exponents: |mu| and sigma bounded so exp() stays
+            // finite (the delay itself is then ≤ exp(~350), finite).
+            if !(phase.laggards.mu.is_finite() && phase.laggards.mu.abs() <= MAX_LOG) {
+                return Err(format!(
+                    "{ctx}: laggards.mu {} must be finite in [-{MAX_LOG}, {MAX_LOG}]",
+                    phase.laggards.mu
+                ));
+            }
+            bounded(&ctx, "laggards.sigma", phase.laggards.sigma, MAX_LOG)?;
+            bounded(
+                &ctx,
+                "turbulence.scale_lo",
+                phase.turbulence.scale_lo,
+                MAX_MS,
+            )?;
+            bounded(
+                &ctx,
+                "turbulence.scale_hi",
+                phase.turbulence.scale_hi,
+                MAX_MS,
+            )?;
+            if phase.turbulence.scale_lo > phase.turbulence.scale_hi {
+                return Err(format!(
+                    "{ctx}: turbulence scale_lo {} exceeds scale_hi {}",
+                    phase.turbulence.scale_lo, phase.turbulence.scale_hi
+                ));
+            }
+            bounded(
+                &ctx,
+                "contamination.scale",
+                phase.contamination.scale,
+                MAX_MS,
+            )?;
+        }
+        Ok(SyntheticApp { model })
     }
 
     /// The calibrated MiniFE model (see module docs for targets).
     pub fn minife() -> Self {
         Self::from_model(AppModel {
-            name: "MiniFE",
+            name: "MiniFE".into(),
             rank_speed_sigma: 0.002,
             iter_wander_ms: 0.05,
             phases: vec![Phase {
@@ -169,7 +278,7 @@ impl SyntheticApp {
     /// high-magnitude laggards afterwards.
     pub fn minimd() -> Self {
         Self::from_model(AppModel {
-            name: "MiniMD",
+            name: "MiniMD".into(),
             rank_speed_sigma: 0.002,
             iter_wander_ms: 0.03,
             phases: vec![
@@ -219,7 +328,7 @@ impl SyntheticApp {
     /// exponential tail.
     pub fn miniqmc() -> Self {
         Self::from_model(AppModel {
-            name: "MiniQMC",
+            name: "MiniQMC".into(),
             rank_speed_sigma: 0.001,
             iter_wander_ms: 0.3,
             phases: vec![Phase {
@@ -238,14 +347,20 @@ impl SyntheticApp {
         })
     }
 
-    /// Looks a model up by its paper name (case-insensitive).
-    pub fn by_name(name: &str) -> Option<Self> {
-        match name.to_ascii_lowercase().as_str() {
-            "minife" => Some(Self::minife()),
-            "minimd" => Some(Self::minimd()),
-            "miniqmc" => Some(Self::miniqmc()),
-            _ => None,
-        }
+    /// Looks a model up by its paper name through the canonical workload
+    /// name table (case-insensitive).
+    ///
+    /// # Errors
+    /// The did-you-mean message from
+    /// [`canonical_workload_name`](crate::workload::canonical_workload_name)
+    /// for unknown names.
+    pub fn by_name(name: &str) -> Result<Self, String> {
+        Ok(match crate::workload::canonical_workload_name(name)? {
+            "MiniFE" => Self::minife(),
+            "MiniMD" => Self::minimd(),
+            "MiniQMC" => Self::miniqmc(),
+            other => unreachable!("canonical table returned unbuildable name {other}"),
+        })
     }
 
     /// All three calibrated apps in paper order.
@@ -280,14 +395,19 @@ impl SyntheticApp {
     }
 
     /// Application name.
-    pub fn name(&self) -> &'static str {
-        self.model.name
+    pub fn name(&self) -> &str {
+        &self.model.name
     }
 
     fn app_tag(&self) -> u64 {
+        // Byte 4 disambiguates the three paper names ("MiniFE"/"MiniMD"/
+        // "MiniQMC" share their first four bytes); the formula is frozen —
+        // it seeds every stream, so changing it changes every trace. Inline
+        // custom models may carry names shorter than 5 bytes, which fall
+        // back to 0.
         mix(&[
             self.model.name.len() as u64,
-            self.model.name.as_bytes()[4] as u64,
+            self.model.name.as_bytes().get(4).copied().unwrap_or(0) as u64,
         ])
     }
 
@@ -386,7 +506,7 @@ impl SyntheticApp {
     /// Generates a full campaign trace for `cfg` under `seed`.
     pub fn generate(&self, cfg: &JobConfig, seed: u64) -> TimingTrace {
         let shape = cfg.shape();
-        let mut trace = TimingTrace::new(self.model.name, shape);
+        let mut trace = TimingTrace::new(self.model.name.as_str(), shape);
         let mut scratch = vec![0.0; cfg.threads];
         for trial in 0..cfg.trials {
             for rank in 0..cfg.ranks {
@@ -420,7 +540,7 @@ impl SyntheticApp {
         let part_lens: Vec<usize> = (0..workers)
             .map(|w| static_block(units, workers, w).len() * threads)
             .collect();
-        let mut trace = TimingTrace::new(self.model.name, shape);
+        let mut trace = TimingTrace::new(self.model.name.as_str(), shape);
         pool.parallel_parts_mut(trace.samples_mut(), &part_lens, |block, range, _ctx| {
             let mut scratch = vec![0.0; threads];
             let first_unit = range.start / threads;
@@ -657,7 +777,55 @@ mod tests {
         assert_eq!(SyntheticApp::by_name("minife").unwrap().name(), "MiniFE");
         assert_eq!(SyntheticApp::by_name("MiniMD").unwrap().name(), "MiniMD");
         assert_eq!(SyntheticApp::by_name("MINIQMC").unwrap().name(), "MiniQMC");
-        assert!(SyntheticApp::by_name("hpcg").is_none());
+        let err = SyntheticApp::by_name("hpcg").unwrap_err();
+        assert!(err.contains("hpcg"), "{err}");
+        assert!(err.contains("MiniFE"), "{err}");
+    }
+
+    #[test]
+    fn try_from_model_rejects_bad_configs() {
+        let mut m = SyntheticApp::minife().model().clone();
+        m.phases[0].median_ms = -1.0;
+        assert!(SyntheticApp::try_from_model(m)
+            .unwrap_err()
+            .contains("median_ms"));
+        let mut m = SyntheticApp::minife().model().clone();
+        m.phases[0].tail_rate = 1.5;
+        assert!(SyntheticApp::try_from_model(m)
+            .unwrap_err()
+            .contains("tail_rate"));
+        let mut m = SyntheticApp::minife().model().clone();
+        m.phases.clear();
+        assert!(SyntheticApp::try_from_model(m)
+            .unwrap_err()
+            .contains("iteration 0"));
+        // Overflow-scale parameters that would only fail later as
+        // non-finite arrivals are rejected up front.
+        let mut m = SyntheticApp::minife().model().clone();
+        m.rank_speed_sigma = 1.0e308;
+        assert!(SyntheticApp::try_from_model(m)
+            .unwrap_err()
+            .contains("rank_speed_sigma"));
+        let mut m = SyntheticApp::minife().model().clone();
+        m.phases[0].laggards.rate = 50.0;
+        assert!(SyntheticApp::try_from_model(m)
+            .unwrap_err()
+            .contains("laggards.rate"));
+        let mut m = SyntheticApp::minife().model().clone();
+        m.phases[0].laggards.mu = f64::NAN;
+        assert!(SyntheticApp::try_from_model(m)
+            .unwrap_err()
+            .contains("laggards.mu"));
+        let mut m = SyntheticApp::minife().model().clone();
+        m.phases[0].turbulence.scale_lo = 9.0;
+        m.phases[0].turbulence.scale_hi = 2.0;
+        assert!(SyntheticApp::try_from_model(m)
+            .unwrap_err()
+            .contains("scale_lo"));
+        // Every built-in model passes its own validator.
+        for app in SyntheticApp::all() {
+            SyntheticApp::try_from_model(app.model().clone()).unwrap();
+        }
     }
 
     #[test]

@@ -23,15 +23,28 @@
 //!
 //! The matrix itself is plain serde data: load one from JSON with
 //! `--matrix`, or use the built-in presets ([`ScenarioMatrix::preset`]:
-//! `full`, `smoke`, `topology`, `topology-smoke`). Network models are named
-//! two ways:
+//! `full`, `smoke`, `topology`, `topology-smoke`, `workload`,
+//! `workload-smoke`). Both variable axes are named two ways:
 //!
+//! **Network models:**
 //! * the legacy `links` axis — link-model names priced as a flat contended
 //!   fabric at the matrix's `contention` (old matrix JSON keeps loading and
 //!   produces the same rows);
 //! * the `models` axis — [`NetModelSpec`] entries carrying their own
 //!   parameters (`{"Hierarchical":{...}}`, `{"LogGP":{...}}`,
 //!   `{"Fabric":{...}}`).
+//!
+//! **Workloads (arrival shapes):**
+//! * the legacy `apps` axis — calibrated synthetic apps by name, exactly as
+//!   before (old matrix JSON keeps loading and produces byte-identical
+//!   rows);
+//! * the `workloads` axis — [`WorkloadSpec`] entries: named apps, full
+//!   inline [`AppModel`](ebird_cluster::synthetic::AppModel)s, metered
+//!   real-kernel runs (`{"RealKernel":{"app":"MiniFE"}}`), and weighted
+//!   mixtures. `apps` enumerate first, preserving historical row order.
+//!   Real-kernel entries pair only with the `baseline` noise regime (they
+//!   are measured, not modelled); [`ScenarioMatrix::resolve`] rejects
+//!   other combinations.
 //!
 //! Two consumers drive the sweep:
 //!
@@ -42,8 +55,8 @@
 //!   [`ScenarioMatrix::resolve`] then prices *individual* cells with
 //!   [`compute_cell`], scheduling them as queue jobs and memoizing each
 //!   row under its [`CellSpec`]'s content hash — and the spec embeds the
-//!   full [`NetModelSpec`], so cache keys distinguish models that share a
-//!   display label.
+//!   full [`NetModelSpec`] **and** [`WorkloadSpec`], so cache keys
+//!   distinguish models (or workloads) that share a display label.
 //!
 //! Both paths run the same deterministic pricing kernel on the same inputs,
 //! so their rows are bit-identical — the property the service's cache and
@@ -51,7 +64,11 @@
 
 use std::time::Duration;
 
-use ebird_cluster::{run_delivery_campaign, NoiseRegime, SyntheticApp};
+use ebird_cluster::synthetic::{AppModel, Phase};
+use ebird_cluster::{
+    run_delivery_campaign, MixtureComponent, NoiseRegime, RealKernelParams, ResolvedWorkload,
+    Workload, WorkloadSpec,
+};
 use ebird_core::DEFAULT_SEED;
 use ebird_partcomm::{run_delivery, NetModelSpec, ResolvedNetModel, SimScratch, Strategy};
 use ebird_runtime::Pool;
@@ -72,8 +89,19 @@ fn default_deadline_ms() -> f64 {
 /// A scenario sweep definition — every axis of the campaign as data.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioMatrix {
-    /// Application arrival shapes by name (`MiniFE`, `MiniMD`, `MiniQMC`).
+    /// Legacy workload axis: calibrated application arrival shapes by name
+    /// (`MiniFE`, `MiniMD`, `MiniQMC`, case-insensitive). Kept
+    /// serde-defaulted so matrices may use `apps`,
+    /// [`workloads`](Self::workloads), or both (apps enumerate first,
+    /// preserving historical row order).
+    #[serde(default)]
     pub apps: Vec<String>,
+    /// Workloads as data: each [`WorkloadSpec`] names any arrival shape —
+    /// built-in apps, inline synthetic models, metered real-kernel runs,
+    /// weighted mixtures. Serde-defaulted so matrix JSON saved before the
+    /// field existed still loads.
+    #[serde(default)]
+    pub workloads: Vec<WorkloadSpec>,
     /// Delivery strategies to price.
     pub strategies: Vec<Strategy>,
     /// Legacy network-model axis: link models by name (`omni-path`,
@@ -115,7 +143,90 @@ pub struct ScenarioMatrix {
 
 /// The built-in preset names, in the order [`ScenarioMatrix::preset`]
 /// advertises them.
-pub const PRESET_NAMES: [&str; 4] = ["full", "smoke", "topology", "topology-smoke"];
+pub const PRESET_NAMES: [&str; 6] = [
+    "full",
+    "smoke",
+    "topology",
+    "topology-smoke",
+    "workload",
+    "workload-smoke",
+];
+
+/// The inline synthetic model the `workload` presets carry: a two-phase
+/// "ramp then steady" shape none of the calibrated apps exhibit (wide
+/// uniform warm-up for 10 iterations, then a tight laggard-prone steady
+/// state) — exercising the full [`WorkloadSpec::Synthetic`] surface from
+/// plain matrix JSON.
+fn ramp_steady_model() -> AppModel {
+    use ebird_cluster::noise::{Contamination, LaggardProcess, Turbulence};
+    let calm = Phase {
+        from_iteration: 0,
+        median_ms: 30.0,
+        sigma_ms: 0.4,
+        sigma_jitter_lognorm: 0.0,
+        uniform_halfwidth_ms: 1.5,
+        early_expo_ms: 0.0,
+        tail_rate: 0.0,
+        tail_expo_ms: 0.0,
+        laggards: LaggardProcess::off(),
+        turbulence: Turbulence::off(),
+        contamination: Contamination::off(),
+    };
+    AppModel {
+        name: "RampSteady".into(),
+        rank_speed_sigma: 0.002,
+        iter_wander_ms: 0.05,
+        phases: vec![
+            calm,
+            Phase {
+                from_iteration: 10,
+                median_ms: 28.0,
+                sigma_ms: 0.06,
+                sigma_jitter_lognorm: 0.0,
+                uniform_halfwidth_ms: 0.0,
+                laggards: LaggardProcess {
+                    rate: 0.1,
+                    shift_ms: 1.0,
+                    mu: 0.2,
+                    sigma: 0.7,
+                },
+                ..calm
+            },
+        ],
+    }
+}
+
+/// The workload axis the `workload` presets sweep: one spec per
+/// [`WorkloadSpec`] variant beyond the legacy named apps — an inline
+/// synthetic model, a metered real-kernel run, and a weighted mixture.
+fn preset_workload_axis() -> Vec<WorkloadSpec> {
+    vec![
+        WorkloadSpec::Synthetic {
+            model: ramp_steady_model(),
+        },
+        WorkloadSpec::RealKernel {
+            app: "MiniFE".into(),
+            params: RealKernelParams::default(),
+        },
+        WorkloadSpec::Mixture {
+            name: "fe2md1".into(),
+            components: vec![
+                MixtureComponent {
+                    weight: 2.0,
+                    spec: WorkloadSpec::Named {
+                        name: "MiniFE".into(),
+                    },
+                },
+                MixtureComponent {
+                    weight: 1.0,
+                    spec: WorkloadSpec::Named {
+                        name: "MiniMD".into(),
+                    },
+                },
+            ],
+        },
+    ]
+}
 
 impl ScenarioMatrix {
     /// The full campaign: 3 apps × 4 strategies × 2 links × 4 noise regimes
@@ -123,6 +234,7 @@ impl ScenarioMatrix {
     pub fn full() -> Self {
         ScenarioMatrix {
             apps: vec!["MiniFE".into(), "MiniMD".into(), "MiniQMC".into()],
+            workloads: vec![],
             strategies: vec![
                 Strategy::Bulk,
                 Strategy::EarlyBird,
@@ -199,6 +311,35 @@ impl ScenarioMatrix {
         }
     }
 
+    /// The workload campaign exercising every [`WorkloadSpec`] variant
+    /// beside the named apps: (3 apps + 3 workload specs) × 4 strategies ×
+    /// 2 links × 1 noise regime × 2 rank counts = 96 scenarios at 8-thread
+    /// ranks. Baseline noise only — the axis includes a real-kernel run,
+    /// which is measured, not modelled.
+    pub fn workload() -> Self {
+        ScenarioMatrix {
+            workloads: preset_workload_axis(),
+            links: vec!["omni-path".into(), "high-latency".into()],
+            noise: vec!["baseline".into()],
+            ranks: vec![2, 4],
+            threads: 8,
+            bytes_per_rank: 1_000_000,
+            ..Self::full()
+        }
+    }
+
+    /// The CI workload smoke: the three non-legacy workload specs alone ×
+    /// 4 strategies × 1 link × 1 noise regime × 1 rank count = 12
+    /// scenarios.
+    pub fn workload_smoke() -> Self {
+        ScenarioMatrix {
+            apps: vec![],
+            links: vec!["omni-path".into()],
+            ranks: vec![4],
+            ..Self::workload()
+        }
+    }
+
     /// Looks up a built-in matrix by preset name (case-insensitive; see
     /// [`PRESET_NAMES`]).
     ///
@@ -212,6 +353,8 @@ impl ScenarioMatrix {
             "smoke" => Ok(Self::smoke()),
             "topology" => Ok(Self::topology()),
             "topology-smoke" => Ok(Self::topology_smoke()),
+            "workload" => Ok(Self::workload()),
+            "workload-smoke" => Ok(Self::workload_smoke()),
             _ => Err(format!(
                 "unknown preset `{name}` (expected one of: {})",
                 PRESET_NAMES.join(", ")
@@ -224,9 +367,14 @@ impl ScenarioMatrix {
         self.links.len() + self.models.len()
     }
 
+    /// Number of workload axis entries (legacy apps + workload specs).
+    fn workload_axis_len(&self) -> usize {
+        self.apps.len() + self.workloads.len()
+    }
+
     /// Number of scenarios this matrix spans.
     pub fn len(&self) -> usize {
-        self.apps.len()
+        self.workload_axis_len()
             * self.strategies.len()
             * self.model_axis_len()
             * self.noise.len()
@@ -265,10 +413,38 @@ impl ScenarioMatrix {
                 self.deadline_ms
             ));
         }
-        let mut apps = Vec::with_capacity(self.apps.len());
+        // The workload axis: legacy apps first (as Named specs, labelled by
+        // their config string so historical row labels survive verbatim),
+        // then explicit specs — matrix order within each group.
+        let mut noise = Vec::with_capacity(self.noise.len());
+        for name in &self.noise {
+            let regime =
+                NoiseRegime::parse(name).ok_or_else(|| format!("unknown noise regime `{name}`"))?;
+            noise.push(regime);
+        }
+        let mut workloads = Vec::with_capacity(self.workload_axis_len());
         for name in &self.apps {
-            let app = SyntheticApp::by_name(name).ok_or_else(|| format!("unknown app `{name}`"))?;
-            apps.push((name.clone(), app));
+            let spec = WorkloadSpec::Named { name: name.clone() };
+            workloads.push(WorkloadAxisEntry {
+                label: name.clone(),
+                resolved: spec.resolve()?,
+                spec,
+            });
+        }
+        for spec in &self.workloads {
+            workloads.push(WorkloadAxisEntry {
+                label: spec.label(),
+                resolved: spec.resolve()?,
+                spec: spec.clone(),
+            });
+        }
+        // Every (workload, regime) pairing must be applicable — a
+        // real-kernel workload under a non-baseline regime is a config
+        // error, surfaced here rather than as a panic mid-campaign.
+        for entry in &workloads {
+            for &regime in &noise {
+                entry.resolved.with_noise_regime(regime)?;
+            }
         }
         // The network-model axis: legacy links first (as flat contended
         // fabrics at the matrix contention), then explicit specs — matrix
@@ -294,12 +470,6 @@ impl ScenarioMatrix {
                 resolved,
             });
         }
-        let mut noise = Vec::with_capacity(self.noise.len());
-        for name in &self.noise {
-            let regime =
-                NoiseRegime::parse(name).ok_or_else(|| format!("unknown noise regime `{name}`"))?;
-            noise.push(regime);
-        }
         for &r in &self.ranks {
             if r == 0 {
                 return Err("rank counts must be ≥ 1".into());
@@ -317,7 +487,7 @@ impl ScenarioMatrix {
             }
         }
         Ok(ResolvedMatrix {
-            apps,
+            workloads,
             strategies: self.strategies.clone(),
             models,
             noise,
@@ -330,6 +500,17 @@ impl ScenarioMatrix {
             deadline_ms: self.deadline_ms,
         })
     }
+}
+
+/// One resolved entry of the workload axis: its row label (the config
+/// string for legacy `apps` entries, [`WorkloadSpec::label`] otherwise),
+/// the canonical spec (cache addressing), and the typed handle
+/// (generation/pricing).
+#[derive(Debug, Clone)]
+struct WorkloadAxisEntry {
+    label: String,
+    spec: WorkloadSpec,
+    resolved: ResolvedWorkload,
 }
 
 /// One resolved entry of the network-model axis: its row label, the
@@ -346,8 +527,8 @@ struct ModelAxisEntry {
 /// handles instead of re-looking names up mid-campaign.
 #[derive(Debug, Clone)]
 pub struct ResolvedMatrix {
-    /// `(config name, base model)` per application, matrix order.
-    apps: Vec<(String, SyntheticApp)>,
+    /// The workload axis, matrix order (legacy apps first, then specs).
+    workloads: Vec<WorkloadAxisEntry>,
     strategies: Vec<Strategy>,
     /// The network-model axis, matrix order (links first, then specs).
     models: Vec<ModelAxisEntry>,
@@ -364,7 +545,7 @@ pub struct ResolvedMatrix {
 impl ResolvedMatrix {
     /// Number of cells (same as the source matrix's [`ScenarioMatrix::len`]).
     pub fn len(&self) -> usize {
-        self.apps.len()
+        self.workloads.len()
             * self.strategies.len()
             * self.models.len()
             * self.noise.len()
@@ -383,20 +564,24 @@ impl ResolvedMatrix {
         Duration::from_secs_f64(self.deadline_ms / 1000.0)
     }
 
-    /// Every cell in canonical row order (apps ▸ noise ▸ ranks ▸ models ▸
-    /// strategies), each carrying its content-addressable [`CellSpec`] and
-    /// the typed handles needed to price it independently.
+    /// Every cell in canonical row order (workloads ▸ noise ▸ ranks ▸
+    /// models ▸ strategies), each carrying its content-addressable
+    /// [`CellSpec`] and the typed handles needed to price it independently.
     pub fn cells(&self) -> Vec<ResolvedCell> {
         let mut cells = Vec::with_capacity(self.len());
-        for (app_name, base) in &self.apps {
+        for w in &self.workloads {
             for &regime in &self.noise {
-                let app = base.with_noise_regime(regime);
+                let workload = w
+                    .resolved
+                    .with_noise_regime(regime)
+                    .expect("pairing validated at resolve");
                 for &ranks in &self.ranks {
                     for entry in &self.models {
                         for &strategy in &self.strategies {
                             cells.push(ResolvedCell {
                                 spec: CellSpec {
-                                    app: app_name.clone(),
+                                    app: w.label.clone(),
+                                    workload: w.spec.clone(),
                                     strategy,
                                     link: entry.label.clone(),
                                     model: entry.spec.clone(),
@@ -409,7 +594,7 @@ impl ResolvedMatrix {
                                     seed: self.seed,
                                     deadline_ms: self.deadline_ms,
                                 },
-                                app: app.clone(),
+                                workload: workload.clone(),
                                 model: entry.resolved.clone(),
                             });
                         }
@@ -425,12 +610,17 @@ impl ResolvedMatrix {
 /// that determines its [`ScenarioRow`]. Its serialized JSON is the content
 /// the service's result cache addresses by hash: equal specs ⇒ bit-identical
 /// rows, across submissions and across overlapping matrices. The full
-/// [`NetModelSpec`] is embedded, so two models sharing a display label can
-/// never collide on a cache key.
+/// [`NetModelSpec`] **and** [`WorkloadSpec`] are embedded, so two models —
+/// or two workloads — sharing a display label can never collide on a cache
+/// key.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CellSpec {
-    /// Application name as configured (also the row's `app` label).
+    /// Workload display label (also the row's `app` column; for legacy
+    /// `apps` entries this is the config string as typed).
     pub app: String,
+    /// The workload, in full (legacy `apps` entries appear as
+    /// [`WorkloadSpec::Named`]).
+    pub workload: WorkloadSpec,
     /// Delivery strategy.
     pub strategy: Strategy,
     /// Network-model display label (also the row's `link` column; for
@@ -462,8 +652,8 @@ pub struct CellSpec {
 pub struct ResolvedCell {
     /// The cell's canonical content description.
     pub spec: CellSpec,
-    /// Application model with the cell's noise regime applied.
-    app: SyntheticApp,
+    /// Workload handle with the cell's noise regime applied.
+    workload: ResolvedWorkload,
     /// Typed network-model handle ([`NetModelSpec::resolve`]d).
     model: ResolvedNetModel,
 }
@@ -486,20 +676,31 @@ impl ResolvedCell {
 /// to deliver within the deadline), and bit-identical to the same cell's
 /// row from [`run_matrix`].
 ///
+/// # Errors
+/// A rendered workload failure: resolution validates names and ranges, but
+/// a real-kernel workload can still fail its physical invariant check at
+/// pricing time under extreme user-chosen problem sizes — that surfaces
+/// here (and as a protocol error line in the service) rather than as a
+/// panic.
+///
 /// Unlike [`run_matrix`], cells priced here do not share per-group work
 /// (arrivals, the campaign, the bulk baseline are redone per cell) — the
 /// deliberate cost of making every cell an independent, individually
-/// cacheable job: a cold 48-cell submission measures ~2 ms end to end, so
-/// the duplicated group work is noise next to the scheduling flexibility
-/// it buys. Revisit if matrices grow orders of magnitude hotter.
-pub fn compute_cell(cell: &ResolvedCell, pool: &Pool) -> ScenarioRow {
+/// cacheable job: a cold 48-cell synthetic submission measures ~2 ms end
+/// to end, so the duplicated group work is noise next to the scheduling
+/// flexibility it buys. `RealKernel` cells are heavier — each re-runs its
+/// metered kernel campaign (milliseconds at the test-scale defaults), so a
+/// submission fanning one real workload across many strategies/models
+/// repeats that run per cell; the row cache still makes every repeat
+/// submission free. Revisit with a per-(workload, seed, ranks, iteration,
+/// threads) arrivals memo if real-kernel problem sizes grow past test
+/// scale.
+pub fn compute_cell(cell: &ResolvedCell, pool: &Pool) -> Result<ScenarioRow, String> {
     let spec = &cell.spec;
-    let rank_arrivals: Vec<Vec<f64>> = (0..spec.ranks)
-        .map(|rank| {
-            cell.app
-                .process_iteration_ms(spec.seed, 0, rank, spec.iteration, spec.threads)
-        })
-        .collect();
+    let rank_arrivals: Vec<Vec<f64>> = cell
+        .workload
+        .rank_arrivals_ms(spec.seed, spec.ranks, spec.iteration, spec.threads)
+        .map_err(|e| format!("workload `{}`: {e}", spec.app))?;
     let campaign = run_delivery_campaign(
         spec.ranks,
         spec.threads,
@@ -528,7 +729,7 @@ pub fn compute_cell(cell: &ResolvedCell, pool: &Pool) -> ScenarioRow {
             &mut scratch,
         )
     };
-    ScenarioRow {
+    Ok(ScenarioRow {
         app: spec.app.clone(),
         strategy: spec.strategy.label().into_owned(),
         link: spec.link.clone(),
@@ -545,7 +746,7 @@ pub fn compute_cell(cell: &ResolvedCell, pool: &Pool) -> ScenarioRow {
         bulk_exposed_ms: bulk.exposed_ms(),
         speedup_vs_bulk: bulk.exposed_ms() / outcome.exposed_ms(),
         transport_verified: campaign.all_verified(),
-    }
+    })
 }
 
 /// One scenario's JSON table row.
@@ -588,35 +789,31 @@ pub struct ScenarioRow {
 }
 
 /// Runs every scenario of `matrix`, one row per cell in axis order
-/// (apps ▸ noise ▸ ranks ▸ models ▸ strategies).
+/// (workloads ▸ noise ▸ ranks ▸ models ▸ strategies).
 ///
 /// Timing comes from the deterministic delivery-kernel simulation; delivery
-/// mechanics are validated once per (app, noise, ranks) combination by
+/// mechanics are validated once per (workload, noise, ranks) combination by
 /// driving that many real session pairs over the transport on `pool`, with
-/// each rank's `pready` order replaying its synthetic arrival order.
+/// each rank's `pready` order replaying its workload's arrival order.
 ///
 /// # Errors
 /// The first axis-validation failure, verbatim from
-/// [`ScenarioMatrix::resolve`].
+/// [`ScenarioMatrix::resolve`], or a pricing-time workload failure (see
+/// [`compute_cell`]).
 pub fn run_matrix(matrix: &ScenarioMatrix, pool: &Pool) -> Result<Vec<ScenarioRow>, String> {
     let resolved = matrix.resolve()?;
     let mut rows = Vec::with_capacity(resolved.len());
     let mut scratch = SimScratch::new();
-    for (app_name, base) in &resolved.apps {
+    for w in &resolved.workloads {
         for &regime in &resolved.noise {
-            let app = base.with_noise_regime(regime);
+            let workload = w
+                .resolved
+                .with_noise_regime(regime)
+                .expect("pairing validated at resolve");
             for &ranks in &resolved.ranks {
-                let rank_arrivals: Vec<Vec<f64>> = (0..ranks)
-                    .map(|rank| {
-                        app.process_iteration_ms(
-                            resolved.seed,
-                            0,
-                            rank,
-                            resolved.iteration,
-                            resolved.threads,
-                        )
-                    })
-                    .collect();
+                let rank_arrivals: Vec<Vec<f64>> = workload
+                    .rank_arrivals_ms(resolved.seed, ranks, resolved.iteration, resolved.threads)
+                    .map_err(|e| format!("workload `{}`: {e}", w.label))?;
                 // Mechanics check: the same rank count of real sessions,
                 // partitions readied in each rank's arrival order. A small
                 // payload keeps the smoke fast; the delivery kernel prices
@@ -652,7 +849,7 @@ pub fn run_matrix(matrix: &ScenarioMatrix, pool: &Pool) -> Result<Vec<ScenarioRo
                             )
                         };
                         rows.push(ScenarioRow {
-                            app: app_name.clone(),
+                            app: w.label.clone(),
                             strategy: strategy.label().into_owned(),
                             link: entry.label.clone(),
                             noise: regime.label().to_string(),
@@ -738,6 +935,8 @@ mod tests {
         assert_eq!(ScenarioMatrix::smoke().len(), 48);
         assert_eq!(ScenarioMatrix::topology().len(), 96);
         assert_eq!(ScenarioMatrix::topology_smoke().len(), 24);
+        assert_eq!(ScenarioMatrix::workload().len(), 96);
+        assert_eq!(ScenarioMatrix::workload_smoke().len(), 12);
         assert!(!ScenarioMatrix::smoke().is_empty());
         assert_eq!(
             ScenarioMatrix::preset("SMOKE").unwrap(),
@@ -951,7 +1150,7 @@ mod tests {
         let cells = m.resolve().unwrap().cells();
         assert_eq!(rows.len(), cells.len());
         for (row, cell) in rows.iter().zip(&cells) {
-            let solo = compute_cell(cell, &pool);
+            let solo = compute_cell(cell, &pool).unwrap();
             assert_eq!(&solo, row, "cell {:?}", cell.spec);
         }
     }
@@ -967,7 +1166,7 @@ mod tests {
         let cells = m.resolve().unwrap().cells();
         assert_eq!(rows.len(), cells.len());
         for (row, cell) in rows.iter().zip(&cells) {
-            let solo = compute_cell(cell, &pool);
+            let solo = compute_cell(cell, &pool).unwrap();
             assert_eq!(&solo, row, "cell {:?}", cell.spec);
         }
         // The two model labels actually appear in the rows.
@@ -978,5 +1177,122 @@ mod tests {
     #[test]
     fn argsort_orders_by_value_then_index() {
         assert_eq!(argsort(&[3.0, 1.0, 2.0, 1.0]), vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn matrix_json_without_workloads_field_loads() {
+        // Matrix JSON saved before the workloads axis existed must load
+        // with an empty workloads list and produce the same cells.
+        let mut old_style = serde_json::to_string(&ScenarioMatrix::smoke()).unwrap();
+        let needle = ",\"workloads\":[]";
+        assert!(old_style.contains(needle), "{old_style}");
+        old_style = old_style.replace(needle, "");
+        let back: ScenarioMatrix = serde_json::from_str(&old_style).unwrap();
+        assert_eq!(back, ScenarioMatrix::smoke());
+        assert!(back.workloads.is_empty());
+        assert_eq!(back.len(), 48);
+    }
+
+    #[test]
+    fn mixed_apps_and_workloads_enumerate_apps_first() {
+        let mut m = ScenarioMatrix::smoke();
+        m.noise = vec!["baseline".into()];
+        m.workloads = vec![WorkloadSpec::RealKernel {
+            app: "MiniQMC".into(),
+            params: RealKernelParams::default(),
+        }];
+        assert_eq!(m.len(), 4 * 4 * 2); // workload axis 3 apps + 1 spec
+        let cells = m.resolve().unwrap().cells();
+        let per_workload = m.strategies.len() * m.ranks.len();
+        // First blocks: the legacy apps in config order, then the spec.
+        assert_eq!(cells[0].spec.app, "MiniFE");
+        assert_eq!(
+            cells[0].spec.workload,
+            WorkloadSpec::Named {
+                name: "MiniFE".into()
+            }
+        );
+        assert_eq!(cells[3 * per_workload].spec.app, "real(MiniQMC)");
+        assert!(matches!(
+            cells[3 * per_workload].spec.workload,
+            WorkloadSpec::RealKernel { .. }
+        ));
+    }
+
+    #[test]
+    fn case_insensitive_apps_resolve_with_did_you_mean_errors() {
+        // Lowercase legacy names keep working (labelled as typed)...
+        let mut m = ScenarioMatrix::smoke();
+        m.apps = vec!["minife".into()];
+        m.noise = vec!["baseline".into()];
+        m.ranks = vec![1];
+        m.strategies = vec![Strategy::Bulk];
+        let rows = run_matrix(&m, &Pool::new(1)).unwrap();
+        assert_eq!(rows[0].app, "minife");
+        // ...and near-misses get a suggestion in the rendered error.
+        let mut m = ScenarioMatrix::smoke();
+        m.apps = vec!["minifee".into()];
+        let err = run_matrix(&m, &Pool::new(1)).unwrap_err();
+        assert!(err.contains("did you mean `MiniFE`"), "{err}");
+    }
+
+    #[test]
+    fn real_kernel_cells_reject_non_baseline_noise() {
+        let mut m = ScenarioMatrix::workload_smoke();
+        m.noise = vec!["laggard".into()];
+        let err = m.resolve().unwrap_err();
+        assert!(err.contains("baseline"), "{err}");
+        assert!(err.contains("real-kernel"), "{err}");
+    }
+
+    #[test]
+    fn cache_keys_distinguish_workloads_sharing_a_label() {
+        // Two inline synthetic models with the same name — identical row
+        // labels — must still get distinct cache keys, because the cell
+        // spec embeds the full WorkloadSpec.
+        let mut model_a = super::ramp_steady_model();
+        model_a.phases[0].sigma_ms = 0.4;
+        let mut model_b = super::ramp_steady_model();
+        model_b.phases[0].sigma_ms = 0.9;
+        let mut m = ScenarioMatrix::workload_smoke();
+        m.workloads = vec![
+            WorkloadSpec::Synthetic { model: model_a },
+            WorkloadSpec::Synthetic { model: model_b },
+        ];
+        let cells = m.resolve().unwrap().cells();
+        assert_eq!(
+            cells[0].spec.app, cells[4].spec.app,
+            "labels intentionally collide"
+        );
+        let mut keys: Vec<String> = cells.iter().map(|c| c.content_key().hex()).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), cells.len(), "cache keys must stay distinct");
+    }
+
+    #[test]
+    fn workload_smoke_runs_end_to_end_with_real_kernel_cell() {
+        // The workload-smoke preset — inline synthetic, real kernel,
+        // mixture — prices every cell, transport-verified, and the
+        // service's per-cell path stays bit-identical to the offline table
+        // (the property the serve cache and CI byte-diff rely on).
+        let m = ScenarioMatrix::workload_smoke();
+        let pool = Pool::new(2);
+        let rows = run_matrix(&m, &pool).unwrap();
+        assert_eq!(rows.len(), 12);
+        assert!(rows.iter().all(|r| r.transport_verified));
+        let labels: Vec<&str> = rows.iter().map(|r| r.app.as_str()).collect();
+        assert!(labels.contains(&"syn(RampSteady)"));
+        assert!(labels.contains(&"real(MiniFE)"));
+        assert!(labels.contains(&"mix(fe2md1)"));
+        let cells = m.resolve().unwrap().cells();
+        for (row, cell) in rows.iter().zip(&cells) {
+            let solo = compute_cell(cell, &pool).unwrap();
+            assert_eq!(&solo, row, "cell {:?}", cell.spec.app);
+        }
+        // Determinism across repeated pricings (the cache-correctness
+        // property for real-kernel cells).
+        let again = run_matrix(&m, &pool).unwrap();
+        assert_eq!(rows, again);
     }
 }

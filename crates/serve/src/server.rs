@@ -68,8 +68,10 @@ struct Job {
     /// Content address the finished row is cached under.
     key: ContentKey,
     cell: ResolvedCell,
-    /// The submitting connection's result channel.
-    reply: mpsc::Sender<(usize, Arc<CachedRow>)>,
+    /// The submitting connection's result channel: the finished row, or a
+    /// rendered pricing failure (e.g. a real-kernel workload violating its
+    /// physical invariant under extreme user-chosen problem sizes).
+    reply: mpsc::Sender<(usize, Result<Arc<CachedRow>, String>)>,
 }
 
 /// State shared by the acceptor, every connection thread, and the scheduler.
@@ -146,27 +148,29 @@ impl Server {
                         // Each worker is already one team member; the
                         // delivery campaign inside the cell runs inline on
                         // a unit pool rather than forking a nested team.
-                        let row = compute_cell(&job.cell, &Pool::new(1));
-                        let line = report::json_line(&row).expect("scenario rows always serialize");
-                        // Only verified rows are pure functions of their
-                        // spec; a deadline miss is host scheduling, not
-                        // content, and must stay transient rather than
-                        // poison the cache (and its cold tier) forever.
-                        let entry = if row.transport_verified {
-                            shared.cache.insert(&job.key, line)
-                        } else {
-                            Arc::new(CachedRow {
-                                spec: job.key.content().to_string(),
-                                row: line,
-                            })
-                        };
+                        let outcome = compute_cell(&job.cell, &Pool::new(1)).map(|row| {
+                            let line =
+                                report::json_line(&row).expect("scenario rows always serialize");
+                            // Only verified rows are pure functions of their
+                            // spec; a deadline miss is host scheduling, not
+                            // content, and must stay transient rather than
+                            // poison the cache (and its cold tier) forever.
+                            if row.transport_verified {
+                                shared.cache.insert(&job.key, line)
+                            } else {
+                                Arc::new(CachedRow {
+                                    spec: job.key.content().to_string(),
+                                    row: line,
+                                })
+                            }
+                        });
                         // Decrement before reporting: once a submission has
                         // streamed its last row, no job of its can still be
                         // counted in flight.
                         shared.inflight.fetch_sub(1, Ordering::SeqCst);
                         // A dropped receiver (client vanished mid-submit) is
                         // not an error: the row is cached for the next ask.
-                        let _ = job.reply.send((job.index, entry));
+                        let _ = job.reply.send((job.index, outcome));
                     });
                 })
                 .map_err(|e| format!("spawning worker team: {e}"))?
@@ -377,7 +381,7 @@ fn handle_submit(
     };
     shared.submits.fetch_add(1, Ordering::SeqCst);
     let total = cells.len();
-    let (tx, rx) = mpsc::channel::<(usize, Arc<CachedRow>)>();
+    let (tx, rx) = mpsc::channel::<(usize, Result<Arc<CachedRow>, String>)>();
     let mut ready: Vec<Option<Arc<CachedRow>>> = vec![None; total];
     let mut scheduled = 0usize;
     for (index, cell) in cells.into_iter().enumerate() {
@@ -419,11 +423,20 @@ fn handle_submit(
                 break e;
             }
             match rx.recv() {
-                Ok((done, e)) => {
+                Ok((done, Ok(e))) => {
                     if done == index {
                         break e;
                     }
                     extra.insert(done, e);
+                }
+                Ok((_done, Err(msg))) => {
+                    // A pricing failure ends the stream with the protocol's
+                    // error line (same shape as the shutdown-mid-submit
+                    // path); the client reports it verbatim.
+                    return write_line(
+                        writer,
+                        &reply_line(&ErrorReply::new(format!("cell failed: {msg}"))),
+                    );
                 }
                 Err(_) => {
                     // Every sender dropped with rows outstanding: only

@@ -139,6 +139,41 @@ fn resubmission_is_bit_identical_with_zero_recomputation() {
 }
 
 #[test]
+fn real_kernel_cell_round_trips_through_the_service_cache() {
+    // The workload axis through the service: a single RealKernel cell
+    // streams byte-identically to the offline table (possible only because
+    // metered real-kernel timing is deterministic), and a resubmit is one
+    // cache hit with zero recomputation.
+    use ebird_cluster::{RealKernelParams, WorkloadSpec};
+    let mut matrix = ScenarioMatrix::workload_smoke();
+    matrix.workloads = vec![WorkloadSpec::RealKernel {
+        app: "MiniMD".into(),
+        params: RealKernelParams::default(),
+    }];
+    matrix.strategies = vec![ebird_partcomm::Strategy::EarlyBird];
+    matrix.threads = 4;
+    let offline = run_matrix(&matrix, &Pool::new(2)).unwrap();
+    assert_eq!(offline.len(), 1);
+
+    let (addr, handle) = start_server(ServerConfig {
+        threads: 2,
+        cache_dir: None,
+    });
+    let source = MatrixSource::Inline(matrix);
+    let first = client::submit(&addr, &source, 0).unwrap();
+    assert_eq!(first.footer.computed, 1);
+    let offline_lines: Vec<String> = offline
+        .iter()
+        .map(|r| serde_json::to_string(r).unwrap())
+        .collect();
+    assert_eq!(first.rows, offline_lines, "served ≠ offline bytes");
+    let second = client::submit(&addr, &source, 0).unwrap();
+    assert_eq!((second.footer.cached, second.footer.computed), (1, 0));
+    assert_eq!(second.rows, first.rows);
+    shutdown_and_join(&addr, handle);
+}
+
+#[test]
 fn fetch_is_cache_only() {
     let (addr, handle) = start_server(ServerConfig {
         threads: 2,

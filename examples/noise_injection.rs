@@ -31,9 +31,9 @@ fn baseline_phase() -> Phase {
     }
 }
 
-fn model_with(name: &'static str, phase: Phase) -> SyntheticApp {
+fn model_with(name: &str, phase: Phase) -> SyntheticApp {
     SyntheticApp::from_model(AppModel {
-        name,
+        name: name.into(),
         rank_speed_sigma: 0.0,
         iter_wander_ms: 0.0,
         phases: vec![phase],

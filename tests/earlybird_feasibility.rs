@@ -24,7 +24,7 @@ fn miniqmc_benefits_most_from_early_bird() {
         let bulk = simulate(&a, BUF, &link, Strategy::Bulk);
         let eb = simulate(&a, BUF, &link, Strategy::EarlyBird);
         savings.push((
-            app.name(),
+            app.name().to_string(),
             bulk.completion_ms - eb.completion_ms,
             bulk.exposed_ms() - eb.exposed_ms(),
         ));

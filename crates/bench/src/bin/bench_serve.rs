@@ -12,6 +12,12 @@
 //! fails loudly if any warm stream is not byte-identical to the cold one or
 //! if the warm submissions recompute anything.
 //!
+//! A third dimension measures concurrency: 1, 4 and 8 clients race the
+//! *same* matrix against a fresh cold server, so every cell is demanded by
+//! every client at once. Single-flight coalescing must hold the server's
+//! `computed` counter to exactly one compute per distinct cell — the run
+//! fails loudly on any duplicate.
+//!
 //! Defaults: `available_parallelism()` workers, best-of-5 warm repeats, the
 //! 48-cell smoke matrix (`--full` switches to the 288-cell campaign),
 //! `BENCH_SERVE.json` in the working directory.
@@ -45,6 +51,24 @@ struct ServeReport {
     cache_speedup: f64,
     /// Whether every warm stream matched the cold stream byte-for-byte.
     bit_identical: bool,
+    /// Cold-server runs with N clients racing the same matrix.
+    concurrent: Vec<ConcurrentLevel>,
+}
+
+/// One concurrency level: N clients, one cold server, one shared matrix.
+#[derive(Debug, Serialize)]
+struct ConcurrentLevel {
+    clients: usize,
+    /// Wall-clock until every client's stream completed.
+    ms: f64,
+    /// Completed submit requests per second.
+    requests_per_s: f64,
+    /// Rows streamed (across all clients) per second.
+    rows_per_s: f64,
+    /// Cells the server actually priced (must equal the matrix size).
+    computed_cells: u64,
+    /// `computed_cells - matrix_cells` — pinned to zero by coalescing.
+    duplicate_computes: u64,
 }
 
 fn main() {
@@ -106,7 +130,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "127.0.0.1:0",
         ServerConfig {
             threads,
-            cache_dir: None,
+            ..ServerConfig::default()
         },
     )?;
     let addr = server.local_addr().to_string();
@@ -146,6 +170,11 @@ fn run(args: &[String]) -> Result<(), String> {
         .join()
         .map_err(|_| "server thread panicked".to_string())??;
 
+    let mut concurrent = Vec::new();
+    for clients in [1usize, 4, 8] {
+        concurrent.push(concurrent_level(clients, threads, &source, cells)?);
+    }
+
     let report = ServeReport {
         matrix_cells: cells,
         threads,
@@ -158,6 +187,7 @@ fn run(args: &[String]) -> Result<(), String> {
         cached_requests_per_s: 1e3 / cached_ms,
         cache_speedup: uncached_ms / cached_ms,
         bit_identical,
+        concurrent,
     };
     println!(
         "uncached submit: {:>9.3} ms ({:>8.0} rows/s, {:>6.2} req/s)",
@@ -171,6 +201,12 @@ fn run(args: &[String]) -> Result<(), String> {
         "cache-hit speedup: {:.1}×, streams bit-identical",
         report.cache_speedup
     );
+    for level in &report.concurrent {
+        println!(
+            "{} client(s) cold:  {:>9.3} ms ({:>8.0} rows/s, {:>6.2} req/s), {} duplicate compute(s)",
+            level.clients, level.ms, level.rows_per_s, level.requests_per_s, level.duplicate_computes
+        );
+    }
 
     let json = serde_json::to_string(&report).map_err(|e| format!("serializing report: {e}"))?;
     let mut f =
@@ -179,4 +215,68 @@ fn run(args: &[String]) -> Result<(), String> {
         .map_err(|e| format!("writing {}: {e}", out.display()))?;
     eprintln!("# wrote {}", out.display());
     Ok(())
+}
+
+/// Races `clients` submissions of the same matrix against one fresh cold
+/// server and verifies single-flight coalescing held duplicate computes to
+/// zero (the server priced each distinct cell exactly once).
+fn concurrent_level(
+    clients: usize,
+    threads: usize,
+    source: &MatrixSource,
+    cells: usize,
+) -> Result<ConcurrentLevel, String> {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            threads,
+            ..ServerConfig::default()
+        },
+    )?;
+    let addr = server.local_addr().to_string();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let addr = addr.clone();
+            let source = source.clone();
+            std::thread::spawn(move || client::submit(&addr, &source, 0))
+        })
+        .collect();
+    for handle in handles {
+        let outcome = handle
+            .join()
+            .map_err(|_| "client thread panicked".to_string())??;
+        if outcome.rows.len() != cells {
+            return Err(format!(
+                "a concurrent client streamed {} of {cells} rows",
+                outcome.rows.len()
+            ));
+        }
+    }
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let status = client::status(&addr)?;
+    client::shutdown(&addr)?;
+    server_thread
+        .join()
+        .map_err(|_| "server thread panicked".to_string())??;
+
+    let duplicate_computes = status.computed.saturating_sub(cells as u64);
+    if duplicate_computes > 0 {
+        return Err(format!(
+            "{clients} client(s): server computed {} cells for a {cells}-cell matrix \
+             ({duplicate_computes} duplicate(s) — coalescing failed)",
+            status.computed
+        ));
+    }
+    Ok(ConcurrentLevel {
+        clients,
+        ms,
+        requests_per_s: clients as f64 / (ms / 1e3),
+        rows_per_s: (clients * cells) as f64 / (ms / 1e3),
+        computed_cells: status.computed,
+        duplicate_computes,
+    })
 }

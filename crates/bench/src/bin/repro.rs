@@ -4,7 +4,8 @@
 //! repro [--scale paper|ci] [--seed N] [--source synthetic|real]
 //!       [--threads N] [--csv-dir DIR]
 //!       [--smoke] [--preset NAME] [--matrix FILE] [--out FILE]
-//!       [--addr HOST:PORT] [--cache-dir DIR] [--priority N] <experiment>
+//!       [--addr HOST:PORT] [--cache-dir DIR] [--hot-bytes N]
+//!       [--queue-bound N] [--priority N] <experiment>
 //!
 //! experiments:
 //!   table1          process-iteration normality pass rates (Table 1)
@@ -32,7 +33,10 @@
 //!                   127.0.0.1:4750): accepts line-JSON submit/fetch/
 //!                   status/shutdown requests, schedules cells on the
 //!                   worker pool, memoizes rows in a content-addressed
-//!                   cache (--cache-dir persists it; see PROTOCOL.md)
+//!                   cache (--cache-dir persists it, --hot-bytes caps the
+//!                   in-memory tier under S3-FIFO eviction, --queue-bound
+//!                   caps the job queue — saturated submits get a
+//!                   structured overloaded reply; see PROTOCOL.md)
 //!   submit          submit a matrix (--smoke / --matrix / full default)
 //!                   to a running server; streamed rows go to stdout and
 //!                   are byte-identical to the offline `scenarios` table,
@@ -78,7 +82,7 @@ fn main() {
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!();
-            eprintln!("usage: repro [--scale paper|ci] [--seed N] [--source synthetic|real] [--threads N] [--csv-dir DIR] [--smoke] [--preset NAME] [--matrix FILE] [--out FILE] [--addr HOST:PORT] [--cache-dir DIR] [--priority N] <experiment>");
+            eprintln!("usage: repro [--scale paper|ci] [--seed N] [--source synthetic|real] [--threads N] [--csv-dir DIR] [--smoke] [--preset NAME] [--matrix FILE] [--out FILE] [--addr HOST:PORT] [--cache-dir DIR] [--hot-bytes N] [--queue-bound N] [--priority N] <experiment>");
             eprintln!("experiments: table1 app-normality iter-normality fig3 fig4 fig5 fig6 fig7 fig8 fig9 metrics earlybird battery fit scenarios workloads serve submit fetch status shutdown all");
             std::process::exit(2);
         }
@@ -102,6 +106,10 @@ struct Options {
     addr: String,
     /// `serve`: persist the result cache's cold tier in this directory.
     cache_dir: Option<std::path::PathBuf>,
+    /// `serve`: hot-tier byte budget (`None` = unbounded).
+    hot_bytes: Option<usize>,
+    /// `serve`: job-queue admission bound (`usize::MAX` = unbounded).
+    queue_bound: usize,
     /// `submit`: queue priority (higher runs sooner).
     priority: i64,
     /// Worker pool for generation and sweeps; parallel output is
@@ -120,6 +128,8 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut out = None;
     let mut addr = DEFAULT_ADDR.to_string();
     let mut cache_dir = None;
+    let mut hot_bytes = None;
+    let mut queue_bound = ebird_serve::DEFAULT_QUEUE_BOUND;
     let mut priority = 0i64;
     let mut threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut experiment: Option<String> = None;
@@ -176,6 +186,19 @@ fn run(args: &[String]) -> Result<(), String> {
                 let v = it.next().ok_or("--cache-dir needs a value")?;
                 cache_dir = Some(std::path::PathBuf::from(v));
             }
+            "--hot-bytes" => {
+                let v = it.next().ok_or("--hot-bytes needs a value")?;
+                let n: usize = v.parse().map_err(|e| format!("bad hot-bytes `{v}`: {e}"))?;
+                // 0 = unbounded, mirroring the status wire sentinel.
+                hot_bytes = (n > 0).then_some(n);
+            }
+            "--queue-bound" => {
+                let v = it.next().ok_or("--queue-bound needs a value")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|e| format!("bad queue-bound `{v}`: {e}"))?;
+                queue_bound = if n == 0 { usize::MAX } else { n };
+            }
             "--priority" => {
                 let v = it.next().ok_or("--priority needs a value")?;
                 priority = v.parse().map_err(|e| format!("bad priority `{v}`: {e}"))?;
@@ -198,6 +221,8 @@ fn run(args: &[String]) -> Result<(), String> {
         out,
         addr,
         cache_dir,
+        hot_bytes,
+        queue_bound,
         priority,
         pool: Pool::new(threads),
     };
@@ -724,6 +749,8 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
         ebird_serve::ServerConfig {
             threads: opts.pool.threads(),
             cache_dir: opts.cache_dir.clone(),
+            hot_bytes: opts.hot_bytes,
+            queue_bound: opts.queue_bound,
         },
     )
 }
@@ -752,12 +779,13 @@ fn cmd_submit(opts: &Options, fetch_only: bool) -> Result<(), String> {
         client::submit_streaming(&opts.addr, &source, opts.priority, print_row)?
     };
     eprintln!(
-        "# {} {} rows from {}: {} cached, {} computed",
+        "# {} {} rows from {}: {} cached, {} computed, {} coalesced",
         if fetch_only { "fetched" } else { "served" },
         outcome.footer.cells,
         opts.addr,
         outcome.footer.cached,
         outcome.footer.computed,
+        outcome.footer.coalesced,
     );
     if let Some(path) = &opts.out {
         let mut table = String::with_capacity(outcome.rows.iter().map(|r| r.len() + 1).sum());
@@ -786,9 +814,38 @@ fn cmd_submit(opts: &Options, fetch_only: bool) -> Result<(), String> {
 
 fn cmd_status(opts: &Options) -> Result<(), String> {
     let s = ebird_serve::client::status(&opts.addr)?;
+    let bound = |n: usize| {
+        if n == 0 {
+            "unbounded".to_string()
+        } else {
+            n.to_string()
+        }
+    };
     println!(
-        "server {}: {} queued, {} in flight, {} cached cell(s), {} hit(s) / {} miss(es), {} submit(s), {} worker thread(s)",
-        opts.addr, s.queued, s.inflight, s.hot_entries, s.hits, s.misses, s.submits, s.threads
+        "server {}: {} queued (bound {}), {} in flight ({} cell(s) single-flight), {} submit(s), {} worker thread(s)",
+        opts.addr,
+        s.queued,
+        bound(s.queue_bound),
+        s.inflight,
+        s.inflight_cells,
+        s.submits,
+        s.threads
+    );
+    println!(
+        "  cache: {} hot entr{} / {} B (budget {}), {} hit(s) / {} miss(es), {} eviction(s), {} ghost hit(s), {} cold hit(s)",
+        s.hot_entries,
+        if s.hot_entries == 1 { "y" } else { "ies" },
+        s.hot_bytes,
+        bound(s.hot_budget_bytes as usize),
+        s.hits,
+        s.misses,
+        s.evictions,
+        s.ghost_hits,
+        s.cold_hits
+    );
+    println!(
+        "  cells: {} computed, {} coalesced; {} submit(s) refused overloaded",
+        s.computed, s.coalesced, s.overloaded
     );
     Ok(())
 }

@@ -33,5 +33,5 @@ pub mod schedule;
 
 pub use barrier::SenseBarrier;
 pub use pool::{Ctx, Pool};
-pub use queue::JobQueue;
+pub use queue::{JobQueue, PushError};
 pub use schedule::{static_block, Schedule};

@@ -50,19 +50,44 @@ struct State<T> {
     heap: BinaryHeap<Entry<T>>,
     next_seq: u64,
     closed: bool,
+    /// Maximum queued (not-yet-popped) jobs; `usize::MAX` = unbounded.
+    capacity: usize,
+}
+
+/// Why a [`push`](JobQueue::push) was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is closed (shutdown drain in progress).
+    Closed,
+    /// The queue is at capacity — admission control territory: the caller
+    /// should shed or defer the work, not block on it.
+    Full,
+}
+
+impl std::fmt::Display for PushError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PushError::Closed => write!(f, "queue is closed"),
+            PushError::Full => write!(f, "queue is full"),
+        }
+    }
 }
 
 /// A blocking multi-producer/multi-consumer priority queue with close/drain
-/// shutdown semantics.
+/// shutdown semantics and an optional depth bound.
 ///
 /// * [`push`](JobQueue::push) enqueues at a priority (higher runs first;
 ///   equal priorities run in push order). Pushing to a closed queue is
-///   refused.
+///   refused with [`PushError::Closed`]; pushing to a
+///   [`bounded`](JobQueue::bounded) queue at capacity is refused with
+///   [`PushError::Full`] — it never blocks, so producers can degrade
+///   gracefully instead of wedging.
 /// * [`pop`](JobQueue::pop) blocks until a job is available, returning `None`
 ///   only once the queue is closed **and** drained — the worker-loop exit
 ///   signal.
 /// * [`close`](JobQueue::close) starts the drain: no new jobs, queued jobs
-///   still pop.
+///   still pop. Closing a full queue must (and does) still drain every
+///   accepted job.
 pub struct JobQueue<T> {
     state: Mutex<State<T>>,
     available: Condvar,
@@ -85,31 +110,46 @@ impl<T> std::fmt::Debug for JobQueue<T> {
 }
 
 impl<T> JobQueue<T> {
-    /// Creates an empty, open queue.
+    /// Creates an empty, open, unbounded queue.
     pub fn new() -> Self {
+        Self::bounded(usize::MAX)
+    }
+
+    /// Creates an empty, open queue refusing pushes beyond `capacity` queued
+    /// jobs (jobs already popped by workers don't count).
+    pub fn bounded(capacity: usize) -> Self {
         JobQueue {
             state: Mutex::new(State {
                 heap: BinaryHeap::new(),
                 next_seq: 0,
                 closed: false,
+                capacity,
             }),
             available: Condvar::new(),
         }
     }
 
     /// Enqueues `job` at `priority` (higher = sooner; ties run FIFO).
-    /// Returns `false` — and drops the job — if the queue is closed.
-    pub fn push(&self, priority: i64, job: T) -> bool {
+    /// Refuses — dropping the job — when the queue is closed or at capacity;
+    /// never blocks.
+    ///
+    /// # Errors
+    /// [`PushError::Closed`] after [`close`](JobQueue::close),
+    /// [`PushError::Full`] when a bounded queue is saturated.
+    pub fn push(&self, priority: i64, job: T) -> Result<(), PushError> {
         let mut g = self.state.lock();
         if g.closed {
-            return false;
+            return Err(PushError::Closed);
+        }
+        if g.heap.len() >= g.capacity {
+            return Err(PushError::Full);
         }
         let seq = g.next_seq;
         g.next_seq += 1;
         g.heap.push(Entry { priority, seq, job });
         drop(g);
         self.available.notify_one();
-        true
+        Ok(())
     }
 
     /// Blocks until a job is available and returns it; `None` once the queue
@@ -145,9 +185,15 @@ impl<T> JobQueue<T> {
         self.state.lock().closed
     }
 
-    /// Jobs currently queued (not yet popped).
+    /// Jobs currently queued (not yet popped) — the admission-control depth
+    /// signal.
     pub fn len(&self) -> usize {
         self.state.lock().heap.len()
+    }
+
+    /// The depth bound ([`usize::MAX`] for an unbounded queue).
+    pub fn capacity(&self) -> usize {
+        self.state.lock().capacity
     }
 
     /// Whether no jobs are queued.
@@ -186,10 +232,10 @@ mod tests {
     #[test]
     fn pops_by_priority_then_fifo() {
         let q = JobQueue::new();
-        assert!(q.push(1, "low-a"));
-        assert!(q.push(5, "high-a"));
-        assert!(q.push(1, "low-b"));
-        assert!(q.push(5, "high-b"));
+        assert!(q.push(1, "low-a").is_ok());
+        assert!(q.push(5, "high-a").is_ok());
+        assert!(q.push(1, "low-b").is_ok());
+        assert!(q.push(5, "high-b").is_ok());
         q.close();
         let drained: Vec<&str> = std::iter::from_fn(|| q.pop()).collect();
         assert_eq!(drained, vec!["high-a", "high-b", "low-a", "low-b"]);
@@ -198,9 +244,9 @@ mod tests {
     #[test]
     fn negative_priorities_run_last() {
         let q = JobQueue::new();
-        q.push(0, 0);
-        q.push(-3, -3);
-        q.push(7, 7);
+        q.push(0, 0).unwrap();
+        q.push(-3, -3).unwrap();
+        q.push(7, 7).unwrap();
         q.close();
         let drained: Vec<i64> = std::iter::from_fn(|| q.pop()).collect();
         assert_eq!(drained, vec![7, 0, -3]);
@@ -209,9 +255,13 @@ mod tests {
     #[test]
     fn close_refuses_new_work_but_drains_old() {
         let q = JobQueue::new();
-        assert!(q.push(0, 1));
+        assert!(q.push(0, 1).is_ok());
         q.close();
-        assert!(!q.push(0, 2), "push after close must be refused");
+        assert_eq!(
+            q.push(0, 2),
+            Err(PushError::Closed),
+            "push after close must be refused"
+        );
         assert!(q.is_closed());
         assert_eq!(q.pop(), Some(1));
         assert_eq!(q.pop(), None);
@@ -222,9 +272,65 @@ mod tests {
     fn try_pop_never_blocks() {
         let q: JobQueue<u32> = JobQueue::new();
         assert_eq!(q.try_pop(), None);
-        q.push(0, 9);
+        q.push(0, 9).unwrap();
         assert_eq!(q.try_pop(), Some(9));
         assert_eq!(q.try_pop(), None);
+    }
+
+    #[test]
+    fn bounded_queue_refuses_past_capacity_without_blocking() {
+        let q = JobQueue::bounded(2);
+        assert_eq!(q.capacity(), 2);
+        assert!(q.push(0, 1).is_ok());
+        assert!(q.push(0, 2).is_ok());
+        assert_eq!(q.push(0, 3), Err(PushError::Full));
+        assert_eq!(q.len(), 2, "a refused job is not queued");
+        // A pop frees a slot; pushes are admitted again.
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.push(9, 4).is_ok());
+        // Closed wins over Full in reporting: the queue is gone, not busy.
+        q.close();
+        assert_eq!(q.push(0, 5), Err(PushError::Closed));
+        let drained: Vec<i32> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(drained, vec![4, 2]);
+    }
+
+    #[test]
+    fn close_while_saturated_drains_every_accepted_job() {
+        // Shutdown with a full queue must neither deadlock nor drop accepted
+        // cells: fill a bounded queue, close it while saturated, then let a
+        // team drain — every accepted job runs exactly once, every refused
+        // job never runs.
+        let cap = 8usize;
+        let q = Arc::new(JobQueue::bounded(cap));
+        let accepted: Vec<usize> = (0..cap + 4)
+            .filter(|&i| q.push((i % 3) as i64, i).is_ok())
+            .collect();
+        assert_eq!(accepted.len(), cap, "exactly `cap` jobs admitted");
+        assert_eq!(q.len(), cap);
+        let ran: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..cap + 4).map(|_| AtomicUsize::new(0)).collect());
+        // Close from another thread while the queue is still full.
+        let closer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.close())
+        };
+        let pool = Pool::new(3);
+        let ran2 = Arc::clone(&ran);
+        pool.service(&q, move |i, _ctx| {
+            ran2[i].fetch_add(1, Ordering::SeqCst);
+        });
+        closer.join().unwrap();
+        for (i, c) in ran.iter().enumerate() {
+            let expected = usize::from(accepted.contains(&i));
+            assert_eq!(
+                c.load(Ordering::SeqCst),
+                expected,
+                "job {i} ran the wrong number of times"
+            );
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None, "drained and closed");
     }
 
     #[test]
@@ -238,7 +344,7 @@ mod tests {
         });
         // Give the popper time to block, then feed it one job and close.
         std::thread::sleep(std::time::Duration::from_millis(20));
-        q.push(0, 42u64);
+        q.push(0, 42u64).unwrap();
         std::thread::sleep(std::time::Duration::from_millis(20));
         q.close();
         let (first, second) = popper.join().unwrap();
@@ -252,7 +358,7 @@ mod tests {
         let q = JobQueue::new();
         let counts: Vec<AtomicUsize> = (0..200).map(|_| AtomicUsize::new(0)).collect();
         for i in 0..200usize {
-            q.push((i % 3) as i64, i);
+            q.push((i % 3) as i64, i).unwrap();
         }
         q.close();
         pool.service(&q, |i, _ctx| {
@@ -273,7 +379,7 @@ mod tests {
             let q = Arc::clone(&q);
             std::thread::spawn(move || {
                 for i in 0..100u64 {
-                    assert!(q.push((i % 5) as i64, i));
+                    assert!(q.push((i % 5) as i64, i).is_ok());
                 }
                 q.close();
             })

@@ -8,11 +8,15 @@
 //!
 //! Two tiers:
 //!
-//! * **hot** — an in-memory map behind a `parking_lot` mutex; every lookup
-//!   and insert goes through it.
-//! * **cold** — an append-only JSON Lines file (`ebird-core::io`'s JSONL
-//!   helpers) replayed into the hot tier at startup, so a restarted server
-//!   resumes with its history intact. Appends are buffered; [`flush`] (and
+//! * **hot** — an in-memory [S3-FIFO](crate::s3fifo) under a configurable
+//!   byte budget (`repro serve --hot-bytes`): new entries wash through a
+//!   small probationary queue, proven entries live in the main queue, and a
+//!   ghost queue of recently evicted keys routes fast returners straight
+//!   back to main. Unbounded when no budget is set.
+//! * **cold** — an append-only JSON Lines file replayed at startup *and*
+//!   point-readable at runtime: every record's byte offset is indexed, so a
+//!   row evicted from the hot tier is re-read from disk (and re-admitted
+//!   hot) instead of recomputed. Appends are buffered; [`flush`] (and
 //!   graceful shutdown) force them to disk.
 //!
 //! Hash collisions are guarded, not assumed away: entries store the full
@@ -23,51 +27,95 @@
 
 use std::collections::HashMap;
 use std::fs::File;
-use std::io::{BufWriter, Write as _};
+use std::io::{BufWriter, Read as _, Seek as _, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use ebird_core::io::write_jsonl_line;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+
+use crate::s3fifo::S3Fifo;
 
 /// FNV-1a 128-bit offset basis.
 const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
 /// FNV-1a 128-bit prime.
 const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013B;
 
+/// One replayed cold-tier record and where its line sits in the file.
+struct LocatedRecord {
+    record: ColdRecord,
+    /// Byte offset of the line's first byte.
+    offset: u64,
+    /// Line length in bytes, excluding the trailing newline.
+    len: u32,
+}
+
+/// The cold tier replayed: its records (with file locations) and the byte
+/// length of the well-formed prefix — anything past it is a torn tail to
+/// truncate away before appending, or the next restart would read the tear
+/// and the first new record glued into one corrupt line.
+struct ColdReplay {
+    records: Vec<LocatedRecord>,
+    good_len: u64,
+}
+
 /// Loads the cold tier's records, tolerating a torn trailing line: appends
 /// go through a buffered writer, so a crash mid-flush can leave the last
-/// line truncated — that line is dropped (the cell simply recomputes),
-/// while a parse failure on any earlier line is treated as corruption.
-fn load_cold_records(path: &Path) -> Result<Vec<ColdRecord>, String> {
+/// line truncated — that line is dropped with a warning (the cell simply
+/// recomputes), while a parse failure on any earlier line is treated as
+/// corruption.
+fn load_cold_records(path: &Path) -> Result<ColdReplay, String> {
     let text = match std::fs::read_to_string(path) {
         Ok(text) => text,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(ColdReplay {
+                records: Vec::new(),
+                good_len: 0,
+            })
+        }
         Err(e) => return Err(format!("reading {path:?}: {e}")),
     };
-    let lines: Vec<(usize, &str)> = text
-        .lines()
+    // Split keeping byte offsets (std `lines()` hides them).
+    let mut lines: Vec<(u64, &str)> = Vec::new();
+    let mut start = 0usize;
+    for (i, b) in text.bytes().enumerate() {
+        if b == b'\n' {
+            lines.push((start as u64, &text[start..i]));
+            start = i + 1;
+        }
+    }
+    if start < text.len() {
+        lines.push((start as u64, &text[start..]));
+    }
+    let nonempty: Vec<(usize, u64, &str)> = lines
+        .iter()
         .enumerate()
-        .filter(|(_, l)| !l.trim().is_empty())
+        .filter(|(_, (_, l))| !l.trim().is_empty())
+        .map(|(no, &(off, l))| (no, off, l))
         .collect();
-    let mut records = Vec::with_capacity(lines.len());
-    for (pos, &(lineno, line)) in lines.iter().enumerate() {
+    let mut records = Vec::with_capacity(nonempty.len());
+    let mut good_len = text.len() as u64;
+    for (pos, &(lineno, offset, line)) in nonempty.iter().enumerate() {
         match serde_json::from_str::<ColdRecord>(line) {
-            Ok(r) => records.push(r),
-            Err(e) if pos + 1 == lines.len() => {
+            Ok(record) => records.push(LocatedRecord {
+                record,
+                offset,
+                len: line.len() as u32,
+            }),
+            Err(e) if pos + 1 == nonempty.len() => {
                 eprintln!(
                     "ebird-serve: dropping torn final line {} of {path:?} ({e})",
                     lineno + 1
                 );
+                good_len = offset;
             }
             Err(e) => {
                 return Err(format!("corrupt cache {path:?} line {}: {e}", lineno + 1));
             }
         }
     }
-    Ok(records)
+    Ok(ColdReplay { records, good_len })
 }
 
 /// FNV-1a 128-bit hash of `bytes`.
@@ -106,6 +154,11 @@ impl ContentKey {
     pub fn content(&self) -> &str {
         &self.content
     }
+
+    /// The raw 128-bit hash (the hot tier's and in-flight table's map key).
+    pub(crate) fn hash(&self) -> u128 {
+        self.hash
+    }
 }
 
 /// One cached result, shared by reference with every concurrent reader.
@@ -128,112 +181,232 @@ struct ColdRecord {
     row: String,
 }
 
-/// Cumulative cache counters (monotonic since server start).
+/// Cumulative cache counters (monotonic since server start, except
+/// `hot_bytes` which is the current residency).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
-    /// Lookups answered from the cache.
+    /// Lookups answered from the cache (either tier).
     pub hits: u64,
     /// Lookups that required a compute.
     pub misses: u64,
     /// Entries inserted (including recomputed duplicates).
     pub insertions: u64,
+    /// Hot-tier entries evicted under the byte budget.
+    pub evictions: u64,
+    /// Insertions whose key sat in the ghost queue (evicted recently,
+    /// wanted again — admitted straight to the main queue).
+    pub ghost_hits: u64,
+    /// Hot-tier misses answered by a cold-tier point read (no recompute).
+    pub cold_hits: u64,
+    /// Bytes currently charged against the hot-tier budget.
+    pub hot_bytes: u64,
+}
+
+/// Configuration for [`ResultCache::new`].
+#[derive(Debug, Clone, Default)]
+pub struct CacheConfig {
+    /// Directory for the cold tier (`None` = memory only).
+    pub cold_dir: Option<PathBuf>,
+    /// Hot-tier byte budget (`None` = unbounded).
+    pub hot_budget_bytes: Option<usize>,
+}
+
+/// The cold tier: buffered append writer plus a point-read index.
+struct ColdTier {
+    writer: BufWriter<File>,
+    path: PathBuf,
+    /// Content hash → (line offset, line length sans newline).
+    index: HashMap<u128, (u64, u32)>,
+    /// Next append offset (== current logical file length).
+    append_at: u64,
+    /// Whether unflushed appends are buffered (a point read flushes first).
+    dirty: bool,
+}
+
+impl ColdTier {
+    /// Reads the record at `loc`, flushing buffered appends first so the
+    /// read cannot land in unwritten bytes.
+    fn read_at(&mut self, loc: (u64, u32)) -> Result<ColdRecord, String> {
+        if self.dirty {
+            self.writer
+                .flush()
+                .map_err(|e| format!("flushing {:?} before read: {e}", self.path))?;
+            self.dirty = false;
+        }
+        let mut f = File::open(&self.path).map_err(|e| format!("opening {:?}: {e}", self.path))?;
+        f.seek(SeekFrom::Start(loc.0))
+            .map_err(|e| format!("seeking {:?}: {e}", self.path))?;
+        let mut buf = vec![0u8; loc.1 as usize];
+        f.read_exact(&mut buf)
+            .map_err(|e| format!("reading {:?} at {}: {e}", self.path, loc.0))?;
+        let line = std::str::from_utf8(&buf)
+            .map_err(|e| format!("non-UTF-8 record in {:?} at {}: {e}", self.path, loc.0))?;
+        serde_json::from_str(line)
+            .map_err(|e| format!("corrupt record in {:?} at {}: {e}", self.path, loc.0))
+    }
 }
 
 /// The two-tier content-addressed result cache.
 pub struct ResultCache {
-    hot: Mutex<HashMap<u128, Arc<CachedRow>>>,
-    /// Buffered append handle + its path; `None` for a memory-only cache.
-    cold: Option<(Mutex<BufWriter<File>>, PathBuf)>,
+    hot: Mutex<S3Fifo>,
+    /// `None` for a memory-only cache.
+    cold: Option<Mutex<ColdTier>>,
     hits: AtomicU64,
     misses: AtomicU64,
     insertions: AtomicU64,
+    cold_hits: AtomicU64,
 }
 
 impl std::fmt::Debug for ResultCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ResultCache")
             .field("entries", &self.len())
-            .field("cold", &self.cold.as_ref().map(|(_, p)| p.clone()))
+            .field("cold", &self.cold.as_ref().map(|c| c.lock().path.clone()))
             .field("stats", &self.stats())
             .finish()
     }
 }
 
 impl ResultCache {
-    /// A hot-tier-only cache (used by tests and cache-less servers).
+    /// A hot-tier-only, unbounded cache (used by tests and cache-less
+    /// servers).
     pub fn in_memory() -> Self {
-        ResultCache {
-            hot: Mutex::new(HashMap::new()),
-            cold: None,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            insertions: AtomicU64::new(0),
-        }
+        Self::new(CacheConfig::default()).expect("memory-only cache construction is infallible")
     }
 
-    /// Opens (or creates) a cache whose cold tier lives in `dir/results.jsonl`,
-    /// replaying any existing records into the hot tier. Later records win on
-    /// duplicate keys, so a file holding a recomputed duplicate loads cleanly.
-    /// A malformed **final** line — the signature of a crash mid-append — is
-    /// dropped with a warning (standard append-only-log recovery); a
-    /// malformed line anywhere else is real corruption and refuses to load.
+    /// An unbounded cache whose cold tier lives in `dir/results.jsonl`.
     ///
     /// # Errors
-    /// A human-readable description of the I/O or parse failure.
+    /// See [`ResultCache::new`].
     pub fn with_cold_tier(dir: impl AsRef<Path>) -> Result<Self, String> {
-        let dir = dir.as_ref();
-        std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir:?}: {e}"))?;
-        let path = dir.join("results.jsonl");
-        let records = load_cold_records(&path)?;
-        let mut hot = HashMap::with_capacity(records.len());
-        for r in records {
-            let key = ContentKey::of(r.spec.clone());
-            if key.hex() != r.key {
-                return Err(format!(
-                    "corrupt cache {path:?}: stored key {} does not address its spec (expected {})",
-                    r.key,
-                    key.hex()
-                ));
-            }
-            hot.insert(
-                key.hash,
-                Arc::new(CachedRow {
-                    spec: r.spec,
-                    row: r.row,
-                }),
-            );
-        }
-        let file = File::options()
-            .create(true)
-            .append(true)
-            .open(&path)
-            .map_err(|e| format!("opening {path:?}: {e}"))?;
-        Ok(ResultCache {
-            hot: Mutex::new(hot),
-            cold: Some((Mutex::new(BufWriter::new(file)), path)),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            insertions: AtomicU64::new(0),
+        Self::new(CacheConfig {
+            cold_dir: Some(dir.as_ref().to_path_buf()),
+            hot_budget_bytes: None,
         })
     }
 
-    /// Looks `key` up, counting a hit or miss. A hash collision (stored spec
-    /// ≠ probed spec) counts as a miss.
-    pub fn lookup(&self, key: &ContentKey) -> Option<Arc<CachedRow>> {
-        let found = {
-            let g = self.hot.lock();
-            g.get(&key.hash).cloned()
-        };
-        match found {
-            Some(entry) if entry.spec == key.content => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(entry)
+    /// Opens a cache per `config`. With a cold dir, existing records replay
+    /// into the hot tier (later records win on duplicate keys, so a file
+    /// holding a recomputed duplicate loads cleanly) and every record's
+    /// offset is indexed for point reads. A malformed **final** line — the
+    /// signature of a crash mid-append — is dropped with a warning and
+    /// truncated away (standard append-only-log recovery; truncation keeps
+    /// the next append off the torn line); a malformed line anywhere else
+    /// is real corruption and refuses to load.
+    ///
+    /// # Errors
+    /// A human-readable description of the I/O or parse failure.
+    pub fn new(config: CacheConfig) -> Result<Self, String> {
+        let mut hot = S3Fifo::new(config.hot_budget_bytes);
+        let cold = match &config.cold_dir {
+            None => None,
+            Some(dir) => {
+                std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir:?}: {e}"))?;
+                let path = dir.join("results.jsonl");
+                let replay = load_cold_records(&path)?;
+                let mut index = HashMap::with_capacity(replay.records.len());
+                for located in replay.records {
+                    let r = located.record;
+                    let key = ContentKey::of(r.spec.clone());
+                    if key.hex() != r.key {
+                        return Err(format!(
+                            "corrupt cache {path:?}: stored key {} does not address its spec (expected {})",
+                            r.key,
+                            key.hex()
+                        ));
+                    }
+                    index.insert(key.hash, (located.offset, located.len));
+                    let payload = r.spec.len() + r.row.len();
+                    hot.insert(
+                        key.hash,
+                        Arc::new(CachedRow {
+                            spec: r.spec,
+                            row: r.row,
+                        }),
+                        payload,
+                    );
+                }
+                if path.exists() {
+                    let actual = std::fs::metadata(&path)
+                        .map_err(|e| format!("stat {path:?}: {e}"))?
+                        .len();
+                    if actual > replay.good_len {
+                        let f = File::options()
+                            .write(true)
+                            .open(&path)
+                            .map_err(|e| format!("opening {path:?} to truncate: {e}"))?;
+                        f.set_len(replay.good_len)
+                            .map_err(|e| format!("truncating {path:?}: {e}"))?;
+                    }
+                }
+                let file = File::options()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+                    .map_err(|e| format!("opening {path:?}: {e}"))?;
+                Some(Mutex::new(ColdTier {
+                    writer: BufWriter::new(file),
+                    path,
+                    index,
+                    append_at: replay.good_len,
+                    dirty: false,
+                }))
             }
-            _ => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
+        };
+        Ok(ResultCache {
+            hot: Mutex::new(hot),
+            cold,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            cold_hits: AtomicU64::new(0),
+        })
+    }
+
+    /// Looks `key` up, counting a hit or miss. A hot-tier miss falls through
+    /// to a cold-tier point read (the row is then re-admitted hot). A hash
+    /// collision (stored spec ≠ probed spec) counts as a miss in either
+    /// tier.
+    pub fn lookup(&self, key: &ContentKey) -> Option<Arc<CachedRow>> {
+        if let Some(entry) = self.hot.lock().get(key.hash) {
+            if entry.spec == key.content {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(entry);
+            }
+            // Collision: the resident entry belongs to a different spec; the
+            // cold index (same hash) can only hold that same winner.
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        if let Some(cold) = &self.cold {
+            let read = {
+                let mut tier = cold.lock();
+                tier.index
+                    .get(&key.hash)
+                    .copied()
+                    .map(|loc| tier.read_at(loc))
+            };
+            match read {
+                Some(Ok(r)) if r.spec == key.content => {
+                    let entry = Arc::new(CachedRow {
+                        spec: r.spec,
+                        row: r.row,
+                    });
+                    let payload = entry.spec.len() + entry.row.len();
+                    self.hot
+                        .lock()
+                        .insert(key.hash, Arc::clone(&entry), payload);
+                    self.cold_hits.fetch_add(1, Ordering::Relaxed);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Some(entry);
+                }
+                Some(Ok(_)) => {} // collision on disk: miss
+                Some(Err(e)) => eprintln!("ebird-serve: cold-tier read failed: {e}"),
+                None => {}
             }
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
     }
 
     /// Inserts `row` under `key`, appending to the cold tier when present.
@@ -244,17 +417,38 @@ impl ResultCache {
             spec: key.content.clone(),
             row,
         });
-        self.hot.lock().insert(key.hash, Arc::clone(&entry));
+        let payload = entry.spec.len() + entry.row.len();
+        self.hot
+            .lock()
+            .insert(key.hash, Arc::clone(&entry), payload);
         self.insertions.fetch_add(1, Ordering::Relaxed);
-        if let Some((writer, path)) = &self.cold {
+        if let Some(cold) = &self.cold {
             let record = ColdRecord {
                 key: key.hex(),
                 spec: entry.spec.clone(),
                 row: entry.row.clone(),
             };
-            let mut w = writer.lock();
-            if let Err(e) = write_jsonl_line(&mut *w, &record) {
-                eprintln!("ebird-serve: cache append to {path:?} failed: {e}");
+            match serde_json::to_string(&record) {
+                Ok(line) => {
+                    debug_assert!(!line.contains('\n'), "JSON line must stay one line");
+                    let mut tier = cold.lock();
+                    let offset = tier.append_at;
+                    let write = tier
+                        .writer
+                        .write_all(line.as_bytes())
+                        .and_then(|()| tier.writer.write_all(b"\n"));
+                    match write {
+                        Ok(()) => {
+                            tier.index.insert(key.hash, (offset, line.len() as u32));
+                            tier.append_at += line.len() as u64 + 1;
+                            tier.dirty = true;
+                        }
+                        Err(e) => {
+                            eprintln!("ebird-serve: cache append to {:?} failed: {e}", tier.path);
+                        }
+                    }
+                }
+                Err(e) => eprintln!("ebird-serve: serializing cache record failed: {e}"),
             }
         }
         entry
@@ -265,11 +459,12 @@ impl ResultCache {
     /// # Errors
     /// The underlying I/O failure, rendered.
     pub fn flush(&self) -> Result<(), String> {
-        if let Some((writer, path)) = &self.cold {
-            writer
-                .lock()
+        if let Some(cold) = &self.cold {
+            let mut tier = cold.lock();
+            tier.writer
                 .flush()
-                .map_err(|e| format!("flushing {path:?}: {e}"))?;
+                .map_err(|e| format!("flushing {:?}: {e}", tier.path))?;
+            tier.dirty = false;
         }
         Ok(())
     }
@@ -284,12 +479,36 @@ impl ResultCache {
         self.len() == 0
     }
 
+    /// Bytes currently charged against the hot-tier budget.
+    pub fn hot_bytes(&self) -> usize {
+        self.hot.lock().bytes()
+    }
+
+    /// The hot-tier byte budget (`usize::MAX` = unbounded).
+    pub fn hot_budget(&self) -> usize {
+        self.hot.lock().budget()
+    }
+
+    /// Entries reachable through the cold tier's point-read index
+    /// (0 for a memory-only cache).
+    pub fn cold_entries(&self) -> usize {
+        self.cold.as_ref().map_or(0, |c| c.lock().index.len())
+    }
+
     /// Snapshot of the cumulative counters.
     pub fn stats(&self) -> CacheStats {
+        let (evictions, ghost_hits, hot_bytes) = {
+            let hot = self.hot.lock();
+            (hot.evictions(), hot.ghost_hits(), hot.bytes() as u64)
+        };
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
+            evictions,
+            ghost_hits,
+            cold_hits: self.cold_hits.load(Ordering::Relaxed),
+            hot_bytes,
         }
     }
 }
@@ -325,6 +544,10 @@ mod tests {
         assert_eq!(hit.row, "row-a");
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 1, 1));
+        assert_eq!(
+            (stats.evictions, stats.ghost_hits, stats.cold_hits),
+            (0, 0, 0)
+        );
     }
 
     #[test]
@@ -338,6 +561,56 @@ mod tests {
             content: "spec-b".into(),
         };
         assert!(cache.lookup(&forged).is_none());
+    }
+
+    #[test]
+    fn bounded_hot_tier_evicts_but_never_exceeds_budget() {
+        let budget = 2_000usize;
+        let cache = ResultCache::new(CacheConfig {
+            cold_dir: None,
+            hot_budget_bytes: Some(budget),
+        })
+        .unwrap();
+        for i in 0..100 {
+            cache.insert(&ContentKey::of(format!("spec-{i}")), format!("row-{i}"));
+            assert!(
+                cache.hot_bytes() <= budget,
+                "hot tier exceeded budget after insert {i}"
+            );
+        }
+        let stats = cache.stats();
+        assert!(stats.evictions > 0, "a 100-row flood must evict");
+        assert!(cache.len() < 100);
+        // Without a cold tier an evicted row is simply a miss (recompute).
+        assert_eq!(stats.cold_hits, 0);
+    }
+
+    #[test]
+    fn evicted_rows_remain_reachable_through_the_cold_tier() {
+        let dir =
+            std::env::temp_dir().join(format!("ebird_serve_cache_cold_hit_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cache = ResultCache::new(CacheConfig {
+            cold_dir: Some(dir.clone()),
+            hot_budget_bytes: Some(2_000),
+        })
+        .unwrap();
+        for i in 0..100 {
+            cache.insert(&ContentKey::of(format!("spec-{i}")), format!("row-{i}"));
+        }
+        assert!(cache.stats().evictions > 0);
+        assert_eq!(cache.cold_entries(), 100);
+        // Every row — resident or evicted — still reads back correctly.
+        for i in 0..100 {
+            let hit = cache
+                .lookup(&ContentKey::of(format!("spec-{i}")))
+                .unwrap_or_else(|| panic!("row {i} lost by eviction"));
+            assert_eq!(hit.row, format!("row-{i}"));
+        }
+        let stats = cache.stats();
+        assert!(stats.cold_hits > 0, "some hits must have come from disk");
+        assert_eq!(stats.hits, 100);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -375,7 +648,6 @@ mod tests {
             cache.flush().unwrap();
         }
         // Simulate a crash mid-append: a truncated JSON line at the tail.
-        use std::io::Write as _;
         let mut f = File::options()
             .append(true)
             .open(dir.join("results.jsonl"))
@@ -385,6 +657,41 @@ mod tests {
         let reloaded = ResultCache::with_cold_tier(&dir).unwrap();
         assert_eq!(reloaded.len(), 1);
         assert!(reloaded.lookup(&ContentKey::of("spec-1")).is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn appends_after_a_torn_line_do_not_corrupt_the_file() {
+        // The tear must be truncated at recovery: otherwise the next append
+        // lands on the torn line and the *following* restart reads a corrupt
+        // mid-file record — fatal where the tear itself was benign.
+        let dir = std::env::temp_dir().join(format!(
+            "ebird_serve_cache_torn_append_{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        {
+            let cache = ResultCache::with_cold_tier(&dir).unwrap();
+            cache.insert(&ContentKey::of("spec-1"), "row-1".into());
+            cache.flush().unwrap();
+        }
+        let mut f = File::options()
+            .append(true)
+            .open(dir.join("results.jsonl"))
+            .unwrap();
+        f.write_all(b"{\"key\":\"deadbeef\",\"spec\":\"sp").unwrap();
+        drop(f);
+        {
+            let recovered = ResultCache::with_cold_tier(&dir).unwrap();
+            recovered.insert(&ContentKey::of("spec-2"), "row-2".into());
+            recovered.flush().unwrap();
+        }
+        let reloaded = ResultCache::with_cold_tier(&dir).unwrap();
+        assert_eq!(reloaded.len(), 2, "both good records load after the tear");
+        assert_eq!(
+            reloaded.lookup(&ContentKey::of("spec-2")).unwrap().row,
+            "row-2"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -426,6 +733,30 @@ mod tests {
         .unwrap();
         let err = ResultCache::with_cold_tier(&dir).unwrap_err();
         assert!(err.contains("does not address"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unflushed_appends_are_point_readable() {
+        // A cold read between insert and flush must not read past the
+        // buffered bytes: the tier flushes lazily before the read.
+        let dir = std::env::temp_dir().join(format!(
+            "ebird_serve_cache_unflushed_{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let cache = ResultCache::new(CacheConfig {
+            cold_dir: Some(dir.clone()),
+            // Budget so tight every insert is evicted immediately: each
+            // lookup must go to disk.
+            hot_budget_bytes: Some(1),
+        })
+        .unwrap();
+        cache.insert(&ContentKey::of("spec-1"), "row-1".into());
+        assert_eq!(cache.len(), 0, "budget of 1 byte keeps nothing resident");
+        let hit = cache.lookup(&ContentKey::of("spec-1")).expect("cold hit");
+        assert_eq!(hit.row, "row-1");
+        assert!(cache.stats().cold_hits >= 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -5,15 +5,23 @@
 //! framed reply. Row lines are returned as raw strings, untouched, so a
 //! client printing them reproduces the server's bytes exactly (the property
 //! the CI serve-smoke diff checks).
+//!
+//! A `submit` refused by the server's admission control (the structured
+//! `overloaded` reply) is retried under a bounded [`RetryPolicy`]:
+//! exponential backoff with jitter, floored at the server's own
+//! `retry_after_ms` hint. Only `submit` retries — `fetch` never schedules
+//! work and cannot be refused for load.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::time::Duration;
 
 use serde::value::get_field;
 use serde::{Deserialize, Value};
 
 use crate::protocol::{
-    reply_line, MatrixSource, Request, ShutdownReply, StatusReply, SubmitFooter, SubmitHeader,
+    reply_line, MatrixSource, OverloadedReply, Request, ShutdownReply, StatusReply, SubmitFooter,
+    SubmitHeader,
 };
 
 /// A complete `submit`/`fetch` exchange.
@@ -25,6 +33,68 @@ pub struct SubmitOutcome {
     pub rows: Vec<String>,
     /// The framing footer (computed/cached totals).
     pub footer: SubmitFooter,
+}
+
+/// How `submit` responds to an `overloaded` refusal: bounded retries with
+/// exponential backoff and jitter, never sleeping less than the server's
+/// `retry_after_ms` hint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (`1` = never retry).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in milliseconds; doubles per retry.
+    pub base_ms: u64,
+    /// Backoff ceiling, in milliseconds.
+    pub cap_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    /// 8 attempts, 25 ms base, 2 s cap: worst-case ~6 s of cumulative
+    /// backoff before giving up — long enough to ride out a queue drain,
+    /// short enough that a genuinely wedged server surfaces promptly.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 8,
+            base_ms: 25,
+            cap_ms: 2_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Fail on the first `overloaded` refusal (for probes that want the
+    /// refusal itself, like the sustained-load tests).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Backoff before retry number `retry` (0-based), floored at the
+    /// server's hint, with up to +50% jitter so synchronized refused
+    /// clients do not re-stampede in lockstep.
+    fn delay(&self, retry: u32, server_hint_ms: u64, jitter_seed: u64) -> Duration {
+        let exp = self
+            .base_ms
+            .saturating_mul(1u64 << retry.min(20))
+            .min(self.cap_ms);
+        let floor = exp.max(server_hint_ms);
+        Duration::from_millis(floor + jitter(jitter_seed.wrapping_add(retry as u64), floor / 2))
+    }
+}
+
+/// Cheap xorshift jitter in `[0, bound)`; not statistical, just enough to
+/// de-synchronize retry stampedes.
+fn jitter(seed: u64, bound: u64) -> u64 {
+    if bound == 0 {
+        return 0;
+    }
+    let mut x = seed | 1;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x % bound
 }
 
 /// Parses a reply line as `T` after checking it is not an [`ErrorReply`]
@@ -87,16 +157,40 @@ impl Connection {
     }
 }
 
+/// One attempt's resolution: the stream completed, or the server refused it
+/// for load and the caller may retry.
+enum Attempt {
+    Done(SubmitOutcome),
+    Overloaded(OverloadedReply),
+}
+
+/// Recognizes the structured `overloaded` refusal (distinct from a terminal
+/// [`ErrorReply`](crate::protocol::ErrorReply) by its `overloaded` marker).
+fn parse_overloaded(line: &str) -> Option<OverloadedReply> {
+    let value: Value = serde_json::from_str(line).ok()?;
+    let entries = value.as_object()?;
+    match get_field(entries, "overloaded") {
+        Ok(Value::Bool(true)) => OverloadedReply::from_value(&value).ok(),
+        _ => None,
+    }
+}
+
 /// Runs one header → rows → footer exchange, handing each row line to
 /// `on_row` the moment it arrives (rows are also collected in the outcome).
-fn streamed(
+/// An `overloaded` refusal arrives before any row, so a retried attempt
+/// never re-delivers rows to `on_row`.
+fn streamed_once(
     addr: &str,
     request: &Request,
-    mut on_row: impl FnMut(&str),
-) -> Result<SubmitOutcome, String> {
+    on_row: &mut impl FnMut(&str),
+) -> Result<Attempt, String> {
     let mut conn = Connection::open(addr)?;
     conn.send(request)?;
-    let header: SubmitHeader = checked(&conn.read_line()?)?;
+    let first = conn.read_line()?;
+    if let Some(refusal) = parse_overloaded(&first) {
+        return Ok(Attempt::Overloaded(refusal));
+    }
+    let header: SubmitHeader = checked(&first)?;
     let mut rows = Vec::with_capacity(header.cells);
     for _ in 0..header.cells {
         let line = conn.read_line()?;
@@ -120,23 +214,58 @@ fn streamed(
             header.cells, footer.cells
         ));
     }
-    Ok(SubmitOutcome {
+    Ok(Attempt::Done(SubmitOutcome {
         header,
         rows,
         footer,
-    })
+    }))
 }
 
-/// Submits a matrix and collects the streamed rows.
+/// Runs [`streamed_once`] under `policy`, sleeping between `overloaded`
+/// refusals. A non-overload error is terminal on any attempt.
+fn streamed_with_retry(
+    addr: &str,
+    request: &Request,
+    policy: &RetryPolicy,
+    mut on_row: impl FnMut(&str),
+) -> Result<SubmitOutcome, String> {
+    let attempts = policy.max_attempts.max(1);
+    let seed = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0x9e37_79b9, |d| u64::from(d.subsec_nanos()));
+    let mut last_refusal: Option<OverloadedReply> = None;
+    for attempt in 0..attempts {
+        match streamed_once(addr, request, &mut on_row)? {
+            Attempt::Done(outcome) => return Ok(outcome),
+            Attempt::Overloaded(refusal) => {
+                if attempt + 1 < attempts {
+                    std::thread::sleep(policy.delay(attempt, refusal.retry_after_ms, seed));
+                }
+                last_refusal = Some(refusal);
+            }
+        }
+    }
+    let refusal = last_refusal.expect("loop ran at least once");
+    Err(format!(
+        "server overloaded after {attempts} attempt(s): {} ({} job(s) queued; last retry_after_ms {})",
+        refusal.error, refusal.queued, refusal.retry_after_ms
+    ))
+}
+
+/// Submits a matrix and collects the streamed rows, retrying `overloaded`
+/// refusals under the default [`RetryPolicy`].
 ///
 /// # Errors
-/// Connection failures, server error replies, and framing violations.
+/// Connection failures, server error replies, framing violations, and
+/// overload refusals that outlast the retry budget.
 pub fn submit(addr: &str, matrix: &MatrixSource, priority: i64) -> Result<SubmitOutcome, String> {
     submit_streaming(addr, matrix, priority, |_| {})
 }
 
 /// Like [`submit`], but hands each row to `on_row` as it arrives — the hook
 /// `repro submit` uses to print rows live while a slow matrix computes.
+/// (An `overloaded` refusal precedes the first row, so retries never hand
+/// `on_row` a duplicate.)
 ///
 /// # Errors
 /// See [`submit`].
@@ -146,12 +275,29 @@ pub fn submit_streaming(
     priority: i64,
     on_row: impl FnMut(&str),
 ) -> Result<SubmitOutcome, String> {
-    streamed(
+    submit_with_retry(addr, matrix, priority, &RetryPolicy::default(), on_row)
+}
+
+/// [`submit_streaming`] under an explicit [`RetryPolicy`] — pass
+/// [`RetryPolicy::none`] to surface the first `overloaded` refusal as an
+/// error instead of sleeping on it.
+///
+/// # Errors
+/// See [`submit`].
+pub fn submit_with_retry(
+    addr: &str,
+    matrix: &MatrixSource,
+    priority: i64,
+    policy: &RetryPolicy,
+    on_row: impl FnMut(&str),
+) -> Result<SubmitOutcome, String> {
+    streamed_with_retry(
         addr,
         &Request::Submit {
             matrix: matrix.clone(),
             priority,
         },
+        policy,
         on_row,
     )
 }
@@ -171,15 +317,23 @@ pub fn fetch(addr: &str, matrix: &MatrixSource) -> Result<SubmitOutcome, String>
 pub fn fetch_streaming(
     addr: &str,
     matrix: &MatrixSource,
-    on_row: impl FnMut(&str),
+    mut on_row: impl FnMut(&str),
 ) -> Result<SubmitOutcome, String> {
-    streamed(
+    match streamed_once(
         addr,
         &Request::Fetch {
             matrix: matrix.clone(),
         },
-        on_row,
-    )
+        &mut on_row,
+    )? {
+        Attempt::Done(outcome) => Ok(outcome),
+        // `fetch` never schedules work; a refusal here would be a protocol
+        // violation. Refuse to loop on it.
+        Attempt::Overloaded(refusal) => Err(format!(
+            "server refused a fetch as overloaded (protocol violation): {}",
+            refusal.error
+        )),
+    }
 }
 
 /// Asks for the service counters.

@@ -13,16 +13,24 @@
 //!   [`scenario::ResolvedCell`]s, each priced deterministically by
 //!   [`scenario::compute_cell`].
 //! * [`cache`] — the content-addressed result cache: key = FNV-1a 128 hash
-//!   of the cell spec's canonical JSON; hot tier in memory, cold tier as an
-//!   append-only JSON Lines file. Equal specs ⇒ bit-identical row bytes,
-//!   with zero recomputation.
+//!   of the cell spec's canonical JSON; hot tier in memory under an
+//!   [`s3fifo`] byte budget, cold tier as an append-only JSON Lines file
+//!   with a point-read index. Equal specs ⇒ bit-identical row bytes, with
+//!   zero recomputation.
+//! * [`s3fifo`] — the hot tier's eviction policy: small/main/ghost FIFO
+//!   queues (Yang et al., SOSP '23), scan-resistant under one-shot
+//!   campaign sweeps.
+//! * [`coalesce`] — the single-flight table: concurrent submissions of the
+//!   same cell share one computation instead of queueing duplicates.
 //! * [`protocol`] — the line-delimited JSON wire protocol (`submit`,
 //!   `fetch`, `status`, `shutdown`); see `PROTOCOL.md` for transcripts.
 //! * [`server`] — the TCP server: per-connection handler threads, cells
-//!   scheduled on a priority [`ebird_runtime::JobQueue`] serviced by a
-//!   workspace [`ebird_runtime::Pool`] team, rows streamed back in matrix
-//!   order, graceful drain on shutdown.
-//! * [`client`] — the matching client calls (`repro submit` et al.).
+//!   scheduled on a **bounded** priority [`ebird_runtime::JobQueue`]
+//!   serviced by a workspace [`ebird_runtime::Pool`] team, rows streamed
+//!   back in matrix order, saturated submits refused with a structured
+//!   `overloaded` reply, graceful drain on shutdown.
+//! * [`client`] — the matching client calls (`repro submit` et al.), with
+//!   bounded exponential-backoff retry of `overloaded` refusals.
 //!
 //! The load-bearing invariant, asserted by tests and the CI smoke: a row
 //! streamed by the service is **byte-identical** to the same cell's row in
@@ -32,11 +40,13 @@
 
 pub mod cache;
 pub mod client;
+pub mod coalesce;
 pub mod protocol;
+pub mod s3fifo;
 pub mod scenario;
 pub mod server;
 
-pub use cache::{CacheStats, ContentKey, ResultCache};
-pub use client::{fetch, shutdown, status, submit, SubmitOutcome};
-pub use protocol::{MatrixSource, Request};
-pub use server::{serve, Server, ServerConfig};
+pub use cache::{CacheConfig, CacheStats, ContentKey, ResultCache};
+pub use client::{fetch, shutdown, status, submit, RetryPolicy, SubmitOutcome};
+pub use protocol::{MatrixSource, OverloadedReply, Request};
+pub use server::{serve, Server, ServerConfig, DEFAULT_QUEUE_BOUND};

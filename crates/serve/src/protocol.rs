@@ -142,7 +142,8 @@ impl Deserialize for Request {
 }
 
 /// First reply line of a `submit`/`fetch`: how many rows follow and how the
-/// work splits between cache and compute.
+/// work splits between cache, coalesced in-flight computations, and fresh
+/// compute.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SubmitHeader {
     /// Always `true` (errors use [`ErrorReply`] instead).
@@ -151,7 +152,11 @@ pub struct SubmitHeader {
     pub cells: usize,
     /// Cells answered from the cache.
     pub cached: usize,
-    /// Cells scheduled on the job queue (0 for `fetch`).
+    /// Cells joined to another submission's in-flight computation
+    /// (single-flight coalescing; 0 for `fetch`).
+    #[serde(default)]
+    pub coalesced: usize,
+    /// Cells scheduled on the job queue by this request (0 for `fetch`).
     pub scheduled: usize,
 }
 
@@ -162,10 +167,32 @@ pub struct SubmitFooter {
     pub done: bool,
     /// Total rows streamed.
     pub cells: usize,
-    /// Cells computed fresh by this request.
+    /// Cells this request scheduled and waited to compute.
     pub computed: usize,
+    /// Cells whose in-flight computation this request subscribed to.
+    #[serde(default)]
+    pub coalesced: usize,
     /// Cells served from the cache.
     pub cached: usize,
+}
+
+/// Reply to a `submit` refused by admission control: the job queue is
+/// saturated, so the server sheds the request instead of accepting
+/// unbounded work. The client should retry after `retry_after_ms`
+/// (the built-in client does, with exponential backoff and jitter).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OverloadedReply {
+    /// Always `false` — an overload is a refusal, framed like an error.
+    pub ok: bool,
+    /// Always `true` — what distinguishes this from a terminal
+    /// [`ErrorReply`]: the request was valid and is worth retrying.
+    pub overloaded: bool,
+    /// Suggested client back-off before retrying, in milliseconds.
+    pub retry_after_ms: u64,
+    /// Jobs queued at refusal time (the saturation evidence).
+    pub queued: usize,
+    /// Human-readable summary.
+    pub error: String,
 }
 
 /// Reply to `status`.
@@ -175,14 +202,45 @@ pub struct StatusReply {
     pub ok: bool,
     /// Jobs waiting in the priority queue.
     pub queued: usize,
+    /// The queue's admission bound (`0` = unbounded).
+    #[serde(default)]
+    pub queue_bound: usize,
     /// Jobs popped by a worker and not yet finished.
     pub inflight: usize,
+    /// Distinct cells queued or computing (the single-flight table size).
+    #[serde(default)]
+    pub inflight_cells: usize,
     /// Entries resident in the hot cache tier.
     pub hot_entries: usize,
-    /// Cumulative cache hits.
+    /// Bytes resident in the hot cache tier.
+    #[serde(default)]
+    pub hot_bytes: u64,
+    /// Hot-tier byte budget (`0` = unbounded).
+    #[serde(default)]
+    pub hot_budget_bytes: u64,
+    /// Cumulative cache hits (either tier).
     pub hits: u64,
     /// Cumulative cache misses.
     pub misses: u64,
+    /// Hot-tier entries evicted under the byte budget.
+    #[serde(default)]
+    pub evictions: u64,
+    /// Evicted-then-wanted-again keys re-admitted via the ghost queue.
+    #[serde(default)]
+    pub ghost_hits: u64,
+    /// Hot-tier misses answered by a cold-tier point read.
+    #[serde(default)]
+    pub cold_hits: u64,
+    /// Cells actually computed by workers since start (duplicate-compute
+    /// telltale: equals distinct cells priced when coalescing works).
+    #[serde(default)]
+    pub computed: u64,
+    /// Cells that subscribed to an in-flight computation since start.
+    #[serde(default)]
+    pub coalesced: u64,
+    /// Submits refused with an [`OverloadedReply`] since start.
+    #[serde(default)]
+    pub overloaded: u64,
     /// Submit requests served since start.
     pub submits: u64,
     /// Worker-pool size.
@@ -325,25 +383,65 @@ mod tests {
             ok: true,
             cells: 48,
             cached: 12,
-            scheduled: 36,
+            coalesced: 4,
+            scheduled: 32,
         };
         assert_eq!(
             reply_line(&h),
-            "{\"ok\":true,\"cells\":48,\"cached\":12,\"scheduled\":36}"
+            "{\"ok\":true,\"cells\":48,\"cached\":12,\"coalesced\":4,\"scheduled\":32}"
         );
         let f = SubmitFooter {
             done: true,
             cells: 48,
-            computed: 36,
+            computed: 32,
+            coalesced: 4,
             cached: 12,
         };
         assert_eq!(
             reply_line(&f),
-            "{\"done\":true,\"cells\":48,\"computed\":36,\"cached\":12}"
+            "{\"done\":true,\"cells\":48,\"computed\":32,\"coalesced\":4,\"cached\":12}"
         );
         assert_eq!(
             reply_line(&ErrorReply::new("boom")),
             "{\"ok\":false,\"error\":\"boom\"}"
         );
+        let o = OverloadedReply {
+            ok: false,
+            overloaded: true,
+            retry_after_ms: 150,
+            queued: 1024,
+            error: "server overloaded".into(),
+        };
+        assert_eq!(
+            reply_line(&o),
+            "{\"ok\":false,\"overloaded\":true,\"retry_after_ms\":150,\"queued\":1024,\"error\":\"server overloaded\"}"
+        );
+    }
+
+    #[test]
+    fn pre_coalescing_frames_still_parse() {
+        // Headers/footers written before the `coalesced` field existed must
+        // keep loading (serde default 0) — old transcripts and clients.
+        let h: SubmitHeader =
+            serde_json::from_str("{\"ok\":true,\"cells\":4,\"cached\":1,\"scheduled\":3}").unwrap();
+        assert_eq!(h.coalesced, 0);
+        let f: SubmitFooter =
+            serde_json::from_str("{\"done\":true,\"cells\":4,\"computed\":3,\"cached\":1}")
+                .unwrap();
+        assert_eq!(f.coalesced, 0);
+    }
+
+    #[test]
+    fn overloaded_reply_roundtrips() {
+        let o = OverloadedReply {
+            ok: false,
+            overloaded: true,
+            retry_after_ms: 75,
+            queued: 9,
+            error: "server overloaded: 9 jobs queued (bound 8)".into(),
+        };
+        let line = reply_line(&o);
+        let back: OverloadedReply = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, o);
     }
 }

@@ -4,10 +4,21 @@
 //! and one scheduler thread servicing the shared priority
 //! [`JobQueue`](ebird_runtime::JobQueue) with a full workspace
 //! [`Pool`] team. A `submit` splits its matrix into cells, answers cached
-//! cells from the [`ResultCache`] immediately, schedules the rest as jobs,
-//! and streams one row line per cell **in matrix order** as results become
-//! available (a reorder buffer holds out-of-order completions), so a served
-//! table is byte-identical to the offline `repro scenarios` table.
+//! cells from the [`ResultCache`] immediately, **subscribes** to cells
+//! another submission is already computing (single-flight coalescing via
+//! the [`InflightTable`] — each distinct cell is enqueued exactly once no
+//! matter how many clients race it), schedules the rest as jobs, and
+//! streams one row line per cell **in matrix order** as results become
+//! available (a reorder buffer holds out-of-order completions), so a
+//! served table is byte-identical to the offline `repro scenarios` table.
+//!
+//! Under sustained load the server degrades to *refusals*, not to unbounded
+//! queueing: the job queue is bounded ([`ServerConfig::queue_bound`]), and a
+//! `submit` whose uncached cells would not all fit is refused whole with a
+//! structured `overloaded` reply carrying a retry-after hint (the built-in
+//! client retries with exponential backoff). The hot cache tier runs under
+//! an S3-FIFO byte budget ([`ServerConfig::hot_bytes`]); evicted rows stay
+//! reachable through the cold tier's point-read index.
 //!
 //! Shutdown is graceful by construction: the `shutdown` verb stops the
 //! acceptor, every open connection finishes its current request, the queue
@@ -23,12 +34,13 @@ use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
 use ebird_analysis::report;
-use ebird_runtime::{JobQueue, Pool};
+use ebird_runtime::{JobQueue, Pool, PushError};
 
-use crate::cache::{CachedRow, ContentKey, ResultCache};
+use crate::cache::{CacheConfig, CachedRow, ContentKey, ResultCache};
+use crate::coalesce::{Disposition, InflightTable, Subscriber};
 use crate::protocol::{
-    parse_request, reply_line, ErrorReply, Request, ShutdownReply, StatusReply, SubmitFooter,
-    SubmitHeader,
+    parse_request, reply_line, ErrorReply, OverloadedReply, Request, ShutdownReply, StatusReply,
+    SubmitFooter, SubmitHeader,
 };
 use crate::scenario::{compute_cell, ResolvedCell};
 
@@ -42,6 +54,11 @@ const READ_POLL: Duration = Duration::from_millis(200);
 /// forever.
 const WRITE_STALL_LIMIT: Duration = Duration::from_secs(30);
 
+/// Default job-queue admission bound: deep enough that a healthy server
+/// never refuses, shallow enough that backlog (and client-observed latency)
+/// stays bounded when submitters outrun the workers.
+pub const DEFAULT_QUEUE_BOUND: usize = 1024;
+
 /// Server construction parameters.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -50,6 +67,14 @@ pub struct ServerConfig {
     /// Directory for the cache's cold tier; `None` keeps results in memory
     /// only.
     pub cache_dir: Option<PathBuf>,
+    /// Hot-tier byte budget for the result cache (`None` = unbounded).
+    /// Rows evicted under the budget remain reachable through the cold
+    /// tier when one is configured.
+    pub hot_bytes: Option<usize>,
+    /// Job-queue admission bound ([`usize::MAX`] = unbounded). A `submit`
+    /// whose uncached, un-coalesced cells would push the queue past this
+    /// depth is refused whole with an `overloaded` reply.
+    pub queue_bound: usize,
 }
 
 impl Default for ServerConfig {
@@ -57,32 +82,38 @@ impl Default for ServerConfig {
         ServerConfig {
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             cache_dir: None,
+            hot_bytes: None,
+            queue_bound: DEFAULT_QUEUE_BOUND,
         }
     }
 }
 
-/// One scheduled cell: where it sits in its submission and where to report.
+/// One scheduled cell. Who wants the result lives in the single-flight
+/// table, not here: by the time a worker completes this job, submissions
+/// that arrived after it was enqueued may have subscribed too.
 struct Job {
-    /// Cell index within the submitting matrix (reorder-buffer slot).
-    index: usize,
     /// Content address the finished row is cached under.
     key: ContentKey,
     cell: ResolvedCell,
-    /// The submitting connection's result channel: the finished row, or a
-    /// rendered pricing failure (e.g. a real-kernel workload violating its
-    /// physical invariant under extreme user-chosen problem sizes).
-    reply: mpsc::Sender<(usize, Result<Arc<CachedRow>, String>)>,
 }
 
 /// State shared by the acceptor, every connection thread, and the scheduler.
 struct Shared {
     queue: JobQueue<Job>,
     cache: ResultCache,
+    single_flight: InflightTable,
     threads: usize,
     addr: SocketAddr,
     stop: AtomicBool,
     inflight: AtomicUsize,
     submits: AtomicU64,
+    /// Cells actually priced by workers (the duplicate-compute telltale:
+    /// with coalescing this equals *distinct* cells priced).
+    computed_cells: AtomicU64,
+    /// Cells that joined another submission's in-flight computation.
+    coalesced_cells: AtomicU64,
+    /// Submits refused by admission control.
+    overloaded: AtomicU64,
 }
 
 /// A bound, not-yet-running campaign server.
@@ -102,24 +133,31 @@ impl Server {
         if config.threads == 0 {
             return Err("server needs at least one worker thread".into());
         }
+        if config.queue_bound == 0 {
+            return Err("queue bound must be at least 1 (use usize::MAX for unbounded)".into());
+        }
         let listener = TcpListener::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
         let local = listener
             .local_addr()
             .map_err(|e| format!("resolving local addr: {e}"))?;
-        let cache = match &config.cache_dir {
-            Some(dir) => ResultCache::with_cold_tier(dir)?,
-            None => ResultCache::in_memory(),
-        };
+        let cache = ResultCache::new(CacheConfig {
+            cold_dir: config.cache_dir.clone(),
+            hot_budget_bytes: config.hot_bytes,
+        })?;
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
-                queue: JobQueue::new(),
+                queue: JobQueue::bounded(config.queue_bound),
                 cache,
+                single_flight: InflightTable::new(),
                 threads: config.threads,
                 addr: local,
                 stop: AtomicBool::new(false),
                 inflight: AtomicUsize::new(0),
                 submits: AtomicU64::new(0),
+                computed_cells: AtomicU64::new(0),
+                coalesced_cells: AtomicU64::new(0),
+                overloaded: AtomicU64::new(0),
             }),
         })
     }
@@ -164,13 +202,20 @@ impl Server {
                                 })
                             }
                         });
+                        shared.computed_cells.fetch_add(1, Ordering::SeqCst);
                         // Decrement before reporting: once a submission has
                         // streamed its last row, no job of its can still be
                         // counted in flight.
                         shared.inflight.fetch_sub(1, Ordering::SeqCst);
-                        // A dropped receiver (client vanished mid-submit) is
+                        // Fan the one result out to every subscribed
+                        // submission. The cache insert above happened first,
+                        // so a submitter observing the key's absence from
+                        // the table finds the cache populated instead. A
+                        // dropped receiver (client vanished mid-submit) is
                         // not an error: the row is cached for the next ask.
-                        let _ = job.reply.send((job.index, outcome));
+                        for sub in shared.single_flight.complete(&job.key) {
+                            let _ = sub.reply.send((sub.index, outcome.clone()));
+                        }
                     });
                 })
                 .map_err(|e| format!("spawning worker team: {e}"))?
@@ -220,14 +265,25 @@ impl Server {
 /// See [`Server::bind`] and [`Server::run`].
 pub fn serve(addr: &str, config: ServerConfig) -> Result<(), String> {
     let server = Server::bind(addr, config)?;
+    let budget = server.shared.cache.hot_budget();
     eprintln!(
-        "# ebird-serve listening on {} ({} worker thread(s), cache {})",
+        "# ebird-serve listening on {} ({} worker thread(s), cache {}, hot budget {}, queue bound {})",
         server.local_addr(),
         server.shared.threads,
         if server.shared.cache.is_empty() {
             "empty".to_string()
         } else {
             format!("{} entries", server.shared.cache.len())
+        },
+        if budget == usize::MAX {
+            "unbounded".to_string()
+        } else {
+            format!("{budget} B")
+        },
+        if server.shared.queue.capacity() == usize::MAX {
+            "unbounded".to_string()
+        } else {
+            server.shared.queue.capacity().to_string()
         },
     );
     server.run()
@@ -316,15 +372,34 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     }
 }
 
+/// `usize::MAX` sentinels (unbounded) travel as `0` on the wire.
+fn wire_bound(bound: usize) -> usize {
+    if bound == usize::MAX {
+        0
+    } else {
+        bound
+    }
+}
+
 fn status_reply(shared: &Shared) -> StatusReply {
     let stats = shared.cache.stats();
     StatusReply {
         ok: true,
         queued: shared.queue.len(),
+        queue_bound: wire_bound(shared.queue.capacity()),
         inflight: shared.inflight.load(Ordering::SeqCst),
+        inflight_cells: shared.single_flight.len(),
         hot_entries: shared.cache.len(),
+        hot_bytes: stats.hot_bytes,
+        hot_budget_bytes: wire_bound(shared.cache.hot_budget()) as u64,
         hits: stats.hits,
         misses: stats.misses,
+        evictions: stats.evictions,
+        ghost_hits: stats.ghost_hits,
+        cold_hits: stats.cold_hits,
+        computed: shared.computed_cells.load(Ordering::SeqCst),
+        coalesced: shared.coalesced_cells.load(Ordering::SeqCst),
+        overloaded: shared.overloaded.load(Ordering::SeqCst),
         submits: shared.submits.load(Ordering::SeqCst),
         threads: shared.threads,
     }
@@ -370,6 +445,22 @@ fn resolve_cells(
     }
 }
 
+/// Suggested back-off for a refused submit: a rough drain estimate for the
+/// queued backlog, clamped to a sane window.
+fn retry_after_hint(queued: usize, threads: usize) -> u64 {
+    ((queued as u64).saturating_mul(20) / threads.max(1) as u64).clamp(50, 2_000)
+}
+
+/// What the classify pass decided for one not-yet-cached cell.
+enum CellPlan {
+    /// Subscribe to an in-flight computation (another submission's, or an
+    /// earlier duplicate occurrence within this same matrix).
+    Join(ContentKey),
+    /// Register and enqueue the one job for this cell (boxed: a resolved
+    /// cell is much larger than the join variant's bare key).
+    Schedule(ContentKey, Box<ResolvedCell>),
+}
+
 fn handle_submit(
     matrix: &crate::protocol::MatrixSource,
     priority: i64,
@@ -384,34 +475,136 @@ fn handle_submit(
     let (tx, rx) = mpsc::channel::<(usize, Result<Arc<CachedRow>, String>)>();
     let mut ready: Vec<Option<Arc<CachedRow>>> = vec![None; total];
     let mut scheduled = 0usize;
-    for (index, cell) in cells.into_iter().enumerate() {
-        let key = cell.content_key();
-        if let Some(entry) = shared.cache.lookup(&key) {
-            ready[index] = Some(entry);
-        } else {
-            scheduled += 1;
-            let job = Job {
-                index,
-                key,
-                cell,
-                reply: tx.clone(),
-            };
-            if !shared.queue.push(priority, job) {
-                return write_line(
-                    writer,
-                    &reply_line(&ErrorReply::new("server is shutting down")),
-                );
+    let mut coalesced = 0usize;
+    {
+        // The whole classify → admit → schedule sequence runs under the
+        // single-flight table lock: completions cannot retire an in-flight
+        // record mid-classify (the worker's `complete` blocks here), and no
+        // other submitter can grow the queue between the admission check and
+        // our pushes — workers only ever shrink it. That makes "enqueue each
+        // distinct cell exactly once" and "never push past the bound" plain
+        // invariants instead of races.
+        let mut guard = shared.single_flight.lock();
+
+        // Pass 1 — classify every cell without mutating anything, so an
+        // overloaded refusal leaves no trace to unwind.
+        let mut plans: Vec<(usize, CellPlan)> = Vec::new();
+        let mut planned: std::collections::HashSet<u128> = std::collections::HashSet::new();
+        for (index, cell) in cells.into_iter().enumerate() {
+            let key = cell.content_key();
+            match guard.probe(&shared.cache, &key) {
+                Disposition::Cached(row) => ready[index] = Some(row),
+                Disposition::Inflight => plans.push((index, CellPlan::Join(key))),
+                Disposition::Absent => {
+                    if planned.contains(&key.hash()) {
+                        // Same cell listed twice in this matrix: the first
+                        // occurrence schedules, this one subscribes to it.
+                        plans.push((index, CellPlan::Join(key)));
+                    } else {
+                        planned.insert(key.hash());
+                        plans.push((index, CellPlan::Schedule(key, Box::new(cell))));
+                    }
+                }
+            }
+        }
+
+        // Admission: refuse the submit whole if its new jobs would not all
+        // fit. Partial admission would stream a torn table.
+        let need = planned.len();
+        let queued = shared.queue.len();
+        if queued + need > shared.queue.capacity() {
+            drop(guard);
+            shared.overloaded.fetch_add(1, Ordering::SeqCst);
+            return write_line(
+                writer,
+                &reply_line(&OverloadedReply {
+                    ok: false,
+                    overloaded: true,
+                    retry_after_ms: retry_after_hint(queued, shared.threads),
+                    queued,
+                    error: format!(
+                        "queue saturated: {queued} queued + {need} new > bound {}",
+                        shared.queue.capacity()
+                    ),
+                }),
+            );
+        }
+
+        // Pass 2 — mutate: subscribe joins, register + enqueue schedules.
+        // In index order, so a matrix-internal duplicate's first occurrence
+        // registers before its later occurrences subscribe.
+        for (index, plan) in plans {
+            match plan {
+                CellPlan::Join(key) => {
+                    coalesced += 1;
+                    guard.subscribe(
+                        &key,
+                        Subscriber {
+                            index,
+                            reply: tx.clone(),
+                        },
+                    );
+                }
+                CellPlan::Schedule(key, cell) => {
+                    scheduled += 1;
+                    let job = Job {
+                        key: key.clone(),
+                        cell: *cell,
+                    };
+                    match shared.queue.push(priority, job) {
+                        Ok(()) => guard.register(
+                            &key,
+                            Subscriber {
+                                index,
+                                reply: tx.clone(),
+                            },
+                        ),
+                        Err(PushError::Closed) => {
+                            // Cells already registered keep their queued
+                            // jobs; workers drain them into the cache, and
+                            // `complete` clears their table records. Our rx
+                            // drops with this return, harmlessly.
+                            drop(guard);
+                            return write_line(
+                                writer,
+                                &reply_line(&ErrorReply::new("server is shutting down")),
+                            );
+                        }
+                        Err(PushError::Full) => {
+                            // Unreachable while the admission check above
+                            // shares this lock with every pusher, but refuse
+                            // rather than panic if the invariant ever bends.
+                            drop(guard);
+                            shared.overloaded.fetch_add(1, Ordering::SeqCst);
+                            let queued = shared.queue.len();
+                            return write_line(
+                                writer,
+                                &reply_line(&OverloadedReply {
+                                    ok: false,
+                                    overloaded: true,
+                                    retry_after_ms: retry_after_hint(queued, shared.threads),
+                                    queued,
+                                    error: "queue saturated mid-schedule".into(),
+                                }),
+                            );
+                        }
+                    }
+                }
             }
         }
     }
     drop(tx);
-    let cached = total - scheduled;
+    shared
+        .coalesced_cells
+        .fetch_add(coalesced as u64, Ordering::SeqCst);
+    let cached = total - scheduled - coalesced;
     write_line(
         writer,
         &reply_line(&SubmitHeader {
             ok: true,
             cells: total,
             cached,
+            coalesced,
             scheduled,
         }),
     )?;
@@ -458,6 +651,7 @@ fn handle_submit(
             done: true,
             cells: total,
             computed: scheduled,
+            coalesced,
             cached,
         }),
     )
@@ -494,6 +688,7 @@ fn handle_fetch(
             ok: true,
             cells: total,
             cached: total,
+            coalesced: 0,
             scheduled: 0,
         }),
     )?;
@@ -506,6 +701,7 @@ fn handle_fetch(
             done: true,
             cells: total,
             computed: 0,
+            coalesced: 0,
             cached: total,
         }),
     )

@@ -52,6 +52,7 @@ fn malformed_and_unknown_requests_get_error_replies() {
     let (addr, handle) = start_server(ServerConfig {
         threads: 1,
         cache_dir: None,
+        ..ServerConfig::default()
     });
 
     let reply = client::raw_exchange(&addr, "this is not json").unwrap();
@@ -92,6 +93,7 @@ fn streamed_rows_match_offline_run_matrix_bytes() {
     let (addr, handle) = start_server(ServerConfig {
         threads: 2,
         cache_dir: None,
+        ..ServerConfig::default()
     });
     let outcome = client::submit(&addr, &MatrixSource::Inline(matrix), 0).unwrap();
     assert_eq!(outcome.header.cells, offline_lines.len());
@@ -109,6 +111,7 @@ fn resubmission_is_bit_identical_with_zero_recomputation() {
     let (addr, handle) = start_server(ServerConfig {
         threads: 2,
         cache_dir: None,
+        ..ServerConfig::default()
     });
     let source = MatrixSource::Inline(tiny_matrix());
 
@@ -158,6 +161,7 @@ fn real_kernel_cell_round_trips_through_the_service_cache() {
     let (addr, handle) = start_server(ServerConfig {
         threads: 2,
         cache_dir: None,
+        ..ServerConfig::default()
     });
     let source = MatrixSource::Inline(matrix);
     let first = client::submit(&addr, &source, 0).unwrap();
@@ -178,6 +182,7 @@ fn fetch_is_cache_only() {
     let (addr, handle) = start_server(ServerConfig {
         threads: 2,
         cache_dir: None,
+        ..ServerConfig::default()
     });
     let source = MatrixSource::Inline(tiny_matrix());
 
@@ -198,6 +203,7 @@ fn four_concurrent_clients_all_get_correct_streams() {
     let (addr, handle) = start_server(ServerConfig {
         threads: 3,
         cache_dir: None,
+        ..ServerConfig::default()
     });
     let expected: Vec<String> = run_matrix(&tiny_matrix(), &Pool::new(2))
         .unwrap()
@@ -216,17 +222,24 @@ fn four_concurrent_clients_all_get_correct_streams() {
         })
         .collect();
     let mut computed_total = 0usize;
+    let mut coalesced_total = 0usize;
     for c in clients {
         let outcome = c.join().unwrap().expect("concurrent submit succeeds");
         assert_eq!(outcome.rows, expected);
         computed_total += outcome.footer.computed;
+        coalesced_total += outcome.footer.coalesced;
+        assert_eq!(
+            outcome.footer.computed + outcome.footer.coalesced + outcome.footer.cached,
+            16,
+            "every cell is computed, coalesced, or cached"
+        );
     }
-    // Concurrent racers may duplicate a cell's compute, but the cache keeps
-    // the amplification far below 5× (and identical bytes regardless).
-    assert!(computed_total >= 16, "at least one full compute happened");
-    assert!(
-        computed_total <= 5 * 16,
-        "computed {computed_total} exceeds worst case"
+    // Single-flight coalescing: the 16 distinct cells are scheduled exactly
+    // once across all 5 racing clients — every overlapping request either
+    // hits the cache or subscribes to the one in-flight compute.
+    assert_eq!(
+        computed_total, 16,
+        "racers scheduled duplicate computes (coalescing failed)"
     );
 
     let status = client::status(&addr).unwrap();
@@ -234,8 +247,15 @@ fn four_concurrent_clients_all_get_correct_streams() {
     assert_eq!(status.hot_entries, 16);
     assert_eq!(status.queued, 0);
     assert_eq!(status.inflight, 0);
+    assert_eq!(status.inflight_cells, 0);
     assert_eq!(status.threads, 3);
-    assert!(status.hits + status.misses >= 5 * 16);
+    assert_eq!(
+        status.computed, 16,
+        "workers priced each distinct cell exactly once"
+    );
+    assert_eq!(status.coalesced as usize, coalesced_total);
+    assert_eq!(status.overloaded, 0);
+    assert!(status.hits + status.misses >= 16);
 
     shutdown_and_join(&addr, handle);
 }
@@ -249,6 +269,7 @@ fn cold_tier_survives_server_restart() {
     let (addr, handle) = start_server(ServerConfig {
         threads: 2,
         cache_dir: Some(dir.clone()),
+        ..ServerConfig::default()
     });
     let first = client::submit(&addr, &source, 0).unwrap();
     assert_eq!(first.footer.computed, 16);
@@ -259,6 +280,7 @@ fn cold_tier_survives_server_restart() {
     let (addr, handle) = start_server(ServerConfig {
         threads: 2,
         cache_dir: Some(dir.clone()),
+        ..ServerConfig::default()
     });
     let fetched = client::fetch(&addr, &source).unwrap();
     assert_eq!(fetched.footer.computed, 0);
@@ -273,6 +295,7 @@ fn shutdown_is_not_stalled_by_a_partial_request_line() {
     let (addr, handle) = start_server(ServerConfig {
         threads: 1,
         cache_dir: None,
+        ..ServerConfig::default()
     });
     // Hold a connection open with an unterminated request line: the drain
     // must abandon it rather than wait for the newline forever.
@@ -298,6 +321,7 @@ fn shutdown_closes_the_listener() {
     let (addr, handle) = start_server(ServerConfig {
         threads: 1,
         cache_dir: None,
+        ..ServerConfig::default()
     });
     assert!(TcpStream::connect(&addr).is_ok());
     shutdown_and_join(&addr, handle);

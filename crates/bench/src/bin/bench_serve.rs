@@ -134,7 +134,10 @@ fn run(args: &[String]) -> Result<(), String> {
         },
     )?;
     let addr = server.local_addr().to_string();
-    let server_thread = std::thread::spawn(move || server.run());
+    let server_thread = std::thread::Builder::new()
+        .name("bench-serve-server".into())
+        .spawn(move || server.run())
+        .map_err(|e| format!("spawning server thread: {e}"))?;
     eprintln!("# serve benchmark: {cells} cells, {threads} worker thread(s), {repeats} warm repeat(s) on {addr}");
 
     let cold_start = Instant::now();
@@ -234,16 +237,22 @@ fn concurrent_level(
         },
     )?;
     let addr = server.local_addr().to_string();
-    let server_thread = std::thread::spawn(move || server.run());
+    let server_thread = std::thread::Builder::new()
+        .name("bench-serve-racing-server".into())
+        .spawn(move || server.run())
+        .map_err(|e| format!("spawning server thread: {e}"))?;
 
     let start = Instant::now();
     let handles: Vec<_> = (0..clients)
-        .map(|_| {
+        .map(|i| {
             let addr = addr.clone();
             let source = source.clone();
-            std::thread::spawn(move || client::submit(&addr, &source, 0))
+            std::thread::Builder::new()
+                .name(format!("bench-client-{i}"))
+                .spawn(move || client::submit(&addr, &source, 0))
+                .map_err(|e| format!("spawning client thread: {e}"))
         })
-        .collect();
+        .collect::<Result<Vec<_>, String>>()?;
     for handle in handles {
         let outcome = handle
             .join()

@@ -1,0 +1,314 @@
+//! Source cleaning: blank out comments, string/char literals, and raw
+//! strings while preserving the exact character grid (every input character
+//! maps to exactly one output character; newlines survive). Rules then
+//! pattern-match on the cleaned text without tripping over tokens that only
+//! appear in prose, and column positions still line up with the original
+//! source when a rule wants to read literal content (e.g. an `expect`
+//! message).
+
+/// State of the cleaning scanner.
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    CharLit,
+}
+
+/// Returns `src` with comment and literal contents replaced by spaces,
+/// preserving line structure and column positions.
+pub fn clean(src: &str) -> String {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut out = String::with_capacity(src.len());
+    let mut state = State::Code;
+    let mut prev_ident = false;
+    let mut i = 0;
+
+    let blank = |c: char| if c == '\n' { '\n' } else { ' ' };
+
+    while i < n {
+        let c = chars[i];
+        match state {
+            State::Code => {
+                if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+                    state = State::LineComment;
+                    out.push_str("  ");
+                    i += 2;
+                    prev_ident = false;
+                    continue;
+                }
+                if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    state = State::BlockComment(1);
+                    out.push_str("  ");
+                    i += 2;
+                    prev_ident = false;
+                    continue;
+                }
+                if c == '"' {
+                    state = State::Str;
+                    out.push(' ');
+                    i += 1;
+                    prev_ident = false;
+                    continue;
+                }
+                // Raw / byte string openers: r"..", r#".."#, b"..", br#".."#.
+                if (c == 'r' || c == 'b') && !prev_ident {
+                    let mut j = i;
+                    if chars[j] == 'b' {
+                        j += 1;
+                    }
+                    let mut is_raw = false;
+                    if j < n && chars[j] == 'r' {
+                        is_raw = true;
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    while is_raw && j < n && chars[j] == '#' {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if j < n && chars[j] == '"' && (is_raw || chars[i] == 'b') {
+                        for _ in i..=j {
+                            out.push(' ');
+                        }
+                        i = j + 1;
+                        state = if is_raw {
+                            State::RawStr(hashes)
+                        } else {
+                            State::Str
+                        };
+                        prev_ident = false;
+                        continue;
+                    }
+                }
+                if c == '\'' {
+                    // Distinguish char literals from lifetimes: a literal is
+                    // 'x' or starts with an escape; a lifetime never closes
+                    // with a quote right after one symbol.
+                    if i + 1 < n && chars[i + 1] == '\\' {
+                        state = State::CharLit;
+                        out.push(' ');
+                        i += 1;
+                        prev_ident = false;
+                        continue;
+                    }
+                    if i + 2 < n && chars[i + 2] == '\'' && chars[i + 1] != '\'' {
+                        out.push_str("   ");
+                        i += 3;
+                        prev_ident = false;
+                        continue;
+                    }
+                    out.push(' ');
+                    i += 1;
+                    prev_ident = false;
+                    continue;
+                }
+                out.push(c);
+                prev_ident = c.is_alphanumeric() || c == '_';
+                i += 1;
+            }
+            State::LineComment => {
+                if c == '\n' {
+                    out.push('\n');
+                    state = State::Code;
+                } else {
+                    out.push(' ');
+                }
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    state = State::BlockComment(depth + 1);
+                    out.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                if c == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    out.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                out.push(blank(c));
+                i += 1;
+            }
+            State::Str => {
+                if c == '\\' && i + 1 < n {
+                    out.push(' ');
+                    out.push(blank(chars[i + 1]));
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    state = State::Code;
+                    out.push(' ');
+                    i += 1;
+                    continue;
+                }
+                out.push(blank(c));
+                i += 1;
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut matched = 0u32;
+                    let mut j = i + 1;
+                    while matched < hashes && j < n && chars[j] == '#' {
+                        matched += 1;
+                        j += 1;
+                    }
+                    if matched == hashes {
+                        for _ in i..j {
+                            out.push(' ');
+                        }
+                        i = j;
+                        state = State::Code;
+                        continue;
+                    }
+                }
+                out.push(blank(c));
+                i += 1;
+            }
+            State::CharLit => {
+                if c == '\\' && i + 1 < n {
+                    out.push(' ');
+                    out.push(blank(chars[i + 1]));
+                    i += 2;
+                    continue;
+                }
+                if c == '\'' {
+                    state = State::Code;
+                    out.push(' ');
+                    i += 1;
+                    continue;
+                }
+                out.push(blank(c));
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Returns one flag per line of `cleaned`: `true` for lines inside a
+/// `#[cfg(test)]`-gated item (the attribute line through the item's closing
+/// brace). Lints skip masked lines — test code may unwrap, spawn, and time
+/// freely.
+pub fn test_mask(cleaned: &str) -> Vec<bool> {
+    let lines: Vec<&str> = cleaned.lines().collect();
+    let mut mask = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        if !is_test_cfg_attr(lines[i]) {
+            i += 1;
+            continue;
+        }
+        // Walk from the attribute to the gated item's closing brace. An
+        // item that ends with `;` before any `{` (e.g. a gated `use`) ends
+        // on that line.
+        let mut depth = 0i32;
+        let mut opened = false;
+        let mut end = lines.len() - 1;
+        'scan: for (j, line) in lines.iter().enumerate().skip(i) {
+            for ch in line.chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if opened && depth == 0 {
+                            end = j;
+                            break 'scan;
+                        }
+                    }
+                    ';' if !opened => {
+                        end = j;
+                        break 'scan;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for flag in mask.iter_mut().take(end + 1).skip(i) {
+            *flag = true;
+        }
+        i = end + 1;
+    }
+    mask
+}
+
+/// Whether a cleaned line is an attribute gating an item on `test` (but not
+/// `not(test)`). String contents are already blanked, so a stray "test" in
+/// a feature name cannot confuse this.
+fn is_test_cfg_attr(line: &str) -> bool {
+    let t = line.trim_start();
+    if !t.starts_with("#[") {
+        return false;
+    }
+    let compact: String = t.chars().filter(|c| !c.is_whitespace()).collect();
+    if compact.contains("not(test") {
+        return false;
+    }
+    compact.contains("cfg(test)")
+        || compact.contains("cfg(all(test,")
+        || compact.contains(",test)")
+        || compact.contains(",test,")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanks_comments_and_strings_preserving_grid() {
+        let src = "let x = \"HashMap\"; // HashMap\nlet y = 1; /* Instant::now */\n";
+        let cleaned = clean(src);
+        assert_eq!(cleaned.len(), src.chars().count());
+        assert!(!cleaned.contains("HashMap"));
+        assert!(!cleaned.contains("Instant::now"));
+        assert!(cleaned.contains("let x ="));
+        assert_eq!(cleaned.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_blanked() {
+        let src = "let p = r#\"thread::spawn\"#; let c = 'x'; let lt: &'static str = \"\";";
+        let cleaned = clean(src);
+        assert!(!cleaned.contains("thread::spawn"));
+        assert!(
+            cleaned.contains("static"),
+            "lifetime must survive: {cleaned}"
+        );
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let src = "/* outer /* inner */ still comment */ let real = 1;";
+        let cleaned = clean(src);
+        assert!(cleaned.contains("let real = 1;"));
+        assert!(!cleaned.contains("outer"));
+        assert!(!cleaned.contains("still"));
+    }
+
+    #[test]
+    fn test_mask_covers_cfg_test_mod() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn live2() {}\n";
+        let mask = test_mask(&clean(src));
+        assert_eq!(mask, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn test_mask_ignores_not_test_and_feature_strings() {
+        let src =
+            "#[cfg(not(test))]\nfn live() {}\n#[cfg(feature = \"test-utils\")]\nfn live2() {}\n";
+        let mask = test_mask(&clean(src));
+        assert!(mask.iter().all(|&m| !m), "mask: {mask:?}");
+    }
+}

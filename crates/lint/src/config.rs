@@ -1,0 +1,272 @@
+//! `lint.toml` waiver file: a restricted TOML subset parsed by hand (the
+//! driver is dependency-free). Grammar:
+//!
+//! ```toml
+//! [[waiver]]
+//! file = "crates/serve/src/protocol.rs"      # repo-relative, forward slashes
+//! rule = "no-panic-path"                      # a rule id
+//! items = ["expect(\"reply serialization is infallible\")"]  # optional
+//! reason = "serializing to an in-memory buffer cannot fail"  # required
+//! ```
+//!
+//! Without `items`, the waiver covers every finding of `rule` in `file`.
+//! With `items`, only findings whose item string is listed. Every waiver —
+//! and every listed item — must match at least one finding, or the driver
+//! reports it as stale and exits nonzero: waivers must not outlive the code
+//! they excuse.
+
+use std::fmt;
+
+/// One waiver entry from `lint.toml`.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    pub file: String,
+    pub rule: String,
+    pub items: Vec<String>,
+    pub reason: String,
+    /// 1-based line of the `[[waiver]]` header, for error messages.
+    pub defined_at: usize,
+}
+
+/// Parsed waiver configuration.
+#[derive(Debug, Default)]
+pub struct Config {
+    pub waivers: Vec<Waiver>,
+}
+
+/// A syntax or semantic error in `lint.toml`.
+#[derive(Debug)]
+pub struct ConfigError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl Config {
+    /// Parses the waiver file. Unknown keys, missing required keys, and
+    /// malformed values are errors: a waiver file that silently ignores a
+    /// typo would waive nothing while appearing to.
+    pub fn parse(text: &str) -> Result<Config, ConfigError> {
+        let mut waivers: Vec<Waiver> = Vec::new();
+        let mut current: Option<Waiver> = None;
+
+        let mut lines = text.lines().enumerate();
+        while let Some((idx, raw)) = lines.next() {
+            let lineno = idx + 1;
+            let mut line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            // Multi-line arrays: keep consuming until the closing bracket.
+            if line.contains('[') && line.contains('=') && !line.trim_end().ends_with(']') {
+                for (_, cont) in lines.by_ref() {
+                    let cont = strip_comment(cont).trim().to_string();
+                    if !cont.is_empty() {
+                        line.push(' ');
+                        line.push_str(&cont);
+                    }
+                    if line.trim_end().ends_with(']') {
+                        break;
+                    }
+                }
+            }
+            if line == "[[waiver]]" {
+                if let Some(done) = current.take() {
+                    waivers.push(finish(done)?);
+                }
+                current = Some(Waiver {
+                    file: String::new(),
+                    rule: String::new(),
+                    items: Vec::new(),
+                    reason: String::new(),
+                    defined_at: lineno,
+                });
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(ConfigError {
+                    line: lineno,
+                    message: format!("expected `key = value` or `[[waiver]]`, got `{line}`"),
+                });
+            };
+            let entry = current.as_mut().ok_or(ConfigError {
+                line: lineno,
+                message: "key outside a [[waiver]] table".to_string(),
+            })?;
+            let key = key.trim();
+            let value = value.trim();
+            match key {
+                "file" => entry.file = parse_string(value, lineno)?,
+                "rule" => entry.rule = parse_string(value, lineno)?,
+                "reason" => entry.reason = parse_string(value, lineno)?,
+                "items" => entry.items = parse_string_array(value, lineno)?,
+                other => {
+                    return Err(ConfigError {
+                        line: lineno,
+                        message: format!("unknown key `{other}` (expected file/rule/items/reason)"),
+                    })
+                }
+            }
+        }
+        if let Some(done) = current.take() {
+            waivers.push(finish(done)?);
+        }
+        Ok(Config { waivers })
+    }
+}
+
+// Helper kept trivial so the closing-entry logic above stays linear.
+fn finish(w: Waiver) -> Result<Waiver, ConfigError> {
+    for (field, value) in [("file", &w.file), ("rule", &w.rule), ("reason", &w.reason)] {
+        if value.is_empty() {
+            return Err(ConfigError {
+                line: w.defined_at,
+                message: format!("waiver is missing required key `{field}`"),
+            });
+        }
+    }
+    Ok(w)
+}
+
+fn strip_comment(line: &str) -> &str {
+    // A `#` outside quotes starts a comment.
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str => escaped = !escaped,
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => escaped = false,
+        }
+    }
+    line
+}
+
+fn parse_string(value: &str, line: usize) -> Result<String, ConfigError> {
+    let inner = value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or(ConfigError {
+            line,
+            message: format!("expected a double-quoted string, got `{value}`"),
+        })?;
+    Ok(unescape(inner))
+}
+
+fn parse_string_array(value: &str, line: usize) -> Result<Vec<String>, ConfigError> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or(ConfigError {
+            line,
+            message: format!("expected a [\"...\"] array, got `{value}`"),
+        })?;
+    let mut items = Vec::new();
+    // Split on commas outside quotes.
+    let mut current = String::new();
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in inner.chars() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                current.push(c);
+            }
+            '"' if !escaped => {
+                in_str = !in_str;
+                current.push(c);
+            }
+            ',' if !in_str => {
+                if !current.trim().is_empty() {
+                    items.push(parse_string(current.trim(), line)?);
+                }
+                current.clear();
+            }
+            _ => {
+                escaped = false;
+                current.push(c);
+            }
+        }
+    }
+    if !current.trim().is_empty() {
+        items.push(parse_string(current.trim(), line)?);
+    }
+    Ok(items)
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_waiver() {
+        let cfg = Config::parse(
+            r#"
+# comment
+[[waiver]]
+file = "crates/serve/src/protocol.rs"
+rule = "no-panic-path"
+items = ["expect(\"infallible\")", "unwrap"]
+reason = "serialization to memory cannot fail"
+"#,
+        )
+        .expect("valid config");
+        assert_eq!(cfg.waivers.len(), 1);
+        let w = &cfg.waivers[0];
+        assert_eq!(w.file, "crates/serve/src/protocol.rs");
+        assert_eq!(w.rule, "no-panic-path");
+        assert_eq!(w.items, vec!["expect(\"infallible\")", "unwrap"]);
+        assert!(w.reason.contains("cannot fail"));
+    }
+
+    #[test]
+    fn parses_multiline_item_arrays() {
+        let cfg = Config::parse(
+            "[[waiver]]\nfile = \"a.rs\"\nrule = \"serde-default\"\nitems = [\n    \"Wire.a\", # seed\n    \"Wire.b\",\n]\nreason = \"seed fields\"\n",
+        )
+        .expect("multi-line arrays are valid");
+        assert_eq!(cfg.waivers[0].items, vec!["Wire.a", "Wire.b"]);
+    }
+
+    #[test]
+    fn missing_reason_is_an_error() {
+        let err = Config::parse("[[waiver]]\nfile = \"a.rs\"\nrule = \"r\"\n")
+            .expect_err("reason is required");
+        assert!(err.message.contains("reason"), "{err}");
+    }
+
+    #[test]
+    fn unknown_key_is_an_error() {
+        let err = Config::parse("[[waiver]]\nfille = \"a.rs\"\n").expect_err("typo must fail");
+        assert!(err.message.contains("unknown key"), "{err}");
+    }
+}

@@ -1,0 +1,80 @@
+//! CLI for the workspace lint driver.
+//!
+//! Usage: `ebird-lint [--root DIR] [--config FILE]`
+//!
+//! Exit codes: 0 = clean, 1 = violations or stale waivers, 2 = usage/IO
+//! error. CI runs this as a blocking step from the workspace root.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut config_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a value"),
+            },
+            "--config" => match args.next() {
+                Some(v) => config_path = Some(PathBuf::from(v)),
+                None => return usage("--config needs a value"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "ebird-lint: determinism/robustness lints for the ebird workspace\n\n\
+                     usage: ebird-lint [--root DIR] [--config FILE]\n\n\
+                     rules: {}\n\n\
+                     Waivers live in lint.toml at the workspace root; every entry names\n\
+                     a file, a rule, and a one-line justification. Stale waivers fail\n\
+                     the run.",
+                    ebird_lint::rules::RULE_IDS.join(", ")
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let config_path = config_path.unwrap_or_else(|| root.join("lint.toml"));
+    let config = if config_path.exists() {
+        let text = match std::fs::read_to_string(&config_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("ebird-lint: reading {}: {e}", config_path.display());
+                return ExitCode::from(2);
+            }
+        };
+        match ebird_lint::config::Config::parse(&text) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("ebird-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        ebird_lint::config::Config::default()
+    };
+
+    match ebird_lint::lint_workspace(&root, &config) {
+        Ok(report) => {
+            print!("{}", ebird_lint::render(&report));
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("ebird-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("ebird-lint: {problem}\nusage: ebird-lint [--root DIR] [--config FILE]");
+    ExitCode::from(2)
+}

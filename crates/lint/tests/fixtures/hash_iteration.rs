@@ -1,0 +1,5 @@
+//! Fixture: exactly one `HashMap` mention in a determinism-critical crate.
+//! Scanned as `crates/core/src/fixture.rs`; must fire `no-hash-iteration`
+//! exactly once.
+
+pub type Index = std::collections::HashMap<u32, u32>;

@@ -233,23 +233,22 @@ fn streamed_with_retry(
     let seed = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0x9e37_79b9, |d| u64::from(d.subsec_nanos()));
-    let mut last_refusal: Option<OverloadedReply> = None;
     for attempt in 0..attempts {
         match streamed_once(addr, request, &mut on_row)? {
             Attempt::Done(outcome) => return Ok(outcome),
             Attempt::Overloaded(refusal) => {
                 if attempt + 1 < attempts {
                     std::thread::sleep(policy.delay(attempt, refusal.retry_after_ms, seed));
+                } else {
+                    return Err(format!(
+                        "server overloaded after {attempts} attempt(s): {} ({} job(s) queued; last retry_after_ms {})",
+                        refusal.error, refusal.queued, refusal.retry_after_ms
+                    ));
                 }
-                last_refusal = Some(refusal);
             }
         }
     }
-    let refusal = last_refusal.expect("loop ran at least once");
-    Err(format!(
-        "server overloaded after {attempts} attempt(s): {} ({} job(s) queued; last retry_after_ms {})",
-        refusal.error, refusal.queued, refusal.retry_after_ms
-    ))
+    Err("server overloaded: retry policy allowed no attempts".to_string())
 }
 
 /// Submits a matrix and collects the streamed rows, retrying `overloaded`

@@ -878,12 +878,7 @@ pub fn run_matrix(matrix: &ScenarioMatrix, pool: &Pool) -> Result<Vec<ScenarioRo
 /// readiness order under early-bird delivery.
 fn argsort(values: &[f64]) -> Vec<usize> {
     let mut order: Vec<usize> = (0..values.len()).collect();
-    order.sort_by(|&a, &b| {
-        values[a]
-            .partial_cmp(&values[b])
-            .expect("finite")
-            .then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| values[a].total_cmp(&values[b]).then(a.cmp(&b)));
     order
 }
 

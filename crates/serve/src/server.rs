@@ -186,21 +186,21 @@ impl Server {
                         // Each worker is already one team member; the
                         // delivery campaign inside the cell runs inline on
                         // a unit pool rather than forking a nested team.
-                        let outcome = compute_cell(&job.cell, &Pool::new(1)).map(|row| {
-                            let line =
-                                report::json_line(&row).expect("scenario rows always serialize");
+                        let outcome = compute_cell(&job.cell, &Pool::new(1)).and_then(|row| {
+                            let line = report::json_line(&row)
+                                .map_err(|e| format!("serializing scenario row: {e}"))?;
                             // Only verified rows are pure functions of their
                             // spec; a deadline miss is host scheduling, not
                             // content, and must stay transient rather than
                             // poison the cache (and its cold tier) forever.
-                            if row.transport_verified {
+                            Ok(if row.transport_verified {
                                 shared.cache.insert(&job.key, line)
                             } else {
                                 Arc::new(CachedRow {
                                     spec: job.key.content().to_string(),
                                     row: line,
                                 })
-                            }
+                            })
                         });
                         shared.computed_cells.fetch_add(1, Ordering::SeqCst);
                         // Decrement before reporting: once a submission has

@@ -317,6 +317,38 @@ fn shutdown_is_not_stalled_by_a_partial_request_line() {
 }
 
 #[test]
+fn status_output_is_byte_identical_across_fresh_servers() {
+    // Two fresh servers given the same submission sequence must render
+    // byte-for-byte identical status lines: every counter is a pure
+    // function of the request history, and no map-iteration order or clock
+    // value may leak into the serialized reply.
+    let run = || {
+        let (addr, handle) = start_server(ServerConfig {
+            threads: 2,
+            cache_dir: None,
+            ..ServerConfig::default()
+        });
+        let cold =
+            client::submit(&addr, &MatrixSource::Inline(tiny_matrix()), 0).expect("cold submit");
+        assert_eq!(cold.footer.computed, 16);
+        let warm =
+            client::submit(&addr, &MatrixSource::Inline(tiny_matrix()), 0).expect("warm submit");
+        assert_eq!(warm.footer.cached, 16);
+        let status_line =
+            client::raw_exchange(&addr, "{\"verb\":\"status\"}").expect("status line");
+        shutdown_and_join(&addr, handle);
+        status_line
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(
+        first.as_bytes(),
+        second.as_bytes(),
+        "status rendering must be deterministic:\n  {first}\n  {second}"
+    );
+}
+
+#[test]
 fn shutdown_closes_the_listener() {
     let (addr, handle) = start_server(ServerConfig {
         threads: 1,

@@ -4,47 +4,85 @@
 //!
 //! Poisoning is ignored (`parking_lot` has no poisoning): a poisoned std
 //! mutex yields its inner guard.
+//!
+//! With the `deadlock_detection` feature, every acquisition feeds a
+//! lock-order tracker (see [`lock_order`]) that panics on AB/BA inversions,
+//! naming both acquisition sites. The feature changes no public signatures;
+//! it only adds bookkeeping, so test suites can opt in wholesale.
 
 use std::ops::{Deref, DerefMut};
 
+#[cfg(feature = "deadlock_detection")]
+mod lock_order;
+
 /// Mutual exclusion lock with `parking_lot`'s panic-free `lock()` signature.
 #[derive(Debug, Default)]
-pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+pub struct Mutex<T: ?Sized> {
+    #[cfg(feature = "deadlock_detection")]
+    order: lock_order::LockId,
+    inner: std::sync::Mutex<T>,
+}
 
 impl<T> Mutex<T> {
     /// Creates a mutex guarding `value`.
     pub const fn new(value: T) -> Self {
-        Mutex(std::sync::Mutex::new(value))
+        Mutex {
+            #[cfg(feature = "deadlock_detection")]
+            order: lock_order::LockId::new(),
+            inner: std::sync::Mutex::new(value),
+        }
     }
 
     /// Consumes the mutex, returning the guarded value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until available.
+    #[track_caller]
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        #[cfg(feature = "deadlock_detection")]
+        let id = {
+            let id = self.order.get();
+            lock_order::before_blocking_acquire(id, std::panic::Location::caller());
+            id
+        };
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        #[cfg(feature = "deadlock_detection")]
+        lock_order::acquired(id, std::panic::Location::caller());
         MutexGuard {
-            inner: Some(self.0.lock().unwrap_or_else(|e| e.into_inner())),
+            #[cfg(feature = "deadlock_detection")]
+            lock_id: id,
+            inner: Some(inner),
         }
     }
 
     /// Attempts to acquire the lock without blocking.
+    #[track_caller]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
-            Ok(g) => Some(MutexGuard { inner: Some(g) }),
-            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
-                inner: Some(e.into_inner()),
-            }),
-            Err(std::sync::TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        #[cfg(feature = "deadlock_detection")]
+        let id = {
+            let id = self.order.get();
+            lock_order::acquired(id, std::panic::Location::caller());
+            id
+        };
+        Some(MutexGuard {
+            #[cfg(feature = "deadlock_detection")]
+            lock_id: id,
+            inner: Some(inner),
+        })
     }
 
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -54,7 +92,16 @@ impl<T: ?Sized> Mutex<T> {
 /// take ownership (std's `wait` consumes the guard; parking_lot's borrows it).
 #[derive(Debug)]
 pub struct MutexGuard<'a, T: ?Sized> {
+    #[cfg(feature = "deadlock_detection")]
+    lock_id: usize,
     inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+#[cfg(feature = "deadlock_detection")]
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        lock_order::released(self.lock_id);
+    }
 }
 
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
@@ -82,9 +129,18 @@ impl Condvar {
 
     /// Atomically releases the guard's lock and blocks until notified;
     /// re-acquires before returning.
+    #[track_caller]
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         let inner = guard.inner.take().expect("guard present before wait");
-        guard.inner = Some(self.0.wait(inner).unwrap_or_else(|e| e.into_inner()));
+        // The lock is given up for the duration of the wait: drop it from
+        // the held stack so acquisitions on other threads don't see it, and
+        // re-push once std's wait hands the lock back.
+        #[cfg(feature = "deadlock_detection")]
+        lock_order::released(guard.lock_id);
+        let reacquired = self.0.wait(inner).unwrap_or_else(|e| e.into_inner());
+        #[cfg(feature = "deadlock_detection")]
+        lock_order::acquired(guard.lock_id, std::panic::Location::caller());
+        guard.inner = Some(reacquired);
     }
 
     /// Wakes one waiting thread.
@@ -100,29 +156,115 @@ impl Condvar {
 
 /// Reader-writer lock with `parking_lot`'s panic-free signatures.
 #[derive(Debug, Default)]
-pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+pub struct RwLock<T: ?Sized> {
+    #[cfg(feature = "deadlock_detection")]
+    order: lock_order::LockId,
+    inner: std::sync::RwLock<T>,
+}
 
 impl<T> RwLock<T> {
     /// Creates a lock guarding `value`.
     pub const fn new(value: T) -> Self {
-        RwLock(std::sync::RwLock::new(value))
+        RwLock {
+            #[cfg(feature = "deadlock_detection")]
+            order: lock_order::LockId::new(),
+            inner: std::sync::RwLock::new(value),
+        }
     }
 
     /// Consumes the lock, returning the guarded value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquires a shared read guard.
-    pub fn read(&self) -> std::sync::RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(|e| e.into_inner())
+    #[track_caller]
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        #[cfg(feature = "deadlock_detection")]
+        let id = {
+            let id = self.order.get();
+            lock_order::before_blocking_acquire(id, std::panic::Location::caller());
+            id
+        };
+        let inner = self.inner.read().unwrap_or_else(|e| e.into_inner());
+        #[cfg(feature = "deadlock_detection")]
+        lock_order::acquired(id, std::panic::Location::caller());
+        RwLockReadGuard {
+            #[cfg(feature = "deadlock_detection")]
+            lock_id: id,
+            inner,
+        }
     }
 
     /// Acquires an exclusive write guard.
-    pub fn write(&self) -> std::sync::RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(|e| e.into_inner())
+    #[track_caller]
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        #[cfg(feature = "deadlock_detection")]
+        let id = {
+            let id = self.order.get();
+            lock_order::before_blocking_acquire(id, std::panic::Location::caller());
+            id
+        };
+        let inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        #[cfg(feature = "deadlock_detection")]
+        lock_order::acquired(id, std::panic::Location::caller());
+        RwLockWriteGuard {
+            #[cfg(feature = "deadlock_detection")]
+            lock_id: id,
+            inner,
+        }
+    }
+}
+
+/// RAII shared guard returned by [`RwLock::read`].
+#[derive(Debug)]
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    #[cfg(feature = "deadlock_detection")]
+    lock_id: usize,
+    inner: std::sync::RwLockReadGuard<'a, T>,
+}
+
+#[cfg(feature = "deadlock_detection")]
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        lock_order::released(self.lock_id);
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+/// RAII exclusive guard returned by [`RwLock::write`].
+#[derive(Debug)]
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    #[cfg(feature = "deadlock_detection")]
+    lock_id: usize,
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+#[cfg(feature = "deadlock_detection")]
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        lock_order::released(self.lock_id);
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
     }
 }
 

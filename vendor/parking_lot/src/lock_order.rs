@@ -1,0 +1,214 @@
+//! Debug-gated lock-order tracking (the `deadlock_detection` feature).
+//!
+//! Every blocking acquisition records "held → wanted" edges in a global
+//! acquisition-order graph keyed by lock instance. Before blocking, the
+//! acquirer checks whether the wanted lock already reaches any held lock in
+//! that graph — if it does, the program has exercised both `A then B` and
+//! `B then A`, a potential deadlock, and we panic **now**, on the thread
+//! that would have completed the cycle, naming the acquisition sites on both
+//! sides. Sustained-load tests run under this feature therefore double as a
+//! deadlock detector: any inversion the workload exercises fails the test
+//! with actionable file:line pairs instead of hanging CI.
+//!
+//! Scope and conservatism:
+//!
+//! * Detection is order-based (in the spirit of Linux lockdep), not
+//!   wait-for-based: an inversion is reported even when the two orders never
+//!   overlap in time — exactly what a test suite wants, since thread timing
+//!   is the one thing a test cannot force.
+//! * `try_lock` acquisitions never block, so they are pushed on the held
+//!   stack (ordering *under* them still matters) but do not edge-check.
+//! * Read and write sides of an `RwLock` are tracked identically. A cycle
+//!   made only of read acquisitions cannot deadlock and would be a false
+//!   positive; the workspace holds no such pattern, and the conservative
+//!   rule keeps the tracker simple.
+//! * Lock instances are identified lazily (first acquisition) by a global
+//!   counter; ids are never reused, so edges from dropped locks go stale but
+//!   can never fabricate a cycle with a live lock.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::Location;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex as StdMutex, OnceLock};
+
+/// A lock instance's identity in the order graph. 0 = not yet assigned.
+#[derive(Debug)]
+pub(crate) struct LockId(AtomicUsize);
+
+impl Default for LockId {
+    fn default() -> Self {
+        LockId::new()
+    }
+}
+
+impl LockId {
+    pub(crate) const fn new() -> Self {
+        LockId(AtomicUsize::new(0))
+    }
+
+    /// The instance's id, assigned from the global counter on first use.
+    pub(crate) fn get(&self) -> usize {
+        static NEXT: AtomicUsize = AtomicUsize::new(1);
+        let current = self.0.load(Ordering::Relaxed);
+        if current != 0 {
+            return current;
+        }
+        let fresh = NEXT.fetch_add(1, Ordering::Relaxed);
+        match self
+            .0
+            .compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => fresh,
+            Err(raced) => raced,
+        }
+    }
+}
+
+/// One recorded ordering: the site that held `from` and the site that then
+/// acquired `to` (the first time that order was observed).
+#[derive(Clone, Copy)]
+struct Edge {
+    from_site: &'static Location<'static>,
+    to_site: &'static Location<'static>,
+}
+
+/// The global acquisition-order graph: `from lock id → (to lock id → edge)`.
+#[derive(Default)]
+struct Graph {
+    edges: HashMap<usize, HashMap<usize, Edge>>,
+}
+
+impl Graph {
+    /// Depth-first search for a path `from → … → to`, returning the first
+    /// hop out of `from` on a found path (its edge names the prior order in
+    /// the panic message).
+    fn find_path(&self, from: usize, to: usize) -> Option<Edge> {
+        let mut visited = vec![from];
+        let starts = self.edges.get(&from)?;
+        for (&next, &edge) in starts {
+            if next == to || self.reaches(next, to, &mut visited) {
+                return Some(edge);
+            }
+        }
+        None
+    }
+
+    fn reaches(&self, from: usize, to: usize, visited: &mut Vec<usize>) -> bool {
+        if visited.contains(&from) {
+            return false;
+        }
+        visited.push(from);
+        let Some(outs) = self.edges.get(&from) else {
+            return false;
+        };
+        outs.keys()
+            .any(|&next| next == to || self.reaches(next, to, visited))
+    }
+}
+
+fn graph() -> &'static StdMutex<Graph> {
+    static GRAPH: OnceLock<StdMutex<Graph>> = OnceLock::new();
+    GRAPH.get_or_init(|| StdMutex::new(Graph::default()))
+}
+
+thread_local! {
+    /// Locks this thread currently holds, acquisition order, with the site
+    /// of each acquisition.
+    static HELD: RefCell<Vec<(usize, &'static Location<'static>)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Called before a *blocking* acquisition of `id` at `site`: records
+/// held→wanted edges and panics if the wanted lock already reaches any held
+/// lock in the order graph (an AB/BA inversion, i.e. a potential deadlock).
+pub(crate) fn before_blocking_acquire(id: usize, site: &'static Location<'static>) {
+    let held: Vec<(usize, &'static Location<'static>)> = HELD.with(|h| h.borrow().clone());
+    if held.is_empty() {
+        return;
+    }
+    // Decide under the graph lock, but panic only after releasing it, so a
+    // caught inversion panic leaves the tracker usable.
+    let mut violation: Option<String> = None;
+    {
+        let mut graph = graph().lock().unwrap_or_else(|e| e.into_inner());
+        for &(held_id, held_site) in &held {
+            if held_id == id {
+                violation = Some(format!(
+                    "lock-order violation: re-acquiring lock #{id} at {site} \
+                     while this thread already holds it (acquired at {held_site})"
+                ));
+                break;
+            }
+            if let Some(prior) = graph.find_path(id, held_id) {
+                violation = Some(format!(
+                    "lock-order inversion (potential deadlock): acquiring lock #{id} at {site} \
+                     while holding lock #{held_id} (acquired at {held_site}), but the reverse \
+                     order was established earlier: lock #{id} was held at {} when {} acquired \
+                     a lock ordered before #{held_id}",
+                    prior.from_site, prior.to_site,
+                ));
+                break;
+            }
+            graph
+                .edges
+                .entry(held_id)
+                .or_default()
+                .entry(id)
+                .or_insert(Edge {
+                    from_site: held_site,
+                    to_site: site,
+                });
+        }
+    }
+    if let Some(msg) = violation {
+        panic!("{msg}");
+    }
+}
+
+/// Called after any successful acquisition (blocking or `try_lock`).
+pub(crate) fn acquired(id: usize, site: &'static Location<'static>) {
+    HELD.with(|h| h.borrow_mut().push((id, site)));
+}
+
+/// Called when a guard releases its lock (drop, or a `Condvar::wait`
+/// temporarily giving the lock up). Removes the most recent entry for `id` —
+/// releases need not be LIFO.
+pub(crate) fn released(id: usize) {
+    HELD.with(|h| {
+        let mut held = h.borrow_mut();
+        if let Some(pos) = held.iter().rposition(|&(held_id, _)| held_id == id) {
+            held.remove(pos);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_ids_are_stable_and_distinct() {
+        let a = LockId::new();
+        let b = LockId::new();
+        let first = a.get();
+        assert_eq!(a.get(), first, "id must be stable across calls");
+        assert_ne!(b.get(), first, "distinct instances get distinct ids");
+    }
+
+    #[test]
+    fn path_search_follows_transitive_edges() {
+        let mut g = Graph::default();
+        let site = Location::caller();
+        let edge = Edge {
+            from_site: site,
+            to_site: site,
+        };
+        g.edges.entry(1).or_default().insert(2, edge);
+        g.edges.entry(2).or_default().insert(3, edge);
+        assert!(g.find_path(1, 3).is_some(), "1 → 2 → 3 must be found");
+        assert!(g.find_path(3, 1).is_none(), "no reverse path");
+        // Cycles in visited-tracking terminate.
+        g.edges.entry(3).or_default().insert(1, edge);
+        assert!(g.find_path(1, 3).is_some());
+    }
+}

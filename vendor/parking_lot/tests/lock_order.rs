@@ -1,0 +1,185 @@
+//! Lock-order tracker integration tests (`--features deadlock_detection`).
+//!
+//! The tracker is order-based: once `A then B` is on record, attempting
+//! `B then A` panics immediately, on one thread, without needing the racing
+//! schedule that would produce the real deadlock. That makes the AB/BA
+//! scenario deterministic to test.
+#![cfg(feature = "deadlock_detection")]
+
+use parking_lot::{Mutex, RwLock};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Runs `f` and returns the panic payload as a string.
+fn panic_message(f: impl FnOnce()) -> String {
+    let err = catch_unwind(AssertUnwindSafe(f)).expect_err("expected a lock-order panic");
+    err.downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_else(|| "<non-string panic payload>".to_string())
+}
+
+#[test]
+fn ab_ba_inversion_panics_naming_both_sites() {
+    let a = Mutex::new(());
+    let b = Mutex::new(());
+
+    // Establish the order A then B.
+    {
+        let _ga = a.lock();
+        let _gb = b.lock();
+    }
+
+    // Now exercise the reverse order; the second acquisition must panic.
+    let held_line = line!() + 1;
+    let _gb = b.lock();
+    let attempt_line = line!() + 2;
+    let msg = panic_message(|| {
+        let _ga = a.lock();
+    });
+
+    assert!(
+        msg.contains("lock-order inversion"),
+        "panic must identify the inversion: {msg}"
+    );
+    assert!(
+        msg.contains(&format!("lock_order.rs:{attempt_line}:")),
+        "panic must name the acquiring site (line {attempt_line}): {msg}"
+    );
+    assert!(
+        msg.contains(&format!("lock_order.rs:{held_line}:")),
+        "panic must name the held lock's site (line {held_line}): {msg}"
+    );
+}
+
+#[test]
+fn consistent_order_never_panics() {
+    let a = std::sync::Arc::new(Mutex::new(0u64));
+    let b = std::sync::Arc::new(Mutex::new(0u64));
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let (a, b) = (std::sync::Arc::clone(&a), std::sync::Arc::clone(&b));
+        handles.push(
+            std::thread::Builder::new()
+                .name("order-ok".into())
+                .spawn(move || {
+                    for _ in 0..100 {
+                        let mut ga = a.lock();
+                        let mut gb = b.lock();
+                        *ga += 1;
+                        *gb += 1;
+                    }
+                })
+                .expect("spawn test thread"),
+        );
+    }
+    for h in handles {
+        h.join().expect("consistent A-then-B order must not panic");
+    }
+    assert_eq!(*a.lock(), 400);
+    assert_eq!(*b.lock(), 400);
+}
+
+#[test]
+fn transitive_inversion_detected() {
+    let a = Mutex::new(());
+    let b = Mutex::new(());
+    let c = Mutex::new(());
+
+    // Record A→B and B→C; the cycle check must follow the chain to flag C→A.
+    {
+        let _ga = a.lock();
+        let _gb = b.lock();
+    }
+    {
+        let _gb = b.lock();
+        let _gc = c.lock();
+    }
+    let _gc = c.lock();
+    let msg = panic_message(|| {
+        let _ga = a.lock();
+    });
+    assert!(
+        msg.contains("lock-order inversion"),
+        "transitive A→B→C vs C→A must be flagged: {msg}"
+    );
+}
+
+#[test]
+fn try_lock_holdings_participate_in_ordering() {
+    let a = Mutex::new(());
+    let b = Mutex::new(());
+
+    // A acquired via try_lock, then B blocking: records A→B.
+    {
+        let _ga = a.try_lock().expect("uncontended try_lock succeeds");
+        let _gb = b.lock();
+    }
+    let _gb = b.lock();
+    let msg = panic_message(|| {
+        let _ga = a.lock();
+    });
+    assert!(
+        msg.contains("lock-order inversion"),
+        "orders established under try_lock holdings must count: {msg}"
+    );
+}
+
+#[test]
+fn reacquiring_held_lock_is_flagged() {
+    let m = Mutex::new(());
+    let _g = m.lock();
+    let msg = panic_message(|| {
+        let _g2 = m.lock();
+    });
+    assert!(
+        msg.contains("re-acquiring lock"),
+        "self-deadlock must be reported, not hung: {msg}"
+    );
+}
+
+#[test]
+fn condvar_wait_leaves_no_stale_holdings() {
+    use parking_lot::Condvar;
+    use std::sync::Arc;
+
+    let pair = Arc::new((Mutex::new(false), Condvar::new()));
+    let p2 = Arc::clone(&pair);
+    let h = std::thread::Builder::new()
+        .name("notifier".into())
+        .spawn(move || {
+            let (lock, cv) = &*p2;
+            let mut g = lock.lock();
+            *g = true;
+            cv.notify_all();
+        })
+        .expect("spawn test thread");
+    let (lock, cv) = &*pair;
+    {
+        let mut done = lock.lock();
+        while !*done {
+            cv.wait(&mut done);
+        }
+    }
+    h.join().expect("notifier thread");
+    // If wait/reacquire mismanaged the held stack, this relock would be
+    // reported as a self-deadlock.
+    let _g = lock.lock();
+}
+
+#[test]
+fn rwlock_inversion_detected() {
+    let a = RwLock::new(());
+    let b = RwLock::new(());
+    {
+        let _ga = a.read();
+        let _gb = b.write();
+    }
+    let _gb = b.write();
+    let msg = panic_message(|| {
+        let _ga = a.read();
+    });
+    assert!(
+        msg.contains("lock-order inversion"),
+        "read/write inversions must be flagged: {msg}"
+    );
+}

@@ -49,6 +49,13 @@ struct ServeReport {
     cached_requests_per_s: f64,
     /// `uncached_ms / cached_ms` — what the content-addressed cache buys.
     cache_speedup: f64,
+    /// Submit-request latency quantiles from the server's own
+    /// `serve.request.submit.ns` histogram (cold + warm pooled), scraped
+    /// over the `metrics` verb — distribution shape, not just the means
+    /// above.
+    submit_p50_ms: f64,
+    submit_p95_ms: f64,
+    submit_p99_ms: f64,
     /// Whether every warm stream matched the cold stream byte-for-byte.
     bit_identical: bool,
     /// Cold-server runs with N clients racing the same matrix.
@@ -168,6 +175,19 @@ fn run(args: &[String]) -> Result<(), String> {
         return Err("a warm stream diverged from the cold stream".into());
     }
 
+    // The server's own view of the submit latency distribution, over the
+    // cold submission and every warm repeat.
+    let metrics = client::metrics(&addr)?;
+    let (submit_p50_ms, submit_p95_ms, submit_p99_ms) = metrics
+        .histogram("serve.request.submit.ns")
+        .map_or((0.0, 0.0, 0.0), |h| {
+            (
+                h.p50_ns as f64 / 1e6,
+                h.p95_ns as f64 / 1e6,
+                h.p99_ns as f64 / 1e6,
+            )
+        });
+
     client::shutdown(&addr)?;
     server_thread
         .join()
@@ -189,6 +209,9 @@ fn run(args: &[String]) -> Result<(), String> {
         cached_rows_per_s: cells as f64 / (cached_ms / 1e3),
         cached_requests_per_s: 1e3 / cached_ms,
         cache_speedup: uncached_ms / cached_ms,
+        submit_p50_ms,
+        submit_p95_ms,
+        submit_p99_ms,
         bit_identical,
         concurrent,
     };
@@ -203,6 +226,10 @@ fn run(args: &[String]) -> Result<(), String> {
     println!(
         "cache-hit speedup: {:.1}×, streams bit-identical",
         report.cache_speedup
+    );
+    println!(
+        "submit latency (server-side): p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms",
+        report.submit_p50_ms, report.submit_p95_ms, report.submit_p99_ms
     );
     for level in &report.concurrent {
         println!(

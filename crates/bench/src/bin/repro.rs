@@ -14,7 +14,15 @@
 //!   fig3            application-level histograms (Figure 3a–c)
 //!   fig4|fig6|fig8  percentile series + IQR stats (Figures 4/6/8)
 //!   fig5|fig7|fig9  exemplar process-iteration histograms (Figures 5/7/9)
-//!   metrics         reclaimable time / idle ratio / medians (§4.2)
+//!   metrics         reclaimable time / idle ratio / medians (§4.2);
+//!                   with an explicit --addr it instead scrapes the
+//!                   running campaign server's observability snapshot
+//!                   (counters, gauges, latency histograms with
+//!                   p50/p95/p99 — the `metrics` protocol verb)
+//!   profile         run the trace-generation + normality pipeline on an
+//!                   observed pool and print a stage × worker busy-time
+//!                   table (which stage dominates, and how evenly its
+//!                   work spreads across the team)
 //!   earlybird       delivery-strategy comparison on each app's arrivals
 //!   battery         extended 5-test normality battery (sensitivity check)
 //!   fit             fitted generative models extracted from the traces
@@ -83,7 +91,7 @@ fn main() {
             eprintln!("error: {msg}");
             eprintln!();
             eprintln!("usage: repro [--scale paper|ci] [--seed N] [--source synthetic|real] [--threads N] [--csv-dir DIR] [--smoke] [--preset NAME] [--matrix FILE] [--out FILE] [--addr HOST:PORT] [--cache-dir DIR] [--hot-bytes N] [--queue-bound N] [--priority N] <experiment>");
-            eprintln!("experiments: table1 app-normality iter-normality fig3 fig4 fig5 fig6 fig7 fig8 fig9 metrics earlybird battery fit scenarios workloads serve submit fetch status shutdown all");
+            eprintln!("experiments: table1 app-normality iter-normality fig3 fig4 fig5 fig6 fig7 fig8 fig9 metrics profile earlybird battery fit scenarios workloads serve submit fetch status shutdown all");
             std::process::exit(2);
         }
     }
@@ -104,6 +112,9 @@ struct Options {
     out: Option<std::path::PathBuf>,
     /// Service verbs: the campaign server's address.
     addr: String,
+    /// Whether `--addr` was passed explicitly — `metrics` scrapes the
+    /// server then, and runs the offline §4.2 experiment otherwise.
+    addr_explicit: bool,
     /// `serve`: persist the result cache's cold tier in this directory.
     cache_dir: Option<std::path::PathBuf>,
     /// `serve`: hot-tier byte budget (`None` = unbounded).
@@ -127,6 +138,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut matrix = None;
     let mut out = None;
     let mut addr = DEFAULT_ADDR.to_string();
+    let mut addr_explicit = false;
     let mut cache_dir = None;
     let mut hot_bytes = None;
     let mut queue_bound = ebird_serve::DEFAULT_QUEUE_BOUND;
@@ -181,6 +193,7 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             "--addr" => {
                 addr = it.next().ok_or("--addr needs a value")?.clone();
+                addr_explicit = true;
             }
             "--cache-dir" => {
                 let v = it.next().ok_or("--cache-dir needs a value")?;
@@ -220,6 +233,7 @@ fn run(args: &[String]) -> Result<(), String> {
         matrix,
         out,
         addr,
+        addr_explicit,
         cache_dir,
         hot_bytes,
         queue_bound,
@@ -238,6 +252,11 @@ fn run(args: &[String]) -> Result<(), String> {
         "fetch" => return cmd_submit(&opts, true),
         "status" => return cmd_status(&opts),
         "shutdown" => return cmd_shutdown(&opts),
+        "profile" => return cmd_profile(&opts),
+        // Plain `repro metrics` stays the offline §4.2 experiment (also run
+        // by `repro all`); an explicit --addr retargets the verb at a live
+        // server's observability snapshot.
+        "metrics" if opts.addr_explicit => return cmd_server_metrics(&opts),
         _ => {}
     }
 
@@ -814,38 +833,144 @@ fn cmd_submit(opts: &Options, fetch_only: bool) -> Result<(), String> {
 
 fn cmd_status(opts: &Options) -> Result<(), String> {
     let s = ebird_serve::client::status(&opts.addr)?;
-    let bound = |n: usize| {
-        if n == 0 {
-            "unbounded".to_string()
-        } else {
-            n.to_string()
-        }
-    };
+    // The rendering lives next to the wire struct (with a field-coverage
+    // test), so a counter added to the protocol cannot go missing here.
+    print!("{}", ebird_serve::render_status(&opts.addr, &s));
+    Ok(())
+}
+
+/// Nanoseconds as a human-scaled milliseconds figure.
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+fn cmd_server_metrics(opts: &Options) -> Result<(), String> {
+    let m = ebird_serve::client::metrics(&opts.addr)?;
     println!(
-        "server {}: {} queued (bound {}), {} in flight ({} cell(s) single-flight), {} submit(s), {} worker thread(s)",
+        "server {} metrics (uptime {:.1} s):",
         opts.addr,
-        s.queued,
-        bound(s.queue_bound),
-        s.inflight,
-        s.inflight_cells,
-        s.submits,
-        s.threads
+        m.uptime_ns as f64 / 1e9
     );
-    println!(
-        "  cache: {} hot entr{} / {} B (budget {}), {} hit(s) / {} miss(es), {} eviction(s), {} ghost hit(s), {} cold hit(s)",
-        s.hot_entries,
-        if s.hot_entries == 1 { "y" } else { "ies" },
-        s.hot_bytes,
-        bound(s.hot_budget_bytes as usize),
-        s.hits,
-        s.misses,
-        s.evictions,
-        s.ghost_hits,
-        s.cold_hits
+    if !m.counters.is_empty() {
+        println!("  counters:");
+        for c in &m.counters {
+            println!("    {:<40} {}", c.name, c.value);
+        }
+    }
+    if !m.gauges.is_empty() {
+        println!("  gauges:");
+        for g in &m.gauges {
+            println!("    {:<40} {}", g.name, g.value);
+        }
+    }
+    if !m.histograms.is_empty() {
+        println!(
+            "  histograms:{:>36}{:>12}{:>12}{:>12}{:>12}",
+            "count", "total ms", "p50 ms", "p95 ms", "p99 ms"
+        );
+        for h in &m.histograms {
+            println!(
+                "    {:<40} {:>6}{:>12.3}{:>12.3}{:>12.3}{:>12.3}",
+                h.name,
+                h.count,
+                ms(h.total_ns),
+                ms(h.p50_ns),
+                ms(h.p95_ns),
+                ms(h.p99_ns)
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_profile(opts: &Options) -> Result<(), String> {
+    use ebird_runtime::PoolObserver;
+    let registry = std::sync::Arc::new(ebird_obs::Registry::wall());
+    let observer = PoolObserver::new(&registry);
+    let pool = Pool::new(opts.pool.threads()).with_observer(observer.clone());
+    let cfg = opts.scale.config();
+    let threads = pool.threads();
+    eprintln!(
+        "# profiling the synthetic pipeline: scale {:?}, seed {}, {} worker thread(s)",
+        opts.scale, opts.seed, threads
     );
+
+    // Each stage gets a wall-clock span and relabels the pool observer, so
+    // `pool.{stage}.w{i}.busy_ns` splits busy time per stage per worker.
+    let stage = |name: &str| {
+        observer.set_stage(name);
+        registry.span(name)
+    };
+    const STAGES: [&str; 4] = ["generate", "table1", "app-normality", "normality-sweep"];
+
+    let traces: Vec<TimingTrace> = {
+        let _span = stage(STAGES[0]);
+        ebird_cluster::SyntheticApp::all()
+            .iter()
+            .map(|a| a.generate_parallel(&cfg, opts.seed, &pool))
+            .collect()
+    };
+    {
+        let _span = stage(STAGES[1]);
+        let _ = table1_parallel(traces.iter(), calibration::ALPHA, &pool);
+    }
+    {
+        let _span = stage(STAGES[2]);
+        for tr in &traces {
+            let _ = sweep_parallel(tr, AggregationLevel::Application, calibration::ALPHA, &pool);
+        }
+    }
+    {
+        let _span = stage(STAGES[3]);
+        for tr in &traces {
+            let _ = sweep_parallel(
+                tr,
+                AggregationLevel::ApplicationIteration,
+                calibration::ALPHA,
+                &pool,
+            );
+        }
+    }
+
+    let snap = registry.snapshot();
+    println!("Pipeline profile ({} worker thread(s)):", threads);
     println!(
-        "  cells: {} computed, {} coalesced; {} submit(s) refused overloaded",
-        s.computed, s.coalesced, s.overloaded
+        "{:<18}{:>12}{:>12}{:>7}  per-worker busy ms",
+        "stage", "wall ms", "busy ms", "util"
+    );
+    let mut dominant = ("", 0u64);
+    for st in STAGES {
+        let wall_ns = snap.histogram(&format!("span.{st}.ns")).total();
+        let busy_ns = snap.counter(&PoolObserver::stage_counter(st));
+        if busy_ns > dominant.1 {
+            dominant = (st, busy_ns);
+        }
+        let per_worker: Vec<String> = (0..threads)
+            .map(|w| {
+                format!(
+                    "{:.1}",
+                    ms(snap.counter(&PoolObserver::worker_counter(st, w)))
+                )
+            })
+            .collect();
+        let util = if wall_ns == 0 {
+            0.0
+        } else {
+            100.0 * busy_ns as f64 / (wall_ns as f64 * threads as f64)
+        };
+        println!(
+            "{:<18}{:>12.1}{:>12.1}{:>6.0}%  {}",
+            st,
+            ms(wall_ns),
+            ms(busy_ns),
+            util,
+            per_worker.join(" ")
+        );
+    }
+    println!(
+        "dominant stage: {} ({:.1} ms of team busy time)",
+        dominant.0,
+        ms(dominant.1)
     );
     Ok(())
 }

@@ -22,7 +22,7 @@ use ebird_cluster::{JobConfig, SyntheticApp, Workload};
 use ebird_core::view::AggregationLevel;
 use ebird_core::TimingTrace;
 use ebird_partcomm::{LinkModel, SerialLink};
-use ebird_runtime::Pool;
+use ebird_runtime::{Pool, PoolObserver};
 use ebird_stats::Moments;
 use serde::{Deserialize, Serialize};
 
@@ -42,6 +42,16 @@ pub struct StageTiming {
     pub parallel_ms: f64,
     /// `serial_ms / parallel_ms`.
     pub speedup: f64,
+    /// Total wall time the stage's obs span recorded across *all* parallel
+    /// repeats (ms) — the span view of the same work `parallel_ms` takes
+    /// the best-of over. Defaulted so pre-observability reports still parse.
+    #[serde(default)]
+    pub span_total_ms: f64,
+    /// Team busy time from the pool observer across all parallel repeats
+    /// (ms); `span_total_ms × threads − pool_busy_ms` is the stage's idle
+    /// (skew + serial-section) time.
+    #[serde(default)]
+    pub pool_busy_ms: f64,
 }
 
 /// The full pipeline report written to `BENCH_PIPELINE.json`.
@@ -169,11 +179,23 @@ pub fn run_pipeline_workloads(
     let link = LinkModel::omni_path();
     let mut stages = Vec::new();
 
+    // Every parallel pass runs on an observed clone of the caller's pool:
+    // spans record per-stage wall time, the observer splits busy time per
+    // stage per worker, and both land in the report's span/busy columns.
+    let registry = std::sync::Arc::new(ebird_obs::Registry::wall());
+    let observer = PoolObserver::new(&registry);
+    let pool = &Pool::new(pool.threads()).with_observer(observer.clone());
+    let span = |name: &str| {
+        observer.set_stage(name);
+        registry.span(name)
+    };
+
     // Stage 1: campaign trace generation (workload-generic).
     let (gen_serial_ms, traces) = time_best(repeats, || {
         generate_campaign(workloads, cfg, seed).expect("workloads must generate")
     });
     let (gen_parallel_ms, traces_par) = time_best(repeats, || {
+        let _span = span("generate");
         generate_campaign_parallel(workloads, cfg, seed, pool).expect("workloads must generate")
     });
     assert_eq!(
@@ -185,8 +207,10 @@ pub fn run_pipeline_workloads(
 
     // Stage 2: the three-level normality sweeps.
     let (sweep_serial_ms, sweeps) = time_best(repeats, || sweep_all(&traces, alpha));
-    let (sweep_parallel_ms, sweeps_par) =
-        time_best(repeats, || sweep_all_parallel(&traces, alpha, pool));
+    let (sweep_parallel_ms, sweeps_par) = time_best(repeats, || {
+        let _span = span("normality-sweep");
+        sweep_all_parallel(&traces, alpha, pool)
+    });
     assert_eq!(sweeps, sweeps_par, "parallel sweep diverged from serial");
     stages.push(stage("normality-sweep", sweep_serial_ms, sweep_parallel_ms));
 
@@ -199,6 +223,7 @@ pub fn run_pipeline_workloads(
             .collect::<Vec<_>>()
     });
     let (census_parallel_ms, censuses_par) = time_best(repeats, || {
+        let _span = span("laggard-census");
         traces
             .iter()
             .map(|tr| laggard_census_parallel(tr, threshold, pool))
@@ -218,6 +243,7 @@ pub fn run_pipeline_workloads(
         traces.iter().map(reclaim_metrics).collect::<Vec<_>>()
     });
     let (reclaim_parallel_ms, metrics_par) = time_best(repeats, || {
+        let _span = span("reclaim-metrics");
         traces
             .iter()
             .map(|tr| reclaim_metrics_parallel(tr, pool))
@@ -244,6 +270,7 @@ pub fn run_pipeline_workloads(
             .collect::<Vec<_>>()
     });
     let (sim_parallel_ms, sims_par) = time_best(repeats, || {
+        let _span = span("earlybird-sim");
         traces
             .iter()
             .map(|tr| delivery_sweep_parallel(tr, SIM_BYTES, || SerialLink::new(link), pool))
@@ -261,6 +288,7 @@ pub fn run_pipeline_workloads(
             .collect::<Vec<_>>()
     });
     let (mom_parallel_ms, parallel_moments) = time_best(repeats, || {
+        let _span = span("campaign-moments");
         traces
             .iter()
             .map(|tr| campaign_moments(tr, pool))
@@ -281,6 +309,14 @@ pub fn run_pipeline_workloads(
         "cross-app moments lost samples"
     );
     stages.push(stage("campaign-moments", mom_serial_ms, mom_parallel_ms));
+
+    // Fold the observability view into the stage rows: per-stage span wall
+    // totals and pool busy time, accumulated over all parallel repeats.
+    let snap = registry.snapshot();
+    for s in &mut stages {
+        s.span_total_ms = snap.histogram(&format!("span.{}.ns", s.stage)).total() as f64 / 1e6;
+        s.pool_busy_ms = snap.counter(&PoolObserver::stage_counter(&s.stage)) as f64 / 1e6;
+    }
 
     let generate_sweep_serial_ms = gen_serial_ms + sweep_serial_ms;
     let generate_sweep_parallel_ms = gen_parallel_ms + sweep_parallel_ms;
@@ -312,6 +348,9 @@ fn stage(name: &str, serial_ms: f64, parallel_ms: f64) -> StageTiming {
         serial_ms,
         parallel_ms,
         speedup: serial_ms / parallel_ms,
+        // Filled from the registry snapshot once every stage has run.
+        span_total_ms: 0.0,
+        pool_busy_ms: 0.0,
     }
 }
 
@@ -326,14 +365,14 @@ pub fn render_report(r: &PipelineReport) -> String {
     );
     let _ = writeln!(
         out,
-        "{:<18} {:>12} {:>12} {:>9}",
-        "stage", "serial ms", "parallel ms", "speedup"
+        "{:<18} {:>12} {:>12} {:>9} {:>12} {:>12}",
+        "stage", "serial ms", "parallel ms", "speedup", "span ms", "busy ms"
     );
     for s in &r.stages {
         let _ = writeln!(
             out,
-            "{:<18} {:>12.2} {:>12.2} {:>8.2}x",
-            s.stage, s.serial_ms, s.parallel_ms, s.speedup
+            "{:<18} {:>12.2} {:>12.2} {:>8.2}x {:>12.2} {:>12.2}",
+            s.stage, s.serial_ms, s.parallel_ms, s.speedup, s.span_total_ms, s.pool_busy_ms
         );
     }
     let _ = writeln!(
@@ -370,6 +409,25 @@ mod tests {
             .stages
             .iter()
             .all(|s| s.speedup.is_finite() && s.speedup > 0.0));
+        // The observability columns: every stage ran under a span on an
+        // observed pool, so both views are populated and consistent.
+        for s in &r.stages {
+            assert!(
+                s.span_total_ms > 0.0,
+                "stage {} recorded no span time",
+                s.stage
+            );
+            assert!(
+                s.pool_busy_ms > 0.0,
+                "stage {} recorded no pool busy time",
+                s.stage
+            );
+            assert!(
+                s.pool_busy_ms <= s.span_total_ms * r.pool_threads as f64,
+                "stage {}: team busy time exceeds span wall × team size",
+                s.stage
+            );
+        }
     }
 
     #[test]

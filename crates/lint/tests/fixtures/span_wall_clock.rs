@@ -1,0 +1,21 @@
+//! Fixture: a hand-rolled span guard reading the wall clock directly
+//! instead of taking its nanoseconds from an injected
+//! `ebird_obs::TimeSource`. The obs wall-clock waiver is pinned to
+//! `crates/obs/src/clock.rs`, so span-style timing anywhere else must
+//! still fire `no-wall-clock` exactly once.
+
+pub struct Span {
+    start: std::time::Instant,
+}
+
+impl Span {
+    pub fn open() -> Span {
+        Span {
+            start: std::time::Instant::now(),
+        }
+    }
+
+    pub fn elapsed_ns(&self) -> u128 {
+        self.start.elapsed().as_nanos()
+    }
+}

@@ -14,6 +14,7 @@ const RAW_SPAWN: &str = include_str!("fixtures/raw_spawn.rs");
 const PANIC_UNWRAP: &str = include_str!("fixtures/panic_unwrap.rs");
 const PANIC_EXPECT: &str = include_str!("fixtures/panic_expect.rs");
 const SERDE_MISSING_DEFAULT: &str = include_str!("fixtures/serde_missing_default.rs");
+const SPAN_WALL_CLOCK: &str = include_str!("fixtures/span_wall_clock.rs");
 const EXEMPT_TEST_MOD: &str = include_str!("fixtures/exempt_test_mod.rs");
 const EXEMPT_PROSE: &str = include_str!("fixtures/exempt_prose.rs");
 const CLEAN: &str = include_str!("fixtures/clean.rs");
@@ -31,6 +32,14 @@ fn bad_fixtures() -> Vec<(&'static str, &'static str, &'static str, &'static str
             "stats",
             "crates/stats/src/fixture.rs",
             WALL_CLOCK,
+            "no-wall-clock",
+        ),
+        // The obs crate's clock.rs waiver must not shelter span-style
+        // timing that reads the wall clock from any other crate.
+        (
+            "stats",
+            "crates/stats/src/span_fixture.rs",
+            SPAN_WALL_CLOCK,
             "no-wall-clock",
         ),
         (

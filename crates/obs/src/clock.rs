@@ -1,0 +1,102 @@
+//! The clock seam: wall time for ops, manual time for deterministic tests.
+//!
+//! This file is the **only** place in `ebird-obs` that reads the wall clock,
+//! and it is waived as such in `lint.toml` (`no-wall-clock`). Everything
+//! else in the crate takes time as data through [`TimeSource`], so tests
+//! drive a [`ManualClock`] by metered work units and stay bit-deterministic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic nanosecond source.
+///
+/// Mirrors `ebird_core::clock::Clock` but lives here so the crate stays
+/// dependency-free; both express the same seam (time as injected data).
+pub trait TimeSource: Send + Sync {
+    /// Nanoseconds since an arbitrary fixed origin. Must be monotonic.
+    fn now_ns(&self) -> u64;
+}
+
+/// Wall time, anchored at construction. The ops-side implementation.
+#[derive(Debug)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// A wall clock whose origin is "now".
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimeSource for WallClock {
+    fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+/// A hand-advanced clock for work-metered deterministic tests.
+///
+/// Tests advance it by whatever "work unit" they meter (operations, bytes,
+/// iterations), so recorded durations — and therefore every histogram
+/// bucket and span event — are bit-identical across runs and hosts.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    ns: AtomicU64,
+}
+
+impl ManualClock {
+    /// A manual clock starting at 0 ns.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advance the clock by `delta_ns` nanoseconds of metered work.
+    pub fn advance(&self, delta_ns: u64) {
+        self.ns.fetch_add(delta_ns, Ordering::Relaxed);
+    }
+
+    /// Set the clock to an absolute nanosecond reading.
+    pub fn set(&self, ns: u64) {
+        self.ns.store(ns, Ordering::Relaxed);
+    }
+}
+
+impl TimeSource for ManualClock {
+    fn now_ns(&self) -> u64 {
+        self.ns.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_advances_and_sets() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_ns(), 0);
+        c.advance(250);
+        c.advance(250);
+        assert_eq!(c.now_ns(), 500);
+        c.set(42);
+        assert_eq!(c.now_ns(), 42);
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let c = WallClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,59 @@
+//! Span-stack panic safety: a panicking job must not corrupt the
+//! per-thread span stack. Guards are RAII, so unwinding pops every level
+//! and later spans see a clean stack at depth 0.
+
+use ebird_obs::{ManualClock, Registry, TimeSource};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+#[test]
+fn panicking_job_leaves_the_span_stack_clean() {
+    let clock = Arc::new(ManualClock::new());
+    let reg = Registry::with_time(Arc::clone(&clock) as Arc<dyn TimeSource>);
+
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let _outer = reg.span("job");
+        clock.advance(10);
+        let _inner = reg.span("job.phase");
+        clock.advance(5);
+        panic!("job blew up mid-span");
+    }));
+    assert!(result.is_err(), "the job must actually panic");
+
+    // Unwinding popped both levels.
+    assert_eq!(reg.span_depth(), 0, "stack must be clean after the panic");
+
+    // Both spans closed (with the durations accrued up to the panic) …
+    let events = reg.events();
+    assert_eq!(events.len(), 2);
+    assert_eq!(events[0].name, "job.phase");
+    assert_eq!(events[0].depth, 1);
+    assert_eq!(events[1].name, "job");
+    assert_eq!(events[1].depth, 0);
+
+    // … and a subsequent span opens at depth 0 and records normally.
+    {
+        let _next = reg.span("job");
+        assert_eq!(reg.span_depth(), 1);
+        clock.advance(7);
+    }
+    let snap = reg.snapshot();
+    assert_eq!(snap.histogram("span.job.ns").count(), 2);
+    assert_eq!(reg.span_depth(), 0);
+}
+
+#[test]
+fn panic_inside_worker_thread_does_not_poison_the_registry() {
+    let reg = Arc::new(Registry::wall());
+    let reg2 = Arc::clone(&reg);
+    let handle = std::thread::spawn(move || {
+        let _span = reg2.span("worker");
+        panic!("worker died");
+    });
+    assert!(handle.join().is_err());
+    // The registry still snapshots and records after the dead thread.
+    reg.counter("after").incr();
+    let snap = reg.snapshot();
+    assert_eq!(snap.counter("after"), 1);
+    assert_eq!(snap.histogram("span.worker.ns").count(), 1);
+}

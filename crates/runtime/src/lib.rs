@@ -32,6 +32,6 @@ pub mod queue;
 pub mod schedule;
 
 pub use barrier::SenseBarrier;
-pub use pool::{Ctx, Pool};
-pub use queue::{JobQueue, PushError};
+pub use pool::{Ctx, Pool, PoolObserver};
+pub use queue::{JobQueue, PushError, QueueMetrics};
 pub use schedule::{static_block, Schedule};

@@ -9,12 +9,78 @@
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use ebird_core::{Clock, TimedRegion};
 use parking_lot::Mutex;
 
 use crate::barrier::SenseBarrier;
 use crate::schedule::{guided_chunk, static_block};
+
+/// Per-worker busy-time instrumentation for a [`Pool`].
+///
+/// When attached ([`Pool::with_observer`]), every team-member body — across
+/// *all* fork paths: [`Pool::region`], [`Pool::parallel_chunks_mut`] and
+/// [`Pool::parallel_parts_mut`] — is bracketed with registry time stamps,
+/// accumulating into counters named
+/// `pool.{stage}.w{thread}.busy_ns` (per worker) and
+/// `pool.{stage}.busy_ns` (team total). The *stage* label is set by the
+/// caller ([`PoolObserver::set_stage`]) between phases, so one observed
+/// pool yields the per-stage × per-worker table `repro profile` prints.
+///
+/// Busy time is wall residency of the member body: for compute regions that
+/// is work; for blocking bodies (e.g. [`Pool::service`] workers parked on
+/// an empty queue) it includes the wait, so services measure per-job run
+/// time at the job site instead of attaching an observer.
+#[derive(Clone)]
+pub struct PoolObserver {
+    registry: Arc<ebird_obs::Registry>,
+    stage: Arc<Mutex<String>>,
+}
+
+impl std::fmt::Debug for PoolObserver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolObserver")
+            .field("stage", &*self.stage.lock())
+            .finish_non_exhaustive()
+    }
+}
+
+impl PoolObserver {
+    /// An observer writing into `registry`, with the stage label initially
+    /// `"unlabeled"`.
+    pub fn new(registry: &Arc<ebird_obs::Registry>) -> Self {
+        Self {
+            registry: Arc::clone(registry),
+            stage: Arc::new(Mutex::new("unlabeled".to_string())),
+        }
+    }
+
+    /// Relabels subsequent member executions (call between phases).
+    pub fn set_stage(&self, stage: &str) {
+        *self.stage.lock() = stage.to_string();
+    }
+
+    /// Counter name carrying worker `thread`'s busy time for `stage`.
+    pub fn worker_counter(stage: &str, thread: usize) -> String {
+        format!("pool.{stage}.w{thread}.busy_ns")
+    }
+
+    /// Counter name carrying the team-total busy time for `stage`.
+    pub fn stage_counter(stage: &str) -> String {
+        format!("pool.{stage}.busy_ns")
+    }
+
+    fn record(&self, thread: usize, busy_ns: u64) {
+        let stage = self.stage.lock().clone();
+        self.registry
+            .counter(&Self::worker_counter(&stage, thread))
+            .add(busy_ns);
+        self.registry
+            .counter(&Self::stage_counter(&stage))
+            .add(busy_ns);
+    }
+}
 
 /// Per-member execution context inside a parallel region
 /// (the analogue of `omp_get_thread_num()` / `omp_get_num_threads()` plus a
@@ -52,18 +118,44 @@ impl<'a> Ctx<'a> {
 #[derive(Debug, Clone)]
 pub struct Pool {
     n: usize,
+    observer: Option<PoolObserver>,
 }
 
 impl Pool {
     /// Creates a pool that forks teams of `n` threads (`n ≥ 1`).
     pub fn new(n: usize) -> Self {
         assert!(n >= 1, "pool needs at least one thread");
-        Pool { n }
+        Pool { n, observer: None }
+    }
+
+    /// Attaches a [`PoolObserver`]: every member body in every fork path is
+    /// timed into per-stage/per-worker busy counters.
+    pub fn with_observer(mut self, observer: PoolObserver) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// The attached observer, if any.
+    pub fn observer(&self) -> Option<&PoolObserver> {
+        self.observer.as_ref()
     }
 
     /// Team size.
     pub fn threads(&self) -> usize {
         self.n
+    }
+
+    /// Runs one member body, timing it when an observer is attached.
+    fn run_member<R>(&self, thread: usize, f: impl FnOnce() -> R) -> R {
+        match &self.observer {
+            None => f(),
+            Some(o) => {
+                let start = o.registry.now_ns();
+                let r = f();
+                o.record(thread, o.registry.now_ns().saturating_sub(start));
+                r
+            }
+        }
     }
 
     /// Runs `f` on every team member concurrently and joins
@@ -75,10 +167,12 @@ impl Pool {
         let barrier = SenseBarrier::new(self.n);
         let n = self.n;
         if n == 1 {
-            f(&Ctx {
-                thread: 0,
-                nthreads: 1,
-                barrier: &barrier,
+            self.run_member(0, || {
+                f(&Ctx {
+                    thread: 0,
+                    nthreads: 1,
+                    barrier: &barrier,
+                })
             });
             return;
         }
@@ -86,18 +180,23 @@ impl Pool {
             for t in 1..n {
                 let barrier = &barrier;
                 let f = &f;
+                let this = &*self;
                 s.spawn(move || {
-                    f(&Ctx {
-                        thread: t,
-                        nthreads: n,
-                        barrier,
+                    this.run_member(t, || {
+                        f(&Ctx {
+                            thread: t,
+                            nthreads: n,
+                            barrier,
+                        })
                     })
                 });
             }
-            f(&Ctx {
-                thread: 0,
-                nthreads: n,
-                barrier: &barrier,
+            self.run_member(0, || {
+                f(&Ctx {
+                    thread: 0,
+                    nthreads: n,
+                    barrier: &barrier,
+                })
             });
         });
     }
@@ -186,15 +285,17 @@ impl Pool {
         let barrier = SenseBarrier::new(n);
         if n == 1 {
             let (block, range) = parts.pop().expect("one part");
-            body(
-                block,
-                range,
-                &Ctx {
-                    thread: 0,
-                    nthreads: 1,
-                    barrier: &barrier,
-                },
-            );
+            self.run_member(0, || {
+                body(
+                    block,
+                    range,
+                    &Ctx {
+                        thread: 0,
+                        nthreads: 1,
+                        barrier: &barrier,
+                    },
+                )
+            });
             return;
         }
         std::thread::scope(|s| {
@@ -203,28 +304,33 @@ impl Pool {
             for (t, (block, range)) in iter {
                 let barrier = &barrier;
                 let body = &body;
+                let this = &*self;
                 s.spawn(move || {
-                    body(
-                        block,
-                        range,
-                        &Ctx {
-                            thread: t,
-                            nthreads: n,
-                            barrier,
-                        },
-                    )
+                    this.run_member(t, || {
+                        body(
+                            block,
+                            range,
+                            &Ctx {
+                                thread: t,
+                                nthreads: n,
+                                barrier,
+                            },
+                        )
+                    })
                 });
             }
             let (block, range) = first;
-            body(
-                block,
-                range,
-                &Ctx {
-                    thread: 0,
-                    nthreads: n,
-                    barrier: &barrier,
-                },
-            );
+            self.run_member(0, || {
+                body(
+                    block,
+                    range,
+                    &Ctx {
+                        thread: 0,
+                        nthreads: n,
+                        barrier: &barrier,
+                    },
+                )
+            });
         });
     }
 
@@ -259,15 +365,17 @@ impl Pool {
         let barrier = SenseBarrier::new(n);
         if n == 1 {
             let (block, range) = parts.pop().expect("one part");
-            body(
-                block,
-                range,
-                &Ctx {
-                    thread: 0,
-                    nthreads: 1,
-                    barrier: &barrier,
-                },
-            );
+            self.run_member(0, || {
+                body(
+                    block,
+                    range,
+                    &Ctx {
+                        thread: 0,
+                        nthreads: 1,
+                        barrier: &barrier,
+                    },
+                )
+            });
             return;
         }
         std::thread::scope(|s| {
@@ -276,28 +384,33 @@ impl Pool {
             for (t, (block, range)) in iter {
                 let barrier = &barrier;
                 let body = &body;
+                let this = &*self;
                 s.spawn(move || {
-                    body(
-                        block,
-                        range,
-                        &Ctx {
-                            thread: t,
-                            nthreads: n,
-                            barrier,
-                        },
-                    )
+                    this.run_member(t, || {
+                        body(
+                            block,
+                            range,
+                            &Ctx {
+                                thread: t,
+                                nthreads: n,
+                                barrier,
+                            },
+                        )
+                    })
                 });
             }
             let (block, range) = first;
-            body(
-                block,
-                range,
-                &Ctx {
-                    thread: 0,
-                    nthreads: n,
-                    barrier: &barrier,
-                },
-            );
+            self.run_member(0, || {
+                body(
+                    block,
+                    range,
+                    &Ctx {
+                        thread: 0,
+                        nthreads: n,
+                        barrier: &barrier,
+                    },
+                )
+            });
         });
     }
 
@@ -767,6 +880,47 @@ mod tests {
         let a = run();
         let b = run();
         assert_eq!(a.to_bits(), b.to_bits(), "same decomposition, same bits");
+    }
+
+    #[test]
+    fn observer_times_every_worker_on_every_fork_path() {
+        let registry = Arc::new(ebird_obs::Registry::wall());
+        let observer = PoolObserver::new(&registry);
+        let pool = Pool::new(3).with_observer(observer.clone());
+
+        observer.set_stage("alpha");
+        pool.region(|_| {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        });
+        observer.set_stage("beta");
+        let mut data = vec![0u8; 9];
+        pool.parallel_chunks_mut(&mut data, |block, _, _| {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            block.fill(1);
+        });
+        observer.set_stage("gamma");
+        let mut more = vec![0u8; 6];
+        pool.parallel_parts_mut(&mut more, &[3, 2, 1], |block, _, _| {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            block.fill(2);
+        });
+
+        let snap = registry.snapshot();
+        for stage in ["alpha", "beta", "gamma"] {
+            let mut workers_total = 0u64;
+            for t in 0..3 {
+                let busy = snap.counter(&PoolObserver::worker_counter(stage, t));
+                assert!(busy >= 100_000, "stage {stage} worker {t}: {busy} ns");
+                workers_total += busy;
+            }
+            assert_eq!(
+                snap.counter(&PoolObserver::stage_counter(stage)),
+                workers_total,
+                "stage total must equal the sum over workers"
+            );
+        }
+        assert_eq!(data, vec![1; 9], "observation must not change results");
+        assert_eq!(more, vec![2; 6]);
     }
 
     #[test]

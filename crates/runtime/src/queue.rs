@@ -9,16 +9,52 @@
 //! layer stays free of protocol or scenario types.
 
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
 
 use crate::pool::{Ctx, Pool};
+
+/// Metric handles an observed [`JobQueue`] publishes into: depth gauge,
+/// queue-wait histogram (enqueue → pop, the paper's "time spent waiting for
+/// a thread"), and push/refusal counters. Built once from a registry via
+/// [`QueueMetrics::new`]; the queue then records lock-free on every
+/// push/pop. An unobserved queue (the default constructors) records
+/// nothing and pays only an `Option` check.
+#[derive(Debug, Clone)]
+pub struct QueueMetrics {
+    registry: Arc<ebird_obs::Registry>,
+    depth: Arc<ebird_obs::Gauge>,
+    wait_ns: Arc<ebird_obs::Histogram>,
+    pushed: Arc<ebird_obs::Counter>,
+    refused_full: Arc<ebird_obs::Counter>,
+    refused_closed: Arc<ebird_obs::Counter>,
+}
+
+impl QueueMetrics {
+    /// Handles under `prefix`: gauge `{prefix}.depth`, histogram
+    /// `{prefix}.wait_ns`, counters `{prefix}.pushed`,
+    /// `{prefix}.refused_full`, `{prefix}.refused_closed`.
+    pub fn new(registry: &Arc<ebird_obs::Registry>, prefix: &str) -> Self {
+        Self {
+            registry: Arc::clone(registry),
+            depth: registry.gauge(&format!("{prefix}.depth")),
+            wait_ns: registry.histogram(&format!("{prefix}.wait_ns")),
+            pushed: registry.counter(&format!("{prefix}.pushed")),
+            refused_full: registry.counter(&format!("{prefix}.refused_full")),
+            refused_closed: registry.counter(&format!("{prefix}.refused_closed")),
+        }
+    }
+}
 
 /// One heap entry: ordering uses `(priority, seq)` only, never the payload.
 struct Entry<T> {
     priority: i64,
     /// Push sequence number; lower = earlier, so ties break FIFO.
     seq: u64,
+    /// Enqueue stamp (registry time) for the queue-wait histogram; 0 when
+    /// the queue is unobserved.
+    enqueued_ns: u64,
     job: T,
 }
 
@@ -91,6 +127,7 @@ impl std::fmt::Display for PushError {
 pub struct JobQueue<T> {
     state: Mutex<State<T>>,
     available: Condvar,
+    metrics: Option<QueueMetrics>,
 }
 
 impl<T> Default for JobQueue<T> {
@@ -126,7 +163,15 @@ impl<T> JobQueue<T> {
                 capacity,
             }),
             available: Condvar::new(),
+            metrics: None,
         }
+    }
+
+    /// Attaches metric handles: subsequent pushes/pops record depth,
+    /// queue-wait and refusals into the handles' registry.
+    pub fn observed(mut self, metrics: QueueMetrics) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// Enqueues `job` at `priority` (higher = sooner; ties run FIFO).
@@ -137,19 +182,45 @@ impl<T> JobQueue<T> {
     /// [`PushError::Closed`] after [`close`](JobQueue::close),
     /// [`PushError::Full`] when a bounded queue is saturated.
     pub fn push(&self, priority: i64, job: T) -> Result<(), PushError> {
+        let enqueued_ns = self.metrics.as_ref().map_or(0, |m| m.registry.now_ns());
         let mut g = self.state.lock();
         if g.closed {
+            if let Some(m) = &self.metrics {
+                m.refused_closed.incr();
+            }
             return Err(PushError::Closed);
         }
         if g.heap.len() >= g.capacity {
+            if let Some(m) = &self.metrics {
+                m.refused_full.incr();
+            }
             return Err(PushError::Full);
         }
         let seq = g.next_seq;
         g.next_seq += 1;
-        g.heap.push(Entry { priority, seq, job });
+        g.heap.push(Entry {
+            priority,
+            seq,
+            enqueued_ns,
+            job,
+        });
+        if let Some(m) = &self.metrics {
+            m.pushed.incr();
+            m.depth.set(g.heap.len() as i64);
+        }
         drop(g);
         self.available.notify_one();
         Ok(())
+    }
+
+    /// Records a pop into the metric handles (depth after the pop, and the
+    /// job's enqueue → pop wait).
+    fn record_pop(&self, depth_after: usize, enqueued_ns: u64) {
+        if let Some(m) = &self.metrics {
+            m.depth.set(depth_after as i64);
+            m.wait_ns
+                .record(m.registry.now_ns().saturating_sub(enqueued_ns));
+        }
     }
 
     /// Blocks until a job is available and returns it; `None` once the queue
@@ -158,6 +229,9 @@ impl<T> JobQueue<T> {
         let mut g = self.state.lock();
         loop {
             if let Some(entry) = g.heap.pop() {
+                let depth = g.heap.len();
+                drop(g);
+                self.record_pop(depth, entry.enqueued_ns);
                 return Some(entry.job);
             }
             if g.closed {
@@ -170,7 +244,12 @@ impl<T> JobQueue<T> {
     /// Pops without blocking: `Some(job)` if one is queued, `None` otherwise
     /// (whether open-and-empty or closed).
     pub fn try_pop(&self) -> Option<T> {
-        self.state.lock().heap.pop().map(|e| e.job)
+        let mut g = self.state.lock();
+        let entry = g.heap.pop()?;
+        let depth = g.heap.len();
+        drop(g);
+        self.record_pop(depth, entry.enqueued_ns);
+        Some(entry.job)
     }
 
     /// Closes the queue: subsequent pushes are refused, queued jobs still
@@ -366,6 +445,33 @@ mod tests {
         });
         assert!(counts.iter().all(|c| c.load(Ordering::SeqCst) == 1));
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn observed_queue_records_depth_wait_and_refusals() {
+        // A manual clock makes queue-wait exact: push at t, pop at t+Δ.
+        let clock = Arc::new(ebird_obs::ManualClock::new());
+        let registry = Arc::new(ebird_obs::Registry::with_time(
+            Arc::clone(&clock) as Arc<dyn ebird_obs::TimeSource>
+        ));
+        let q = JobQueue::bounded(2).observed(QueueMetrics::new(&registry, "q"));
+        assert!(q.push(0, "a").is_ok());
+        clock.advance(100);
+        assert!(q.push(0, "b").is_ok());
+        assert_eq!(q.push(0, "c"), Err(PushError::Full));
+        clock.advance(50);
+        assert_eq!(q.pop(), Some("a")); // waited 150
+        assert_eq!(q.pop(), Some("b")); // waited 50
+        q.close();
+        assert_eq!(q.push(0, "d"), Err(PushError::Closed));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("q.pushed"), 2);
+        assert_eq!(snap.counter("q.refused_full"), 1);
+        assert_eq!(snap.counter("q.refused_closed"), 1);
+        assert_eq!(snap.gauges["q.depth"], 0);
+        let wait = snap.histogram("q.wait_ns");
+        assert_eq!(wait.count(), 2);
+        assert_eq!(wait.total(), 200);
     }
 
     #[test]

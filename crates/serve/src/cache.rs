@@ -211,6 +211,37 @@ pub struct CacheConfig {
     pub hot_budget_bytes: Option<usize>,
 }
 
+/// Lookup-latency instrumentation for a [`ResultCache`], attached with
+/// [`ResultCache::observe`]. Every lookup lands in exactly one histogram by
+/// outcome: hot-tier hit, cold-tier point read, or miss.
+#[derive(Debug, Clone)]
+pub struct CacheMetrics {
+    registry: Arc<ebird_obs::Registry>,
+    hit_ns: Arc<ebird_obs::Histogram>,
+    cold_read_ns: Arc<ebird_obs::Histogram>,
+    miss_ns: Arc<ebird_obs::Histogram>,
+}
+
+impl CacheMetrics {
+    /// Handles under `prefix`: histograms `{prefix}.hit_ns`,
+    /// `{prefix}.cold_read_ns`, `{prefix}.miss_ns`.
+    pub fn new(registry: &Arc<ebird_obs::Registry>, prefix: &str) -> Self {
+        CacheMetrics {
+            registry: Arc::clone(registry),
+            hit_ns: registry.histogram(&format!("{prefix}.hit_ns")),
+            cold_read_ns: registry.histogram(&format!("{prefix}.cold_read_ns")),
+            miss_ns: registry.histogram(&format!("{prefix}.miss_ns")),
+        }
+    }
+}
+
+/// How a lookup was answered, for latency classification.
+enum LookupClass {
+    HotHit,
+    ColdHit,
+    Miss,
+}
+
 /// The cold tier: buffered append writer plus a point-read index.
 struct ColdTier {
     writer: BufWriter<File>,
@@ -255,6 +286,8 @@ pub struct ResultCache {
     misses: AtomicU64,
     insertions: AtomicU64,
     cold_hits: AtomicU64,
+    /// Lookup-latency instrumentation; `None` records nothing.
+    metrics: Option<CacheMetrics>,
 }
 
 impl std::fmt::Debug for ResultCache {
@@ -360,7 +393,14 @@ impl ResultCache {
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             cold_hits: AtomicU64::new(0),
+            metrics: None,
         })
+    }
+
+    /// Attaches lookup-latency instrumentation (call before sharing the
+    /// cache across threads).
+    pub fn observe(&mut self, metrics: CacheMetrics) {
+        self.metrics = Some(metrics);
     }
 
     /// Looks `key` up, counting a hit or miss. A hot-tier miss falls through
@@ -368,15 +408,29 @@ impl ResultCache {
     /// collision (stored spec ≠ probed spec) counts as a miss in either
     /// tier.
     pub fn lookup(&self, key: &ContentKey) -> Option<Arc<CachedRow>> {
+        let start = self.metrics.as_ref().map(|m| m.registry.now_ns());
+        let (result, class) = self.lookup_classified(key);
+        if let (Some(m), Some(start)) = (&self.metrics, start) {
+            let elapsed = m.registry.now_ns().saturating_sub(start);
+            match class {
+                LookupClass::HotHit => m.hit_ns.record(elapsed),
+                LookupClass::ColdHit => m.cold_read_ns.record(elapsed),
+                LookupClass::Miss => m.miss_ns.record(elapsed),
+            }
+        }
+        result
+    }
+
+    fn lookup_classified(&self, key: &ContentKey) -> (Option<Arc<CachedRow>>, LookupClass) {
         if let Some(entry) = self.hot.lock().get(key.hash) {
             if entry.spec == key.content {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                return Some(entry);
+                return (Some(entry), LookupClass::HotHit);
             }
             // Collision: the resident entry belongs to a different spec; the
             // cold index (same hash) can only hold that same winner.
             self.misses.fetch_add(1, Ordering::Relaxed);
-            return None;
+            return (None, LookupClass::Miss);
         }
         if let Some(cold) = &self.cold {
             let read = {
@@ -398,7 +452,7 @@ impl ResultCache {
                         .insert(key.hash, Arc::clone(&entry), payload);
                     self.cold_hits.fetch_add(1, Ordering::Relaxed);
                     self.hits.fetch_add(1, Ordering::Relaxed);
-                    return Some(entry);
+                    return (Some(entry), LookupClass::ColdHit);
                 }
                 Some(Ok(_)) => {} // collision on disk: miss
                 Some(Err(e)) => eprintln!("ebird-serve: cold-tier read failed: {e}"),
@@ -406,7 +460,7 @@ impl ResultCache {
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        None
+        (None, LookupClass::Miss)
     }
 
     /// Inserts `row` under `key`, appending to the cold tier when present.

@@ -20,8 +20,8 @@ use serde::value::get_field;
 use serde::{Deserialize, Value};
 
 use crate::protocol::{
-    reply_line, MatrixSource, OverloadedReply, Request, ShutdownReply, StatusReply, SubmitFooter,
-    SubmitHeader,
+    reply_line, MatrixSource, MetricsReply, OverloadedReply, Request, ShutdownReply, StatusReply,
+    SubmitFooter, SubmitHeader,
 };
 
 /// A complete `submit`/`fetch` exchange.
@@ -345,6 +345,58 @@ pub fn status(addr: &str) -> Result<StatusReply, String> {
     checked(&conn.read_line()?)
 }
 
+/// Asks for the server's full metrics snapshot (counters, gauges, latency
+/// histograms with p50/p95/p99) — what `repro metrics --addr` renders.
+///
+/// # Errors
+/// Connection failures and server error replies.
+pub fn metrics(addr: &str) -> Result<MetricsReply, String> {
+    let mut conn = Connection::open(addr)?;
+    conn.send(&Request::Metrics)?;
+    checked(&conn.read_line()?)
+}
+
+/// Renders a [`StatusReply`] as the human-readable block `repro status`
+/// prints. Centralized here (with a field-coverage test) so a counter
+/// added to the wire struct cannot silently go missing from the rendering.
+pub fn render_status(addr: &str, s: &StatusReply) -> String {
+    let bound = |n: usize| {
+        if n == 0 {
+            "unbounded".to_string()
+        } else {
+            n.to_string()
+        }
+    };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "server {}: {} queued (bound {}), {} in flight ({} cell(s) single-flight), {} submit(s), {} worker thread(s)\n",
+        addr,
+        s.queued,
+        bound(s.queue_bound),
+        s.inflight,
+        s.inflight_cells,
+        s.submits,
+        s.threads
+    ));
+    out.push_str(&format!(
+        "  cache: {} hot entr{} / {} B (budget {}), {} hit(s) / {} miss(es), {} eviction(s), {} ghost hit(s), {} cold hit(s)\n",
+        s.hot_entries,
+        if s.hot_entries == 1 { "y" } else { "ies" },
+        s.hot_bytes,
+        bound(s.hot_budget_bytes as usize),
+        s.hits,
+        s.misses,
+        s.evictions,
+        s.ghost_hits,
+        s.cold_hits
+    ));
+    out.push_str(&format!(
+        "  cells: {} computed, {} coalesced; {} submit(s) refused overloaded\n",
+        s.computed, s.coalesced, s.overloaded
+    ));
+    out
+}
+
 /// Requests a graceful shutdown and waits for the acknowledgement.
 ///
 /// # Errors
@@ -367,4 +419,71 @@ pub fn raw_exchange(addr: &str, line: &str) -> Result<String, String> {
         .and_then(|()| conn.writer.write_all(b"\n"))
         .map_err(|e| format!("sending raw line: {e}"))?;
     conn.read_line()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every counter the server reports must appear in the rendered status
+    /// block. Sentinel values are pairwise substring-free, so a match can
+    /// only come from the right field being printed.
+    #[test]
+    fn render_status_covers_every_counter() {
+        let s = StatusReply {
+            ok: true,
+            queued: 101,
+            queue_bound: 102,
+            inflight: 103,
+            inflight_cells: 104,
+            hot_entries: 105,
+            hot_bytes: 106,
+            hot_budget_bytes: 107,
+            hits: 108,
+            misses: 109,
+            evictions: 110,
+            ghost_hits: 111,
+            cold_hits: 112,
+            computed: 113,
+            coalesced: 114,
+            overloaded: 115,
+            submits: 116,
+            threads: 117,
+        };
+        let rendered = render_status("127.0.0.1:4750", &s);
+        for sentinel in 101..=117 {
+            assert!(
+                rendered.contains(&sentinel.to_string()),
+                "field with sentinel value {sentinel} missing from rendered status:\n{rendered}"
+            );
+        }
+        assert!(rendered.contains("127.0.0.1:4750"));
+    }
+
+    /// The wire sentinel `0` must render as "unbounded", not as a number.
+    #[test]
+    fn render_status_spells_out_unbounded_limits() {
+        let s = StatusReply {
+            ok: true,
+            queued: 0,
+            queue_bound: 0,
+            inflight: 0,
+            inflight_cells: 0,
+            hot_entries: 0,
+            hot_bytes: 0,
+            hot_budget_bytes: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            ghost_hits: 0,
+            cold_hits: 0,
+            computed: 0,
+            coalesced: 0,
+            overloaded: 0,
+            submits: 0,
+            threads: 1,
+        };
+        let rendered = render_status("127.0.0.1:4750", &s);
+        assert_eq!(rendered.matches("unbounded").count(), 2);
+    }
 }

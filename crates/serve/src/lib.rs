@@ -46,7 +46,12 @@ pub mod s3fifo;
 pub mod scenario;
 pub mod server;
 
-pub use cache::{CacheConfig, CacheStats, ContentKey, ResultCache};
-pub use client::{fetch, shutdown, status, submit, RetryPolicy, SubmitOutcome};
-pub use protocol::{MatrixSource, OverloadedReply, Request};
+pub use cache::{CacheConfig, CacheMetrics, CacheStats, ContentKey, ResultCache};
+pub use client::{
+    fetch, metrics, render_status, shutdown, status, submit, RetryPolicy, SubmitOutcome,
+};
+pub use protocol::{
+    BucketEntry, CounterEntry, GaugeEntry, HistogramEntry, MatrixSource, MetricsReply,
+    OverloadedReply, Request,
+};
 pub use server::{serve, Server, ServerConfig, DEFAULT_QUEUE_BOUND};

@@ -70,6 +70,9 @@ pub enum Request {
     },
     /// Report queue/cache/service counters.
     Status,
+    /// Report the full metric snapshot: counters, gauges, histogram buckets
+    /// and quantile estimates.
+    Metrics,
     /// Drain in-flight work, flush the cache, and stop the server.
     Shutdown,
 }
@@ -94,6 +97,7 @@ impl Serialize for Request {
                 entries.push(source_entry(matrix));
             }
             Request::Status => entries.push(("verb".to_string(), "status".to_value())),
+            Request::Metrics => entries.push(("verb".to_string(), "metrics".to_value())),
             Request::Shutdown => entries.push(("verb".to_string(), "shutdown".to_value())),
         }
         Value::Object(entries)
@@ -133,9 +137,10 @@ impl Deserialize for Request {
             }),
             "fetch" => Ok(Request::Fetch { matrix: source()? }),
             "status" => Ok(Request::Status),
+            "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(DeError::custom(format!(
-                "unknown verb `{other}` (expected submit, fetch, status or shutdown)"
+                "unknown verb `{other}` (expected submit, fetch, status, metrics or shutdown)"
             ))),
         }
     }
@@ -247,6 +252,140 @@ pub struct StatusReply {
     pub threads: usize,
 }
 
+/// One counter in a [`MetricsReply`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterEntry {
+    /// Metric name (e.g. `serve.requests.submit`).
+    pub name: String,
+    /// Cumulative count since server start.
+    pub value: u64,
+}
+
+/// One gauge in a [`MetricsReply`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GaugeEntry {
+    /// Metric name (e.g. `serve.queue.depth`).
+    pub name: String,
+    /// Current value.
+    pub value: i64,
+}
+
+/// One non-empty log2 histogram bucket in a [`HistogramEntry`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BucketEntry {
+    /// Inclusive upper edge of the bucket, in the histogram's unit (ns).
+    pub le: u64,
+    /// Observations in the bucket.
+    pub count: u64,
+}
+
+/// One latency histogram in a [`MetricsReply`]: quantile estimates plus the
+/// non-empty log2 buckets, enough to rebuild the mergeable snapshot
+/// client-side (`ebird_obs::HistogramSnapshot::from_buckets`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramEntry {
+    /// Metric name (e.g. `serve.request.submit.ns`).
+    pub name: String,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values, ns.
+    pub total_ns: u64,
+    /// Median estimate (log2-bucket midpoint; the true median provably
+    /// lies within the containing bucket's edges).
+    pub p50_ns: u64,
+    /// 95th-percentile estimate, same bounds guarantee.
+    pub p95_ns: u64,
+    /// 99th-percentile estimate, same bounds guarantee.
+    pub p99_ns: u64,
+    /// Non-empty buckets in value order.
+    pub buckets: Vec<BucketEntry>,
+}
+
+impl HistogramEntry {
+    /// Renders an `ebird-obs` snapshot under `name`.
+    pub fn from_snapshot(name: &str, snap: &ebird_obs::HistogramSnapshot) -> Self {
+        HistogramEntry {
+            name: name.to_string(),
+            count: snap.count(),
+            total_ns: snap.total(),
+            p50_ns: snap.quantile_estimate(0.50),
+            p95_ns: snap.quantile_estimate(0.95),
+            p99_ns: snap.quantile_estimate(0.99),
+            buckets: snap
+                .nonzero_buckets()
+                .into_iter()
+                .map(|(le, count)| BucketEntry { le, count })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds the mergeable snapshot this entry was rendered from.
+    pub fn to_snapshot(&self) -> ebird_obs::HistogramSnapshot {
+        let buckets: Vec<(u64, u64)> = self.buckets.iter().map(|b| (b.le, b.count)).collect();
+        ebird_obs::HistogramSnapshot::from_buckets(&buckets, self.total_ns)
+    }
+}
+
+/// Reply to `metrics`: the server's full metric snapshot, deterministically
+/// name-ordered (counters, gauges and histograms each sorted by name).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsReply {
+    /// Always `true`.
+    pub ok: bool,
+    /// Nanoseconds since the server's registry was created.
+    pub uptime_ns: u64,
+    /// All counters, name-ordered.
+    pub counters: Vec<CounterEntry>,
+    /// All gauges, name-ordered.
+    pub gauges: Vec<GaugeEntry>,
+    /// All histograms, name-ordered.
+    pub histograms: Vec<HistogramEntry>,
+}
+
+impl MetricsReply {
+    /// Renders a registry snapshot as the wire reply.
+    pub fn from_snapshot(snap: &ebird_obs::Snapshot) -> Self {
+        MetricsReply {
+            ok: true,
+            uptime_ns: snap.uptime_ns,
+            counters: snap
+                .counters
+                .iter()
+                .map(|(name, &value)| CounterEntry {
+                    name: name.clone(),
+                    value,
+                })
+                .collect(),
+            gauges: snap
+                .gauges
+                .iter()
+                .map(|(name, &value)| GaugeEntry {
+                    name: name.clone(),
+                    value,
+                })
+                .collect(),
+            histograms: snap
+                .histograms
+                .iter()
+                .map(|(name, h)| HistogramEntry::from_snapshot(name, h))
+                .collect(),
+        }
+    }
+
+    /// Counter value by name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map_or(0, |c| c.value)
+    }
+
+    /// Histogram entry by name, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramEntry> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
 /// Reply to `shutdown`.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ShutdownReply {
@@ -308,6 +447,7 @@ mod tests {
                 matrix: MatrixSource::Preset("full".into()),
             },
             Request::Status,
+            Request::Metrics,
             Request::Shutdown,
         ];
         for req in reqs {
@@ -329,6 +469,7 @@ mod tests {
             "{\"verb\":\"submit\",\"preset\":\"smoke\",\"priority\":2}"
         );
         assert_eq!(reply_line(&Request::Status), "{\"verb\":\"status\"}");
+        assert_eq!(reply_line(&Request::Metrics), "{\"verb\":\"metrics\"}");
     }
 
     #[test]
@@ -429,6 +570,39 @@ mod tests {
             serde_json::from_str("{\"done\":true,\"cells\":4,\"computed\":3,\"cached\":1}")
                 .unwrap();
         assert_eq!(f.coalesced, 0);
+    }
+
+    #[test]
+    fn metrics_reply_roundtrips_and_rebuilds_histograms() {
+        let hist = ebird_obs::HistogramSnapshot::from_values(&[80, 120, 4_000, 4_000, 65_000]);
+        let reply = MetricsReply {
+            ok: true,
+            uptime_ns: 5_000_000,
+            counters: vec![CounterEntry {
+                name: "serve.requests.total".into(),
+                value: 7,
+            }],
+            gauges: vec![GaugeEntry {
+                name: "serve.queue.depth".into(),
+                value: 0,
+            }],
+            histograms: vec![HistogramEntry::from_snapshot(
+                "serve.request.submit.ns",
+                &hist,
+            )],
+        };
+        let line = reply_line(&reply);
+        let back: MetricsReply = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, reply);
+        assert_eq!(back.counter("serve.requests.total"), 7);
+        assert_eq!(back.counter("missing"), 0);
+        // The wire entry rebuilds the exact mergeable snapshot.
+        let entry = back.histogram("serve.request.submit.ns").unwrap();
+        assert_eq!(entry.count, 5);
+        assert_eq!(entry.to_snapshot(), hist);
+        // Quantile estimates stay inside the proven bucket bounds.
+        let (lo, hi) = hist.quantile_bounds(0.5);
+        assert!(lo <= entry.p50_ns && entry.p50_ns <= hi);
     }
 
     #[test]

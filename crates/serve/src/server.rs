@@ -34,13 +34,14 @@ use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
 use ebird_analysis::report;
-use ebird_runtime::{JobQueue, Pool, PushError};
+use ebird_obs::{Counter, Histogram, Registry};
+use ebird_runtime::{JobQueue, Pool, PushError, QueueMetrics};
 
-use crate::cache::{CacheConfig, CachedRow, ContentKey, ResultCache};
+use crate::cache::{CacheConfig, CacheMetrics, CachedRow, ContentKey, ResultCache};
 use crate::coalesce::{Disposition, InflightTable, Subscriber};
 use crate::protocol::{
-    parse_request, reply_line, ErrorReply, OverloadedReply, Request, ShutdownReply, StatusReply,
-    SubmitFooter, SubmitHeader,
+    parse_request, reply_line, ErrorReply, MetricsReply, OverloadedReply, Request, ShutdownReply,
+    StatusReply, SubmitFooter, SubmitHeader,
 };
 use crate::scenario::{compute_cell, ResolvedCell};
 
@@ -97,8 +98,99 @@ struct Job {
     cell: ResolvedCell,
 }
 
+/// Pre-resolved handles into the server's [`Registry`], so the request
+/// hot path never takes the registry's name-map lock. Per-verb request
+/// histograms (`serve.request.{verb}.ns`) are still looked up by name —
+/// once per request, off the row-streaming path.
+struct ServeMetrics {
+    registry: Arc<Registry>,
+    /// All requests served, any verb (`serve.requests.total`).
+    requests_total: Arc<Counter>,
+    /// Request bytes consumed off client sockets (`serve.bytes.read`).
+    bytes_read: Arc<Counter>,
+    /// Reply bytes written to client sockets (`serve.bytes.written`).
+    bytes_written: Arc<Counter>,
+    /// Wall time each worker spends pricing one cell (`serve.job.run_ns`).
+    job_run_ns: Arc<Histogram>,
+    /// Total busy nanoseconds across the worker team
+    /// (`serve.worker.busy_ns`) — utilization is this over uptime × team
+    /// size, since service workers otherwise block on the queue.
+    worker_busy_ns: Arc<Counter>,
+    /// Submit-side cell accounting: `serve.cells.total` is exactly
+    /// `cached + coalesced + computed` because all four are bumped at the
+    /// same header-write point (refused submits add nothing).
+    cells_total: Arc<Counter>,
+    cells_cached: Arc<Counter>,
+    cells_coalesced: Arc<Counter>,
+    cells_computed: Arc<Counter>,
+    /// Submits refused whole by admission control
+    /// (`serve.submits.overloaded`) — these never reach the queue, so the
+    /// queue's own refusal counters do not see them.
+    submits_overloaded: Arc<Counter>,
+}
+
+impl ServeMetrics {
+    fn new(registry: &Arc<Registry>) -> ServeMetrics {
+        ServeMetrics {
+            registry: Arc::clone(registry),
+            requests_total: registry.counter("serve.requests.total"),
+            bytes_read: registry.counter("serve.bytes.read"),
+            bytes_written: registry.counter("serve.bytes.written"),
+            job_run_ns: registry.histogram("serve.job.run_ns"),
+            worker_busy_ns: registry.counter("serve.worker.busy_ns"),
+            cells_total: registry.counter("serve.cells.total"),
+            cells_cached: registry.counter("serve.cells.cached"),
+            cells_coalesced: registry.counter("serve.cells.coalesced"),
+            cells_computed: registry.counter("serve.cells.computed"),
+            submits_overloaded: registry.counter("serve.submits.overloaded"),
+        }
+    }
+
+    /// Bumps the total and per-verb request counters. Called at dispatch
+    /// time, *before* the reply is written, so any reply a client has in
+    /// hand is already counted in the next snapshot it scrapes — including
+    /// a `metrics` reply, which therefore counts itself. `verb` is `error`
+    /// for lines that failed to parse.
+    fn count_request(&self, verb: &str) {
+        self.requests_total.incr();
+        self.registry
+            .counter(&format!("serve.requests.{verb}"))
+            .incr();
+    }
+
+    /// Records the per-verb latency histogram once the reply (including a
+    /// submit's full row stream) has been written.
+    fn record_request_latency(&self, verb: &str, start_ns: u64) {
+        let elapsed = self.registry.now_ns().saturating_sub(start_ns);
+        self.registry
+            .histogram(&format!("serve.request.{verb}.ns"))
+            .record(elapsed);
+    }
+}
+
+/// A [`Write`] adapter that feeds every written byte into a counter, so
+/// handlers keep their plain `&mut impl Write` signatures while
+/// `serve.bytes.written` stays exact.
+struct CountingWriter<'a, W: Write> {
+    inner: W,
+    written: &'a Counter,
+}
+
+impl<W: Write> Write for CountingWriter<'_, W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.written.add(n as u64);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
 /// State shared by the acceptor, every connection thread, and the scheduler.
 struct Shared {
+    metrics: ServeMetrics,
     queue: JobQueue<Job>,
     cache: ResultCache,
     single_flight: InflightTable,
@@ -140,14 +232,18 @@ impl Server {
         let local = listener
             .local_addr()
             .map_err(|e| format!("resolving local addr: {e}"))?;
-        let cache = ResultCache::new(CacheConfig {
+        let registry = Arc::new(Registry::wall());
+        let mut cache = ResultCache::new(CacheConfig {
             cold_dir: config.cache_dir.clone(),
             hot_budget_bytes: config.hot_bytes,
         })?;
+        cache.observe(CacheMetrics::new(&registry, "serve.cache"));
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
-                queue: JobQueue::bounded(config.queue_bound),
+                metrics: ServeMetrics::new(&registry),
+                queue: JobQueue::bounded(config.queue_bound)
+                    .observed(QueueMetrics::new(&registry, "serve.queue")),
                 cache,
                 single_flight: InflightTable::new(),
                 threads: config.threads,
@@ -182,6 +278,10 @@ impl Server {
                 .spawn(move || {
                     let pool = Pool::new(shared.threads);
                     pool.service(&shared.queue, |job: Job, _ctx| {
+                        // Service workers block on the queue between jobs, so
+                        // utilization is metered per job here rather than via
+                        // a PoolObserver around the (never-returning) region.
+                        let job_start = shared.metrics.registry.now_ns();
                         shared.inflight.fetch_add(1, Ordering::SeqCst);
                         // Each worker is already one team member; the
                         // delivery campaign inside the cell runs inline on
@@ -213,6 +313,12 @@ impl Server {
                         // the table finds the cache populated instead. A
                         // dropped receiver (client vanished mid-submit) is
                         // not an error: the row is cached for the next ask.
+                        // Meter the job before fanning the result out:
+                        // once a subscriber has its last row it may scrape
+                        // `metrics`, and this job must already be visible.
+                        let busy = shared.metrics.registry.now_ns().saturating_sub(job_start);
+                        shared.metrics.job_run_ns.record(busy);
+                        shared.metrics.worker_busy_ns.add(busy);
                         for sub in shared.single_flight.complete(&job.key) {
                             let _ = sub.reply.send((sub.index, outcome.clone()));
                         }
@@ -342,12 +448,36 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     };
     let mut reader = BufReader::new(read_half);
     // LineWriter flushes at every newline: each row line streams as soon as
-    // its cell completes.
-    let mut writer = LineWriter::new(stream);
+    // its cell completes. The counting wrapper keeps `serve.bytes.written`
+    // exact without touching any handler signature.
+    let mut writer = LineWriter::new(CountingWriter {
+        inner: stream,
+        written: &shared.metrics.bytes_written,
+    });
     while let Some(line) = read_request_line(&mut reader, shared) {
-        let outcome = match parse_request(&line) {
+        // The request line plus the newline `read_request_line` trimmed.
+        shared.metrics.bytes_read.add(line.len() as u64 + 1);
+        let start_ns = shared.metrics.registry.now_ns();
+        let request = parse_request(&line);
+        let verb = match &request {
+            Err(_) => "error",
+            Ok(Request::Status) => "status",
+            Ok(Request::Metrics) => "metrics",
+            Ok(Request::Shutdown) => "shutdown",
+            Ok(Request::Submit { .. }) => "submit",
+            Ok(Request::Fetch { .. }) => "fetch",
+        };
+        shared.metrics.count_request(verb);
+        let outcome = match request {
             Err(msg) => write_line(&mut writer, &reply_line(&ErrorReply::new(msg))),
             Ok(Request::Status) => write_line(&mut writer, &reply_line(&status_reply(shared))),
+            Ok(Request::Metrics) => {
+                let snapshot = shared.metrics.registry.snapshot();
+                write_line(
+                    &mut writer,
+                    &reply_line(&MetricsReply::from_snapshot(&snapshot)),
+                )
+            }
             Ok(Request::Shutdown) => {
                 let r = write_line(
                     &mut writer,
@@ -364,6 +494,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             }
             Ok(Request::Fetch { matrix }) => handle_fetch(&matrix, shared, &mut writer),
         };
+        shared.metrics.record_request_latency(verb, start_ns);
         // Bound the drain: after a stop, finish the request just served but
         // accept no further ones on this connection.
         if outcome.is_err() || shared.stop.load(Ordering::SeqCst) {
@@ -515,6 +646,7 @@ fn handle_submit(
         if queued + need > shared.queue.capacity() {
             drop(guard);
             shared.overloaded.fetch_add(1, Ordering::SeqCst);
+            shared.metrics.submits_overloaded.incr();
             return write_line(
                 writer,
                 &reply_line(&OverloadedReply {
@@ -576,6 +708,7 @@ fn handle_submit(
                             // rather than panic if the invariant ever bends.
                             drop(guard);
                             shared.overloaded.fetch_add(1, Ordering::SeqCst);
+                            shared.metrics.submits_overloaded.incr();
                             let queued = shared.queue.len();
                             return write_line(
                                 writer,
@@ -598,6 +731,13 @@ fn handle_submit(
         .coalesced_cells
         .fetch_add(coalesced as u64, Ordering::SeqCst);
     let cached = total - scheduled - coalesced;
+    // All four cell counters move together at this one point, so the
+    // snapshot identity `total == cached + coalesced + computed` holds
+    // exactly — refused submits never reach here and add nothing.
+    shared.metrics.cells_total.add(total as u64);
+    shared.metrics.cells_cached.add(cached as u64);
+    shared.metrics.cells_coalesced.add(coalesced as u64);
+    shared.metrics.cells_computed.add(scheduled as u64);
     write_line(
         writer,
         &reply_line(&SubmitHeader {

@@ -349,6 +349,89 @@ fn status_output_is_byte_identical_across_fresh_servers() {
 }
 
 #[test]
+fn metrics_verb_reconciles_with_the_request_history() {
+    let (addr, handle) = start_server(ServerConfig {
+        threads: 2,
+        cache_dir: None,
+        ..ServerConfig::default()
+    });
+    let source = MatrixSource::Inline(tiny_matrix());
+    let cold = client::submit(&addr, &source, 0).unwrap();
+    assert_eq!(cold.footer.computed, 16);
+    let warm = client::submit(&addr, &source, 0).unwrap();
+    assert_eq!(warm.footer.cached, 16);
+    let _ = client::status(&addr).unwrap();
+
+    let m = client::metrics(&addr).unwrap();
+    assert!(m.ok);
+    assert!(m.uptime_ns > 0);
+
+    // Per-verb request accounting. Requests are counted at dispatch, before
+    // the reply is written, so a scrape counts itself and everything whose
+    // reply the client already holds — and the per-verb counters sum to the
+    // total.
+    assert_eq!(m.counter("serve.requests.submit"), 2);
+    assert_eq!(m.counter("serve.requests.status"), 1);
+    assert_eq!(m.counter("serve.requests.metrics"), 1);
+    let per_verb: u64 = m
+        .counters
+        .iter()
+        .filter(|c| c.name.starts_with("serve.requests.") && c.name != "serve.requests.total")
+        .map(|c| c.value)
+        .sum();
+    assert_eq!(per_verb, m.counter("serve.requests.total"));
+
+    // Submit-side cell accounting: every submitted cell is exactly one of
+    // cached, coalesced, or computed.
+    assert_eq!(m.counter("serve.cells.total"), 32);
+    assert_eq!(m.counter("serve.cells.computed"), 16);
+    assert_eq!(
+        m.counter("serve.cells.cached")
+            + m.counter("serve.cells.coalesced")
+            + m.counter("serve.cells.computed"),
+        m.counter("serve.cells.total")
+    );
+
+    // Every scheduled job waited in the bounded queue, then ran on a worker.
+    let wait = m.histogram("serve.queue.wait_ns").expect("queue wait");
+    assert_eq!(wait.count, 16);
+    let run = m.histogram("serve.job.run_ns").expect("job run");
+    assert_eq!(run.count, 16);
+    assert!(m.counter("serve.worker.busy_ns") > 0);
+    assert_eq!(m.counter("serve.queue.pushed"), 16);
+
+    // The warm submit answered all 16 cells from the hot tier, timed.
+    let hits = m.histogram("serve.cache.hit_ns").expect("cache hit");
+    assert!(hits.count >= 16, "warm submit must record hot-tier hits");
+    let misses = m.histogram("serve.cache.miss_ns").expect("cache miss");
+    assert!(misses.count >= 16, "cold submit must record misses");
+
+    // Byte meters moved in both directions.
+    assert!(m.counter("serve.bytes.read") > 0);
+    assert!(m.counter("serve.bytes.written") > 0);
+
+    // Per-verb latency is recorded only after the full reply has streamed,
+    // so a scrape can race the last submit's bookkeeping: poll until it
+    // lands, then check the quantiles are ordered.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    let submit_h = loop {
+        let again = client::metrics(&addr).unwrap();
+        if let Some(h) = again.histogram("serve.request.submit.ns") {
+            if h.count == 2 {
+                break h.clone();
+            }
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "submit latency histogram never reached 2 samples"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    };
+    assert!(submit_h.p50_ns <= submit_h.p95_ns && submit_h.p95_ns <= submit_h.p99_ns);
+    shutdown_and_join(&addr, handle);
+}
+
+#[test]
 fn shutdown_closes_the_listener() {
     let (addr, handle) = start_server(ServerConfig {
         threads: 1,

@@ -23,12 +23,15 @@ use ebird_core::view::{fill_group_ms, AggregationLevel};
 use ebird_core::{ThreadSample, TimingTrace};
 use ebird_partcomm::{run_delivery, DeliveryOutcome, NetModel, SimScratch, Strategy};
 use ebird_runtime::Pool;
-use ebird_stats::normality::{battery_with_scratch, BatteryScratch, NormalityOutcome};
+use ebird_stats::normality::{
+    battery_presorted, battery_with_scratch, BatteryScratch, NormalityOutcome,
+};
 use ebird_stats::reduce::Mergeable;
+use ebird_stats::sort::merge_sorted;
 use ebird_stats::Moments;
 
 use crate::laggard::{classify_unit, ClassifiedIteration, LaggardCensus};
-use crate::normality::NormalitySweep;
+use crate::normality::{NormalitySweep, SweepObs, SWEEP_LEVELS};
 use crate::reclaim::{fold_units, unit_reclaim, ReclaimMetrics, UnitReclaim};
 
 /// Generates every workload's campaign trace serially — the generation
@@ -96,6 +99,132 @@ pub fn sweep_parallel(
         groups,
         outcomes,
     }
+}
+
+/// Pool-parallel counterpart of [`crate::normality::sweep_levels`] —
+/// bit-identical to it (and therefore to three per-level [`sweep`] calls)
+/// for any pool size.
+///
+/// Phase structure mirrors the serial fast path: process-iteration groups
+/// are radix-sorted in parallel into a flat buffer (each worker block owns
+/// disjoint `(sorted slice, outcome slot)` pairs), application-iteration
+/// groups then k-way-merge their children's sorted slices in parallel, and
+/// the single application group merges serially. Per-worker
+/// [`BatteryScratch`]es produce bit-identical weights to the serial path's
+/// shared one because cached weight vectors are bit-identical to freshly
+/// solved ones.
+pub fn sweep_levels_parallel(
+    trace: &TimingTrace,
+    alpha: f64,
+    obs: Option<&SweepObs>,
+    pool: &Pool,
+) -> [NormalitySweep; 3] {
+    let finite = trace
+        .samples()
+        .iter()
+        .map(ThreadSample::compute_time_ms)
+        .all(f64::is_finite);
+    if !finite {
+        return SWEEP_LEVELS.map(|level| sweep_parallel(trace, level, alpha, pool));
+    }
+
+    let shape = trace.shape();
+
+    // Phase 1: process-iteration groups.
+    let pi_level = AggregationLevel::ProcessIteration;
+    let pi_groups = pi_level.group_count(trace);
+    let pi_size = shape.threads;
+    let mut pi_sorted = vec![0.0f64; pi_groups * pi_size];
+    let mut pi_slots: Vec<(&mut [f64], [Option<NormalityOutcome>; 3])> = pi_sorted
+        .chunks_mut(pi_size)
+        .map(|s| (s, Default::default()))
+        .collect();
+    pool.parallel_chunks_mut(&mut pi_slots, |block, range, _ctx| {
+        let mut values = Vec::new();
+        let mut scratch = BatteryScratch::new();
+        for (offset, (slice, out)) in block.iter_mut().enumerate() {
+            fill_group_ms(trace, pi_level, range.start + offset, &mut values);
+            slice.copy_from_slice(&values);
+            let t0 = obs.map(|o| o.now_ns());
+            scratch.sort_in_place(slice);
+            if let (Some(o), Some(t0)) = (obs, t0) {
+                o.record_sort(t0);
+            }
+            *out = battery_presorted(&values, slice, scratch.cache());
+        }
+        if let Some(o) = obs {
+            o.record_cache_stats(&scratch);
+        }
+    });
+    let pi_outcomes: Vec<_> = pi_slots.into_iter().map(|(_, out)| out).collect();
+
+    // Phase 2: application-iteration groups merge their process-iteration
+    // children's sorted slices (read-only view of `pi_sorted`).
+    let ai_level = AggregationLevel::ApplicationIteration;
+    let ai_groups = ai_level.group_count(trace);
+    let ai_size = shape.samples_per_app_iteration();
+    let mut ai_sorted = vec![0.0f64; ai_groups * ai_size];
+    let mut ai_slots: Vec<(&mut [f64], [Option<NormalityOutcome>; 3])> = ai_sorted
+        .chunks_mut(ai_size)
+        .map(|s| (s, Default::default()))
+        .collect();
+    let pi_view = &pi_sorted;
+    pool.parallel_chunks_mut(&mut ai_slots, |block, range, _ctx| {
+        let mut values = Vec::new();
+        let mut scratch = BatteryScratch::new();
+        let mut children: Vec<&[f64]> = Vec::with_capacity(shape.trials * shape.ranks);
+        for (offset, (slice, out)) in block.iter_mut().enumerate() {
+            let g = range.start + offset;
+            fill_group_ms(trace, ai_level, g, &mut values);
+            children.clear();
+            for trial in 0..shape.trials {
+                for rank in 0..shape.ranks {
+                    let pi = (trial * shape.ranks + rank) * shape.iterations + g;
+                    children.push(&pi_view[pi * pi_size..(pi + 1) * pi_size]);
+                }
+            }
+            let t0 = obs.map(|o| o.now_ns());
+            merge_sorted(&children, slice);
+            if let (Some(o), Some(t0)) = (obs, t0) {
+                o.record_sort(t0);
+            }
+            *out = battery_presorted(&values, slice, scratch.cache());
+        }
+        if let Some(o) = obs {
+            o.record_cache_stats(&scratch);
+        }
+    });
+    let ai_outcomes: Vec<_> = ai_slots.into_iter().map(|(_, out)| out).collect();
+
+    // Phase 3: the single application group, serial.
+    let app_level = AggregationLevel::Application;
+    let mut values = Vec::new();
+    fill_group_ms(trace, app_level, 0, &mut values);
+    let mut app_sorted = vec![0.0f64; shape.total_samples()];
+    let ai_children: Vec<&[f64]> = ai_sorted.chunks(ai_size).collect();
+    let t0 = obs.map(|o| o.now_ns());
+    merge_sorted(&ai_children, &mut app_sorted);
+    if let (Some(o), Some(t0)) = (obs, t0) {
+        o.record_sort(t0);
+    }
+    let mut scratch = BatteryScratch::new();
+    let app_outcomes = vec![battery_presorted(&values, &app_sorted, scratch.cache())];
+    if let Some(o) = obs {
+        o.record_cache_stats(&scratch);
+    }
+
+    let mk =
+        |level: AggregationLevel, outcomes: Vec<[Option<NormalityOutcome>; 3]>| NormalitySweep {
+            level_label: level.label().to_string(),
+            alpha,
+            groups: outcomes.len(),
+            outcomes,
+        };
+    [
+        mk(pi_level, pi_outcomes),
+        mk(ai_level, ai_outcomes),
+        mk(app_level, app_outcomes),
+    ]
 }
 
 /// Classifies every process-iteration at `threshold_ms` with units
@@ -362,6 +491,26 @@ mod tests {
                 assert_eq!(serial.groups, parallel.groups);
                 assert_eq!(serial.level_label, parallel.level_label);
             }
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_levels_is_bit_identical_to_serial_merged_and_per_level() {
+        let tr = mixed_trace();
+        let serial = crate::normality::sweep_levels(&tr, 0.05, None);
+        for workers in [1, 2, 5] {
+            let pool = Pool::new(workers);
+            let registry = std::sync::Arc::new(ebird_obs::Registry::wall());
+            let obs = SweepObs::new(&registry);
+            let parallel = sweep_levels_parallel(&tr, 0.05, Some(&obs), &pool);
+            for ((p, s), level) in parallel.iter().zip(&serial).zip(SWEEP_LEVELS) {
+                assert_eq!(p.outcomes, s.outcomes, "{} × {workers}", level.label());
+                assert_eq!(p.outcomes, sweep(&tr, level, 0.05).outcomes);
+            }
+            let snap = registry.snapshot();
+            let groups = (tr.shape().process_iterations() + tr.shape().iterations + 1) as u64;
+            assert_eq!(snap.histogram(SweepObs::SORT_NS).count(), groups);
+            assert!(snap.counter(SweepObs::CACHE_MISS) > 0);
         }
     }
 

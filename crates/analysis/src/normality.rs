@@ -1,10 +1,15 @@
 //! Normality sweeps across the paper's three aggregation levels.
 
-use ebird_core::view::{fill_group_ms, grouped_ms, AggregationLevel};
-use ebird_core::TimingTrace;
+use std::sync::Arc;
+
+use ebird_core::view::{fill_group_ms, AggregationLevel};
+use ebird_core::{ThreadSample, TimingTrace};
+use ebird_obs::{Counter, Histogram, Registry};
 use ebird_stats::normality::{
-    battery_with_scratch, BatteryScratch, NormalityOutcome, TestStatistic,
+    battery_presorted, battery_with_scratch, BatteryScratch, NormalityOutcome, NormalityTest,
+    TestStatistic,
 };
+use ebird_stats::sort::merge_sorted_with_tmp;
 use serde::{Deserialize, Serialize};
 
 /// Results of running the three-test battery over every group of one
@@ -92,29 +97,292 @@ pub fn sweep(trace: &TimingTrace, level: AggregationLevel, alpha: f64) -> Normal
     }
 }
 
+/// Observability handles for the normality sweep fast path: weight-cache
+/// hit/miss counters and a per-group sort/merge latency histogram, all
+/// registered on a shared [`ebird_obs::Registry`] so `repro profile` and the
+/// pipeline bench surface them next to the span/pool metrics.
+#[derive(Clone)]
+pub struct SweepObs {
+    registry: Arc<Registry>,
+    cache_hit: Arc<Counter>,
+    cache_miss: Arc<Counter>,
+    sort_ns: Arc<Histogram>,
+}
+
+impl SweepObs {
+    /// Counter name: Shapiro–Wilk weight-vector cache hits.
+    pub const CACHE_HIT: &'static str = "sweep.weights.cache_hit";
+    /// Counter name: Shapiro–Wilk weight-vector cache misses (fresh Blom
+    /// score solves).
+    pub const CACHE_MISS: &'static str = "sweep.weights.cache_miss";
+    /// Histogram name: nanoseconds spent radix-sorting (or k-way merging)
+    /// each group before the fused battery pass.
+    pub const SORT_NS: &'static str = "sweep.sort.ns";
+
+    /// Registers the sweep instruments on `registry`.
+    pub fn new(registry: &Arc<Registry>) -> Self {
+        Self {
+            registry: Arc::clone(registry),
+            cache_hit: registry.counter(Self::CACHE_HIT),
+            cache_miss: registry.counter(Self::CACHE_MISS),
+            sort_ns: registry.histogram(Self::SORT_NS),
+        }
+    }
+
+    /// Monotonic timestamp from the owning registry's time source.
+    pub(crate) fn now_ns(&self) -> u64 {
+        self.registry.now_ns()
+    }
+
+    /// Records one group's sort (or merge) latency.
+    pub(crate) fn record_sort(&self, started_ns: u64) {
+        self.sort_ns
+            .record(self.now_ns().saturating_sub(started_ns));
+    }
+
+    /// Folds one scratch's lifetime weight-cache tallies into the counters.
+    pub(crate) fn record_cache_stats(&self, scratch: &BatteryScratch) {
+        self.record_cache_delta(scratch, (0, 0));
+    }
+
+    /// Folds the weight-cache tallies accumulated since `before` (an earlier
+    /// [`BatteryScratch::cache_stats`] reading) into the counters — for
+    /// scratches shared across multiple sweeps.
+    pub(crate) fn record_cache_delta(&self, scratch: &BatteryScratch, before: (u64, u64)) {
+        let (hits, misses) = scratch.cache_stats();
+        self.cache_hit.add(hits - before.0);
+        self.cache_miss.add(misses - before.1);
+    }
+}
+
+/// The three sweep levels in paper order — the order [`sweep_levels`]
+/// returns and the pipeline bench times.
+pub const SWEEP_LEVELS: [AggregationLevel; 3] = [
+    AggregationLevel::ProcessIteration,
+    AggregationLevel::ApplicationIteration,
+    AggregationLevel::Application,
+];
+
+/// Runs all three aggregation levels in one pass, bit-identical to calling
+/// [`sweep`] per level but sorting each sample **once**: process-iteration
+/// groups are radix-sorted into a flat buffer, and the nested levels'
+/// sorted views are produced by k-way merges of their children's sorted
+/// slices ([`merge_sorted`]) instead of re-sorting from scratch —
+/// application-iteration groups merge their process-iteration slices,
+/// and the application group merges the application-iteration slices.
+///
+/// Bit-identity of the merged views holds because compute times are
+/// `u64`-nanosecond backed (always finite, never `-0.0`), so equal sort
+/// keys imply equal bit patterns; as defense against any future non-finite
+/// trace source the function prescans the trace and falls back to three
+/// plain [`sweep`] calls if any sample is non-finite.
+///
+/// When `obs` is provided, per-group sort/merge latencies land in the
+/// [`SweepObs::SORT_NS`] histogram and the Shapiro–Wilk weight-cache
+/// tallies in the [`SweepObs::CACHE_HIT`]/[`SweepObs::CACHE_MISS`]
+/// counters.
+pub fn sweep_levels(
+    trace: &TimingTrace,
+    alpha: f64,
+    obs: Option<&SweepObs>,
+) -> [NormalitySweep; 3] {
+    sweep_levels_with_scratch(trace, alpha, obs, &mut SweepScratch::new())
+}
+
+/// Reusable storage for [`sweep_levels_with_scratch`]: the per-n battery
+/// scratch (radix buffers + cached Shapiro–Wilk weights) plus the flat
+/// sorted-group buffers and the merge ping-pong buffer. At paper scale one
+/// sweep touches ~25 MB of working storage; holding it here turns that into
+/// a one-off cost instead of an allocate-fault-free cycle per trace.
+#[derive(Default)]
+pub struct SweepScratch {
+    battery: BatteryScratch,
+    values: Vec<f64>,
+    pi_sorted: Vec<f64>,
+    ai_sorted: Vec<f64>,
+    app_sorted: Vec<f64>,
+    merge_tmp: Vec<f64>,
+}
+
+impl SweepScratch {
+    /// Empty scratch; buffers grow lazily to the largest shape swept.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The inner per-n battery scratch (weight cache included).
+    pub fn battery(&mut self) -> &mut BatteryScratch {
+        &mut self.battery
+    }
+
+    /// Grows `buf` to exactly `len` without preserving contents; every
+    /// element is overwritten before being read by the sweep phases.
+    fn uninit_slice(buf: &mut Vec<f64>, len: usize) -> &mut [f64] {
+        if buf.len() < len {
+            buf.resize(len, 0.0);
+        }
+        &mut buf[..len]
+    }
+}
+
+/// [`sweep_levels`] with caller-owned [`SweepScratch`], so consecutive
+/// sweeps over same-shaped traces reuse the cached Shapiro–Wilk weight
+/// vectors (the application-level vector alone is hundreds of thousands of
+/// Newton solves) and the large sorted-group buffers instead of re-deriving
+/// and re-allocating them per trace. Bit-identical to [`sweep_levels`]:
+/// cached weights are bit-identical to freshly solved ones, and every
+/// reused buffer element is overwritten before it is read.
+pub fn sweep_levels_with_scratch(
+    trace: &TimingTrace,
+    alpha: f64,
+    obs: Option<&SweepObs>,
+    sweep_scratch: &mut SweepScratch,
+) -> [NormalitySweep; 3] {
+    let finite = trace
+        .samples()
+        .iter()
+        .map(ThreadSample::compute_time_ms)
+        .all(f64::is_finite);
+    if !finite {
+        return SWEEP_LEVELS.map(|level| sweep(trace, level, alpha));
+    }
+
+    let shape = trace.shape();
+    let SweepScratch {
+        battery: scratch,
+        values,
+        pi_sorted,
+        ai_sorted,
+        app_sorted,
+        merge_tmp,
+    } = sweep_scratch;
+    let cache_before = scratch.cache_stats();
+
+    // Phase 1: process-iteration groups, each radix-sorted into its slice
+    // of one flat buffer (kept for the merge phases below).
+    let pi_level = AggregationLevel::ProcessIteration;
+    let pi_groups = pi_level.group_count(trace);
+    let pi_size = shape.threads;
+    let pi_sorted = SweepScratch::uninit_slice(pi_sorted, pi_groups * pi_size);
+    let mut pi_outcomes = Vec::with_capacity(pi_groups);
+    for (g, slice) in pi_sorted.chunks_mut(pi_size).enumerate() {
+        fill_group_ms(trace, pi_level, g, values);
+        slice.copy_from_slice(values);
+        let t0 = obs.map(|o| o.now_ns());
+        scratch.sort_in_place(slice);
+        if let (Some(o), Some(t0)) = (obs, t0) {
+            o.record_sort(t0);
+        }
+        pi_outcomes.push(battery_presorted(values, slice, scratch.cache()));
+    }
+
+    // Phase 2: application-iteration groups. Group `g` aggregates the
+    // process-iterations `(trial * ranks + rank) * iterations + g` in
+    // `(trial, rank)` order — exactly `fill_group_ms`'s concatenation order
+    // — so a stable k-way merge of those already-sorted slices reproduces
+    // the sorted group bit-for-bit.
+    let ai_level = AggregationLevel::ApplicationIteration;
+    let ai_groups = ai_level.group_count(trace);
+    let ai_size = shape.samples_per_app_iteration();
+    let ai_sorted = SweepScratch::uninit_slice(ai_sorted, ai_groups * ai_size);
+    let mut ai_outcomes = Vec::with_capacity(ai_groups);
+    let mut children: Vec<&[f64]> = Vec::with_capacity(shape.trials * shape.ranks);
+    for (g, out) in ai_sorted.chunks_mut(ai_size).enumerate() {
+        fill_group_ms(trace, ai_level, g, values);
+        children.clear();
+        for trial in 0..shape.trials {
+            for rank in 0..shape.ranks {
+                let pi = (trial * shape.ranks + rank) * shape.iterations + g;
+                children.push(&pi_sorted[pi * pi_size..(pi + 1) * pi_size]);
+            }
+        }
+        let t0 = obs.map(|o| o.now_ns());
+        merge_sorted_with_tmp(&children, out, merge_tmp);
+        if let (Some(o), Some(t0)) = (obs, t0) {
+            o.record_sort(t0);
+        }
+        ai_outcomes.push(battery_presorted(values, out, scratch.cache()));
+    }
+
+    // Phase 3: the single application group merges the application-
+    // iteration slices. The raw fill is trace order, a different
+    // concatenation than iteration-major — but with finite, never-negative-
+    // zero inputs equal keys imply equal bits, so the sorted view is the
+    // same array either way.
+    let app_level = AggregationLevel::Application;
+    fill_group_ms(trace, app_level, 0, values);
+    let app_sorted = SweepScratch::uninit_slice(app_sorted, shape.total_samples());
+    let ai_children: Vec<&[f64]> = ai_sorted.chunks(ai_size).collect();
+    let t0 = obs.map(|o| o.now_ns());
+    merge_sorted_with_tmp(&ai_children, app_sorted, merge_tmp);
+    if let (Some(o), Some(t0)) = (obs, t0) {
+        o.record_sort(t0);
+    }
+    let app_outcomes = vec![battery_presorted(values, app_sorted, scratch.cache())];
+
+    if let Some(o) = obs {
+        o.record_cache_delta(scratch, cache_before);
+    }
+
+    let mk =
+        |level: AggregationLevel, outcomes: Vec<[Option<NormalityOutcome>; 3]>| NormalitySweep {
+            level_label: level.label().to_string(),
+            alpha,
+            groups: outcomes.len(),
+            outcomes,
+        };
+    [
+        mk(pi_level, pi_outcomes),
+        mk(ai_level, ai_outcomes),
+        mk(app_level, app_outcomes),
+    ]
+}
+
 /// Pass rates of an arbitrary test battery over one aggregation level —
 /// the battery-sensitivity extension (is Table 1 an artifact of the paper's
 /// choice of three tests?). Returns `(test name, pass rate)` pairs.
+///
+/// Groups stream through [`fill_group_ms`] into reused buffers and each
+/// group is sorted **once** (shared [`BatteryScratch`]); every test then
+/// consumes the presorted view via [`NormalityTest::test_presorted`]. The
+/// ablation therefore costs one sort per group regardless of battery size,
+/// and performs no per-group allocation — the same discipline as the main
+/// sweep.
 pub fn battery_pass_rates(
     trace: &TimingTrace,
     level: AggregationLevel,
-    battery: &[Box<dyn ebird_stats::normality::NormalityTest + Send + Sync>],
+    battery: &[Box<dyn NormalityTest + Send + Sync>],
     alpha: f64,
 ) -> Vec<(&'static str, f64)> {
-    let groups = grouped_ms(trace, level);
+    let groups = level.group_count(trace);
+    let mut values = Vec::new();
+    let mut sorted = Vec::new();
+    let mut scratch = BatteryScratch::new();
+    let mut passed = vec![0usize; battery.len()];
+    for g in 0..groups {
+        fill_group_ms(trace, level, g, &mut values);
+        if !values.iter().all(|v| v.is_finite()) {
+            // Every test rejects non-finite input; count the group as a
+            // failure for the whole battery without sorting it.
+            continue;
+        }
+        sorted.clear();
+        sorted.extend_from_slice(&values);
+        scratch.sort_in_place(&mut sorted);
+        for (test, count) in battery.iter().zip(&mut passed) {
+            if test
+                .test_presorted(&values, &sorted)
+                .map(|o| o.passes(alpha))
+                .unwrap_or(false)
+            {
+                *count += 1;
+            }
+        }
+    }
     battery
         .iter()
-        .map(|test| {
-            let passed = groups
-                .iter()
-                .filter(|g| {
-                    test.test(&g.values_ms)
-                        .map(|o| o.passes(alpha))
-                        .unwrap_or(false)
-                })
-                .count();
-            (test.kind().name(), passed as f64 / groups.len() as f64)
-        })
+        .zip(&passed)
+        .map(|(test, &p)| (test.kind().name(), p as f64 / groups as f64))
         .collect()
 }
 
@@ -277,5 +545,58 @@ mod tests {
         let sw = sweep(&tr, AggregationLevel::Application, 0.05);
         assert_eq!(sw.groups, 1);
         assert_eq!(sw.outcomes.len(), 1);
+    }
+
+    /// A trace mixing normal-ish groups, laggards and one flat (degenerate)
+    /// process-iteration — exercises every battery branch in the merged
+    /// sweep, including the `None` outcomes.
+    fn mixed_trace() -> TimingTrace {
+        TimingTrace::from_fn("mixed", TraceShape::new(2, 3, 5, 16).unwrap(), |idx| {
+            if idx.trial == 1 && idx.rank == 2 && idx.iteration == 3 {
+                return ThreadSample::new(0, 10_000_000);
+            }
+            let u = (idx.thread as f64 + 0.5) / 16.0;
+            let spread = norm_quantile(u) * 0.05;
+            let laggard = if idx.iteration % 2 == 0 && idx.thread == 7 {
+                2.5
+            } else {
+                0.0
+            };
+            let ms = 10.0 + (idx.trial + idx.rank) as f64 * 0.25 + spread + laggard;
+            ThreadSample::new(0, (ms * 1e6).round() as u64)
+        })
+    }
+
+    #[test]
+    fn sweep_levels_is_bit_identical_to_per_level_sweeps() {
+        for tr in [normal_trace(16), skewed_trace(16), mixed_trace()] {
+            let merged = sweep_levels(&tr, 0.05, None);
+            for (m, level) in merged.iter().zip(SWEEP_LEVELS) {
+                let s = sweep(&tr, level, 0.05);
+                assert_eq!(m.outcomes, s.outcomes, "{} @ {}", tr.app(), level.label());
+                assert_eq!(m.groups, s.groups);
+                assert_eq!(m.level_label, s.level_label);
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_levels_records_observability_without_changing_results() {
+        let registry = Arc::new(Registry::wall());
+        let obs = SweepObs::new(&registry);
+        let tr = normal_trace(16); // shape (2, 2, 10, 16)
+        let with_obs = sweep_levels(&tr, 0.05, Some(&obs));
+        let without = sweep_levels(&tr, 0.05, None);
+        for (a, b) in with_obs.iter().zip(&without) {
+            assert_eq!(a.outcomes, b.outcomes);
+        }
+        let snap = registry.snapshot();
+        // Three group sizes (16, 64, 640) → exactly three weight solves;
+        // every other group reuses a cached vector.
+        assert_eq!(snap.counter(SweepObs::CACHE_MISS), 3);
+        assert_eq!(snap.counter(SweepObs::CACHE_HIT), 48);
+        // One sort per process-iteration group, one merge per application-
+        // iteration group, one application-level merge.
+        assert_eq!(snap.histogram(SweepObs::SORT_NS).count(), 40 + 10 + 1);
     }
 }

@@ -1,0 +1,145 @@
+//! CI bench-regression gate for the normality-sweep stage.
+//!
+//! Re-times the **serial** three-level normality sweep against the stage
+//! timing recorded in a baseline `BENCH_PIPELINE.json` (scale and seed are
+//! taken from the baseline, so the gate measures exactly the workload the
+//! baseline measured) and exits non-zero if the fresh measurement exceeds
+//! the baseline by more than the tolerance. CI runs it against a report
+//! generated on the same runner earlier in the job, so host speed cancels
+//! out.
+//!
+//! ```text
+//! bench_gate --baseline BENCH_PIPELINE.json [--stage normality-sweep]
+//!            [--repeats 5] [--tolerance 0.10] [--handicap 1.0]
+//! ```
+//!
+//! `--handicap` multiplies the fresh measurement before the comparison; CI
+//! uses it to self-test the gate (a 1.25 handicap must trip a 0.10
+//! tolerance).
+
+use std::process::ExitCode;
+
+use ebird_bench::pipeline::{time_serial_sweep, PipelineReport};
+use ebird_bench::Scale;
+
+struct Args {
+    baseline: String,
+    stage: String,
+    repeats: usize,
+    tolerance: f64,
+    handicap: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        baseline: String::new(),
+        stage: "normality-sweep".to_string(),
+        repeats: 5,
+        tolerance: 0.10,
+        handicap: 1.0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--baseline" => args.baseline = value("--baseline")?,
+            "--stage" => args.stage = value("--stage")?,
+            "--repeats" => {
+                args.repeats = value("--repeats")?
+                    .parse()
+                    .map_err(|e| format!("--repeats: {e}"))?
+            }
+            "--tolerance" => {
+                args.tolerance = value("--tolerance")?
+                    .parse()
+                    .map_err(|e| format!("--tolerance: {e}"))?
+            }
+            "--handicap" => {
+                args.handicap = value("--handicap")?
+                    .parse()
+                    .map_err(|e| format!("--handicap: {e}"))?
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: bench_gate --baseline <BENCH_PIPELINE.json> [--stage normality-sweep] \
+                     [--repeats N] [--tolerance F] [--handicap F]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.baseline.is_empty() {
+        return Err("--baseline is required".to_string());
+    }
+    if args.repeats == 0 {
+        return Err("--repeats must be at least 1".to_string());
+    }
+    let bad = |v: f64, min_ok: bool| v.is_nan() || v < 0.0 || (!min_ok && v == 0.0);
+    if bad(args.tolerance, true) || bad(args.handicap, false) {
+        return Err("--tolerance must be >= 0 and --handicap > 0".to_string());
+    }
+    Ok(args)
+}
+
+fn run(args: &Args) -> Result<bool, String> {
+    if args.stage != "normality-sweep" {
+        return Err(format!(
+            "only the normality-sweep stage is gated (got {:?})",
+            args.stage
+        ));
+    }
+    let text = std::fs::read_to_string(&args.baseline)
+        .map_err(|e| format!("reading {}: {e}", args.baseline))?;
+    let report: PipelineReport =
+        serde_json::from_str(&text).map_err(|e| format!("parsing {}: {e}", args.baseline))?;
+    let stage = report
+        .stages
+        .iter()
+        .find(|s| s.stage == args.stage)
+        .ok_or_else(|| format!("baseline has no {:?} stage", args.stage))?;
+    let scale = Scale::parse(&report.scale)
+        .ok_or_else(|| format!("baseline scale {:?} is not a preset", report.scale))?;
+
+    let measured_ms = time_serial_sweep(scale, report.seed, args.repeats);
+    let adjusted_ms = measured_ms * args.handicap;
+    let limit_ms = stage.serial_ms * (1.0 + args.tolerance);
+    eprintln!(
+        "bench_gate: {} @ {} scale, seed {}: baseline {:.2} ms, measured {:.2} ms \
+         (x{:.2} handicap = {:.2} ms), limit {:.2} ms (+{:.0}%)",
+        args.stage,
+        report.scale,
+        report.seed,
+        stage.serial_ms,
+        measured_ms,
+        args.handicap,
+        adjusted_ms,
+        limit_ms,
+        args.tolerance * 100.0
+    );
+    Ok(adjusted_ms <= limit_ms)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(true) => {
+            eprintln!("bench_gate: OK");
+            ExitCode::SUCCESS
+        }
+        Ok(false) => {
+            eprintln!("bench_gate: FAIL — normality-sweep regressed past the tolerance");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

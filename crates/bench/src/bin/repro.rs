@@ -66,7 +66,7 @@
 
 use std::io::Write as _;
 
-use ebird_analysis::engine::{sweep_parallel, table1_parallel};
+use ebird_analysis::engine::{sweep_levels_parallel, sweep_parallel, table1_parallel};
 use ebird_analysis::figures::{self, bins};
 use ebird_analysis::laggard::{laggard_census, ArrivalClass};
 use ebird_analysis::percentile_series::{detect_phase_boundary, iqr_stats, percentile_series};
@@ -884,6 +884,7 @@ fn cmd_server_metrics(opts: &Options) -> Result<(), String> {
 }
 
 fn cmd_profile(opts: &Options) -> Result<(), String> {
+    use ebird_bench::profile::{render_profile, PROFILE_STAGES};
     use ebird_runtime::PoolObserver;
     let registry = std::sync::Arc::new(ebird_obs::Registry::wall());
     let observer = PoolObserver::new(&registry);
@@ -901,77 +902,36 @@ fn cmd_profile(opts: &Options) -> Result<(), String> {
         observer.set_stage(name);
         registry.span(name)
     };
-    const STAGES: [&str; 4] = ["generate", "table1", "app-normality", "normality-sweep"];
 
     let traces: Vec<TimingTrace> = {
-        let _span = stage(STAGES[0]);
+        let _span = stage(PROFILE_STAGES[0]);
         ebird_cluster::SyntheticApp::all()
             .iter()
             .map(|a| a.generate_parallel(&cfg, opts.seed, &pool))
             .collect()
     };
     {
-        let _span = stage(STAGES[1]);
+        let _span = stage(PROFILE_STAGES[1]);
         let _ = table1_parallel(traces.iter(), calibration::ALPHA, &pool);
     }
     {
-        let _span = stage(STAGES[2]);
+        let _span = stage(PROFILE_STAGES[2]);
         for tr in &traces {
             let _ = sweep_parallel(tr, AggregationLevel::Application, calibration::ALPHA, &pool);
         }
     }
     {
-        let _span = stage(STAGES[3]);
+        // The merged fast path: all three levels in one pass, instrumented
+        // with the weight-cache counters and sort/merge histogram the
+        // rendering surfaces below.
+        let sweep_obs = ebird_analysis::normality::SweepObs::new(&registry);
+        let _span = stage(PROFILE_STAGES[3]);
         for tr in &traces {
-            let _ = sweep_parallel(
-                tr,
-                AggregationLevel::ApplicationIteration,
-                calibration::ALPHA,
-                &pool,
-            );
+            let _ = sweep_levels_parallel(tr, calibration::ALPHA, Some(&sweep_obs), &pool);
         }
     }
 
-    let snap = registry.snapshot();
-    println!("Pipeline profile ({} worker thread(s)):", threads);
-    println!(
-        "{:<18}{:>12}{:>12}{:>7}  per-worker busy ms",
-        "stage", "wall ms", "busy ms", "util"
-    );
-    let mut dominant = ("", 0u64);
-    for st in STAGES {
-        let wall_ns = snap.histogram(&format!("span.{st}.ns")).total();
-        let busy_ns = snap.counter(&PoolObserver::stage_counter(st));
-        if busy_ns > dominant.1 {
-            dominant = (st, busy_ns);
-        }
-        let per_worker: Vec<String> = (0..threads)
-            .map(|w| {
-                format!(
-                    "{:.1}",
-                    ms(snap.counter(&PoolObserver::worker_counter(st, w)))
-                )
-            })
-            .collect();
-        let util = if wall_ns == 0 {
-            0.0
-        } else {
-            100.0 * busy_ns as f64 / (wall_ns as f64 * threads as f64)
-        };
-        println!(
-            "{:<18}{:>12.1}{:>12.1}{:>6.0}%  {}",
-            st,
-            ms(wall_ns),
-            ms(busy_ns),
-            util,
-            per_worker.join(" ")
-        );
-    }
-    println!(
-        "dominant stage: {} ({:.1} ms of team busy time)",
-        dominant.0,
-        ms(dominant.1)
-    );
+    print!("{}", render_profile(&registry.snapshot(), threads));
     Ok(())
 }
 

@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod pipeline;
+pub mod profile;
 
 pub use ebird_serve::scenario;
 

@@ -1,0 +1,164 @@
+//! Rendering for `repro profile` — the pipeline's observability view.
+//!
+//! The profile command runs the generation + normality stages on an
+//! observed pool and prints one table from the registry snapshot: per-stage
+//! span wall time, pool busy time, utilization and per-worker busy splits,
+//! followed by the normality-sweep fast-path instruments
+//! ([`SweepObs::CACHE_HIT`]/[`SweepObs::CACHE_MISS`] and the per-group
+//! [`SweepObs::SORT_NS`] latency histogram). Rendering lives in the library
+//! so a sentinel test can assert every metric the profile reads actually
+//! appears in the output — a silent rendering gap would hide a regression
+//! signal.
+
+use ebird_analysis::normality::SweepObs;
+use ebird_obs::Snapshot;
+use ebird_runtime::PoolObserver;
+
+/// The stages `repro profile` runs and renders, in execution order.
+pub const PROFILE_STAGES: [&str; 4] = ["generate", "table1", "app-normality", "normality-sweep"];
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+/// Renders the profile table from a registry snapshot.
+pub fn render_profile(snap: &Snapshot, threads: usize) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "Pipeline profile ({threads} worker thread(s)):");
+    let _ = writeln!(
+        out,
+        "{:<18}{:>12}{:>12}{:>7}  per-worker busy ms",
+        "stage", "wall ms", "busy ms", "util"
+    );
+    let mut dominant = ("", 0u64);
+    for st in PROFILE_STAGES {
+        let wall_ns = snap.histogram(&format!("span.{st}.ns")).total();
+        let busy_ns = snap.counter(&PoolObserver::stage_counter(st));
+        if busy_ns > dominant.1 {
+            dominant = (st, busy_ns);
+        }
+        let per_worker: Vec<String> = (0..threads)
+            .map(|w| {
+                format!(
+                    "{:.1}",
+                    ms(snap.counter(&PoolObserver::worker_counter(st, w)))
+                )
+            })
+            .collect();
+        let util = if wall_ns == 0 {
+            0.0
+        } else {
+            100.0 * busy_ns as f64 / (wall_ns as f64 * threads as f64)
+        };
+        let _ = writeln!(
+            out,
+            "{:<18}{:>12.1}{:>12.1}{:>6.0}%  {}",
+            st,
+            ms(wall_ns),
+            ms(busy_ns),
+            util,
+            per_worker.join(" ")
+        );
+    }
+    let _ = writeln!(
+        out,
+        "dominant stage: {} ({:.1} ms of team busy time)",
+        dominant.0,
+        ms(dominant.1)
+    );
+
+    // The sweep fast-path instruments.
+    let hits = snap.counter(SweepObs::CACHE_HIT);
+    let misses = snap.counter(SweepObs::CACHE_MISS);
+    let lookups = hits + misses;
+    let hit_rate = if lookups == 0 {
+        0.0
+    } else {
+        100.0 * hits as f64 / lookups as f64
+    };
+    let sorts = snap.histogram(SweepObs::SORT_NS);
+    let (p50_lo, p50_hi) = sorts.quantile_bounds(0.5);
+    let (p95_lo, p95_hi) = sorts.quantile_bounds(0.95);
+    let _ = writeln!(out, "normality-sweep fast path:");
+    let _ = writeln!(
+        out,
+        "  weight cache: {hits} hits / {misses} misses ({hit_rate:.1}% hit rate)"
+    );
+    let _ = writeln!(
+        out,
+        "  group sort/merge: {} groups, {:.1} ms total, p50 {:.3}-{:.3} ms, p95 {:.3}-{:.3} ms",
+        sorts.count(),
+        ms(sorts.total()),
+        ms(p50_lo),
+        ms(p50_hi),
+        ms(p95_lo),
+        ms(p95_hi)
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebird_obs::Registry;
+    use std::sync::Arc;
+
+    /// Every metric the profile reads must surface in the rendered text:
+    /// each input gets a distinct sentinel value, and the rendering must
+    /// contain every sentinel. A metric the renderer silently drops fails
+    /// here.
+    #[test]
+    fn render_profile_covers_every_metric() {
+        let registry = Arc::new(Registry::wall());
+        let mut sentinel = 101u64;
+        let mut sentinels = Vec::new();
+        let mut next = |sentinels: &mut Vec<u64>| {
+            let s = sentinel;
+            sentinel += 1;
+            sentinels.push(s);
+            s
+        };
+        for st in PROFILE_STAGES {
+            // Wall / busy / worker-0 busy, all rendered in ms with one
+            // decimal, so a sentinel of S ms renders as "S.0".
+            registry
+                .histogram(&format!("span.{st}.ns"))
+                .record(next(&mut sentinels) * 1_000_000);
+            registry
+                .counter(&PoolObserver::stage_counter(st))
+                .add(next(&mut sentinels) * 1_000_000);
+            registry
+                .counter(&PoolObserver::worker_counter(st, 0))
+                .add(next(&mut sentinels) * 1_000_000);
+        }
+        registry
+            .counter(SweepObs::CACHE_HIT)
+            .add(next(&mut sentinels));
+        registry
+            .counter(SweepObs::CACHE_MISS)
+            .add(next(&mut sentinels));
+        // The sort histogram renders its entry count: record a sentinel
+        // number of 1 ms entries.
+        let count = next(&mut sentinels);
+        let hist = registry.histogram(SweepObs::SORT_NS);
+        for _ in 0..count {
+            hist.record(1_000_000);
+        }
+        let rendered = render_profile(&registry.snapshot(), 1);
+        for s in sentinels {
+            assert!(
+                rendered.contains(&s.to_string()),
+                "metric with sentinel value {s} missing from rendered profile:\n{rendered}"
+            );
+        }
+    }
+
+    #[test]
+    fn render_profile_handles_empty_snapshot() {
+        let registry = Arc::new(Registry::wall());
+        let rendered = render_profile(&registry.snapshot(), 2);
+        assert!(rendered.contains("normality-sweep fast path"));
+        assert!(rendered.contains("0 hits / 0 misses (0.0% hit rate)"));
+    }
+}

@@ -1,0 +1,106 @@
+//! Deterministic chunked-lane accumulation.
+//!
+//! The sweep kernels sum hundreds of thousands of `f64`s per group. A plain
+//! sequential fold chains every addition through one register — the compiler
+//! cannot reassociate float adds, so the loop runs at the latency of a
+//! dependent `addsd` chain. Splitting the stream into [`LANES`] independent
+//! accumulators breaks the dependency chain (the adds pipeline and
+//! auto-vectorize) while keeping the result **deterministic**: the lane
+//! assignment, the reduction tree and the remainder handling are fixed, so
+//! the same input always produces the same bits on every host and thread.
+//!
+//! Note the lane sum is *not* bit-identical to a sequential fold — it is a
+//! different (equally valid) association of the same additions. Every caller
+//! in this workspace therefore routes **all** of its paths (per-test,
+//! battery, serial sweep, parallel sweep) through these helpers, so
+//! cross-path bit-identity holds by construction.
+
+/// Number of independent accumulator lanes (a power of two; eight f64 lanes
+/// span two AVX2 registers).
+const LANES: usize = 8;
+
+/// Deterministic lane sum of `xs`.
+pub fn sum(xs: &[f64]) -> f64 {
+    let mut lanes = [0.0f64; LANES];
+    let chunks = xs.chunks_exact(LANES);
+    let rem = chunks.remainder();
+    for c in chunks {
+        for (lane, &v) in lanes.iter_mut().zip(c) {
+            *lane += v;
+        }
+    }
+    // Fixed pairwise reduction tree, then the remainder in order.
+    let mut acc = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+        + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+    for &v in rem {
+        acc += v;
+    }
+    acc
+}
+
+/// Deterministic `(mean, Σ(x − mean)²)` of `xs` via two lane passes.
+///
+/// The corrected sum of squares uses the already-rounded mean (exactly like
+/// the textbook two-pass algorithm the sweep kernels previously inlined),
+/// just with lane-parallel accumulation.
+///
+/// # Panics
+/// Panics in debug builds if `xs` is empty.
+pub fn mean_ssq(xs: &[f64]) -> (f64, f64) {
+    debug_assert!(!xs.is_empty(), "mean of an empty slice");
+    let mean = sum(xs) / xs.len() as f64;
+    let mut lanes = [0.0f64; LANES];
+    let chunks = xs.chunks_exact(LANES);
+    let rem = chunks.remainder();
+    for c in chunks {
+        for (lane, &v) in lanes.iter_mut().zip(c) {
+            let d = v - mean;
+            *lane += d * d;
+        }
+    }
+    let mut ssq = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+        + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+    for &v in rem {
+        let d = v - mean;
+        ssq += d * d;
+    }
+    (mean, ssq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sequential_sum_within_tolerance() {
+        let xs: Vec<f64> = (0..1003).map(|i| (i as f64 * 0.37).sin() * 10.0).collect();
+        let seq: f64 = xs.iter().sum();
+        assert!((sum(&xs) - seq).abs() < 1e-9 * (1.0 + seq.abs()));
+    }
+
+    #[test]
+    fn deterministic_across_calls_and_exact_on_integers() {
+        let xs: Vec<f64> = (0..97).map(|i| i as f64).collect();
+        assert_eq!(sum(&xs), 96.0 * 97.0 / 2.0);
+        assert_eq!(sum(&xs).to_bits(), sum(&xs).to_bits());
+    }
+
+    #[test]
+    fn mean_ssq_matches_two_pass() {
+        let xs: Vec<f64> = (0..250).map(|i| 5.0 + ((i * 7) % 13) as f64).collect();
+        let (mean, ssq) = mean_ssq(&xs);
+        let m: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
+        let s: f64 = xs.iter().map(|v| (v - m) * (v - m)).sum();
+        assert!((mean - m).abs() < 1e-12);
+        assert!((ssq - s).abs() < 1e-9 * (1.0 + s));
+    }
+
+    #[test]
+    fn handles_short_and_empty_slices() {
+        assert_eq!(sum(&[]), 0.0);
+        assert_eq!(sum(&[2.5]), 2.5);
+        let (mean, ssq) = mean_ssq(&[3.0, 5.0]);
+        assert_eq!(mean, 4.0);
+        assert_eq!(ssq, 2.0);
+    }
+}

@@ -27,6 +27,11 @@
 //!   every regenerated point estimate in EXPERIMENTS.md.
 //! * [`reduce`] — mergeable partial statistics ([`Moments::merge`]-based) for
 //!   the parallel analysis engine's reductions.
+//! * [`sort`] — LSD radix sort of finite `f64` samples over a monotone `u64`
+//!   key mapping, plus k-way merge of sorted sub-groups; bit-identical to a
+//!   stable `partial_cmp` sort and allocation-free with a reused scratch.
+//! * [`accumulate`] — deterministic chunked-lane summation used by every
+//!   sweep kernel so serial, parallel, and fused paths agree bit-for-bit.
 //! * [`timeseries`] — autocorrelation, rolling statistics and change-point
 //!   detection for iteration-indexed series (the "how do arrivals change
 //!   over a run" question).
@@ -38,6 +43,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod accumulate;
 pub mod bootstrap;
 pub mod descriptive;
 pub mod dist;
@@ -46,6 +52,7 @@ pub mod histogram;
 pub mod normality;
 pub mod percentile;
 pub mod reduce;
+pub mod sort;
 pub mod special;
 pub mod timeseries;
 

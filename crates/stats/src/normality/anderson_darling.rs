@@ -14,11 +14,42 @@
 //! `nortest::ad.test` uses), which reproduces p = 0.05 at A*² = 0.752 and
 //! p = 0.01 at A*² = 1.035.
 
-use crate::descriptive::Moments;
-use crate::special::{norm_log_cdf, norm_log_sf};
-use crate::{ensure_finite, ensure_len, StatsError};
+use crate::special::norm_log_cdf_sf;
+use crate::{accumulate, ensure_finite, ensure_len, StatsError};
 
 use super::{NormalityOutcome, NormalityTest, TestStatistic};
+
+/// The Σ (2i+1)[ln Φ(zᵢ) + ln(1 − Φ(z₍ₙ₋₁₋ᵢ₎))] sum over a sorted,
+/// standardized sample, in **paired traversal order**: indices `i` and
+/// `n−1−i` are visited together so each element needs exactly one fused
+/// [`norm_log_cdf_sf`] evaluation (the sum uses both its log-CDF and its
+/// mirror partner's log-SF). The fused battery kernel replays this exact
+/// accumulation sequence, so both paths agree bit-for-bit.
+pub(crate) fn ad_pair_sum(sorted: &[f64], mean: f64, sd: f64) -> f64 {
+    let n = sorted.len();
+    let z = |x: f64| (x - mean) / sd;
+    let mut s = 0.0;
+    for i in 0..n / 2 {
+        let r = n - 1 - i;
+        let (lc_i, ls_i) = norm_log_cdf_sf(z(sorted[i]));
+        let (lc_r, ls_r) = norm_log_cdf_sf(z(sorted[r]));
+        s += (2 * i + 1) as f64 * (lc_i + ls_r);
+        s += (2 * r + 1) as f64 * (lc_r + ls_i);
+    }
+    if n % 2 == 1 {
+        let mid = n / 2;
+        let (lc, ls) = norm_log_cdf_sf(z(sorted[mid]));
+        s += (2 * mid + 1) as f64 * (lc + ls);
+    }
+    s
+}
+
+/// Stephens' small-sample modification factor `1 + 0.75/n + 2.25/n²` —
+/// a pure function of `n`, cached per sample size by the sweep engine.
+pub(crate) fn modification_factor(n: usize) -> f64 {
+    let nf = n as f64;
+    1.0 + 0.75 / nf + 2.25 / (nf * nf)
+}
 
 /// Published case-3 significance levels (percent) and A*² critical values
 /// (D'Agostino & Stephens 1986, Table 4.7).
@@ -38,16 +69,17 @@ impl AndersonDarling {
         ensure_len(sample, self.min_sample_size())?;
         ensure_finite(sample)?;
         let mut sorted = sample.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        crate::sort::sort_floats(&mut sorted, &mut crate::sort::SortScratch::new());
         self.a2_from_parts(sample, &sorted)
     }
 
-    /// A*² from the original sample (for its moments, whose floating-point
-    /// sums are order-sensitive) plus an **already sorted** copy — the
+    /// A*² from the original sample plus an **already sorted** copy — the
     /// allocation-free core the sweep engine calls with a shared per-worker
     /// sorted buffer.
     ///
-    /// Standardization happens on the fly: `(x − x̄)/s` is strictly
+    /// The moments come from the *sorted* values via the deterministic lane
+    /// accumulators (summing a permutation would give different bits), and
+    /// standardization happens on the fly: `(x − x̄)/s` is strictly
     /// increasing, so the sorted raw values yield the sorted z-scores with
     /// bit-identical element values — no `z` buffer is needed at all.
     ///
@@ -55,9 +87,9 @@ impl AndersonDarling {
     /// Same contract as [`NormalityTest::test`].
     pub fn a2_from_parts(&self, sample: &[f64], sorted: &[f64]) -> Result<f64, StatsError> {
         ensure_len(sorted, self.min_sample_size())?;
-        // Validate both slices: `sorted` feeds the order statistics, `sample`
-        // feeds the moments — a non-finite value in either must surface as
-        // an error, never as a NaN statistic.
+        // Validate both slices: `sorted` feeds everything numeric, but a
+        // non-finite value in the caller's raw sample must surface as an
+        // error, never as a NaN statistic.
         ensure_finite(sorted)?;
         ensure_finite(sample)?;
         debug_assert_eq!(sample.len(), sorted.len(), "sample/sorted must match");
@@ -67,21 +99,19 @@ impl AndersonDarling {
         );
         let n = sorted.len();
         let nf = n as f64;
-        let m = Moments::from_slice(sample);
-        let sd = m.std_dev(); // unbiased (n-1) denominator, as in scipy
+        // Degenerate samples are detected on the sorted range, not the
+        // computed variance: the lane-summed mean of n equal values can be an
+        // ulp off the value itself, leaving ssq tiny-but-positive.
+        if sorted[n - 1] - sorted[0] <= 0.0 {
+            return Err(StatsError::ZeroVariance);
+        }
+        let (mean, ssq) = accumulate::mean_ssq(sorted);
+        let sd = (ssq / (nf - 1.0)).sqrt(); // unbiased (n-1) denominator, as in scipy
         if sd.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err(StatsError::ZeroVariance);
         }
-        let mean = m.mean();
-        let z = |x: f64| (x - mean) / sd;
-
-        let mut s = 0.0;
-        for i in 0..n {
-            let w = (2 * i + 1) as f64;
-            s += w * (norm_log_cdf(z(sorted[i])) + norm_log_sf(z(sorted[n - 1 - i])));
-        }
-        let a2 = -nf - s / nf;
-        Ok(a2 * (1.0 + 0.75 / nf + 2.25 / (nf * nf)))
+        let a2 = -nf - ad_pair_sum(sorted, mean, sd) / nf;
+        Ok(a2 * modification_factor(n))
     }
 
     /// Full test outcome from the original sample plus an **already sorted**
@@ -155,6 +185,14 @@ impl NormalityTest for AndersonDarling {
             n: sample.len(),
             extrapolated: false,
         })
+    }
+
+    fn test_presorted(
+        &self,
+        sample: &[f64],
+        sorted: &[f64],
+    ) -> Result<NormalityOutcome, StatsError> {
+        self.test_from_parts(sample, sorted)
     }
 }
 

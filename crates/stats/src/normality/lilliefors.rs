@@ -13,9 +13,9 @@
 //! Dallal–Wilkinson (1986) analytic p-value approximation, the same one R's
 //! `nortest::lillie.test` uses, including its rescaling for p > 0.1.
 
-use crate::descriptive::Moments;
+use crate::sort::{sort_floats, SortScratch};
 use crate::special::norm_cdf;
-use crate::{ensure_finite, ensure_len, StatsError};
+use crate::{accumulate, ensure_finite, ensure_len, StatsError};
 
 use super::{NormalityOutcome, NormalityTest, TestStatistic};
 
@@ -31,20 +31,42 @@ impl Lilliefors {
     pub fn d_statistic(&self, sample: &[f64]) -> Result<f64, StatsError> {
         ensure_len(sample, self.min_sample_size())?;
         ensure_finite(sample)?;
-        let m = Moments::from_slice(sample);
-        let sd = m.std_dev();
+        let mut sorted = sample.to_vec();
+        sort_floats(&mut sorted, &mut SortScratch::new());
+        self.d_from_sorted(&sorted)
+    }
+
+    /// D from an **already sorted** sample — the allocation-free core shared
+    /// with the extended-battery sweep (standardization is monotone, so the
+    /// sorted raw values give the sorted z-scores directly).
+    ///
+    /// # Errors
+    /// Same contract as [`NormalityTest::test`].
+    pub fn d_from_sorted(&self, sorted: &[f64]) -> Result<f64, StatsError> {
+        ensure_len(sorted, self.min_sample_size())?;
+        ensure_finite(sorted)?;
+        debug_assert!(
+            sorted.windows(2).all(|w| w[0] <= w[1]),
+            "`sorted` must be sorted ascending"
+        );
+        let n = sorted.len();
+        // Sorted-range degeneracy check: the lane-summed mean of n equal
+        // values can be an ulp off the value itself, so variance alone is not
+        // a reliable zero detector.
+        if sorted[n - 1] - sorted[0] <= 0.0 {
+            return Err(StatsError::ZeroVariance);
+        }
+        let (mean, ssq) = accumulate::mean_ssq(sorted);
+        let sd = (ssq / (n as f64 - 1.0)).sqrt();
         if sd.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err(StatsError::ZeroVariance);
         }
-        let mean = m.mean();
-        let mut z: Vec<f64> = sample.iter().map(|&x| (x - mean) / sd).collect();
-        z.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
-        let n = z.len() as f64;
+        let nf = n as f64;
         let mut d: f64 = 0.0;
-        for (i, &zi) in z.iter().enumerate() {
-            let f = norm_cdf(zi);
-            let upper = (i as f64 + 1.0) / n - f;
-            let lower = f - i as f64 / n;
+        for (i, &x) in sorted.iter().enumerate() {
+            let f = norm_cdf((x - mean) / sd);
+            let upper = (i as f64 + 1.0) / nf - f;
+            let lower = f - i as f64 / nf;
             d = d.max(upper.max(lower));
         }
         Ok(d)
@@ -104,6 +126,22 @@ impl NormalityTest for Lilliefors {
             statistic: d,
             p_value: Self::p_value_for(d, sample.len()),
             n: sample.len(),
+            extrapolated: false,
+        })
+    }
+
+    fn test_presorted(
+        &self,
+        sample: &[f64],
+        sorted: &[f64],
+    ) -> Result<NormalityOutcome, StatsError> {
+        debug_assert_eq!(sample.len(), sorted.len(), "sample/sorted must match");
+        let d = self.d_from_sorted(sorted)?;
+        Ok(NormalityOutcome {
+            statistic_kind: TestStatistic::LillieforsD,
+            statistic: d,
+            p_value: Self::p_value_for(d, sorted.len()),
+            n: sorted.len(),
             extrapolated: false,
         })
     }

@@ -21,7 +21,9 @@ pub mod shapiro_wilk;
 
 use serde::{Deserialize, Serialize};
 
-use crate::StatsError;
+use crate::sort::{sort_floats, SortScratch};
+use crate::special::norm_log_cdf_sf;
+use crate::{accumulate, StatsError};
 
 /// Identifier for one of the three implemented tests; used in reports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -101,19 +103,120 @@ pub trait NormalityTest {
     /// [`StatsError::NonFinite`] on NaN/∞, [`StatsError::ZeroVariance`] when
     /// every observation is identical (all three statistics are undefined).
     fn test(&self, sample: &[f64]) -> Result<NormalityOutcome, StatsError>;
+
+    /// Runs the test given both the raw sample and an already-sorted copy of
+    /// it, with the same outcome [`Self::test`] would produce on `sample`.
+    ///
+    /// The default ignores `sorted`; order-statistic tests (Shapiro–Wilk,
+    /// Anderson–Darling, Lilliefors) override it to skip their internal sort,
+    /// which is what makes the sweep's shared-sorted-buffer path
+    /// allocation-free for the whole extended battery.
+    ///
+    /// # Errors
+    /// Same contract as [`Self::test`].
+    fn test_presorted(
+        &self,
+        sample: &[f64],
+        sorted: &[f64],
+    ) -> Result<NormalityOutcome, StatsError> {
+        debug_assert_eq!(sample.len(), sorted.len(), "sample/sorted must match");
+        self.test(sample)
+    }
+}
+
+/// A per-`n` cache of everything in the battery that depends **only on the
+/// sample size**: the Shapiro–Wilk weight vector (~n/2 `norm_quantile`
+/// solves), its Royston p-value transform parameters, and the
+/// Anderson–Darling small-sample factor.
+///
+/// Every group at one aggregation level shares the same `n`, so a sweep over
+/// 16,000 process-iteration sets computes the weights once per worker instead
+/// of once per group. A small LRU (the sweep touches at most one `n` per
+/// level, three levels per trace) keeps cross-level reuse cheap without
+/// unbounded growth.
+#[derive(Debug, Clone, Default)]
+pub struct WeightCache {
+    entries: Vec<WeightEntry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+#[derive(Debug, Clone)]
+struct WeightEntry {
+    n: usize,
+    weights: Vec<f64>,
+    sw_params: shapiro_wilk::SwPValueParams,
+    ad_factor: f64,
+    stamp: u64,
+}
+
+impl WeightCache {
+    /// Distinct sample sizes kept (LRU beyond this). The sweep needs three —
+    /// one per aggregation level — so eight absorbs mixed-shape workloads.
+    const CAPACITY: usize = 8;
+
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn entry(&mut self, n: usize) -> &WeightEntry {
+        self.tick += 1;
+        if let Some(idx) = self.entries.iter().position(|e| e.n == n) {
+            self.hits += 1;
+            self.entries[idx].stamp = self.tick;
+            return &self.entries[idx];
+        }
+        self.misses += 1;
+        let mut weights = if self.entries.len() >= Self::CAPACITY {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(i, _)| i)
+                .expect("cache is non-empty at capacity");
+            self.entries.swap_remove(lru).weights
+        } else {
+            Vec::new()
+        };
+        shapiro_wilk::blom_weights(n, &mut weights);
+        self.entries.push(WeightEntry {
+            n,
+            weights,
+            sw_params: shapiro_wilk::SwPValueParams::for_n(n),
+            ad_factor: anderson_darling::modification_factor(n),
+            stamp: self.tick,
+        });
+        self.entries.last().expect("just pushed")
+    }
+
+    /// The cached Shapiro–Wilk half-length weight vector for sample size `n`,
+    /// bit-for-bit equal to a fresh [`shapiro_wilk::blom_weights`] run
+    /// (pinned by proptest).
+    pub fn weights_for(&mut self, n: usize) -> &[f64] {
+        &self.entry(n).weights
+    }
+
+    /// `(hits, misses)` counters since construction, for observability.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
 }
 
 /// Reusable buffers for allocation-free runs of the paper's three-test
 /// battery: one sorted copy of the sample (shared by Shapiro–Wilk and
-/// Anderson–Darling, which previously each sorted their own fresh `Vec`)
-/// plus the Shapiro–Wilk weight vector.
+/// Anderson–Darling, which previously each sorted their own fresh `Vec`),
+/// the radix-sort scratch, and the per-`n` [`WeightCache`].
 ///
 /// One scratch per worker thread lets the sweep engine test tens of
 /// thousands of groups with zero allocations after warm-up.
 #[derive(Debug, Clone, Default)]
 pub struct BatteryScratch {
     sorted: Vec<f64>,
-    weights: Vec<f64>,
+    sort: SortScratch,
+    cache: WeightCache,
 }
 
 impl BatteryScratch {
@@ -121,12 +224,102 @@ impl BatteryScratch {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Sorts `data` in place with the scratch's reusable radix buffers
+    /// (bit-identical to a stable `partial_cmp` sort; see [`crate::sort`]).
+    pub fn sort_in_place(&mut self, data: &mut [f64]) {
+        sort_floats(data, &mut self.sort);
+    }
+
+    /// The scratch's weight cache, for callers that manage their own sorted
+    /// buffers (the merged multi-level sweep).
+    pub fn cache(&mut self) -> &mut WeightCache {
+        &mut self.cache
+    }
+
+    /// `(hits, misses)` of the embedded weight cache.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
+}
+
+/// The fused Shapiro–Wilk + Anderson–Darling kernel: one traversal of the
+/// sorted sample computes the symmetric-difference W sum and the paired
+/// `ln Φ(zᵢ) + ln(1 − Φ(z₍ₙ₋₁₋ᵢ₎))` A² terms, with one fused
+/// [`norm_log_cdf_sf`] evaluation per element and weights/constants from the
+/// per-`n` cache.
+///
+/// Outcomes are bit-identical to the individual tests because every
+/// accumulator replays the exact sequence of the standalone paths:
+/// mean/ssq via [`accumulate::mean_ssq`], `sax` ascending (as in
+/// `w_from_sorted_with`), and the A² sum in `ad_pair_sum`'s pair order —
+/// interleaving is safe since the accumulators are independent.
+fn fused_sw_ad(
+    sorted: &[f64],
+    cache: &mut WeightCache,
+) -> (Option<NormalityOutcome>, Option<NormalityOutcome>) {
+    let n = sorted.len();
+    if n < 3 {
+        // Below every order-statistic test's minimum sample size.
+        return (None, None);
+    }
+    if sorted[n - 1] - sorted[0] <= 0.0 {
+        // ZeroVariance for both tests (checked on the sorted range, exactly
+        // like the standalone paths).
+        return (None, None);
+    }
+    let entry = cache.entry(n);
+    let (mean, ssq) = accumulate::mean_ssq(sorted);
+    let nf = n as f64;
+    let sd = (ssq / (nf - 1.0)).sqrt();
+    let do_ad = n >= 8 && sd.partial_cmp(&0.0) == Some(std::cmp::Ordering::Greater);
+    let a = &entry.weights[..];
+    let mut sax = 0.0;
+    let mut s_ad = 0.0;
+    if do_ad {
+        for (i, &ai) in a.iter().enumerate() {
+            let r = n - 1 - i;
+            sax += ai * (sorted[r] - sorted[i]);
+            let (lc_i, ls_i) = norm_log_cdf_sf((sorted[i] - mean) / sd);
+            let (lc_r, ls_r) = norm_log_cdf_sf((sorted[r] - mean) / sd);
+            s_ad += (2 * i + 1) as f64 * (lc_i + ls_r);
+            s_ad += (2 * r + 1) as f64 * (lc_r + ls_i);
+        }
+        if n % 2 == 1 {
+            let mid = n / 2;
+            let (lc, ls) = norm_log_cdf_sf((sorted[mid] - mean) / sd);
+            s_ad += (2 * mid + 1) as f64 * (lc + ls);
+        }
+    } else {
+        for (i, &ai) in a.iter().enumerate() {
+            sax += ai * (sorted[n - 1 - i] - sorted[i]);
+        }
+    }
+    let w = ((sax * sax) / ssq).min(1.0);
+    let sw = NormalityOutcome {
+        statistic_kind: TestStatistic::ShapiroWilkW,
+        statistic: w,
+        p_value: entry.sw_params.p_value(w),
+        n,
+        extrapolated: n > 5000,
+    };
+    let ad = do_ad.then(|| {
+        let a2 = (-nf - s_ad / nf) * entry.ad_factor;
+        NormalityOutcome {
+            statistic_kind: TestStatistic::AndersonDarlingA2,
+            statistic: a2,
+            p_value: anderson_darling::AndersonDarling::p_value_for(a2),
+            n,
+            extrapolated: false,
+        }
+    });
+    (Some(sw), ad)
 }
 
 /// Runs the paper's three-test battery (D'Agostino K², Shapiro–Wilk,
 /// Anderson–Darling — [`BATTERY_ORDER`] in the analysis layer) on one sample
-/// through `scratch`, sorting the sample **once** and sharing the sorted copy
-/// between the two order-statistic tests.
+/// through `scratch`: radix sort once, then the fused SW+AD kernel with
+/// cached per-`n` weights.
 ///
 /// Outcomes are bit-identical to calling each test's
 /// [`NormalityTest::test`] on the unsorted sample; a test that cannot process
@@ -137,22 +330,43 @@ pub fn battery_with_scratch(
 ) -> [Option<NormalityOutcome>; 3] {
     let dag = dagostino::DagostinoK2.test(sample).ok();
     // A non-finite value fails every test's validation; skip the sort (whose
-    // comparator requires finite values) and report the same `None`s the
+    // key mapping requires finite values) and report the same `None`s the
     // per-test calls would.
     if !sample.iter().all(|x| x.is_finite()) {
         return [dag, None, None];
     }
-    scratch.sorted.clear();
-    scratch.sorted.extend_from_slice(sample);
-    scratch
-        .sorted
-        .sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
-    let sw = shapiro_wilk::ShapiroWilk
-        .test_from_sorted(&scratch.sorted, &mut scratch.weights)
-        .ok();
-    let ad = anderson_darling::AndersonDarling
-        .test_from_parts(sample, &scratch.sorted)
-        .ok();
+    let BatteryScratch {
+        sorted,
+        sort,
+        cache,
+    } = scratch;
+    sorted.clear();
+    sorted.extend_from_slice(sample);
+    sort_floats(sorted, sort);
+    let (sw, ad) = fused_sw_ad(sorted, cache);
+    [dag, sw, ad]
+}
+
+/// [`battery_with_scratch`] for callers that already hold a sorted copy of
+/// the sample (the merged multi-level sweep, which k-way-merges its
+/// sub-groups' sorted buffers instead of re-sorting). `sample` must be the
+/// same multiset in raw group order — D'Agostino's moment sums are
+/// order-sensitive, so it sees exactly what the unsorted path sees.
+pub fn battery_presorted(
+    sample: &[f64],
+    sorted: &[f64],
+    cache: &mut WeightCache,
+) -> [Option<NormalityOutcome>; 3] {
+    debug_assert_eq!(sample.len(), sorted.len(), "sample/sorted must match");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "`sorted` must be sorted ascending"
+    );
+    let dag = dagostino::DagostinoK2.test(sample).ok();
+    if !sample.iter().all(|x| x.is_finite()) {
+        return [dag, None, None];
+    }
+    let (sw, ad) = fused_sw_ad(sorted, cache);
     [dag, sw, ad]
 }
 
@@ -246,8 +460,10 @@ mod tests {
             state ^= state << 17;
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
-        for case in 0..20 {
-            let n = 8 + (case * 7) % 60;
+        for case in 0..28 {
+            // Sizes straddle the radix-sort threshold (64) and recur so both
+            // sorting paths and repeated weight-cache hits are exercised.
+            let n = 8 + (case % 6) * 31;
             let sample: Vec<f64> = match case % 4 {
                 0 => (0..n).map(|_| 10.0 + next()).collect(),
                 1 => (0..n).map(|_| -(1.0 - next()).ln()).collect(),
@@ -260,8 +476,65 @@ mod tests {
                 shapiro_wilk::ShapiroWilk.test(&sample).ok(),
                 anderson_darling::AndersonDarling.test(&sample).ok(),
             ];
-            assert_eq!(via_scratch, direct, "case {case}");
+            assert_eq!(via_scratch, direct, "case {case} (n={n})");
         }
+        let (hits, misses) = scratch.cache_stats();
+        assert!(hits > 0, "repeated n values must hit the weight cache");
+        assert!(misses > 0 && misses < hits + misses);
+    }
+
+    #[test]
+    fn battery_presorted_matches_battery_with_scratch() {
+        let mut scratch = BatteryScratch::new();
+        let mut cache = WeightCache::new();
+        for n in [8usize, 21, 64, 130] {
+            let sample: Vec<f64> = (0..n)
+                .map(|i| (((i * 131) % 997) as f64).sin() * 3.0)
+                .collect();
+            let mut sorted = sample.clone();
+            scratch.sort_in_place(&mut sorted);
+            let via_presorted = battery_presorted(&sample, &sorted, &mut cache);
+            let via_scratch = battery_with_scratch(&sample, &mut scratch);
+            assert_eq!(via_presorted, via_scratch, "n={n}");
+        }
+    }
+
+    #[test]
+    fn test_presorted_agrees_with_test_for_whole_extended_battery() {
+        let sample: Vec<f64> = (0..100)
+            .map(|i| (((i * 37) % 101) as f64).cos() * 2.0 + 0.01 * i as f64)
+            .collect();
+        let mut sorted = sample.clone();
+        BatteryScratch::new().sort_in_place(&mut sorted);
+        for test in extended_battery() {
+            let direct = test.test(&sample).unwrap();
+            let presorted = test.test_presorted(&sample, &sorted).unwrap();
+            assert_eq!(direct, presorted, "{}", test.kind().name());
+        }
+    }
+
+    #[test]
+    fn weight_cache_is_bit_identical_to_fresh_weights_and_evicts_lru() {
+        let mut cache = WeightCache::new();
+        let mut fresh = Vec::new();
+        // More distinct sizes than the capacity: exercises eviction too.
+        for n in [3usize, 4, 5, 6, 9, 48, 120, 500, 1201, 48, 3] {
+            shapiro_wilk::blom_weights(n, &mut fresh);
+            assert_eq!(
+                cache
+                    .weights_for(n)
+                    .iter()
+                    .map(|w| w.to_bits())
+                    .collect::<Vec<_>>(),
+                fresh.iter().map(|w| w.to_bits()).collect::<Vec<_>>(),
+                "n={n}"
+            );
+        }
+        let (hits, misses) = cache.stats();
+        // 48 repeats within capacity (hit); 3 was evicted by then (miss).
+        assert_eq!(hits + misses, 11);
+        assert!(misses >= 9, "expected ≥9 misses, got {misses}");
+        assert!(hits >= 1, "expected ≥1 hit, got {hits}");
     }
 
     #[test]

@@ -20,10 +20,23 @@
 //! applies SW to samples of 3,840 and 768,000 observations; we do the same but
 //! set [`NormalityOutcome::extrapolated`] for `n > 5000` so reports can flag it.
 
-use crate::special::{norm_quantile, norm_sf};
-use crate::{ensure_finite, ensure_len, StatsError};
+use std::cell::RefCell;
+
+use crate::sort::{sort_floats, SortScratch};
+use crate::special::{norm_pdf, norm_quantile, norm_sf};
+use crate::{accumulate, ensure_finite, ensure_len, StatsError};
 
 use super::{NormalityOutcome, NormalityTest, TestStatistic};
+
+thread_local! {
+    /// Scratch for the public unsorted-entry paths ([`ShapiroWilk::test`],
+    /// [`ShapiroWilk::w_statistic`], [`ShapiroWilk::w_and_weights`]) so the
+    /// ablation benches that call them in a loop stop allocating a sorted
+    /// copy + weight vector per call. The sweep engine does not use this —
+    /// it owns a `BatteryScratch` per worker.
+    static UNSORTED_ENTRY_SCRATCH: RefCell<(Vec<f64>, SortScratch, Vec<f64>)> =
+        RefCell::new((Vec::new(), SortScratch::new(), Vec::new()));
+}
 
 /// The Shapiro–Wilk test. Stateless; construct freely.
 #[derive(Debug, Clone, Copy, Default)]
@@ -44,25 +57,209 @@ fn poly(coeffs: &[f64], x: f64) -> f64 {
     coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
 }
 
+/// Solves `norm_sf(x) = q` for the next Blom score by warm-started Newton.
+///
+/// Consecutive Blom probabilities differ by `1/(n + 0.25)`, so the previous
+/// root plus one first-order predictor step lands within a few ulps of the
+/// next root; one or two Newton corrections then polish to machine precision.
+/// Against a cold [`norm_quantile`] per score this cuts the incomplete-gamma
+/// evaluations in the weight build by ~3x, which matters when a cache miss
+/// computes 384k scores for an application-level group.
+fn blom_next(x_prev: f64, q_prev: f64, q: f64) -> f64 {
+    let mut x = x_prev + (q_prev - q) / norm_pdf(x_prev);
+    for _ in 0..4 {
+        let pdf = norm_pdf(x);
+        if pdf <= f64::MIN_POSITIVE {
+            break;
+        }
+        let dx = (norm_sf(x) - q) / pdf;
+        x += dx;
+        if dx.abs() <= 1e-15 * (1.0 + x.abs()) {
+            break;
+        }
+    }
+    x
+}
+
+/// Fills `a` with the corrected half-length Shapiro–Wilk weight vector for
+/// sample size `n` (AS R94 steps 1–2). Depends **only** on `n` — the sweep
+/// engine caches the result per `n` ([`super::WeightCache`]) and shares it
+/// across every group at an aggregation level.
+///
+/// # Panics
+/// Debug builds panic if `n < 3`.
+pub fn blom_weights(n: usize, a: &mut Vec<f64>) {
+    debug_assert!(n >= 3, "Blom weights need n >= 3");
+    let nn2 = n / 2;
+    a.clear();
+    a.resize(nn2, 0.0);
+    if n == 3 {
+        a[0] = std::f64::consts::FRAC_1_SQRT_2;
+        return;
+    }
+    // Blom scores for the lower half (negative values), computed in place in
+    // `a` and corrected afterwards. Scores are solved in upper-tail
+    // coordinates (x > 0 with `norm_sf(x) = q`, so `m = -x`) because the
+    // warm-start predictor needs the strictly-ordered root sequence.
+    let an25 = n as f64 + 0.25;
+    let mut summ2 = 0.0;
+    let mut x_prev = 0.0;
+    let mut q_prev = 0.0;
+    for (i, mi) in a.iter_mut().enumerate() {
+        let q = (i as f64 + 1.0 - 0.375) / an25;
+        let x = if i == 0 {
+            -norm_quantile(q)
+        } else {
+            blom_next(x_prev, q_prev, q)
+        };
+        x_prev = x;
+        q_prev = q;
+        *mi = -x;
+        summ2 += 2.0 * x * x;
+    }
+    let ssumm2 = summ2.sqrt();
+    let rsn = 1.0 / (n as f64).sqrt();
+    let m0 = a[0];
+    // Corrected extreme weights (positive by construction).
+    let a1 = poly(&C1, rsn) - m0 / ssumm2;
+    let (i1, fac) = if n > 5 {
+        let m1 = a[1];
+        let a2 = poly(&C2, rsn) - m1 / ssumm2;
+        let fac = ((summ2 - 2.0 * m0 * m0 - 2.0 * m1 * m1) / (1.0 - 2.0 * a1 * a1 - 2.0 * a2 * a2))
+            .sqrt();
+        a[1] = a2;
+        (2, fac)
+    } else {
+        let fac = ((summ2 - 2.0 * m0 * m0) / (1.0 - 2.0 * a1 * a1)).sqrt();
+        (1, fac)
+    };
+    a[0] = a1;
+    for ai in a.iter_mut().skip(i1) {
+        *ai = -*ai / fac;
+    }
+}
+
+/// W from a sorted, non-degenerate sample and a precomputed weight vector:
+/// the symmetric-difference form `(Σ aᵢ (x₍ₙ₋ᵢ₎ − x₍ᵢ₎))² / Σ(x − x̄)²`.
+///
+/// Mean/ssq use the deterministic lane accumulators and the `sax` sum runs
+/// `i` ascending — the fused sweep kernel replays exactly this sequence, so
+/// both paths agree bit-for-bit.
+pub(crate) fn w_from_sorted_with(x: &[f64], a: &[f64]) -> f64 {
+    let n = x.len();
+    let (_, ssq) = accumulate::mean_ssq(x);
+    let mut sax = 0.0;
+    for (i, &ai) in a.iter().enumerate() {
+        sax += ai * (x[n - 1 - i] - x[i]);
+    }
+    ((sax * sax) / ssq).min(1.0)
+}
+
+/// Precomputed Royston p-value transform parameters for one sample size —
+/// the polynomial fits depend only on `n`, so the sweep's weight cache stores
+/// them next to the weight vector.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SwPValueParams {
+    n: usize,
+    /// `gamma` threshold of the `4 ≤ n ≤ 11` branch (unused otherwise).
+    gamma: f64,
+    m: f64,
+    s: f64,
+}
+
+impl SwPValueParams {
+    /// Evaluates the polynomial fits for sample size `n`.
+    pub(crate) fn for_n(n: usize) -> Self {
+        let nf = n as f64;
+        if n == 3 {
+            // The exact arcsine branch needs no fitted parameters.
+            Self {
+                n,
+                gamma: 0.0,
+                m: 0.0,
+                s: 1.0,
+            }
+        } else if n <= 11 {
+            Self {
+                n,
+                gamma: poly(&G, nf),
+                m: poly(&C3, nf),
+                s: poly(&C4, nf).exp(),
+            }
+        } else {
+            let ln_n = nf.ln();
+            Self {
+                n,
+                gamma: 0.0,
+                m: poly(&C5, ln_n),
+                s: poly(&C6, ln_n).exp(),
+            }
+        }
+    }
+
+    /// Royston's p-value for a W statistic at this `n` (bit-identical to
+    /// re-deriving the parameters fresh).
+    pub(crate) fn p_value(&self, w: f64) -> f64 {
+        if self.n == 3 {
+            // Exact small-sample distribution.
+            const PI6: f64 = 6.0 / std::f64::consts::PI;
+            const STQR: f64 = 1.047_197_551_196_597_6; // asin(sqrt(3/4))
+            let p = PI6 * ((w.sqrt()).asin() - STQR);
+            return p.clamp(0.0, 1.0);
+        }
+        let y = (1.0 - w).ln();
+        let z = if self.n <= 11 {
+            if y >= self.gamma {
+                // W so small that the transform degenerates: p ≈ 0.
+                return f64::MIN_POSITIVE;
+            }
+            -(self.gamma - y).ln()
+        } else {
+            y
+        };
+        norm_sf((z - self.m) / self.s)
+    }
+}
+
 impl ShapiroWilk {
     /// Computes only the W statistic of an **unsorted** sample.
     ///
     /// # Errors
     /// Same contract as [`NormalityTest::test`].
     pub fn w_statistic(&self, sample: &[f64]) -> Result<f64, StatsError> {
-        self.w_and_weights(sample).map(|(w, _)| w)
+        self.with_sorted_scratch(sample, |this, sorted, weights| {
+            this.w_from_sorted(sorted, weights)
+        })
     }
 
     /// Computes W plus the half-length positive weight vector `a₁..a_{n/2}`
     /// (exposed for the ablation bench that studies weight truncation).
+    ///
+    /// The only allocation is the returned weight vector itself; sorting and
+    /// the internal weight build reuse a thread-local scratch.
     pub fn w_and_weights(&self, sample: &[f64]) -> Result<(f64, Vec<f64>), StatsError> {
+        self.with_sorted_scratch(sample, |this, sorted, weights| {
+            let w = this.w_from_sorted(sorted, weights)?;
+            Ok((w, weights.clone()))
+        })
+    }
+
+    /// Sorts `sample` into the thread-local scratch and hands the sorted view
+    /// plus the reusable weight buffer to `body`.
+    fn with_sorted_scratch<R>(
+        &self,
+        sample: &[f64],
+        body: impl FnOnce(&Self, &[f64], &mut Vec<f64>) -> Result<R, StatsError>,
+    ) -> Result<R, StatsError> {
         ensure_len(sample, self.min_sample_size())?;
         ensure_finite(sample)?;
-        let mut x = sample.to_vec();
-        x.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
-        let mut a = Vec::new();
-        let w = self.w_from_sorted(&x, &mut a)?;
-        Ok((w, a))
+        UNSORTED_ENTRY_SCRATCH.with(|cell| {
+            let (sorted, sort, weights) = &mut *cell.borrow_mut();
+            sorted.clear();
+            sorted.extend_from_slice(sample);
+            sort_floats(sorted, sort);
+            body(self, sorted, weights)
+        })
     }
 
     /// Computes W from an **already sorted** sample, reusing `a` for the
@@ -80,53 +277,8 @@ impl ShapiroWilk {
         if x[n - 1] - x[0] <= 0.0 {
             return Err(StatsError::ZeroVariance);
         }
-
-        let nn2 = n / 2;
-        a.clear();
-        a.resize(nn2, 0.0);
-        if n == 3 {
-            a[0] = std::f64::consts::FRAC_1_SQRT_2;
-        } else {
-            // Blom scores for the lower half (negative values), computed in
-            // place in `a` and corrected afterwards.
-            let an25 = n as f64 + 0.25;
-            let mut summ2 = 0.0;
-            for (i, mi) in a.iter_mut().enumerate() {
-                *mi = norm_quantile((i as f64 + 1.0 - 0.375) / an25);
-                summ2 += 2.0 * *mi * *mi;
-            }
-            let ssumm2 = summ2.sqrt();
-            let rsn = 1.0 / (n as f64).sqrt();
-            let m0 = a[0];
-            // Corrected extreme weights (positive by construction).
-            let a1 = poly(&C1, rsn) - m0 / ssumm2;
-            let (i1, fac) = if n > 5 {
-                let m1 = a[1];
-                let a2 = poly(&C2, rsn) - m1 / ssumm2;
-                let fac = ((summ2 - 2.0 * m0 * m0 - 2.0 * m1 * m1)
-                    / (1.0 - 2.0 * a1 * a1 - 2.0 * a2 * a2))
-                    .sqrt();
-                a[1] = a2;
-                (2, fac)
-            } else {
-                let fac = ((summ2 - 2.0 * m0 * m0) / (1.0 - 2.0 * a1 * a1)).sqrt();
-                (1, fac)
-            };
-            a[0] = a1;
-            for ai in a.iter_mut().skip(i1) {
-                *ai = -*ai / fac;
-            }
-        }
-
-        // W via the symmetric-difference form.
-        let mean = x.iter().sum::<f64>() / n as f64;
-        let ssq: f64 = x.iter().map(|v| (v - mean) * (v - mean)).sum();
-        let sax: f64 = a
-            .iter()
-            .enumerate()
-            .map(|(i, &ai)| ai * (x[n - 1 - i] - x[i]))
-            .sum();
-        Ok(((sax * sax) / ssq).min(1.0))
+        blom_weights(n, a);
+        Ok(w_from_sorted_with(x, a))
     }
 
     /// Full test outcome from an **already sorted** sample, reusing `weights`
@@ -152,32 +304,7 @@ impl ShapiroWilk {
 
     /// Royston's p-value for a given `(w, n)` pair.
     fn p_value(w: f64, n: usize) -> f64 {
-        let nf = n as f64;
-        if n == 3 {
-            // Exact small-sample distribution.
-            const PI6: f64 = 6.0 / std::f64::consts::PI;
-            const STQR: f64 = 1.047_197_551_196_597_6; // asin(sqrt(3/4))
-            let p = PI6 * ((w.sqrt()).asin() - STQR);
-            return p.clamp(0.0, 1.0);
-        }
-        let y = (1.0 - w).ln();
-        let (m, s, z) = if n <= 11 {
-            let gamma = poly(&G, nf);
-            if y >= gamma {
-                // W so small that the transform degenerates: p ≈ 0.
-                return f64::MIN_POSITIVE;
-            }
-            let y2 = -(gamma - y).ln();
-            let m = poly(&C3, nf);
-            let s = poly(&C4, nf).exp();
-            (m, s, y2)
-        } else {
-            let ln_n = nf.ln();
-            let m = poly(&C5, ln_n);
-            let s = poly(&C6, ln_n).exp();
-            (m, s, y)
-        };
-        norm_sf((z - m) / s)
+        SwPValueParams::for_n(n).p_value(w)
     }
 }
 
@@ -191,14 +318,20 @@ impl NormalityTest for ShapiroWilk {
     }
 
     fn test(&self, sample: &[f64]) -> Result<NormalityOutcome, StatsError> {
-        let (w, _) = self.w_and_weights(sample)?;
-        let p = Self::p_value(w, sample.len());
-        Ok(NormalityOutcome {
-            statistic_kind: TestStatistic::ShapiroWilkW,
-            statistic: w,
-            p_value: p,
-            n: sample.len(),
-            extrapolated: sample.len() > 5000,
+        self.with_sorted_scratch(sample, |this, sorted, weights| {
+            this.test_from_sorted(sorted, weights)
+        })
+    }
+
+    fn test_presorted(
+        &self,
+        sample: &[f64],
+        sorted: &[f64],
+    ) -> Result<NormalityOutcome, StatsError> {
+        debug_assert_eq!(sample.len(), sorted.len(), "sample/sorted must match");
+        UNSORTED_ENTRY_SCRATCH.with(|cell| {
+            let (_, _, weights) = &mut *cell.borrow_mut();
+            self.test_from_sorted(sorted, weights)
         })
     }
 }
@@ -321,6 +454,60 @@ mod tests {
         let w1 = ShapiroWilk.w_statistic(&xs).unwrap();
         let w2 = ShapiroWilk.w_statistic(&scaled).unwrap();
         assert!((w1 - w2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warm_start_blom_scores_match_cold_quantiles() {
+        // blom_weights solves the score sequence by warm-started Newton;
+        // rebuild it here with one cold norm_quantile per score and compare.
+        for n in [4usize, 5, 6, 11, 48, 500, 4999] {
+            let mut a = Vec::new();
+            blom_weights(n, &mut a);
+            let an25 = n as f64 + 0.25;
+            let mut m: Vec<f64> = (0..n / 2)
+                .map(|i| norm_quantile((i as f64 + 1.0 - 0.375) / an25))
+                .collect();
+            let mut summ2 = 0.0;
+            for v in &m {
+                summ2 += 2.0 * v * v;
+            }
+            let ssumm2 = summ2.sqrt();
+            let rsn = 1.0 / (n as f64).sqrt();
+            let (m0, a1) = (m[0], poly(&C1, rsn) - m[0] / ssumm2);
+            let (i1, fac) = if n > 5 {
+                let a2 = poly(&C2, rsn) - m[1] / ssumm2;
+                let fac = ((summ2 - 2.0 * m0 * m0 - 2.0 * m[1] * m[1])
+                    / (1.0 - 2.0 * a1 * a1 - 2.0 * a2 * a2))
+                    .sqrt();
+                m[1] = a2;
+                (2, fac)
+            } else {
+                (1, ((summ2 - 2.0 * m0 * m0) / (1.0 - 2.0 * a1 * a1)).sqrt())
+            };
+            m[0] = a1;
+            for v in m.iter_mut().skip(i1) {
+                *v = -*v / fac;
+            }
+            for (i, (&got, &want)) in a.iter().zip(&m).enumerate() {
+                assert!(
+                    (got - want).abs() <= 1e-11 * (1.0 + want.abs()),
+                    "n={n} i={i}: warm {got} vs cold {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn p_value_params_match_direct_transform() {
+        // Cached params must reproduce the inline polynomial transform.
+        for n in [3usize, 4, 7, 11, 12, 48, 500, 6000] {
+            let params = SwPValueParams::for_n(n);
+            for w in [0.2, 0.6, 0.9, 0.99, 0.9999] {
+                let via_params = params.p_value(w);
+                let direct = ShapiroWilk::p_value(w, n);
+                assert_eq!(via_params.to_bits(), direct.to_bits(), "n={n} w={w}");
+            }
+        }
     }
 
     #[test]

@@ -8,16 +8,53 @@
 
 use ebird_stats::descriptive::{Moments, Summary};
 use ebird_stats::normality::{
-    anderson_darling::AndersonDarling, dagostino::DagostinoK2, jarque_bera::JarqueBera,
-    lilliefors::Lilliefors, shapiro_wilk::ShapiroWilk, NormalityTest,
+    anderson_darling::AndersonDarling, battery_with_scratch, dagostino::DagostinoK2,
+    jarque_bera::JarqueBera, lilliefors::Lilliefors, shapiro_wilk, shapiro_wilk::ShapiroWilk,
+    BatteryScratch, NormalityTest, WeightCache,
 };
 use ebird_stats::percentile::{percentile, PercentileSummary};
-use ebird_stats::special::{chi2_cdf, erf, erfc, norm_cdf, norm_quantile};
+use ebird_stats::sort::{merge_sorted, sort_floats, SortScratch};
+use ebird_stats::special::{
+    chi2_cdf, erf, erfc, norm_cdf, norm_log_cdf, norm_log_cdf_sf, norm_log_sf, norm_quantile,
+};
 use ebird_stats::Histogram;
 use proptest::prelude::*;
 
 fn arb_sample() -> impl Strategy<Value = Vec<f64>> {
     proptest::collection::vec(-1.0e6f64..1.0e6, 8..200)
+}
+
+/// Rewrites roughly half of a generated sample with the nasty corners of the
+/// radix key mapping — both zeros, subnormals, extreme magnitudes, and
+/// repeated values — selected by the generated values' own bits so the mix
+/// varies per case. Adjacent duplicates are then stamped in explicitly.
+fn inject_tricky_floats(mut xs: Vec<f64>) -> Vec<f64> {
+    const SPECIALS: [f64; 9] = [
+        0.0,
+        -0.0,
+        f64::MIN_POSITIVE,
+        -f64::MIN_POSITIVE,
+        5.0e-324, // smallest subnormal
+        -5.0e-324,
+        f64::MAX,
+        f64::MIN,
+        1.5,
+    ];
+    for x in xs.iter_mut() {
+        let sel = (x.to_bits() >> 3) % 18;
+        if let Some(&s) = SPECIALS.get(sel as usize) {
+            *x = s;
+        }
+    }
+    for i in (1..xs.len()).step_by(7) {
+        xs[i] = xs[i - 1];
+    }
+    xs
+}
+
+/// A sample biased toward radix-sort edge cases (see [`inject_tricky_floats`]).
+fn arb_tricky_sample(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1.0e6f64..1.0e6, 0..max_len).prop_map(inject_tricky_floats)
 }
 
 /// A sample guaranteed to have spread (for scale-dependent tests).
@@ -164,5 +201,86 @@ proptest! {
         if let Ok(w) = ShapiroWilk.w_statistic(&xs) {
             prop_assert!((0.0..=1.0).contains(&w), "W={w}");
         }
+    }
+
+    #[test]
+    fn radix_sort_is_bit_identical_to_stable_partial_cmp_sort(
+        xs in arb_tricky_sample(400),
+    ) {
+        // The pinned contract of crate::sort: for every finite input —
+        // duplicates, ±0.0 (canonicalized in the key, stable in the payload),
+        // subnormals, extremes — the radix path produces the same bits as the
+        // stable comparison sort.
+        let mut radix = xs.clone();
+        sort_floats(&mut radix, &mut SortScratch::new());
+        let mut reference = xs.clone();
+        reference.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let radix_bits: Vec<u64> = radix.iter().map(|v| v.to_bits()).collect();
+        let ref_bits: Vec<u64> = reference.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(radix_bits, ref_bits);
+    }
+
+    #[test]
+    fn merge_sorted_matches_sort_of_concatenation(
+        parts in proptest::collection::vec(
+            proptest::collection::vec(-1.0e6f64..1.0e6, 0..60), 1..6),
+    ) {
+        let sorted_parts: Vec<Vec<f64>> = parts
+            .iter()
+            .map(|p| {
+                let mut s = inject_tricky_floats(p.clone());
+                sort_floats(&mut s, &mut SortScratch::new());
+                s
+            })
+            .collect();
+        let children: Vec<&[f64]> = sorted_parts.iter().map(|p| p.as_slice()).collect();
+        let mut concat: Vec<f64> = sorted_parts.concat();
+        let mut merged = vec![0.0; concat.len()];
+        merge_sorted(&children, &mut merged);
+        concat.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let merged_bits: Vec<u64> = merged.iter().map(|v| v.to_bits()).collect();
+        let concat_bits: Vec<u64> = concat.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(merged_bits, concat_bits);
+    }
+
+    #[test]
+    fn weight_cache_is_bit_identical_to_fresh_weights(n in 3usize..5001) {
+        let mut cache = WeightCache::new();
+        let mut fresh = Vec::new();
+        shapiro_wilk::blom_weights(n, &mut fresh);
+        let fresh_bits: Vec<u64> = fresh.iter().map(|w| w.to_bits()).collect();
+        // Miss then hit must both be bit-for-bit equal to a fresh build.
+        for pass in 0..2 {
+            let cached_bits: Vec<u64> =
+                cache.weights_for(n).iter().map(|w| w.to_bits()).collect();
+            prop_assert_eq!(&cached_bits, &fresh_bits, "pass {}", pass);
+        }
+        let (hits, misses) = cache.stats();
+        prop_assert_eq!((hits, misses), (1, 1));
+    }
+
+    #[test]
+    fn fused_battery_is_bit_identical_to_individual_tests(
+        xs in proptest::collection::vec(-1.0e6f64..1.0e6, 3..300),
+        flatten in 0usize..4,
+    ) {
+        // Randomized shapes, including degenerate flat groups and sizes
+        // below every battery member's minimum.
+        let xs = if flatten == 0 { vec![xs[0]; xs.len()] } else { xs };
+        let mut scratch = BatteryScratch::new();
+        let fused = battery_with_scratch(&xs, &mut scratch);
+        let direct = [
+            DagostinoK2.test(&xs).ok(),
+            ShapiroWilk.test(&xs).ok(),
+            AndersonDarling.test(&xs).ok(),
+        ];
+        prop_assert_eq!(fused, direct);
+    }
+
+    #[test]
+    fn norm_log_cdf_sf_is_bitwise_equal_to_separate_evaluations(x in -40.0f64..40.0) {
+        let (lc, ls) = norm_log_cdf_sf(x);
+        prop_assert_eq!(lc.to_bits(), norm_log_cdf(x).to_bits());
+        prop_assert_eq!(ls.to_bits(), norm_log_sf(x).to_bits());
     }
 }

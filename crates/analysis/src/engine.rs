@@ -22,7 +22,7 @@ use ebird_cluster::{JobConfig, Workload};
 use ebird_core::view::{fill_group_ms, AggregationLevel};
 use ebird_core::{ThreadSample, TimingTrace};
 use ebird_partcomm::{run_delivery, DeliveryOutcome, NetModel, SimScratch, Strategy};
-use ebird_runtime::Pool;
+use ebird_runtime::{Pool, WorkerArenas};
 use ebird_stats::normality::{
     battery_presorted, battery_with_scratch, BatteryScratch, NormalityOutcome,
 };
@@ -30,9 +30,77 @@ use ebird_stats::reduce::Mergeable;
 use ebird_stats::sort::merge_sorted;
 use ebird_stats::Moments;
 
-use crate::laggard::{classify_unit, ClassifiedIteration, LaggardCensus};
-use crate::normality::{NormalitySweep, SweepObs, SWEEP_LEVELS};
-use crate::reclaim::{fold_units, unit_reclaim, ReclaimMetrics, UnitReclaim};
+use crate::laggard::{classify_unit, laggard_census, ClassifiedIteration, LaggardCensus};
+use crate::normality::{
+    sweep_levels_with_scratch, NormalitySweep, SweepObs, SweepScratch, SWEEP_LEVELS,
+};
+use crate::reclaim::{fold_units, reclaim_metrics, unit_reclaim, ReclaimMetrics, UnitReclaim};
+
+/// Long-lived scratch for the whole analysis engine: the serial sweep
+/// scratch (which doubles as the single-thread fast path's storage), one
+/// scratch value per pool worker for every parallel stage, and the flat
+/// sorted-group buffers the merged sweep phases share.
+///
+/// The parallel fast paths used to allocate all of this fresh inside every
+/// region body — per worker, per call — re-solving Shapiro–Wilk weight
+/// vectors and re-faulting multi-megabyte buffers on every trace and every
+/// bench repeat. An `EngineArenas` built once per campaign turns that into
+/// a one-off warm-up: a worker re-entering a region locks its own
+/// (uncontended) slot and finds its buffers ready from the previous call.
+pub struct EngineArenas {
+    pub(crate) sweep: SweepScratch,
+    pub(crate) sweep_workers: WorkerArenas<SweepWorker>,
+    pub(crate) unit_ms: WorkerArenas<Vec<f64>>,
+    pub(crate) sim: WorkerArenas<SimWorker>,
+    pub(crate) pi_sorted: Vec<f64>,
+    pub(crate) ai_sorted: Vec<f64>,
+    pub(crate) app_sorted: Vec<f64>,
+}
+
+/// One normality-sweep worker's scratch: the group-values buffer and the
+/// battery scratch (radix buffers + cached Shapiro–Wilk weights).
+#[derive(Default)]
+pub(crate) struct SweepWorker {
+    pub(crate) values: Vec<f64>,
+    pub(crate) battery: BatteryScratch,
+}
+
+/// One delivery-sweep worker's scratch: the arrivals buffer and the
+/// simulation working sets.
+#[derive(Default)]
+pub(crate) struct SimWorker {
+    pub(crate) values: Vec<f64>,
+    pub(crate) scratch: SimScratch,
+}
+
+impl EngineArenas {
+    /// Arenas for a team of `workers` (≥ 1).
+    pub fn new(workers: usize) -> Self {
+        Self {
+            sweep: SweepScratch::new(),
+            sweep_workers: WorkerArenas::new(workers),
+            unit_ms: WorkerArenas::new(workers),
+            sim: WorkerArenas::new(workers),
+            pi_sorted: Vec::new(),
+            ai_sorted: Vec::new(),
+            app_sorted: Vec::new(),
+        }
+    }
+
+    /// Arenas sized for `pool`'s team.
+    pub fn for_pool(pool: &Pool) -> Self {
+        Self::new(pool.threads())
+    }
+}
+
+/// Grows `buf` to exactly `len` without preserving contents; every element
+/// is overwritten before being read by the sweep phases.
+fn uninit_slice(buf: &mut Vec<f64>, len: usize) -> &mut [f64] {
+    if buf.len() < len {
+        buf.resize(len, 0.0);
+    }
+    &mut buf[..len]
+}
 
 /// Generates every workload's campaign trace serially — the generation
 /// stage of the analysis pipeline, generic over any [`Workload`]
@@ -119,6 +187,30 @@ pub fn sweep_levels_parallel(
     obs: Option<&SweepObs>,
     pool: &Pool,
 ) -> [NormalitySweep; 3] {
+    sweep_levels_parallel_with_arenas(trace, alpha, obs, pool, &mut EngineArenas::for_pool(pool))
+}
+
+/// [`sweep_levels_parallel`] with caller-owned [`EngineArenas`], so repeated
+/// sweeps (one per trace of a campaign, or per bench repeat) reuse the
+/// per-worker battery scratches and the flat sorted-group buffers.
+///
+/// On a one-thread pool this **is** the serial sweep: the whole call runs
+/// inline through [`Pool::run_serial`] (no slots, no per-group closure
+/// dispatch), so `p = 1` parallel and serial are the same machine code over
+/// the same scratch — the zero-overhead fork/join property the pipeline
+/// bench gates.
+pub fn sweep_levels_parallel_with_arenas(
+    trace: &TimingTrace,
+    alpha: f64,
+    obs: Option<&SweepObs>,
+    pool: &Pool,
+    arenas: &mut EngineArenas,
+) -> [NormalitySweep; 3] {
+    if pool.threads() == 1 {
+        let scratch = &mut arenas.sweep;
+        return pool.run_serial(move || sweep_levels_with_scratch(trace, alpha, obs, scratch));
+    }
+
     let finite = trace
         .samples()
         .iter()
@@ -129,31 +221,43 @@ pub fn sweep_levels_parallel(
     }
 
     let shape = trace.shape();
+    let EngineArenas {
+        sweep,
+        sweep_workers,
+        pi_sorted,
+        ai_sorted,
+        app_sorted,
+        ..
+    } = arenas;
 
     // Phase 1: process-iteration groups.
     let pi_level = AggregationLevel::ProcessIteration;
     let pi_groups = pi_level.group_count(trace);
     let pi_size = shape.threads;
-    let mut pi_sorted = vec![0.0f64; pi_groups * pi_size];
+    let pi_sorted = uninit_slice(pi_sorted, pi_groups * pi_size);
     let mut pi_slots: Vec<(&mut [f64], [Option<NormalityOutcome>; 3])> = pi_sorted
         .chunks_mut(pi_size)
         .map(|s| (s, Default::default()))
         .collect();
-    pool.parallel_chunks_mut(&mut pi_slots, |block, range, _ctx| {
-        let mut values = Vec::new();
-        let mut scratch = BatteryScratch::new();
+    pool.parallel_chunks_mut(&mut pi_slots, |block, range, ctx| {
+        let mut worker = sweep_workers.slot(ctx.thread());
+        let SweepWorker { values, battery } = &mut *worker;
+        let cache_before = battery.cache_stats();
         for (offset, (slice, out)) in block.iter_mut().enumerate() {
-            fill_group_ms(trace, pi_level, range.start + offset, &mut values);
-            slice.copy_from_slice(&values);
+            fill_group_ms(trace, pi_level, range.start + offset, values);
+            slice.copy_from_slice(values);
             let t0 = obs.map(|o| o.now_ns());
-            scratch.sort_in_place(slice);
+            battery.sort_in_place(slice);
             if let (Some(o), Some(t0)) = (obs, t0) {
                 o.record_sort(t0);
             }
-            *out = battery_presorted(&values, slice, scratch.cache());
+            if let Some(o) = obs {
+                o.record_batch_len(values.len());
+            }
+            *out = battery_presorted(values, slice, battery);
         }
         if let Some(o) = obs {
-            o.record_cache_stats(&scratch);
+            o.record_cache_delta(battery, cache_before);
         }
     });
     let pi_outcomes: Vec<_> = pi_slots.into_iter().map(|(_, out)| out).collect();
@@ -163,19 +267,20 @@ pub fn sweep_levels_parallel(
     let ai_level = AggregationLevel::ApplicationIteration;
     let ai_groups = ai_level.group_count(trace);
     let ai_size = shape.samples_per_app_iteration();
-    let mut ai_sorted = vec![0.0f64; ai_groups * ai_size];
+    let ai_sorted = uninit_slice(ai_sorted, ai_groups * ai_size);
     let mut ai_slots: Vec<(&mut [f64], [Option<NormalityOutcome>; 3])> = ai_sorted
         .chunks_mut(ai_size)
         .map(|s| (s, Default::default()))
         .collect();
-    let pi_view = &pi_sorted;
-    pool.parallel_chunks_mut(&mut ai_slots, |block, range, _ctx| {
-        let mut values = Vec::new();
-        let mut scratch = BatteryScratch::new();
+    let pi_view = &*pi_sorted;
+    pool.parallel_chunks_mut(&mut ai_slots, |block, range, ctx| {
+        let mut worker = sweep_workers.slot(ctx.thread());
+        let SweepWorker { values, battery } = &mut *worker;
+        let cache_before = battery.cache_stats();
         let mut children: Vec<&[f64]> = Vec::with_capacity(shape.trials * shape.ranks);
         for (offset, (slice, out)) in block.iter_mut().enumerate() {
             let g = range.start + offset;
-            fill_group_ms(trace, ai_level, g, &mut values);
+            fill_group_ms(trace, ai_level, g, values);
             children.clear();
             for trial in 0..shape.trials {
                 for rank in 0..shape.ranks {
@@ -188,29 +293,37 @@ pub fn sweep_levels_parallel(
             if let (Some(o), Some(t0)) = (obs, t0) {
                 o.record_sort(t0);
             }
-            *out = battery_presorted(&values, slice, scratch.cache());
+            if let Some(o) = obs {
+                o.record_batch_len(values.len());
+            }
+            *out = battery_presorted(values, slice, battery);
         }
         if let Some(o) = obs {
-            o.record_cache_stats(&scratch);
+            o.record_cache_delta(battery, cache_before);
         }
     });
     let ai_outcomes: Vec<_> = ai_slots.into_iter().map(|(_, out)| out).collect();
 
-    // Phase 3: the single application group, serial.
+    // Phase 3: the single application group, serial — on the serial sweep
+    // scratch, whose weight cache persists across calls like the workers'.
     let app_level = AggregationLevel::Application;
     let mut values = Vec::new();
     fill_group_ms(trace, app_level, 0, &mut values);
-    let mut app_sorted = vec![0.0f64; shape.total_samples()];
+    let app_sorted = uninit_slice(app_sorted, shape.total_samples());
     let ai_children: Vec<&[f64]> = ai_sorted.chunks(ai_size).collect();
     let t0 = obs.map(|o| o.now_ns());
-    merge_sorted(&ai_children, &mut app_sorted);
+    merge_sorted(&ai_children, app_sorted);
     if let (Some(o), Some(t0)) = (obs, t0) {
         o.record_sort(t0);
     }
-    let mut scratch = BatteryScratch::new();
-    let app_outcomes = vec![battery_presorted(&values, &app_sorted, scratch.cache())];
+    let scratch = sweep.battery();
+    let cache_before = scratch.cache_stats();
     if let Some(o) = obs {
-        o.record_cache_stats(&scratch);
+        o.record_batch_len(values.len());
+    }
+    let app_outcomes = vec![battery_presorted(&values, app_sorted, scratch)];
+    if let Some(o) = obs {
+        o.record_cache_delta(scratch, cache_before);
     }
 
     let mk =
@@ -236,6 +349,9 @@ pub fn laggard_census_parallel(
     pool: &Pool,
 ) -> LaggardCensus {
     assert!(threshold_ms > 0.0, "threshold must be positive");
+    if pool.threads() == 1 {
+        return pool.run_serial(|| laggard_census(trace, threshold_ms));
+    }
     let shape = trace.shape();
     let units = shape.process_iterations();
     let mut iterations: Vec<ClassifiedIteration> = vec![
@@ -273,6 +389,9 @@ pub fn laggard_census_parallel(
 /// folded serially in that order (the identical float-addition sequence the
 /// serial path performs).
 pub fn reclaim_metrics_parallel(trace: &TimingTrace, pool: &Pool) -> ReclaimMetrics {
+    if pool.threads() == 1 {
+        return pool.run_serial(|| reclaim_metrics(trace));
+    }
     let shape = trace.shape();
     let units = shape.process_iterations();
     let mut per_unit: Vec<UnitReclaim> = vec![UnitReclaim::default(); units];
@@ -403,13 +522,54 @@ where
     M: NetModel,
     F: Fn() -> M + Sync,
 {
+    delivery_sweep_parallel_with_arenas(
+        trace,
+        bytes_total,
+        make_model,
+        pool,
+        &mut EngineArenas::for_pool(pool),
+    )
+}
+
+/// [`delivery_sweep_parallel`] with caller-owned [`EngineArenas`]: workers
+/// reuse their simulation scratch across traces and repeats, and a
+/// one-thread pool runs the serial sweep loop inline ([`Pool::run_serial`])
+/// with no slot vector or closure dispatch.
+pub fn delivery_sweep_parallel_with_arenas<M, F>(
+    trace: &TimingTrace,
+    bytes_total: usize,
+    make_model: F,
+    pool: &Pool,
+    arenas: &mut EngineArenas,
+) -> Vec<[DeliveryOutcome; 4]>
+where
+    M: NetModel,
+    F: Fn() -> M + Sync,
+{
+    if pool.threads() == 1 {
+        let worker = arenas.sim.get_mut(0);
+        return pool.run_serial(move || {
+            let mut model = make_model();
+            trace
+                .iter_process_iterations()
+                .map(|(_, _, _, samples)| {
+                    worker.values.clear();
+                    worker
+                        .values
+                        .extend(samples.iter().map(ThreadSample::compute_time_ms));
+                    delivery_unit(&worker.values, bytes_total, &mut model, &mut worker.scratch)
+                })
+                .collect()
+        });
+    }
     let shape = trace.shape();
     let units = shape.process_iterations();
+    let sim = &arenas.sim;
     let mut out: Vec<Option<[DeliveryOutcome; 4]>> = vec![None; units];
-    pool.parallel_chunks_mut(&mut out, |block, range, _ctx| {
+    pool.parallel_chunks_mut(&mut out, |block, range, ctx| {
+        let mut worker = sim.slot(ctx.thread());
+        let SimWorker { values, scratch } = &mut *worker;
         let mut model = make_model();
-        let mut scratch = SimScratch::new();
-        let mut values = Vec::with_capacity(shape.threads);
         for (offset, slot) in block.iter_mut().enumerate() {
             let (trial, rank, iteration) = unit_coords(shape, range.start + offset);
             let samples = trace
@@ -417,12 +577,7 @@ where
                 .expect("unit in range by construction");
             values.clear();
             values.extend(samples.iter().map(ThreadSample::compute_time_ms));
-            *slot = Some(delivery_unit(
-                &values,
-                bytes_total,
-                &mut model,
-                &mut scratch,
-            ));
+            *slot = Some(delivery_unit(values, bytes_total, &mut model, scratch));
         }
     });
     out.into_iter()
@@ -432,7 +587,7 @@ where
 
 /// Decodes a flat process-iteration index (trace order: trial-major,
 /// iteration innermost).
-fn unit_coords(shape: ebird_core::TraceShape, unit: usize) -> (usize, usize, usize) {
+pub(crate) fn unit_coords(shape: ebird_core::TraceShape, unit: usize) -> (usize, usize, usize) {
     let iteration = unit % shape.iterations;
     let rest = unit / shape.iterations;
     (rest / shape.ranks, rest % shape.ranks, iteration)
@@ -511,6 +666,36 @@ mod tests {
             let groups = (tr.shape().process_iterations() + tr.shape().iterations + 1) as u64;
             assert_eq!(snap.histogram(SweepObs::SORT_NS).count(), groups);
             assert!(snap.counter(SweepObs::CACHE_MISS) > 0);
+        }
+    }
+
+    #[test]
+    fn arena_reuse_keeps_sweep_and_delivery_bit_identical() {
+        // Warm arenas (cached weights, dirty buffers) must change nothing:
+        // run every arena-backed stage twice on shared arenas and compare
+        // against the fresh-arena wrappers.
+        let tr = mixed_trace();
+        let link = ebird_partcomm::LinkModel::omni_path();
+        for workers in [1, 3] {
+            let pool = Pool::new(workers);
+            let mut arenas = EngineArenas::for_pool(&pool);
+            let fresh_sweep = sweep_levels_parallel(&tr, 0.05, None, &pool);
+            let fresh_delivery =
+                delivery_sweep_parallel(&tr, 1_000_000, || SerialLink::new(link), &pool);
+            for round in 0..2 {
+                let sw = sweep_levels_parallel_with_arenas(&tr, 0.05, None, &pool, &mut arenas);
+                for (a, b) in sw.iter().zip(&fresh_sweep) {
+                    assert_eq!(a.outcomes, b.outcomes, "round {round} × {workers}");
+                }
+                let dl = delivery_sweep_parallel_with_arenas(
+                    &tr,
+                    1_000_000,
+                    || SerialLink::new(link),
+                    &pool,
+                    &mut arenas,
+                );
+                assert_eq!(dl, fresh_delivery, "round {round} × {workers}");
+            }
         }
     }
 

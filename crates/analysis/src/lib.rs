@@ -24,6 +24,12 @@
 //! * [`engine`] — the parallel analysis engine: the normality/laggard/reclaim
 //!   sweeps fanned out over `ebird-runtime`'s own thread pool with
 //!   bit-identical outputs, plus a `Moments::merge`-based campaign reduction.
+//!   Long-lived per-worker scratch lives in [`engine::EngineArenas`]; a
+//!   one-thread pool runs every stage's serial loop inline (zero fork/join
+//!   overhead).
+//! * [`scan`] — the single-pass trace scan fusing the laggard census, the
+//!   reclaim metrics and the campaign moments into one traversal,
+//!   bit-identical to the three standalone stages it replaces.
 
 #![warn(missing_docs)]
 
@@ -35,12 +41,14 @@ pub mod overlap;
 pub mod percentile_series;
 pub mod reclaim;
 pub mod report;
+pub mod scan;
 
 pub use engine::{
     campaign_moments, laggard_census_parallel, reclaim_metrics_parallel, sweep_parallel,
-    table1_parallel,
+    table1_parallel, EngineArenas,
 };
 pub use laggard::{laggard_census, LaggardCensus};
 pub use normality::{table1, NormalitySweep, Table1};
 pub use percentile_series::{percentile_series, IqrStats};
 pub use reclaim::{reclaim_metrics, ReclaimMetrics};
+pub use scan::{trace_scan, trace_scan_parallel, TraceScan};

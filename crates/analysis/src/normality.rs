@@ -107,6 +107,7 @@ pub struct SweepObs {
     cache_hit: Arc<Counter>,
     cache_miss: Arc<Counter>,
     sort_ns: Arc<Histogram>,
+    batch_len: Arc<Histogram>,
 }
 
 impl SweepObs {
@@ -118,6 +119,11 @@ impl SweepObs {
     /// Histogram name: nanoseconds spent radix-sorting (or k-way merging)
     /// each group before the fused battery pass.
     pub const SORT_NS: &'static str = "sweep.sort.ns";
+    /// Histogram name: elements handed to the fused SW+AD batch-Φ kernel per
+    /// group — the buffer lengths the slice kernels stream over. One entry
+    /// per battery invocation, so `count` is the number of groups fused and
+    /// the distribution shows the batch sizes the autovectorized blocks see.
+    pub const BATCH_LEN: &'static str = "sweep.batch.len";
 
     /// Registers the sweep instruments on `registry`.
     pub fn new(registry: &Arc<Registry>) -> Self {
@@ -126,6 +132,7 @@ impl SweepObs {
             cache_hit: registry.counter(Self::CACHE_HIT),
             cache_miss: registry.counter(Self::CACHE_MISS),
             sort_ns: registry.histogram(Self::SORT_NS),
+            batch_len: registry.histogram(Self::BATCH_LEN),
         }
     }
 
@@ -140,9 +147,10 @@ impl SweepObs {
             .record(self.now_ns().saturating_sub(started_ns));
     }
 
-    /// Folds one scratch's lifetime weight-cache tallies into the counters.
-    pub(crate) fn record_cache_stats(&self, scratch: &BatteryScratch) {
-        self.record_cache_delta(scratch, (0, 0));
+    /// Records one fused-battery invocation's sample count (the batch-Φ
+    /// kernel's buffer length).
+    pub(crate) fn record_batch_len(&self, len: usize) {
+        self.batch_len.record(len as u64);
     }
 
     /// Folds the weight-cache tallies accumulated since `before` (an earlier
@@ -273,7 +281,10 @@ pub fn sweep_levels_with_scratch(
         if let (Some(o), Some(t0)) = (obs, t0) {
             o.record_sort(t0);
         }
-        pi_outcomes.push(battery_presorted(values, slice, scratch.cache()));
+        if let Some(o) = obs {
+            o.record_batch_len(values.len());
+        }
+        pi_outcomes.push(battery_presorted(values, slice, scratch));
     }
 
     // Phase 2: application-iteration groups. Group `g` aggregates the
@@ -301,7 +312,10 @@ pub fn sweep_levels_with_scratch(
         if let (Some(o), Some(t0)) = (obs, t0) {
             o.record_sort(t0);
         }
-        ai_outcomes.push(battery_presorted(values, out, scratch.cache()));
+        if let Some(o) = obs {
+            o.record_batch_len(values.len());
+        }
+        ai_outcomes.push(battery_presorted(values, out, scratch));
     }
 
     // Phase 3: the single application group merges the application-
@@ -318,7 +332,10 @@ pub fn sweep_levels_with_scratch(
     if let (Some(o), Some(t0)) = (obs, t0) {
         o.record_sort(t0);
     }
-    let app_outcomes = vec![battery_presorted(values, app_sorted, scratch.cache())];
+    if let Some(o) = obs {
+        o.record_batch_len(values.len());
+    }
+    let app_outcomes = vec![battery_presorted(values, app_sorted, scratch)];
 
     if let Some(o) = obs {
         o.record_cache_delta(scratch, cache_before);
@@ -598,5 +615,10 @@ mod tests {
         // One sort per process-iteration group, one merge per application-
         // iteration group, one application-level merge.
         assert_eq!(snap.histogram(SweepObs::SORT_NS).count(), 40 + 10 + 1);
+        // One fused-battery batch per group; total elements = the group
+        // sizes summed (40×16 + 10×64 + 1×640).
+        let batches = snap.histogram(SweepObs::BATCH_LEN);
+        assert_eq!(batches.count(), 40 + 10 + 1);
+        assert_eq!(batches.total(), 40 * 16 + 10 * 64 + 640);
     }
 }

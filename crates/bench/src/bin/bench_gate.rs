@@ -1,26 +1,39 @@
-//! CI bench-regression gate for the normality-sweep stage.
+//! CI bench-regression gate over the pipeline stages.
 //!
-//! Re-times the **serial** three-level normality sweep against the stage
-//! timing recorded in a baseline `BENCH_PIPELINE.json` (scale and seed are
-//! taken from the baseline, so the gate measures exactly the workload the
-//! baseline measured) and exits non-zero if the fresh measurement exceeds
-//! the baseline by more than the tolerance. CI runs it against a report
-//! generated on the same runner earlier in the job, so host speed cancels
-//! out.
+//! Two modes, selected by `--stage`:
+//!
+//! * `--stage normality-sweep` (default): re-times the **serial**
+//!   three-level normality sweep against the stage timing recorded in a
+//!   baseline `BENCH_PIPELINE.json` — the original single-stage gate.
+//! * `--stage all`: re-runs the **whole pipeline** (serial and parallel, at
+//!   the baseline's scale/seed/pool size) and gates every baseline stage's
+//!   serial time, the serial total, and — when the pool is one thread — the
+//!   fork/join overhead ratio `parallel_ms ≤ 1.05 × serial_ms` per stage
+//!   and in total, i.e. "parallel strictly dominates serial" within noise.
+//!
+//! Scale and seed are taken from the baseline, so the gate measures exactly
+//! the workload the baseline measured. CI runs it against a report generated
+//! on the same runner earlier in the job, so host speed cancels out.
 //!
 //! ```text
-//! bench_gate --baseline BENCH_PIPELINE.json [--stage normality-sweep]
+//! bench_gate --baseline BENCH_PIPELINE.json [--stage all|normality-sweep]
 //!            [--repeats 5] [--tolerance 0.10] [--handicap 1.0]
 //! ```
 //!
-//! `--handicap` multiplies the fresh measurement before the comparison; CI
-//! uses it to self-test the gate (a 1.25 handicap must trip a 0.10
-//! tolerance).
+//! `--handicap` multiplies the fresh measurement before every comparison;
+//! CI uses it to self-test the gate (a 1.25 handicap must trip a 0.10
+//! tolerance — and, in `all` mode, the 1.05 overhead ratio too).
 
 use std::process::ExitCode;
 
-use ebird_bench::pipeline::{time_serial_sweep, PipelineReport};
+use ebird_bench::pipeline::{run_pipeline, time_serial_sweep, PipelineReport};
 use ebird_bench::Scale;
+use ebird_runtime::Pool;
+
+/// Maximum tolerated `parallel_ms / serial_ms` at one pool thread: the
+/// zero-overhead fork/join property the runtime unification guarantees,
+/// with 5% slack for timer noise.
+const OVERHEAD_FACTOR: f64 = 1.05;
 
 struct Args {
     baseline: String,
@@ -60,11 +73,9 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--handicap: {e}"))?
             }
             "--help" | "-h" => {
-                return Err(
-                    "usage: bench_gate --baseline <BENCH_PIPELINE.json> [--stage normality-sweep] \
-                     [--repeats N] [--tolerance F] [--handicap F]"
-                        .to_string(),
-                )
+                return Err("usage: bench_gate --baseline <BENCH_PIPELINE.json> \
+                     [--stage all|normality-sweep] [--repeats N] [--tolerance F] [--handicap F]"
+                    .to_string())
             }
             other => return Err(format!("unknown flag {other}")),
         }
@@ -82,34 +93,40 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn run(args: &Args) -> Result<bool, String> {
-    if args.stage != "normality-sweep" {
-        return Err(format!(
-            "only the normality-sweep stage is gated (got {:?})",
-            args.stage
-        ));
-    }
-    let text = std::fs::read_to_string(&args.baseline)
-        .map_err(|e| format!("reading {}: {e}", args.baseline))?;
-    let report: PipelineReport =
-        serde_json::from_str(&text).map_err(|e| format!("parsing {}: {e}", args.baseline))?;
-    let stage = report
+fn load_baseline(path: &str) -> Result<PipelineReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+/// One labelled comparison; prints the verdict and returns whether it held.
+fn check(name: &str, adjusted_ms: f64, limit_ms: f64) -> bool {
+    let pass = adjusted_ms <= limit_ms;
+    eprintln!(
+        "bench_gate: {name}: {adjusted_ms:.2} ms vs limit {limit_ms:.2} ms — {}",
+        if pass { "ok" } else { "FAIL" }
+    );
+    pass
+}
+
+/// Legacy single-stage mode: serial normality sweep only.
+fn gate_sweep(args: &Args, baseline: &PipelineReport) -> Result<bool, String> {
+    let stage = baseline
         .stages
         .iter()
         .find(|s| s.stage == args.stage)
         .ok_or_else(|| format!("baseline has no {:?} stage", args.stage))?;
-    let scale = Scale::parse(&report.scale)
-        .ok_or_else(|| format!("baseline scale {:?} is not a preset", report.scale))?;
+    let scale = Scale::parse(&baseline.scale)
+        .ok_or_else(|| format!("baseline scale {:?} is not a preset", baseline.scale))?;
 
-    let measured_ms = time_serial_sweep(scale, report.seed, args.repeats);
+    let measured_ms = time_serial_sweep(scale, baseline.seed, args.repeats);
     let adjusted_ms = measured_ms * args.handicap;
     let limit_ms = stage.serial_ms * (1.0 + args.tolerance);
     eprintln!(
         "bench_gate: {} @ {} scale, seed {}: baseline {:.2} ms, measured {:.2} ms \
          (x{:.2} handicap = {:.2} ms), limit {:.2} ms (+{:.0}%)",
         args.stage,
-        report.scale,
-        report.seed,
+        baseline.scale,
+        baseline.seed,
         stage.serial_ms,
         measured_ms,
         args.handicap,
@@ -118,6 +135,72 @@ fn run(args: &Args) -> Result<bool, String> {
         args.tolerance * 100.0
     );
     Ok(adjusted_ms <= limit_ms)
+}
+
+/// Whole-pipeline mode: every baseline stage, the serial total, and the
+/// one-thread fork/join overhead ratio.
+fn gate_all(args: &Args, baseline: &PipelineReport) -> Result<bool, String> {
+    let scale = Scale::parse(&baseline.scale)
+        .ok_or_else(|| format!("baseline scale {:?} is not a preset", baseline.scale))?;
+    let pool = Pool::new(baseline.pool_threads.max(1));
+    eprintln!(
+        "bench_gate: all stages @ {} scale, seed {}, {} pool threads, best of {} \
+         (x{:.2} handicap, +{:.0}% tolerance)",
+        baseline.scale,
+        baseline.seed,
+        pool.threads(),
+        args.repeats,
+        args.handicap,
+        args.tolerance * 100.0
+    );
+    let fresh = run_pipeline(scale, baseline.seed, &pool, args.repeats);
+    let mut ok = true;
+    for base_stage in &baseline.stages {
+        let fresh_stage = fresh
+            .stages
+            .iter()
+            .find(|s| s.stage == base_stage.stage)
+            .ok_or_else(|| format!("fresh run has no {:?} stage", base_stage.stage))?;
+        ok &= check(
+            &format!("{} serial", base_stage.stage),
+            fresh_stage.serial_ms * args.handicap,
+            base_stage.serial_ms * (1.0 + args.tolerance),
+        );
+    }
+    ok &= check(
+        "total serial",
+        fresh.total_serial_ms * args.handicap,
+        baseline.total_serial_ms * (1.0 + args.tolerance),
+    );
+    if fresh.pool_threads == 1 {
+        // Zero-overhead fork/join: at one thread the parallel codepath IS
+        // the serial loop, so its time may not exceed serial by more than
+        // timer noise.
+        for s in &fresh.stages {
+            ok &= check(
+                &format!("{} p=1 overhead", s.stage),
+                s.parallel_ms * args.handicap,
+                s.serial_ms * OVERHEAD_FACTOR,
+            );
+        }
+        ok &= check(
+            "total p=1 overhead",
+            fresh.total_parallel_ms * args.handicap,
+            fresh.total_serial_ms * OVERHEAD_FACTOR,
+        );
+    }
+    Ok(ok)
+}
+
+fn run(args: &Args) -> Result<bool, String> {
+    let baseline = load_baseline(&args.baseline)?;
+    match args.stage.as_str() {
+        "all" => gate_all(args, &baseline),
+        "normality-sweep" => gate_sweep(args, &baseline),
+        other => Err(format!(
+            "unknown stage {other:?} (use \"all\" or \"normality-sweep\")"
+        )),
+    }
 }
 
 fn main() -> ExitCode {
@@ -134,7 +217,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Ok(false) => {
-            eprintln!("bench_gate: FAIL — normality-sweep regressed past the tolerance");
+            eprintln!("bench_gate: FAIL — measurements regressed past the gate limits");
             ExitCode::FAILURE
         }
         Err(e) => {

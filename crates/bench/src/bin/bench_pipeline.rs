@@ -1,20 +1,25 @@
 //! `bench_pipeline` — times the full repro pipeline (generate → sweep →
-//! census → reclaim → simulate) serial vs parallel and writes
+//! trace-scan → simulate) serial vs parallel and writes
 //! `BENCH_PIPELINE.json`.
 //!
 //! ```text
 //! bench_pipeline [--scale paper|ci] [--seed N] [--threads N]
-//!                [--repeats N] [--out PATH]
+//!                [--repeats N] [--out PATH] [--allow-shape-change]
 //! ```
 //!
 //! Defaults: paper scale, seed 20230421, `available_parallelism()` worker
 //! threads, best-of-3 timings, `BENCH_PIPELINE.json` in the working
 //! directory. The run fails loudly if any parallel stage's output is not
 //! bit-identical to its serial counterpart.
+//!
+//! When the output file already holds a baseline measured with a different
+//! pool size or host parallelism, the run **refuses to overwrite it** —
+//! comparing gate thresholds across measurement shapes is meaningless.
+//! Pass `--allow-shape-change` to overwrite anyway (a warning is printed).
 
 use std::io::Write as _;
 
-use ebird_bench::pipeline::{render_report, run_pipeline};
+use ebird_bench::pipeline::{baseline_shape_mismatch, render_report, run_pipeline, PipelineReport};
 use ebird_bench::{Scale, DEFAULT_SEED};
 use ebird_runtime::Pool;
 
@@ -25,7 +30,7 @@ fn main() {
         eprintln!();
         eprintln!(
             "usage: bench_pipeline [--scale paper|ci] [--seed N] [--threads N] \
-             [--repeats N] [--out PATH]"
+             [--repeats N] [--out PATH] [--allow-shape-change]"
         );
         std::process::exit(2);
     }
@@ -37,10 +42,12 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut repeats = 3usize;
     let mut out = std::path::PathBuf::from("BENCH_PIPELINE.json");
+    let mut allow_shape_change = false;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--allow-shape-change" => allow_shape_change = true,
             "--scale" => {
                 let v = it.next().ok_or("--scale needs a value")?;
                 scale = Scale::parse(v).ok_or_else(|| format!("unknown scale `{v}`"))?;
@@ -72,6 +79,30 @@ fn run(args: &[String]) -> Result<(), String> {
                 out = std::path::PathBuf::from(v);
             }
             other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+
+    // Refuse to regenerate a baseline whose measurement shape (pool size,
+    // host parallelism) differs from this run — the committed thresholds
+    // would silently change meaning.
+    if let Ok(text) = std::fs::read_to_string(&out) {
+        if let Ok(existing) = serde_json::from_str::<PipelineReport>(&text) {
+            let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+            if let Some(diff) = baseline_shape_mismatch(&existing, threads, host) {
+                if allow_shape_change {
+                    eprintln!(
+                        "# warning: overwriting baseline with a different measurement \
+                         shape ({diff}) — gate history before and after this point is \
+                         not comparable"
+                    );
+                } else {
+                    return Err(format!(
+                        "{} was measured with a different shape ({diff}); rerun with \
+                         --allow-shape-change to overwrite it",
+                        out.display()
+                    ));
+                }
+            }
         }
     }
 

@@ -12,13 +12,13 @@
 use std::time::Instant;
 
 use ebird_analysis::engine::{
-    campaign_moments, delivery_sweep, delivery_sweep_parallel, generate_campaign,
-    generate_campaign_parallel, laggard_census_parallel, reclaim_metrics_parallel,
-    sweep_levels_parallel,
+    delivery_sweep, delivery_sweep_parallel_with_arenas, generate_campaign,
+    generate_campaign_parallel, sweep_levels_parallel_with_arenas, EngineArenas,
 };
 use ebird_analysis::laggard::laggard_census;
 use ebird_analysis::normality::{sweep_levels_with_scratch, SweepObs, SweepScratch};
 use ebird_analysis::reclaim::reclaim_metrics;
+use ebird_analysis::scan::{trace_scan, trace_scan_parallel_with_arenas};
 use ebird_cluster::{JobConfig, SyntheticApp, Workload};
 use ebird_core::TimingTrace;
 use ebird_partcomm::{LinkModel, SerialLink};
@@ -133,10 +133,13 @@ fn sweep_all_parallel(
     alpha: f64,
     obs: Option<&SweepObs>,
     pool: &Pool,
+    arenas: &mut EngineArenas,
 ) -> SweepOutcomes {
     traces
         .iter()
-        .flat_map(|tr| sweep_levels_parallel(tr, alpha, obs, pool).map(|sw| sw.outcomes))
+        .flat_map(|tr| {
+            sweep_levels_parallel_with_arenas(tr, alpha, obs, pool, arenas).map(|sw| sw.outcomes)
+        })
         .collect()
 }
 
@@ -167,11 +170,12 @@ pub fn run_pipeline(scale: Scale, seed: u64, pool: &Pool, repeats: usize) -> Pip
     run_pipeline_workloads(&workloads, label, &scale.config(), seed, pool, repeats)
 }
 
-/// Runs the full generate → sweep → census → reclaim → simulate pipeline
-/// over any workload set, serial and parallel, and verifies the parallel
-/// outputs are bit-identical to serial. Generic over [`Workload`], so the
-/// same harness prices calibrated apps, inline synthetic models, metered
-/// real-kernel runs and mixtures.
+/// Runs the full generate → sweep → trace-scan → simulate pipeline over any
+/// workload set, serial and parallel, and verifies the parallel outputs are
+/// bit-identical to serial (the fused trace scan is additionally checked
+/// against the three standalone traversals it replaced). Generic over
+/// [`Workload`], so the same harness prices calibrated apps, inline
+/// synthetic models, metered real-kernel runs and mixtures.
 ///
 /// # Panics
 /// If any workload fails to generate, or any parallel stage output differs
@@ -215,9 +219,18 @@ pub fn run_pipeline_workloads(
     drop(traces_par);
     stages.push(stage("generate", gen_serial_ms, gen_parallel_ms));
 
+    // One arena set for the whole run: per-worker battery scratch, unit
+    // buffers and simulation state persist across stages, traces and bench
+    // repeats, so the timed parallel passes measure steady-state work rather
+    // than allocator warm-up — and on a one-thread pool every arena-backed
+    // stage runs its serial loop inline (Pool::run_serial), making p = 1
+    // parallel the serial code plus one timestamped fork record.
+    let mut arenas = EngineArenas::for_pool(pool);
+
     // Stage 2: the three-level normality sweeps (merged fast path: one
     // radix sort per process-iteration group, k-way merges for the nested
-    // levels, cached Shapiro–Wilk weights — instrumented via SweepObs).
+    // levels, cached Shapiro–Wilk weights, batch-Φ fused SW+AD battery —
+    // instrumented via SweepObs).
     let sweep_obs = SweepObs::new(&registry);
     let mut sweep_scratch = SweepScratch::new();
     let (sweep_serial_ms, sweeps) = time_best(repeats, || {
@@ -225,57 +238,74 @@ pub fn run_pipeline_workloads(
     });
     let (sweep_parallel_ms, sweeps_par) = time_best(repeats, || {
         let _span = span("normality-sweep");
-        sweep_all_parallel(&traces, alpha, Some(&sweep_obs), pool)
+        sweep_all_parallel(&traces, alpha, Some(&sweep_obs), pool, &mut arenas)
     });
     assert_eq!(sweeps, sweeps_par, "parallel sweep diverged from serial");
     stages.push(stage("normality-sweep", sweep_serial_ms, sweep_parallel_ms));
 
-    // Stage 3: laggard census.
+    // Stage 3: the fused single-pass trace scan — laggard census + reclaim
+    // metrics + campaign moments in one traversal of each trace (replacing
+    // the three standalone walks the pipeline used to time separately).
     let threshold = ebird_cluster::calibration::LAGGARD_THRESHOLD_MS;
-    let (census_serial_ms, censuses) = time_best(repeats, || {
+    let (scan_serial_ms, scans) = time_best(repeats, || {
         traces
             .iter()
-            .map(|tr| laggard_census(tr, threshold))
+            .map(|tr| trace_scan(tr, threshold))
             .collect::<Vec<_>>()
     });
-    let (census_parallel_ms, censuses_par) = time_best(repeats, || {
-        let _span = span("laggard-census");
+    let (scan_parallel_ms, scans_par) = time_best(repeats, || {
+        let _span = span("trace-scan");
         traces
             .iter()
-            .map(|tr| laggard_census_parallel(tr, threshold, pool))
+            .map(|tr| trace_scan_parallel_with_arenas(tr, threshold, pool, &mut arenas))
             .collect::<Vec<_>>()
     });
-    for (a, b) in censuses.iter().zip(&censuses_par) {
-        assert_eq!(a.iterations, b.iterations, "parallel census diverged");
+    for (a, b) in scans.iter().zip(&scans_par) {
+        assert_eq!(
+            a.census.iterations, b.census.iterations,
+            "parallel scan census diverged"
+        );
+        assert_eq!(a.reclaim, b.reclaim, "parallel scan reclaim diverged");
+        // Moments merge per-thread partials; exact equality holds at one
+        // thread, count/extrema always.
+        assert_eq!(a.moments.count(), b.moments.count(), "scan lost samples");
+        assert_eq!(a.moments.min(), b.moments.min());
+        assert_eq!(a.moments.max(), b.moments.max());
+        if pool.threads() == 1 {
+            assert_eq!(a.moments, b.moments, "one-thread scan moments diverged");
+        }
     }
-    stages.push(stage(
-        "laggard-census",
-        census_serial_ms,
-        census_parallel_ms,
-    ));
-
-    // Stage 4: reclaim metrics.
-    let (reclaim_serial_ms, metrics) = time_best(repeats, || {
-        traces.iter().map(reclaim_metrics).collect::<Vec<_>>()
-    });
-    let (reclaim_parallel_ms, metrics_par) = time_best(repeats, || {
-        let _span = span("reclaim-metrics");
-        traces
-            .iter()
-            .map(|tr| reclaim_metrics_parallel(tr, pool))
-            .collect::<Vec<_>>()
-    });
+    // The fused scan must reproduce the three retired standalone traversals
+    // bit-for-bit (checked once, untimed).
+    for (tr, s) in traces.iter().zip(&scans) {
+        assert_eq!(
+            s.census.iterations,
+            laggard_census(tr, threshold).iterations,
+            "scan census diverged from laggard_census"
+        );
+        assert_eq!(
+            s.reclaim,
+            reclaim_metrics(tr),
+            "scan reclaim diverged from reclaim_metrics"
+        );
+        assert_eq!(
+            s.moments,
+            Moments::from_slice(&tr.all_ms()),
+            "scan moments diverged from whole-trace moments"
+        );
+    }
+    // Cross-application fold through the Mergeable reduction: the combined
+    // accumulator must account for every sample of every app.
+    let overall = ebird_stats::reduce::merge_all(scans_par.iter().map(|s| s.moments))
+        .expect("at least one application");
     assert_eq!(
-        metrics, metrics_par,
-        "parallel reclaim diverged from serial"
+        overall.count(),
+        traces.iter().map(|t| t.samples().len() as u64).sum::<u64>(),
+        "cross-app moments lost samples"
     );
-    stages.push(stage(
-        "reclaim-metrics",
-        reclaim_serial_ms,
-        reclaim_parallel_ms,
-    ));
+    stages.push(stage("trace-scan", scan_serial_ms, scan_parallel_ms));
 
-    // Stage 5: early-bird delivery simulation over every process-iteration
+    // Stage 4: early-bird delivery simulation over every process-iteration
     // (the engine's canonical-strategy sweep, priced through the unified
     // NetModel kernel on a SerialLink).
     let (sim_serial_ms, sims) = time_best(repeats, || {
@@ -289,42 +319,19 @@ pub fn run_pipeline_workloads(
         let _span = span("earlybird-sim");
         traces
             .iter()
-            .map(|tr| delivery_sweep_parallel(tr, SIM_BYTES, || SerialLink::new(link), pool))
+            .map(|tr| {
+                delivery_sweep_parallel_with_arenas(
+                    tr,
+                    SIM_BYTES,
+                    || SerialLink::new(link),
+                    pool,
+                    &mut arenas,
+                )
+            })
             .collect::<Vec<_>>()
     });
     assert_eq!(sims, sims_par, "parallel simulation diverged from serial");
     stages.push(stage("earlybird-sim", sim_serial_ms, sim_parallel_ms));
-
-    // Stage 6: campaign-level moments (Moments::merge reduction). Not
-    // bit-compared across pool sizes by design; count/extrema must agree.
-    let (mom_serial_ms, serial_moments) = time_best(repeats, || {
-        traces
-            .iter()
-            .map(|tr| Moments::from_slice(&tr.all_ms()))
-            .collect::<Vec<_>>()
-    });
-    let (mom_parallel_ms, parallel_moments) = time_best(repeats, || {
-        let _span = span("campaign-moments");
-        traces
-            .iter()
-            .map(|tr| campaign_moments(tr, pool))
-            .collect::<Vec<_>>()
-    });
-    for (a, b) in serial_moments.iter().zip(&parallel_moments) {
-        assert_eq!(a.count(), b.count(), "campaign moments lost samples");
-        assert_eq!(a.min(), b.min());
-        assert_eq!(a.max(), b.max());
-    }
-    // Cross-application fold through the Mergeable reduction: the combined
-    // accumulator must account for every sample of every app.
-    let overall = ebird_stats::reduce::merge_all(parallel_moments.iter().copied())
-        .expect("three applications");
-    assert_eq!(
-        overall.count(),
-        traces.iter().map(|t| t.samples().len() as u64).sum::<u64>(),
-        "cross-app moments lost samples"
-    );
-    stages.push(stage("campaign-moments", mom_serial_ms, mom_parallel_ms));
 
     // Fold the observability view into the stage rows: per-stage span wall
     // totals and pool busy time, accumulated over all parallel repeats.
@@ -340,7 +347,7 @@ pub fn run_pipeline_workloads(
     let total_parallel_ms: f64 = stages.iter().map(|s| s.parallel_ms).sum();
 
     PipelineReport {
-        schema_version: 1,
+        schema_version: 2,
         scale: scale_label.to_string(),
         seed,
         apps: traces.iter().map(|t| t.app().to_string()).collect(),
@@ -355,6 +362,36 @@ pub fn run_pipeline_workloads(
         total_parallel_ms,
         total_speedup: total_serial_ms / total_parallel_ms,
         outputs_bit_identical: true,
+    }
+}
+
+/// Compares a committed baseline's measurement shape against the current
+/// run configuration. Returns a human-readable description of the mismatch
+/// when the baseline was measured with a different pool size or on a host
+/// with different parallelism — regenerating over such a baseline would
+/// silently shift what the gate's thresholds mean.
+pub fn baseline_shape_mismatch(
+    baseline: &PipelineReport,
+    pool_threads: usize,
+    host_parallelism: usize,
+) -> Option<String> {
+    let mut diffs = Vec::new();
+    if baseline.pool_threads != pool_threads {
+        diffs.push(format!(
+            "pool_threads: baseline {} vs current {}",
+            baseline.pool_threads, pool_threads
+        ));
+    }
+    if baseline.host_parallelism != host_parallelism {
+        diffs.push(format!(
+            "host_parallelism: baseline {} vs current {}",
+            baseline.host_parallelism, host_parallelism
+        ));
+    }
+    if diffs.is_empty() {
+        None
+    } else {
+        Some(diffs.join("; "))
     }
 }
 
@@ -417,7 +454,14 @@ mod tests {
         // The run itself asserts serial/parallel equality on every stage.
         let pool = Pool::new(2);
         let r = run_pipeline(Scale::Ci, 7, &pool, 1);
-        assert_eq!(r.stages.len(), 6);
+        assert_eq!(r.stages.len(), 4);
+        assert_eq!(
+            r.stages
+                .iter()
+                .map(|s| s.stage.as_str())
+                .collect::<Vec<_>>(),
+            ["generate", "normality-sweep", "trace-scan", "earlybird-sim"]
+        );
         assert!(r.outputs_bit_identical);
         assert!(r.total_serial_ms > 0.0 && r.total_parallel_ms > 0.0);
         assert_eq!(r.apps, vec!["MiniFE", "MiniMD", "MiniQMC"]);
@@ -498,11 +542,29 @@ mod tests {
         let r = run_pipeline(Scale::Ci, 3, &pool, 1);
         let json = serde_json::to_string(&r).unwrap();
         let back: PipelineReport = serde_json::from_str(&json).unwrap();
-        assert_eq!(back.schema_version, 1);
+        assert_eq!(back.schema_version, 2);
         assert_eq!(back.stages.len(), r.stages.len());
         assert_eq!(back.scale, "ci");
         let text = render_report(&r);
         assert!(text.contains("generate+sweep"));
         assert!(text.contains("bit-identical: true"));
+    }
+
+    #[test]
+    fn baseline_shape_mismatch_flags_config_drift() {
+        let pool = Pool::new(1);
+        let r = run_pipeline(Scale::Ci, 3, &pool, 1);
+        assert_eq!(
+            baseline_shape_mismatch(&r, r.pool_threads, r.host_parallelism),
+            None
+        );
+        let msg = baseline_shape_mismatch(&r, r.pool_threads + 1, r.host_parallelism)
+            .expect("pool drift must be flagged");
+        assert!(msg.contains("pool_threads"), "{msg}");
+        let msg = baseline_shape_mismatch(&r, r.pool_threads, r.host_parallelism + 4)
+            .expect("host drift must be flagged");
+        assert!(msg.contains("host_parallelism"), "{msg}");
+        let both = baseline_shape_mismatch(&r, r.pool_threads + 1, r.host_parallelism + 4).unwrap();
+        assert!(both.contains("pool_threads") && both.contains("host_parallelism"));
     }
 }

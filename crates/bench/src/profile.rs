@@ -4,8 +4,10 @@
 //! observed pool and prints one table from the registry snapshot: per-stage
 //! span wall time, pool busy time, utilization and per-worker busy splits,
 //! followed by the normality-sweep fast-path instruments
-//! ([`SweepObs::CACHE_HIT`]/[`SweepObs::CACHE_MISS`] and the per-group
-//! [`SweepObs::SORT_NS`] latency histogram). Rendering lives in the library
+//! ([`SweepObs::CACHE_HIT`]/[`SweepObs::CACHE_MISS`], the per-group
+//! [`SweepObs::SORT_NS`] latency histogram and the [`SweepObs::BATCH_LEN`]
+//! batch-Φ feed sizes) and the pool's [`PoolObserver::FORK_NS`] fork/join
+//! overhead histogram. Rendering lives in the library
 //! so a sentinel test can assert every metric the profile reads actually
 //! appears in the output — a silent rendering gap would hide a regression
 //! signal.
@@ -95,6 +97,33 @@ pub fn render_profile(snap: &Snapshot, threads: usize) -> String {
         ms(p95_lo),
         ms(p95_hi)
     );
+    let batches = snap.histogram(SweepObs::BATCH_LEN);
+    let mean_batch = if batches.count() == 0 {
+        0.0
+    } else {
+        batches.total() as f64 / batches.count() as f64
+    };
+    let _ = writeln!(
+        out,
+        "  batch-phi kernel: {} batteries, {} elements streamed, mean batch {mean_batch:.1}",
+        batches.count(),
+        batches.total()
+    );
+
+    // Fork/join accounting: per-region overhead (spawn + join + skew) the
+    // pool observer measured — at one worker this must be ~0 (the region
+    // runs inline), which is the zero-overhead property the bench gates.
+    let forks = snap.histogram(PoolObserver::FORK_NS);
+    let (f50_lo, f50_hi) = forks.quantile_bounds(0.5);
+    let _ = writeln!(out, "fork/join overhead:");
+    let _ = writeln!(
+        out,
+        "  {} forks, {:.3} ms total, p50 {:.3}-{:.3} ms",
+        forks.count(),
+        ms(forks.total()),
+        ms(f50_lo),
+        ms(f50_hi)
+    );
     out
 }
 
@@ -145,6 +174,19 @@ mod tests {
         for _ in 0..count {
             hist.record(1_000_000);
         }
+        // Batch-Φ kernel feed: count and element total are both rendered;
+        // one-element batches make them the same sentinel.
+        let batch_count = next(&mut sentinels);
+        let batch_hist = registry.histogram(SweepObs::BATCH_LEN);
+        for _ in 0..batch_count {
+            batch_hist.record(1);
+        }
+        // Fork overhead histogram: sentinel count of 1 ms forks.
+        let fork_count = next(&mut sentinels);
+        let fork_hist = registry.histogram(PoolObserver::FORK_NS);
+        for _ in 0..fork_count {
+            fork_hist.record(1_000_000);
+        }
         let rendered = render_profile(&registry.snapshot(), 1);
         for s in sentinels {
             assert!(
@@ -160,5 +202,7 @@ mod tests {
         let rendered = render_profile(&registry.snapshot(), 2);
         assert!(rendered.contains("normality-sweep fast path"));
         assert!(rendered.contains("0 hits / 0 misses (0.0% hit rate)"));
+        assert!(rendered.contains("fork/join overhead"));
+        assert!(rendered.contains("batch-phi kernel"));
     }
 }

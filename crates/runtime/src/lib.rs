@@ -25,12 +25,14 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod barrier;
 pub mod persistent;
 pub mod pool;
 pub mod queue;
 pub mod schedule;
 
+pub use arena::WorkerArenas;
 pub use barrier::SenseBarrier;
 pub use pool::{Ctx, Pool, PoolObserver};
 pub use queue::{JobQueue, PushError, QueueMetrics};

@@ -15,7 +15,7 @@ use ebird_core::{Clock, TimedRegion};
 use parking_lot::Mutex;
 
 use crate::barrier::SenseBarrier;
-use crate::schedule::{guided_chunk, static_block};
+use crate::schedule::{cost_min_chunk, guided_chunk, static_block, GUIDED_TARGET_CHUNK_NS};
 
 /// Per-worker busy-time instrumentation for a [`Pool`].
 ///
@@ -36,6 +36,7 @@ use crate::schedule::{guided_chunk, static_block};
 pub struct PoolObserver {
     registry: Arc<ebird_obs::Registry>,
     stage: Arc<Mutex<String>>,
+    fork_ns: Arc<ebird_obs::Histogram>,
 }
 
 impl std::fmt::Debug for PoolObserver {
@@ -47,12 +48,21 @@ impl std::fmt::Debug for PoolObserver {
 }
 
 impl PoolObserver {
+    /// Histogram carrying per-fork overhead: for every fork/join the pool
+    /// executes, the region's wall time minus member 0's busy time — i.e.
+    /// spawn + join + scheduling skew, the cost the paper's Listing 1 is
+    /// built to expose. At `p = 1` every fork runs inline on the calling
+    /// thread, so entries near zero are the direct evidence that the unified
+    /// serial/parallel codepath carries no task indirection.
+    pub const FORK_NS: &'static str = "pool.fork.ns";
+
     /// An observer writing into `registry`, with the stage label initially
     /// `"unlabeled"`.
     pub fn new(registry: &Arc<ebird_obs::Registry>) -> Self {
         Self {
             registry: Arc::clone(registry),
             stage: Arc::new(Mutex::new("unlabeled".to_string())),
+            fork_ns: registry.histogram(Self::FORK_NS),
         }
     }
 
@@ -147,15 +157,54 @@ impl Pool {
 
     /// Runs one member body, timing it when an observer is attached.
     fn run_member<R>(&self, thread: usize, f: impl FnOnce() -> R) -> R {
+        self.run_member_timed(thread, f).0
+    }
+
+    /// [`run_member`](Self::run_member), also returning the member's busy
+    /// time (0 when unobserved) so fork paths can subtract it from the
+    /// region's wall time to get the pure fork/join overhead.
+    fn run_member_timed<R>(&self, thread: usize, f: impl FnOnce() -> R) -> (R, u64) {
         match &self.observer {
-            None => f(),
+            None => (f(), 0),
             Some(o) => {
                 let start = o.registry.now_ns();
                 let r = f();
-                o.record(thread, o.registry.now_ns().saturating_sub(start));
-                r
+                let busy = o.registry.now_ns().saturating_sub(start);
+                o.record(thread, busy);
+                (r, busy)
             }
         }
+    }
+
+    /// Stamp taken just before a fork (observed pools only).
+    fn fork_start(&self) -> Option<u64> {
+        self.observer.as_ref().map(|o| o.registry.now_ns())
+    }
+
+    /// Records one fork/join's overhead — region wall time minus member 0's
+    /// busy time — into the [`PoolObserver::FORK_NS`] histogram.
+    fn record_fork(&self, fork_start: Option<u64>, member0_busy_ns: u64) {
+        if let (Some(o), Some(t0)) = (&self.observer, fork_start) {
+            let wall = o.registry.now_ns().saturating_sub(t0);
+            o.fork_ns.record(wall.saturating_sub(member0_busy_ns));
+        }
+    }
+
+    /// Runs `f` inline on the calling thread as a one-member observed
+    /// "region": busy time lands in the stage counters and the (near-zero)
+    /// bookkeeping cost in the [`PoolObserver::FORK_NS`] histogram, exactly
+    /// like a `p = 1` [`region`](Self::region) fork — but with `FnOnce`
+    /// semantics, so serial fast paths holding `&mut` scratch can delegate
+    /// here without `Sync` bounds or interior mutability.
+    ///
+    /// This is the unification hook: at `p = 1` the engine's `*_parallel`
+    /// entry points run the serial loop through this method, keeping the
+    /// profile's per-stage attribution while paying no task indirection.
+    pub fn run_serial<R>(&self, f: impl FnOnce() -> R) -> R {
+        let fork_start = self.fork_start();
+        let (r, busy) = self.run_member_timed(0, f);
+        self.record_fork(fork_start, busy);
+        r
     }
 
     /// Runs `f` on every team member concurrently and joins
@@ -166,17 +215,19 @@ impl Pool {
     {
         let barrier = SenseBarrier::new(self.n);
         let n = self.n;
+        let fork_start = self.fork_start();
         if n == 1 {
-            self.run_member(0, || {
+            let (_, busy) = self.run_member_timed(0, || {
                 f(&Ctx {
                     thread: 0,
                     nthreads: 1,
                     barrier: &barrier,
                 })
             });
+            self.record_fork(fork_start, busy);
             return;
         }
-        std::thread::scope(|s| {
+        let busy0 = std::thread::scope(|s| {
             for t in 1..n {
                 let barrier = &barrier;
                 let f = &f;
@@ -191,14 +242,16 @@ impl Pool {
                     })
                 });
             }
-            self.run_member(0, || {
+            self.run_member_timed(0, || {
                 f(&Ctx {
                     thread: 0,
                     nthreads: n,
                     barrier: &barrier,
                 })
-            });
+            })
+            .1
         });
+        self.record_fork(fork_start, busy0);
     }
 
     /// Static-schedule loop: each member executes its contiguous
@@ -260,6 +313,21 @@ impl Pool {
         });
     }
 
+    /// Cost-aware guided loop: like
+    /// [`parallel_for_guided`](Self::parallel_for_guided), but the minimum
+    /// chunk is derived from a caller-supplied per-iteration cost estimate so
+    /// every dispatch carries at least
+    /// [`crate::schedule::GUIDED_TARGET_CHUNK_NS`] of work — cheap iterations
+    /// get big chunks (amortizing the shared counter), expensive ones still
+    /// load-balance at single-iteration granularity.
+    pub fn parallel_for_guided_cost<F>(&self, count: usize, est_item_ns: u64, body: F)
+    where
+        F: Fn(usize, &Ctx<'_>) + Sync,
+    {
+        let min_chunk = cost_min_chunk(est_item_ns, GUIDED_TARGET_CHUNK_NS);
+        self.parallel_for_guided(count, min_chunk, body);
+    }
+
     /// Static-schedule loop over an output slice: `data` is split into the
     /// same contiguous blocks as [`static_block`] and each member receives
     /// exclusive `&mut` access to its block — the safe-Rust shape of
@@ -283,9 +351,10 @@ impl Pool {
             rest = tail;
         }
         let barrier = SenseBarrier::new(n);
+        let fork_start = self.fork_start();
         if n == 1 {
             let (block, range) = parts.pop().expect("one part");
-            self.run_member(0, || {
+            let (_, busy) = self.run_member_timed(0, || {
                 body(
                     block,
                     range,
@@ -296,9 +365,10 @@ impl Pool {
                     },
                 )
             });
+            self.record_fork(fork_start, busy);
             return;
         }
-        std::thread::scope(|s| {
+        let busy0 = std::thread::scope(|s| {
             let mut iter = parts.into_iter().enumerate();
             let (_, first) = iter.next().expect("at least one part");
             for (t, (block, range)) in iter {
@@ -320,7 +390,7 @@ impl Pool {
                 });
             }
             let (block, range) = first;
-            self.run_member(0, || {
+            self.run_member_timed(0, || {
                 body(
                     block,
                     range,
@@ -330,8 +400,10 @@ impl Pool {
                         barrier: &barrier,
                     },
                 )
-            });
+            })
+            .1
         });
+        self.record_fork(fork_start, busy0);
     }
 
     /// Like [`parallel_chunks_mut`](Self::parallel_chunks_mut) but with
@@ -363,9 +435,10 @@ impl Pool {
             start += len;
         }
         let barrier = SenseBarrier::new(n);
+        let fork_start = self.fork_start();
         if n == 1 {
             let (block, range) = parts.pop().expect("one part");
-            self.run_member(0, || {
+            let (_, busy) = self.run_member_timed(0, || {
                 body(
                     block,
                     range,
@@ -376,9 +449,10 @@ impl Pool {
                     },
                 )
             });
+            self.record_fork(fork_start, busy);
             return;
         }
-        std::thread::scope(|s| {
+        let busy0 = std::thread::scope(|s| {
             let mut iter = parts.into_iter().enumerate();
             let (_, first) = iter.next().expect("at least one part");
             for (t, (block, range)) in iter {
@@ -400,7 +474,7 @@ impl Pool {
                 });
             }
             let (block, range) = first;
-            self.run_member(0, || {
+            self.run_member_timed(0, || {
                 body(
                     block,
                     range,
@@ -410,8 +484,10 @@ impl Pool {
                         barrier: &barrier,
                     },
                 )
-            });
+            })
+            .1
         });
+        self.record_fork(fork_start, busy0);
     }
 
     /// Parallel sum reduction: `Σ f(i)` for `i in 0..count` under the static
@@ -921,6 +997,80 @@ mod tests {
         }
         assert_eq!(data, vec![1; 9], "observation must not change results");
         assert_eq!(more, vec![2; 6]);
+    }
+
+    #[test]
+    fn fork_overhead_histogram_counts_every_fork_path() {
+        let registry = Arc::new(ebird_obs::Registry::wall());
+        let observer = PoolObserver::new(&registry);
+        let pool = Pool::new(2).with_observer(observer.clone());
+
+        pool.region(|_| {});
+        let mut data = vec![0u8; 4];
+        pool.parallel_chunks_mut(&mut data, |_, _, _| {});
+        pool.parallel_parts_mut(&mut data, &[3, 1], |_, _, _| {});
+        pool.run_serial(|| {});
+
+        let snap = registry.snapshot();
+        let forks = snap.histogram(PoolObserver::FORK_NS);
+        assert_eq!(forks.count(), 4, "one entry per fork/join");
+    }
+
+    #[test]
+    fn run_serial_records_busy_time_and_near_zero_fork_overhead() {
+        let registry = Arc::new(ebird_obs::Registry::wall());
+        let observer = PoolObserver::new(&registry);
+        let pool = Pool::new(1).with_observer(observer.clone());
+
+        observer.set_stage("serial");
+        let mut scratch = [0u64; 8];
+        let out = pool.run_serial(|| {
+            std::thread::sleep(std::time::Duration::from_micros(300));
+            scratch[0] = 9; // FnOnce: &mut captures need no Sync wrapper.
+            scratch[0]
+        });
+        assert_eq!(out, 9);
+
+        let snap = registry.snapshot();
+        let busy = snap.counter(&PoolObserver::worker_counter("serial", 0));
+        assert!(busy >= 100_000, "busy time attributed to the stage: {busy}");
+        let forks = snap.histogram(PoolObserver::FORK_NS);
+        assert_eq!(forks.count(), 1);
+        // The inline path's overhead is bookkeeping only — far below the
+        // body's own run time (which sits in the busy counter, not here).
+        assert!(
+            forks.total() < busy / 2,
+            "inline fork overhead {} vs busy {busy}",
+            forks.total()
+        );
+    }
+
+    #[test]
+    fn unobserved_run_serial_is_passthrough() {
+        let pool = Pool::new(4);
+        let mut hits = 0u32;
+        let r = pool.run_serial(|| {
+            hits += 1;
+            hits
+        });
+        assert_eq!((r, hits), (1, 1));
+    }
+
+    #[test]
+    fn guided_cost_covers_range_exactly_once() {
+        let pool = Pool::new(3);
+        let counts: Vec<AtomicU64> = (0..500).map(|_| AtomicU64::new(0)).collect();
+        // 1 µs items → 50-iteration dispatch floor.
+        pool.parallel_for_guided_cost(500, 1_000, |i, _| {
+            counts[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+        // Degenerate estimates must not panic or skip work.
+        let hits = AtomicU64::new(0);
+        pool.parallel_for_guided_cost(10, 0, |_, _| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 10);
     }
 
     #[test]

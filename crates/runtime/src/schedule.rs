@@ -80,6 +80,31 @@ pub fn guided_chunk(remaining: usize, p: usize, k: usize) -> usize {
     }
 }
 
+/// The guided schedule's dispatch quantum: the amount of work one chunk
+/// should carry so the shared-counter lock is amortized to noise. 50 µs is
+/// ~3 orders of magnitude above the lock handoff cost while still yielding
+/// plenty of chunks for load balancing on realistic loops.
+pub const GUIDED_TARGET_CHUNK_NS: u64 = 50_000;
+
+/// Cost-aware minimum chunk for a guided schedule: the smallest chunk whose
+/// estimated running time reaches `target_chunk_ns`, i.e.
+/// `⌈target/cost⌉` floored at 1.
+///
+/// The plain `guided_chunk` floor is a pure iteration count; when iterations
+/// are cheap (a few µs — the sweep's per-group batteries) a count floor of 1
+/// lets the tail degenerate into per-iteration lock traffic. Deriving the
+/// floor from a per-item cost estimate keeps every dispatch above a fixed
+/// time quantum regardless of workload shape.
+pub fn cost_min_chunk(est_item_ns: u64, target_chunk_ns: u64) -> usize {
+    if est_item_ns == 0 {
+        // No estimate: fall back to the smallest legal floor.
+        return 1;
+    }
+    usize::try_from(target_chunk_ns.div_ceil(est_item_ns))
+        .unwrap_or(usize::MAX)
+        .max(1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,6 +181,18 @@ mod tests {
         // Minimum chunk is respected until the tail.
         assert_eq!(guided_chunk(10, 8, 4), 4);
         assert_eq!(guided_chunk(3, 8, 4), 3);
+    }
+
+    #[test]
+    fn cost_min_chunk_reaches_the_time_quantum() {
+        // 5 µs items, 50 µs quantum → 10 items per dispatch.
+        assert_eq!(cost_min_chunk(5_000, 50_000), 10);
+        // Items dearer than the quantum → floor of one.
+        assert_eq!(cost_min_chunk(80_000, 50_000), 1);
+        // Non-divisible costs round up.
+        assert_eq!(cost_min_chunk(3_000, 50_000), 17);
+        // No estimate degrades to the legal minimum, not a panic.
+        assert_eq!(cost_min_chunk(0, 50_000), 1);
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub mod shapiro_wilk;
 use serde::{Deserialize, Serialize};
 
 use crate::sort::{sort_floats, SortScratch};
-use crate::special::norm_log_cdf_sf;
+use crate::special::norm_log_cdf_sf_slice;
 use crate::{accumulate, StatsError};
 
 /// Identifier for one of the three implemented tests; used in reports.
@@ -205,10 +205,44 @@ impl WeightCache {
     }
 }
 
+/// Reusable buffers for the fused kernel's batch Φ evaluation: the
+/// standardized order statistics `z` and the paired `ln Φ` / `ln(1 − Φ)`
+/// outputs, filled by one [`norm_log_cdf_sf_slice`] call per sample.
+#[derive(Debug, Clone, Default)]
+struct PhiBuffers {
+    z: Vec<f64>,
+    log_cdf: Vec<f64>,
+    log_sf: Vec<f64>,
+}
+
+impl PhiBuffers {
+    /// Standardizes `sorted` into `z` and batch-evaluates both log tails.
+    /// `z[i] = (sorted[i] − mean) / sd` is the exact expression the scalar
+    /// kernel fed to [`crate::special::norm_log_cdf_sf`], and the slice
+    /// kernel is bit-identical to that scalar call, so the returned buffers
+    /// carry exactly the values the per-element loop produced.
+    fn fill(&mut self, sorted: &[f64], mean: f64, sd: f64) -> (&[f64], &[f64]) {
+        let n = sorted.len();
+        self.z.clear();
+        self.z.extend(sorted.iter().map(|&v| (v - mean) / sd));
+        if self.log_cdf.len() < n {
+            self.log_cdf.resize(n, 0.0);
+        }
+        if self.log_sf.len() < n {
+            self.log_sf.resize(n, 0.0);
+        }
+        let lc = &mut self.log_cdf[..n];
+        let ls = &mut self.log_sf[..n];
+        norm_log_cdf_sf_slice(&self.z, lc, ls);
+        (&*lc, &*ls)
+    }
+}
+
 /// Reusable buffers for allocation-free runs of the paper's three-test
 /// battery: one sorted copy of the sample (shared by Shapiro–Wilk and
 /// Anderson–Darling, which previously each sorted their own fresh `Vec`),
-/// the radix-sort scratch, and the per-`n` [`WeightCache`].
+/// the radix-sort scratch, the per-`n` [`WeightCache`], and the batch-Φ
+/// buffers the fused kernel streams through.
 ///
 /// One scratch per worker thread lets the sweep engine test tens of
 /// thousands of groups with zero allocations after warm-up.
@@ -217,6 +251,7 @@ pub struct BatteryScratch {
     sorted: Vec<f64>,
     sort: SortScratch,
     cache: WeightCache,
+    phi: PhiBuffers,
 }
 
 impl BatteryScratch {
@@ -245,18 +280,22 @@ impl BatteryScratch {
 
 /// The fused Shapiro–Wilk + Anderson–Darling kernel: one traversal of the
 /// sorted sample computes the symmetric-difference W sum and the paired
-/// `ln Φ(zᵢ) + ln(1 − Φ(z₍ₙ₋₁₋ᵢ₎))` A² terms, with one fused
-/// [`norm_log_cdf_sf`] evaluation per element and weights/constants from the
-/// per-`n` cache.
+/// `ln Φ(zᵢ) + ln(1 − Φ(z₍ₙ₋₁₋ᵢ₎))` A² terms, with the Φ logs batch-evaluated
+/// over the whole standardized buffer by [`norm_log_cdf_sf_slice`] (the
+/// sorted layout makes the slice kernel's interval-uniform fast path the
+/// common case) and weights/constants from the per-`n` cache.
 ///
 /// Outcomes are bit-identical to the individual tests because every
 /// accumulator replays the exact sequence of the standalone paths:
 /// mean/ssq via [`accumulate::mean_ssq`], `sax` ascending (as in
 /// `w_from_sorted_with`), and the A² sum in `ad_pair_sum`'s pair order —
-/// interleaving is safe since the accumulators are independent.
+/// the batch kernel is bit-identical to the per-element
+/// `norm_log_cdf_sf` calls it replaces, and hoisting those independent
+/// evaluations out of the loop does not reorder any accumulator.
 fn fused_sw_ad(
     sorted: &[f64],
     cache: &mut WeightCache,
+    phi: &mut PhiBuffers,
 ) -> (Option<NormalityOutcome>, Option<NormalityOutcome>) {
     let n = sorted.len();
     if n < 3 {
@@ -277,18 +316,16 @@ fn fused_sw_ad(
     let mut sax = 0.0;
     let mut s_ad = 0.0;
     if do_ad {
+        let (lc, ls) = phi.fill(sorted, mean, sd);
         for (i, &ai) in a.iter().enumerate() {
             let r = n - 1 - i;
             sax += ai * (sorted[r] - sorted[i]);
-            let (lc_i, ls_i) = norm_log_cdf_sf((sorted[i] - mean) / sd);
-            let (lc_r, ls_r) = norm_log_cdf_sf((sorted[r] - mean) / sd);
-            s_ad += (2 * i + 1) as f64 * (lc_i + ls_r);
-            s_ad += (2 * r + 1) as f64 * (lc_r + ls_i);
+            s_ad += (2 * i + 1) as f64 * (lc[i] + ls[r]);
+            s_ad += (2 * r + 1) as f64 * (lc[r] + ls[i]);
         }
         if n % 2 == 1 {
             let mid = n / 2;
-            let (lc, ls) = norm_log_cdf_sf((sorted[mid] - mean) / sd);
-            s_ad += (2 * mid + 1) as f64 * (lc + ls);
+            s_ad += (2 * mid + 1) as f64 * (lc[mid] + ls[mid]);
         }
     } else {
         for (i, &ai) in a.iter().enumerate() {
@@ -339,11 +376,12 @@ pub fn battery_with_scratch(
         sorted,
         sort,
         cache,
+        phi,
     } = scratch;
     sorted.clear();
     sorted.extend_from_slice(sample);
     sort_floats(sorted, sort);
-    let (sw, ad) = fused_sw_ad(sorted, cache);
+    let (sw, ad) = fused_sw_ad(sorted, cache, phi);
     [dag, sw, ad]
 }
 
@@ -351,11 +389,13 @@ pub fn battery_with_scratch(
 /// the sample (the merged multi-level sweep, which k-way-merges its
 /// sub-groups' sorted buffers instead of re-sorting). `sample` must be the
 /// same multiset in raw group order — D'Agostino's moment sums are
-/// order-sensitive, so it sees exactly what the unsorted path sees.
+/// order-sensitive, so it sees exactly what the unsorted path sees. The
+/// scratch's own `sorted` buffer is untouched; only its weight cache and
+/// batch-Φ buffers are used.
 pub fn battery_presorted(
     sample: &[f64],
     sorted: &[f64],
-    cache: &mut WeightCache,
+    scratch: &mut BatteryScratch,
 ) -> [Option<NormalityOutcome>; 3] {
     debug_assert_eq!(sample.len(), sorted.len(), "sample/sorted must match");
     debug_assert!(
@@ -366,7 +406,7 @@ pub fn battery_presorted(
     if !sample.iter().all(|x| x.is_finite()) {
         return [dag, None, None];
     }
-    let (sw, ad) = fused_sw_ad(sorted, cache);
+    let (sw, ad) = fused_sw_ad(sorted, &mut scratch.cache, &mut scratch.phi);
     [dag, sw, ad]
 }
 
@@ -486,14 +526,14 @@ mod tests {
     #[test]
     fn battery_presorted_matches_battery_with_scratch() {
         let mut scratch = BatteryScratch::new();
-        let mut cache = WeightCache::new();
+        let mut presort_scratch = BatteryScratch::new();
         for n in [8usize, 21, 64, 130] {
             let sample: Vec<f64> = (0..n)
                 .map(|i| (((i * 131) % 997) as f64).sin() * 3.0)
                 .collect();
             let mut sorted = sample.clone();
             scratch.sort_in_place(&mut sorted);
-            let via_presorted = battery_presorted(&sample, &sorted, &mut cache);
+            let via_presorted = battery_presorted(&sample, &sorted, &mut presort_scratch);
             let via_scratch = battery_with_scratch(&sample, &mut scratch);
             assert_eq!(via_presorted, via_scratch, "n={n}");
         }

@@ -409,6 +409,162 @@ pub fn norm_log_cdf_sf(x: f64) -> (f64, f64) {
     }
 }
 
+/// Lane count for the slice kernels. Eight doubles fill an AVX-512 register
+/// exactly and two AVX2 registers; the per-lane loops below carry no
+/// cross-lane dependencies, so the autovectorizer can widen them at whatever
+/// width the target offers.
+const BLOCK: usize = 8;
+
+/// One block of [`erfc_slice`]. Classifies the whole block into a single fit
+/// interval; when the lanes are uniform the branch-free per-lane loops below
+/// evaluate exactly the expression sequence [`erfc_mag`] uses for that
+/// interval (so the results are bit-identical), otherwise every lane falls
+/// back to the scalar [`erfc`]. Zeros and non-finite lanes (NaN compares
+/// false everywhere; `u > 0.0` excludes ±0) always take the scalar path,
+/// which keeps the edge semantics — `erfc(NaN) = 0`, `erfc(±0) = 1`,
+/// `erfc(−∞) = 2` — without any per-lane special-casing here.
+fn erfc_block(x: &[f64; BLOCK], out: &mut [f64; BLOCK]) {
+    let mut u = [0.0f64; BLOCK];
+    for l in 0..BLOCK {
+        u[l] = x[l].abs();
+    }
+    let mut m = [0.0f64; BLOCK];
+    if u.iter().all(|&v| v > 0.0 && v <= ERFC_NEAR_HI) {
+        for l in 0..BLOCK {
+            m[l] = estrin16(&ERFC_NEAR, u[l] * NEAR_SCALE - 1.0);
+        }
+    } else if u.iter().all(|&v| v > ERFC_NEAR_HI && v <= 3.5) {
+        for l in 0..BLOCK {
+            m[l] = (-u[l] * u[l]).exp() * estrin16(&ERFCX_MID, u[l] * MID_SCALE - MID_SHIFT);
+        }
+    } else if u.iter().all(|&v| v > 3.5 && v <= 27.5) {
+        for l in 0..BLOCK {
+            let w = 1.0 / u[l];
+            m[l] = (-u[l] * u[l]).exp() * estrin12(&ERFCX_FAR, w * FAR_SCALE - FAR_SHIFT);
+        }
+    } else {
+        for l in 0..BLOCK {
+            out[l] = erfc(x[l]);
+        }
+        return;
+    }
+    // Sign select, exactly as `erfc`: for x < 0 (zero lanes never get here),
+    // `−x` and `|x|` are the same bits, so `2 − erfc_mag(−x)` ≡ `2 − m`.
+    for l in 0..BLOCK {
+        out[l] = if x[l] < 0.0 { 2.0 - m[l] } else { m[l] };
+    }
+}
+
+/// [`erfc`] over a whole buffer, bit-identical to the scalar loop
+/// `for i { out[i] = erfc(xs[i]) }` (pinned by unit tests and proptests).
+///
+/// Works in blocks of [`BLOCK`] lanes: a block whose magnitudes all fall in
+/// one of the three Chebyshev intervals is evaluated by straight-line
+/// per-lane loops the compiler can autovectorize (the normality sweep's `z`
+/// scores are sorted, so interval-uniform blocks are the common case); mixed
+/// or edge-case blocks and the tail fall back to the scalar function.
+///
+/// # Panics
+/// Panics if `xs` and `out` have different lengths.
+pub fn erfc_slice(xs: &[f64], out: &mut [f64]) {
+    assert_eq!(xs.len(), out.len(), "erfc_slice: length mismatch");
+    let mut xb = xs.chunks_exact(BLOCK);
+    let mut ob = out.chunks_exact_mut(BLOCK);
+    for (x, o) in (&mut xb).zip(&mut ob) {
+        let x: &[f64; BLOCK] = x.try_into().expect("exact chunk");
+        let o: &mut [f64; BLOCK] = o.try_into().expect("exact chunk");
+        erfc_block(x, o);
+    }
+    for (x, o) in xb.remainder().iter().zip(ob.into_remainder()) {
+        *o = erfc(*x);
+    }
+}
+
+/// One block of [`norm_log_cdf_sf_slice`]. The fast path requires every lane
+/// strictly inside `(−10, 10)` (the fused-pair branch of
+/// [`norm_log_cdf_sf`]) with the erfc arguments `u = −x/√2` nonzero and
+/// interval-uniform; it then replays [`erfc_pair`]'s assembly per lane.
+/// Anything else — Mills-ratio tails, zeros, non-finite lanes — falls back
+/// to the scalar function lane by lane.
+fn norm_log_cdf_sf_block(x: &[f64; BLOCK], lc: &mut [f64; BLOCK], ls: &mut [f64; BLOCK]) {
+    let mut u = [0.0f64; BLOCK];
+    let mut a = [0.0f64; BLOCK];
+    for l in 0..BLOCK {
+        u[l] = -x[l] * std::f64::consts::FRAC_1_SQRT_2;
+        a[l] = u[l].abs();
+    }
+    let mut m = [0.0f64; BLOCK];
+    if x.iter().all(|&v| v > -10.0 && v < 10.0) && a.iter().all(|&v| v > 0.0 && v <= ERFC_NEAR_HI) {
+        for l in 0..BLOCK {
+            m[l] = estrin16(&ERFC_NEAR, a[l] * NEAR_SCALE - 1.0);
+        }
+    } else if x.iter().all(|&v| v > -10.0 && v < 10.0)
+        && a.iter().all(|&v| v > ERFC_NEAR_HI && v <= 3.5)
+    {
+        for l in 0..BLOCK {
+            m[l] = (-a[l] * a[l]).exp() * estrin16(&ERFCX_MID, a[l] * MID_SCALE - MID_SHIFT);
+        }
+    } else if x.iter().all(|&v| v > -10.0 && v < 10.0) && a.iter().all(|&v| v > 3.5 && v <= 27.5) {
+        for l in 0..BLOCK {
+            let w = 1.0 / a[l];
+            m[l] = (-a[l] * a[l]).exp() * estrin12(&ERFCX_FAR, w * FAR_SCALE - FAR_SHIFT);
+        }
+    } else {
+        for l in 0..BLOCK {
+            let (c, s) = norm_log_cdf_sf(x[l]);
+            lc[l] = c;
+            ls[l] = s;
+        }
+        return;
+    }
+    for l in 0..BLOCK {
+        // erfc_pair(u): m = erfc_mag(|u|), mirrored tail 2 − m.
+        let (cdf2, sf2) = if u[l] < 0.0 {
+            (2.0 - m[l], m[l])
+        } else {
+            (m[l], 2.0 - m[l])
+        };
+        lc[l] = (0.5 * cdf2).ln();
+        ls[l] = (0.5 * sf2).ln();
+    }
+}
+
+/// [`norm_log_cdf_sf`] over a whole buffer, bit-identical to the scalar loop
+/// (pinned by unit tests and proptests): `out_lc[i] = ln Φ(xs[i])`,
+/// `out_ls[i] = ln(1 − Φ(xs[i]))`.
+///
+/// This is the Anderson–Darling kernel's batch form: the fused SW+AD pass
+/// evaluates both logs for every standardized order statistic at once, so the
+/// polynomial core runs over contiguous memory in
+/// autovectorization-friendly [`BLOCK`]-wide blocks instead of one
+/// call-per-element through the battery loop.
+///
+/// # Panics
+/// Panics if the three slices have different lengths.
+pub fn norm_log_cdf_sf_slice(xs: &[f64], out_lc: &mut [f64], out_ls: &mut [f64]) {
+    assert_eq!(xs.len(), out_lc.len(), "norm_log_cdf_sf_slice: lc mismatch");
+    assert_eq!(xs.len(), out_ls.len(), "norm_log_cdf_sf_slice: ls mismatch");
+    let mut xb = xs.chunks_exact(BLOCK);
+    let mut cb = out_lc.chunks_exact_mut(BLOCK);
+    let mut sb = out_ls.chunks_exact_mut(BLOCK);
+    for ((x, c), s) in (&mut xb).zip(&mut cb).zip(&mut sb) {
+        let x: &[f64; BLOCK] = x.try_into().expect("exact chunk");
+        let c: &mut [f64; BLOCK] = c.try_into().expect("exact chunk");
+        let s: &mut [f64; BLOCK] = s.try_into().expect("exact chunk");
+        norm_log_cdf_sf_block(x, c, s);
+    }
+    for ((x, c), s) in xb
+        .remainder()
+        .iter()
+        .zip(cb.into_remainder())
+        .zip(sb.into_remainder())
+    {
+        let (vc, vs) = norm_log_cdf_sf(*x);
+        *c = vc;
+        *s = vs;
+    }
+}
+
 /// Inverse of the standard normal CDF (the quantile/probit function).
 ///
 /// Strategy: Abramowitz–Stegun 26.2.23 rational approximation (|ε| < 4.5e-4)
@@ -688,6 +844,82 @@ mod tests {
             assert_eq!(lc.to_bits(), norm_log_cdf(x).to_bits(), "lnΦ({x})");
             assert_eq!(ls.to_bits(), norm_log_sf(x).to_bits(), "lnSF({x})");
         }
+    }
+
+    /// Inputs that exercise every interval, every mixed-block shape, the
+    /// edge semantics, and the sorted-uniform common case.
+    fn slice_kernel_inputs() -> Vec<Vec<f64>> {
+        let mut cases: Vec<Vec<f64>> = Vec::new();
+        // Block-boundary lengths around BLOCK = 8, all-near values.
+        for len in 0..=17 {
+            cases.push((0..len).map(|i| -0.8 + 0.1 * i as f64).collect());
+        }
+        // Interval-uniform blocks: near, mid, far, underflow tail.
+        cases.push((0..24).map(|i| 0.05 + 0.04 * i as f64).collect());
+        cases.push((0..24).map(|i| 1.3 + 0.08 * i as f64).collect());
+        cases.push((0..24).map(|i| 3.6 + 0.9 * i as f64).collect());
+        cases.push((0..16).map(|i| 27.6 + i as f64).collect());
+        // Mixed blocks straddling every interval boundary and sign.
+        cases.push((-60..60).map(|i| i as f64 * 0.33).collect::<Vec<_>>());
+        // Edge values sprinkled through otherwise-uniform blocks.
+        cases.push(vec![
+            0.4,
+            0.5,
+            f64::NAN,
+            0.6,
+            -0.0,
+            0.0,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            0.7,
+            1.224_744_871_391_589,
+            -1.224_744_871_391_589,
+            3.5,
+            -3.5,
+            27.5,
+            -27.5,
+            1e-300,
+            -1e-300,
+        ]);
+        // Sorted z-scores as the sweep produces them (the intended use).
+        cases.push((0..100).map(|i| -3.0 + 0.06 * i as f64).collect());
+        cases
+    }
+
+    #[test]
+    fn erfc_slice_is_bit_identical_to_scalar_loop() {
+        for xs in slice_kernel_inputs() {
+            let mut out = vec![0.0; xs.len()];
+            erfc_slice(&xs, &mut out);
+            for (i, &x) in xs.iter().enumerate() {
+                assert_eq!(
+                    out[i].to_bits(),
+                    erfc(x).to_bits(),
+                    "erfc_slice[{i}] at x={x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn norm_log_cdf_sf_slice_is_bit_identical_to_scalar_loop() {
+        for xs in slice_kernel_inputs() {
+            let mut lc = vec![0.0; xs.len()];
+            let mut ls = vec![0.0; xs.len()];
+            norm_log_cdf_sf_slice(&xs, &mut lc, &mut ls);
+            for (i, &x) in xs.iter().enumerate() {
+                let (wc, ws) = norm_log_cdf_sf(x);
+                assert_eq!(lc[i].to_bits(), wc.to_bits(), "lnΦ slice[{i}] at x={x}");
+                assert_eq!(ls[i].to_bits(), ws.to_bits(), "lnSF slice[{i}] at x={x}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn erfc_slice_rejects_length_mismatch() {
+        let mut out = vec![0.0; 3];
+        erfc_slice(&[1.0, 2.0], &mut out);
     }
 
     #[test]

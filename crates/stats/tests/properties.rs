@@ -15,7 +15,8 @@ use ebird_stats::normality::{
 use ebird_stats::percentile::{percentile, PercentileSummary};
 use ebird_stats::sort::{merge_sorted, sort_floats, SortScratch};
 use ebird_stats::special::{
-    chi2_cdf, erf, erfc, norm_cdf, norm_log_cdf, norm_log_cdf_sf, norm_log_sf, norm_quantile,
+    chi2_cdf, erf, erfc, erfc_slice, norm_cdf, norm_log_cdf, norm_log_cdf_sf,
+    norm_log_cdf_sf_slice, norm_log_sf, norm_quantile,
 };
 use ebird_stats::Histogram;
 use proptest::prelude::*;
@@ -55,6 +56,32 @@ fn inject_tricky_floats(mut xs: Vec<f64>) -> Vec<f64> {
 /// A sample biased toward radix-sort edge cases (see [`inject_tricky_floats`]).
 fn arb_tricky_sample(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
     proptest::collection::vec(-1.0e6f64..1.0e6, 0..max_len).prop_map(inject_tricky_floats)
+}
+
+/// Inputs for the batch Φ kernels: lengths 0..=17 straddle the block size
+/// (8), and roughly one value in five is rewritten (selected by its own
+/// bits, as in [`inject_tricky_floats`]) to a non-finite or boundary special
+/// so the slice kernels' scalar-fallback path is hit alongside the fast
+/// path.
+fn arb_kernel_input() -> impl Strategy<Value = Vec<f64>> {
+    const SPECIALS: [f64; 7] = [
+        f64::NAN,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        0.0,
+        -0.0,
+        f64::MAX,
+        f64::MIN,
+    ];
+    proptest::collection::vec(-40.0f64..40.0, 0..18).prop_map(|mut xs| {
+        for x in xs.iter_mut() {
+            let sel = (x.to_bits() >> 3) % 35;
+            if let Some(&s) = SPECIALS.get(sel as usize) {
+                *x = s;
+            }
+        }
+        xs
+    })
 }
 
 /// A sample guaranteed to have spread (for scale-dependent tests).
@@ -282,5 +309,29 @@ proptest! {
         let (lc, ls) = norm_log_cdf_sf(x);
         prop_assert_eq!(lc.to_bits(), norm_log_cdf(x).to_bits());
         prop_assert_eq!(ls.to_bits(), norm_log_sf(x).to_bits());
+    }
+
+    // Lengths 0..=17 cover empty input, a partial block, exactly one and two
+    // full blocks, and a block-plus-remainder tail; the input mix includes
+    // NaN/±∞ so the fast path's finiteness gate is exercised both ways.
+    #[test]
+    fn erfc_slice_is_bitwise_equal_to_scalar(xs in arb_kernel_input()) {
+        let mut out = vec![0.0f64; xs.len()];
+        erfc_slice(&xs, &mut out);
+        for (&x, &batched) in xs.iter().zip(&out) {
+            prop_assert_eq!(batched.to_bits(), erfc(x).to_bits(), "x = {}", x);
+        }
+    }
+
+    #[test]
+    fn norm_log_cdf_sf_slice_is_bitwise_equal_to_scalar(xs in arb_kernel_input()) {
+        let mut lc = vec![0.0f64; xs.len()];
+        let mut ls = vec![0.0f64; xs.len()];
+        norm_log_cdf_sf_slice(&xs, &mut lc, &mut ls);
+        for (i, &x) in xs.iter().enumerate() {
+            let (c, s) = norm_log_cdf_sf(x);
+            prop_assert_eq!(lc[i].to_bits(), c.to_bits(), "lc, x = {}", x);
+            prop_assert_eq!(ls[i].to_bits(), s.to_bits(), "ls, x = {}", x);
+        }
     }
 }

@@ -2,9 +2,11 @@
 //! arrival set, or partition layout — not just the calibrated ones.
 
 use early_bird::analysis::laggard::{laggard_census, ArrivalClass};
-use early_bird::analysis::reclaim::{idle_ratio, reclaimable_ms};
+use early_bird::analysis::reclaim::{idle_ratio, reclaim_metrics, reclaimable_ms};
+use early_bird::analysis::scan::trace_scan;
 use early_bird::core::{ThreadSample, TimingTrace, TraceShape};
 use early_bird::partcomm::{simulate, LinkModel, Strategy};
+use early_bird::stats::descriptive::Moments;
 use early_bird::stats::percentile::PercentileSummary;
 use early_bird::stats::Histogram;
 use proptest::prelude::*;
@@ -125,6 +127,33 @@ proptest! {
         let bulk = simulate(&ms, bytes, &link, Strategy::Bulk);
         let eb = simulate(&ms, bytes, &link, Strategy::EarlyBird);
         prop_assert!(eb.completion_ms <= bulk.completion_ms + 1e-9);
+    }
+
+    #[test]
+    fn trace_scan_matches_the_three_retired_traversals(
+        ms in arb_arrivals(),
+        trials in 1usize..3, ranks in 1usize..3, iters in 1usize..4,
+        threshold in 0.1f64..10.0,
+    ) {
+        // Any shape, any sample values: the fused single-pass scan must
+        // reproduce the three traversals it replaced, bit for bit.
+        let threads = ms.len();
+        let shape = TraceShape::new(trials, ranks, iters, threads).unwrap();
+        let mut trace = TimingTrace::new("fused", shape);
+        for flat in 0..shape.total_samples() {
+            let idx = shape.unflat(flat);
+            // Rotate the generated arrivals per unit so units differ.
+            let v = ms[(flat * 7 + flat / threads) % threads];
+            trace
+                .set(idx, ThreadSample { enter_ns: 0, exit_ns: (v * 1e6).round() as u64 })
+                .unwrap();
+        }
+        let scan = trace_scan(&trace, threshold);
+        let census = laggard_census(&trace, threshold);
+        prop_assert_eq!(scan.census.threshold_ms.to_bits(), census.threshold_ms.to_bits());
+        prop_assert_eq!(scan.census.iterations, census.iterations);
+        prop_assert_eq!(scan.reclaim, reclaim_metrics(&trace));
+        prop_assert_eq!(scan.moments, Moments::from_slice(&trace.all_ms()));
     }
 
     #[test]
